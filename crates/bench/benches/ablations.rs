@@ -1,0 +1,127 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * rank-ordered bitmap counting vs. naive row scans (the `RankedIndex`
+//!   design);
+//! * the hand-rolled FxHash pattern maps vs. std's SipHash (perf-book
+//!   guidance on hot hash maps);
+//! * incremental engine vs. per-k rebuild — the paper's core optimization,
+//!   isolated per measure.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rankfair::core::{oracle, BiasMeasure, Bounds, DetectConfig, Pattern, PatternSpace, RankedIndex};
+use rankfair::prelude::{compas_workload, student_workload, Detector};
+use rankfair_core::util::FxHashMap;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+}
+
+/// Bitmap AND+popcount counting vs. a naive scan of the rows.
+fn counting(c: &mut Criterion) {
+    let w = compas_workload(0, 42); // full 6,889 rows
+    let space = PatternSpace::from_dataset(&w.detection).unwrap();
+    let index = RankedIndex::build(&w.detection, &space, &w.ranking);
+    // A set of 1–3-term patterns over the first attributes.
+    let patterns: Vec<Pattern> = vec![
+        Pattern::single(0, 0),
+        Pattern::from_terms(vec![(0, 0), (2, 1)]).unwrap(),
+        Pattern::from_terms(vec![(0, 1), (1, 0), (3, 0)]).unwrap(),
+    ];
+    let mut group = c.benchmark_group("ablation_counting");
+    configure(&mut group);
+    group.bench_function("bitmap_fused", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &patterns {
+                let (sd, topk) = index.counts(p, 49);
+                acc += sd + topk;
+            }
+            acc
+        })
+    });
+    group.bench_function("naive_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &patterns {
+                let (sd, topk) = oracle::naive_counts(&w.detection, &space, &w.ranking, p, 49);
+                acc += sd + topk;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// FxHash vs. SipHash on the engine's (parent, attr, value) keys.
+fn hashing(c: &mut Criterion) {
+    let keys: Vec<(u32, u16, u16)> = (0..20_000u32).map(|i| (i, (i % 33) as u16, (i % 5) as u16)).collect();
+    let mut group = c.benchmark_group("ablation_hashing");
+    configure(&mut group);
+    group.bench_function("fxhash", |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<(u32, u16, u16), u32> = FxHashMap::default();
+            for (i, k) in keys.iter().enumerate() {
+                m.insert(*k, i as u32);
+            }
+            let mut acc = 0u64;
+            for k in &keys {
+                acc += u64::from(m[k]);
+            }
+            acc
+        })
+    });
+    group.bench_function("siphash", |b| {
+        b.iter(|| {
+            let mut m: HashMap<(u32, u16, u16), u32> = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                m.insert(*k, i as u32);
+            }
+            let mut acc = 0u64;
+            for k in &keys {
+                acc += u64::from(m[k]);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// The paper's core optimization isolated: incremental engine vs. per-k
+/// rebuild, for both fairness measures.
+fn incremental_vs_rebuild(c: &mut Criterion) {
+    let w = student_workload(0, 42);
+    let names = w.attr_names();
+    let refs: Vec<&str> = names.iter().take(11).map(String::as_str).collect();
+    let det = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &refs).unwrap();
+    let cfg = DetectConfig::new(50, 10, 49);
+    let bounds = Bounds::paper_default();
+    let mut group = c.benchmark_group("ablation_incremental");
+    configure(&mut group);
+    group.bench_function("global_rebuild_per_k", |b| {
+        b.iter(|| det.detect_baseline(&cfg, &BiasMeasure::GlobalLower(bounds.clone())))
+    });
+    group.bench_function("global_incremental", |b| {
+        b.iter(|| det.detect_global(&cfg, &bounds))
+    });
+    group.bench_function("global_incremental_fast_steps", |b| {
+        b.iter(|| {
+            rankfair::core::global_bounds_fast_steps(det.index(), det.space(), &cfg, &bounds)
+        })
+    });
+    group.bench_function("prop_rebuild_per_k", |b| {
+        b.iter(|| det.detect_baseline(&cfg, &BiasMeasure::Proportional { alpha: 0.8 }))
+    });
+    group.bench_function("prop_incremental", |b| {
+        b.iter(|| det.detect_proportional(&cfg, 0.8))
+    });
+    group.finish();
+}
+
+criterion_group!(ablations, counting, hashing, incremental_vs_rebuild);
+criterion_main!(ablations);

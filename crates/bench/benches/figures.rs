@@ -1,0 +1,123 @@
+//! Criterion benchmarks — one group per figure of the paper's evaluation.
+//!
+//! These benches measure representative points of each figure's sweep so
+//! `cargo bench` completes in minutes; the full sweeps (every x-axis
+//! value, with timeouts, printed as tables) live in the `experiments`
+//! binary. Workload sizes are the paper's defaults except COMPAS, which
+//! is subsampled to 2,000 rows to keep the baseline affordable under
+//! Criterion's repeated sampling.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rankfair::core::{BiasMeasure, Bounds, DetectConfig, Detector};
+use rankfair::explain::{ExplainConfig, RankSurrogate};
+use rankfair::prelude::{compas_workload, german_workload, student_workload};
+use rankfair_bench::detector_with_attrs;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+}
+
+/// Figures 4 (global) and 5 (proportional): runtime vs #attributes.
+fn fig45_attrs(c: &mut Criterion) {
+    let w = compas_workload(2000, 42);
+    let bounds = Bounds::paper_default();
+    let cfg = DetectConfig::new(50, 10, 49);
+    for (fig, global) in [("fig4_attrs_global", true), ("fig5_attrs_prop", false)] {
+        let mut group = c.benchmark_group(fig);
+        configure(&mut group);
+        for n_attrs in [4usize, 8, 12] {
+            let det = detector_with_attrs(&w, n_attrs);
+            let measure = if global {
+                BiasMeasure::GlobalLower(bounds.clone())
+            } else {
+                BiasMeasure::Proportional { alpha: 0.8 }
+            };
+            group.bench_with_input(BenchmarkId::new("IterTD", n_attrs), &n_attrs, |b, _| {
+                b.iter(|| det.detect_baseline(&cfg, &measure))
+            });
+            group.bench_with_input(BenchmarkId::new("optimized", n_attrs), &n_attrs, |b, _| {
+                b.iter(|| det.detect_optimized(&cfg, &measure))
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Figures 6 (global) and 7 (proportional): runtime vs τs.
+fn fig67_tau(c: &mut Criterion) {
+    let w = student_workload(0, 42);
+    let det = detector_with_attrs(&w, 11);
+    let bounds = Bounds::paper_default();
+    for (fig, global) in [("fig6_tau_global", true), ("fig7_tau_prop", false)] {
+        let mut group = c.benchmark_group(fig);
+        configure(&mut group);
+        for tau in [10usize, 50, 100] {
+            let cfg = DetectConfig::new(tau, 10, 49);
+            let measure = if global {
+                BiasMeasure::GlobalLower(bounds.clone())
+            } else {
+                BiasMeasure::Proportional { alpha: 0.8 }
+            };
+            group.bench_with_input(BenchmarkId::new("IterTD", tau), &tau, |b, _| {
+                b.iter(|| det.detect_baseline(&cfg, &measure))
+            });
+            group.bench_with_input(BenchmarkId::new("optimized", tau), &tau, |b, _| {
+                b.iter(|| det.detect_optimized(&cfg, &measure))
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Figures 8 (global) and 9 (proportional): runtime vs range of k.
+fn fig89_krange(c: &mut Criterion) {
+    let w = german_workload(0, 42);
+    let det = detector_with_attrs(&w, 11);
+    let bounds = Bounds::paper_default();
+    for (fig, global) in [("fig8_krange_global", true), ("fig9_krange_prop", false)] {
+        let mut group = c.benchmark_group(fig);
+        configure(&mut group);
+        for k_max in [50usize, 200, 350] {
+            let cfg = DetectConfig::new(50, 10, k_max);
+            let measure = if global {
+                BiasMeasure::GlobalLower(bounds.clone())
+            } else {
+                BiasMeasure::Proportional { alpha: 0.8 }
+            };
+            group.bench_with_input(BenchmarkId::new("IterTD", k_max), &k_max, |b, _| {
+                b.iter(|| det.detect_baseline(&cfg, &measure))
+            });
+            group.bench_with_input(BenchmarkId::new("optimized", k_max), &k_max, |b, _| {
+                b.iter(|| det.detect_optimized(&cfg, &measure))
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Figure 10: surrogate training and group Shapley attribution.
+fn fig10_shapley(c: &mut Criterion) {
+    let w = student_workload(0, 42);
+    let mut group = c.benchmark_group("fig10_shapley");
+    configure(&mut group);
+    group.bench_function("fit_surrogate", |b| {
+        b.iter(|| RankSurrogate::fit(&w.raw, &w.ranking, &ExplainConfig::fast()))
+    });
+    let surrogate = RankSurrogate::fit(&w.raw, &w.ranking, &ExplainConfig::fast());
+    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let p = det
+        .space()
+        .pattern(&[("Medu", "primary")])
+        .expect("synthetic Medu has a primary level");
+    let members = det.group_members(&p);
+    group.bench_function("explain_group", |b| b.iter(|| surrogate.explain_group(&members)));
+    group.finish();
+}
+
+criterion_group!(figures, fig45_attrs, fig67_tau, fig89_krange, fig10_shapley);
+criterion_main!(figures);

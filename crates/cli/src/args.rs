@@ -1,0 +1,187 @@
+//! Flag parsing for the `rankfair` CLI (a tiny hand-rolled parser — the
+//! workspace stays dependency-light).
+
+use std::collections::BTreeMap;
+
+/// Usage text shown by `rankfair help`.
+pub const USAGE: &str = "\
+rankfair — detection of groups with biased representation in ranking (ICDE 2023)
+
+USAGE:
+  rankfair demo
+      Run the paper's Figure 1 running example end to end.
+
+  rankfair detect --csv FILE --rank-by COL [options]
+      Find the most general groups under-represented in the top-k.
+        --sep CHAR          CSV separator (default ',')
+        --asc               rank ascending (default: descending)
+        --problem global|prop   fairness measure (default global)
+        --lower N           global lower bound L_k (default 10)
+        --alpha X           proportional factor α (default 0.8)
+        --tau N             size threshold τs (default 50)
+        --kmin N --kmax N   k range (default 10..49)
+        --attrs a,b,c       pattern attributes (default: all categorical)
+        --bucketize c=BINS,...  bucketize numeric columns before detection
+        --baseline          use IterTD instead of the optimized algorithm
+        --top N             print at most N groups per k (default 20)
+        --format table|csv  output format (default table)
+
+  rankfair explain --csv FILE --rank-by COL --group \"a=v,b=w\" [options]
+      Shapley-explain why a group ranks where it does.
+        --k N               top-k used for the distribution comparison (default 49)
+        --trees N           forest size (default 30)
+        --samples N         Shapley samples per tuple (default 48)
+
+  rankfair compare --csv FILE --rank-by COL [options]
+      Run the divergence baseline next to the detection algorithms.
+        --k N               top-k (default 10)
+        --support X         minimum support fraction (default 0.13)
+        --attrs a,b,c       subgroup attributes
+";
+
+/// Parsed `--flag value` / `--flag` pairs.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["asc", "baseline"];
+
+/// Parses `--flag [value]` sequences.
+pub fn parse_flags(argv: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = &argv[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument `{arg}`"));
+        };
+        if SWITCHES.contains(&name) {
+            flags.switches.push(name.to_string());
+        } else {
+            i += 1;
+            let value = argv
+                .get(i)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.values.insert(name.to_string(), value.clone());
+        }
+        i += 1;
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    /// String flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    /// Parsed numeric flag with default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Boolean switch.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Comma-separated list flag.
+    pub fn list(&self, name: &str) -> Option<Vec<String>> {
+        self.get(name)
+            .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+    }
+}
+
+/// Parses `attr=value` pairs from `--group "a=v,b=w"`.
+pub fn parse_group(spec: &str) -> Result<Vec<(String, String)>, String> {
+    spec.split(',')
+        .map(|term| {
+            let (a, v) = term
+                .split_once('=')
+                .ok_or_else(|| format!("group term `{term}` must look like attr=value"))?;
+            Ok((a.trim().to_string(), v.trim().to_string()))
+        })
+        .collect()
+}
+
+/// Parses `col=bins` pairs from `--bucketize "age=4,income=3"`.
+pub fn parse_bucketize(spec: &str) -> Result<Vec<(String, usize)>, String> {
+    spec.split(',')
+        .map(|term| {
+            let (c, b) = term
+                .split_once('=')
+                .ok_or_else(|| format!("bucketize term `{term}` must look like col=bins"))?;
+            let bins: usize = b
+                .trim()
+                .parse()
+                .map_err(|_| format!("bucketize `{term}`: `{b}` is not a number"))?;
+            Ok((c.trim().to_string(), bins))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = parse_flags(&argv(&["--csv", "x.csv", "--asc", "--tau", "50"])).unwrap();
+        assert_eq!(f.get("csv"), Some("x.csv"));
+        assert!(f.switch("asc"));
+        assert!(!f.switch("baseline"));
+        assert_eq!(f.num::<usize>("tau", 0).unwrap(), 50);
+        assert_eq!(f.num::<usize>("kmin", 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse_flags(&argv(&["--csv"])).is_err());
+        assert!(parse_flags(&argv(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn require_and_bad_number() {
+        let f = parse_flags(&argv(&["--tau", "abc"])).unwrap();
+        assert!(f.require("csv").is_err());
+        assert!(f.num::<usize>("tau", 0).is_err());
+    }
+
+    #[test]
+    fn list_splits_on_commas() {
+        let f = parse_flags(&argv(&["--attrs", "a, b,c"])).unwrap();
+        assert_eq!(f.list("attrs").unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn group_spec_parses() {
+        let g = parse_group("sex=F, address=R").unwrap();
+        assert_eq!(g[0], ("sex".to_string(), "F".to_string()));
+        assert_eq!(g[1], ("address".to_string(), "R".to_string()));
+        assert!(parse_group("oops").is_err());
+    }
+
+    #[test]
+    fn bucketize_spec_parses() {
+        let b = parse_bucketize("age=4,income=3").unwrap();
+        assert_eq!(b, vec![("age".to_string(), 4), ("income".to_string(), 3)]);
+        assert!(parse_bucketize("age=four").is_err());
+    }
+}

@@ -1,0 +1,409 @@
+//! The CLI subcommands, built directly on the library crates.
+
+use rankfair_core::{render_report, render_report_csv, BiasMeasure, Bounds, DetectConfig, Detector};
+use rankfair_data::bucketize::{bucketize_in_place, BinStrategy};
+use rankfair_data::csv::{read_csv, CsvOptions};
+use rankfair_data::Dataset;
+use rankfair_divergence::{display_items, divergent_subgroups, DivergenceConfig};
+use rankfair_explain::{ExplainConfig, ForestParams, RankSurrogate};
+use rankfair_rank::{AttributeRanker, Ranker, Ranking, SortKey};
+
+use crate::args::{parse_bucketize, parse_group, Flags};
+
+/// Loads the CSV, applies bucketization, and computes the ranking on the
+/// raw data — the shared front half of every subcommand.
+fn load(flags: &Flags) -> Result<(Dataset, Dataset, Ranking), String> {
+    let path = flags.require("csv")?;
+    let sep = flags
+        .get("sep")
+        .map(|s| s.chars().next().unwrap_or(','))
+        .unwrap_or(',');
+    let opts = CsvOptions {
+        separator: sep,
+        ..CsvOptions::default()
+    };
+    let raw = read_csv(path, &opts).map_err(|e| format!("reading {path}: {e}"))?;
+
+    let rank_col = flags.require("rank-by")?;
+    if raw.column_index(rank_col).is_none() {
+        return Err(format!("--rank-by: no column named `{rank_col}`"));
+    }
+    let key = if flags.switch("asc") {
+        SortKey::asc(rank_col)
+    } else {
+        SortKey::desc(rank_col)
+    };
+    let ranking = AttributeRanker::new(vec![key]).rank(&raw);
+
+    let mut detection = raw.clone();
+    if let Some(spec) = flags.get("bucketize") {
+        for (col, bins) in parse_bucketize(spec)? {
+            bucketize_in_place(&mut detection, &col, bins, BinStrategy::EqualWidth)
+                .map_err(|e| format!("bucketizing `{col}`: {e}"))?;
+        }
+    }
+    Ok((raw, detection, ranking))
+}
+
+fn build_detector<'a>(
+    detection: &'a Dataset,
+    ranking: &Ranking,
+    flags: &Flags,
+) -> Result<Detector<'a>, String> {
+    match flags.list("attrs") {
+        Some(attrs) => {
+            let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            Detector::with_ranking_over(detection, ranking.clone(), &refs)
+                .map_err(|e| e.to_string())
+        }
+        None => Detector::with_ranking(detection, ranking.clone()).map_err(|e| e.to_string()),
+    }
+}
+
+/// `rankfair detect`.
+pub fn detect(flags: &Flags) -> Result<(), String> {
+    let (_raw, detection, ranking) = load(flags)?;
+    let det = build_detector(&detection, &ranking, flags)?;
+
+    let tau: usize = flags.num("tau", 50)?;
+    let k_min: usize = flags.num("kmin", 10)?;
+    let k_max: usize = flags.num("kmax", 49)?;
+    if k_min == 0 || k_min > k_max || k_max > detection.n_rows() {
+        return Err(format!(
+            "invalid k range [{k_min}, {k_max}] for {} rows",
+            detection.n_rows()
+        ));
+    }
+    let cfg = DetectConfig::new(tau, k_min, k_max);
+    let measure = match flags.get("problem").unwrap_or("global") {
+        "global" => BiasMeasure::GlobalLower(Bounds::constant(flags.num("lower", 10)?)),
+        "prop" | "proportional" => BiasMeasure::Proportional {
+            alpha: flags.num("alpha", 0.8)?,
+        },
+        other => return Err(format!("--problem must be global or prop, got `{other}`")),
+    };
+
+    let out = if flags.switch("baseline") {
+        det.detect_baseline(&cfg, &measure)
+    } else {
+        det.detect_optimized(&cfg, &measure)
+    };
+    let top: usize = flags.num("top", 20)?;
+    let mut reports = det.report(&out, &measure);
+    for r in &mut reports {
+        r.groups.truncate(top);
+    }
+    match flags.get("format").unwrap_or("table") {
+        "table" => print!("{}", render_report(&reports)),
+        "csv" => print!("{}", render_report_csv(&reports)),
+        other => return Err(format!("--format must be table or csv, got `{other}`")),
+    }
+    eprintln!(
+        "[{} groups over {} k values; {} patterns examined in {:.1?}]",
+        out.total_patterns(),
+        out.per_k.len(),
+        out.stats.patterns_examined(),
+        out.stats.elapsed
+    );
+    Ok(())
+}
+
+/// `rankfair explain`.
+pub fn explain(flags: &Flags) -> Result<(), String> {
+    let (raw, detection, ranking) = load(flags)?;
+    let det = build_detector(&detection, &ranking, flags)?;
+    let pairs = parse_group(flags.require("group")?)?;
+    let refs: Vec<(&str, &str)> = pairs
+        .iter()
+        .map(|(a, v)| (a.as_str(), v.as_str()))
+        .collect();
+    let pattern = det
+        .space()
+        .pattern(&refs)
+        .ok_or("unknown attribute or value in --group")?;
+    let members = det.group_members(&pattern);
+    if members.is_empty() {
+        return Err("the group matches no tuples".into());
+    }
+    let k: usize = flags.num("k", 49.min(detection.n_rows()))?;
+    let (sd, count) = det.index().counts(&pattern, k);
+    println!(
+        "group {} — s_D = {sd}, top-{k} = {count}",
+        det.describe(&pattern)
+    );
+
+    let config = ExplainConfig {
+        forest: ForestParams {
+            n_trees: flags.num("trees", 30)?,
+            ..ForestParams::default()
+        },
+        shapley_samples: flags.num("samples", 48)?,
+        ..ExplainConfig::default()
+    };
+    let surrogate = RankSurrogate::fit(&raw, &ranking, &config);
+    println!("surrogate in-sample R² = {:.3}\n", surrogate.fit_quality());
+    let ex = surrogate.explain_group(&members);
+    println!("aggregated Shapley values (top 6 attributes):");
+    print!("{}", ex.render(6));
+
+    let top_attr = ex.ranked_attributes()[0].0.clone();
+    let topk: Vec<u32> = ranking.top_k(k).to_vec();
+    let cmp = rankfair_explain::distribution::compare_distributions(&raw, &top_attr, &topk, &members);
+    println!("\nvalue distribution of `{top_attr}`:");
+    print!("{}", cmp.render());
+    Ok(())
+}
+
+/// `rankfair compare`.
+pub fn compare(flags: &Flags) -> Result<(), String> {
+    let (_raw, detection, ranking) = load(flags)?;
+    let det = build_detector(&detection, &ranking, flags)?;
+    let k: usize = flags.num("k", 10)?;
+    let tau: usize = flags.num("tau", 50)?;
+    let cfg = DetectConfig::new(tau, k, k);
+
+    let global = det.detect_global(&cfg, &Bounds::constant(flags.num("lower", 10)?));
+    let prop = det.detect_proportional(&cfg, flags.num("alpha", 0.8)?);
+    println!("GlobalBounds ({} groups):", global.per_k[0].patterns.len());
+    for p in &global.per_k[0].patterns {
+        println!("  {}", det.describe(p));
+    }
+    println!("\nPropBounds ({} groups):", prop.per_k[0].patterns.len());
+    for p in &prop.per_k[0].patterns {
+        println!("  {}", det.describe(p));
+    }
+
+    let support: f64 = flags.num("support", 0.13)?;
+    let cols = flags.list("attrs").map(|attrs| {
+        attrs
+            .iter()
+            .filter_map(|a| detection.column_index(a))
+            .collect::<Vec<_>>()
+    });
+    let div = divergent_subgroups(
+        &detection,
+        &ranking,
+        k,
+        &DivergenceConfig {
+            min_support: support,
+            max_len: 0,
+            columns: cols,
+        },
+    );
+    println!(
+        "\nDivergence baseline ({} subgroups, five most negative):",
+        div.len()
+    );
+    for s in div.iter().take(5) {
+        println!(
+            "  {:50} support {:>5}  divergence {:+.3}",
+            display_items(&detection, &s.items),
+            s.support,
+            s.divergence
+        );
+    }
+    Ok(())
+}
+
+/// `rankfair demo` — the Figure 1 running example.
+pub fn demo() -> Result<(), String> {
+    let ds = rankfair_data::examples::students_fig1();
+    let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
+    let det = Detector::new(&ds, &ranker).map_err(|e| e.to_string())?;
+    println!("Figure 1 running example: 16 students, ranking by grade then failures.\n");
+    let cfg = DetectConfig::new(4, 4, 5);
+    let bounds = Bounds::constant(2);
+    let out = det.detect_global(&cfg, &bounds);
+    println!("Global bounds (τs = 4, L = 2):");
+    print!(
+        "{}",
+        render_report(&det.report(&out, &BiasMeasure::GlobalLower(bounds)))
+    );
+    let cfg = DetectConfig::new(5, 4, 5);
+    let out = det.detect_proportional(&cfg, 0.9);
+    println!("\nProportional (τs = 5, α = 0.9):");
+    print!(
+        "{}",
+        render_report(&det.report(&out, &BiasMeasure::Proportional { alpha: 0.9 }))
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_flags;
+
+    fn flags(args: &[&str]) -> Flags {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn student_csv() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rankfair_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("student.csv");
+        let ds = rankfair_synth::student(rankfair_synth::SynthConfig::new(150, 7));
+        rankfair_data::csv::write_csv(&ds, &path, ',').unwrap();
+        path
+    }
+
+    #[test]
+    fn demo_runs() {
+        demo().unwrap();
+    }
+
+    #[test]
+    fn detect_runs_on_csv() {
+        let path = student_csv();
+        let f = flags(&[
+            "--csv",
+            path.to_str().unwrap(),
+            "--rank-by",
+            "G3",
+            "--bucketize",
+            "age=3,absences=4,G1=4,G2=4,G3=4",
+            "--tau",
+            "20",
+            "--kmin",
+            "5",
+            "--kmax",
+            "10",
+            "--lower",
+            "3",
+        ]);
+        detect(&f).unwrap();
+    }
+
+    #[test]
+    fn detect_proportional_with_attr_subset() {
+        let path = student_csv();
+        let f = flags(&[
+            "--csv",
+            path.to_str().unwrap(),
+            "--rank-by",
+            "G3",
+            "--problem",
+            "prop",
+            "--alpha",
+            "0.8",
+            "--tau",
+            "20",
+            "--kmin",
+            "5",
+            "--kmax",
+            "10",
+            "--attrs",
+            "school,sex,address",
+        ]);
+        detect(&f).unwrap();
+    }
+
+    #[test]
+    fn explain_runs_on_csv() {
+        let path = student_csv();
+        let f = flags(&[
+            "--csv",
+            path.to_str().unwrap(),
+            "--rank-by",
+            "G3",
+            "--group",
+            "sex=F",
+            "--k",
+            "20",
+            "--trees",
+            "8",
+            "--samples",
+            "8",
+        ]);
+        explain(&f).unwrap();
+    }
+
+    #[test]
+    fn compare_runs_on_csv() {
+        let path = student_csv();
+        let f = flags(&[
+            "--csv",
+            path.to_str().unwrap(),
+            "--rank-by",
+            "G3",
+            "--k",
+            "10",
+            "--tau",
+            "20",
+            "--support",
+            "0.13",
+            "--attrs",
+            "school,sex,address",
+        ]);
+        compare(&f).unwrap();
+    }
+
+    #[test]
+    fn detect_csv_format() {
+        let path = student_csv();
+        let f = flags(&[
+            "--csv",
+            path.to_str().unwrap(),
+            "--rank-by",
+            "G3",
+            "--bucketize",
+            "G3=4",
+            "--tau",
+            "20",
+            "--kmin",
+            "5",
+            "--kmax",
+            "6",
+            "--lower",
+            "2",
+            "--format",
+            "csv",
+        ]);
+        detect(&f).unwrap();
+        let bad = flags(&["--csv", path.to_str().unwrap(), "--rank-by", "G3", "--format", "xml"]);
+        assert!(detect(&bad).unwrap_err().contains("--format"));
+    }
+
+    #[test]
+    fn missing_csv_flag_is_reported() {
+        let f = flags(&["--rank-by", "G3"]);
+        assert!(detect(&f).unwrap_err().contains("--csv"));
+    }
+
+    #[test]
+    fn unknown_rank_column_is_reported() {
+        let path = student_csv();
+        let f = flags(&["--csv", path.to_str().unwrap(), "--rank-by", "nope"]);
+        assert!(detect(&f).unwrap_err().contains("nope"));
+    }
+
+    #[test]
+    fn bad_k_range_is_reported() {
+        let path = student_csv();
+        let f = flags(&[
+            "--csv",
+            path.to_str().unwrap(),
+            "--rank-by",
+            "G3",
+            "--kmin",
+            "50",
+            "--kmax",
+            "10",
+        ]);
+        assert!(detect(&f).unwrap_err().contains("invalid k range"));
+    }
+
+    #[test]
+    fn unknown_group_value_is_reported() {
+        let path = student_csv();
+        let f = flags(&[
+            "--csv",
+            path.to_str().unwrap(),
+            "--rank-by",
+            "G3",
+            "--group",
+            "sex=Q",
+        ]);
+        assert!(explain(&f).unwrap_err().contains("unknown attribute"));
+    }
+}

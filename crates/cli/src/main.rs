@@ -1,0 +1,46 @@
+//! `rankfair` — detect and explain groups with biased representation in a
+//! ranking, from the command line.
+//!
+//! ```text
+//! rankfair demo
+//! rankfair detect  --csv data.csv --rank-by score --tau 50 --kmin 10 --kmax 49 --lower 10
+//! rankfair detect  --csv data.csv --rank-by score --problem prop --alpha 0.8
+//! rankfair explain --csv data.csv --rank-by score --group "gender=F,address=R" --k 49
+//! rankfair compare --csv data.csv --rank-by score --k 10 --support 0.13
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        print!("{}", args::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let cmd = argv[0].clone();
+    let flags = match args::parse_flags(&argv[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `rankfair help` for usage");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "demo" => commands::demo(),
+        "detect" => commands::detect(&flags),
+        "explain" => commands::explain(&flags),
+        "compare" => commands::compare(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

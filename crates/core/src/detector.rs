@@ -1,0 +1,205 @@
+//! High-level entry point tying dataset, ranking and algorithms together.
+
+use rankfair_data::Dataset;
+use rankfair_rank::{Ranker, Ranking};
+
+use crate::bounds::{BiasMeasure, Bounds};
+use crate::engine::{global_bounds, prop_bounds};
+use crate::pattern::Pattern;
+use crate::report::{summarize, KReport};
+use crate::space::{PatternSpace, RankedIndex, SpaceError};
+use crate::stats::{DetectConfig, DetectionOutput};
+use crate::topdown::iter_td;
+
+/// Convenience facade: builds the pattern space and ranked index once and
+/// exposes the three algorithms plus reporting.
+///
+/// ```
+/// use rankfair_core::{Detector, DetectConfig, BiasMeasure};
+/// use rankfair_data::examples::{students_fig1, fig1_rank_order};
+/// use rankfair_rank::Ranking;
+///
+/// let ds = students_fig1();
+/// let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+/// let det = Detector::with_ranking(&ds, ranking).unwrap();
+/// let out = det.detect_optimized(
+///     &DetectConfig::new(5, 4, 5),
+///     &BiasMeasure::Proportional { alpha: 0.9 },
+/// );
+/// assert_eq!(out.per_k[0].patterns.len(), 3); // Example 4.9
+/// ```
+pub struct Detector<'a> {
+    ds: &'a Dataset,
+    space: PatternSpace,
+    ranking: Ranking,
+    index: RankedIndex,
+}
+
+impl<'a> Detector<'a> {
+    /// Builds a detector by running `ranker` on `ds`; patterns range over
+    /// all categorical columns.
+    pub fn new(ds: &'a Dataset, ranker: &dyn Ranker) -> Result<Self, SpaceError> {
+        Self::with_ranking(ds, ranker.rank(ds))
+    }
+
+    /// Builds a detector from a pre-computed ranking.
+    pub fn with_ranking(ds: &'a Dataset, ranking: Ranking) -> Result<Self, SpaceError> {
+        let space = PatternSpace::from_dataset(ds)?;
+        let index = RankedIndex::build(ds, &space, &ranking);
+        Ok(Detector {
+            ds,
+            space,
+            ranking,
+            index,
+        })
+    }
+
+    /// Builds a detector restricted to the given pattern attributes (by
+    /// column name) — the experiments vary the number of attributes this
+    /// way.
+    pub fn with_ranking_over(
+        ds: &'a Dataset,
+        ranking: Ranking,
+        attrs: &[&str],
+    ) -> Result<Self, SpaceError> {
+        let space = PatternSpace::from_column_names(ds, attrs)?;
+        let index = RankedIndex::build(ds, &space, &ranking);
+        Ok(Detector {
+            ds,
+            space,
+            ranking,
+            index,
+        })
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        self.ds
+    }
+
+    /// The pattern space (attribute order, cardinalities, labels).
+    pub fn space(&self) -> &PatternSpace {
+        &self.space
+    }
+
+    /// The ranking in use.
+    pub fn ranking(&self) -> &Ranking {
+        &self.ranking
+    }
+
+    /// The ranked bitmap index.
+    pub fn index(&self) -> &RankedIndex {
+        &self.index
+    }
+
+    /// Runs the appropriate optimized algorithm for `measure`
+    /// (`GlobalBounds` or `PropBounds`).
+    pub fn detect_optimized(&self, cfg: &DetectConfig, measure: &BiasMeasure) -> DetectionOutput {
+        match measure {
+            BiasMeasure::GlobalLower(b) => global_bounds(&self.index, &self.space, cfg, b),
+            BiasMeasure::Proportional { alpha } => {
+                prop_bounds(&self.index, &self.space, cfg, *alpha)
+            }
+        }
+    }
+
+    /// Runs the `IterTD` baseline.
+    pub fn detect_baseline(&self, cfg: &DetectConfig, measure: &BiasMeasure) -> DetectionOutput {
+        iter_td(&self.index, &self.space, cfg, measure)
+    }
+
+    /// Global-bounds detection (Algorithm 2).
+    pub fn detect_global(&self, cfg: &DetectConfig, bounds: &Bounds) -> DetectionOutput {
+        global_bounds(&self.index, &self.space, cfg, bounds)
+    }
+
+    /// Proportional detection (Algorithm 3).
+    pub fn detect_proportional(&self, cfg: &DetectConfig, alpha: f64) -> DetectionOutput {
+        prop_bounds(&self.index, &self.space, cfg, alpha)
+    }
+
+    /// Renders a pattern with attribute names and value labels.
+    pub fn describe(&self, p: &Pattern) -> String {
+        self.space.display(p)
+    }
+
+    /// Enriches an output into per-`k` reports (sizes, bounds, gaps).
+    pub fn report(&self, out: &DetectionOutput, measure: &BiasMeasure) -> Vec<KReport> {
+        summarize(out, &self.index, &self.space, measure)
+    }
+
+    /// Row ids of the tuples in the detected group (matching `p`).
+    pub fn group_members(&self, p: &Pattern) -> Vec<u32> {
+        (0..self.ds.n_rows() as u32)
+            .filter(|&r| {
+                p.matches(|a| self.ds.code(r as usize, self.space.dataset_col(a)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+    use rankfair_rank::{AttributeRanker, SortKey};
+
+    #[test]
+    fn detector_from_ranker_matches_precomputed_ranking() {
+        let ds = students_fig1();
+        let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
+        let via_ranker = Detector::new(&ds, &ranker).unwrap();
+        let via_order =
+            Detector::with_ranking(&ds, Ranking::from_order(fig1_rank_order()).unwrap()).unwrap();
+        let cfg = DetectConfig::new(4, 4, 5);
+        let m = BiasMeasure::GlobalLower(Bounds::constant(2));
+        assert_eq!(
+            via_ranker.detect_optimized(&cfg, &m).per_k,
+            via_order.detect_optimized(&cfg, &m).per_k
+        );
+    }
+
+    #[test]
+    fn restricted_attribute_set() {
+        let ds = students_fig1();
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let det = Detector::with_ranking_over(&ds, ranking, &["Gender", "School"]).unwrap();
+        assert_eq!(det.space().n_attrs(), 2);
+        let cfg = DetectConfig::new(4, 4, 5);
+        let out = det.detect_global(&cfg, &Bounds::constant(2));
+        for kr in &out.per_k {
+            for p in &kr.patterns {
+                assert!(p.terms().iter().all(|&(a, _)| a < 2));
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_and_optimized_agree_via_facade() {
+        let ds = students_fig1();
+        let det =
+            Detector::with_ranking(&ds, Ranking::from_order(fig1_rank_order()).unwrap()).unwrap();
+        let cfg = DetectConfig::new(2, 3, 12);
+        for m in [
+            BiasMeasure::GlobalLower(Bounds::constant(2)),
+            BiasMeasure::Proportional { alpha: 0.8 },
+        ] {
+            assert_eq!(
+                det.detect_baseline(&cfg, &m).per_k,
+                det.detect_optimized(&cfg, &m).per_k
+            );
+        }
+    }
+
+    #[test]
+    fn group_members_match_pattern() {
+        let ds = students_fig1();
+        let det =
+            Detector::with_ranking(&ds, Ranking::from_order(fig1_rank_order()).unwrap()).unwrap();
+        let p = det.space().pattern(&[("School", "GP")]).unwrap();
+        let members = det.group_members(&p);
+        assert_eq!(members.len(), 8); // Example 2.3
+        assert!(members.contains(&2)); // tuple 3 is GP
+        assert!(!members.contains(&0)); // tuple 1 is MS
+    }
+}

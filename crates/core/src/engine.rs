@@ -1,0 +1,894 @@
+//! The incremental detection engine behind `GlobalBounds` (Algorithm 2)
+//! and `PropBounds` (Algorithm 3).
+//!
+//! Both algorithms exploit the same observation (Proposition 4.3): the
+//! top-`k` and top-`(k+1)` differ by a single tuple `t = R(D)[k+1]`, so the
+//! search state for consecutive `k` values is almost identical. The engine
+//! keeps every pattern it has ever evaluated in a persistent node store and
+//! maintains these invariants between `k` values:
+//!
+//! * **exact counts** — if `t` satisfies a pattern it satisfies the
+//!   pattern’s tree parent, so the set of stored nodes satisfied by `t` is
+//!   a connected subtree of the search tree; a single root walk bumps all
+//!   their counts by one with *no dataset scans*;
+//! * **pure bias** — whether a node is biased is always recomputed from
+//!   `(count, s_D, k)`, never cached, so nodes masked below a biased
+//!   ancestor can never go stale;
+//! * **tracked frontier** — `Res` holds the biased substantial nodes with
+//!   no biased proper subset (the output) and `DRes` the dominated ones,
+//!   exactly the paper’s two sets; when a stopped node un-biases the engine
+//!   resumes the suspended search from that node (the paper’s
+//!   `searchFromNode`), promoting newly undominated `DRes` members;
+//! * **`k̃` schedule** (proportional only) — every non-biased node is
+//!   scheduled at the `k̃` where the growing bound `α·s_D·k/n` would first
+//!   overtake its count; entries are validated lazily when popped, so a
+//!   count bump simply moves the node’s flip to a later pop.
+//!
+//! For the global measure the bound is constant between bound steps and
+//! counts only grow, so nodes can only *leave* the biased state — no
+//! schedule is needed; when `L_k` changes the engine rebuilds from scratch,
+//! exactly as Algorithm 2 does (lines 4–5). The
+//! [`global_bounds_fast_steps`] extension replaces those rebuilds with a
+//! store-wide reclassification pass (zero fresh evaluations); note the
+//! trade-off documented on that function — rebuilds *shrink* the store to
+//! the tighter bound, so the rescan wins only when re-evaluation is the
+//! dominant cost.
+
+use std::collections::VecDeque;
+
+use crate::bounds::{BiasMeasure, Bounds};
+use crate::pattern::Pattern;
+use crate::space::{AttrId, PatternSpace, RankedIndex};
+use crate::stats::{DeadlineGuard, DetectConfig, DetectionOutput, KResult, SearchStats};
+use crate::util::FxHashSet;
+
+const ROOT: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Node {
+    pattern: Pattern,
+    parent: u32,
+    sd: u32,
+    count: u32,
+    expanded: bool,
+    pruned: bool,
+    children: Vec<u32>,
+}
+
+struct Engine<'a> {
+    index: &'a RankedIndex,
+    space: &'a PatternSpace,
+    measure: BiasMeasure,
+    tau_s: usize,
+    n: usize,
+    k_max: usize,
+    nodes: Vec<Node>,
+    /// Level-1 nodes laid out by `card_prefix[attr] + value` — the walk's
+    /// entry points.
+    root_children: Vec<u32>,
+    /// `card_prefix[a] = Σ_{b<a} card(b)`. Children of an expanded node are
+    /// generated in (attribute, value) order, so the child binding
+    /// `(a, v)` sits at `children[card_prefix[a] − card_prefix[ma+1] + v]`
+    /// (where `ma` is the node's max attribute) — child lookup is pure
+    /// arithmetic, no hashing on the hot walk.
+    card_prefix: Vec<u32>,
+    res: FxHashSet<u32>,
+    dres: FxHashSet<u32>,
+    /// `k̃` buckets indexed by `k` (0..=k_max); entries may be stale and are
+    /// re-validated when popped.
+    schedule: Vec<Vec<u32>>,
+    stats: SearchStats,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        index: &'a RankedIndex,
+        space: &'a PatternSpace,
+        measure: BiasMeasure,
+        tau_s: usize,
+        k_max: usize,
+    ) -> Self {
+        let schedule = if measure.is_proportional() {
+            vec![Vec::new(); k_max + 1]
+        } else {
+            Vec::new()
+        };
+        let mut card_prefix = Vec::with_capacity(space.n_attrs() + 1);
+        let mut acc = 0u32;
+        card_prefix.push(0);
+        for a in 0..space.n_attrs() as AttrId {
+            acc += space.card(a) as u32;
+            card_prefix.push(acc);
+        }
+        Engine {
+            index,
+            space,
+            measure,
+            tau_s,
+            n: index.n(),
+            k_max,
+            nodes: Vec::new(),
+            root_children: Vec::new(),
+            card_prefix,
+            res: FxHashSet::default(),
+            dres: FxHashSet::default(),
+            schedule,
+            stats: SearchStats::default(),
+        }
+    }
+
+    #[inline]
+    fn is_biased(&self, id: u32, k: usize) -> bool {
+        let nd = &self.nodes[id as usize];
+        self.measure
+            .is_biased(nd.count as usize, nd.sd as usize, k, self.n)
+    }
+
+    #[inline]
+    fn in_stopped(&self, id: u32) -> bool {
+        self.res.contains(&id) || self.dres.contains(&id)
+    }
+
+    /// Evaluates a fresh pattern (one fused bitmap scan), stores the node,
+    /// registers it in the child index, and gives non-biased nodes their
+    /// initial `k̃` schedule entry.
+    fn eval_new(&mut self, pattern: Pattern, parent: u32, k: usize) -> u32 {
+        let (sd, count) = self.index.counts(&pattern, k);
+        self.stats.nodes_evaluated += 1;
+        let id = self.nodes.len() as u32;
+        let pruned = sd < self.tau_s;
+        self.nodes.push(Node {
+            pattern,
+            parent,
+            sd: sd as u32,
+            count: count as u32,
+            expanded: false,
+            pruned,
+            children: Vec::new(),
+        });
+        if !pruned && !self.is_biased(id, k) {
+            self.schedule_push(id, k);
+        }
+        id
+    }
+
+    /// Pushes a `k̃` entry for a currently non-biased node (proportional
+    /// measure only; no-op otherwise or when the flip falls past `k_max`).
+    fn schedule_push(&mut self, id: u32, k: usize) {
+        if self.schedule.is_empty() {
+            return;
+        }
+        let nd = &self.nodes[id as usize];
+        if let Some(kt) =
+            self.measure
+                .k_tilde(nd.count as usize, nd.sd as usize, k, self.n)
+        {
+            if kt <= self.k_max {
+                self.schedule[kt].push(id);
+            }
+        }
+    }
+
+    /// Generates all search-tree children of `id` (Definition 4.1),
+    /// evaluating each fresh. Idempotent.
+    fn expand(&mut self, id: u32, k: usize) {
+        if self.nodes[id as usize].expanded {
+            return;
+        }
+        let (start, pattern) = {
+            let nd = &self.nodes[id as usize];
+            (nd.pattern.max_attr().map_or(0, |a| a + 1), nd.pattern.clone())
+        };
+        let m = self.space.n_attrs() as AttrId;
+        let mut children = Vec::new();
+        for a in start..m {
+            for v in 0..self.space.card(a) as u16 {
+                children.push(self.eval_new(pattern.child(a, v), id, k));
+            }
+        }
+        let nd = &mut self.nodes[id as usize];
+        nd.children = children;
+        nd.expanded = true;
+    }
+
+    /// Inserts a newly biased node into `Res`/`DRes`, demoting any `Res`
+    /// members it dominates. Idempotent.
+    fn add_stopped(&mut self, id: u32) {
+        if self.in_stopped(id) {
+            return;
+        }
+        let p = &self.nodes[id as usize].pattern;
+        let dominated = self
+            .res
+            .iter()
+            .any(|&r| self.nodes[r as usize].pattern.is_subset_of(p));
+        if dominated {
+            self.dres.insert(id);
+        } else {
+            let demote: Vec<u32> = self
+                .res
+                .iter()
+                .copied()
+                .filter(|&r| p.is_proper_subset_of(&self.nodes[r as usize].pattern))
+                .collect();
+            for r in demote {
+                self.res.remove(&r);
+                self.dres.insert(r);
+            }
+            self.res.insert(id);
+        }
+    }
+
+    /// Removes a node that stopped being biased, promoting `DRes` members
+    /// it was the last `Res` dominator of. Promotion candidates are
+    /// processed most-general-first so a promoted pattern immediately
+    /// dominates its own supersets.
+    fn remove_stopped(&mut self, id: u32, k: usize) {
+        if self.res.remove(&id) {
+            let p = self.nodes[id as usize].pattern.clone();
+            let mut cands: Vec<u32> = self
+                .dres
+                .iter()
+                .copied()
+                .filter(|&d| p.is_proper_subset_of(&self.nodes[d as usize].pattern))
+                .collect();
+            cands.sort_by_key(|&d| {
+                (self.nodes[d as usize].pattern.len(), d)
+            });
+            for d in cands {
+                // A candidate that flipped non-biased in this same round is
+                // left for its own pending transition event.
+                if !self.is_biased(d, k) {
+                    continue;
+                }
+                let dp = &self.nodes[d as usize].pattern;
+                let still_dominated = self
+                    .res
+                    .iter()
+                    .any(|&r| self.nodes[r as usize].pattern.is_subset_of(dp));
+                if !still_dominated {
+                    self.dres.remove(&d);
+                    self.res.insert(d);
+                }
+            }
+        } else {
+            self.dres.remove(&id);
+        }
+    }
+
+    /// Whether all tree ancestors of `id` are currently non-biased (the
+    /// node is on the live search frontier rather than masked below a
+    /// biased ancestor).
+    fn tree_minimal(&self, id: u32, k: usize) -> bool {
+        let mut cur = self.nodes[id as usize].parent;
+        while cur != ROOT {
+            if self.is_biased(cur, k) {
+                return false;
+            }
+            cur = self.nodes[cur as usize].parent;
+        }
+        true
+    }
+
+    /// The paper’s `searchFromNode`: resumes the suspended search below a
+    /// node that just stopped being biased, expanding any frontier not yet
+    /// generated and stopping at (and registering) biased descendants.
+    fn resume_subtree(&mut self, id: u32, k: usize, guard: &mut DeadlineGuard) -> bool {
+        let mut stack = vec![id];
+        while let Some(nid) = stack.pop() {
+            if guard.expired() {
+                return false;
+            }
+            self.expand(nid, k);
+            let children = self.nodes[nid as usize].children.clone();
+            for c in children {
+                if self.nodes[c as usize].pruned {
+                    continue;
+                }
+                if self.is_biased(c, k) {
+                    self.add_stopped(c);
+                } else {
+                    stack.push(c);
+                }
+            }
+        }
+        true
+    }
+
+    /// Full top-down build at `k` (used for `k_min` and for global-bound
+    /// steps). Breadth-first so dominance sees subsets before supersets.
+    fn build(&mut self, k: usize, guard: &mut DeadlineGuard) -> bool {
+        self.stats.full_searches += 1;
+        let m = self.space.n_attrs() as AttrId;
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for a in 0..m {
+            for v in 0..self.space.card(a) as u16 {
+                let id = self.eval_new(Pattern::single(a, v), ROOT, k);
+                self.root_children.push(id);
+                queue.push_back(id);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            if guard.expired() {
+                return false;
+            }
+            if self.nodes[id as usize].pruned {
+                continue;
+            }
+            if self.is_biased(id, k) {
+                self.add_stopped(id);
+            } else {
+                self.expand(id, k);
+                for &c in &self.nodes[id as usize].children {
+                    queue.push_back(c);
+                }
+            }
+        }
+        true
+    }
+
+    /// Clears all state for a fresh build (global-bound steps).
+    fn reset(&mut self) {
+        self.nodes.clear();
+        self.root_children.clear();
+        self.res.clear();
+        self.dres.clear();
+        for bucket in &mut self.schedule {
+            bucket.clear();
+        }
+    }
+
+    /// Phase 1 of an incremental step: bump the count of every stored node
+    /// the newly ranked tuple satisfies (a connected subtree reachable from
+    /// the root), collecting nodes whose bias classification may flip.
+    fn walk_counts(&mut self, k: usize, cands: &mut FxHashSet<u32>) {
+        let t_pos = k - 1;
+        let m = self.space.n_attrs() as AttrId;
+        let mut stack: Vec<u32> = Vec::new();
+        for a in 0..m {
+            let v = self.index.code_at(t_pos, a);
+            let idx = self.card_prefix[usize::from(a)] as usize + usize::from(v);
+            stack.push(self.root_children[idx]);
+        }
+        while let Some(id) = stack.pop() {
+            let pruned = self.nodes[id as usize].pruned;
+            if pruned {
+                continue; // counts of pruned leaves are never read
+            }
+            self.nodes[id as usize].count += 1;
+            self.stats.nodes_touched += 1;
+            if self.is_biased(id, k) != self.in_stopped(id) {
+                cands.insert(id);
+            }
+            if self.nodes[id as usize].expanded {
+                let start = self.nodes[id as usize]
+                    .pattern
+                    .max_attr()
+                    .map_or(0, |a| a + 1);
+                let base = self.card_prefix[usize::from(start)];
+                for a in start..m {
+                    let v = self.index.code_at(t_pos, a);
+                    let idx = (self.card_prefix[usize::from(a)] - base) as usize + usize::from(v);
+                    stack.push(self.nodes[id as usize].children[idx]);
+                }
+            }
+        }
+    }
+
+    /// Phase 2 (proportional only): drain the `k̃` bucket for `k`. Stale
+    /// entries (count grew since scheduling) are re-inserted at their
+    /// recomputed `k̃`; genuine flips join the transition candidates.
+    fn pop_schedule(&mut self, k: usize, cands: &mut FxHashSet<u32>) {
+        if self.schedule.is_empty() {
+            return;
+        }
+        let bucket = std::mem::take(&mut self.schedule[k]);
+        for id in bucket {
+            self.stats.schedule_pops += 1;
+            if self.nodes[id as usize].pruned {
+                continue;
+            }
+            let biased = self.is_biased(id, k);
+            if biased != self.in_stopped(id) {
+                cands.insert(id);
+            }
+            if !biased {
+                self.schedule_push(id, k);
+            }
+        }
+    }
+
+    /// Phase 3: apply bias transitions, most-general patterns first.
+    fn apply_transitions(
+        &mut self,
+        k: usize,
+        cands: FxHashSet<u32>,
+        guard: &mut DeadlineGuard,
+    ) -> bool {
+        let mut ids: Vec<u32> = cands.into_iter().collect();
+        ids.sort_by_key(|&id| (self.nodes[id as usize].pattern.len(), id));
+        for id in ids {
+            let before = self.in_stopped(id);
+            let after = self.is_biased(id, k);
+            if before && !after {
+                self.remove_stopped(id, k);
+                self.schedule_push(id, k);
+                if !self.nodes[id as usize].pruned
+                    && self.tree_minimal(id, k)
+                    && !self.resume_subtree(id, k, guard)
+                {
+                    return false;
+                }
+            } else if !before && after && !self.nodes[id as usize].pruned {
+                self.add_stopped(id);
+            }
+        }
+        true
+    }
+
+    /// Extension beyond the paper: handles an *increase* of the global
+    /// lower bound without the full rebuild Algorithm 2 performs.
+    ///
+    /// When `L` grows, nodes can only *enter* the biased state, and every
+    /// most general biased pattern under the new bound is already stored
+    /// (its tree ancestors are non-biased under the new bound, hence were
+    /// non-biased — and therefore expanded — under every earlier, smaller
+    /// bound). A single pass over the node store reclassifies without a
+    /// single fresh pattern evaluation.
+    fn rescan_all(&mut self, k: usize, cands: &mut FxHashSet<u32>) {
+        for id in 0..self.nodes.len() as u32 {
+            if self.nodes[id as usize].pruned {
+                continue;
+            }
+            self.stats.nodes_touched += 1;
+            if self.is_biased(id, k) != self.in_stopped(id) {
+                cands.insert(id);
+            }
+        }
+    }
+
+    /// The current `Res` as sorted patterns.
+    fn snapshot(&self, k: usize) -> KResult {
+        let mut patterns: Vec<Pattern> = self
+            .res
+            .iter()
+            .map(|&id| self.nodes[id as usize].pattern.clone())
+            .collect();
+        patterns.sort_unstable();
+        KResult { k, patterns }
+    }
+
+    fn run(
+        mut self,
+        cfg: &DetectConfig,
+        bounds_for_steps: Option<&Bounds>,
+        fast_steps: bool,
+    ) -> DetectionOutput {
+        let mut guard = DeadlineGuard::new(cfg.deadline);
+        let mut per_k = Vec::with_capacity(cfg.range_len());
+        let mut ok = self.build(cfg.k_min, &mut guard);
+        if ok {
+            per_k.push(self.snapshot(cfg.k_min));
+            for k in cfg.k_min + 1..=cfg.k_max {
+                let step_ok = match bounds_for_steps {
+                    // A bound *increase* with the extension enabled: walk
+                    // the new tuple, then reclassify the whole store.
+                    Some(b) if fast_steps && b.at(k) > b.at(k - 1) => {
+                        let mut cands = FxHashSet::default();
+                        self.walk_counts(k, &mut cands);
+                        self.rescan_all(k, &mut cands);
+                        self.apply_transitions(k, cands, &mut guard)
+                    }
+                    // Algorithm 2, lines 4–5: a bound change invalidates the
+                    // incremental frontier — run a fresh search. (Also the
+                    // fallback for decreasing bounds, where the rescan
+                    // argument does not apply.)
+                    Some(b) if b.at(k) != b.at(k - 1) => {
+                        self.reset();
+                        self.build(k, &mut guard)
+                    }
+                    _ => {
+                        let mut cands = FxHashSet::default();
+                        self.walk_counts(k, &mut cands);
+                        self.pop_schedule(k, &mut cands);
+                        self.apply_transitions(k, cands, &mut guard)
+                    }
+                };
+                if !step_ok {
+                    ok = false;
+                    break;
+                }
+                per_k.push(self.snapshot(k));
+            }
+        }
+        self.stats.timed_out = !ok;
+        self.stats.elapsed = guard.elapsed();
+        DetectionOutput {
+            per_k,
+            stats: self.stats,
+        }
+    }
+}
+
+fn check_range(index: &RankedIndex, cfg: &DetectConfig) {
+    assert!(
+        cfg.k_max <= index.n(),
+        "k_max ({}) exceeds the number of ranked tuples ({})",
+        cfg.k_max,
+        index.n()
+    );
+}
+
+/// A lazy, resumable detection run: yields the [`KResult`] for each `k`
+/// in `[k_min, k_max]` on demand, maintaining the incremental engine
+/// between calls.
+///
+/// Useful when a consumer inspects results `k` by `k` (an interactive
+/// audit UI, or an early-exit search for the first `k` with a biased
+/// group) — later `k` values are never computed unless requested, and the
+/// incremental state is reused exactly as in the batch algorithms.
+///
+/// ```
+/// use rankfair_core::{DetectionStream, Bounds, DetectConfig, PatternSpace, RankedIndex};
+/// use rankfair_data::examples::{students_fig1, fig1_rank_order};
+/// use rankfair_rank::Ranking;
+///
+/// let ds = students_fig1();
+/// let space = PatternSpace::from_dataset(&ds).unwrap();
+/// let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+/// let index = RankedIndex::build(&ds, &space, &ranking);
+/// let cfg = DetectConfig::new(4, 4, 16);
+/// let mut stream = DetectionStream::global(&index, &space, &cfg, &Bounds::constant(2));
+/// let first = stream.next().unwrap();
+/// assert_eq!(first.k, 4); // later k values not yet computed
+/// ```
+pub struct DetectionStream<'a> {
+    engine: Engine<'a>,
+    cfg: DetectConfig,
+    bounds_for_steps: Option<Bounds>,
+    fast_steps: bool,
+    guard: DeadlineGuard,
+    next_k: usize,
+    failed: bool,
+}
+
+impl<'a> DetectionStream<'a> {
+    /// Streaming `GlobalBounds` (with the fast bound-step extension).
+    pub fn global(
+        index: &'a RankedIndex,
+        space: &'a PatternSpace,
+        cfg: &DetectConfig,
+        bounds: &Bounds,
+    ) -> Self {
+        check_range(index, cfg);
+        let measure = BiasMeasure::GlobalLower(bounds.clone());
+        DetectionStream {
+            engine: Engine::new(index, space, measure, cfg.tau_s, cfg.k_max),
+            cfg: cfg.clone(),
+            bounds_for_steps: Some(bounds.clone()),
+            fast_steps: true,
+            guard: DeadlineGuard::new(cfg.deadline),
+            next_k: cfg.k_min,
+            failed: false,
+        }
+    }
+
+    /// Streaming `PropBounds`.
+    pub fn proportional(
+        index: &'a RankedIndex,
+        space: &'a PatternSpace,
+        cfg: &DetectConfig,
+        alpha: f64,
+    ) -> Self {
+        check_range(index, cfg);
+        assert!(alpha > 0.0, "alpha must be positive");
+        let measure = BiasMeasure::Proportional { alpha };
+        DetectionStream {
+            engine: Engine::new(index, space, measure, cfg.tau_s, cfg.k_max),
+            cfg: cfg.clone(),
+            bounds_for_steps: None,
+            fast_steps: false,
+            guard: DeadlineGuard::new(cfg.deadline),
+            next_k: cfg.k_min,
+            failed: false,
+        }
+    }
+
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> &SearchStats {
+        &self.engine.stats
+    }
+
+    /// Whether the stream stopped early because the deadline fired.
+    pub fn timed_out(&self) -> bool {
+        self.failed
+    }
+}
+
+impl Iterator for DetectionStream<'_> {
+    type Item = KResult;
+
+    fn next(&mut self) -> Option<KResult> {
+        if self.failed || self.next_k > self.cfg.k_max {
+            return None;
+        }
+        let k = self.next_k;
+        let ok = if k == self.cfg.k_min {
+            self.engine.build(k, &mut self.guard)
+        } else {
+            match &self.bounds_for_steps {
+                Some(b) if self.fast_steps && b.at(k) > b.at(k - 1) => {
+                    let mut cands = FxHashSet::default();
+                    self.engine.walk_counts(k, &mut cands);
+                    self.engine.rescan_all(k, &mut cands);
+                    self.engine.apply_transitions(k, cands, &mut self.guard)
+                }
+                Some(b) if b.at(k) != b.at(k - 1) => {
+                    self.engine.reset();
+                    self.engine.build(k, &mut self.guard)
+                }
+                _ => {
+                    let mut cands = FxHashSet::default();
+                    self.engine.walk_counts(k, &mut cands);
+                    self.engine.pop_schedule(k, &mut cands);
+                    self.engine.apply_transitions(k, cands, &mut self.guard)
+                }
+            }
+        };
+        if !ok {
+            self.failed = true;
+            return None;
+        }
+        self.next_k += 1;
+        Some(self.engine.snapshot(k))
+    }
+}
+
+/// `GlobalBounds` (Algorithm 2): detection of groups with biased
+/// representation under global lower bounds, incremental across the `k`
+/// range.
+pub fn global_bounds(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    cfg: &DetectConfig,
+    bounds: &Bounds,
+) -> DetectionOutput {
+    check_range(index, cfg);
+    let measure = BiasMeasure::GlobalLower(bounds.clone());
+    let engine = Engine::new(index, space, measure, cfg.tau_s, cfg.k_max);
+    engine.run(cfg, Some(bounds), false)
+}
+
+/// `GlobalBounds` with the bound-step extension: instead of re-running a
+/// full top-down search whenever `L_k` increases (Algorithm 2, lines 4–5),
+/// the persistent node store is reclassified in one pass with **zero**
+/// fresh pattern evaluations. Returns exactly the same results as
+/// [`global_bounds`]. Decreasing bounds still fall back to a fresh search.
+///
+/// Trade-off (measured in the `ablations` bench and `experiments
+/// faststeps`): skipping rebuilds saves every re-evaluation, but a rebuild
+/// under a *larger* bound also produces a smaller node store (more nodes
+/// are biased, so expansion stops earlier), which makes all subsequent
+/// per-k walks cheaper. On workloads whose per-step searches are small the
+/// rescan variant can therefore lose wall-clock despite doing strictly
+/// less counting work — prefer [`global_bounds`] unless pattern evaluation
+/// (not store traversal) dominates, e.g. very large datasets.
+pub fn global_bounds_fast_steps(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    cfg: &DetectConfig,
+    bounds: &Bounds,
+) -> DetectionOutput {
+    check_range(index, cfg);
+    let measure = BiasMeasure::GlobalLower(bounds.clone());
+    let engine = Engine::new(index, space, measure, cfg.tau_s, cfg.k_max);
+    engine.run(cfg, Some(bounds), true)
+}
+
+/// `PropBounds` (Algorithm 3): detection of groups with biased
+/// proportional representation, incremental across the `k` range with
+/// `k̃` scheduling.
+pub fn prop_bounds(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    cfg: &DetectConfig,
+    alpha: f64,
+) -> DetectionOutput {
+    check_range(index, cfg);
+    assert!(alpha > 0.0, "alpha must be positive");
+    let measure = BiasMeasure::Proportional { alpha };
+    let engine = Engine::new(index, space, measure, cfg.tau_s, cfg.k_max);
+    engine.run(cfg, None, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topdown::iter_td;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+    use rankfair_rank::Ranking;
+
+    fn fig1() -> (PatternSpace, RankedIndex) {
+        let ds = students_fig1();
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        (space, index)
+    }
+
+    fn names(space: &PatternSpace, pats: &[Pattern]) -> Vec<String> {
+        pats.iter().map(|p| space.display(p)).collect()
+    }
+
+    #[test]
+    fn example_4_6_global_bounds_k4_to_k5() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(4, 4, 5);
+        let out = global_bounds(&index, &space, &cfg, &Bounds::constant(2));
+        assert_eq!(out.per_k.len(), 2);
+        let k4 = names(&space, &out.per_k[0].patterns);
+        assert!(k4.contains(&"{Address=U}".to_string()));
+        assert!(k4.contains(&"{Failures=1}".to_string()));
+        let k5 = names(&space, &out.per_k[1].patterns);
+        for e in [
+            "{School=GP}",
+            "{Failures=2}",
+            "{Address=U, Failures=1}",
+            "{Gender=F, Address=U}",
+            "{Gender=M, Address=U}",
+            "{Gender=F, Failures=1}",
+            "{Address=R, Failures=1}",
+            "{Gender=F, School=MS}",
+            "{Gender=F, Address=R}",
+        ] {
+            assert!(k5.contains(&e.to_string()), "missing {e} in {k5:?}");
+        }
+        assert_eq!(k5.len(), 9);
+    }
+
+    #[test]
+    fn example_4_9_prop_bounds_k4_to_k5() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(5, 4, 5);
+        let out = prop_bounds(&index, &space, &cfg, 0.9);
+        let k4 = names(&space, &out.per_k[0].patterns);
+        assert_eq!(k4, vec!["{School=GP}", "{Address=U}", "{Failures=1}"]);
+        let k5 = names(&space, &out.per_k[1].patterns);
+        assert!(k5.contains(&"{Gender=F}".to_string()));
+        assert_eq!(k5.len(), 4);
+    }
+
+    #[test]
+    fn global_bounds_matches_iter_td_on_fig1_sweep() {
+        let (space, index) = fig1();
+        for tau in [1, 2, 4, 6] {
+            for l in [1, 2, 3, 5] {
+                let cfg = DetectConfig::new(tau, 2, 16);
+                let bounds = Bounds::constant(l);
+                let measure = BiasMeasure::GlobalLower(bounds.clone());
+                let base = iter_td(&index, &space, &cfg, &measure);
+                let opt = global_bounds(&index, &space, &cfg, &bounds);
+                assert_eq!(base.per_k, opt.per_k, "tau={tau} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn global_bounds_with_steps_matches_iter_td() {
+        let (space, index) = fig1();
+        let bounds = Bounds::steps(vec![(2, 1), (6, 2), (10, 3)]);
+        let cfg = DetectConfig::new(2, 2, 16);
+        let measure = BiasMeasure::GlobalLower(bounds.clone());
+        let base = iter_td(&index, &space, &cfg, &measure);
+        let opt = global_bounds(&index, &space, &cfg, &bounds);
+        assert_eq!(base.per_k, opt.per_k);
+        // One initial build plus one rebuild per bound step inside (2,16].
+        assert_eq!(opt.stats.full_searches, 3);
+    }
+
+    #[test]
+    fn prop_bounds_matches_iter_td_on_fig1_sweep() {
+        let (space, index) = fig1();
+        for tau in [1, 2, 4, 6] {
+            for alpha in [0.3, 0.5, 0.8, 0.9, 1.0, 1.2] {
+                let cfg = DetectConfig::new(tau, 2, 16);
+                let measure = BiasMeasure::Proportional { alpha };
+                let base = iter_td(&index, &space, &cfg, &measure);
+                let opt = prop_bounds(&index, &space, &cfg, alpha);
+                assert_eq!(base.per_k, opt.per_k, "tau={tau} alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_examines_fewer_patterns_than_baseline() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 16);
+        let bounds = Bounds::constant(2);
+        let measure = BiasMeasure::GlobalLower(bounds.clone());
+        let base = iter_td(&index, &space, &cfg, &measure);
+        let opt = global_bounds(&index, &space, &cfg, &bounds);
+        assert!(
+            opt.stats.patterns_examined() < base.stats.patterns_examined(),
+            "optimized {} >= baseline {}",
+            opt.stats.patterns_examined(),
+            base.stats.patterns_examined()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k_max")]
+    fn k_max_beyond_dataset_rejected() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 17);
+        global_bounds(&index, &space, &cfg, &Bounds::constant(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn nonpositive_alpha_rejected() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 5);
+        prop_bounds(&index, &space, &cfg, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+    use rankfair_rank::Ranking;
+
+    fn fig1() -> (PatternSpace, RankedIndex) {
+        let ds = students_fig1();
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        (space, index)
+    }
+
+    #[test]
+    fn stream_collect_equals_batch_global() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 16);
+        let bounds = Bounds::steps(vec![(2, 1), (6, 2), (10, 3)]);
+        let batch = global_bounds(&index, &space, &cfg, &bounds);
+        let streamed: Vec<KResult> =
+            DetectionStream::global(&index, &space, &cfg, &bounds).collect();
+        assert_eq!(batch.per_k, streamed);
+    }
+
+    #[test]
+    fn stream_collect_equals_batch_proportional() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 3, 16);
+        let batch = prop_bounds(&index, &space, &cfg, 0.8);
+        let streamed: Vec<KResult> =
+            DetectionStream::proportional(&index, &space, &cfg, 0.8).collect();
+        assert_eq!(batch.per_k, streamed);
+    }
+
+    #[test]
+    fn stream_is_lazy() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 16);
+        let mut stream = DetectionStream::proportional(&index, &space, &cfg, 0.8);
+        let first = stream.next().unwrap();
+        assert_eq!(first.k, 2);
+        let after_one = stream.stats().nodes_evaluated;
+        let _rest: Vec<KResult> = stream.by_ref().collect();
+        assert!(stream.stats().nodes_evaluated >= after_one);
+        assert!(!stream.timed_out());
+    }
+
+    #[test]
+    fn stream_can_stop_early() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 16);
+        let ks: Vec<usize> = DetectionStream::global(&index, &space, &cfg, &Bounds::constant(2))
+            .take(3)
+            .map(|kr| kr.k)
+            .collect();
+        assert_eq!(ks, vec![2, 3, 4]);
+    }
+}

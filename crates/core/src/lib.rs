@@ -1,0 +1,82 @@
+//! Detection of groups with biased representation in ranking.
+//!
+//! This crate implements the core contribution of *“Detection of Groups
+//! with Biased Representation in Ranking”* (Li, Moskovitch, Jagadish —
+//! ICDE 2023): given a dataset, a black-box ranking and a range of `k`
+//! values, find **all most general patterns** (conjunctions of
+//! attribute=value terms describing groups) whose representation among the
+//! top-`k` ranked tuples is biased, for every `k` in the range — without
+//! pre-defining protected groups.
+//!
+//! Two fairness measures are supported (the paper’s Problems 3.1 and 3.2):
+//!
+//! * **global bounds** — a group is biased at `k` when its count in the
+//!   top-`k` falls below a user-given lower bound `L_k`
+//!   ([`BiasMeasure::GlobalLower`]);
+//! * **proportional representation** — a group is biased at `k` when its
+//!   count falls below `α · s_D(p) · k / |D|`
+//!   ([`BiasMeasure::Proportional`]).
+//!
+//! Three algorithms compute the result:
+//!
+//! * [`iter_td`] — the paper’s baseline `IterTD`: one full top-down search
+//!   of the pattern graph per `k` (Algorithm 1 applied iteratively);
+//! * [`global_bounds`] — Algorithm 2: reuses the search frontier between
+//!   consecutive `k` values, re-examining only patterns the newly added
+//!   tuple satisfies;
+//! * [`prop_bounds`] — Algorithm 3: additionally schedules each non-biased
+//!   pattern at the future `k̃` where the growing proportional bound would
+//!   first overtake its count.
+//!
+//! All three provably return the same result set; the test suite checks
+//! them against each other and against a brute-force [`oracle`] on
+//! thousands of randomized instances, and pins the paper’s worked Examples
+//! 2.3–4.9 as unit tests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rankfair_core::{Detector, DetectConfig, BiasMeasure, Bounds};
+//! use rankfair_data::examples::{students_fig1, fig1_rank_order};
+//! use rankfair_rank::Ranking;
+//!
+//! let ds = students_fig1();
+//! let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+//! let detector = Detector::with_ranking(&ds, ranking).unwrap();
+//! let cfg = DetectConfig::new(4, 4, 5); // τs = 4, k ∈ [4, 5]
+//! let out = detector.detect_optimized(&cfg, &BiasMeasure::GlobalLower(Bounds::constant(2)));
+//! // At k = 4, {School=GP}, {Address=U}, {Failures=1} and {Failures=2} are
+//! // under-represented (Example 4.6 of the paper).
+//! let k4: Vec<String> = out.per_k[0]
+//!     .patterns
+//!     .iter()
+//!     .map(|p| detector.describe(p))
+//!     .collect();
+//! assert!(k4.contains(&"{Address=U}".to_string()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod detector;
+mod engine;
+pub mod oracle;
+mod pattern;
+mod report;
+mod space;
+mod stats;
+mod suggest;
+mod topdown;
+pub mod upper;
+pub mod util;
+
+pub use bounds::{BiasMeasure, Bounds};
+pub use detector::Detector;
+pub use engine::{global_bounds, global_bounds_fast_steps, prop_bounds, DetectionStream};
+pub use pattern::Pattern;
+pub use report::{render_report, render_report_csv, summarize, BiasedGroup, KReport};
+pub use space::{AttrId, PatternSpace, RankedIndex, SpaceError};
+pub use stats::{DetectConfig, DetectionOutput, KResult, SearchStats};
+pub use suggest::suggest_tau;
+pub use topdown::{iter_td, top_down_single_k};

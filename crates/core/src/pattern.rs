@@ -1,0 +1,208 @@
+use crate::space::AttrId;
+use rankfair_data::ValueCode;
+
+/// A *pattern* (Definition 2.2 of the paper): a value assignment to a
+/// subset of the categorical attributes, e.g. `{School=GP, Address=U}`.
+///
+/// Terms are stored sorted by attribute index, which makes structural
+/// operations (subset tests, tree-parent extraction, canonical ordering)
+/// cheap and gives every pattern a unique representation suitable for use
+/// as a hash-map key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pattern {
+    terms: Vec<(AttrId, ValueCode)>,
+}
+
+impl Pattern {
+    /// The most general (empty) pattern — matched by every tuple. Never
+    /// reported by the algorithms (the search starts from its children),
+    /// but useful as the search-tree root.
+    pub fn empty() -> Self {
+        Pattern { terms: Vec::new() }
+    }
+
+    /// Builds a pattern from terms in any order.
+    ///
+    /// Returns `None` if two terms bind the same attribute.
+    pub fn from_terms(mut terms: Vec<(AttrId, ValueCode)>) -> Option<Self> {
+        terms.sort_unstable();
+        if terms.windows(2).any(|w| w[0].0 == w[1].0) {
+            return None;
+        }
+        Some(Pattern { terms })
+    }
+
+    /// A single-term pattern.
+    pub fn single(attr: AttrId, value: ValueCode) -> Self {
+        Pattern {
+            terms: vec![(attr, value)],
+        }
+    }
+
+    /// The sorted terms.
+    pub fn terms(&self) -> &[(AttrId, ValueCode)] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether this is the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Largest attribute index bound by the pattern (`idx(Attr(p))` in
+    /// Definition 4.1), or `None` for the empty pattern.
+    pub fn max_attr(&self) -> Option<AttrId> {
+        self.terms.last().map(|&(a, _)| a)
+    }
+
+    /// The value this pattern binds for `attr`, if any.
+    pub fn value_of(&self, attr: AttrId) -> Option<ValueCode> {
+        self.terms
+            .binary_search_by_key(&attr, |&(a, _)| a)
+            .ok()
+            .map(|i| self.terms[i].1)
+    }
+
+    /// Extends the pattern with one term whose attribute index exceeds
+    /// `max_attr` — the search-tree child relation of Definition 4.1.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `attr` does not exceed `max_attr`.
+    pub fn child(&self, attr: AttrId, value: ValueCode) -> Pattern {
+        debug_assert!(self.max_attr().is_none_or(|m| attr > m));
+        let mut terms = Vec::with_capacity(self.terms.len() + 1);
+        terms.extend_from_slice(&self.terms);
+        terms.push((attr, value));
+        Pattern { terms }
+    }
+
+    /// The unique search-tree parent: the pattern without its
+    /// largest-index term. Returns `None` for the empty pattern.
+    pub fn tree_parent(&self) -> Option<Pattern> {
+        if self.terms.is_empty() {
+            return None;
+        }
+        Some(Pattern {
+            terms: self.terms[..self.terms.len() - 1].to_vec(),
+        })
+    }
+
+    /// Whether `self ⊆ other` in the pattern-graph sense: every term of
+    /// `self` appears in `other`.
+    pub fn is_subset_of(&self, other: &Pattern) -> bool {
+        if self.terms.len() > other.terms.len() {
+            return false;
+        }
+        // Both sides sorted: linear merge.
+        let mut it = other.terms.iter();
+        'outer: for t in &self.terms {
+            for o in it.by_ref() {
+                match o.0.cmp(&t.0) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => {
+                        if o.1 == t.1 {
+                            continue 'outer;
+                        }
+                        return false;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether `self ⊊ other`.
+    pub fn is_proper_subset_of(&self, other: &Pattern) -> bool {
+        self.terms.len() < other.terms.len() && self.is_subset_of(other)
+    }
+
+    /// Whether a tuple, given as a closure from attribute index to value
+    /// code, satisfies the pattern.
+    pub fn matches(&self, code_of: impl Fn(AttrId) -> ValueCode) -> bool {
+        self.terms.iter().all(|&(a, v)| code_of(a) == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(terms: &[(u16, u16)]) -> Pattern {
+        Pattern::from_terms(terms.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn from_terms_sorts_and_rejects_duplicates() {
+        let a = p(&[(2, 1), (0, 3)]);
+        assert_eq!(a.terms(), &[(0, 3), (2, 1)]);
+        assert!(Pattern::from_terms(vec![(1, 0), (1, 1)]).is_none());
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = p(&[(1, 5)]);
+        let big = p(&[(0, 2), (1, 5), (3, 1)]);
+        let other = p(&[(1, 6)]);
+        assert!(small.is_subset_of(&big));
+        assert!(small.is_proper_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(!other.is_subset_of(&big));
+        assert!(small.is_subset_of(&small));
+        assert!(!small.is_proper_subset_of(&small));
+        assert!(Pattern::empty().is_subset_of(&small));
+    }
+
+    #[test]
+    fn subset_same_length_different_values() {
+        let a = p(&[(0, 1), (2, 0)]);
+        let b = p(&[(0, 1), (2, 1)]);
+        assert!(!a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+    }
+
+    #[test]
+    fn child_and_parent_roundtrip() {
+        let a = p(&[(0, 1)]);
+        let c = a.child(2, 3);
+        assert_eq!(c.terms(), &[(0, 1), (2, 3)]);
+        assert_eq!(c.tree_parent().unwrap(), a);
+        assert_eq!(a.tree_parent().unwrap(), Pattern::empty());
+        assert_eq!(Pattern::empty().tree_parent(), None);
+        assert_eq!(c.max_attr(), Some(2));
+        assert_eq!(Pattern::empty().max_attr(), None);
+    }
+
+    #[test]
+    fn matches_checks_all_terms() {
+        let codes = [7u16, 3, 9];
+        let a = p(&[(0, 7), (2, 9)]);
+        assert!(a.matches(|i| codes[usize::from(i)]));
+        let b = p(&[(0, 7), (1, 0)]);
+        assert!(!b.matches(|i| codes[usize::from(i)]));
+        assert!(Pattern::empty().matches(|_| 0));
+    }
+
+    #[test]
+    fn value_of_finds_bound_attrs() {
+        let a = p(&[(0, 7), (2, 9)]);
+        assert_eq!(a.value_of(0), Some(7));
+        assert_eq!(a.value_of(1), None);
+        assert_eq!(a.value_of(2), Some(9));
+    }
+
+    #[test]
+    fn canonical_ordering_groups_by_terms() {
+        let mut v = [p(&[(1, 0)]), p(&[(0, 1), (1, 0)]), p(&[(0, 0)])];
+        v.sort();
+        assert_eq!(v[0], p(&[(0, 0)]));
+        assert_eq!(v[1], p(&[(0, 1), (1, 0)]));
+        assert_eq!(v[2], p(&[(1, 0)]));
+    }
+}

@@ -1,0 +1,236 @@
+//! Result presentation: enriching detected patterns with sizes, bounds and
+//! bias gaps, and rendering the per-`k` report the paper sketches in §III
+//! (“a user-friendly interface would organize the output by k value and
+//! rank the groups by their overall size in the data or by the bias in
+//! their representation”).
+
+use crate::bounds::BiasMeasure;
+use crate::pattern::Pattern;
+use crate::space::{PatternSpace, RankedIndex};
+use crate::stats::DetectionOutput;
+
+/// A detected group enriched for display.
+#[derive(Debug, Clone)]
+pub struct BiasedGroup {
+    /// The pattern describing the group.
+    pub pattern: Pattern,
+    /// `{Attr=value, …}` rendering.
+    pub display: String,
+    /// Group size in the data, `s_D(p)`.
+    pub size_in_data: usize,
+    /// Group size in the top-`k`, `s_Rk(p)`.
+    pub size_in_topk: usize,
+    /// Required representation at this `k` under the measure.
+    pub required: f64,
+    /// Bias magnitude: `required − actual` (positive = under-represented).
+    pub bias_gap: f64,
+}
+
+/// All detected groups for one `k`, sorted by descending bias gap.
+#[derive(Debug, Clone)]
+pub struct KReport {
+    /// The `k` this report covers.
+    pub k: usize,
+    /// Groups sorted by bias gap (largest first), ties by size.
+    pub groups: Vec<BiasedGroup>,
+}
+
+/// Enriches a detection output into per-`k` reports.
+pub fn summarize(
+    out: &DetectionOutput,
+    index: &RankedIndex,
+    space: &PatternSpace,
+    measure: &BiasMeasure,
+) -> Vec<KReport> {
+    out.per_k
+        .iter()
+        .map(|kr| {
+            let mut groups: Vec<BiasedGroup> = kr
+                .patterns
+                .iter()
+                .map(|p| {
+                    let (sd, count) = index.counts(p, kr.k);
+                    let required = measure.required(sd, kr.k, index.n());
+                    BiasedGroup {
+                        pattern: p.clone(),
+                        display: space.display(p),
+                        size_in_data: sd,
+                        size_in_topk: count,
+                        required,
+                        bias_gap: required - count as f64,
+                    }
+                })
+                .collect();
+            groups.sort_by(|a, b| {
+                b.bias_gap
+                    .partial_cmp(&a.bias_gap)
+                    .expect("gaps are finite")
+                    .then(b.size_in_data.cmp(&a.size_in_data))
+                    .then(a.display.cmp(&b.display))
+            });
+            KReport { k: kr.k, groups }
+        })
+        .collect()
+}
+
+/// Renders reports as an aligned text table (one block per `k`).
+pub fn render_report(reports: &[KReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&format!("k = {}\n", r.k));
+        if r.groups.is_empty() {
+            out.push_str("  (no biased groups)\n");
+            continue;
+        }
+        let width = r
+            .groups
+            .iter()
+            .map(|g| g.display.len())
+            .max()
+            .unwrap_or(0)
+            .max("group".len());
+        out.push_str(&format!(
+            "  {:width$}  {:>6}  {:>6}  {:>9}  {:>7}\n",
+            "group", "s_D", "top-k", "required", "gap"
+        ));
+        for g in &r.groups {
+            out.push_str(&format!(
+                "  {:width$}  {:>6}  {:>6}  {:>9.2}  {:>7.2}\n",
+                g.display, g.size_in_data, g.size_in_topk, g.required, g.bias_gap
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::Bounds;
+    use crate::engine::global_bounds;
+    use crate::stats::DetectConfig;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+    use rankfair_rank::Ranking;
+
+    fn setup() -> (PatternSpace, RankedIndex, DetectionOutput, BiasMeasure) {
+        let ds = students_fig1();
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        let cfg = DetectConfig::new(4, 4, 5);
+        let bounds = Bounds::constant(2);
+        let out = global_bounds(&index, &space, &cfg, &bounds);
+        (space, index, out, BiasMeasure::GlobalLower(bounds))
+    }
+
+    #[test]
+    fn summary_contains_sizes_and_gaps() {
+        let (space, index, out, measure) = setup();
+        let reports = summarize(&out, &index, &space, &measure);
+        assert_eq!(reports.len(), 2);
+        let k4 = &reports[0];
+        assert_eq!(k4.k, 4);
+        let gp = k4
+            .groups
+            .iter()
+            .find(|g| g.display == "{School=GP}")
+            .expect("GP reported at k=4");
+        assert_eq!(gp.size_in_data, 8);
+        assert_eq!(gp.size_in_topk, 1);
+        assert_eq!(gp.required, 2.0);
+        assert_eq!(gp.bias_gap, 1.0);
+    }
+
+    #[test]
+    fn groups_sorted_by_gap_desc() {
+        let (space, index, out, measure) = setup();
+        let reports = summarize(&out, &index, &space, &measure);
+        for r in &reports {
+            for w in r.groups.windows(2) {
+                assert!(w[0].bias_gap >= w[1].bias_gap);
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_k() {
+        let (space, index, out, measure) = setup();
+        let text = render_report(&summarize(&out, &index, &space, &measure));
+        assert!(text.contains("k = 4"));
+        assert!(text.contains("{School=GP}"));
+        assert!(text.contains("required"));
+    }
+
+    #[test]
+    fn render_handles_empty_result() {
+        let reports = vec![KReport {
+            k: 3,
+            groups: vec![],
+        }];
+        assert!(render_report(&reports).contains("no biased groups"));
+    }
+}
+
+/// Renders reports as CSV (`k,group,size_in_data,size_in_topk,required,gap`)
+/// for machine consumption — plotting scripts, spreadsheets, CI checks.
+pub fn render_report_csv(reports: &[KReport]) -> String {
+    let mut out = String::from("k,group,size_in_data,size_in_topk,required,gap\n");
+    for r in reports {
+        for g in &r.groups {
+            let quoted = if g.display.contains(',') || g.display.contains('"') {
+                format!("\"{}\"", g.display.replace('"', "\"\""))
+            } else {
+                g.display.clone()
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{:.4},{:.4}\n",
+                r.k, quoted, g.size_in_data, g.size_in_topk, g.required, g.bias_gap
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+    use crate::bounds::{BiasMeasure, Bounds};
+    use crate::engine::global_bounds;
+    use crate::space::{PatternSpace, RankedIndex};
+    use crate::stats::DetectConfig;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+    use rankfair_rank::Ranking;
+
+    #[test]
+    fn csv_has_header_and_quoted_groups() {
+        let ds = students_fig1();
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        let cfg = DetectConfig::new(4, 4, 5);
+        let bounds = Bounds::constant(2);
+        let out = global_bounds(&index, &space, &cfg, &bounds);
+        let reports = summarize(&out, &index, &space, &BiasMeasure::GlobalLower(bounds));
+        let csv = render_report_csv(&reports);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "k,group,size_in_data,size_in_topk,required,gap"
+        );
+        // Multi-term groups contain ", " so they must be quoted.
+        assert!(csv.contains("\"{Gender=F, School=MS}\""));
+        // Every data line has 6 comma-separated fields outside quotes.
+        for line in csv.lines().skip(1) {
+            let mut fields = 1;
+            let mut in_quotes = false;
+            for ch in line.chars() {
+                match ch {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => fields += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(fields, 6, "line `{line}`");
+        }
+    }
+}

@@ -1,0 +1,378 @@
+use std::fmt;
+
+use rankfair_data::{intersect_counts, Bitmap, Dataset, ValueCode};
+use rankfair_rank::Ranking;
+
+use crate::pattern::Pattern;
+
+/// Index of an attribute within a [`PatternSpace`] (not a dataset column
+/// index — the space may select a subset of the dataset’s columns).
+pub type AttrId = u16;
+
+/// Error raised when constructing a [`PatternSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// The referenced dataset column is not categorical.
+    NotCategorical(String),
+    /// No categorical columns were available.
+    Empty,
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::NotCategorical(c) => {
+                write!(f, "column `{c}` is not categorical")
+            }
+            SpaceError::Empty => write!(f, "no categorical attributes"),
+            SpaceError::UnknownColumn(c) => write!(f, "no column named `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+#[derive(Debug, Clone)]
+struct AttrInfo {
+    name: String,
+    labels: Vec<String>,
+}
+
+/// The set of attributes over which patterns are defined, in the fixed
+/// order that drives the search tree of Definition 4.1.
+#[derive(Debug, Clone)]
+pub struct PatternSpace {
+    attrs: Vec<AttrInfo>,
+    dataset_cols: Vec<usize>,
+}
+
+impl PatternSpace {
+    /// Builds a space over **all** categorical columns of `ds`, in
+    /// declaration order.
+    pub fn from_dataset(ds: &Dataset) -> Result<Self, SpaceError> {
+        let cols = ds.categorical_columns();
+        Self::from_columns(ds, &cols)
+    }
+
+    /// Builds a space over the given dataset columns (all must be
+    /// categorical). The order of `cols` fixes the attribute order.
+    pub fn from_columns(ds: &Dataset, cols: &[usize]) -> Result<Self, SpaceError> {
+        if cols.is_empty() {
+            return Err(SpaceError::Empty);
+        }
+        let mut attrs = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let col = ds.column(c);
+            match col.data() {
+                rankfair_data::ColumnData::Categorical { labels, .. } => attrs.push(AttrInfo {
+                    name: col.name().to_string(),
+                    labels: labels.clone(),
+                }),
+                _ => return Err(SpaceError::NotCategorical(col.name().to_string())),
+            }
+        }
+        Ok(PatternSpace {
+            attrs,
+            dataset_cols: cols.to_vec(),
+        })
+    }
+
+    /// Builds a space from column names.
+    pub fn from_column_names(ds: &Dataset, names: &[&str]) -> Result<Self, SpaceError> {
+        let cols: Result<Vec<usize>, SpaceError> = names
+            .iter()
+            .map(|n| {
+                ds.column_index(n)
+                    .ok_or_else(|| SpaceError::UnknownColumn((*n).to_string()))
+            })
+            .collect();
+        Self::from_columns(ds, &cols?)
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Cardinality of attribute `a`.
+    pub fn card(&self, a: AttrId) -> usize {
+        self.attrs[usize::from(a)].labels.len()
+    }
+
+    /// Name of attribute `a`.
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        &self.attrs[usize::from(a)].name
+    }
+
+    /// Label of value `v` of attribute `a`.
+    pub fn label(&self, a: AttrId, v: ValueCode) -> &str {
+        &self.attrs[usize::from(a)].labels[usize::from(v)]
+    }
+
+    /// Dataset column index backing attribute `a`.
+    pub fn dataset_col(&self, a: AttrId) -> usize {
+        self.dataset_cols[usize::from(a)]
+    }
+
+    /// Attribute id for the attribute named `name`, if present.
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| i as AttrId)
+    }
+
+    /// Builds a pattern from `(attribute name, value label)` pairs.
+    ///
+    /// Returns `None` if a name or label is unknown, or an attribute
+    /// repeats.
+    pub fn pattern(&self, pairs: &[(&str, &str)]) -> Option<Pattern> {
+        let mut terms = Vec::with_capacity(pairs.len());
+        for &(name, label) in pairs {
+            let a = self.attr_by_name(name)?;
+            let v = self.attrs[usize::from(a)]
+                .labels
+                .iter()
+                .position(|l| l == label)? as ValueCode;
+            terms.push((a, v));
+        }
+        Pattern::from_terms(terms)
+    }
+
+    /// Renders a pattern as `{Attr=label, …}`.
+    pub fn display(&self, p: &Pattern) -> String {
+        let mut out = String::from("{");
+        for (i, &(a, v)) in p.terms().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(self.attr_name(a));
+            out.push('=');
+            out.push_str(self.label(a, v));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Total number of non-empty patterns, `∏(card+1) − 1` — the size of
+    /// the pattern graph. Saturates at `u64::MAX`.
+    pub fn pattern_graph_size(&self) -> u64 {
+        let mut total: u64 = 1;
+        for a in &self.attrs {
+            total = total.saturating_mul(a.labels.len() as u64 + 1);
+        }
+        total - 1
+    }
+}
+
+/// The dataset re-indexed in **rank order** with one bitmap per
+/// (attribute, value) pair.
+///
+/// Position `p` of every structure refers to the tuple ranked `p+1`-th.
+/// With this layout:
+///
+/// * `s_D(pattern)` = popcount of the AND of the term bitmaps,
+/// * `s_Rk(pattern)` = popcount of the same AND over the first `k` bits,
+///
+/// both computed by one fused pass ([`RankedIndex::counts`]); and the tuple
+/// entering the top-k when `k` grows by one is simply position `k`
+/// ([`RankedIndex::code_at`] feeds the incremental walk).
+#[derive(Debug, Clone)]
+pub struct RankedIndex {
+    n: usize,
+    /// `codes[attr][pos]` — value of `attr` for the tuple at rank position
+    /// `pos`.
+    codes: Vec<Vec<ValueCode>>,
+    /// `bitmaps[attr][value]` over rank positions.
+    bitmaps: Vec<Vec<Bitmap>>,
+}
+
+impl RankedIndex {
+    /// Builds the index for `ds` under `ranking`, over the attributes of
+    /// `space`.
+    ///
+    /// # Panics
+    /// Panics if the ranking length differs from the dataset, or codes
+    /// exceed the space’s cardinalities.
+    pub fn build(ds: &Dataset, space: &PatternSpace, ranking: &Ranking) -> Self {
+        assert_eq!(
+            ranking.len(),
+            ds.n_rows(),
+            "ranking must cover every dataset row"
+        );
+        let n = ds.n_rows();
+        let m = space.n_attrs();
+        let mut codes = Vec::with_capacity(m);
+        let mut bitmaps = Vec::with_capacity(m);
+        for a in 0..m {
+            let col = ds.column(space.dataset_col(a as AttrId));
+            let card = space.card(a as AttrId);
+            let mut attr_codes = Vec::with_capacity(n);
+            let mut attr_maps = vec![Bitmap::new(n); card];
+            for (pos, &row) in ranking.order().iter().enumerate() {
+                let v = col.code(row as usize);
+                assert!(usize::from(v) < card, "code out of range for attribute");
+                attr_codes.push(v);
+                attr_maps[usize::from(v)].set(pos);
+            }
+            codes.push(attr_codes);
+            bitmaps.push(attr_maps);
+        }
+        RankedIndex { n, codes, bitmaps }
+    }
+
+    /// Number of tuples.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `(s_D(p), s_Rk(p))` in one fused bitmap pass.
+    pub fn counts(&self, p: &Pattern, k: usize) -> (usize, usize) {
+        let maps: Vec<&Bitmap> = p
+            .terms()
+            .iter()
+            .map(|&(a, v)| &self.bitmaps[usize::from(a)][usize::from(v)])
+            .collect();
+        intersect_counts(&maps, k, self.n)
+    }
+
+    /// `s_D(p)` alone.
+    pub fn size_in_data(&self, p: &Pattern) -> usize {
+        self.counts(p, 0).0
+    }
+
+    /// Value of `attr` for the tuple at rank position `pos` (0-based).
+    pub fn code_at(&self, pos: usize, attr: AttrId) -> ValueCode {
+        self.codes[usize::from(attr)][pos]
+    }
+
+    /// Whether the tuple at rank position `pos` satisfies `p`.
+    pub fn matches_at(&self, pos: usize, p: &Pattern) -> bool {
+        p.matches(|a| self.code_at(pos, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+
+    fn fig1() -> (Dataset, PatternSpace, RankedIndex) {
+        let ds = students_fig1();
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        (ds, space, index)
+    }
+
+    #[test]
+    fn space_reflects_categorical_columns() {
+        let (_ds, space, _index) = fig1();
+        assert_eq!(space.n_attrs(), 4);
+        assert_eq!(space.attr_name(0), "Gender");
+        assert_eq!(space.attr_name(3), "Failures");
+        assert_eq!(space.card(3), 3); // failures 0/1/2
+        assert_eq!(space.attr_by_name("School"), Some(1));
+        assert_eq!(space.attr_by_name("Grade"), None); // numeric
+    }
+
+    #[test]
+    fn numeric_column_rejected() {
+        let ds = students_fig1();
+        let grade_col = ds.column_index("Grade").unwrap();
+        assert!(matches!(
+            PatternSpace::from_columns(&ds, &[grade_col]),
+            Err(SpaceError::NotCategorical(_))
+        ));
+        assert!(matches!(
+            PatternSpace::from_columns(&ds, &[]),
+            Err(SpaceError::Empty)
+        ));
+    }
+
+    #[test]
+    fn pattern_from_names_and_display() {
+        let (_ds, space, _index) = fig1();
+        let p = space
+            .pattern(&[("School", "GP"), ("Address", "U")])
+            .unwrap();
+        assert_eq!(space.display(&p), "{School=GP, Address=U}");
+        assert!(space.pattern(&[("School", "nope")]).is_none());
+        assert!(space.pattern(&[("Nope", "GP")]).is_none());
+    }
+
+    #[test]
+    fn example_2_3_counts() {
+        // s_D({School=GP}) = 8 and s_R5 = 1 (Example 2.3 of the paper).
+        let (_ds, space, index) = fig1();
+        let p = space.pattern(&[("School", "GP")]).unwrap();
+        assert_eq!(index.counts(&p, 5), (8, 1));
+    }
+
+    #[test]
+    fn example_2_4_school_counts_in_top5() {
+        let (_ds, space, index) = fig1();
+        let ms = space.pattern(&[("School", "MS")]).unwrap();
+        assert_eq!(index.counts(&ms, 5), (8, 4));
+    }
+
+    #[test]
+    fn counts_match_naive_for_two_term_patterns() {
+        let (ds, space, index) = fig1();
+        let order = fig1_rank_order();
+        for a in 0..space.n_attrs() as u16 {
+            for b in (a + 1)..space.n_attrs() as u16 {
+                for va in 0..space.card(a) as u16 {
+                    for vb in 0..space.card(b) as u16 {
+                        let p = Pattern::from_terms(vec![(a, va), (b, vb)]).unwrap();
+                        for k in [0, 3, 7, 16] {
+                            let naive_full = (0..16)
+                                .filter(|&r| {
+                                    ds.code(r, space.dataset_col(a)) == va
+                                        && ds.code(r, space.dataset_col(b)) == vb
+                                })
+                                .count();
+                            let naive_pre = order[..k]
+                                .iter()
+                                .filter(|&&r| {
+                                    ds.code(r as usize, space.dataset_col(a)) == va
+                                        && ds.code(r as usize, space.dataset_col(b)) == vb
+                                })
+                                .count();
+                            assert_eq!(index.counts(&p, k), (naive_full, naive_pre));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_at_and_matches_at_follow_rank_order() {
+        let (_ds, space, index) = fig1();
+        // Rank position 0 is tuple 12: F, GP, U, failures 0.
+        let gender = space.attr_by_name("Gender").unwrap();
+        assert_eq!(
+            space.label(gender, index.code_at(0, gender)),
+            "F"
+        );
+        let p = space.pattern(&[("School", "GP"), ("Address", "U")]).unwrap();
+        assert!(index.matches_at(0, &p));
+        assert!(!index.matches_at(1, &p)); // tuple 5 is MS/R
+    }
+
+    #[test]
+    fn pattern_graph_size_counts_nonempty_patterns() {
+        let (_ds, space, _index) = fig1();
+        // (2+1)(2+1)(2+1)(3+1) − 1 = 107.
+        assert_eq!(space.pattern_graph_size(), 107);
+    }
+
+    #[test]
+    fn empty_pattern_counts_are_universe() {
+        let (_ds, _space, index) = fig1();
+        assert_eq!(index.counts(&Pattern::empty(), 5), (16, 5));
+    }
+}

@@ -1,0 +1,125 @@
+//! Small utilities: a fast, non-cryptographic hasher for the hot pattern
+//! maps.
+//!
+//! The detection engine probes a `(parent, attribute, value) → node` map on
+//! every step of its incremental walk. SipHash (std’s default) dominates
+//! profile time there, so we use the FxHash mix function (the one rustc
+//! uses) — ~15 lines of code instead of a dependency, per the perf-book
+//! guidance on alternative hashers. HashDoS resistance is irrelevant: keys
+//! are internal node ids, not attacker-controlled input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash: `hash = (hash.rotate_left(5) ^ word) * SEED` per 8-byte word.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` with the [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        let mut m: FxHashMap<(u32, u16, u16), u32> = FxHashMap::default();
+        m.insert((1, 2, 3), 7);
+        assert_eq!(m.get(&(1, 2, 3)), Some(&7));
+        assert_eq!(m.get(&(1, 2, 4)), None);
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        // Sanity check the mix isn't degenerate: 1000 distinct keys should
+        // produce (nearly) 1000 distinct hashes.
+        let mut seen = HashSet::new();
+        for i in 0u64..1000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert!(seen.len() > 990);
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world!!"); // 13 bytes: one chunk + 5-byte tail
+        let mut b = FxHasher::default();
+        b.write(b"hello world!!");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"hello world!?");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn sets_work() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(3);
+        assert!(s.contains(&3));
+        assert!(!s.contains(&4));
+    }
+}

@@ -1,0 +1,236 @@
+//! Differential correctness suite: on randomized instances, the baseline
+//! (`IterTD`), the optimized algorithms (`GlobalBounds`, `PropBounds`) and
+//! the brute-force oracle must produce identical result sets for every `k`.
+//!
+//! This is the test that pins the incremental engine to the paper’s
+//! semantics: any divergence in count maintenance, frontier resumption,
+//! dominance bookkeeping or `k̃` scheduling shows up here immediately.
+
+use proptest::prelude::*;
+
+use rankfair_core::{
+    global_bounds, global_bounds_fast_steps, iter_td, oracle, prop_bounds, BiasMeasure, Bounds,
+    DetectConfig, KResult, PatternSpace, RankedIndex,
+};
+use rankfair_data::Dataset;
+use rankfair_rank::Ranking;
+use rankfair_synth::{random_dataset, random_ranking, RandomSpec};
+
+fn build(seed: u64, rows: usize, attrs: usize, max_card: usize) -> (Dataset, Ranking) {
+    let ds = random_dataset(
+        seed,
+        RandomSpec {
+            rows,
+            attrs,
+            max_card,
+        },
+    );
+    let ranking = Ranking::from_order(random_ranking(seed.wrapping_add(1), rows)).unwrap();
+    (ds, ranking)
+}
+
+fn oracle_results(
+    ds: &Dataset,
+    space: &PatternSpace,
+    ranking: &Ranking,
+    cfg: &DetectConfig,
+    measure: &BiasMeasure,
+) -> Vec<KResult> {
+    oracle::detect(ds, space, ranking, cfg.tau_s, cfg.k_min, cfg.k_max, measure)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn global_bounds_agrees_with_baseline_and_oracle(
+        seed in 0u64..10_000,
+        rows in 12usize..70,
+        attrs in 2usize..5,
+        max_card in 2usize..4,
+        tau in 1usize..12,
+        lower in 1usize..8,
+    ) {
+        let (ds, ranking) = build(seed, rows, attrs, max_card);
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        let k_min = 2.min(rows);
+        let k_max = rows.min(40);
+        let cfg = DetectConfig::new(tau, k_min, k_max);
+        let bounds = Bounds::constant(lower);
+        let measure = BiasMeasure::GlobalLower(bounds.clone());
+
+        let base = iter_td(&index, &space, &cfg, &measure);
+        let opt = global_bounds(&index, &space, &cfg, &bounds);
+        prop_assert_eq!(&base.per_k, &opt.per_k);
+
+        let want = oracle_results(&ds, &space, &ranking, &cfg, &measure);
+        prop_assert_eq!(&opt.per_k, &want);
+    }
+
+    #[test]
+    fn global_bounds_with_step_bounds_agrees(
+        seed in 0u64..10_000,
+        rows in 12usize..60,
+        attrs in 2usize..5,
+        tau in 1usize..10,
+        l1 in 1usize..4,
+        step in 1usize..4,
+    ) {
+        let (ds, ranking) = build(seed, rows, attrs, 3);
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        let k_max = rows.min(36);
+        let cfg = DetectConfig::new(tau, 2, k_max);
+        // Non-decreasing step bounds, stepping at k = 10, 20, 30.
+        let bounds = Bounds::steps(vec![
+            (0, l1),
+            (10, l1 + step),
+            (20, l1 + 2 * step),
+            (30, l1 + 3 * step),
+        ]);
+        let measure = BiasMeasure::GlobalLower(bounds.clone());
+        let base = iter_td(&index, &space, &cfg, &measure);
+        let opt = global_bounds(&index, &space, &cfg, &bounds);
+        prop_assert_eq!(&base.per_k, &opt.per_k);
+        let want = oracle_results(&ds, &space, &ranking, &cfg, &measure);
+        prop_assert_eq!(&opt.per_k, &want);
+        // The bound-step extension (reclassify instead of rebuild) must be
+        // output-equivalent while doing no fresh evaluations at the steps.
+        let fast = global_bounds_fast_steps(&index, &space, &cfg, &bounds);
+        prop_assert_eq!(&fast.per_k, &want);
+        prop_assert!(fast.stats.nodes_evaluated <= opt.stats.nodes_evaluated);
+        prop_assert_eq!(fast.stats.full_searches, 1);
+    }
+
+    #[test]
+    fn prop_bounds_agrees_with_baseline_and_oracle(
+        seed in 0u64..10_000,
+        rows in 12usize..70,
+        attrs in 2usize..5,
+        max_card in 2usize..4,
+        tau in 1usize..12,
+        alpha_pct in 10usize..140,
+    ) {
+        let (ds, ranking) = build(seed, rows, attrs, max_card);
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        let alpha = alpha_pct as f64 / 100.0;
+        let k_max = rows.min(40);
+        let cfg = DetectConfig::new(tau, 2, k_max);
+        let measure = BiasMeasure::Proportional { alpha };
+
+        let base = iter_td(&index, &space, &cfg, &measure);
+        let opt = prop_bounds(&index, &space, &cfg, alpha);
+        prop_assert_eq!(&base.per_k, &opt.per_k);
+
+        let want = oracle_results(&ds, &space, &ranking, &cfg, &measure);
+        prop_assert_eq!(&opt.per_k, &want);
+    }
+
+    #[test]
+    fn results_are_sound_minimal_and_substantial(
+        seed in 0u64..10_000,
+        rows in 12usize..60,
+        attrs in 2usize..5,
+        tau in 1usize..10,
+        alpha_pct in 30usize..120,
+    ) {
+        let (ds, ranking) = build(seed, rows, attrs, 3);
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        let alpha = alpha_pct as f64 / 100.0;
+        let cfg = DetectConfig::new(tau, 3, rows.min(30));
+        let out = prop_bounds(&index, &space, &cfg, alpha);
+        let measure = BiasMeasure::Proportional { alpha };
+        for kr in &out.per_k {
+            for p in &kr.patterns {
+                let (sd, count) = index.counts(p, kr.k);
+                prop_assert!(sd >= tau, "reported group below τs");
+                prop_assert!(measure.is_biased(count, sd, kr.k, rows), "non-biased group reported");
+            }
+            for a in &kr.patterns {
+                for b in &kr.patterns {
+                    prop_assert!(a == b || !a.is_proper_subset_of(b), "non-minimal result");
+                }
+            }
+        }
+    }
+}
+
+/// The adversarial instance of Theorem 3.3: the number of most general
+/// biased patterns is C(n, n/2), exponential in the attribute count. Both
+/// measures of the theorem’s proof are checked.
+#[test]
+fn worst_case_result_set_is_exponential() {
+    for n in [4usize, 6, 8, 10] {
+        let (ds, order) = rankfair_synth::worst_case(n);
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let ranking = Ranking::from_order(order).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        let expected = {
+            // C(n, n/2)
+            let mut c: u64 = 1;
+            for i in 0..n / 2 {
+                c = c * (n - i) as u64 / (i + 1) as u64;
+            }
+            c as usize
+        };
+
+        // Global bounds: k = n, L = n/2 + 1.
+        let cfg = DetectConfig::new(1, n, n);
+        let out = global_bounds(&index, &space, &cfg, &Bounds::constant(n / 2 + 1));
+        let res = &out.per_k[0].patterns;
+        let with_half_zeros = res
+            .iter()
+            .filter(|p| p.len() == n / 2 && p.terms().iter().all(|&(_, v)| v == 0))
+            .count();
+        assert_eq!(with_half_zeros, expected, "global, n={n}");
+
+        // Proportional: α = (n+3)/(n+4).
+        let alpha = (n as f64 + 3.0) / (n as f64 + 4.0);
+        let out = prop_bounds(&index, &space, &cfg, alpha);
+        let res = &out.per_k[0].patterns;
+        let with_half_zeros = res
+            .iter()
+            .filter(|p| p.len() == n / 2 && p.terms().iter().all(|&(_, v)| v == 0))
+            .count();
+        assert_eq!(with_half_zeros, expected, "proportional, n={n}");
+    }
+}
+
+/// Incremental equivalence on the realistic synthetic datasets (small
+/// subsamples so the oracle stays tractable).
+#[test]
+fn synthetic_datasets_smoke_differential() {
+    use rankfair_data::bucketize::{bucketize_in_place, BinStrategy};
+    use rankfair_rank::{AttributeRanker, Ranker};
+
+    let mut ds = rankfair_synth::student(rankfair_synth::SynthConfig::new(120, 7));
+    let ranker = AttributeRanker::by_desc("G3");
+    let ranking = ranker.rank(&ds);
+    bucketize_in_place(&mut ds, "age", 3, BinStrategy::EqualWidth).unwrap();
+    // Restrict to the first few categorical attributes to keep the oracle fast.
+    let cats = ds.categorical_columns();
+    let space = PatternSpace::from_columns(&ds, &cats[..5]).unwrap();
+    let index = RankedIndex::build(&ds, &space, &ranking);
+    let cfg = DetectConfig::new(15, 5, 40);
+
+    let bounds = Bounds::steps(vec![(5, 3), (20, 6), (30, 9)]);
+    let g_measure = BiasMeasure::GlobalLower(bounds.clone());
+    let base = iter_td(&index, &space, &cfg, &g_measure);
+    let opt = global_bounds(&index, &space, &cfg, &bounds);
+    assert_eq!(base.per_k, opt.per_k);
+    let want = oracle::detect(&ds, &space, &ranking, 15, 5, 40, &g_measure);
+    assert_eq!(opt.per_k, want);
+
+    let p_measure = BiasMeasure::Proportional { alpha: 0.8 };
+    let base = iter_td(&index, &space, &cfg, &p_measure);
+    let opt = prop_bounds(&index, &space, &cfg, 0.8);
+    assert_eq!(base.per_k, opt.per_k);
+    let want = oracle::detect(&ds, &space, &ranking, 15, 5, 40, &p_measure);
+    assert_eq!(opt.per_k, want);
+}

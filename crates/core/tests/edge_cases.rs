@@ -1,0 +1,203 @@
+//! Edge-case integration tests for the detection engine: degenerate
+//! datasets, extreme parameters, and bound shapes the paper's assumptions
+//! do not cover (the engine must stay correct, falling back to fresh
+//! searches where the incremental reasoning does not apply).
+
+use rankfair_core::{
+    global_bounds, iter_td, oracle, prop_bounds, BiasMeasure, Bounds, DetectConfig, Pattern,
+    PatternSpace, RankedIndex,
+};
+use rankfair_data::Dataset;
+use rankfair_rank::Ranking;
+use rankfair_synth::{random_dataset, random_ranking, RandomSpec};
+
+fn build(seed: u64, rows: usize, attrs: usize) -> (Dataset, PatternSpace, Ranking, RankedIndex) {
+    let ds = random_dataset(
+        seed,
+        RandomSpec {
+            rows,
+            attrs,
+            max_card: 3,
+        },
+    );
+    let space = PatternSpace::from_dataset(&ds).unwrap();
+    let ranking = Ranking::from_order(random_ranking(seed + 1, rows)).unwrap();
+    let index = RankedIndex::build(&ds, &space, &ranking);
+    (ds, space, ranking, index)
+}
+
+#[test]
+fn single_row_dataset() {
+    let ds = Dataset::builder()
+        .categorical_from_str("a", &["x"])
+        .categorical_from_str("b", &["y"])
+        .build()
+        .unwrap();
+    let space = PatternSpace::from_dataset(&ds).unwrap();
+    let ranking = Ranking::from_order(vec![0]).unwrap();
+    let index = RankedIndex::build(&ds, &space, &ranking);
+    let cfg = DetectConfig::new(1, 1, 1);
+    // L = 1: the single tuple satisfies every pattern, nothing is biased.
+    let out = global_bounds(&index, &space, &cfg, &Bounds::constant(1));
+    assert!(out.per_k[0].patterns.is_empty());
+    // L = 2 can never be met: the level-1 patterns are all reported.
+    let out = global_bounds(&index, &space, &cfg, &Bounds::constant(2));
+    assert_eq!(out.per_k[0].patterns.len(), 2);
+}
+
+#[test]
+fn tau_larger_than_dataset_returns_nothing() {
+    let (_ds, space, _ranking, index) = build(3, 40, 3);
+    let cfg = DetectConfig::new(41, 2, 20);
+    let out = global_bounds(&index, &space, &cfg, &Bounds::constant(5));
+    assert!(out.per_k.iter().all(|kr| kr.patterns.is_empty()));
+    let out = prop_bounds(&index, &space, &cfg, 0.8);
+    assert!(out.per_k.iter().all(|kr| kr.patterns.is_empty()));
+}
+
+#[test]
+fn cardinality_one_attribute() {
+    // An attribute where every tuple has the same value: its only pattern
+    // covers the whole dataset, and Proposition 4.3's "at least 2 values"
+    // assumption does not hold — the engine must still be exact.
+    let n = 30;
+    let constant = vec!["same"; n];
+    let varied: Vec<String> = (0..n).map(|i| format!("v{}", i % 3)).collect();
+    let ds = Dataset::builder()
+        .categorical_from_str("c", &constant)
+        .categorical_from_str("v", &varied)
+        .build()
+        .unwrap();
+    let space = PatternSpace::from_dataset(&ds).unwrap();
+    let ranking = Ranking::from_order(random_ranking(9, n)).unwrap();
+    let index = RankedIndex::build(&ds, &space, &ranking);
+    let cfg = DetectConfig::new(1, 2, n);
+    for measure in [
+        BiasMeasure::GlobalLower(Bounds::constant(4)),
+        BiasMeasure::Proportional { alpha: 0.9 },
+    ] {
+        let base = iter_td(&index, &space, &cfg, &measure);
+        let opt = match &measure {
+            BiasMeasure::GlobalLower(b) => global_bounds(&index, &space, &cfg, b),
+            BiasMeasure::Proportional { alpha } => prop_bounds(&index, &space, &cfg, *alpha),
+        };
+        assert_eq!(base.per_k, opt.per_k);
+    }
+}
+
+#[test]
+fn decreasing_bounds_still_exact() {
+    // Footnote 3 assumes non-decreasing L_k; the engine falls back to a
+    // fresh search on any bound change, so a decreasing specification must
+    // still be exact (if unusual).
+    let (ds, space, ranking, index) = build(11, 50, 4);
+    let bounds = Bounds::steps(vec![(0, 6), (10, 4), (20, 2)]);
+    let cfg = DetectConfig::new(2, 2, 40);
+    let measure = BiasMeasure::GlobalLower(bounds.clone());
+    let base = iter_td(&index, &space, &cfg, &measure);
+    let opt = global_bounds(&index, &space, &cfg, &bounds);
+    assert_eq!(base.per_k, opt.per_k);
+    let want = oracle::detect(&ds, &space, &ranking, 2, 2, 40, &measure);
+    assert_eq!(opt.per_k, want);
+}
+
+#[test]
+fn full_k_range_to_dataset_size() {
+    let (_ds, space, _ranking, index) = build(13, 120, 4);
+    let cfg = DetectConfig::new(5, 1, 120);
+    let measure = BiasMeasure::Proportional { alpha: 0.85 };
+    let base = iter_td(&index, &space, &cfg, &measure);
+    let opt = prop_bounds(&index, &space, &cfg, 0.85);
+    assert_eq!(base.per_k, opt.per_k);
+    // At k = n every pattern's count equals its size: nothing is biased
+    // for α ≤ 1.
+    assert!(opt.per_k.last().unwrap().patterns.is_empty());
+}
+
+#[test]
+fn alpha_above_one_flags_even_proportional_groups() {
+    let (_ds, space, _ranking, index) = build(17, 60, 3);
+    let cfg = DetectConfig::new(2, 5, 55);
+    let measure = BiasMeasure::Proportional { alpha: 1.5 };
+    let base = iter_td(&index, &space, &cfg, &measure);
+    let opt = prop_bounds(&index, &space, &cfg, 1.5);
+    assert_eq!(base.per_k, opt.per_k);
+    // With α = 1.5 at k = n the requirement 1.5·s_D > s_D can never be
+    // met, so every substantial level-1 pattern (or a subset refinement)
+    // is biased — the result set must be non-empty.
+    assert!(!opt.per_k.last().unwrap().patterns.is_empty());
+}
+
+#[test]
+fn zero_deadline_times_out_gracefully() {
+    let (_ds, space, _ranking, index) = build(19, 200, 4);
+    let cfg = DetectConfig::new(1, 2, 150).with_deadline(std::time::Duration::ZERO);
+    let out = global_bounds(&index, &space, &cfg, &Bounds::constant(3));
+    // Either it finished instantly (tiny search) or it truncated; both are
+    // acceptable, and no panic occurred.
+    if out.stats.timed_out {
+        assert!(out.per_k.len() < 149);
+    }
+}
+
+#[test]
+fn kmin_equals_kmax() {
+    let (ds, space, ranking, index) = build(23, 45, 4);
+    let cfg = DetectConfig::new(3, 7, 7);
+    let measure = BiasMeasure::GlobalLower(Bounds::constant(2));
+    let opt = global_bounds(&index, &space, &cfg, &Bounds::constant(2));
+    assert_eq!(opt.per_k.len(), 1);
+    let want = oracle::detect(&ds, &space, &ranking, 3, 7, 7, &measure);
+    assert_eq!(opt.per_k, want);
+}
+
+#[test]
+fn duplicate_rows_and_heavy_skew() {
+    // All rows identical except one attribute: exercises extreme counts.
+    let n = 64;
+    let a: Vec<&str> = (0..n).map(|i| if i == 0 { "rare" } else { "common" }).collect();
+    let b = vec!["only"; n];
+    let ds = Dataset::builder()
+        .categorical_from_str("a", &a)
+        .categorical_from_str("b", &b)
+        .build()
+        .unwrap();
+    let space = PatternSpace::from_dataset(&ds).unwrap();
+    // Rank the rare row last.
+    let mut order: Vec<u32> = (1..n as u32).collect();
+    order.push(0);
+    let ranking = Ranking::from_order(order).unwrap();
+    let index = RankedIndex::build(&ds, &space, &ranking);
+    let cfg = DetectConfig::new(1, 2, n);
+    let measure = BiasMeasure::GlobalLower(Bounds::constant(1));
+    let base = iter_td(&index, &space, &cfg, &measure);
+    let opt = global_bounds(&index, &space, &cfg, &Bounds::constant(1));
+    assert_eq!(base.per_k, opt.per_k);
+    // {a=rare} has count 0 until the final k, so it is reported for every
+    // k < n and disappears at k = n.
+    let rare = Pattern::single(0, space.pattern(&[("a", "rare")]).unwrap().terms()[0].1);
+    assert!(opt.per_k[0].patterns.contains(&rare));
+    assert!(!opt.per_k.last().unwrap().patterns.contains(&rare));
+}
+
+#[test]
+fn stats_monotonicity_between_algorithms() {
+    // On a moderate instance, the optimized engines must examine strictly
+    // fewer patterns than the baseline while agreeing on results.
+    let (_ds, space, _ranking, index) = build(29, 150, 5);
+    let cfg = DetectConfig::new(8, 10, 120);
+    let bounds = Bounds::steps(vec![(10, 3), (50, 6), (90, 9)]);
+    let g = BiasMeasure::GlobalLower(bounds.clone());
+    let base = iter_td(&index, &space, &cfg, &g);
+    let opt = global_bounds(&index, &space, &cfg, &bounds);
+    assert_eq!(base.per_k, opt.per_k);
+    assert!(opt.stats.patterns_examined() < base.stats.patterns_examined());
+    assert_eq!(opt.stats.full_searches, 3); // initial + steps at 50 and 90
+
+    let p = BiasMeasure::Proportional { alpha: 0.7 };
+    let base = iter_td(&index, &space, &cfg, &p);
+    let opt = prop_bounds(&index, &space, &cfg, 0.7);
+    assert_eq!(base.per_k, opt.per_k);
+    assert!(opt.stats.patterns_examined() < base.stats.patterns_examined());
+    assert_eq!(opt.stats.full_searches, 1); // PropBounds never rebuilds
+}

@@ -1,0 +1,222 @@
+/// A fixed-length packed bitset over row positions.
+///
+/// The detection engine stores one bitmap per (attribute, value) pair with
+/// rows laid out in **rank order**. The size of a pattern in the whole
+/// dataset (`s_D`) is then the popcount of the AND of its term bitmaps, and
+/// its size in the top-k (`s_Rk`) is the popcount of the same AND restricted
+/// to the first `k` bits — both computed by [`intersect_counts`] in a single
+/// fused pass, with no intermediate bitmap materialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+const BITS: usize = 64;
+
+impl Bitmap {
+    /// Creates an all-zero bitmap covering `len` positions.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            blocks: vec![0; len.div_ceil(BITS)],
+            len,
+        }
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.blocks[i / BITS] |= 1u64 << (i % BITS);
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.blocks[i / BITS] >> (i % BITS) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits among the first `k` positions.
+    pub fn count_prefix(&self, k: usize) -> usize {
+        let k = k.min(self.len);
+        let full = k / BITS;
+        let mut total: usize = self.blocks[..full]
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum();
+        let rem = k % BITS;
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            total += (self.blocks[full] & mask).count_ones() as usize;
+        }
+        total
+    }
+
+    /// Raw blocks (used by the fused intersection below and by tests).
+    fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+}
+
+/// Computes `(|AND maps|, |AND maps ∩ [0, k)|)` in one pass.
+///
+/// With an empty `maps` slice the AND is the universe: returns
+/// `(len, min(k, len))` where `len` is taken as `universe_len`.
+pub fn intersect_counts(maps: &[&Bitmap], k: usize, universe_len: usize) -> (usize, usize) {
+    if maps.is_empty() {
+        return (universe_len, k.min(universe_len));
+    }
+    let len = maps[0].len;
+    debug_assert!(maps.iter().all(|m| m.len == len));
+    let k = k.min(len);
+    let n_blocks = maps[0].blocks.len();
+    let k_full = k / BITS;
+    let k_rem = k % BITS;
+    let mut full = 0usize;
+    let mut prefix = 0usize;
+    for b in 0..n_blocks {
+        // First map copied, remaining ANDed in: avoids a !0 sentinel and
+        // lets LLVM unroll the common 1–3 term case.
+        let mut acc = maps[0].blocks[b];
+        for m in &maps[1..] {
+            acc &= m.blocks()[b];
+        }
+        let ones = acc.count_ones() as usize;
+        full += ones;
+        if b < k_full {
+            prefix += ones;
+        } else if b == k_full && k_rem > 0 {
+            prefix += (acc & ((1u64 << k_rem) - 1)).count_ones() as usize;
+        }
+    }
+    (full, prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_bits(bits: &[u8]) -> Bitmap {
+        let mut m = Bitmap::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b == 1 {
+                m.set(i);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn set_get_count() {
+        let mut m = Bitmap::new(130);
+        assert_eq!(m.count_ones(), 0);
+        m.set(0);
+        m.set(63);
+        m.set(64);
+        m.set(129);
+        assert!(m.get(0) && m.get(63) && m.get(64) && m.get(129));
+        assert!(!m.get(1));
+        assert_eq!(m.count_ones(), 4);
+    }
+
+    #[test]
+    fn prefix_counts() {
+        let m = from_bits(&[1, 0, 1, 1, 0, 1]);
+        assert_eq!(m.count_prefix(0), 0);
+        assert_eq!(m.count_prefix(1), 1);
+        assert_eq!(m.count_prefix(3), 2);
+        assert_eq!(m.count_prefix(4), 3);
+        assert_eq!(m.count_prefix(6), 4);
+        assert_eq!(m.count_prefix(100), 4); // clamped
+    }
+
+    #[test]
+    fn prefix_across_block_boundary() {
+        let mut m = Bitmap::new(200);
+        for i in 0..200 {
+            if i % 3 == 0 {
+                m.set(i);
+            }
+        }
+        for k in [0, 1, 63, 64, 65, 127, 128, 129, 199, 200] {
+            let expect = (0..k).filter(|i| i % 3 == 0).count();
+            assert_eq!(m.count_prefix(k), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn intersect_empty_is_universe() {
+        assert_eq!(intersect_counts(&[], 3, 10), (10, 3));
+        assert_eq!(intersect_counts(&[], 30, 10), (10, 10));
+    }
+
+    #[test]
+    fn intersect_two_maps() {
+        let a = from_bits(&[1, 1, 0, 1, 1, 0, 1]);
+        let b = from_bits(&[1, 0, 0, 1, 0, 0, 1]);
+        let (full, pre) = intersect_counts(&[&a, &b], 4, 7);
+        assert_eq!(full, 3); // positions 0, 3, 6
+        assert_eq!(pre, 2); // positions 0, 3
+    }
+
+    #[test]
+    fn intersect_matches_naive_on_random_maps() {
+        // Deterministic xorshift so the test needs no rng dependency.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 517;
+        for _case in 0..20 {
+            let sets: Vec<Vec<bool>> = (0..3)
+                .map(|_| (0..n).map(|_| next() % 3 == 0).collect())
+                .collect();
+            let maps: Vec<Bitmap> = sets
+                .iter()
+                .map(|s| {
+                    let mut m = Bitmap::new(n);
+                    for (i, &b) in s.iter().enumerate() {
+                        if b {
+                            m.set(i);
+                        }
+                    }
+                    m
+                })
+                .collect();
+            let refs: Vec<&Bitmap> = maps.iter().collect();
+            let k = (next() % (n as u64 + 1)) as usize;
+            let naive_full = (0..n).filter(|&i| sets.iter().all(|s| s[i])).count();
+            let naive_pre = (0..k).filter(|&i| sets.iter().all(|s| s[i])).count();
+            assert_eq!(intersect_counts(&refs, k, n), (naive_full, naive_pre));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitmap::new(5).set(5);
+    }
+}

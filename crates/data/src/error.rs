@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced while constructing or transforming a [`crate::Dataset`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// Columns passed to the builder have differing lengths.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Length of the offending column.
+        got: usize,
+        /// Length established by the first column.
+        expected: usize,
+    },
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// A column name was not found in the dataset.
+    UnknownColumn(String),
+    /// An operation expected a column of a different kind
+    /// (e.g. bucketizing a categorical column).
+    KindMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// What the operation required, e.g. `"numeric"`.
+        expected: &'static str,
+    },
+    /// A categorical column exceeded the `u16` dictionary space.
+    DictionaryOverflow(String),
+    /// Invalid argument (empty dataset, zero bins, …).
+    Invalid(String),
+    /// CSV syntax or I/O problem.
+    Csv(String),
+    /// Underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LengthMismatch {
+                column,
+                got,
+                expected,
+            } => write!(
+                f,
+                "column `{column}` has {got} rows but the dataset has {expected}"
+            ),
+            DataError::DuplicateColumn(name) => write!(f, "duplicate column name `{name}`"),
+            DataError::UnknownColumn(name) => write!(f, "no column named `{name}`"),
+            DataError::KindMismatch { column, expected } => {
+                write!(f, "column `{column}` is not {expected}")
+            }
+            DataError::DictionaryOverflow(name) => write!(
+                f,
+                "column `{name}` has more than {} distinct values",
+                u16::MAX
+            ),
+            DataError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+            DataError::Csv(msg) => write!(f, "csv error: {msg}"),
+            DataError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper’s running example (Figure 1): sixteen students from two
+//! Portuguese schools, ranked by grade with past failures as tie-breaker.
+//!
+//! Tests across the workspace check the worked examples of the paper
+//! (Examples 2.3, 2.4, 2.5, 4.6, 4.7 and 4.9) against this exact table.
+
+use crate::Dataset;
+
+/// Builds the Figure 1 dataset.
+///
+/// Columns: `Gender`, `School`, `Address`, `Failures` (categorical) and
+/// `Grade` (numeric, 0–20). Row `i` is tuple `i+1` of the figure.
+pub fn students_fig1() -> Dataset {
+    let gender = [
+        "F", "M", "M", "M", "M", "F", "F", "M", "F", "F", "M", "F", "F", "M", "F", "M",
+    ];
+    let school = [
+        "MS", "MS", "GP", "GP", "MS", "MS", "GP", "GP", "MS", "MS", "MS", "GP", "GP", "MS", "GP",
+        "GP",
+    ];
+    let address = [
+        "R", "R", "U", "U", "R", "U", "R", "R", "R", "R", "R", "U", "U", "U", "U", "U",
+    ];
+    let failures = [
+        "1", "1", "1", "2", "0", "1", "1", "1", "0", "2", "2", "0", "2", "1", "1", "0",
+    ];
+    let grade = [
+        11.0, 15.0, 8.0, 4.0, 19.0, 4.0, 7.0, 6.0, 14.0, 7.0, 13.0, 20.0, 12.0, 13.0, 5.0, 9.0,
+    ];
+    Dataset::builder()
+        .categorical_from_str("Gender", &gender)
+        .categorical_from_str("School", &school)
+        .categorical_from_str("Address", &address)
+        .categorical_from_str("Failures", &failures)
+        .numeric("Grade", grade.to_vec())
+        .build()
+        .expect("static table is well-formed")
+}
+
+/// The ranking of Figure 1 as row indices in rank order (position 0 = rank
+/// 1). Matches the figure’s `Rank` column: grade descending, ties broken by
+/// fewer past failures.
+pub fn fig1_rank_order() -> Vec<u32> {
+    // tuple#:   12  5  2  9  14  11  13  1  16  3   7  10   8  15   6   4
+    vec![11, 4, 1, 8, 13, 10, 12, 0, 15, 2, 6, 9, 7, 14, 5, 3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_figure() {
+        let ds = students_fig1();
+        assert_eq!(ds.n_rows(), 16);
+        assert_eq!(ds.n_cols(), 5);
+        assert_eq!(ds.categorical_columns(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn example_2_3_pattern_school_gp_has_size_8() {
+        let ds = students_fig1();
+        let school = ds.column_by_name("School").unwrap();
+        let gp = school.code_of("GP").unwrap();
+        let count = (0..16).filter(|&r| school.code(r) == gp).count();
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn rank_order_is_a_permutation_consistent_with_grades() {
+        let ds = students_fig1();
+        let order = fig1_rank_order();
+        let mut seen = [false; 16];
+        for &r in &order {
+            assert!(!seen[r as usize]);
+            seen[r as usize] = true;
+        }
+        let grade = ds.column_by_name("Grade").unwrap();
+        let fail = ds.column_by_name("Failures").unwrap();
+        for w in order.windows(2) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            let (ga, gb) = (grade.value(a), grade.value(b));
+            assert!(
+                ga > gb
+                    || (ga == gb
+                        && fail.label_of(fail.code(a)).unwrap()
+                            <= fail.label_of(fail.code(b)).unwrap()),
+                "rank order violates grade/failures sort at rows {a},{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn example_2_3_top5_school_gp_count_is_1() {
+        let ds = students_fig1();
+        let order = fig1_rank_order();
+        let school = ds.column_by_name("School").unwrap();
+        let gp = school.code_of("GP").unwrap();
+        let count = order[..5]
+            .iter()
+            .filter(|&&r| school.code(r as usize) == gp)
+            .count();
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the data substrate: bitmap algebra,
+//! bucketization laws, and CSV round-trips on arbitrary content.
+
+use proptest::prelude::*;
+
+use rankfair_data::bucketize::{bin_edges, bin_index, bucketize_values, BinStrategy};
+use rankfair_data::csv::{read_csv_str, write_csv_string, CsvOptions};
+use rankfair_data::{intersect_counts, Bitmap, Column, Dataset};
+
+proptest! {
+    /// Fused intersection counts agree with the definitionally-correct
+    /// per-bit evaluation for any pair of bit sets and any prefix.
+    #[test]
+    fn intersect_counts_matches_naive(
+        bits_a in proptest::collection::vec(any::<bool>(), 1..300),
+        bits_b_seed in any::<u64>(),
+        k_frac in 0.0f64..1.2,
+    ) {
+        let n = bits_a.len();
+        // Derive b deterministically from the seed so the sizes match.
+        let bits_b: Vec<bool> = (0..n)
+            .map(|i| (bits_b_seed.wrapping_mul(i as u64 + 1)).count_ones() % 2 == 0)
+            .collect();
+        let mut a = Bitmap::new(n);
+        let mut b = Bitmap::new(n);
+        for i in 0..n {
+            if bits_a[i] {
+                a.set(i);
+            }
+            if bits_b[i] {
+                b.set(i);
+            }
+        }
+        let k = ((n as f64) * k_frac) as usize;
+        let (full, prefix) = intersect_counts(&[&a, &b], k, n);
+        let naive_full = (0..n).filter(|&i| bits_a[i] && bits_b[i]).count();
+        let naive_prefix = (0..k.min(n)).filter(|&i| bits_a[i] && bits_b[i]).count();
+        prop_assert_eq!(full, naive_full);
+        prop_assert_eq!(prefix, naive_prefix);
+        // Prefix counts are monotone in k and bounded by the full count.
+        prop_assert!(prefix <= full);
+    }
+
+    /// Bucketization assigns every value to a bin whose edges contain it
+    /// (up to clamping), codes are monotone in the value, and every label
+    /// parses back as a range.
+    #[test]
+    fn bucketize_is_total_and_monotone(
+        values in proptest::collection::vec(-1e6f64..1e6, 2..200),
+        bins in 1usize..8,
+        quantile in any::<bool>(),
+    ) {
+        let strategy = if quantile {
+            BinStrategy::Quantile
+        } else {
+            BinStrategy::EqualWidth
+        };
+        let edges = bin_edges(&values, bins, strategy).unwrap();
+        prop_assert!(edges.len() >= 2);
+        prop_assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+        let col = bucketize_values("v", &values, bins, strategy).unwrap();
+        let codes = col.codes().unwrap();
+        prop_assert_eq!(codes.len(), values.len());
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(codes[i] <= codes[j]);
+                }
+            }
+        }
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(usize::from(codes[i]), bin_index(v, &edges));
+        }
+    }
+
+    /// CSV round-trips arbitrary categorical content, including separators,
+    /// quotes and newlines inside fields.
+    #[test]
+    fn csv_roundtrip_arbitrary_strings(
+        cells in proptest::collection::vec("[ -~]{0,12}", 1..40),
+    ) {
+        // Build a one-column dataset; force categorical so numeric-looking
+        // strings keep their exact text.
+        let strings: Vec<String> = cells
+            .iter()
+            .map(|s| if s.is_empty() { "∅".to_string() } else { s.clone() })
+            .collect();
+        let ds = Dataset::from_columns(vec![
+            Column::categorical("payload", &strings).unwrap(),
+        ])
+        .unwrap();
+        let text = write_csv_string(&ds, ',');
+        let opts = CsvOptions {
+            force_categorical: vec!["payload".into()],
+            ..CsvOptions::default()
+        };
+        let back = read_csv_str(&text, &opts).unwrap();
+        prop_assert_eq!(back.n_rows(), ds.n_rows());
+        for r in 0..ds.n_rows() {
+            prop_assert_eq!(back.column(0).display(r), ds.column(0).display(r));
+        }
+    }
+
+    /// Dictionary encoding is a bijection between occurring labels and
+    /// codes: decoding every row reproduces the input.
+    #[test]
+    fn categorical_encoding_roundtrips(
+        values in proptest::collection::vec(0u8..6, 1..100),
+    ) {
+        let strings: Vec<String> = values.iter().map(|v| format!("val{v}")).collect();
+        let col = Column::categorical("c", &strings).unwrap();
+        for (i, s) in strings.iter().enumerate() {
+            prop_assert_eq!(col.label_of(col.code(i)).unwrap(), s.as_str());
+        }
+        let card = col.cardinality().unwrap();
+        let distinct: std::collections::BTreeSet<&String> = strings.iter().collect();
+        prop_assert_eq!(card, distinct.len());
+    }
+}

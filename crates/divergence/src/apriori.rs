@@ -1,0 +1,197 @@
+//! Level-wise Apriori frequent-pattern mining over attribute=value items
+//! (Agrawal & Srikant), the substrate the divergence baseline runs on.
+
+use rankfair_data::{Dataset, ValueCode};
+use std::collections::HashSet;
+
+/// One item: `(dataset column index, dictionary code)`.
+pub type Item = (usize, ValueCode);
+
+/// An itemset: items sorted by column index, at most one per column.
+pub type Itemset = Vec<Item>;
+
+fn row_matches(ds: &Dataset, row: usize, items: &[Item]) -> bool {
+    items.iter().all(|&(c, v)| ds.code(row, c) == v)
+}
+
+fn support(ds: &Dataset, items: &[Item]) -> usize {
+    (0..ds.n_rows())
+        .filter(|&r| row_matches(ds, r, items))
+        .count()
+}
+
+/// Joins two k-itemsets sharing their first k−1 items into a (k+1)-
+/// candidate; `None` if the last items collide on the same column.
+fn join(a: &Itemset, b: &Itemset) -> Option<Itemset> {
+    let k = a.len();
+    if a[..k - 1] != b[..k - 1] {
+        return None;
+    }
+    let (la, lb) = (a[k - 1], b[k - 1]);
+    if la.0 >= lb.0 {
+        return None; // same column (unsatisfiable) or unordered pair
+    }
+    let mut c = a.clone();
+    c.push(lb);
+    Some(c)
+}
+
+/// All itemsets with support ≥ `min_support_count` over the given
+/// categorical columns, paired with their supports. `max_len = 0` means
+/// unbounded length.
+///
+/// # Panics
+/// Panics if any column in `cols` is not categorical.
+pub fn frequent_itemsets(
+    ds: &Dataset,
+    cols: &[usize],
+    min_support_count: usize,
+    max_len: usize,
+) -> Vec<(Itemset, usize)> {
+    for &c in cols {
+        assert!(
+            ds.column(c).is_categorical(),
+            "column `{}` is not categorical",
+            ds.column(c).name()
+        );
+    }
+    let mut out: Vec<(Itemset, usize)> = Vec::new();
+    // L1.
+    let mut level: Vec<(Itemset, usize)> = Vec::new();
+    for &c in cols {
+        let card = ds.column(c).cardinality().expect("categorical checked");
+        for v in 0..card as ValueCode {
+            let s = support(ds, &[(c, v)]);
+            if s >= min_support_count {
+                level.push((vec![(c, v)], s));
+            }
+        }
+    }
+    let mut k = 1usize;
+    while !level.is_empty() {
+        out.extend(level.iter().cloned());
+        if max_len != 0 && k >= max_len {
+            break;
+        }
+        // Candidate generation: prefix join + subset pruning.
+        let frequent: HashSet<&Itemset> = level.iter().map(|(i, _)| i).collect();
+        let mut next: Vec<(Itemset, usize)> = Vec::new();
+        for i in 0..level.len() {
+            for j in 0..level.len() {
+                let Some(cand) = join(&level[i].0, &level[j].0) else {
+                    continue;
+                };
+                // Apriori pruning: every k-subset must be frequent.
+                let prunable = (0..cand.len()).any(|drop| {
+                    let mut sub = cand.clone();
+                    sub.remove(drop);
+                    !frequent.contains(&sub)
+                });
+                if prunable {
+                    continue;
+                }
+                let s = support(ds, &cand);
+                if s >= min_support_count {
+                    next.push((cand, s));
+                }
+            }
+        }
+        level = next;
+        k += 1;
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankfair_data::examples::students_fig1;
+
+    fn fig1_cols() -> (Dataset, Vec<usize>) {
+        let ds = students_fig1();
+        let cols = ds.categorical_columns();
+        (ds, cols)
+    }
+
+    #[test]
+    fn level1_supports_match_hand_counts() {
+        let (ds, cols) = fig1_cols();
+        let sets = frequent_itemsets(&ds, &cols, 1, 1);
+        // Gender F/M: 8/8; School MS/GP: 8/8; Address R/U: 8/8;
+        // Failures 1/2/0: 8/4/4 → 9 singletons.
+        assert_eq!(sets.len(), 9);
+        let school = ds.column_index("School").unwrap();
+        let gp = ds.column(school).code_of("GP").unwrap();
+        let (_, s) = sets
+            .iter()
+            .find(|(i, _)| i.as_slice() == [(school, gp)])
+            .unwrap();
+        assert_eq!(*s, 8);
+    }
+
+    #[test]
+    fn min_support_filters() {
+        let (ds, cols) = fig1_cols();
+        let sets = frequent_itemsets(&ds, &cols, 5, 1);
+        // Only the size-8 singletons survive (failures 2/0 have 4 each).
+        assert_eq!(sets.len(), 7);
+    }
+
+    #[test]
+    fn supports_are_anti_monotone_and_exact() {
+        let (ds, cols) = fig1_cols();
+        let sets = frequent_itemsets(&ds, &cols, 2, 0);
+        for (items, s) in &sets {
+            assert_eq!(*s, support(&ds, items), "support must be exact");
+            assert!(*s >= 2);
+            // Every subset must be at least as frequent.
+            for drop in 0..items.len() {
+                let mut sub = items.clone();
+                sub.remove(drop);
+                if !sub.is_empty() {
+                    assert!(support(&ds, &sub) >= *s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finds_multiterm_sets_exhaustively() {
+        // Brute-force cross-check on the level-2 itemsets.
+        let (ds, cols) = fig1_cols();
+        let sets = frequent_itemsets(&ds, &cols, 3, 2);
+        let level2: Vec<_> = sets.iter().filter(|(i, _)| i.len() == 2).collect();
+        let mut expect = 0usize;
+        for (ai, &a) in cols.iter().enumerate() {
+            for &b in &cols[ai + 1..] {
+                for va in 0..ds.column(a).cardinality().unwrap() as u16 {
+                    for vb in 0..ds.column(b).cardinality().unwrap() as u16 {
+                        if support(&ds, &[(a, va), (b, vb)]) >= 3 {
+                            expect += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(level2.len(), expect);
+    }
+
+    #[test]
+    fn max_len_caps_depth() {
+        let (ds, cols) = fig1_cols();
+        let sets = frequent_itemsets(&ds, &cols, 1, 2);
+        assert!(sets.iter().all(|(i, _)| i.len() <= 2));
+        let unbounded = frequent_itemsets(&ds, &cols, 1, 0);
+        assert!(unbounded.iter().any(|(i, _)| i.len() > 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not categorical")]
+    fn numeric_column_rejected() {
+        let ds = students_fig1();
+        let grade = ds.column_index("Grade").unwrap();
+        frequent_itemsets(&ds, &[grade], 1, 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Divergence computation over the frequent subgroups.
+
+use rankfair_data::Dataset;
+use rankfair_rank::Ranking;
+
+use crate::apriori::{frequent_itemsets, Item, Itemset};
+
+/// Configuration for [`divergent_subgroups`].
+#[derive(Debug, Clone)]
+pub struct DivergenceConfig {
+    /// Minimum support as a fraction of the dataset (§VI-D uses 0.13,
+    /// matching the detection algorithms’ τs = 50 on 395 tuples).
+    pub min_support: f64,
+    /// Cap on subgroup description length (0 = unbounded).
+    pub max_len: usize,
+    /// Dataset columns defining subgroups; `None` = all categorical.
+    pub columns: Option<Vec<usize>>,
+}
+
+impl Default for DivergenceConfig {
+    fn default() -> Self {
+        DivergenceConfig {
+            min_support: 0.13,
+            max_len: 0,
+            columns: None,
+        }
+    }
+}
+
+/// A subgroup with its divergence.
+#[derive(Debug, Clone)]
+pub struct Subgroup {
+    /// The conjunction of attribute=value items describing the group.
+    pub items: Itemset,
+    /// Number of tuples in the group.
+    pub support: usize,
+    /// Average outcome `o(G)`.
+    pub outcome: f64,
+    /// `o(G) − o(D)`.
+    pub divergence: f64,
+    /// Welch t-statistic of `o(G)` against the rest of the dataset —
+    /// the significance measure DivExplorer reports alongside divergence.
+    /// Zero when either side is empty or has no variance.
+    pub t_statistic: f64,
+}
+
+/// Welch’s t for two Bernoulli samples given their (mean, size).
+fn welch_t(mean_g: f64, n_g: usize, mean_rest: f64, n_rest: usize) -> f64 {
+    if n_g == 0 || n_rest == 0 {
+        return 0.0;
+    }
+    let var_g = mean_g * (1.0 - mean_g);
+    let var_rest = mean_rest * (1.0 - mean_rest);
+    let se = (var_g / n_g as f64 + var_rest / n_rest as f64).sqrt();
+    if se == 0.0 {
+        0.0
+    } else {
+        (mean_g - mean_rest) / se
+    }
+}
+
+/// Renders an itemset as `{col=label, …}` against the dataset dictionary.
+pub fn display_items(ds: &Dataset, items: &[Item]) -> String {
+    let mut out = String::from("{");
+    for (i, &(c, v)) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let col = ds.column(c);
+        out.push_str(col.name());
+        out.push('=');
+        out.push_str(col.label_of(v).unwrap_or("?"));
+    }
+    out.push('}');
+    out
+}
+
+/// Computes all subgroups with support ≥ `cfg.min_support · |D|` and their
+/// divergences under the top-`k` outcome function (`o(t) = 1` iff `t` is
+/// ranked in the top-`k`), sorted by divergence ascending — the most
+/// *under-performing* subgroups first, mirroring how the case study reads
+/// the output for under-representation (most negative divergence = group
+/// most absent from the top-k).
+pub fn divergent_subgroups(
+    ds: &Dataset,
+    ranking: &Ranking,
+    k: usize,
+    cfg: &DivergenceConfig,
+) -> Vec<Subgroup> {
+    let n = ds.n_rows();
+    assert!(n > 0, "empty dataset");
+    let cols = cfg
+        .columns
+        .clone()
+        .unwrap_or_else(|| ds.categorical_columns());
+    let min_count = (cfg.min_support * n as f64).ceil().max(1.0) as usize;
+    // Outcome vector: 1 for top-k tuples.
+    let mut outcome = vec![0.0f64; n];
+    for &r in ranking.top_k(k) {
+        outcome[r as usize] = 1.0;
+    }
+    let o_d: f64 = outcome.iter().sum::<f64>() / n as f64;
+
+    let total_outcome: f64 = outcome.iter().sum();
+    let mut out: Vec<Subgroup> = frequent_itemsets(ds, &cols, min_count, cfg.max_len)
+        .into_iter()
+        .map(|(items, support)| {
+            let sum: f64 = (0..n)
+                .filter(|&r| items.iter().all(|&(c, v)| ds.code(r, c) == v))
+                .map(|r| outcome[r])
+                .sum();
+            let o_g = sum / support as f64;
+            let n_rest = n - support;
+            let o_rest = if n_rest == 0 {
+                0.0
+            } else {
+                (total_outcome - sum) / n_rest as f64
+            };
+            Subgroup {
+                items,
+                support,
+                outcome: o_g,
+                divergence: o_g - o_d,
+                t_statistic: welch_t(o_g, support, o_rest, n_rest),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.divergence
+            .partial_cmp(&b.divergence)
+            .expect("divergences are finite")
+            .then(a.items.cmp(&b.items))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+
+    fn setup() -> (Dataset, Ranking) {
+        let ds = students_fig1();
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        (ds, ranking)
+    }
+
+    #[test]
+    fn dataset_outcome_is_k_over_n() {
+        let (ds, ranking) = setup();
+        let cfg = DivergenceConfig {
+            min_support: 0.2,
+            max_len: 1,
+            columns: None,
+        };
+        let subs = divergent_subgroups(&ds, &ranking, 4, &cfg);
+        // o(D) = 4/16; a subgroup holding all four top tuples would have
+        // divergence 0.75.
+        for s in &subs {
+            assert!(s.divergence >= -0.25 - 1e-12 && s.divergence <= 0.75 + 1e-12);
+            assert!((s.outcome - (s.divergence + 0.25)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn school_gp_diverges_negatively_at_k5() {
+        // Example 2.3: only one of eight GP students is in the top-5, so
+        // o(GP) = 1/8 < o(D) = 5/16.
+        let (ds, ranking) = setup();
+        let cfg = DivergenceConfig {
+            min_support: 0.2,
+            max_len: 1,
+            columns: None,
+        };
+        let subs = divergent_subgroups(&ds, &ranking, 5, &cfg);
+        let school = ds.column_index("School").unwrap();
+        let gp = ds.column(school).code_of("GP").unwrap();
+        let s = subs
+            .iter()
+            .find(|s| s.items.as_slice() == [(school, gp)])
+            .expect("GP is frequent");
+        assert!((s.outcome - 0.125).abs() < 1e-12);
+        assert!((s.divergence - (0.125 - 0.3125)).abs() < 1e-12);
+        // Sorted ascending: the most under-represented groups first.
+        assert!(subs.windows(2).all(|w| w[0].divergence <= w[1].divergence));
+    }
+
+    #[test]
+    fn output_contains_subsumed_subgroups_unlike_detection() {
+        // The §VI-D behavioural difference: the divergence method reports
+        // descendants together with their ancestors.
+        let (ds, ranking) = setup();
+        let cfg = DivergenceConfig {
+            min_support: 0.2,
+            max_len: 0,
+            columns: None,
+        };
+        let subs = divergent_subgroups(&ds, &ranking, 5, &cfg);
+        let has_subsumed_pair = subs.iter().any(|a| {
+            subs.iter().any(|b| {
+                a.items.len() < b.items.len()
+                    && a.items.iter().all(|i| b.items.contains(i))
+            })
+        });
+        assert!(has_subsumed_pair);
+        assert!(subs.len() > 9, "expected many subgroups, got {}", subs.len());
+    }
+
+    #[test]
+    fn display_renders_labels() {
+        let (ds, _) = setup();
+        let school = ds.column_index("School").unwrap();
+        let gender = ds.column_index("Gender").unwrap();
+        let text = display_items(&ds, &[(gender, 0), (school, 1)]);
+        assert_eq!(text, "{Gender=F, School=GP}");
+    }
+
+    #[test]
+    fn restricting_columns_limits_descriptions() {
+        let (ds, ranking) = setup();
+        let gender = ds.column_index("Gender").unwrap();
+        let cfg = DivergenceConfig {
+            min_support: 0.1,
+            max_len: 0,
+            columns: Some(vec![gender]),
+        };
+        let subs = divergent_subgroups(&ds, &ranking, 5, &cfg);
+        assert!(subs.iter().all(|s| s.items.iter().all(|&(c, _)| c == gender)));
+        assert_eq!(subs.len(), 2); // F and M
+    }
+}
+
+#[cfg(test)]
+mod t_stat_tests {
+    use super::*;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+
+    #[test]
+    fn t_statistic_sign_follows_divergence() {
+        let ds = students_fig1();
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let cfg = DivergenceConfig {
+            min_support: 0.2,
+            max_len: 2,
+            columns: None,
+        };
+        for s in divergent_subgroups(&ds, &ranking, 5, &cfg) {
+            if s.divergence > 1e-12 {
+                assert!(s.t_statistic > 0.0, "{:?}", s.items);
+            }
+            if s.divergence < -1e-12 {
+                assert!(s.t_statistic < 0.0, "{:?}", s.items);
+            }
+        }
+    }
+
+    #[test]
+    fn welch_t_known_value() {
+        // o(G) = 0.5 over 8 vs o(rest) = 0.25 over 8:
+        // se = sqrt(0.25/8 + 0.1875/8); t = 0.25 / se.
+        let t = welch_t(0.5, 8, 0.25, 8);
+        let se = (0.25f64 / 8.0 + 0.1875 / 8.0).sqrt();
+        assert!((t - 0.25 / se).abs() < 1e-12);
+        assert_eq!(welch_t(0.5, 0, 0.25, 8), 0.0);
+        assert_eq!(welch_t(1.0, 8, 1.0, 8), 0.0); // zero variance
+    }
+
+    #[test]
+    fn larger_groups_get_stronger_statistics() {
+        // Same divergence, more data → larger |t|.
+        let small = welch_t(0.4, 10, 0.6, 10).abs();
+        let large = welch_t(0.4, 100, 0.6, 100).abs();
+        assert!(large > small);
+    }
+}

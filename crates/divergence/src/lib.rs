@@ -1,0 +1,29 @@
+//! Divergence-based biased-subgroup detection — a from-scratch
+//! reimplementation of the comparison method of Pastor, de Alfaro &
+//! Baralis (“Identifying biased subgroups in ranking and classification”),
+//! which the paper evaluates against in §VI-D.
+//!
+//! The method differs from the paper’s by design:
+//!
+//! * subgroups are **all frequent patterns** (support ≥ s) — not just the
+//!   most general ones — mined here with a classic level-wise Apriori
+//!   ([`frequent_itemsets`]);
+//! * each tuple gets an outcome `o(t)`; for ranking, `o(t) = 1` iff `t` is
+//!   among the top-k (the instantiation §VI-D uses);
+//! * a subgroup’s **divergence** is `o(G) − o(D)`: how much its average
+//!   outcome deviates from the dataset average; results are reported
+//!   sorted by divergence.
+//!
+//! Consequently its output is typically much larger than the detection
+//! algorithms’ and contains subgroups subsumed by one another — exactly
+//! the behavioural difference the paper’s case study demonstrates, and
+//! which the integration tests of this workspace reproduce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apriori;
+mod divergent;
+
+pub use apriori::{frequent_itemsets, Item, Itemset};
+pub use divergent::{divergent_subgroups, display_items, DivergenceConfig, Subgroup};

@@ -1,0 +1,182 @@
+//! Value-distribution comparison between the top-k tuples and a detected
+//! group (Figures 10d–f of the paper).
+//!
+//! “Since the number of tuples in the top-k and the detected group differ,
+//! the y-axis represents the proportion of tuples (rather than their
+//! count)” — so both sides are normalized to proportions over a shared
+//! set of value labels.
+
+use rankfair_data::{bucketize, ColumnData, Dataset};
+
+/// A two-population histogram over the values of one attribute.
+#[derive(Debug, Clone)]
+pub struct DistributionComparison {
+    /// Attribute the histogram describes.
+    pub attribute: String,
+    /// Value labels, in display order.
+    pub labels: Vec<String>,
+    /// Proportion of the top-k tuples per label (sums to 1).
+    pub topk: Vec<f64>,
+    /// Proportion of the group tuples per label (sums to 1).
+    pub group: Vec<f64>,
+}
+
+/// Number of display bins for numeric attributes (the paper’s figures use
+/// a handful of buckets).
+const NUMERIC_BINS: usize = 6;
+
+/// Builds the comparison for column `col` of `ds` between `topk_rows` and
+/// `group_rows`.
+///
+/// Categorical columns use their dictionary; numeric columns are binned
+/// equal-width over the union of both populations.
+pub fn compare_distributions(
+    ds: &Dataset,
+    col: &str,
+    topk_rows: &[u32],
+    group_rows: &[u32],
+) -> DistributionComparison {
+    let column = ds
+        .column_by_name(col)
+        .unwrap_or_else(|| panic!("no column named `{col}`"));
+    assert!(
+        !topk_rows.is_empty() && !group_rows.is_empty(),
+        "both populations must be non-empty"
+    );
+    let (labels, assign): (Vec<String>, Box<dyn Fn(usize) -> usize>) = match column.data() {
+        ColumnData::Categorical { labels, .. } => {
+            let labels = labels.clone();
+            (labels, Box::new(|row| usize::from(column.code(row))))
+        }
+        ColumnData::Numeric { values } => {
+            let pool: Vec<f64> = topk_rows
+                .iter()
+                .chain(group_rows)
+                .map(|&r| values[r as usize])
+                .collect();
+            let edges = bucketize::bin_edges(&pool, NUMERIC_BINS, bucketize::BinStrategy::EqualWidth)
+                .expect("non-empty numeric pool");
+            let labels: Vec<String> = (0..edges.len() - 1)
+                .map(|i| bucketize::bin_label(&edges, i))
+                .collect();
+            (
+                labels,
+                Box::new(move |row| bucketize::bin_index(values[row], &edges)),
+            )
+        }
+    };
+    let n_labels = labels.len();
+    let histogram = |rows: &[u32]| -> Vec<f64> {
+        let mut counts = vec![0usize; n_labels];
+        for &r in rows {
+            counts[assign(r as usize)] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / rows.len() as f64)
+            .collect()
+    };
+    let topk = histogram(topk_rows);
+    let group = histogram(group_rows);
+    DistributionComparison {
+        attribute: col.to_string(),
+        labels,
+        topk,
+        group,
+    }
+}
+
+impl DistributionComparison {
+    /// Total variation distance between the two distributions — a single
+    /// number for “how different the group looks” on this attribute.
+    pub fn total_variation(&self) -> f64 {
+        self.topk
+            .iter()
+            .zip(&self.group)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Renders the two distributions side by side as a text table.
+    pub fn render(&self) -> String {
+        let width = self
+            .labels
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(5)
+            .max("value".len());
+        let mut out = format!(
+            "{:width$}  {:>8}  {:>8}\n",
+            format!("{} value", self.attribute),
+            "top-k",
+            "group",
+            width = width + 6
+        );
+        for (i, label) in self.labels.iter().enumerate() {
+            out.push_str(&format!(
+                "{:width$}  {:>7.1}%  {:>7.1}%\n",
+                label,
+                self.topk[i] * 100.0,
+                self.group[i] * 100.0,
+                width = width + 6
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+
+    #[test]
+    fn fig1_grade_distribution_separates_topk_from_low_group() {
+        let ds = students_fig1();
+        let order = fig1_rank_order();
+        let topk: Vec<u32> = order[..5].to_vec();
+        let bottom: Vec<u32> = order[11..].to_vec();
+        let cmp = compare_distributions(&ds, "Grade", &topk, &bottom);
+        // Proportions sum to 1 on both sides.
+        assert!((cmp.topk.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((cmp.group.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The populations are disjoint in grade, so the distance is 1.
+        assert!((cmp.total_variation() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorical_comparison_uses_dictionary_labels() {
+        let ds = students_fig1();
+        let cmp = compare_distributions(&ds, "School", &[11, 4, 1], &[0, 2, 3]);
+        assert_eq!(cmp.labels, vec!["MS".to_string(), "GP".to_string()]);
+        // top rows 12,5,2 → MS,MS? tuple12=GP, tuple5=MS, tuple2=MS.
+        assert!((cmp.topk[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((cmp.topk[1] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_populations_have_zero_distance() {
+        let ds = students_fig1();
+        let rows: Vec<u32> = (0..16).collect();
+        let cmp = compare_distributions(&ds, "Gender", &rows, &rows);
+        assert_eq!(cmp.total_variation(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_labels_and_percentages() {
+        let ds = students_fig1();
+        let cmp = compare_distributions(&ds, "Address", &[11, 4], &[0, 1]);
+        let text = cmp.render();
+        assert!(text.contains("Address value"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_rejected() {
+        let ds = students_fig1();
+        compare_distributions(&ds, "Gender", &[], &[0]);
+    }
+}

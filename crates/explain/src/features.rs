@@ -1,0 +1,129 @@
+use rankfair_data::{ColumnData, Dataset};
+
+/// How a feature’s raw `f64` values should be interpreted by tree splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Ordered values: splits are `x ≤ threshold`.
+    Numeric,
+    /// Dictionary codes: splits are `x == value`.
+    Categorical,
+}
+
+/// A dense row-major feature matrix derived from a [`Dataset`].
+///
+/// Categorical columns contribute their dictionary code (with
+/// [`FeatureKind::Categorical`], so trees use equality splits rather than
+/// pretending codes are ordered); numeric columns contribute their value.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    names: Vec<String>,
+    kinds: Vec<FeatureKind>,
+    data: Vec<f64>,
+    n_rows: usize,
+}
+
+impl FeatureMatrix {
+    /// Builds the matrix from every column of `ds`.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        Self::from_dataset_excluding(ds, &[])
+    }
+
+    /// Builds the matrix excluding the named columns (e.g. a column that
+    /// *is* the regression target).
+    pub fn from_dataset_excluding(ds: &Dataset, exclude: &[&str]) -> Self {
+        let cols: Vec<usize> = (0..ds.n_cols())
+            .filter(|&i| !exclude.contains(&ds.column(i).name()))
+            .collect();
+        let n_rows = ds.n_rows();
+        let mut names = Vec::with_capacity(cols.len());
+        let mut kinds = Vec::with_capacity(cols.len());
+        let mut data = vec![0.0; n_rows * cols.len()];
+        for (f, &c) in cols.iter().enumerate() {
+            let col = ds.column(c);
+            names.push(col.name().to_string());
+            match col.data() {
+                ColumnData::Categorical { codes, .. } => {
+                    kinds.push(FeatureKind::Categorical);
+                    for (r, &code) in codes.iter().enumerate() {
+                        data[r * cols.len() + f] = f64::from(code);
+                    }
+                }
+                ColumnData::Numeric { values } => {
+                    kinds.push(FeatureKind::Numeric);
+                    for (r, &v) in values.iter().enumerate() {
+                        data[r * cols.len() + f] = v;
+                    }
+                }
+            }
+        }
+        FeatureMatrix {
+            names,
+            kinds,
+            data,
+            n_rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Feature names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Feature kinds, in column order.
+    pub fn kinds(&self) -> &[FeatureKind] {
+        &self.kinds
+    }
+
+    /// The feature vector of `row`.
+    pub fn row(&self, row: usize) -> &[f64] {
+        let m = self.n_features();
+        &self.data[row * m..(row + 1) * m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankfair_data::examples::students_fig1;
+
+    #[test]
+    fn shape_and_kinds() {
+        let ds = students_fig1();
+        let fm = FeatureMatrix::from_dataset(&ds);
+        assert_eq!(fm.n_rows(), 16);
+        assert_eq!(fm.n_features(), 5);
+        assert_eq!(fm.kinds()[0], FeatureKind::Categorical); // Gender
+        assert_eq!(fm.kinds()[4], FeatureKind::Numeric); // Grade
+        assert_eq!(fm.names()[4], "Grade");
+    }
+
+    #[test]
+    fn rows_carry_codes_and_values() {
+        let ds = students_fig1();
+        let fm = FeatureMatrix::from_dataset(&ds);
+        // Row 0 (tuple 1): F, MS, R, failures "1", grade 11.
+        let r0 = fm.row(0);
+        assert_eq!(r0[0], 0.0); // F encodes first
+        assert_eq!(r0[4], 11.0);
+        // Row 11 (tuple 12): grade 20.
+        assert_eq!(fm.row(11)[4], 20.0);
+    }
+
+    #[test]
+    fn exclusion_removes_columns() {
+        let ds = students_fig1();
+        let fm = FeatureMatrix::from_dataset_excluding(&ds, &["Grade"]);
+        assert_eq!(fm.n_features(), 4);
+        assert!(!fm.names().iter().any(|n| n == "Grade"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Random-forest regressor: bagged [`RegressionTree`]s with per-split
+//! feature subsampling. Serves as the surrogate `M_R` of the paper’s §V.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+use crate::features::FeatureMatrix;
+use crate::shapley::Regressor;
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Hyper-parameters for the forest.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Parameters of each tree; `features_per_split = 0` is replaced by
+    /// ⌈√m⌉ at fit time.
+    pub tree: TreeParams,
+    /// RNG seed (bootstrap + feature subsampling).
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 30,
+            tree: TreeParams::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    trees: Vec<RegressionTree>,
+}
+
+impl Forest {
+    /// Fits the forest on `(x, y)`.
+    pub fn fit(x: &FeatureMatrix, y: &[f64], params: ForestParams) -> Self {
+        assert_eq!(x.n_rows(), y.len(), "feature/target length mismatch");
+        assert!(params.n_trees > 0, "need at least one tree");
+        let n = x.n_rows();
+        let mut tree_params = params.tree;
+        if tree_params.features_per_split == 0 {
+            tree_params.features_per_split = (x.n_features() as f64).sqrt().ceil() as usize;
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let trees = (0..params.n_trees)
+            .map(|_| {
+                // Bootstrap sample (with replacement).
+                let idx: Vec<u32> = (0..n).map(|_| rng.random_range(0..n as u32)).collect();
+                RegressionTree::fit_on(x, y, &idx, tree_params, &mut rng)
+            })
+            .collect();
+        Forest { trees }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// In-sample R²: 1 − SSE/SST, a cheap sanity metric used by tests and
+    /// the experiment harness to confirm the surrogate actually imitates
+    /// the ranker.
+    pub fn r2(&self, x: &FeatureMatrix, y: &[f64]) -> f64 {
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let sst: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+        let sse: f64 = (0..x.n_rows())
+            .map(|r| (self.predict_row(x.row(r)) - y[r]).powi(2))
+            .sum();
+        1.0 - sse / sst.max(1e-12)
+    }
+}
+
+impl Regressor for Forest {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankfair_data::Dataset;
+
+    fn linear_data(n: usize) -> (FeatureMatrix, Vec<f64>) {
+        let a: Vec<f64> = (0..n).map(|i| (i % 37) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 11) % 23) as f64).collect();
+        let y: Vec<f64> = a.iter().zip(&b).map(|(&x0, &x1)| 3.0 * x0 - x1).collect();
+        let ds = Dataset::builder()
+            .numeric("a", a)
+            .numeric("b", b)
+            .build()
+            .unwrap();
+        (FeatureMatrix::from_dataset(&ds), y)
+    }
+
+    #[test]
+    fn forest_fits_linear_target_well() {
+        let (x, y) = linear_data(400);
+        let forest = Forest::fit(&x, &y, ForestParams::default());
+        assert!(forest.r2(&x, &y) > 0.9, "R² = {}", forest.r2(&x, &y));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = linear_data(150);
+        let f1 = Forest::fit(&x, &y, ForestParams::default());
+        let f2 = Forest::fit(&x, &y, ForestParams::default());
+        for r in 0..x.n_rows() {
+            assert_eq!(f1.predict_row(x.row(r)), f2.predict_row(x.row(r)));
+        }
+        let f3 = Forest::fit(
+            &x,
+            &y,
+            ForestParams {
+                seed: 7,
+                ..ForestParams::default()
+            },
+        );
+        let differs = (0..x.n_rows()).any(|r| f1.predict_row(x.row(r)) != f3.predict_row(x.row(r)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn predictions_within_target_range() {
+        let (x, y) = linear_data(200);
+        let forest = Forest::fit(&x, &y, ForestParams::default());
+        let (lo, hi) = y
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+        for r in 0..x.n_rows() {
+            let p = forest.predict_row(x.row(r));
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let (x, y) = linear_data(10);
+        Forest::fit(
+            &x,
+            &y,
+            ForestParams {
+                n_trees: 0,
+                ..ForestParams::default()
+            },
+        );
+    }
+}

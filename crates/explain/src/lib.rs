@@ -1,0 +1,50 @@
+//! Result analysis via Shapley values (§V of the paper).
+//!
+//! Given a group detected as biased, an analyst wants to know *why* the
+//! ranking placed the group low. The paper’s method, reproduced here:
+//!
+//! 1. train a regression model `M_R` on `D_R = {(t, rank(t))}` — a
+//!    surrogate of the black-box ranker ([`RankSurrogate`], a random
+//!    forest over mixed categorical/numeric features built from scratch in
+//!    `tree` / `forest`);
+//! 2. compute Shapley values of `M_R` for every tuple of the detected
+//!    group with a permutation-sampling estimator ([`shapley_for_row`], after
+//!    Štrumbelj & Kononenko, which the paper cites as its foundation);
+//! 3. aggregate per attribute over the group,
+//!    `s_i = Σ_{t ⊨ p} s_i^t / s_D(p)` ([`GroupExplanation`]), and report
+//!    the attributes with the largest aggregated values (Figures 10a–c);
+//! 4. compare the value distribution of the top attribute between the
+//!    top-k tuples and the group ([`distribution`], Figures 10d–f).
+//!
+//! ```
+//! use rankfair_explain::{ExplainConfig, RankSurrogate};
+//! use rankfair_data::examples::{students_fig1, fig1_rank_order};
+//! use rankfair_rank::Ranking;
+//!
+//! let ds = students_fig1();
+//! let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+//! let surrogate = RankSurrogate::fit(&ds, &ranking, &ExplainConfig::fast());
+//! // Grade is the attribute that actually drives this ranking, so for a
+//! // group of low-graded students its aggregated Shapley value dominates.
+//! let group: Vec<u32> = vec![3, 5, 6, 7, 9, 14]; // grades 4–7
+//! let explanation = surrogate.explain_group(&group);
+//! assert_eq!(explanation.ranked_attributes()[0].0, "Grade");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+mod features;
+mod importance;
+mod forest;
+mod shapley;
+mod surrogate;
+mod tree;
+
+pub use features::{FeatureKind, FeatureMatrix};
+pub use forest::{Forest, ForestParams};
+pub use importance::{permutation_importance, FeatureImportance};
+pub use shapley::{shapley_for_row, Regressor};
+pub use surrogate::{ExplainConfig, GroupExplanation, RankSurrogate};
+pub use tree::{RegressionTree, TreeParams};

@@ -1,0 +1,42 @@
+//! Ranking substrate: black-box rankers and rankings-as-permutations.
+//!
+//! The paper treats the ranking algorithm `R` as a black box (§III, “the
+//! ranking algorithm is treated as a black box, making the problem model
+//! agnostic”). This crate provides:
+//!
+//! * [`Ranking`] — a validated permutation of row ids with O(1) access to
+//!   both directions (`order[rank] = row`, `position[row] = rank`);
+//! * the [`Ranker`] trait — anything that turns a dataset into a
+//!   [`Ranking`];
+//! * three concrete rankers mirroring §VI-A of the paper:
+//!   [`AttributeRanker`] (Student: final grade descending, failures as
+//!   tie-breaker), [`LinearScoreRanker`] (COMPAS: sum of min–max-normalized
+//!   scoring attributes, age inverted), and [`FnRanker`] (arbitrary
+//!   user-supplied scoring, standing in for externally provided rankings
+//!   such as the German Credit creditworthiness order).
+//!
+//! All rankers sort **stably**, breaking remaining ties by row id, so a
+//! given dataset always produces the same ranking — a property the
+//! incremental detection algorithms and the test suite rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rankers;
+mod ranking;
+
+pub use rankers::{AttributeRanker, FnRanker, LinearScoreRanker, ScoreTerm, SortKey};
+pub use ranking::{Ranking, RankingError};
+
+use rankfair_data::Dataset;
+
+/// A black-box ranking algorithm.
+pub trait Ranker {
+    /// Produces the ranking of every row of `ds`.
+    fn rank(&self, ds: &Dataset) -> Ranking;
+
+    /// Human-readable name used in reports and benchmark output.
+    fn name(&self) -> &str {
+        "ranker"
+    }
+}

@@ -1,0 +1,175 @@
+use std::fmt;
+
+use rankfair_data::TupleId;
+
+/// Error returned when a ranking is not a permutation of `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankingError(pub String);
+
+impl fmt::Display for RankingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ranking: {}", self.0)
+    }
+}
+
+impl std::error::Error for RankingError {}
+
+/// A total ranking of the dataset’s rows.
+///
+/// `order()[p]` is the row at rank position `p` (0-based: position 0 is the
+/// best-ranked item, the paper’s rank 1), and `position(row)` is the inverse
+/// map. The top-k of the paper, `R_k(D)`, is `order()[..k]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ranking {
+    order: Vec<TupleId>,
+    position: Vec<u32>,
+}
+
+impl Ranking {
+    /// Builds a ranking from rows listed best-first, validating that it is
+    /// a permutation of `0..order.len()`.
+    pub fn from_order(order: Vec<TupleId>) -> Result<Self, RankingError> {
+        let n = order.len();
+        let mut position = vec![u32::MAX; n];
+        for (p, &row) in order.iter().enumerate() {
+            let r = row as usize;
+            if r >= n {
+                return Err(RankingError(format!("row {row} out of range 0..{n}")));
+            }
+            if position[r] != u32::MAX {
+                return Err(RankingError(format!("row {row} appears twice")));
+            }
+            position[r] = p as u32;
+        }
+        Ok(Ranking { order, position })
+    }
+
+    /// Ranks rows by `score` descending, breaking ties by row id (stable).
+    pub fn from_scores_desc(scores: &[f64]) -> Self {
+        let mut order: Vec<TupleId> = (0..scores.len() as u32).collect();
+        // Stable sort keeps row-id order within equal scores.
+        order.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("scores must not be NaN")
+        });
+        Self::from_order(order).expect("sort of 0..n is a permutation")
+    }
+
+    /// Number of ranked rows.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Rows best-first.
+    pub fn order(&self) -> &[TupleId] {
+        &self.order
+    }
+
+    /// The top-k rows, `R_k(D)` in the paper’s notation. Clamps `k` to the
+    /// dataset size.
+    pub fn top_k(&self, k: usize) -> &[TupleId] {
+        &self.order[..k.min(self.order.len())]
+    }
+
+    /// The row at 0-based rank position `p` — `R(D)[p+1]` in the paper.
+    pub fn at(&self, p: usize) -> TupleId {
+        self.order[p]
+    }
+
+    /// 0-based rank position of `row`.
+    pub fn position(&self, row: TupleId) -> usize {
+        self.position[row as usize] as usize
+    }
+
+    /// 1-based rank (the paper’s `Rank` column) of `row`.
+    pub fn rank(&self, row: TupleId) -> usize {
+        self.position(row) + 1
+    }
+
+    /// The 1-based rank of every row, indexed by row id. This is the
+    /// regression target `D_R = {(t, R(D)[t])}` used by the explanation
+    /// module (§V).
+    pub fn rank_vector(&self) -> Vec<f64> {
+        self.position.iter().map(|&p| (p + 1) as f64).collect()
+    }
+
+    /// 1-based ranks of the given rows, sorted ascending — handy when a
+    /// report wants to show where a detected group's members sit.
+    pub fn group_ranks(&self, rows: &[TupleId]) -> Vec<usize> {
+        let mut ranks: Vec<usize> = rows.iter().map(|&r| self.rank(r)).collect();
+        ranks.sort_unstable();
+        ranks
+    }
+
+    /// Mean 1-based rank of the given rows (`NaN`-free: returns `None` for
+    /// an empty group).
+    pub fn mean_rank(&self, rows: &[TupleId]) -> Option<f64> {
+        if rows.is_empty() {
+            return None;
+        }
+        Some(rows.iter().map(|&r| self.rank(r) as f64).sum::<f64>() / rows.len() as f64)
+    }
+
+    /// How many of the given rows appear in the top-`k` — `s_Rk` computed
+    /// directly from the ranking for callers without a bitmap index.
+    pub fn count_in_top_k(&self, rows: &[TupleId], k: usize) -> usize {
+        rows.iter().filter(|&&r| self.position(r) < k).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_order_validates_permutation() {
+        assert!(Ranking::from_order(vec![0, 1, 2]).is_ok());
+        assert!(Ranking::from_order(vec![0, 0, 2]).is_err());
+        assert!(Ranking::from_order(vec![0, 3]).is_err());
+    }
+
+    #[test]
+    fn positions_are_inverse_of_order() {
+        let r = Ranking::from_order(vec![2, 0, 1]).unwrap();
+        assert_eq!(r.position(2), 0);
+        assert_eq!(r.position(0), 1);
+        assert_eq!(r.position(1), 2);
+        assert_eq!(r.rank(2), 1);
+        assert_eq!(r.at(0), 2);
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let r = Ranking::from_order(vec![1, 0]).unwrap();
+        assert_eq!(r.top_k(1), &[1]);
+        assert_eq!(r.top_k(10), &[1, 0]);
+    }
+
+    #[test]
+    fn from_scores_desc_breaks_ties_by_row() {
+        let r = Ranking::from_scores_desc(&[1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(r.order(), &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn rank_vector_is_one_based() {
+        let r = Ranking::from_order(vec![1, 0]).unwrap();
+        assert_eq!(r.rank_vector(), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn group_helpers() {
+        let r = Ranking::from_order(vec![2, 0, 3, 1]).unwrap();
+        assert_eq!(r.group_ranks(&[1, 2]), vec![1, 4]);
+        assert_eq!(r.mean_rank(&[1, 2]), Some(2.5));
+        assert_eq!(r.mean_rank(&[]), None);
+        assert_eq!(r.count_in_top_k(&[1, 2, 3], 2), 1); // only row 2 in top-2
+        assert_eq!(r.count_in_top_k(&[1, 2, 3], 3), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Synthetic German Credit dataset (UCI Statlog: 1,000 applicants × 20
+//! attributes).
+//!
+//! The paper ranks this dataset “based on creditworthiness” following
+//! Yang & Stoyanovich, with the actual ranker treated as unknown; its
+//! Shapley analysis (§VI-C, Fig. 10c) surfaces *residence length, duration
+//! in month, credit amount and installment rate* as the strongest
+//! attributes. The generator therefore plants a creditworthiness signal in
+//! exactly those columns (plus the checking-account status used to define
+//! the detected group p3), and distributes the remaining attributes with
+//! the real file’s marginals.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rankfair_data::{Column, Dataset};
+
+use crate::util::{gaussian, sample_weighted};
+use crate::SynthConfig;
+
+const DEFAULT_ROWS: usize = 1000;
+
+/// Generates the synthetic German Credit dataset. `duration`,
+/// `credit_amount` and `age` are numeric; everything else categorical
+/// (ordinal attributes use numeric labels so rankers can parse them).
+pub fn german_credit(cfg: SynthConfig) -> Dataset {
+    let n = if cfg.rows == 0 { DEFAULT_ROWS } else { cfg.rows };
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4745_524d_414e_2121);
+
+    let status_labels = ["<0 DM", "0<=...<200 DM", ">=200 DM", "no account"];
+    let history_labels = [
+        "no credits",
+        "all paid",
+        "existing paid",
+        "delay in past",
+        "critical",
+    ];
+    let purpose_labels = [
+        "car (new)",
+        "car (used)",
+        "furniture",
+        "radio/TV",
+        "appliances",
+        "repairs",
+        "education",
+        "retraining",
+        "business",
+        "others",
+    ];
+    let savings_labels = ["<100 DM", "100<=...<500 DM", "500<=...<1000 DM", ">=1000 DM", "unknown"];
+    let employ_labels = ["unemployed", "<1 yr", "1<=...<4 yrs", "4<=...<7 yrs", ">=7 yrs"];
+    let personal_labels = [
+        "male divorced",
+        "female div/married",
+        "male single",
+        "male married",
+    ];
+
+    let mut status = Vec::with_capacity(n);
+    let mut duration = Vec::with_capacity(n);
+    let mut history = Vec::with_capacity(n);
+    let mut purpose = Vec::with_capacity(n);
+    let mut amount = Vec::with_capacity(n);
+    let mut savings = Vec::with_capacity(n);
+    let mut employment = Vec::with_capacity(n);
+    let mut installment = Vec::with_capacity(n);
+    let mut personal = Vec::with_capacity(n);
+    let mut debtors = Vec::with_capacity(n);
+    let mut residence = Vec::with_capacity(n);
+    let mut property = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut plans = Vec::with_capacity(n);
+    let mut housing = Vec::with_capacity(n);
+    let mut existing = Vec::with_capacity(n);
+    let mut job = Vec::with_capacity(n);
+    let mut liable = Vec::with_capacity(n);
+    let mut telephone = Vec::with_capacity(n);
+    let mut foreign = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // Latent financial stability.
+        let stab = gaussian(&mut rng);
+        let st_idx = sample_weighted(
+            &mut rng,
+            &if stab > 0.5 {
+                [0.10, 0.20, 0.15, 0.55]
+            } else if stab > -0.5 {
+                [0.25, 0.30, 0.06, 0.39]
+            } else {
+                [0.45, 0.30, 0.03, 0.22]
+            },
+        );
+        status.push(status_labels[st_idx].to_string());
+        // Duration 4–72 months; stable applicants borrow shorter.
+        let dur = (21.0 - 4.0 * stab + gaussian(&mut rng) * 10.0).clamp(4.0, 72.0).round();
+        duration.push(dur);
+        history.push(
+            history_labels[sample_weighted(&mut rng, &[0.04, 0.05, 0.53, 0.09, 0.29])].to_string(),
+        );
+        purpose.push(
+            purpose_labels[sample_weighted(
+                &mut rng,
+                &[0.23, 0.10, 0.18, 0.28, 0.01, 0.02, 0.05, 0.01, 0.10, 0.02],
+            )]
+            .to_string(),
+        );
+        // Credit amount: log-normal, correlated with duration.
+        let amt = (250.0 * ((gaussian(&mut rng) * 0.7 + 2.0 + 0.02 * dur).exp()))
+            .clamp(250.0, 18500.0)
+            .round();
+        amount.push(amt);
+        savings.push(
+            savings_labels[sample_weighted(
+                &mut rng,
+                &if stab > 0.0 {
+                    [0.40, 0.12, 0.08, 0.12, 0.28]
+                } else {
+                    [0.75, 0.10, 0.04, 0.02, 0.09]
+                },
+            )]
+            .to_string(),
+        );
+        employment.push(
+            employ_labels[sample_weighted(&mut rng, &[0.06, 0.17, 0.34, 0.17, 0.26])].to_string(),
+        );
+        installment.push((1 + sample_weighted(&mut rng, &[0.14, 0.23, 0.16, 0.47])).to_string());
+        personal.push(
+            personal_labels[sample_weighted(&mut rng, &[0.05, 0.31, 0.55, 0.09])].to_string(),
+        );
+        debtors.push(
+            ["none", "co-applicant", "guarantor"][sample_weighted(&mut rng, &[0.91, 0.04, 0.05])]
+                .to_string(),
+        );
+        // Residence length 1–4, mildly tied to stability/age.
+        let res = 1 + sample_weighted(
+            &mut rng,
+            &if stab > 0.0 {
+                [0.10, 0.25, 0.15, 0.50]
+            } else {
+                [0.18, 0.36, 0.17, 0.29]
+            },
+        );
+        residence.push(res.to_string());
+        property.push(
+            ["real estate", "savings agreement", "car", "unknown"]
+                [sample_weighted(&mut rng, &[0.28, 0.23, 0.33, 0.16])]
+            .to_string(),
+        );
+        let a = (19.0 + (gaussian(&mut rng) * 0.4 + 2.7).exp() * 0.9).clamp(19.0, 75.0).round();
+        age.push(a);
+        plans.push(
+            ["bank", "stores", "none"][sample_weighted(&mut rng, &[0.14, 0.05, 0.81])].to_string(),
+        );
+        housing.push(
+            ["rent", "own", "for free"][sample_weighted(&mut rng, &[0.18, 0.71, 0.11])].to_string(),
+        );
+        existing.push((1 + sample_weighted(&mut rng, &[0.63, 0.33, 0.03, 0.01])).to_string());
+        job.push(
+            [
+                "unemployed non-resident",
+                "unskilled resident",
+                "skilled",
+                "management",
+            ][sample_weighted(&mut rng, &[0.02, 0.20, 0.63, 0.15])]
+            .to_string(),
+        );
+        liable.push((1 + sample_weighted(&mut rng, &[0.845, 0.155])).to_string());
+        telephone.push(if rng.random::<f64>() < 0.40 { "yes" } else { "none" }.to_string());
+        foreign.push(if rng.random::<f64>() < 0.963 { "yes" } else { "no" }.to_string());
+    }
+
+    let cat = |name: &str, v: &[String]| Column::categorical(name, v).expect("small dictionary");
+    let cols = vec![
+        cat("status_checking", &status),
+        Column::numeric("duration", duration),
+        cat("credit_history", &history),
+        cat("purpose", &purpose),
+        Column::numeric("credit_amount", amount),
+        cat("savings", &savings),
+        cat("employment_since", &employment),
+        cat("installment_rate", &installment),
+        cat("personal_status_sex", &personal),
+        cat("other_debtors", &debtors),
+        cat("residence_since", &residence),
+        cat("property", &property),
+        Column::numeric("age", age),
+        cat("other_installment_plans", &plans),
+        cat("housing", &housing),
+        cat("existing_credits", &existing),
+        cat("job", &job),
+        cat("people_liable", &liable),
+        cat("telephone", &telephone),
+        cat("foreign_worker", &foreign),
+    ];
+    Dataset::from_columns(cols).expect("columns share the row count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape_matches_paper() {
+        let ds = german_credit(SynthConfig::default());
+        assert_eq!(ds.n_rows(), 1000);
+        assert_eq!(ds.n_cols(), 20);
+        assert_eq!(ds.numeric_columns().len(), 3); // duration, amount, age
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            german_credit(SynthConfig::new(200, 3)),
+            german_credit(SynthConfig::new(200, 3))
+        );
+        assert_ne!(
+            german_credit(SynthConfig::new(200, 3)),
+            german_credit(SynthConfig::new(200, 4))
+        );
+    }
+
+    #[test]
+    fn account_status_has_all_four_values_with_mass() {
+        let ds = german_credit(SynthConfig::new(2000, 1));
+        let c = ds.column_by_name("status_checking").unwrap();
+        assert_eq!(c.cardinality(), Some(4));
+        for v in 0..4 {
+            let count = (0..ds.n_rows()).filter(|&r| c.code(r) == v).count();
+            assert!(count > 50, "value {v} occurs only {count} times");
+        }
+    }
+
+    #[test]
+    fn durations_and_amounts_in_range() {
+        let ds = german_credit(SynthConfig::new(1000, 2));
+        let dur = ds.column_by_name("duration").unwrap().values().unwrap();
+        assert!(dur.iter().all(|&d| (4.0..=72.0).contains(&d)));
+        let amt = ds.column_by_name("credit_amount").unwrap().values().unwrap();
+        assert!(amt.iter().all(|&a| (250.0..=18500.0).contains(&a)));
+    }
+
+    #[test]
+    fn ordinal_labels_parse_as_numbers() {
+        let ds = german_credit(SynthConfig::new(100, 7));
+        for name in ["installment_rate", "residence_since", "existing_credits"] {
+            let c = ds.column_by_name(name).unwrap();
+            for v in 0..c.cardinality().unwrap() as u16 {
+                assert!(c.label_of(v).unwrap().parse::<f64>().is_ok());
+            }
+        }
+    }
+}

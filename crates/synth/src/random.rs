@@ -1,0 +1,103 @@
+//! Random instances for differential and property-based testing.
+
+use rand::{rngs::StdRng, seq::SliceRandom, RngExt, SeedableRng};
+use rankfair_data::{Column, Dataset, ValueCode};
+
+/// Shape of a random dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSpec {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of categorical attributes.
+    pub attrs: usize,
+    /// Maximum cardinality per attribute (each attribute draws its own
+    /// cardinality in `2..=max_card`).
+    pub max_card: usize,
+}
+
+/// Generates a random categorical dataset. Value distributions are skewed
+/// (Zipf-ish) so minorities exist, which is what makes detection
+/// interesting.
+pub fn random_dataset(seed: u64, spec: RandomSpec) -> Dataset {
+    assert!(spec.rows > 0 && spec.attrs > 0 && spec.max_card >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols = Vec::with_capacity(spec.attrs);
+    for a in 0..spec.attrs {
+        let card = rng.random_range(2..=spec.max_card);
+        // Zipf-ish weights 1, 1/2, 1/3, …
+        let weights: Vec<f64> = (1..=card).map(|i| 1.0 / i as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let codes: Vec<ValueCode> = (0..spec.rows)
+            .map(|_| {
+                let mut x = rng.random::<f64>() * total;
+                for (i, &w) in weights.iter().enumerate() {
+                    x -= w;
+                    if x <= 0.0 {
+                        return i as ValueCode;
+                    }
+                }
+                (card - 1) as ValueCode
+            })
+            .collect();
+        let labels: Vec<String> = (0..card).map(|v| format!("v{v}")).collect();
+        cols.push(Column::categorical_encoded(format!("a{a}"), codes, labels));
+    }
+    Dataset::from_columns(cols).expect("columns share the row count")
+}
+
+/// A uniformly random rank order over `rows` tuples.
+pub fn random_ranking(seed: u64, rows: usize) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x52414e4b);
+    let mut order: Vec<u32> = (0..rows as u32).collect();
+    order.shuffle(&mut rng);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let spec = RandomSpec {
+            rows: 60,
+            attrs: 4,
+            max_card: 3,
+        };
+        let a = random_dataset(9, spec);
+        let b = random_dataset(9, spec);
+        assert_eq!(a, b);
+        assert_eq!(a.n_rows(), 60);
+        assert_eq!(a.n_cols(), 4);
+        for c in a.columns() {
+            let card = c.cardinality().unwrap();
+            assert!((2..=3).contains(&card));
+        }
+        assert_ne!(a, random_dataset(10, spec));
+    }
+
+    #[test]
+    fn ranking_is_permutation() {
+        let order = random_ranking(5, 100);
+        let mut seen = [false; 100];
+        for &r in &order {
+            assert!(!seen[r as usize]);
+            seen[r as usize] = true;
+        }
+        assert_eq!(random_ranking(5, 100), order); // deterministic
+        assert_ne!(random_ranking(6, 100), order);
+    }
+
+    #[test]
+    fn values_are_skewed() {
+        let ds = random_dataset(3, RandomSpec { rows: 5000, attrs: 1, max_card: 4 });
+        let col = ds.column(0);
+        let card = col.cardinality().unwrap();
+        let mut counts = vec![0usize; card];
+        for r in 0..ds.n_rows() {
+            counts[usize::from(col.code(r))] += 1;
+        }
+        // First value should dominate the last.
+        assert!(counts[0] > counts[card - 1]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Synthetic Student Performance dataset (UCI, `student-mat.csv` fragment:
+//! 395 tuples × 33 attributes).
+//!
+//! A latent “ability” variable drives the grades; mother’s/father’s
+//! education, study time, past failures, going out and alcohol consumption
+//! shift it, reproducing the correlation structure the paper’s Shapley
+//! experiment relies on (§VI-C: `G1`/`G2` strongly correlated with `G3`;
+//! mother’s education mildly correlated).
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rankfair_data::{Column, Dataset};
+
+use crate::util::{clamp_round, gaussian, sample_weighted};
+use crate::SynthConfig;
+
+const DEFAULT_ROWS: usize = 395;
+
+/// Generates the synthetic Student dataset. Column order matches the UCI
+/// file; `age`, `absences`, `G1`, `G2`, `G3` are numeric (bucketize before
+/// detection), everything else categorical.
+pub fn student(cfg: SynthConfig) -> Dataset {
+    let n = if cfg.rows == 0 { DEFAULT_ROWS } else { cfg.rows };
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5745_4e54_5f53_5455);
+
+    let yes_no = |rng: &mut StdRng, p_yes: f64| {
+        if rng.random::<f64>() < p_yes {
+            "yes"
+        } else {
+            "no"
+        }
+    };
+
+    let mut school = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut address = Vec::with_capacity(n);
+    let mut famsize = Vec::with_capacity(n);
+    let mut pstatus = Vec::with_capacity(n);
+    let mut medu = Vec::with_capacity(n);
+    let mut fedu = Vec::with_capacity(n);
+    let mut mjob = Vec::with_capacity(n);
+    let mut fjob = Vec::with_capacity(n);
+    let mut reason = Vec::with_capacity(n);
+    let mut guardian = Vec::with_capacity(n);
+    let mut traveltime = Vec::with_capacity(n);
+    let mut studytime = Vec::with_capacity(n);
+    let mut failures = Vec::with_capacity(n);
+    let mut schoolsup = Vec::with_capacity(n);
+    let mut famsup = Vec::with_capacity(n);
+    let mut paid = Vec::with_capacity(n);
+    let mut activities = Vec::with_capacity(n);
+    let mut nursery = Vec::with_capacity(n);
+    let mut higher = Vec::with_capacity(n);
+    let mut internet = Vec::with_capacity(n);
+    let mut romantic = Vec::with_capacity(n);
+    let mut famrel = Vec::with_capacity(n);
+    let mut freetime = Vec::with_capacity(n);
+    let mut goout = Vec::with_capacity(n);
+    let mut dalc = Vec::with_capacity(n);
+    let mut walc = Vec::with_capacity(n);
+    let mut health = Vec::with_capacity(n);
+    let mut absences = Vec::with_capacity(n);
+    let mut g1 = Vec::with_capacity(n);
+    let mut g2 = Vec::with_capacity(n);
+    let mut g3 = Vec::with_capacity(n);
+
+    let jobs = ["teacher", "health", "services", "at_home", "other"];
+    let edu_labels = ["none", "primary", "5th-9th", "secondary", "higher"];
+
+    for _ in 0..n {
+        // ~88% GP, 12% MS, matching the real file (349/46).
+        let is_gp = rng.random::<f64>() < 0.883;
+        school.push(if is_gp { "GP" } else { "MS" }.to_string());
+        let is_f = rng.random::<f64>() < 0.527;
+        sex.push(if is_f { "F" } else { "M" }.to_string());
+        let a = 15.0 + sample_weighted(&mut rng, &[0.21, 0.26, 0.25, 0.21, 0.05, 0.01, 0.005, 0.005]) as f64;
+        age.push(a);
+        // Urban dominates (307/88), more so for GP.
+        let urban = rng.random::<f64>() < if is_gp { 0.82 } else { 0.55 };
+        address.push(if urban { "U" } else { "R" }.to_string());
+        famsize.push(if rng.random::<f64>() < 0.71 { "GT3" } else { "LE3" }.to_string());
+        pstatus.push(if rng.random::<f64>() < 0.90 { "T" } else { "A" }.to_string());
+        // Education levels: urban parents skew higher.
+        let medu_w = if urban {
+            [0.01, 0.12, 0.22, 0.25, 0.40]
+        } else {
+            [0.02, 0.28, 0.30, 0.24, 0.16]
+        };
+        let me = sample_weighted(&mut rng, &medu_w);
+        medu.push(edu_labels[me].to_string());
+        // Father's education correlates with mother's.
+        let fe = {
+            let base = sample_weighted(&mut rng, &medu_w);
+            if rng.random::<f64>() < 0.5 {
+                me
+            } else {
+                base
+            }
+        };
+        fedu.push(edu_labels[fe].to_string());
+        let mjob_w = match me {
+            4 => [0.22, 0.14, 0.22, 0.08, 0.34],
+            3 => [0.06, 0.08, 0.30, 0.14, 0.42],
+            _ => [0.01, 0.03, 0.18, 0.30, 0.48],
+        };
+        mjob.push(jobs[sample_weighted(&mut rng, &mjob_w)].to_string());
+        fjob.push(jobs[sample_weighted(&mut rng, &[0.07, 0.04, 0.28, 0.05, 0.56])].to_string());
+        reason.push(
+            ["course", "home", "reputation", "other"]
+                [sample_weighted(&mut rng, &[0.37, 0.28, 0.26, 0.09])]
+            .to_string(),
+        );
+        guardian.push(
+            ["mother", "father", "other"][sample_weighted(&mut rng, &[0.69, 0.23, 0.08])]
+                .to_string(),
+        );
+        let tt = 1 + sample_weighted(&mut rng, if urban { &[0.72, 0.22, 0.05, 0.01] } else { &[0.35, 0.40, 0.18, 0.07] });
+        traveltime.push(tt.to_string());
+        let st = 1 + sample_weighted(&mut rng, &[0.27, 0.50, 0.16, 0.07]);
+        studytime.push(st.to_string());
+
+        // Latent ability: drives failures and the grades.
+        let ability = gaussian(&mut rng)
+            + 0.25 * (me as f64 - 2.0)
+            + 0.12 * (fe as f64 - 2.0)
+            + 0.30 * (st as f64 - 2.0);
+
+        let p_fail = (0.16 - 0.11 * ability).clamp(0.01, 0.65);
+        let mut f_cnt = 0usize;
+        for _ in 0..3 {
+            if rng.random::<f64>() < p_fail {
+                f_cnt += 1;
+            }
+        }
+        failures.push(f_cnt.to_string());
+        schoolsup.push(yes_no(&mut rng, 0.13).to_string());
+        famsup.push(yes_no(&mut rng, 0.61).to_string());
+        paid.push(yes_no(&mut rng, 0.46).to_string());
+        activities.push(yes_no(&mut rng, 0.51).to_string());
+        nursery.push(yes_no(&mut rng, 0.79).to_string());
+        let wants_higher = rng.random::<f64>() < (0.9 + 0.05 * ability).clamp(0.5, 0.99);
+        higher.push(if wants_higher { "yes" } else { "no" }.to_string());
+        internet.push(yes_no(&mut rng, if urban { 0.88 } else { 0.68 }).to_string());
+        romantic.push(yes_no(&mut rng, 0.33).to_string());
+        famrel.push((1 + sample_weighted(&mut rng, &[0.02, 0.05, 0.17, 0.50, 0.26])).to_string());
+        freetime.push((1 + sample_weighted(&mut rng, &[0.05, 0.16, 0.40, 0.29, 0.10])).to_string());
+        let go = 1 + sample_weighted(&mut rng, &[0.06, 0.26, 0.33, 0.22, 0.13]);
+        goout.push(go.to_string());
+        let da = 1 + sample_weighted(&mut rng, &[0.70, 0.19, 0.07, 0.02, 0.02]);
+        dalc.push(da.to_string());
+        walc.push(
+            (1 + sample_weighted(&mut rng, &[0.38, 0.22, 0.20, 0.13, 0.07]))
+                .max(da)
+                .min(5)
+                .to_string(),
+        );
+        health.push((1 + sample_weighted(&mut rng, &[0.12, 0.11, 0.23, 0.17, 0.37])).to_string());
+        let ab = (gaussian(&mut rng).abs() * 6.0 * (1.0 - 0.2 * ability).max(0.3)).round();
+        absences.push(ab.clamp(0.0, 75.0));
+
+        // Grades on the 0–20 scale; G3 depends on ability, failures and
+        // going out; G1/G2 are noisy copies (the strong correlation the
+        // Shapley analysis must surface).
+        let base = 11.0 + 2.8 * ability - 1.4 * f_cnt as f64 - 0.35 * (go as f64 - 3.0);
+        let g3v = clamp_round(base + 0.8 * gaussian(&mut rng), 0.0, 20.0);
+        let g1v = clamp_round(g3v + 1.1 * gaussian(&mut rng), 0.0, 20.0);
+        let g2v = clamp_round(0.3 * g1v + 0.7 * g3v + 0.7 * gaussian(&mut rng), 0.0, 20.0);
+        g1.push(g1v);
+        g2.push(g2v);
+        g3.push(g3v);
+    }
+
+    let mut cols: Vec<Column> = Vec::with_capacity(33);
+    let cat = |name: &str, v: &[String]| Column::categorical(name, v).expect("small dictionary");
+    cols.push(cat("school", &school));
+    cols.push(cat("sex", &sex));
+    cols.push(Column::numeric("age", age));
+    cols.push(cat("address", &address));
+    cols.push(cat("famsize", &famsize));
+    cols.push(cat("Pstatus", &pstatus));
+    cols.push(cat("Medu", &medu));
+    cols.push(cat("Fedu", &fedu));
+    cols.push(cat("Mjob", &mjob));
+    cols.push(cat("Fjob", &fjob));
+    cols.push(cat("reason", &reason));
+    cols.push(cat("guardian", &guardian));
+    cols.push(cat("traveltime", &traveltime));
+    cols.push(cat("studytime", &studytime));
+    cols.push(cat("failures", &failures));
+    cols.push(cat("schoolsup", &schoolsup));
+    cols.push(cat("famsup", &famsup));
+    cols.push(cat("paid", &paid));
+    cols.push(cat("activities", &activities));
+    cols.push(cat("nursery", &nursery));
+    cols.push(cat("higher", &higher));
+    cols.push(cat("internet", &internet));
+    cols.push(cat("romantic", &romantic));
+    cols.push(cat("famrel", &famrel));
+    cols.push(cat("freetime", &freetime));
+    cols.push(cat("goout", &goout));
+    cols.push(cat("Dalc", &dalc));
+    cols.push(cat("Walc", &walc));
+    cols.push(cat("health", &health));
+    cols.push(Column::numeric("absences", absences));
+    cols.push(Column::numeric("G1", g1));
+    cols.push(Column::numeric("G2", g2));
+    cols.push(Column::numeric("G3", g3));
+    Dataset::from_columns(cols).expect("columns share the row count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::pearson;
+
+    fn values(ds: &Dataset, name: &str) -> Vec<f64> {
+        ds.column_by_name(name).unwrap().values().unwrap().to_vec()
+    }
+
+    #[test]
+    fn default_shape_matches_paper() {
+        let ds = student(SynthConfig::default());
+        assert_eq!(ds.n_rows(), 395);
+        assert_eq!(ds.n_cols(), 33);
+        assert_eq!(ds.categorical_columns().len(), 28);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = student(SynthConfig::new(100, 9));
+        let b = student(SynthConfig::new(100, 9));
+        let c = student(SynthConfig::new(100, 10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn grades_are_strongly_correlated() {
+        let ds = student(SynthConfig::new(2000, 1));
+        let g1 = values(&ds, "G1");
+        let g2 = values(&ds, "G2");
+        let g3 = values(&ds, "G3");
+        assert!(pearson(&g1, &g3) > 0.7, "corr(G1,G3) = {}", pearson(&g1, &g3));
+        assert!(pearson(&g2, &g3) > 0.8, "corr(G2,G3) = {}", pearson(&g2, &g3));
+    }
+
+    #[test]
+    fn mothers_education_correlates_mildly_with_grade() {
+        let ds = student(SynthConfig::new(3000, 2));
+        let medu_col = ds.column_by_name("Medu").unwrap();
+        let order = ["none", "primary", "5th-9th", "secondary", "higher"];
+        let medu: Vec<f64> = (0..ds.n_rows())
+            .map(|r| {
+                let label = medu_col.label_of(medu_col.code(r)).unwrap();
+                order.iter().position(|&l| l == label).unwrap() as f64
+            })
+            .collect();
+        let g3 = values(&ds, "G3");
+        let c = pearson(&medu, &g3);
+        assert!(c > 0.1 && c < 0.6, "corr(Medu,G3) = {c}");
+    }
+
+    #[test]
+    fn failures_anticorrelate_with_grade() {
+        let ds = student(SynthConfig::new(3000, 3));
+        let f_col = ds.column_by_name("failures").unwrap();
+        let f: Vec<f64> = (0..ds.n_rows())
+            .map(|r| f_col.label_of(f_col.code(r)).unwrap().parse().unwrap())
+            .collect();
+        let g3 = values(&ds, "G3");
+        assert!(pearson(&f, &g3) < -0.25);
+    }
+
+    #[test]
+    fn school_split_is_skewed_like_the_real_data() {
+        let ds = student(SynthConfig::new(4000, 4));
+        let school = ds.column_by_name("school").unwrap();
+        let gp = school.code_of("GP").unwrap();
+        let n_gp = (0..ds.n_rows()).filter(|&r| school.code(r) == gp).count();
+        let frac = n_gp as f64 / ds.n_rows() as f64;
+        assert!((0.85..0.92).contains(&frac), "GP fraction {frac}");
+    }
+
+    #[test]
+    fn grades_within_scale() {
+        let ds = student(SynthConfig::new(1000, 5));
+        for g in ["G1", "G2", "G3"] {
+            assert!(values(&ds, g).iter().all(|&v| (0.0..=20.0).contains(&v)));
+        }
+    }
+}

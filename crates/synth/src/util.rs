@@ -1,0 +1,91 @@
+//! Small sampling helpers shared by the generators (kept local instead of
+//! pulling in `rand_distr`).
+
+use rand::RngExt;
+
+/// Samples an index proportionally to `weights` (need not be normalized).
+pub fn sample_weighted<R: RngExt>(rng: &mut R, weights: &[f64]) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Standard normal via Box–Muller.
+pub fn gaussian<R: RngExt>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Clamps and rounds to an integer grid — used for grades, counts, ages.
+pub fn clamp_round(v: f64, lo: f64, hi: f64) -> f64 {
+    v.clamp(lo, hi).round()
+}
+
+/// Pearson correlation, used by generator tests to assert the injected
+/// structure survived.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_weighted(&mut rng, &[0.7, 0.2, 0.1])] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        let f0 = counts[0] as f64 / 30_000.0;
+        assert!((f0 - 0.7).abs() < 0.03, "f0 = {f0}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..50_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn pearson_of_identical_series_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-9);
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_round_bounds() {
+        assert_eq!(clamp_round(25.7, 0.0, 20.0), 20.0);
+        assert_eq!(clamp_round(-3.0, 0.0, 20.0), 0.0);
+        assert_eq!(clamp_round(10.4, 0.0, 20.0), 10.0);
+    }
+}

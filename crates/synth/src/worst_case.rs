@@ -1,0 +1,100 @@
+//! The adversarial construction of Theorem 3.3: an instance whose set of
+//! most general biased patterns is exponential in the number of
+//! attributes.
+//!
+//! The dataset has `n` binary attributes and `n + 1` tuples: tuple `i`
+//! (for `i < n`) sets attribute `i` to 1 and everything else to 0; tuple
+//! `n` is all zeros. The ranking is the identity. With `k = n`,
+//! `L_k = n/2 + 1` (global) or `α = (n+3)/(n+4)` (proportional), every
+//! pattern assigning 0 to exactly `n/2` attributes is a most general
+//! biased pattern — and there are `C(n, n/2) > √(2ⁿ)` of them.
+
+use rankfair_data::{Column, Dataset, ValueCode};
+
+/// Builds the Theorem 3.3 instance for `n` attributes (use an even `n ≥ 2`
+/// for the exact counting argument). Returns the dataset and the identity
+/// rank order.
+pub fn worst_case(n: usize) -> (Dataset, Vec<u32>) {
+    assert!(n >= 2, "the construction needs at least 2 attributes");
+    let rows = n + 1;
+    let mut cols = Vec::with_capacity(n);
+    for a in 0..n {
+        let codes: Vec<ValueCode> = (0..rows).map(|t| if t == a { 1 } else { 0 }).collect();
+        cols.push(Column::categorical_encoded(
+            format!("A{}", a + 1),
+            codes,
+            vec!["0".to_string(), "1".to_string()],
+        ));
+    }
+    let ds = Dataset::from_columns(cols).expect("columns share the row count");
+    let order: Vec<u32> = (0..rows as u32).collect();
+    (ds, order)
+}
+
+/// Number of most general biased patterns the Theorem 3.3 instance
+/// produces for an even `n`: `C(n, n/2)`. Benchmarks use this to check
+/// the exponential blow-up they measure.
+pub fn worst_case_result_count(n: usize) -> u64 {
+    binomial(n, n / 2)
+}
+
+/// `C(n, k)` without overflow for the sizes used in tests/benches.
+fn binomial(n: usize, k: usize) -> u64 {
+    let k = k.min(n - k);
+    let mut num: u64 = 1;
+    let mut den: u64 = 1;
+    for i in 0..k {
+        num *= (n - i) as u64;
+        den *= (i + 1) as u64;
+        let g = gcd(num, den);
+        num /= g;
+        den /= g;
+    }
+    num / den
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_shape() {
+        let (ds, order) = worst_case(6);
+        assert_eq!(ds.n_rows(), 7);
+        assert_eq!(ds.n_cols(), 6);
+        assert_eq!(order.len(), 7);
+        // Tuple i has a 1 exactly at attribute i.
+        for t in 0..6 {
+            for a in 0..6 {
+                let expect = if t == a { 1 } else { 0 };
+                assert_eq!(ds.code(t, a), expect);
+            }
+        }
+        // Last tuple is all zeros.
+        for a in 0..6 {
+            assert_eq!(ds.code(6, a), 0);
+        }
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(20, 10), 184_756);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_n_rejected() {
+        worst_case(1);
+    }
+}

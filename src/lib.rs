@@ -1,0 +1,65 @@
+//! # rankfair
+//!
+//! A Rust implementation of *“Detection of Groups with Biased
+//! Representation in Ranking”* (Li, Moskovitch, Jagadish — ICDE 2023):
+//! given a dataset and a black-box ranking, find **all most general
+//! groups** (conjunctions of attribute=value conditions) whose
+//! representation in the top-`k` ranked tuples is biased, for every `k` in
+//! a range — without pre-defining protected groups — then **explain** the
+//! detected groups with Shapley values over a surrogate of the ranker.
+//!
+//! The workspace is organized as one crate per subsystem, all re-exported
+//! here:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`data`] | columnar dataset, bucketization, CSV, bitmaps |
+//! | [`rank`] | `Ranker` trait, score-based rankers, rankings |
+//! | [`core`] | patterns, `IterTD`, `GlobalBounds`, `PropBounds`, upper bounds, oracle |
+//! | [`explain`] | regression-forest surrogate, Shapley values, distributions |
+//! | [`divergence`] | the Pastor et al. divergence baseline (§VI-D) |
+//! | [`synth`] | seeded synthetic COMPAS / Student / German Credit generators |
+//! | [`workloads`] | the three paper workloads, prepared end-to-end |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rankfair::prelude::*;
+//!
+//! // The paper's Figure 1 running example: sixteen students ranked by
+//! // grade, failures as tie-breaker.
+//! let ds = rankfair::data::examples::students_fig1();
+//! let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
+//! let detector = Detector::new(&ds, &ranker).unwrap();
+//!
+//! // Detect groups of size ≥ 4 under-represented in the top-4..5 given a
+//! // lower bound of 2 (Example 4.6).
+//! let cfg = DetectConfig::new(4, 4, 5);
+//! let out = detector.detect_global(&cfg, &Bounds::constant(2));
+//! let found: Vec<String> = out.per_k[0].patterns.iter().map(|p| detector.describe(p)).collect();
+//! assert!(found.contains(&"{School=GP}".to_string()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rankfair_core as core;
+pub use rankfair_data as data;
+pub use rankfair_divergence as divergence;
+pub use rankfair_explain as explain;
+pub use rankfair_rank as rank;
+pub use rankfair_synth as synth;
+
+pub mod workloads;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::core::{
+        global_bounds, iter_td, prop_bounds, BiasMeasure, Bounds, DetectConfig, Detector, Pattern,
+        PatternSpace, RankedIndex,
+    };
+    pub use crate::data::{Column, ColumnData, Dataset};
+    pub use crate::explain::{ExplainConfig, RankSurrogate};
+    pub use crate::rank::{AttributeRanker, FnRanker, LinearScoreRanker, Ranker, Ranking, ScoreTerm, SortKey};
+    pub use crate::workloads::{compas_workload, german_workload, student_workload, Workload};
+}

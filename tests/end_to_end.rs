@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: the full pipeline (synthetic data →
+//! ranking → detection → explanation) on all three paper workloads.
+
+use rankfair::core::{render_report, upper};
+use rankfair::explain::distribution::compare_distributions;
+use rankfair::prelude::*;
+
+fn check_workload(w: &Workload, tau: usize, attrs_cap: usize) {
+    let names = w.attr_names();
+    let attr_refs: Vec<&str> = names.iter().take(attrs_cap).map(String::as_str).collect();
+    let det = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &attr_refs).unwrap();
+    let cfg = DetectConfig::new(tau, 10, 49);
+
+    // Baseline and optimized algorithms agree for both measures.
+    let bounds = Bounds::paper_default();
+    let g_measure = BiasMeasure::GlobalLower(bounds.clone());
+    let base_g = det.detect_baseline(&cfg, &g_measure);
+    let opt_g = det.detect_global(&cfg, &bounds);
+    assert_eq!(base_g.per_k, opt_g.per_k, "{}: global mismatch", w.name);
+
+    let p_measure = BiasMeasure::Proportional { alpha: 0.8 };
+    let base_p = det.detect_baseline(&cfg, &p_measure);
+    let opt_p = det.detect_proportional(&cfg, 0.8);
+    assert_eq!(base_p.per_k, opt_p.per_k, "{}: proportional mismatch", w.name);
+
+    // The optimized algorithms examine fewer patterns.
+    assert!(
+        opt_g.stats.patterns_examined() < base_g.stats.patterns_examined(),
+        "{}: no global gain",
+        w.name
+    );
+    assert!(
+        opt_p.stats.patterns_examined() < base_p.stats.patterns_examined(),
+        "{}: no proportional gain",
+        w.name
+    );
+
+    // Every reported group is substantial, biased and most general.
+    for (out, measure) in [(&opt_g, &g_measure), (&opt_p, &p_measure)] {
+        for kr in &out.per_k {
+            for p in &kr.patterns {
+                let (sd, count) = det.index().counts(p, kr.k);
+                assert!(sd >= tau);
+                assert!(measure.is_biased(count, sd, kr.k, w.detection.n_rows()));
+            }
+            for a in &kr.patterns {
+                for b in &kr.patterns {
+                    assert!(a == b || !a.is_proper_subset_of(b));
+                }
+            }
+        }
+    }
+
+    // Reports render with sizes and bounds.
+    let text = render_report(&det.report(&opt_g, &g_measure));
+    assert!(text.contains("k = 10"));
+}
+
+#[test]
+fn student_pipeline() {
+    let w = student_workload(0, 42);
+    check_workload(&w, 50, 8);
+}
+
+#[test]
+fn compas_pipeline() {
+    let w = compas_workload(1500, 42);
+    check_workload(&w, 50, 8);
+}
+
+#[test]
+fn german_pipeline() {
+    let w = german_workload(0, 42);
+    check_workload(&w, 50, 8);
+}
+
+#[test]
+fn explanation_surfaces_the_true_scoring_attribute() {
+    // Student ranking is a function of G3: for any detected group the
+    // surrogate's strongest attribute must be one of the grade columns.
+    let w = student_workload(0, 42);
+    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let out = det.detect_global(&DetectConfig::new(50, 49, 49), &Bounds::constant(40));
+    let group_pattern = &out.per_k[0].patterns[0];
+    let members = det.group_members(group_pattern);
+    assert!(!members.is_empty());
+
+    let surrogate = RankSurrogate::fit(&w.raw, &w.ranking, &ExplainConfig::fast());
+    assert!(surrogate.fit_quality() > 0.8);
+    let ex = surrogate.explain_group(&members);
+    let top = &ex.ranked_attributes()[0].0;
+    assert!(
+        ["G1", "G2", "G3"].contains(&top.as_str()),
+        "top attribute was {top}"
+    );
+
+    // Fig. 10d analogue: the top attribute distribution separates the
+    // group from the top-k.
+    let topk: Vec<u32> = w.ranking.top_k(49).to_vec();
+    let cmp = compare_distributions(&w.raw, top, &topk, &members);
+    assert!(cmp.total_variation() > 0.2);
+}
+
+#[test]
+fn upper_bound_extension_on_workload() {
+    let w = german_workload(0, 42);
+    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let cfg = DetectConfig::new(50, 49, 49);
+    let combined = upper::combined_bounds(
+        det.index(),
+        det.space(),
+        &cfg,
+        &Bounds::constant(40),
+        &Bounds::constant(45),
+    );
+    assert_eq!(combined.len(), 1);
+    for p in &combined[0].over_represented {
+        let (sd, count) = det.index().counts(p, 49);
+        assert!(sd >= 50 && count > 45);
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_detection_results() {
+    use rankfair::data::csv::{read_csv_str, write_csv_string, CsvOptions};
+
+    let w = student_workload(150, 9);
+    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let cfg = DetectConfig::new(20, 5, 30);
+    let before = det.detect_proportional(&cfg, 0.8);
+
+    // Serialize the detection dataset, reload it, re-run: the labels and
+    // encodings survive the round trip, so results must be identical.
+    let text = write_csv_string(&w.detection, ',');
+    let names = w.attr_names();
+    let force: Vec<String> = names.clone();
+    let opts = CsvOptions {
+        force_categorical: force,
+        ..CsvOptions::default()
+    };
+    let reloaded = read_csv_str(&text, &opts).unwrap();
+    let det2 = Detector::with_ranking(&reloaded, w.ranking.clone()).unwrap();
+    let after = det2.detect_proportional(&cfg, 0.8);
+
+    let render = |out: &rankfair::core::DetectionOutput, d: &Detector| -> Vec<Vec<String>> {
+        out.per_k
+            .iter()
+            .map(|kr| {
+                let mut v: Vec<String> =
+                    kr.patterns.iter().map(|p| d.describe(p)).collect();
+                v.sort();
+                v
+            })
+            .collect()
+    };
+    assert_eq!(render(&before, &det), render(&after, &det2));
+}
+
+#[test]
+fn deadline_produces_truncated_but_valid_output() {
+    let w = compas_workload(2000, 1);
+    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let cfg = DetectConfig::new(50, 10, 49).with_deadline(std::time::Duration::from_micros(200));
+    let out = det.detect_baseline(&cfg, &BiasMeasure::Proportional { alpha: 0.8 });
+    if out.stats.timed_out {
+        assert!(out.per_k.len() < 40);
+    }
+    // Results that were produced are still exact prefixes.
+    let full = det.detect_proportional(&DetectConfig::new(50, 10, 49), 0.8);
+    for (got, want) in out.per_k.iter().zip(&full.per_k) {
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn streaming_and_fast_steps_match_batch_on_workload() {
+    use rankfair::core::{global_bounds_fast_steps, DetectionStream};
+
+    let w = german_workload(0, 42);
+    let names = w.attr_names();
+    let attrs: Vec<&str> = names.iter().take(8).map(String::as_str).collect();
+    let det = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &attrs).unwrap();
+    let cfg = DetectConfig::new(50, 10, 49);
+    let bounds = Bounds::paper_default();
+
+    let batch = det.detect_global(&cfg, &bounds);
+    let fast = global_bounds_fast_steps(det.index(), det.space(), &cfg, &bounds);
+    assert_eq!(batch.per_k, fast.per_k);
+    // The extension performs exactly one full search (the initial build).
+    assert_eq!(fast.stats.full_searches, 1);
+    assert!(batch.stats.full_searches > 1); // paper variant rebuilt at steps
+
+    let streamed: Vec<rankfair::core::KResult> =
+        DetectionStream::global(det.index(), det.space(), &cfg, &bounds).collect();
+    assert_eq!(batch.per_k, streamed);
+}
+
+#[test]
+fn permutation_importance_agrees_with_shapley_on_student() {
+    use rankfair::explain::permutation_importance;
+
+    let w = student_workload(200, 5);
+    let surrogate = RankSurrogate::fit(&w.raw, &w.ranking, &ExplainConfig::fast());
+    let features = rankfair::explain::FeatureMatrix::from_dataset(&w.raw);
+    let target = w.ranking.rank_vector();
+    let imp = permutation_importance(surrogate.forest(), &features, &target, 2, 7);
+    // The ranking is a function of G3; both attribution methods must put a
+    // grade column on top.
+    let top = &imp.ranked()[0].0;
+    assert!(["G1", "G2", "G3"].contains(&top.as_str()), "importance top: {top}");
+}
