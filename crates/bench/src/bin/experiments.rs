@@ -14,11 +14,13 @@
 
 use std::time::Duration;
 
-use rankfair::core::{BiasMeasure, Bounds, DetectConfig, Detector};
+use rankfair::core::{AuditKResult, AuditTask, BiasMeasure, Bounds, DetectConfig, Engine};
 use rankfair::explain::distribution::compare_distributions;
 use rankfair::explain::{ExplainConfig, RankSurrogate};
 use rankfair::prelude::{compas_workload, german_workload, student_workload, Workload};
-use rankfair_bench::{detector_with_attrs, fmt_ms, paper_defaults, run_algo, Algo, Measurement, Table};
+use rankfair_bench::{
+    audit_with_attrs, fmt_ms, paper_defaults, run_algo, Algo, Measurement, Table,
+};
 use rankfair_divergence::{display_items, divergent_subgroups, DivergenceConfig};
 
 struct Opts {
@@ -40,9 +42,8 @@ fn parse_args() -> (String, Opts) {
         match args[i].as_str() {
             "--timeout" => {
                 i += 1;
-                opts.timeout = Duration::from_secs(
-                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(10),
-                );
+                opts.timeout =
+                    Duration::from_secs(args.get(i).and_then(|s| s.parse().ok()).unwrap_or(10));
             }
             "--seed" => {
                 i += 1;
@@ -91,7 +92,7 @@ fn attr_sweep(w: &Workload, global: bool, opts: &Opts) {
     ]);
     let mut base_dead = false;
     for n_attrs in (3..=max_attrs).step_by(step) {
-        let det = detector_with_attrs(w, n_attrs);
+        let audit = audit_with_attrs(w, n_attrs);
         let base = if base_dead {
             Measurement {
                 elapsed: opts.timeout,
@@ -100,12 +101,12 @@ fn attr_sweep(w: &Workload, global: bool, opts: &Opts) {
                 timed_out: true,
             }
         } else {
-            run_algo(&det, &cfg, &measure, Algo::IterTd)
+            run_algo(&audit, &cfg, &measure, Algo::IterTd)
         };
         if base.timed_out {
             base_dead = true; // the paper stops plotting after the timeout
         }
-        let opt = run_algo(&det, &cfg, &measure, opt_algo);
+        let opt = run_algo(&audit, &cfg, &measure, opt_algo);
         t.row(&[
             n_attrs.to_string(),
             fmt_ms(&base),
@@ -123,9 +124,16 @@ fn attr_sweep(w: &Workload, global: bool, opts: &Opts) {
 
 fn fig45(global: bool, opts: &Opts) {
     let fig = if global { "Figure 4" } else { "Figure 5" };
-    let measure = if global { "global bounds" } else { "proportional representation" };
+    let measure = if global {
+        "global bounds"
+    } else {
+        "proportional representation"
+    };
     for w in &workloads(opts) {
-        println!("\n## {fig}: runtime vs #attributes — {} dataset ({measure})", w.name);
+        println!(
+            "\n## {fig}: runtime vs #attributes — {} dataset ({measure})",
+            w.name
+        );
         attr_sweep(w, global, opts);
     }
 }
@@ -140,7 +148,7 @@ fn fig67(global: bool, opts: &Opts) {
             "\n## {fig}: runtime vs size threshold τs — {} dataset ({} attributes)",
             w.name, attrs
         );
-        let det = detector_with_attrs(w, attrs);
+        let audit = audit_with_attrs(w, attrs);
         let (measure, opt_algo) = if global {
             (BiasMeasure::GlobalLower(bounds.clone()), Algo::GlobalBounds)
         } else {
@@ -163,8 +171,8 @@ fn fig67(global: bool, opts: &Opts) {
                 deadline: Some(opts.timeout),
                 ..base_cfg.clone()
             };
-            let base = run_algo(&det, &cfg, &measure, Algo::IterTd);
-            let opt = run_algo(&det, &cfg, &measure, opt_algo);
+            let base = run_algo(&audit, &cfg, &measure, Algo::IterTd);
+            let opt = run_algo(&audit, &cfg, &measure, opt_algo);
             t.row(&[
                 tau.to_string(),
                 fmt_ms(&base),
@@ -190,7 +198,7 @@ fn fig89(global: bool, opts: &Opts) {
             "\n## {fig}: runtime vs range of k (k_min = 10) — {} dataset ({} attributes)",
             w.name, attrs
         );
-        let det = detector_with_attrs(w, attrs);
+        let audit = audit_with_attrs(w, attrs);
         let (measure, opt_algo) = if global {
             (BiasMeasure::GlobalLower(bounds.clone()), Algo::GlobalBounds)
         } else {
@@ -207,8 +215,8 @@ fn fig89(global: bool, opts: &Opts) {
         let mut k_max = 50;
         while k_max <= cap {
             let cfg = DetectConfig::new(50, 10, k_max).with_deadline(opts.timeout);
-            let base = run_algo(&det, &cfg, &measure, Algo::IterTd);
-            let opt = run_algo(&det, &cfg, &measure, opt_algo);
+            let base = run_algo(&audit, &cfg, &measure, Algo::IterTd);
+            let opt = run_algo(&audit, &cfg, &measure, opt_algo);
             t.row(&[
                 k_max.to_string(),
                 fmt_ms(&base),
@@ -233,15 +241,23 @@ fn gain(opts: &Opts) {
     };
     let mut t = Table::new(&["dataset", "problem", "IterTD", "optimized", "gain_%"]);
     for w in &workloads(opts) {
-        let det = detector_with_attrs(w, attrs);
+        let audit = audit_with_attrs(w, attrs);
         for global in [true, false] {
             let (measure, opt_algo, label) = if global {
-                (BiasMeasure::GlobalLower(bounds.clone()), Algo::GlobalBounds, "global")
+                (
+                    BiasMeasure::GlobalLower(bounds.clone()),
+                    Algo::GlobalBounds,
+                    "global",
+                )
             } else {
-                (BiasMeasure::Proportional { alpha }, Algo::PropBounds, "proportional")
+                (
+                    BiasMeasure::Proportional { alpha },
+                    Algo::PropBounds,
+                    "proportional",
+                )
             };
-            let base = run_algo(&det, &cfg, &measure, Algo::IterTd);
-            let opt = run_algo(&det, &cfg, &measure, opt_algo);
+            let base = run_algo(&audit, &cfg, &measure, Algo::IterTd);
+            let opt = run_algo(&audit, &cfg, &measure, opt_algo);
             let gain = 100.0 * (1.0 - opt.patterns_examined as f64 / base.patterns_examined as f64);
             t.row(&[
                 w.name.to_string(),
@@ -253,7 +269,9 @@ fn gain(opts: &Opts) {
         }
     }
     print!("{}", t.render());
-    println!("(paper, on the real data: 39.35/56.87/29.27% global; 39.60/20.49/56.83% proportional)");
+    println!(
+        "(paper, on the real data: 39.35/56.87/29.27% global; 39.60/20.49/56.83% proportional)"
+    );
 }
 
 /// Figure 10: Shapley analysis of p1 (Student), p2 (COMPAS), p3 (German).
@@ -268,36 +286,51 @@ fn fig10(opts: &Opts) {
     // (workload index, group description, paper group)
     type GroupSpec = (usize, &'static [(&'static str, &'static str)], &'static str);
     let specs: [GroupSpec; 3] = [
-        (1, &[("Medu", "primary")], "p1 = {mother's education = primary}"),
-        (0, &[("age", "<36ish (youngest bin)")], "p2 = {age = younger than ~35}"),
-        (2, &[("status_checking", "0<=...<200 DM")], "p3 = {account status = 0≤…<200 DM}"),
+        (
+            1,
+            &[("Medu", "primary")],
+            "p1 = {mother's education = primary}",
+        ),
+        (
+            0,
+            &[("age", "<36ish (youngest bin)")],
+            "p2 = {age = younger than ~35}",
+        ),
+        (
+            2,
+            &[("status_checking", "0<=...<200 DM")],
+            "p3 = {account status = 0≤…<200 DM}",
+        ),
     ];
     for (wi, pairs, label) in specs {
         let w = &ws[wi];
-        let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+        let audit = w.audit().unwrap();
         // Resolve the group pattern; for COMPAS "age" the youngest bin is
         // looked up dynamically (bin labels depend on the synthetic data).
         let pattern = if pairs[0].1.starts_with('<') {
-            let a = det.space().attr_by_name("age").expect("age attribute");
+            let a = audit.space().attr_by_name("age").expect("age attribute");
             rankfair::core::Pattern::single(a, 0)
         } else {
-            match det.space().pattern(pairs) {
+            match audit.space().pattern(pairs) {
                 Some(p) => p,
                 None => {
-                    println!("\n### {} — {label}: group not present in synthetic data, skipped", w.name);
+                    println!(
+                        "\n### {} — {label}: group not present in synthetic data, skipped",
+                        w.name
+                    );
                     continue;
                 }
             }
         };
-        let (sd, count) = det.index().counts(&pattern, 49.min(w.detection.n_rows()));
+        let (sd, count) = audit.index().counts(&pattern, 49.min(w.detection.n_rows()));
         println!(
             "\n### {} — {label} → {} (s_D = {sd}, top-49 = {count})",
             w.name,
-            det.describe(&pattern)
+            audit.describe(&pattern)
         );
         let surrogate = RankSurrogate::fit(&w.raw, &w.ranking, &explain_cfg);
         println!("surrogate in-sample R² = {:.3}", surrogate.fit_quality());
-        let members = det.group_members(&pattern);
+        let members = audit.group_members(&pattern);
         let ex = surrogate.explain_group(&members);
         println!("aggregated Shapley values (top 6):");
         print!("{}", ex.render(6));
@@ -315,28 +348,34 @@ fn casestudy(opts: &Opts) {
     println!("\n## §VI-D case study: detection vs. divergence (Student, 4 attributes, k = 10)");
     let w = student_workload(if opts.quick { 200 } else { 0 }, opts.seed);
     let attrs = ["school", "sex", "age", "address"];
-    let det = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &attrs).unwrap();
+    let audit = rankfair::core::Audit::builder(w.detection.clone())
+        .ranking(w.ranking.clone())
+        .attributes(attrs)
+        .build()
+        .unwrap();
     let cfg = DetectConfig::new(50, 10, 10);
 
-    let global = det.detect_global(&cfg, &Bounds::constant(10));
-    let prop = det.detect_proportional(&cfg, 0.8);
+    let g_task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(10)));
+    let p_task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 });
+    let global = audit.run(&cfg, &g_task, Engine::Optimized).unwrap();
+    let prop = audit.run(&cfg, &p_task, Engine::Optimized).unwrap();
     let mut t = Table::new(&["method", "groups", "examples"]);
     let describe = |pats: &[rankfair::core::Pattern]| {
         pats.iter()
             .take(3)
-            .map(|p| det.describe(p))
+            .map(|p| audit.describe(p))
             .collect::<Vec<_>>()
             .join(" ")
     };
     t.row(&[
         "GlobalBounds".into(),
-        global.per_k[0].patterns.len().to_string(),
-        describe(&global.per_k[0].patterns),
+        global.per_k[0].under.len().to_string(),
+        describe(&global.per_k[0].under),
     ]);
     t.row(&[
         "PropBounds".into(),
-        prop.per_k[0].patterns.len().to_string(),
-        describe(&prop.per_k[0].patterns),
+        prop.per_k[0].under.len().to_string(),
+        describe(&prop.per_k[0].under),
     ]);
     let cols: Vec<usize> = attrs
         .iter()
@@ -372,7 +411,9 @@ fn casestudy(opts: &Opts) {
         "{subsumed}/{} divergence subgroups are subsumed by another; detection outputs only most general patterns",
         div.len()
     );
-    println!("(paper, real data: PropBounds 2 groups ⊂ GlobalBounds 5 groups ⊂ divergence 28 groups)");
+    println!(
+        "(paper, real data: PropBounds 2 groups ⊂ GlobalBounds 5 groups ⊂ divergence 28 groups)"
+    );
 }
 
 /// §III: fraction of parameter settings reporting < 100 groups.
@@ -383,23 +424,29 @@ fn resultsize(opts: &Opts) {
     let mut max_seen = 0usize;
     let attrs = if opts.quick { 8 } else { 11 };
     for w in &workloads(opts) {
-        let det = detector_with_attrs(w, attrs);
+        let audit = audit_with_attrs(w, attrs);
         for tau in [30, 50, 80] {
             for alpha in [0.6, 0.8, 1.0] {
-                let out = det.detect_proportional(&DetectConfig::new(tau, 10, 49), alpha);
+                let task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha });
+                let out = audit
+                    .run(&DetectConfig::new(tau, 10, 49), &task, Engine::Optimized)
+                    .unwrap();
                 for kr in &out.per_k {
                     total += 1;
-                    max_seen = max_seen.max(kr.patterns.len());
-                    if kr.patterns.len() < 100 {
+                    max_seen = max_seen.max(kr.under.len());
+                    if kr.under.len() < 100 {
                         small += 1;
                     }
                 }
             }
-            let out = det.detect_global(&DetectConfig::new(tau, 10, 49), &Bounds::paper_default());
+            let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::paper_default()));
+            let out = audit
+                .run(&DetectConfig::new(tau, 10, 49), &task, Engine::Optimized)
+                .unwrap();
             for kr in &out.per_k {
                 total += 1;
-                max_seen = max_seen.max(kr.patterns.len());
-                if kr.patterns.len() < 100 {
+                max_seen = max_seen.max(kr.under.len());
+                if kr.under.len() < 100 {
                     small += 1;
                 }
             }
@@ -429,20 +476,27 @@ fn faststeps(opts: &Opts) {
         "rescan_evals",
     ]);
     for w in &workloads(opts) {
-        let det = detector_with_attrs(w, attrs);
+        let audit = audit_with_attrs(w, attrs);
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(bounds.clone()));
         let t0 = std::time::Instant::now();
-        let rebuild = det.detect_global(&cfg, &bounds);
+        let rebuild = audit.run(&cfg, &task, Engine::Optimized).unwrap();
         let rebuild_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        // The streaming path applies the rescan extension at bound steps.
         let t0 = std::time::Instant::now();
-        let rescan = rankfair::core::global_bounds_fast_steps(det.index(), det.space(), &cfg, &bounds);
+        let mut stream = audit.run_streaming(&cfg, &task).unwrap();
+        let rescan_per_k: Vec<AuditKResult> = stream.by_ref().collect();
+        let rescan_evals = stream.stats().nodes_evaluated;
         let rescan_ms = t0.elapsed().as_secs_f64() * 1000.0;
-        assert_eq!(rebuild.per_k, rescan.per_k, "extension must be output-equivalent");
+        assert_eq!(
+            rebuild.per_k, rescan_per_k,
+            "extension must be output-equivalent"
+        );
         t.row(&[
             w.name.to_string(),
             format!("{rebuild_ms:.1}"),
             format!("{rescan_ms:.1}"),
             rebuild.stats.nodes_evaluated.to_string(),
-            rescan.stats.nodes_evaluated.to_string(),
+            rescan_evals.to_string(),
         ]);
     }
     print!("{}", t.render());
@@ -473,11 +527,21 @@ fn scaling(opts: &Opts) {
     };
     for &rows in sizes {
         let w = compas_workload(rows, opts.seed);
-        let det = detector_with_attrs(&w, 11);
-        let base = run_algo(&det, &cfg, &BiasMeasure::Proportional { alpha }, Algo::IterTd);
-        let prop = run_algo(&det, &cfg, &BiasMeasure::Proportional { alpha }, Algo::PropBounds);
+        let audit = audit_with_attrs(&w, 11);
+        let base = run_algo(
+            &audit,
+            &cfg,
+            &BiasMeasure::Proportional { alpha },
+            Algo::IterTd,
+        );
+        let prop = run_algo(
+            &audit,
+            &cfg,
+            &BiasMeasure::Proportional { alpha },
+            Algo::PropBounds,
+        );
         let glob = run_algo(
-            &det,
+            &audit,
             &cfg,
             &BiasMeasure::GlobalLower(bounds.clone()),
             Algo::GlobalBounds,
@@ -496,27 +560,35 @@ fn scaling(opts: &Opts) {
 /// Theorem 3.3: the adversarial instance is exponential.
 fn worstcase(opts: &Opts) {
     println!("\n## Theorem 3.3: worst-case instance (n attributes, n+1 tuples, k = n)");
-    let mut t = Table::new(&["n", "C(n,n/2)", "global_groups", "global_ms", "prop_groups", "prop_ms"]);
+    let mut t = Table::new(&[
+        "n",
+        "C(n,n/2)",
+        "global_groups",
+        "global_ms",
+        "prop_groups",
+        "prop_ms",
+    ]);
     let cap = if opts.quick { 12 } else { 18 };
     for n in (4..=cap).step_by(2) {
         let (ds, order) = rankfair::synth::worst_case(n);
         let ranking = rankfair::rank::Ranking::from_order(order).unwrap();
-        let det = Detector::with_ranking(&ds, ranking).unwrap();
+        let audit = rankfair::core::Audit::builder(std::sync::Arc::new(ds))
+            .ranking(ranking)
+            .build()
+            .unwrap();
         let cfg = DetectConfig::new(1, n, n).with_deadline(opts.timeout);
+        let g_task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(n / 2 + 1)));
         let t0 = std::time::Instant::now();
-        let g = det.detect_global(&cfg, &Bounds::constant(n / 2 + 1));
+        let g = audit.run(&cfg, &g_task, Engine::Optimized).unwrap();
         let g_ms = t0.elapsed().as_secs_f64() * 1000.0;
         let alpha = (n as f64 + 3.0) / (n as f64 + 4.0);
+        let p_task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha });
         let t0 = std::time::Instant::now();
-        let p = det.detect_proportional(&cfg, alpha);
+        let p = audit.run(&cfg, &p_task, Engine::Optimized).unwrap();
         let p_ms = t0.elapsed().as_secs_f64() * 1000.0;
-        let cell = |out: &rankfair::core::DetectionOutput, ms: f64| {
-            match out.per_k.first() {
-                Some(kr) if !out.stats.timed_out => {
-                    (kr.patterns.len().to_string(), format!("{ms:.1}"))
-                }
-                _ => ("-".to_string(), "TIMEOUT".to_string()),
-            }
+        let cell = |out: &rankfair::core::AuditOutcome, ms: f64| match out.per_k.first() {
+            Some(kr) if !out.stats.timed_out => (kr.under.len().to_string(), format!("{ms:.1}")),
+            _ => ("-".to_string(), "TIMEOUT".to_string()),
         };
         let (g_groups, g_time) = cell(&g, g_ms);
         let (p_groups, p_time) = cell(&p, p_ms);
@@ -538,8 +610,12 @@ fn worstcase(opts: &Opts) {
 
 fn main() {
     let (cmd, opts) = parse_args();
-    println!("# rankfair experiments — reproducing ICDE 2023 §VI (seed {}, timeout {:?}{})",
-        opts.seed, opts.timeout, if opts.quick { ", quick mode" } else { "" });
+    println!(
+        "# rankfair experiments — reproducing ICDE 2023 §VI (seed {}, timeout {:?}{})",
+        opts.seed,
+        opts.timeout,
+        if opts.quick { ", quick mode" } else { "" }
+    );
     match cmd.as_str() {
         "fig4" => fig45(true, &opts),
         "fig5" => fig45(false, &opts),

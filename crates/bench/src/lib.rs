@@ -48,33 +48,34 @@ pub struct Measurement {
     pub timed_out: bool,
 }
 
-/// Runs one algorithm on a prepared detector and measures it.
+/// Runs one algorithm on a prepared audit and measures it.
 pub fn run_algo(
-    det: &Detector<'_>,
+    audit: &Audit,
     cfg: &DetectConfig,
     measure: &BiasMeasure,
     algo: Algo,
 ) -> Measurement {
-    let start = Instant::now();
-    let out = match algo {
-        Algo::IterTd => det.detect_baseline(cfg, measure),
-        Algo::GlobalBounds | Algo::PropBounds => det.detect_optimized(cfg, measure),
+    let engine = match algo {
+        Algo::IterTd => Engine::Baseline,
+        Algo::GlobalBounds | Algo::PropBounds => Engine::Optimized,
     };
+    let task = AuditTask::UnderRep(measure.clone());
+    let start = Instant::now();
+    let out = audit
+        .run(cfg, &task, engine)
+        .expect("benchmark parameters are valid");
     Measurement {
         elapsed: start.elapsed(),
         patterns_examined: out.stats.patterns_examined(),
-        groups_reported: out.total_patterns(),
+        groups_reported: out.total_groups(),
         timed_out: out.stats.timed_out,
     }
 }
 
-/// Builds a detector over the first `n_attrs` pattern attributes of a
+/// Builds an audit over the first `n_attrs` pattern attributes of a
 /// workload (the x-axis of Figures 4–5).
-pub fn detector_with_attrs<'a>(w: &'a Workload, n_attrs: usize) -> Detector<'a> {
-    let names = w.attr_names();
-    let take = n_attrs.min(names.len());
-    let refs: Vec<&str> = names.iter().take(take).map(String::as_str).collect();
-    Detector::with_ranking_over(&w.detection, w.ranking.clone(), &refs)
+pub fn audit_with_attrs(w: &Workload, n_attrs: usize) -> Audit {
+    w.audit_with_attrs(n_attrs)
         .expect("workload attributes are categorical")
 }
 
@@ -169,23 +170,23 @@ mod tests {
     #[test]
     fn run_algo_measures_and_agrees() {
         let w = student_workload(100, 3);
-        let det = detector_with_attrs(&w, 5);
+        let audit = audit_with_attrs(&w, 5);
         let cfg = DetectConfig::new(10, 5, 20);
         let bounds = Bounds::constant(3);
         let m = BiasMeasure::GlobalLower(bounds);
-        let base = run_algo(&det, &cfg, &m, Algo::IterTd);
-        let opt = run_algo(&det, &cfg, &m, Algo::GlobalBounds);
+        let base = run_algo(&audit, &cfg, &m, Algo::IterTd);
+        let opt = run_algo(&audit, &cfg, &m, Algo::GlobalBounds);
         assert!(!base.timed_out && !opt.timed_out);
         assert!(opt.patterns_examined < base.patterns_examined);
         assert_eq!(base.groups_reported, opt.groups_reported);
     }
 
     #[test]
-    fn detector_with_attrs_truncates() {
+    fn audit_with_attrs_truncates() {
         let w = student_workload(80, 3);
-        let det = detector_with_attrs(&w, 4);
-        assert_eq!(det.space().n_attrs(), 4);
-        let det_all = detector_with_attrs(&w, 999);
-        assert_eq!(det_all.space().n_attrs(), 33);
+        let audit = audit_with_attrs(&w, 4);
+        assert_eq!(audit.space().n_attrs(), 4);
+        let audit_all = audit_with_attrs(&w, 999);
+        assert_eq!(audit_all.space().n_attrs(), 33);
     }
 }

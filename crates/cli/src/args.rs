@@ -1,5 +1,6 @@
 //! Flag parsing for the `rankfair` CLI (a tiny hand-rolled parser — the
-//! workspace stays dependency-light).
+//! workspace stays dependency-light). Each subcommand declares its valid
+//! flag set; unknown flags are rejected with the valid set in the error.
 
 use std::collections::BTreeMap;
 
@@ -12,17 +13,22 @@ USAGE:
       Run the paper's Figure 1 running example end to end.
 
   rankfair detect --csv FILE --rank-by COL [options]
-      Find the most general groups under-represented in the top-k.
+      Audit the ranking for groups with biased representation.
         --sep CHAR          CSV separator (default ',')
         --asc               rank ascending (default: descending)
-        --problem global|prop   fairness measure (default global)
-        --lower N           global lower bound L_k (default 10)
-        --alpha X           proportional factor α (default 0.8)
+        --task under|over|combined   what to detect (default under)
+        --engine optimized|baseline  algorithm family (default optimized)
+        --threads N         worker threads over the k range (default 1, 0 = all cores)
+        --problem global|prop   under measure (default global; task under only)
+        --lower N           lower bound L_k (default 10; global under / combined)
+        --upper N           upper bound U_k (default 20; over / combined)
+        --scope specific|general  over boundary (default specific; task over only)
+        --alpha X           proportional factor α (default 0.8; --problem prop only)
         --tau N             size threshold τs (default 50)
         --kmin N --kmax N   k range (default 10..49)
         --attrs a,b,c       pattern attributes (default: all categorical)
         --bucketize c=BINS,...  bucketize numeric columns before detection
-        --baseline          use IterTD instead of the optimized algorithm
+        --baseline          deprecated alias for --engine baseline
         --top N             print at most N groups per k (default 20)
         --format table|csv  output format (default table)
 
@@ -39,6 +45,79 @@ USAGE:
         --attrs a,b,c       subgroup attributes
 ";
 
+/// The flags a subcommand accepts: value-taking flags and switches.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// Flags that take a value (`--flag value`).
+    pub values: &'static [&'static str],
+    /// Flags that take no value (`--flag`).
+    pub switches: &'static [&'static str],
+}
+
+/// `rankfair detect`.
+pub const DETECT_SPEC: FlagSpec = FlagSpec {
+    values: &[
+        "csv",
+        "sep",
+        "rank-by",
+        "attrs",
+        "bucketize",
+        "task",
+        "engine",
+        "threads",
+        "problem",
+        "lower",
+        "upper",
+        "scope",
+        "alpha",
+        "tau",
+        "kmin",
+        "kmax",
+        "top",
+        "format",
+    ],
+    switches: &["asc", "baseline"],
+};
+
+/// `rankfair explain`.
+pub const EXPLAIN_SPEC: FlagSpec = FlagSpec {
+    values: &[
+        "csv",
+        "sep",
+        "rank-by",
+        "attrs",
+        "bucketize",
+        "group",
+        "k",
+        "trees",
+        "samples",
+    ],
+    switches: &["asc"],
+};
+
+/// `rankfair compare`.
+pub const COMPARE_SPEC: FlagSpec = FlagSpec {
+    values: &[
+        "csv",
+        "sep",
+        "rank-by",
+        "attrs",
+        "bucketize",
+        "k",
+        "tau",
+        "lower",
+        "alpha",
+        "support",
+    ],
+    switches: &["asc"],
+};
+
+/// `rankfair demo`.
+pub const DEMO_SPEC: FlagSpec = FlagSpec {
+    values: &[],
+    switches: &[],
+};
+
 /// Parsed `--flag value` / `--flag` pairs.
 #[derive(Debug, Default)]
 pub struct Flags {
@@ -46,11 +125,20 @@ pub struct Flags {
     switches: Vec<String>,
 }
 
-/// Flags that take no value.
-const SWITCHES: &[&str] = &["asc", "baseline"];
+fn valid_set(spec: &FlagSpec) -> String {
+    let mut all: Vec<String> = spec
+        .values
+        .iter()
+        .chain(spec.switches.iter())
+        .map(|f| format!("--{f}"))
+        .collect();
+    all.sort();
+    all.join(", ")
+}
 
-/// Parses `--flag [value]` sequences.
-pub fn parse_flags(argv: &[String]) -> Result<Flags, String> {
+/// Parses `--flag [value]` sequences against `spec`. Unknown flags are an
+/// error listing the valid flag set.
+pub fn parse_flags(argv: &[String], spec: &FlagSpec) -> Result<Flags, String> {
     let mut flags = Flags::default();
     let mut i = 0;
     while i < argv.len() {
@@ -58,14 +146,19 @@ pub fn parse_flags(argv: &[String]) -> Result<Flags, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected positional argument `{arg}`"));
         };
-        if SWITCHES.contains(&name) {
+        if spec.switches.contains(&name) {
             flags.switches.push(name.to_string());
-        } else {
+        } else if spec.values.contains(&name) {
             i += 1;
             let value = argv
                 .get(i)
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
             flags.values.insert(name.to_string(), value.clone());
+        } else {
+            return Err(format!(
+                "unknown flag `--{name}` for this command; valid flags: {}",
+                valid_set(spec)
+            ));
         }
         i += 1;
     }
@@ -80,7 +173,8 @@ impl Flags {
 
     /// Required string flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     /// Parsed numeric flag with default.
@@ -143,7 +237,11 @@ mod tests {
 
     #[test]
     fn parses_values_and_switches() {
-        let f = parse_flags(&argv(&["--csv", "x.csv", "--asc", "--tau", "50"])).unwrap();
+        let f = parse_flags(
+            &argv(&["--csv", "x.csv", "--asc", "--tau", "50"]),
+            &DETECT_SPEC,
+        )
+        .unwrap();
         assert_eq!(f.get("csv"), Some("x.csv"));
         assert!(f.switch("asc"));
         assert!(!f.switch("baseline"));
@@ -153,20 +251,34 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        assert!(parse_flags(&argv(&["--csv"])).is_err());
-        assert!(parse_flags(&argv(&["stray"])).is_err());
+        assert!(parse_flags(&argv(&["--csv"]), &DETECT_SPEC).is_err());
+        assert!(parse_flags(&argv(&["stray"]), &DETECT_SPEC).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_valid_set() {
+        let err = parse_flags(&argv(&["--frobnicate", "1"]), &DETECT_SPEC).unwrap_err();
+        assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+        assert!(err.contains("--csv"), "{err}");
+        assert!(err.contains("--task"), "{err}");
+        // A detect-only flag is unknown to explain.
+        let err = parse_flags(&argv(&["--engine", "baseline"]), &EXPLAIN_SPEC).unwrap_err();
+        assert!(err.contains("unknown flag `--engine`"), "{err}");
+        assert!(err.contains("--group"), "{err}");
+        // demo takes nothing.
+        assert!(parse_flags(&argv(&["--anything", "x"]), &DEMO_SPEC).is_err());
     }
 
     #[test]
     fn require_and_bad_number() {
-        let f = parse_flags(&argv(&["--tau", "abc"])).unwrap();
+        let f = parse_flags(&argv(&["--tau", "abc"]), &DETECT_SPEC).unwrap();
         assert!(f.require("csv").is_err());
         assert!(f.num::<usize>("tau", 0).is_err());
     }
 
     #[test]
     fn list_splits_on_commas() {
-        let f = parse_flags(&argv(&["--attrs", "a, b,c"])).unwrap();
+        let f = parse_flags(&argv(&["--attrs", "a, b,c"]), &DETECT_SPEC).unwrap();
         assert_eq!(f.list("attrs").unwrap(), vec!["a", "b", "c"]);
     }
 

@@ -1,7 +1,13 @@
-//! The CLI subcommands, built directly on the library crates.
+//! The CLI subcommands, built directly on the library crates: every
+//! detection path goes through the owned [`Audit`] API, so the CLI
+//! exercises exactly what a server embedding the library would.
 
-use rankfair_core::{render_report, render_report_csv, BiasMeasure, Bounds, DetectConfig, Detector};
-use rankfair_data::bucketize::{bucketize_in_place, BinStrategy};
+use std::sync::Arc;
+
+use rankfair_core::{
+    render_report, render_report_csv, Audit, AuditTask, BiasMeasure, Bounds, DetectConfig, Engine,
+    OverRepScope,
+};
 use rankfair_data::csv::{read_csv, CsvOptions};
 use rankfair_data::Dataset;
 use rankfair_divergence::{display_items, divergent_subgroups, DivergenceConfig};
@@ -10,9 +16,9 @@ use rankfair_rank::{AttributeRanker, Ranker, Ranking, SortKey};
 
 use crate::args::{parse_bucketize, parse_group, Flags};
 
-/// Loads the CSV, applies bucketization, and computes the ranking on the
-/// raw data — the shared front half of every subcommand.
-fn load(flags: &Flags) -> Result<(Dataset, Dataset, Ranking), String> {
+/// Loads the CSV and computes the ranking on the raw data — the shared
+/// front half of every subcommand.
+fn load(flags: &Flags) -> Result<(Arc<Dataset>, Ranking), String> {
     let path = flags.require("csv")?;
     let sep = flags
         .get("sep")
@@ -34,64 +40,141 @@ fn load(flags: &Flags) -> Result<(Dataset, Dataset, Ranking), String> {
         SortKey::desc(rank_col)
     };
     let ranking = AttributeRanker::new(vec![key]).rank(&raw);
-
-    let mut detection = raw.clone();
-    if let Some(spec) = flags.get("bucketize") {
-        for (col, bins) in parse_bucketize(spec)? {
-            bucketize_in_place(&mut detection, &col, bins, BinStrategy::EqualWidth)
-                .map_err(|e| format!("bucketizing `{col}`: {e}"))?;
-        }
-    }
-    Ok((raw, detection, ranking))
+    Ok((Arc::new(raw), ranking))
 }
 
-fn build_detector<'a>(
-    detection: &'a Dataset,
-    ranking: &Ranking,
-    flags: &Flags,
-) -> Result<Detector<'a>, String> {
-    match flags.list("attrs") {
-        Some(attrs) => {
-            let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            Detector::with_ranking_over(detection, ranking.clone(), &refs)
-                .map_err(|e| e.to_string())
+/// Builds the audit: bucketization (as builder hooks on a private copy),
+/// attribute restriction, and worker threads all come from flags.
+fn build_audit(raw: &Arc<Dataset>, ranking: &Ranking, flags: &Flags) -> Result<Audit, String> {
+    let mut builder = Audit::builder(Arc::clone(raw)).ranking(ranking.clone());
+    if let Some(spec) = flags.get("bucketize") {
+        for (col, bins) in parse_bucketize(spec)? {
+            builder = builder.bucketize(&col, bins);
         }
-        None => Detector::with_ranking(detection, ranking.clone()).map_err(|e| e.to_string()),
+    }
+    if let Some(attrs) = flags.list("attrs") {
+        builder = builder.attributes(attrs);
+    }
+    builder = builder.threads(flags.num("threads", 1)?);
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn parse_engine(flags: &Flags) -> Result<Engine, String> {
+    if flags.switch("baseline") {
+        // The deprecated alias must not silently override an explicit,
+        // contradictory --engine choice.
+        if flags.get("engine") == Some("optimized") {
+            return Err("--baseline contradicts --engine optimized".to_string());
+        }
+        return Ok(Engine::Baseline);
+    }
+    match flags.get("engine").unwrap_or("optimized") {
+        "optimized" => Ok(Engine::Optimized),
+        "baseline" => Ok(Engine::Baseline),
+        other => Err(format!(
+            "--engine must be optimized or baseline, got `{other}`"
+        )),
+    }
+}
+
+fn parse_task(flags: &Flags) -> Result<AuditTask, String> {
+    let lower = || -> Result<Bounds, String> { Ok(Bounds::constant(flags.num("lower", 10)?)) };
+    let upper = || -> Result<Bounds, String> { Ok(Bounds::constant(flags.num("upper", 20)?)) };
+    let scope = || -> Result<OverRepScope, String> {
+        match flags.get("scope").unwrap_or("specific") {
+            "specific" => Ok(OverRepScope::MostSpecific),
+            "general" => Ok(OverRepScope::MostGeneral),
+            other => Err(format!(
+                "--scope must be specific or general, got `{other}`"
+            )),
+        }
+    };
+    let task = flags.get("task").unwrap_or("under");
+    // Reject flags the chosen task would silently ignore: a dropped
+    // measure changes the result set without any diagnostic.
+    let reject = |flag: &str| -> Result<(), String> {
+        if flags.get(flag).is_some() {
+            return Err(format!("--{flag} does not apply to --task {task}"));
+        }
+        Ok(())
+    };
+    match task {
+        "under" => {
+            reject("upper")?;
+            reject("scope")?;
+            let measure = match flags.get("problem").unwrap_or("global") {
+                "global" => {
+                    reject("alpha")?;
+                    BiasMeasure::GlobalLower(lower()?)
+                }
+                "prop" | "proportional" => {
+                    reject("lower")?;
+                    BiasMeasure::Proportional {
+                        alpha: flags.num("alpha", 0.8)?,
+                    }
+                }
+                other => return Err(format!("--problem must be global or prop, got `{other}`")),
+            };
+            Ok(AuditTask::UnderRep(measure))
+        }
+        "over" => {
+            reject("problem")?;
+            reject("alpha")?;
+            reject("lower")?;
+            Ok(AuditTask::OverRep {
+                upper: upper()?,
+                scope: scope()?,
+            })
+        }
+        "combined" => {
+            reject("problem")?;
+            reject("alpha")?;
+            reject("scope")?;
+            Ok(AuditTask::Combined {
+                lower: lower()?,
+                upper: upper()?,
+            })
+        }
+        other => Err(format!(
+            "--task must be under, over or combined, got `{other}`"
+        )),
     }
 }
 
 /// `rankfair detect`.
 pub fn detect(flags: &Flags) -> Result<(), String> {
-    let (_raw, detection, ranking) = load(flags)?;
-    let det = build_detector(&detection, &ranking, flags)?;
+    let (raw, ranking) = load(flags)?;
+    let audit = build_audit(&raw, &ranking, flags)?;
 
     let tau: usize = flags.num("tau", 50)?;
     let k_min: usize = flags.num("kmin", 10)?;
     let k_max: usize = flags.num("kmax", 49)?;
-    if k_min == 0 || k_min > k_max || k_max > detection.n_rows() {
+    let n_rows = audit.dataset().n_rows();
+    if k_min == 0 || k_min > k_max || k_max > n_rows {
         return Err(format!(
-            "invalid k range [{k_min}, {k_max}] for {} rows",
-            detection.n_rows()
+            "invalid k range [{k_min}, {k_max}] for {n_rows} rows"
         ));
     }
     let cfg = DetectConfig::new(tau, k_min, k_max);
-    let measure = match flags.get("problem").unwrap_or("global") {
-        "global" => BiasMeasure::GlobalLower(Bounds::constant(flags.num("lower", 10)?)),
-        "prop" | "proportional" => BiasMeasure::Proportional {
-            alpha: flags.num("alpha", 0.8)?,
-        },
-        other => return Err(format!("--problem must be global or prop, got `{other}`")),
-    };
+    let task = parse_task(flags)?;
+    let engine = parse_engine(flags)?;
 
-    let out = if flags.switch("baseline") {
-        det.detect_baseline(&cfg, &measure)
-    } else {
-        det.detect_optimized(&cfg, &measure)
-    };
+    let out = audit.run(&cfg, &task, engine).map_err(|e| e.to_string())?;
     let top: usize = flags.num("top", 20)?;
-    let mut reports = det.report(&out, &measure);
+    let mut reports = audit.report(&out, &task);
     for r in &mut reports {
-        r.groups.truncate(top);
+        // Cap each direction separately: the under block precedes the over
+        // block, and a global cap would silently swallow every over group.
+        let mut under_seen = 0usize;
+        let mut over_seen = 0usize;
+        r.groups.retain(|g| {
+            let seen = match g.direction {
+                rankfair_core::BiasDirection::Under => &mut under_seen,
+                rankfair_core::BiasDirection::Over => &mut over_seen,
+            };
+            *seen += 1;
+            *seen <= top
+        });
     }
     match flags.get("format").unwrap_or("table") {
         "table" => print!("{}", render_report(&reports)),
@@ -99,37 +182,38 @@ pub fn detect(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("--format must be table or csv, got `{other}`")),
     }
     eprintln!(
-        "[{} groups over {} k values; {} patterns examined in {:.1?}]",
-        out.total_patterns(),
+        "[{} groups over {} k values; {} patterns examined in {:.1?}; {} thread(s)]",
+        out.total_groups(),
         out.per_k.len(),
         out.stats.patterns_examined(),
-        out.stats.elapsed
+        out.stats.elapsed,
+        audit.threads(),
     );
     Ok(())
 }
 
 /// `rankfair explain`.
 pub fn explain(flags: &Flags) -> Result<(), String> {
-    let (raw, detection, ranking) = load(flags)?;
-    let det = build_detector(&detection, &ranking, flags)?;
+    let (raw, ranking) = load(flags)?;
+    let audit = build_audit(&raw, &ranking, flags)?;
     let pairs = parse_group(flags.require("group")?)?;
     let refs: Vec<(&str, &str)> = pairs
         .iter()
         .map(|(a, v)| (a.as_str(), v.as_str()))
         .collect();
-    let pattern = det
+    let pattern = audit
         .space()
         .pattern(&refs)
         .ok_or("unknown attribute or value in --group")?;
-    let members = det.group_members(&pattern);
+    let members = audit.group_members(&pattern);
     if members.is_empty() {
         return Err("the group matches no tuples".into());
     }
-    let k: usize = flags.num("k", 49.min(detection.n_rows()))?;
-    let (sd, count) = det.index().counts(&pattern, k);
+    let k: usize = flags.num("k", 49.min(raw.n_rows()))?;
+    let (sd, count) = audit.index().counts(&pattern, k);
     println!(
         "group {} — s_D = {sd}, top-{k} = {count}",
-        det.describe(&pattern)
+        audit.describe(&pattern)
     );
 
     let config = ExplainConfig {
@@ -148,7 +232,8 @@ pub fn explain(flags: &Flags) -> Result<(), String> {
 
     let top_attr = ex.ranked_attributes()[0].0.clone();
     let topk: Vec<u32> = ranking.top_k(k).to_vec();
-    let cmp = rankfair_explain::distribution::compare_distributions(&raw, &top_attr, &topk, &members);
+    let cmp =
+        rankfair_explain::distribution::compare_distributions(&raw, &top_attr, &topk, &members);
     println!("\nvalue distribution of `{top_attr}`:");
     print!("{}", cmp.render());
     Ok(())
@@ -156,24 +241,35 @@ pub fn explain(flags: &Flags) -> Result<(), String> {
 
 /// `rankfair compare`.
 pub fn compare(flags: &Flags) -> Result<(), String> {
-    let (_raw, detection, ranking) = load(flags)?;
-    let det = build_detector(&detection, &ranking, flags)?;
+    let (raw, ranking) = load(flags)?;
+    let audit = build_audit(&raw, &ranking, flags)?;
     let k: usize = flags.num("k", 10)?;
     let tau: usize = flags.num("tau", 50)?;
     let cfg = DetectConfig::new(tau, k, k);
 
-    let global = det.detect_global(&cfg, &Bounds::constant(flags.num("lower", 10)?));
-    let prop = det.detect_proportional(&cfg, flags.num("alpha", 0.8)?);
-    println!("GlobalBounds ({} groups):", global.per_k[0].patterns.len());
-    for p in &global.per_k[0].patterns {
-        println!("  {}", det.describe(p));
+    let global_task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(
+        flags.num("lower", 10)?,
+    )));
+    let prop_task = AuditTask::UnderRep(BiasMeasure::Proportional {
+        alpha: flags.num("alpha", 0.8)?,
+    });
+    let global = audit
+        .run(&cfg, &global_task, Engine::Optimized)
+        .map_err(|e| e.to_string())?;
+    let prop = audit
+        .run(&cfg, &prop_task, Engine::Optimized)
+        .map_err(|e| e.to_string())?;
+    println!("GlobalBounds ({} groups):", global.per_k[0].under.len());
+    for p in &global.per_k[0].under {
+        println!("  {}", audit.describe(p));
     }
-    println!("\nPropBounds ({} groups):", prop.per_k[0].patterns.len());
-    for p in &prop.per_k[0].patterns {
-        println!("  {}", det.describe(p));
+    println!("\nPropBounds ({} groups):", prop.per_k[0].under.len());
+    for p in &prop.per_k[0].under {
+        println!("  {}", audit.describe(p));
     }
 
     let support: f64 = flags.num("support", 0.13)?;
+    let detection = audit.dataset();
     let cols = flags.list("attrs").map(|attrs| {
         attrs
             .iter()
@@ -181,7 +277,7 @@ pub fn compare(flags: &Flags) -> Result<(), String> {
             .collect::<Vec<_>>()
     });
     let div = divergent_subgroups(
-        &detection,
+        detection,
         &ranking,
         k,
         &DivergenceConfig {
@@ -197,7 +293,7 @@ pub fn compare(flags: &Flags) -> Result<(), String> {
     for s in div.iter().take(5) {
         println!(
             "  {:50} support {:>5}  divergence {:+.3}",
-            display_items(&detection, &s.items),
+            display_items(detection, &s.items),
             s.support,
             s.divergence
         );
@@ -205,37 +301,64 @@ pub fn compare(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `rankfair demo` — the Figure 1 running example.
+/// `rankfair demo` — the Figure 1 running example, both directions.
 pub fn demo() -> Result<(), String> {
-    let ds = rankfair_data::examples::students_fig1();
+    let ds = Arc::new(rankfair_data::examples::students_fig1());
     let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
-    let det = Detector::new(&ds, &ranker).map_err(|e| e.to_string())?;
+    let audit = Audit::builder(ds)
+        .ranker(&ranker)
+        .build()
+        .map_err(|e| e.to_string())?;
     println!("Figure 1 running example: 16 students, ranking by grade then failures.\n");
+
     let cfg = DetectConfig::new(4, 4, 5);
-    let bounds = Bounds::constant(2);
-    let out = det.detect_global(&cfg, &bounds);
+    let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+    let out = audit
+        .run(&cfg, &task, Engine::Optimized)
+        .map_err(|e| e.to_string())?;
     println!("Global bounds (τs = 4, L = 2):");
-    print!(
-        "{}",
-        render_report(&det.report(&out, &BiasMeasure::GlobalLower(bounds)))
-    );
+    print!("{}", render_report(&audit.report(&out, &task)));
+
     let cfg = DetectConfig::new(5, 4, 5);
-    let out = det.detect_proportional(&cfg, 0.9);
+    let task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.9 });
+    let out = audit
+        .run(&cfg, &task, Engine::Optimized)
+        .map_err(|e| e.to_string())?;
     println!("\nProportional (τs = 5, α = 0.9):");
-    print!(
-        "{}",
-        render_report(&det.report(&out, &BiasMeasure::Proportional { alpha: 0.9 }))
-    );
+    print!("{}", render_report(&audit.report(&out, &task)));
+
+    let cfg = DetectConfig::new(4, 5, 5);
+    let task = AuditTask::Combined {
+        lower: Bounds::constant(2),
+        upper: Bounds::constant(2),
+    };
+    let out = audit
+        .run(&cfg, &task, Engine::Optimized)
+        .map_err(|e| e.to_string())?;
+    println!("\nCombined lower + upper bounds (τs = 4, L = 2, U = 2):");
+    print!("{}", render_report(&audit.report(&out, &task)));
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::parse_flags;
+    use crate::args::{parse_flags, DETECT_SPEC, EXPLAIN_SPEC};
 
-    fn flags(args: &[&str]) -> Flags {
-        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    fn detect_flags(args: &[&str]) -> Flags {
+        parse_flags(
+            &args.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &DETECT_SPEC,
+        )
+        .unwrap()
+    }
+
+    fn explain_flags(args: &[&str]) -> Flags {
+        parse_flags(
+            &args.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &EXPLAIN_SPEC,
+        )
+        .unwrap()
     }
 
     fn student_csv() -> std::path::PathBuf {
@@ -255,7 +378,7 @@ mod tests {
     #[test]
     fn detect_runs_on_csv() {
         let path = student_csv();
-        let f = flags(&[
+        let f = detect_flags(&[
             "--csv",
             path.to_str().unwrap(),
             "--rank-by",
@@ -277,7 +400,7 @@ mod tests {
     #[test]
     fn detect_proportional_with_attr_subset() {
         let path = student_csv();
-        let f = flags(&[
+        let f = detect_flags(&[
             "--csv",
             path.to_str().unwrap(),
             "--rank-by",
@@ -299,9 +422,132 @@ mod tests {
     }
 
     #[test]
+    fn detect_over_and_combined_tasks() {
+        let path = student_csv();
+        for task in ["over", "combined"] {
+            for engine in ["optimized", "baseline"] {
+                let mut args = vec![
+                    "--csv",
+                    path.to_str().unwrap(),
+                    "--rank-by",
+                    "G3",
+                    "--task",
+                    task,
+                    "--engine",
+                    engine,
+                    "--tau",
+                    "20",
+                    "--kmin",
+                    "8",
+                    "--kmax",
+                    "10",
+                    "--upper",
+                    "5",
+                    "--attrs",
+                    "school,sex,address",
+                ];
+                if task == "combined" {
+                    args.extend(["--lower", "3"]);
+                }
+                let f = detect_flags(&args);
+                detect(&f).unwrap();
+            }
+        }
+        // Flags the task would silently ignore are rejected instead.
+        for (extra, task) in [
+            (["--alpha", "0.8"], "over"),
+            (["--upper", "5"], "under"),
+            (["--problem", "prop"], "combined"),
+        ] {
+            let mut args = vec![
+                "--csv",
+                path.to_str().unwrap(),
+                "--rank-by",
+                "G3",
+                "--task",
+                task,
+            ];
+            args.extend(extra);
+            let f = detect_flags(&args);
+            let err = detect(&f).unwrap_err();
+            assert!(err.contains("does not apply"), "{err}");
+        }
+        // Most-general scope parses and runs.
+        let f = detect_flags(&[
+            "--csv",
+            path.to_str().unwrap(),
+            "--rank-by",
+            "G3",
+            "--task",
+            "over",
+            "--scope",
+            "general",
+            "--tau",
+            "20",
+            "--kmin",
+            "8",
+            "--kmax",
+            "9",
+            "--upper",
+            "4",
+            "--attrs",
+            "school,sex,address",
+        ]);
+        detect(&f).unwrap();
+        // Bad task / engine / scope values are reported.
+        for (flag, value, hint) in [
+            ("--task", "sideways", "--task"),
+            ("--engine", "quantum", "--engine"),
+            ("--scope", "broad", "--scope"),
+        ] {
+            let mut args = vec![
+                "--csv",
+                path.to_str().unwrap(),
+                "--rank-by",
+                "G3",
+                flag,
+                value,
+            ];
+            if flag == "--scope" {
+                args.extend(["--task", "over"]);
+            }
+            let f = detect_flags(&args);
+            assert!(detect(&f).unwrap_err().contains(hint));
+        }
+    }
+
+    #[test]
+    fn detect_multithreaded_matches_single() {
+        // The CLI output goes to stdout; here we only assert both runs
+        // succeed (byte-identity is covered by the library tests).
+        let path = student_csv();
+        for threads in ["1", "4"] {
+            let f = detect_flags(&[
+                "--csv",
+                path.to_str().unwrap(),
+                "--rank-by",
+                "G3",
+                "--threads",
+                threads,
+                "--tau",
+                "20",
+                "--kmin",
+                "5",
+                "--kmax",
+                "12",
+                "--lower",
+                "3",
+                "--attrs",
+                "school,sex,address",
+            ]);
+            detect(&f).unwrap();
+        }
+    }
+
+    #[test]
     fn explain_runs_on_csv() {
         let path = student_csv();
-        let f = flags(&[
+        let f = explain_flags(&[
             "--csv",
             path.to_str().unwrap(),
             "--rank-by",
@@ -321,27 +567,34 @@ mod tests {
     #[test]
     fn compare_runs_on_csv() {
         let path = student_csv();
-        let f = flags(&[
-            "--csv",
-            path.to_str().unwrap(),
-            "--rank-by",
-            "G3",
-            "--k",
-            "10",
-            "--tau",
-            "20",
-            "--support",
-            "0.13",
-            "--attrs",
-            "school,sex,address",
-        ]);
+        let f = parse_flags(
+            &[
+                "--csv",
+                path.to_str().unwrap(),
+                "--rank-by",
+                "G3",
+                "--k",
+                "10",
+                "--tau",
+                "20",
+                "--support",
+                "0.13",
+                "--attrs",
+                "school,sex,address",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+            &crate::args::COMPARE_SPEC,
+        )
+        .unwrap();
         compare(&f).unwrap();
     }
 
     #[test]
     fn detect_csv_format() {
         let path = student_csv();
-        let f = flags(&[
+        let f = detect_flags(&[
             "--csv",
             path.to_str().unwrap(),
             "--rank-by",
@@ -360,27 +613,34 @@ mod tests {
             "csv",
         ]);
         detect(&f).unwrap();
-        let bad = flags(&["--csv", path.to_str().unwrap(), "--rank-by", "G3", "--format", "xml"]);
+        let bad = detect_flags(&[
+            "--csv",
+            path.to_str().unwrap(),
+            "--rank-by",
+            "G3",
+            "--format",
+            "xml",
+        ]);
         assert!(detect(&bad).unwrap_err().contains("--format"));
     }
 
     #[test]
     fn missing_csv_flag_is_reported() {
-        let f = flags(&["--rank-by", "G3"]);
+        let f = detect_flags(&["--rank-by", "G3"]);
         assert!(detect(&f).unwrap_err().contains("--csv"));
     }
 
     #[test]
     fn unknown_rank_column_is_reported() {
         let path = student_csv();
-        let f = flags(&["--csv", path.to_str().unwrap(), "--rank-by", "nope"]);
+        let f = detect_flags(&["--csv", path.to_str().unwrap(), "--rank-by", "nope"]);
         assert!(detect(&f).unwrap_err().contains("nope"));
     }
 
     #[test]
     fn bad_k_range_is_reported() {
         let path = student_csv();
-        let f = flags(&[
+        let f = detect_flags(&[
             "--csv",
             path.to_str().unwrap(),
             "--rank-by",
@@ -396,7 +656,7 @@ mod tests {
     #[test]
     fn unknown_group_value_is_reported() {
         let path = student_csv();
-        let f = flags(&[
+        let f = explain_flags(&[
             "--csv",
             path.to_str().unwrap(),
             "--rank-by",

@@ -5,6 +5,8 @@
 //! rankfair demo
 //! rankfair detect  --csv data.csv --rank-by score --tau 50 --kmin 10 --kmax 49 --lower 10
 //! rankfair detect  --csv data.csv --rank-by score --problem prop --alpha 0.8
+//! rankfair detect  --csv data.csv --rank-by score --task over --upper 20 --scope specific
+//! rankfair detect  --csv data.csv --rank-by score --task combined --threads 4
 //! rankfair explain --csv data.csv --rank-by score --group "gender=F,address=R" --k 49
 //! rankfair compare --csv data.csv --rank-by score --k 10 --support 0.13
 //! ```
@@ -21,7 +23,18 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let cmd = argv[0].clone();
-    let flags = match args::parse_flags(&argv[1..]) {
+    let spec = match cmd.as_str() {
+        "demo" => &args::DEMO_SPEC,
+        "detect" => &args::DETECT_SPEC,
+        "explain" => &args::EXPLAIN_SPEC,
+        "compare" => &args::COMPARE_SPEC,
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            eprintln!("run `rankfair help` for usage");
+            return ExitCode::from(2);
+        }
+    };
+    let flags = match args::parse_flags(&argv[1..], spec) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -34,7 +47,7 @@ fn main() -> ExitCode {
         "detect" => commands::detect(&flags),
         "explain" => commands::explain(&flags),
         "compare" => commands::compare(&flags),
-        other => Err(format!("unknown command `{other}`")),
+        _ => unreachable!("command validated above"),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -1,0 +1,1100 @@
+//! The owned, thread-safe audit API: one builder, one task enum, one
+//! entry point for every detection mode in the paper.
+//!
+//! [`Audit`] owns its dataset (behind an [`Arc`]), the pattern space, the
+//! ranking and the ranked bitmap index, so it is `Send + Sync` and can be
+//! shared across threads, held in a server, or cached between requests —
+//! unlike the borrowing [`crate::Detector`] facade it replaces. The
+//! detection mode is a value, not a method name:
+//!
+//! * [`AuditTask::UnderRep`] — the paper's Problems 3.1/3.2 (most general
+//!   under-represented groups, Algorithms 1–3);
+//! * [`AuditTask::OverRep`] — the §III upper-bound extension (groups whose
+//!   top-`k` count exceeds `U_k`, most specific or most general);
+//! * [`AuditTask::Combined`] — both directions at once, the paper's
+//!   "plausible problem definition" accounting for both bounds.
+//!
+//! Each task runs on either the optimized incremental engines or the
+//! brute-force baseline ([`Engine`]), which keeps every mode
+//! differentially testable. [`Audit::run`] splits the `k` range across
+//! scoped threads ([`AuditBuilder::threads`]) sharing the immutable index;
+//! results are byte-identical to the single-threaded run.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rankfair_core::{Audit, AuditTask, BiasMeasure, Bounds, DetectConfig, Engine};
+//! use rankfair_data::examples::{students_fig1, fig1_rank_order};
+//! use rankfair_rank::Ranking;
+//!
+//! let audit = Audit::builder(Arc::new(students_fig1()))
+//!     .ranking(Ranking::from_order(fig1_rank_order()).unwrap())
+//!     .build()
+//!     .unwrap();
+//! let out = audit
+//!     .run(
+//!         &DetectConfig::new(4, 4, 5),
+//!         &AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+//!         Engine::Optimized,
+//!     )
+//!     .unwrap();
+//! let k4: Vec<String> = out.per_k[0].under.iter().map(|p| audit.describe(p)).collect();
+//! assert!(k4.contains(&"{Address=U}".to_string())); // Example 4.6
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rankfair_data::Dataset;
+use rankfair_rank::{Ranker, Ranking};
+
+use crate::bounds::{BiasMeasure, Bounds};
+use crate::engine;
+use crate::oracle;
+use crate::pattern::Pattern;
+use crate::report::{summarize_audit, KReport};
+use crate::space::{PatternSpace, RankedIndex, SpaceError};
+use crate::stats::{DetectConfig, DetectionOutput, KResult, SearchStats};
+use crate::topdown;
+use crate::upper;
+
+/// Typed error for audit construction and execution, replacing the
+/// `SpaceError`-or-`String` mix of the old facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditError {
+    /// The pattern space could not be built.
+    Space(SpaceError),
+    /// Neither [`AuditBuilder::ranking`] nor [`AuditBuilder::ranker`] was
+    /// called.
+    MissingRanking,
+    /// The ranking length does not match the dataset.
+    RankingMismatch {
+        /// Tuples in the ranking.
+        ranking: usize,
+        /// Rows in the dataset.
+        rows: usize,
+    },
+    /// `k_max` exceeds the number of ranked tuples.
+    InvalidKRange {
+        /// Largest requested `k`.
+        k_max: usize,
+        /// Ranked tuples available.
+        n: usize,
+    },
+    /// The proportional factor `α` must be positive.
+    InvalidAlpha(f64),
+    /// A dataset-preparation hook (bucketization) failed.
+    Prepare(String),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Space(e) => write!(f, "pattern space: {e}"),
+            AuditError::MissingRanking => {
+                write!(f, "no ranking: call AuditBuilder::ranking or ::ranker")
+            }
+            AuditError::RankingMismatch { ranking, rows } => write!(
+                f,
+                "ranking covers {ranking} tuples but the dataset has {rows} rows"
+            ),
+            AuditError::InvalidKRange { k_max, n } => {
+                write!(
+                    f,
+                    "k_max ({k_max}) exceeds the number of ranked tuples ({n})"
+                )
+            }
+            AuditError::InvalidAlpha(a) => write!(f, "alpha must be positive, got {a}"),
+            AuditError::Prepare(e) => write!(f, "preparing dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl From<SpaceError> for AuditError {
+    fn from(e: SpaceError) -> Self {
+        AuditError::Space(e)
+    }
+}
+
+/// Which implementation executes a task: the paper's optimized algorithms
+/// or the from-scratch baselines used for differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// `GlobalBounds` / `PropBounds` for under-representation, the pruned
+    /// single-`k` searches for over-representation.
+    Optimized,
+    /// `IterTD` for under-representation; brute-force enumeration with
+    /// naive row-scan counting for over-representation.
+    Baseline,
+}
+
+/// Which boundary of the (subset-closed) over-represented set is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverRepScope {
+    /// Most specific substantial patterns exceeding the bound — the
+    /// narrowest actionable descriptions (the paper's primary variant).
+    MostSpecific,
+    /// Most general patterns exceeding the bound — the broadest groups.
+    MostGeneral,
+}
+
+/// One detection mode of the paper, unified as a value.
+#[derive(Debug, Clone)]
+pub enum AuditTask {
+    /// Most general substantial groups below the measure's lower bound
+    /// (Problems 3.1 and 3.2, Algorithms 1–3).
+    UnderRep(BiasMeasure),
+    /// Groups whose top-`k` count exceeds `U_k` (§III upper bounds).
+    OverRep {
+        /// The upper bound `U_k`.
+        upper: Bounds,
+        /// Report the most specific or the most general qualifying
+        /// patterns.
+        scope: OverRepScope,
+    },
+    /// Both directions at once: most general groups below `lower` and most
+    /// specific substantial groups above `upper`.
+    Combined {
+        /// The lower bound `L_k`.
+        lower: Bounds,
+        /// The upper bound `U_k`.
+        upper: Bounds,
+    },
+}
+
+/// Result set of one `k` under an [`AuditTask`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditKResult {
+    /// The `k` this refers to.
+    pub k: usize,
+    /// Most general under-represented patterns (empty for
+    /// [`AuditTask::OverRep`]).
+    pub under: Vec<Pattern>,
+    /// Over-represented patterns (empty for [`AuditTask::UnderRep`]).
+    pub over: Vec<Pattern>,
+}
+
+/// Full output of [`Audit::run`]: one [`AuditKResult`] per `k`, plus
+/// instrumentation summed over every sub-search (and every worker thread).
+#[derive(Debug, Clone)]
+pub struct AuditOutcome {
+    /// Per-`k` result sets, ordered by `k`.
+    pub per_k: Vec<AuditKResult>,
+    /// Instrumentation counters.
+    pub stats: SearchStats,
+}
+
+impl AuditOutcome {
+    /// The result set for a specific `k`, if computed.
+    pub fn at_k(&self, k: usize) -> Option<&AuditKResult> {
+        self.per_k.iter().find(|r| r.k == k)
+    }
+
+    /// Total number of reported `(k, pattern)` pairs, both directions.
+    pub fn total_groups(&self) -> usize {
+        self.per_k
+            .iter()
+            .map(|r| r.under.len() + r.over.len())
+            .sum()
+    }
+
+    /// The under-representation side as a classic [`DetectionOutput`]
+    /// (what the deprecated `Detector` methods returned).
+    pub fn detection_output(&self) -> DetectionOutput {
+        DetectionOutput {
+            per_k: self
+                .per_k
+                .iter()
+                .map(|r| KResult {
+                    k: r.k,
+                    patterns: r.under.clone(),
+                })
+                .collect(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+fn merge_stats(into: &mut SearchStats, part: &SearchStats) {
+    into.nodes_evaluated += part.nodes_evaluated;
+    into.nodes_touched += part.nodes_touched;
+    into.schedule_pops += part.schedule_pops;
+    into.full_searches += part.full_searches;
+    into.elapsed = into.elapsed.max(part.elapsed);
+    into.timed_out |= part.timed_out;
+}
+
+type PrepareHook = Box<dyn FnOnce(&mut Dataset) -> Result<(), String>>;
+
+/// Fluent construction of an [`Audit`].
+///
+/// The dataset arrives as an `Arc` so a server can hand the same in-memory
+/// dataset to many audits without copying; the ranking is either supplied
+/// precomputed or produced by a [`Ranker`] on the *unprepared* dataset
+/// (the paper ranks on raw numeric attributes and detects on the
+/// bucketized ones — [`AuditBuilder::bucketize`] reproduces exactly that
+/// split).
+pub struct AuditBuilder {
+    dataset: Arc<Dataset>,
+    ranking: Option<Ranking>,
+    attrs: Option<Vec<String>>,
+    prepare: Vec<PrepareHook>,
+    threads: usize,
+}
+
+impl AuditBuilder {
+    /// Starts a builder over `dataset`.
+    pub fn new(dataset: impl Into<Arc<Dataset>>) -> Self {
+        AuditBuilder {
+            dataset: dataset.into(),
+            ranking: None,
+            attrs: None,
+            prepare: Vec::new(),
+            threads: 1,
+        }
+    }
+
+    /// Uses a precomputed ranking.
+    pub fn ranking(mut self, ranking: Ranking) -> Self {
+        self.ranking = Some(ranking);
+        self
+    }
+
+    /// Ranks the (raw, unprepared) dataset with `ranker` now.
+    pub fn ranker(mut self, ranker: &dyn Ranker) -> Self {
+        self.ranking = Some(ranker.rank(&self.dataset));
+        self
+    }
+
+    /// Restricts the pattern attributes to the named columns (the
+    /// experiments vary the attribute count this way). Default: every
+    /// categorical column.
+    pub fn attributes<I, S>(mut self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.attrs = Some(attrs.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Bucketizes a numeric column into `bins` equal-width bins before
+    /// detection (after ranking). May be called repeatedly.
+    pub fn bucketize(mut self, column: &str, bins: usize) -> Self {
+        let column = column.to_string();
+        self.prepare.push(Box::new(move |ds| {
+            rankfair_data::bucketize::bucketize_in_place(
+                ds,
+                &column,
+                bins,
+                rankfair_data::bucketize::BinStrategy::EqualWidth,
+            )
+            .map_err(|e| format!("bucketizing `{column}`: {e}"))
+        }));
+        self
+    }
+
+    /// Arbitrary dataset-preparation hook, run (in registration order,
+    /// after ranking) on a private copy of the dataset.
+    pub fn prepare_with(
+        mut self,
+        hook: impl FnOnce(&mut Dataset) -> Result<(), String> + 'static,
+    ) -> Self {
+        self.prepare.push(Box::new(hook));
+        self
+    }
+
+    /// Number of worker threads [`Audit::run`] splits the `k` range
+    /// across. `0` means one per available CPU; default 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builds the audit: ranks (if needed), applies preparation hooks,
+    /// constructs the pattern space and the ranked bitmap index.
+    pub fn build(self) -> Result<Audit, AuditError> {
+        let Some(ranking) = self.ranking else {
+            return Err(AuditError::MissingRanking);
+        };
+        let dataset = if self.prepare.is_empty() {
+            self.dataset
+        } else {
+            let mut ds = (*self.dataset).clone();
+            for hook in self.prepare {
+                hook(&mut ds).map_err(AuditError::Prepare)?;
+            }
+            Arc::new(ds)
+        };
+        if ranking.len() != dataset.n_rows() {
+            return Err(AuditError::RankingMismatch {
+                ranking: ranking.len(),
+                rows: dataset.n_rows(),
+            });
+        }
+        let space = match &self.attrs {
+            Some(attrs) => {
+                let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                PatternSpace::from_column_names(&dataset, &refs)?
+            }
+            None => PatternSpace::from_dataset(&dataset)?,
+        };
+        let index = RankedIndex::build(&dataset, &space, &ranking);
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        Ok(Audit {
+            dataset,
+            space,
+            ranking,
+            index,
+            threads,
+        })
+    }
+}
+
+/// An owned, `Send + Sync` audit: dataset + ranking + pattern space +
+/// ranked index, executing [`AuditTask`]s. Built by [`AuditBuilder`].
+#[derive(Debug, Clone)]
+pub struct Audit {
+    dataset: Arc<Dataset>,
+    space: PatternSpace,
+    ranking: Ranking,
+    index: RankedIndex,
+    threads: usize,
+}
+
+// Compile-time half of the thread-safety contract: `Audit` (and the types
+// an audit run shares across worker threads) must stay `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Audit>();
+    assert_send_sync::<AuditOutcome>();
+    assert_send_sync::<AuditTask>();
+};
+
+impl Audit {
+    /// Starts an [`AuditBuilder`] over `dataset`.
+    pub fn builder(dataset: impl Into<Arc<Dataset>>) -> AuditBuilder {
+        AuditBuilder::new(dataset)
+    }
+
+    /// The (prepared) dataset the audit detects on.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// A clone of the shared dataset handle.
+    pub fn dataset_arc(&self) -> Arc<Dataset> {
+        Arc::clone(&self.dataset)
+    }
+
+    /// The pattern space (attribute order, cardinalities, labels).
+    pub fn space(&self) -> &PatternSpace {
+        &self.space
+    }
+
+    /// The ranking in use.
+    pub fn ranking(&self) -> &Ranking {
+        &self.ranking
+    }
+
+    /// The ranked bitmap index.
+    pub fn index(&self) -> &RankedIndex {
+        &self.index
+    }
+
+    /// Worker threads [`Audit::run`] uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Renders a pattern with attribute names and value labels.
+    pub fn describe(&self, p: &Pattern) -> String {
+        self.space.display(p)
+    }
+
+    /// Row ids of the tuples matching `p`.
+    pub fn group_members(&self, p: &Pattern) -> Vec<u32> {
+        (0..self.dataset.n_rows() as u32)
+            .filter(|&r| p.matches(|a| self.dataset.code(r as usize, self.space.dataset_col(a))))
+            .collect()
+    }
+
+    /// Enriches an outcome into per-`k` display reports (both directions).
+    pub fn report(&self, out: &AuditOutcome, task: &AuditTask) -> Vec<KReport> {
+        summarize_audit(out, &self.index, &self.space, task)
+    }
+
+    fn validate(&self, cfg: &DetectConfig, task: &AuditTask) -> Result<(), AuditError> {
+        if cfg.k_max > self.index.n() {
+            return Err(AuditError::InvalidKRange {
+                k_max: cfg.k_max,
+                n: self.index.n(),
+            });
+        }
+        if let AuditTask::UnderRep(BiasMeasure::Proportional { alpha }) = task {
+            if *alpha <= 0.0 {
+                return Err(AuditError::InvalidAlpha(*alpha));
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes `task` over `cfg`'s `k` range.
+    ///
+    /// With [`AuditBuilder::threads`] > 1 (and no deadline) the range is
+    /// split into contiguous chunks executed on `std::thread::scope`
+    /// workers that share the immutable index; every algorithm is exact
+    /// for any starting `k`, so the concatenated `per_k` is identical to
+    /// the single-threaded result (only the work counters differ, since
+    /// each chunk pays its own initial build). Deadline-bound runs stay
+    /// sequential so truncation keeps its prefix semantics; both the
+    /// under- and over-representation loops honor the deadline and mark
+    /// [`SearchStats::timed_out`].
+    pub fn run(
+        &self,
+        cfg: &DetectConfig,
+        task: &AuditTask,
+        engine: Engine,
+    ) -> Result<AuditOutcome, AuditError> {
+        self.validate(cfg, task)?;
+        let threads = self.threads.min(cfg.range_len()).max(1);
+        if threads == 1 || cfg.deadline.is_some() {
+            return Ok(self.run_range(cfg, task, engine));
+        }
+        let chunk = cfg.range_len().div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|i| {
+                let lo = cfg.k_min + i * chunk;
+                let hi = (lo + chunk - 1).min(cfg.k_max);
+                (lo, hi)
+            })
+            .filter(|(lo, hi)| lo <= hi)
+            .collect();
+        let parts: Vec<AuditOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    let sub = DetectConfig {
+                        tau_s: cfg.tau_s,
+                        k_min: lo,
+                        k_max: hi,
+                        deadline: None,
+                    };
+                    s.spawn(move || self.run_range(&sub, task, engine))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("audit worker"))
+                .collect()
+        });
+        let mut per_k = Vec::with_capacity(cfg.range_len());
+        let mut stats = SearchStats::default();
+        for part in parts {
+            per_k.extend(part.per_k);
+            merge_stats(&mut stats, &part.stats);
+        }
+        Ok(AuditOutcome { per_k, stats })
+    }
+
+    /// Sequential execution over one contiguous sub-range (already
+    /// validated).
+    fn run_range(&self, cfg: &DetectConfig, task: &AuditTask, engine: Engine) -> AuditOutcome {
+        match task {
+            AuditTask::UnderRep(measure) => {
+                let out = self.run_under(cfg, measure, engine);
+                AuditOutcome {
+                    per_k: out
+                        .per_k
+                        .into_iter()
+                        .map(|kr| AuditKResult {
+                            k: kr.k,
+                            under: kr.patterns,
+                            over: Vec::new(),
+                        })
+                        .collect(),
+                    stats: out.stats,
+                }
+            }
+            AuditTask::OverRep { upper, scope } => {
+                let (per_k, stats) = self.run_over(cfg, upper, *scope, engine);
+                AuditOutcome {
+                    per_k: per_k
+                        .into_iter()
+                        .map(|kr| AuditKResult {
+                            k: kr.k,
+                            under: Vec::new(),
+                            over: kr.patterns,
+                        })
+                        .collect(),
+                    stats,
+                }
+            }
+            AuditTask::Combined { lower, upper } => {
+                let low = self.run_under(cfg, &BiasMeasure::GlobalLower(lower.clone()), engine);
+                // Only compute the over side for the k values the (possibly
+                // deadline-truncated) under side produced — no work whose
+                // results would be discarded by the zip below — and give it
+                // the *remaining* wall-clock budget, not a fresh one.
+                let (high, over_stats) = match low.per_k.last() {
+                    Some(last) => {
+                        let over_cfg = DetectConfig {
+                            k_max: last.k,
+                            deadline: cfg.deadline.map(|d| d.saturating_sub(low.stats.elapsed)),
+                            ..cfg.clone()
+                        };
+                        self.run_over(&over_cfg, upper, OverRepScope::MostSpecific, engine)
+                    }
+                    None => (Vec::new(), SearchStats::default()),
+                };
+                let mut stats = low.stats.clone();
+                merge_stats(&mut stats, &over_stats);
+                // The two phases ran back to back: report their total, not
+                // the max merge_stats uses for parallel workers.
+                stats.elapsed = low.stats.elapsed + over_stats.elapsed;
+                AuditOutcome {
+                    per_k: low
+                        .per_k
+                        .into_iter()
+                        .zip(high)
+                        .map(|(l, h)| AuditKResult {
+                            k: l.k,
+                            under: l.patterns,
+                            over: h.patterns,
+                        })
+                        .collect(),
+                    stats,
+                }
+            }
+        }
+    }
+
+    fn run_under(
+        &self,
+        cfg: &DetectConfig,
+        measure: &BiasMeasure,
+        engine_sel: Engine,
+    ) -> DetectionOutput {
+        match engine_sel {
+            Engine::Baseline => topdown::iter_td(&self.index, &self.space, cfg, measure),
+            Engine::Optimized => match measure {
+                BiasMeasure::GlobalLower(b) => {
+                    engine::global_bounds(&self.index, &self.space, cfg, b)
+                }
+                BiasMeasure::Proportional { alpha } => {
+                    engine::prop_bounds(&self.index, &self.space, cfg, *alpha)
+                }
+            },
+        }
+    }
+
+    fn run_over(
+        &self,
+        cfg: &DetectConfig,
+        upper: &Bounds,
+        scope: OverRepScope,
+        engine_sel: Engine,
+    ) -> (Vec<KResult>, SearchStats) {
+        let start = Instant::now();
+        let mut stats = SearchStats::default();
+        let mut per_k = Vec::with_capacity(cfg.range_len());
+        // The substantial set depends only on τs, not on k: enumerate once
+        // per run for the brute-force baseline.
+        let substantial = match engine_sel {
+            Engine::Baseline => {
+                let all = oracle::enumerate_substantial(
+                    &self.dataset,
+                    &self.space,
+                    &self.ranking,
+                    cfg.tau_s,
+                );
+                stats.nodes_evaluated += all.len() as u64;
+                all
+            }
+            Engine::Optimized => Vec::new(),
+        };
+        for k in cfg.k_min..=cfg.k_max {
+            if let Some(d) = cfg.deadline {
+                if start.elapsed() > d {
+                    stats.timed_out = true;
+                    break;
+                }
+            }
+            stats.full_searches += 1;
+            let patterns = match engine_sel {
+                Engine::Optimized => {
+                    self.run_over_single(cfg.tau_s, k, upper.at(k), scope, &mut stats)
+                }
+                Engine::Baseline => self.oracle_over(&substantial, k, upper.at(k), scope),
+            };
+            per_k.push(KResult { k, patterns });
+        }
+        stats.elapsed = start.elapsed();
+        (per_k, stats)
+    }
+
+    /// Brute-force over-representation baseline on a different code path
+    /// from the optimized searches: naive row-scan counting over the
+    /// pre-enumerated substantial patterns, then a quadratic
+    /// maximality/minimality filter.
+    fn oracle_over(
+        &self,
+        substantial: &[Pattern],
+        k: usize,
+        u: usize,
+        scope: OverRepScope,
+    ) -> Vec<Pattern> {
+        let qualifying: Vec<&Pattern> = substantial
+            .iter()
+            .filter(|p| oracle::naive_counts(&self.dataset, &self.space, &self.ranking, p, k).1 > u)
+            .collect();
+        let mut out: Vec<Pattern> = qualifying
+            .iter()
+            .filter(|p| match scope {
+                OverRepScope::MostSpecific => !qualifying.iter().any(|q| p.is_proper_subset_of(q)),
+                OverRepScope::MostGeneral => !qualifying.iter().any(|q| q.is_proper_subset_of(p)),
+            })
+            .map(|p| (*p).clone())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Lazily yields the [`AuditKResult`] for each `k` on demand,
+    /// maintaining the incremental engine between pulls — the owned
+    /// successor of the deprecated `DetectionStream`.
+    ///
+    /// Later `k` values cost nothing unless pulled; the under-representation
+    /// side always runs the optimized incremental engine.
+    pub fn run_streaming(
+        &self,
+        cfg: &DetectConfig,
+        task: &AuditTask,
+    ) -> Result<AuditStream<'_>, AuditError> {
+        self.validate(cfg, task)?;
+        #[allow(deprecated)] // internal reuse of the shimmed stream core
+        let under = match task {
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(b)) => Some(
+                engine::DetectionStream::global(&self.index, &self.space, cfg, b),
+            ),
+            AuditTask::UnderRep(BiasMeasure::Proportional { alpha }) => Some(
+                engine::DetectionStream::proportional(&self.index, &self.space, cfg, *alpha),
+            ),
+            AuditTask::Combined { lower, .. } => Some(engine::DetectionStream::global(
+                &self.index,
+                &self.space,
+                cfg,
+                lower,
+            )),
+            AuditTask::OverRep { .. } => None,
+        };
+        Ok(AuditStream {
+            audit: self,
+            cfg: cfg.clone(),
+            task: task.clone(),
+            under,
+            over_stats: SearchStats::default(),
+            next_k: cfg.k_min,
+            started: Instant::now(),
+            over_timed_out: false,
+        })
+    }
+}
+
+/// Lazy per-`k` iterator returned by [`Audit::run_streaming`].
+pub struct AuditStream<'a> {
+    audit: &'a Audit,
+    cfg: DetectConfig,
+    task: AuditTask,
+    #[allow(deprecated)]
+    under: Option<engine::DetectionStream<'a>>,
+    over_stats: SearchStats,
+    next_k: usize,
+    started: Instant,
+    over_timed_out: bool,
+}
+
+impl AuditStream<'_> {
+    /// Instrumentation counters accumulated so far (both directions).
+    pub fn stats(&self) -> SearchStats {
+        let mut stats = self.over_stats.clone();
+        stats.timed_out |= self.over_timed_out;
+        #[allow(deprecated)]
+        if let Some(s) = &self.under {
+            merge_stats(&mut stats, s.stats());
+        }
+        stats
+    }
+
+    /// Whether either side stopped early on the deadline.
+    pub fn timed_out(&self) -> bool {
+        #[allow(deprecated)]
+        let under = self.under.as_ref().is_some_and(|s| s.timed_out());
+        under || self.over_timed_out
+    }
+}
+
+impl Iterator for AuditStream<'_> {
+    type Item = AuditKResult;
+
+    fn next(&mut self) -> Option<AuditKResult> {
+        if self.next_k > self.cfg.k_max || self.over_timed_out {
+            return None;
+        }
+        // The under side enforces the deadline inside its incremental
+        // engine; tasks with an over side check it here, mirroring the
+        // batch path's truncate-and-flag semantics.
+        if !matches!(self.task, AuditTask::UnderRep(_)) {
+            if let Some(d) = self.cfg.deadline {
+                if self.started.elapsed() > d {
+                    self.over_timed_out = true;
+                    return None;
+                }
+            }
+        }
+        let k = self.next_k;
+        #[allow(deprecated)]
+        let under = match &mut self.under {
+            Some(stream) => stream.next()?.patterns,
+            None => Vec::new(),
+        };
+        let over = match &self.task {
+            AuditTask::UnderRep(_) => Vec::new(),
+            AuditTask::OverRep { upper, scope } => {
+                self.over_stats.full_searches += 1;
+                self.audit.run_over_single(
+                    self.cfg.tau_s,
+                    k,
+                    upper.at(k),
+                    *scope,
+                    &mut self.over_stats,
+                )
+            }
+            AuditTask::Combined { upper, .. } => {
+                self.over_stats.full_searches += 1;
+                self.audit.run_over_single(
+                    self.cfg.tau_s,
+                    k,
+                    upper.at(k),
+                    OverRepScope::MostSpecific,
+                    &mut self.over_stats,
+                )
+            }
+        };
+        self.next_k += 1;
+        Some(AuditKResult { k, under, over })
+    }
+}
+
+impl Audit {
+    fn run_over_single(
+        &self,
+        tau_s: usize,
+        k: usize,
+        u: usize,
+        scope: OverRepScope,
+        stats: &mut SearchStats,
+    ) -> Vec<Pattern> {
+        match scope {
+            OverRepScope::MostSpecific => {
+                upper::upper_most_specific_single_k(&self.index, &self.space, tau_s, k, u, stats)
+            }
+            OverRepScope::MostGeneral => {
+                upper::upper_most_general_single_k(&self.index, &self.space, tau_s, k, u, stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+    use rankfair_rank::{AttributeRanker, SortKey};
+
+    fn fig1_audit() -> Audit {
+        Audit::builder(Arc::new(students_fig1()))
+            .ranking(Ranking::from_order(fig1_rank_order()).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_with_ranker_matches_precomputed() {
+        let ds = Arc::new(students_fig1());
+        let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
+        let via_ranker = Audit::builder(Arc::clone(&ds))
+            .ranker(&ranker)
+            .build()
+            .unwrap();
+        let via_order = fig1_audit();
+        let cfg = DetectConfig::new(4, 4, 5);
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        assert_eq!(
+            via_ranker
+                .run(&cfg, &task, Engine::Optimized)
+                .unwrap()
+                .per_k,
+            via_order.run(&cfg, &task, Engine::Optimized).unwrap().per_k,
+        );
+    }
+
+    #[test]
+    fn builder_errors_are_typed() {
+        let ds = Arc::new(students_fig1());
+        assert_eq!(
+            Audit::builder(Arc::clone(&ds)).build().unwrap_err(),
+            AuditError::MissingRanking
+        );
+        let short = Ranking::from_order(vec![0, 1, 2]).unwrap();
+        assert!(matches!(
+            Audit::builder(Arc::clone(&ds))
+                .ranking(short)
+                .build()
+                .unwrap_err(),
+            AuditError::RankingMismatch {
+                ranking: 3,
+                rows: 16
+            }
+        ));
+        let bad_attr = Audit::builder(Arc::clone(&ds))
+            .ranking(Ranking::from_order(fig1_rank_order()).unwrap())
+            .attributes(["Nope"])
+            .build();
+        assert!(matches!(
+            bad_attr.unwrap_err(),
+            AuditError::Space(SpaceError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn run_validates_range_and_alpha() {
+        let audit = fig1_audit();
+        let cfg = DetectConfig::new(2, 2, 17);
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        assert_eq!(
+            audit.run(&cfg, &task, Engine::Optimized).unwrap_err(),
+            AuditError::InvalidKRange { k_max: 17, n: 16 }
+        );
+        let cfg = DetectConfig::new(2, 2, 5);
+        let bad = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.0 });
+        assert_eq!(
+            audit.run(&cfg, &bad, Engine::Optimized).unwrap_err(),
+            AuditError::InvalidAlpha(0.0)
+        );
+    }
+
+    #[test]
+    fn under_rep_matches_example_4_6() {
+        let audit = fig1_audit();
+        let cfg = DetectConfig::new(4, 4, 5);
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+        let k4: Vec<String> = out.per_k[0]
+            .under
+            .iter()
+            .map(|p| audit.describe(p))
+            .collect();
+        for e in ["{School=GP}", "{Address=U}", "{Failures=1}", "{Failures=2}"] {
+            assert!(k4.contains(&e.to_string()), "missing {e}: {k4:?}");
+        }
+        assert!(out.per_k.iter().all(|kr| kr.over.is_empty()));
+    }
+
+    #[test]
+    fn all_tasks_agree_between_engines_on_fig1() {
+        let audit = fig1_audit();
+        let cfg = DetectConfig::new(2, 3, 16);
+        let tasks = [
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+            AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 }),
+            AuditTask::OverRep {
+                upper: Bounds::constant(2),
+                scope: OverRepScope::MostSpecific,
+            },
+            AuditTask::OverRep {
+                upper: Bounds::constant(1),
+                scope: OverRepScope::MostGeneral,
+            },
+            AuditTask::Combined {
+                lower: Bounds::constant(2),
+                upper: Bounds::constant(3),
+            },
+        ];
+        for task in &tasks {
+            let opt = audit.run(&cfg, task, Engine::Optimized).unwrap();
+            let base = audit.run(&cfg, task, Engine::Baseline).unwrap();
+            assert_eq!(opt.per_k, base.per_k, "{task:?}");
+        }
+    }
+
+    #[test]
+    fn combined_reports_both_directions() {
+        let audit = fig1_audit();
+        let cfg = DetectConfig::new(4, 4, 6);
+        let task = AuditTask::Combined {
+            lower: Bounds::constant(2),
+            upper: Bounds::constant(2),
+        };
+        let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+        assert_eq!(out.per_k.len(), 3);
+        assert!(out.per_k.iter().any(|kr| !kr.under.is_empty()));
+        assert!(out.per_k.iter().any(|kr| !kr.over.is_empty()));
+        for kr in &out.per_k {
+            for p in &kr.over {
+                let (sd, count) = audit.index().counts(p, kr.k);
+                assert!(sd >= 4 && count > 2);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_for_every_task() {
+        let ds = Arc::new(students_fig1());
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let seq = Audit::builder(Arc::clone(&ds))
+            .ranking(ranking.clone())
+            .build()
+            .unwrap();
+        let par = Audit::builder(Arc::clone(&ds))
+            .ranking(ranking)
+            .threads(4)
+            .build()
+            .unwrap();
+        let cfg = DetectConfig::new(2, 2, 16);
+        let tasks = [
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::steps(vec![
+                (2, 1),
+                (6, 2),
+                (10, 3),
+            ]))),
+            AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.9 }),
+            AuditTask::OverRep {
+                upper: Bounds::constant(2),
+                scope: OverRepScope::MostSpecific,
+            },
+            AuditTask::Combined {
+                lower: Bounds::constant(2),
+                upper: Bounds::constant(3),
+            },
+        ];
+        for task in &tasks {
+            let a = seq.run(&cfg, task, Engine::Optimized).unwrap();
+            let b = par.run(&cfg, task, Engine::Optimized).unwrap();
+            assert_eq!(a.per_k, b.per_k, "{task:?}");
+            assert_eq!(
+                a.detection_output().per_k,
+                b.detection_output().per_k,
+                "{task:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn audit_is_shareable_across_threads() {
+        let audit = fig1_audit();
+        let cfg = DetectConfig::new(2, 4, 8);
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        let expected = audit.run(&cfg, &task, Engine::Optimized).unwrap().per_k;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (audit, cfg, task, expected) = (&audit, &cfg, &task, &expected);
+                s.spawn(move || {
+                    let got = audit.run(cfg, task, Engine::Optimized).unwrap();
+                    assert_eq!(&got.per_k, expected);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_every_task() {
+        let audit = fig1_audit();
+        let cfg = DetectConfig::new(2, 3, 16);
+        let tasks = [
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+            AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 }),
+            AuditTask::OverRep {
+                upper: Bounds::constant(2),
+                scope: OverRepScope::MostSpecific,
+            },
+            AuditTask::Combined {
+                lower: Bounds::constant(2),
+                upper: Bounds::constant(3),
+            },
+        ];
+        for task in &tasks {
+            let batch = audit.run(&cfg, task, Engine::Optimized).unwrap();
+            let streamed: Vec<AuditKResult> = audit.run_streaming(&cfg, task).unwrap().collect();
+            assert_eq!(batch.per_k, streamed, "{task:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_is_lazy_and_stoppable() {
+        let audit = fig1_audit();
+        let cfg = DetectConfig::new(2, 2, 16);
+        let task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 });
+        let mut stream = audit.run_streaming(&cfg, &task).unwrap();
+        let first = stream.next().unwrap();
+        assert_eq!(first.k, 2);
+        let after_one = stream.stats().nodes_evaluated;
+        let ks: Vec<usize> = stream.by_ref().take(3).map(|kr| kr.k).collect();
+        assert_eq!(ks, vec![3, 4, 5]);
+        assert!(stream.stats().nodes_evaluated >= after_one);
+        assert!(!stream.timed_out());
+    }
+
+    #[test]
+    fn over_rep_honors_deadline() {
+        let audit = fig1_audit();
+        let cfg = DetectConfig::new(1, 2, 16).with_deadline(std::time::Duration::ZERO);
+        let task = AuditTask::OverRep {
+            upper: Bounds::constant(1),
+            scope: OverRepScope::MostSpecific,
+        };
+        let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+        // A zero deadline truncates (possibly to nothing) and says so.
+        assert!(out.stats.timed_out || out.per_k.len() == 15);
+        if out.stats.timed_out {
+            assert!(out.per_k.len() < 15);
+        }
+        // Produced prefixes are exact.
+        let full = audit
+            .run(&DetectConfig::new(1, 2, 16), &task, Engine::Optimized)
+            .unwrap();
+        for (got, want) in out.per_k.iter().zip(&full.per_k) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn bucketize_hook_prepares_detection_dataset() {
+        // Rank on the numeric Grade, then bucketize it for detection: the
+        // grade becomes a pattern attribute without disturbing the ranking.
+        let ds = Arc::new(students_fig1());
+        let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
+        let audit = Audit::builder(Arc::clone(&ds))
+            .ranker(&ranker)
+            .bucketize("Grade", 3)
+            .build()
+            .unwrap();
+        assert_eq!(audit.space().n_attrs(), 5); // 4 categorical + bucketized Grade
+        assert!(audit.space().attr_by_name("Grade").is_some());
+        // The source dataset is untouched (copy-on-prepare).
+        assert!(ds.column_by_name("Grade").unwrap().codes().is_none());
+        // Hooks that fail surface as typed errors.
+        let err = Audit::builder(Arc::clone(&ds))
+            .ranker(&ranker)
+            .bucketize("Nope", 3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AuditError::Prepare(_)));
+    }
+}

@@ -1,4 +1,7 @@
-//! High-level entry point tying dataset, ranking and algorithms together.
+//! Deprecated borrowing facade, kept as a thin migration shim around the
+//! same internals the owned [`crate::Audit`] API uses.
+
+#![allow(deprecated)] // the shim implements and tests itself
 
 use rankfair_data::Dataset;
 use rankfair_rank::{Ranker, Ranking};
@@ -15,6 +18,7 @@ use crate::topdown::iter_td;
 /// exposes the three algorithms plus reporting.
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use rankfair_core::{Detector, DetectConfig, BiasMeasure};
 /// use rankfair_data::examples::{students_fig1, fig1_rank_order};
 /// use rankfair_rank::Ranking;
@@ -28,6 +32,11 @@ use crate::topdown::iter_td;
 /// );
 /// assert_eq!(out.per_k[0].patterns.len(), 3); // Example 4.9
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use Audit (via AuditBuilder): it owns its dataset, is Send + Sync, covers the \
+            upper-bound tasks, and parallelizes over the k range"
+)]
 pub struct Detector<'a> {
     ds: &'a Dataset,
     space: PatternSpace,
@@ -131,9 +140,7 @@ impl<'a> Detector<'a> {
     /// Row ids of the tuples in the detected group (matching `p`).
     pub fn group_members(&self, p: &Pattern) -> Vec<u32> {
         (0..self.ds.n_rows() as u32)
-            .filter(|&r| {
-                p.matches(|a| self.ds.code(r as usize, self.space.dataset_col(a)))
-            })
+            .filter(|&r| p.matches(|a| self.ds.code(r as usize, self.space.dataset_col(a))))
             .collect()
     }
 }

@@ -159,9 +159,9 @@ impl<'a> Engine<'a> {
             return;
         }
         let nd = &self.nodes[id as usize];
-        if let Some(kt) =
-            self.measure
-                .k_tilde(nd.count as usize, nd.sd as usize, k, self.n)
+        if let Some(kt) = self
+            .measure
+            .k_tilde(nd.count as usize, nd.sd as usize, k, self.n)
         {
             if kt <= self.k_max {
                 self.schedule[kt].push(id);
@@ -177,7 +177,10 @@ impl<'a> Engine<'a> {
         }
         let (start, pattern) = {
             let nd = &self.nodes[id as usize];
-            (nd.pattern.max_attr().map_or(0, |a| a + 1), nd.pattern.clone())
+            (
+                nd.pattern.max_attr().map_or(0, |a| a + 1),
+                nd.pattern.clone(),
+            )
         };
         let m = self.space.n_attrs() as AttrId;
         let mut children = Vec::new();
@@ -232,9 +235,7 @@ impl<'a> Engine<'a> {
                 .copied()
                 .filter(|&d| p.is_proper_subset_of(&self.nodes[d as usize].pattern))
                 .collect();
-            cands.sort_by_key(|&d| {
-                (self.nodes[d as usize].pattern.len(), d)
-            });
+            cands.sort_by_key(|&d| (self.nodes[d as usize].pattern.len(), d));
             for d in cands {
                 // A candidate that flipped non-biased in this same round is
                 // left for its own pending transition event.
@@ -529,6 +530,7 @@ fn check_range(index: &RankedIndex, cfg: &DetectConfig) {
 /// incremental state is reused exactly as in the batch algorithms.
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use rankfair_core::{DetectionStream, Bounds, DetectConfig, PatternSpace, RankedIndex};
 /// use rankfair_data::examples::{students_fig1, fig1_rank_order};
 /// use rankfair_rank::Ranking;
@@ -542,6 +544,10 @@ fn check_range(index: &RankedIndex, cfg: &DetectConfig) {
 /// let first = stream.next().unwrap();
 /// assert_eq!(first.k, 4); // later k values not yet computed
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use Audit::run_streaming, which owns its data and also covers the upper-bound tasks"
+)]
 pub struct DetectionStream<'a> {
     engine: Engine<'a>,
     cfg: DetectConfig,
@@ -552,6 +558,7 @@ pub struct DetectionStream<'a> {
     failed: bool,
 }
 
+#[allow(deprecated)]
 impl<'a> DetectionStream<'a> {
     /// Streaming `GlobalBounds` (with the fast bound-step extension).
     pub fn global(
@@ -605,6 +612,7 @@ impl<'a> DetectionStream<'a> {
     }
 }
 
+#[allow(deprecated)]
 impl Iterator for DetectionStream<'_> {
     type Item = KResult;
 
@@ -647,7 +655,7 @@ impl Iterator for DetectionStream<'_> {
 /// `GlobalBounds` (Algorithm 2): detection of groups with biased
 /// representation under global lower bounds, incremental across the `k`
 /// range.
-pub fn global_bounds(
+pub(crate) fn global_bounds(
     index: &RankedIndex,
     space: &PatternSpace,
     cfg: &DetectConfig,
@@ -673,7 +681,7 @@ pub fn global_bounds(
 /// rescan variant can therefore lose wall-clock despite doing strictly
 /// less counting work — prefer [`global_bounds`] unless pattern evaluation
 /// (not store traversal) dominates, e.g. very large datasets.
-pub fn global_bounds_fast_steps(
+pub(crate) fn global_bounds_fast_steps(
     index: &RankedIndex,
     space: &PatternSpace,
     cfg: &DetectConfig,
@@ -688,7 +696,7 @@ pub fn global_bounds_fast_steps(
 /// `PropBounds` (Algorithm 3): detection of groups with biased
 /// proportional representation, incremental across the `k` range with
 /// `k̃` scheduling.
-pub fn prop_bounds(
+pub(crate) fn prop_bounds(
     index: &RankedIndex,
     space: &PatternSpace,
     cfg: &DetectConfig,
@@ -834,6 +842,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod stream_tests {
     use super::*;
     use rankfair_data::examples::{fig1_rank_order, students_fig1};

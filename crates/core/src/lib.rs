@@ -3,61 +3,67 @@
 //! This crate implements the core contribution of *“Detection of Groups
 //! with Biased Representation in Ranking”* (Li, Moskovitch, Jagadish —
 //! ICDE 2023): given a dataset, a black-box ranking and a range of `k`
-//! values, find **all most general patterns** (conjunctions of
-//! attribute=value terms describing groups) whose representation among the
-//! top-`k` ranked tuples is biased, for every `k` in the range — without
-//! pre-defining protected groups.
+//! values, find **all** patterns (conjunctions of attribute=value terms
+//! describing groups) whose representation among the top-`k` ranked tuples
+//! is biased, for every `k` in the range — without pre-defining protected
+//! groups.
 //!
-//! Two fairness measures are supported (the paper’s Problems 3.1 and 3.2):
+//! The entry point is the owned, `Send + Sync` [`Audit`], built by
+//! [`AuditBuilder`] and executing an [`AuditTask`]:
 //!
-//! * **global bounds** — a group is biased at `k` when its count in the
-//!   top-`k` falls below a user-given lower bound `L_k`
-//!   ([`BiasMeasure::GlobalLower`]);
-//! * **proportional representation** — a group is biased at `k` when its
-//!   count falls below `α · s_D(p) · k / |D|`
-//!   ([`BiasMeasure::Proportional`]).
+//! * [`AuditTask::UnderRep`] — most general under-represented groups under
+//!   either fairness measure (the paper's Problems 3.1/3.2):
+//!   [`BiasMeasure::GlobalLower`] (`s_Rk(p) < L_k`) or
+//!   [`BiasMeasure::Proportional`] (`s_Rk(p) < α·s_D(p)·k/n`);
+//! * [`AuditTask::OverRep`] — groups exceeding an upper bound `U_k`
+//!   (§III), most specific or most general ([`OverRepScope`]);
+//! * [`AuditTask::Combined`] — both directions at once.
 //!
-//! Three algorithms compute the result:
-//!
-//! * [`iter_td`] — the paper’s baseline `IterTD`: one full top-down search
-//!   of the pattern graph per `k` (Algorithm 1 applied iteratively);
-//! * [`global_bounds`] — Algorithm 2: reuses the search frontier between
-//!   consecutive `k` values, re-examining only patterns the newly added
-//!   tuple satisfies;
-//! * [`prop_bounds`] — Algorithm 3: additionally schedules each non-biased
-//!   pattern at the future `k̃` where the growing proportional bound would
-//!   first overtake its count.
-//!
-//! All three provably return the same result set; the test suite checks
-//! them against each other and against a brute-force [`oracle`] on
-//! thousands of randomized instances, and pins the paper’s worked Examples
-//! 2.3–4.9 as unit tests.
+//! Each task runs on the [`Engine`] of your choice — `Optimized` (the
+//! incremental Algorithms 2–3 and the pruned single-`k` searches) or
+//! `Baseline` (`IterTD` / brute force) — and all pairs provably agree; the
+//! test suite checks them against each other and against a brute-force
+//! [`oracle`] on thousands of randomized instances, and pins the paper's
+//! worked Examples 2.3–4.9 as unit tests. [`Audit::run`] can split the
+//! `k` range across scoped threads ([`AuditBuilder::threads`]);
+//! [`Audit::run_streaming`] yields results `k` by `k` on demand.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use rankfair_core::{Detector, DetectConfig, BiasMeasure, Bounds};
+//! use std::sync::Arc;
+//! use rankfair_core::{Audit, AuditTask, BiasMeasure, Bounds, DetectConfig, Engine};
 //! use rankfair_data::examples::{students_fig1, fig1_rank_order};
 //! use rankfair_rank::Ranking;
 //!
-//! let ds = students_fig1();
-//! let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
-//! let detector = Detector::with_ranking(&ds, ranking).unwrap();
+//! let audit = Audit::builder(Arc::new(students_fig1()))
+//!     .ranking(Ranking::from_order(fig1_rank_order()).unwrap())
+//!     .build()
+//!     .unwrap();
 //! let cfg = DetectConfig::new(4, 4, 5); // τs = 4, k ∈ [4, 5]
-//! let out = detector.detect_optimized(&cfg, &BiasMeasure::GlobalLower(Bounds::constant(2)));
+//! let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+//! let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
 //! // At k = 4, {School=GP}, {Address=U}, {Failures=1} and {Failures=2} are
 //! // under-represented (Example 4.6 of the paper).
-//! let k4: Vec<String> = out.per_k[0]
-//!     .patterns
-//!     .iter()
-//!     .map(|p| detector.describe(p))
-//!     .collect();
+//! let k4: Vec<String> = out.per_k[0].under.iter().map(|p| audit.describe(p)).collect();
 //! assert!(k4.contains(&"{Address=U}".to_string()));
+//! ```
+//!
+//! # Thread safety
+//!
+//! [`Audit`] owns all of its state (`Arc<Dataset>`, pattern space, ranking,
+//! bitmap index) and is `Send + Sync` — asserted at compile time — so one
+//! audit can serve concurrent requests:
+//!
+//! ```
+//! fn assert_send_sync<T: Send + Sync>() {}
+//! assert_send_sync::<rankfair_core::Audit>();
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod bounds;
 mod detector;
 mod engine;
@@ -71,12 +77,75 @@ mod topdown;
 pub mod upper;
 pub mod util;
 
+pub use audit::{
+    Audit, AuditBuilder, AuditError, AuditKResult, AuditOutcome, AuditStream, AuditTask, Engine,
+    OverRepScope,
+};
 pub use bounds::{BiasMeasure, Bounds};
+#[allow(deprecated)]
 pub use detector::Detector;
-pub use engine::{global_bounds, global_bounds_fast_steps, prop_bounds, DetectionStream};
+#[allow(deprecated)]
+pub use engine::DetectionStream;
 pub use pattern::Pattern;
-pub use report::{render_report, render_report_csv, summarize, BiasedGroup, KReport};
+pub use report::{
+    render_report, render_report_csv, summarize, summarize_audit, BiasDirection, BiasedGroup,
+    KReport,
+};
 pub use space::{AttrId, PatternSpace, RankedIndex, SpaceError};
 pub use stats::{DetectConfig, DetectionOutput, KResult, SearchStats};
 pub use suggest::suggest_tau;
-pub use topdown::{iter_td, top_down_single_k};
+pub use topdown::top_down_single_k;
+
+/// `GlobalBounds` (Algorithm 2) as a free function.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Audit::run with AuditTask::UnderRep(BiasMeasure::GlobalLower(..))"
+)]
+pub fn global_bounds(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    cfg: &DetectConfig,
+    bounds: &Bounds,
+) -> DetectionOutput {
+    engine::global_bounds(index, space, cfg, bounds)
+}
+
+/// `GlobalBounds` with the bound-step extension (store-wide rescan instead
+/// of a rebuild at each bound step).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Audit::run_streaming, which applies the extension internally"
+)]
+pub fn global_bounds_fast_steps(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    cfg: &DetectConfig,
+    bounds: &Bounds,
+) -> DetectionOutput {
+    engine::global_bounds_fast_steps(index, space, cfg, bounds)
+}
+
+/// `PropBounds` (Algorithm 3) as a free function.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Audit::run with AuditTask::UnderRep(BiasMeasure::Proportional { .. })"
+)]
+pub fn prop_bounds(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    cfg: &DetectConfig,
+    alpha: f64,
+) -> DetectionOutput {
+    engine::prop_bounds(index, space, cfg, alpha)
+}
+
+/// The `IterTD` baseline (Algorithm 1 applied per `k`) as a free function.
+#[deprecated(since = "0.2.0", note = "use Audit::run with Engine::Baseline")]
+pub fn iter_td(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    cfg: &DetectConfig,
+    measure: &BiasMeasure,
+) -> DetectionOutput {
+    topdown::iter_td(index, space, cfg, measure)
+}

@@ -134,7 +134,9 @@ mod tests {
         let all = enumerate_substantial(&ds, &space, &ranking, 0);
         assert_eq!(all.len() as u64, space.pattern_graph_size());
         let sub = enumerate_substantial(&ds, &space, &ranking, 8);
-        assert!(sub.iter().all(|p| naive_counts(&ds, &space, &ranking, p, 0).0 >= 8));
+        assert!(sub
+            .iter()
+            .all(|p| naive_counts(&ds, &space, &ranking, p, 0).0 >= 8));
         assert!(sub.len() < all.len());
     }
 

@@ -4,10 +4,30 @@
 //! rank the groups by their overall size in the data or by the bias in
 //! their representation”).
 
+use crate::audit::{AuditOutcome, AuditTask};
 use crate::bounds::BiasMeasure;
 use crate::pattern::Pattern;
 use crate::space::{PatternSpace, RankedIndex};
 use crate::stats::DetectionOutput;
+
+/// Which bound a reported group violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiasDirection {
+    /// Below the lower bound: fewer top-`k` seats than required.
+    Under,
+    /// Above the upper bound: more top-`k` seats than allowed.
+    Over,
+}
+
+impl BiasDirection {
+    /// Short display form (`under` / `over`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BiasDirection::Under => "under",
+            BiasDirection::Over => "over",
+        }
+    }
+}
 
 /// A detected group enriched for display.
 #[derive(Debug, Clone)]
@@ -16,13 +36,19 @@ pub struct BiasedGroup {
     pub pattern: Pattern,
     /// `{Attr=value, …}` rendering.
     pub display: String,
+    /// Which bound the group violates.
+    pub direction: BiasDirection,
     /// Group size in the data, `s_D(p)`.
     pub size_in_data: usize,
     /// Group size in the top-`k`, `s_Rk(p)`.
     pub size_in_topk: usize,
-    /// Required representation at this `k` under the measure.
+    /// Required representation at this `k`: the minimum for
+    /// [`BiasDirection::Under`], the allowed maximum for
+    /// [`BiasDirection::Over`].
     pub required: f64,
-    /// Bias magnitude: `required − actual` (positive = under-represented).
+    /// Bias magnitude, positive in the violating direction:
+    /// `required − actual` for under-representation, `actual − required`
+    /// for over-representation.
     pub bias_gap: f64,
 }
 
@@ -54,6 +80,7 @@ pub fn summarize(
                     BiasedGroup {
                         pattern: p.clone(),
                         display: space.display(p),
+                        direction: BiasDirection::Under,
                         size_in_data: sd,
                         size_in_topk: count,
                         required,
@@ -69,6 +96,83 @@ pub fn summarize(
                     .then(a.display.cmp(&b.display))
             });
             KReport { k: kr.k, groups }
+        })
+        .collect()
+}
+
+/// Enriches an [`AuditOutcome`] into per-`k` reports covering **both**
+/// directions: under-represented groups first (largest deficit first),
+/// then over-represented ones (largest excess first).
+pub fn summarize_audit(
+    out: &AuditOutcome,
+    index: &RankedIndex,
+    space: &PatternSpace,
+    task: &AuditTask,
+) -> Vec<KReport> {
+    let under_required = |sd: usize, k: usize| -> f64 {
+        match task {
+            AuditTask::UnderRep(measure) => measure.required(sd, k, index.n()),
+            AuditTask::Combined { lower, .. } => lower.at(k) as f64,
+            AuditTask::OverRep { .. } => 0.0, // no under side
+        }
+    };
+    let upper_allowed = |k: usize| -> f64 {
+        match task {
+            AuditTask::OverRep { upper, .. } | AuditTask::Combined { upper, .. } => {
+                upper.at(k) as f64
+            }
+            AuditTask::UnderRep(_) => 0.0, // no over side
+        }
+    };
+    out.per_k
+        .iter()
+        .map(|kr| {
+            let enrich = |p: &Pattern, direction: BiasDirection| {
+                let (sd, count) = index.counts(p, kr.k);
+                let required = match direction {
+                    BiasDirection::Under => under_required(sd, kr.k),
+                    BiasDirection::Over => upper_allowed(kr.k),
+                };
+                let bias_gap = match direction {
+                    BiasDirection::Under => required - count as f64,
+                    BiasDirection::Over => count as f64 - required,
+                };
+                BiasedGroup {
+                    pattern: p.clone(),
+                    display: space.display(p),
+                    direction,
+                    size_in_data: sd,
+                    size_in_topk: count,
+                    required,
+                    bias_gap,
+                }
+            };
+            let sort = |groups: &mut Vec<BiasedGroup>| {
+                groups.sort_by(|a, b| {
+                    b.bias_gap
+                        .partial_cmp(&a.bias_gap)
+                        .expect("gaps are finite")
+                        .then(b.size_in_data.cmp(&a.size_in_data))
+                        .then(a.display.cmp(&b.display))
+                });
+            };
+            let mut under: Vec<BiasedGroup> = kr
+                .under
+                .iter()
+                .map(|p| enrich(p, BiasDirection::Under))
+                .collect();
+            sort(&mut under);
+            let mut over: Vec<BiasedGroup> = kr
+                .over
+                .iter()
+                .map(|p| enrich(p, BiasDirection::Over))
+                .collect();
+            sort(&mut over);
+            under.extend(over);
+            KReport {
+                k: kr.k,
+                groups: under,
+            }
         })
         .collect()
 }
@@ -90,13 +194,18 @@ pub fn render_report(reports: &[KReport]) -> String {
             .unwrap_or(0)
             .max("group".len());
         out.push_str(&format!(
-            "  {:width$}  {:>6}  {:>6}  {:>9}  {:>7}\n",
-            "group", "s_D", "top-k", "required", "gap"
+            "  {:width$}  {:>5}  {:>6}  {:>6}  {:>9}  {:>7}\n",
+            "group", "dir", "s_D", "top-k", "required", "gap"
         ));
         for g in &r.groups {
             out.push_str(&format!(
-                "  {:width$}  {:>6}  {:>6}  {:>9.2}  {:>7.2}\n",
-                g.display, g.size_in_data, g.size_in_topk, g.required, g.bias_gap
+                "  {:width$}  {:>5}  {:>6}  {:>6}  {:>9.2}  {:>7.2}\n",
+                g.display,
+                g.direction.as_str(),
+                g.size_in_data,
+                g.size_in_topk,
+                g.required,
+                g.bias_gap
             ));
         }
     }
@@ -171,10 +280,11 @@ mod tests {
     }
 }
 
-/// Renders reports as CSV (`k,group,size_in_data,size_in_topk,required,gap`)
-/// for machine consumption — plotting scripts, spreadsheets, CI checks.
+/// Renders reports as CSV
+/// (`k,direction,group,size_in_data,size_in_topk,required,gap`) for
+/// machine consumption — plotting scripts, spreadsheets, CI checks.
 pub fn render_report_csv(reports: &[KReport]) -> String {
-    let mut out = String::from("k,group,size_in_data,size_in_topk,required,gap\n");
+    let mut out = String::from("k,direction,group,size_in_data,size_in_topk,required,gap\n");
     for r in reports {
         for g in &r.groups {
             let quoted = if g.display.contains(',') || g.display.contains('"') {
@@ -183,8 +293,14 @@ pub fn render_report_csv(reports: &[KReport]) -> String {
                 g.display.clone()
             };
             out.push_str(&format!(
-                "{},{},{},{},{:.4},{:.4}\n",
-                r.k, quoted, g.size_in_data, g.size_in_topk, g.required, g.bias_gap
+                "{},{},{},{},{},{:.4},{:.4}\n",
+                r.k,
+                g.direction.as_str(),
+                quoted,
+                g.size_in_data,
+                g.size_in_topk,
+                g.required,
+                g.bias_gap
             ));
         }
     }
@@ -215,7 +331,7 @@ mod csv_tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "k,group,size_in_data,size_in_topk,required,gap"
+            "k,direction,group,size_in_data,size_in_topk,required,gap"
         );
         // Multi-term groups contain ", " so they must be quoted.
         assert!(csv.contains("\"{Gender=F, School=MS}\""));
@@ -230,7 +346,7 @@ mod csv_tests {
                     _ => {}
                 }
             }
-            assert_eq!(fields, 6, "line `{line}`");
+            assert_eq!(fields, 7, "line `{line}`");
         }
     }
 }

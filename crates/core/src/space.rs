@@ -354,11 +354,10 @@ mod tests {
         let (_ds, space, index) = fig1();
         // Rank position 0 is tuple 12: F, GP, U, failures 0.
         let gender = space.attr_by_name("Gender").unwrap();
-        assert_eq!(
-            space.label(gender, index.code_at(0, gender)),
-            "F"
-        );
-        let p = space.pattern(&[("School", "GP"), ("Address", "U")]).unwrap();
+        assert_eq!(space.label(gender, index.code_at(0, gender)), "F");
+        let p = space
+            .pattern(&[("School", "GP"), ("Address", "U")])
+            .unwrap();
         assert!(index.matches_at(0, &p));
         assert!(!index.matches_at(1, &p)); // tuple 5 is MS/R
     }

@@ -104,7 +104,7 @@ pub fn top_down_single_k(
 }
 
 /// The `IterTD` baseline (§IV-A): one full top-down search per `k`.
-pub fn iter_td(
+pub(crate) fn iter_td(
     index: &RankedIndex,
     space: &PatternSpace,
     cfg: &DetectConfig,
@@ -176,7 +176,10 @@ mod tests {
             "{Gender=F, Failures=1}",
             "{Address=R, Failures=1}",
         ] {
-            assert!(dres.contains(&expected.to_string()), "missing {expected} in {dres:?}");
+            assert!(
+                dres.contains(&expected.to_string()),
+                "missing {expected} in {dres:?}"
+            );
         }
     }
 
@@ -187,10 +190,7 @@ mod tests {
         // dominated patterns become most general.
         let (space, index) = fig1();
         let measure = BiasMeasure::GlobalLower(Bounds::constant(2));
-        let res = names(
-            &space,
-            &top_down_single_k(&index, &space, 4, 5, &measure),
-        );
+        let res = names(&space, &top_down_single_k(&index, &space, 4, 5, &measure));
         let expected = [
             "{School=GP}",
             "{Failures=2}",
@@ -277,8 +277,7 @@ mod tests {
     #[test]
     fn iter_td_deadline_truncates() {
         let (space, index) = fig1();
-        let cfg =
-            DetectConfig::new(1, 1, 16).with_deadline(std::time::Duration::from_nanos(1));
+        let cfg = DetectConfig::new(1, 1, 16).with_deadline(std::time::Duration::from_nanos(1));
         // Tiny search: may or may not hit the (1024-tick) deadline check,
         // but must never panic and must stay consistent.
         let out = iter_td(

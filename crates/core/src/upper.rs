@@ -179,8 +179,7 @@ mod tests {
         for tau in [1, 2, 4] {
             for k in [3, 5, 8, 16] {
                 for u in [0, 1, 2, 4] {
-                    let got =
-                        upper_most_specific_single_k(&index, &space, tau, k, u, &mut stats);
+                    let got = upper_most_specific_single_k(&index, &space, tau, k, u, &mut stats);
                     let want = oracle_upper(&ds, &space, &ranking, tau, k, u);
                     assert_eq!(got, want, "tau={tau} k={k} u={u}");
                 }
@@ -226,9 +225,7 @@ mod tests {
     fn impossible_upper_bound_returns_nothing() {
         let (_ds, space, _ranking, index) = fig1();
         let mut stats = SearchStats::default();
-        assert!(
-            upper_most_specific_single_k(&index, &space, 1, 5, 5, &mut stats).is_empty()
-        );
+        assert!(upper_most_specific_single_k(&index, &space, 1, 5, 5, &mut stats).is_empty());
     }
 }
 
@@ -356,8 +353,7 @@ mod variant_tests {
         for tau in [1, 3] {
             for k in [4, 8, 16] {
                 for u in [0, 1, 3] {
-                    let got =
-                        upper_most_general_single_k(&index, &space, tau, k, u, &mut stats);
+                    let got = upper_most_general_single_k(&index, &space, tau, k, u, &mut stats);
                     let all = oracle::enumerate_substantial(&ds, &space, &ranking, tau);
                     let qualifying: Vec<&Pattern> = all
                         .iter()
@@ -382,8 +378,7 @@ mod variant_tests {
         for tau in [2, 4] {
             for k in [4, 8] {
                 for l in [1, 2, 4] {
-                    let got =
-                        lower_most_specific_single_k(&index, &space, tau, k, l, &mut stats);
+                    let got = lower_most_specific_single_k(&index, &space, tau, k, l, &mut stats);
                     let all = oracle::enumerate_substantial(&ds, &space, &ranking, tau);
                     let qualifying: Vec<&Pattern> = all
                         .iter()

@@ -3,15 +3,15 @@
 //! do not cover (the engine must stay correct, falling back to fresh
 //! searches where the incremental reasoning does not apply).
 
+use std::sync::Arc;
+
 use rankfair_core::{
-    global_bounds, iter_td, oracle, prop_bounds, BiasMeasure, Bounds, DetectConfig, Pattern,
-    PatternSpace, RankedIndex,
+    oracle, Audit, AuditTask, BiasMeasure, Bounds, DetectConfig, Engine, KResult, Pattern,
 };
-use rankfair_data::Dataset;
 use rankfair_rank::Ranking;
 use rankfair_synth::{random_dataset, random_ranking, RandomSpec};
 
-fn build(seed: u64, rows: usize, attrs: usize) -> (Dataset, PatternSpace, Ranking, RankedIndex) {
+fn build(seed: u64, rows: usize, attrs: usize) -> Audit {
     let ds = random_dataset(
         seed,
         RandomSpec {
@@ -20,39 +20,61 @@ fn build(seed: u64, rows: usize, attrs: usize) -> (Dataset, PatternSpace, Rankin
             max_card: 3,
         },
     );
-    let space = PatternSpace::from_dataset(&ds).unwrap();
     let ranking = Ranking::from_order(random_ranking(seed + 1, rows)).unwrap();
-    let index = RankedIndex::build(&ds, &space, &ranking);
-    (ds, space, ranking, index)
+    Audit::builder(Arc::new(ds))
+        .ranking(ranking)
+        .build()
+        .unwrap()
+}
+
+fn under(audit: &Audit, cfg: &DetectConfig, measure: &BiasMeasure, engine: Engine) -> Vec<KResult> {
+    audit
+        .run(cfg, &AuditTask::UnderRep(measure.clone()), engine)
+        .unwrap()
+        .detection_output()
+        .per_k
 }
 
 #[test]
 fn single_row_dataset() {
-    let ds = Dataset::builder()
+    let ds = rankfair_data::Dataset::builder()
         .categorical_from_str("a", &["x"])
         .categorical_from_str("b", &["y"])
         .build()
         .unwrap();
-    let space = PatternSpace::from_dataset(&ds).unwrap();
-    let ranking = Ranking::from_order(vec![0]).unwrap();
-    let index = RankedIndex::build(&ds, &space, &ranking);
+    let audit = Audit::builder(Arc::new(ds))
+        .ranking(Ranking::from_order(vec![0]).unwrap())
+        .build()
+        .unwrap();
     let cfg = DetectConfig::new(1, 1, 1);
     // L = 1: the single tuple satisfies every pattern, nothing is biased.
-    let out = global_bounds(&index, &space, &cfg, &Bounds::constant(1));
-    assert!(out.per_k[0].patterns.is_empty());
+    let m = BiasMeasure::GlobalLower(Bounds::constant(1));
+    let out = under(&audit, &cfg, &m, Engine::Optimized);
+    assert!(out[0].patterns.is_empty());
     // L = 2 can never be met: the level-1 patterns are all reported.
-    let out = global_bounds(&index, &space, &cfg, &Bounds::constant(2));
-    assert_eq!(out.per_k[0].patterns.len(), 2);
+    let m = BiasMeasure::GlobalLower(Bounds::constant(2));
+    let out = under(&audit, &cfg, &m, Engine::Optimized);
+    assert_eq!(out[0].patterns.len(), 2);
 }
 
 #[test]
 fn tau_larger_than_dataset_returns_nothing() {
-    let (_ds, space, _ranking, index) = build(3, 40, 3);
+    let audit = build(3, 40, 3);
     let cfg = DetectConfig::new(41, 2, 20);
-    let out = global_bounds(&index, &space, &cfg, &Bounds::constant(5));
-    assert!(out.per_k.iter().all(|kr| kr.patterns.is_empty()));
-    let out = prop_bounds(&index, &space, &cfg, 0.8);
-    assert!(out.per_k.iter().all(|kr| kr.patterns.is_empty()));
+    let out = under(
+        &audit,
+        &cfg,
+        &BiasMeasure::GlobalLower(Bounds::constant(5)),
+        Engine::Optimized,
+    );
+    assert!(out.iter().all(|kr| kr.patterns.is_empty()));
+    let out = under(
+        &audit,
+        &cfg,
+        &BiasMeasure::Proportional { alpha: 0.8 },
+        Engine::Optimized,
+    );
+    assert!(out.iter().all(|kr| kr.patterns.is_empty()));
 }
 
 #[test]
@@ -63,25 +85,23 @@ fn cardinality_one_attribute() {
     let n = 30;
     let constant = vec!["same"; n];
     let varied: Vec<String> = (0..n).map(|i| format!("v{}", i % 3)).collect();
-    let ds = Dataset::builder()
+    let ds = rankfair_data::Dataset::builder()
         .categorical_from_str("c", &constant)
         .categorical_from_str("v", &varied)
         .build()
         .unwrap();
-    let space = PatternSpace::from_dataset(&ds).unwrap();
-    let ranking = Ranking::from_order(random_ranking(9, n)).unwrap();
-    let index = RankedIndex::build(&ds, &space, &ranking);
+    let audit = Audit::builder(Arc::new(ds))
+        .ranking(Ranking::from_order(random_ranking(9, n)).unwrap())
+        .build()
+        .unwrap();
     let cfg = DetectConfig::new(1, 2, n);
     for measure in [
         BiasMeasure::GlobalLower(Bounds::constant(4)),
         BiasMeasure::Proportional { alpha: 0.9 },
     ] {
-        let base = iter_td(&index, &space, &cfg, &measure);
-        let opt = match &measure {
-            BiasMeasure::GlobalLower(b) => global_bounds(&index, &space, &cfg, b),
-            BiasMeasure::Proportional { alpha } => prop_bounds(&index, &space, &cfg, *alpha),
-        };
-        assert_eq!(base.per_k, opt.per_k);
+        let base = under(&audit, &cfg, &measure, Engine::Baseline);
+        let opt = under(&audit, &cfg, &measure, Engine::Optimized);
+        assert_eq!(base, opt);
     }
 }
 
@@ -90,49 +110,63 @@ fn decreasing_bounds_still_exact() {
     // Footnote 3 assumes non-decreasing L_k; the engine falls back to a
     // fresh search on any bound change, so a decreasing specification must
     // still be exact (if unusual).
-    let (ds, space, ranking, index) = build(11, 50, 4);
+    let audit = build(11, 50, 4);
     let bounds = Bounds::steps(vec![(0, 6), (10, 4), (20, 2)]);
     let cfg = DetectConfig::new(2, 2, 40);
-    let measure = BiasMeasure::GlobalLower(bounds.clone());
-    let base = iter_td(&index, &space, &cfg, &measure);
-    let opt = global_bounds(&index, &space, &cfg, &bounds);
-    assert_eq!(base.per_k, opt.per_k);
-    let want = oracle::detect(&ds, &space, &ranking, 2, 2, 40, &measure);
-    assert_eq!(opt.per_k, want);
+    let measure = BiasMeasure::GlobalLower(bounds);
+    let base = under(&audit, &cfg, &measure, Engine::Baseline);
+    let opt = under(&audit, &cfg, &measure, Engine::Optimized);
+    assert_eq!(base, opt);
+    let want = oracle::detect(
+        audit.dataset(),
+        audit.space(),
+        audit.ranking(),
+        2,
+        2,
+        40,
+        &measure,
+    );
+    assert_eq!(opt, want);
 }
 
 #[test]
 fn full_k_range_to_dataset_size() {
-    let (_ds, space, _ranking, index) = build(13, 120, 4);
+    let audit = build(13, 120, 4);
     let cfg = DetectConfig::new(5, 1, 120);
     let measure = BiasMeasure::Proportional { alpha: 0.85 };
-    let base = iter_td(&index, &space, &cfg, &measure);
-    let opt = prop_bounds(&index, &space, &cfg, 0.85);
-    assert_eq!(base.per_k, opt.per_k);
+    let base = under(&audit, &cfg, &measure, Engine::Baseline);
+    let opt = under(&audit, &cfg, &measure, Engine::Optimized);
+    assert_eq!(base, opt);
     // At k = n every pattern's count equals its size: nothing is biased
     // for α ≤ 1.
-    assert!(opt.per_k.last().unwrap().patterns.is_empty());
+    assert!(opt.last().unwrap().patterns.is_empty());
 }
 
 #[test]
 fn alpha_above_one_flags_even_proportional_groups() {
-    let (_ds, space, _ranking, index) = build(17, 60, 3);
+    let audit = build(17, 60, 3);
     let cfg = DetectConfig::new(2, 5, 55);
     let measure = BiasMeasure::Proportional { alpha: 1.5 };
-    let base = iter_td(&index, &space, &cfg, &measure);
-    let opt = prop_bounds(&index, &space, &cfg, 1.5);
-    assert_eq!(base.per_k, opt.per_k);
+    let base = under(&audit, &cfg, &measure, Engine::Baseline);
+    let opt = under(&audit, &cfg, &measure, Engine::Optimized);
+    assert_eq!(base, opt);
     // With α = 1.5 at k = n the requirement 1.5·s_D > s_D can never be
     // met, so every substantial level-1 pattern (or a subset refinement)
     // is biased — the result set must be non-empty.
-    assert!(!opt.per_k.last().unwrap().patterns.is_empty());
+    assert!(!opt.last().unwrap().patterns.is_empty());
 }
 
 #[test]
 fn zero_deadline_times_out_gracefully() {
-    let (_ds, space, _ranking, index) = build(19, 200, 4);
+    let audit = build(19, 200, 4);
     let cfg = DetectConfig::new(1, 2, 150).with_deadline(std::time::Duration::ZERO);
-    let out = global_bounds(&index, &space, &cfg, &Bounds::constant(3));
+    let out = audit
+        .run(
+            &cfg,
+            &AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(3))),
+            Engine::Optimized,
+        )
+        .unwrap();
     // Either it finished instantly (tiny search) or it truncated; both are
     // acceptable, and no panic occurred.
     if out.stats.timed_out {
@@ -142,62 +176,103 @@ fn zero_deadline_times_out_gracefully() {
 
 #[test]
 fn kmin_equals_kmax() {
-    let (ds, space, ranking, index) = build(23, 45, 4);
+    let audit = build(23, 45, 4);
     let cfg = DetectConfig::new(3, 7, 7);
     let measure = BiasMeasure::GlobalLower(Bounds::constant(2));
-    let opt = global_bounds(&index, &space, &cfg, &Bounds::constant(2));
-    assert_eq!(opt.per_k.len(), 1);
-    let want = oracle::detect(&ds, &space, &ranking, 3, 7, 7, &measure);
-    assert_eq!(opt.per_k, want);
+    let opt = under(&audit, &cfg, &measure, Engine::Optimized);
+    assert_eq!(opt.len(), 1);
+    let want = oracle::detect(
+        audit.dataset(),
+        audit.space(),
+        audit.ranking(),
+        3,
+        7,
+        7,
+        &measure,
+    );
+    assert_eq!(opt, want);
 }
 
 #[test]
 fn duplicate_rows_and_heavy_skew() {
     // All rows identical except one attribute: exercises extreme counts.
     let n = 64;
-    let a: Vec<&str> = (0..n).map(|i| if i == 0 { "rare" } else { "common" }).collect();
+    let a: Vec<&str> = (0..n)
+        .map(|i| if i == 0 { "rare" } else { "common" })
+        .collect();
     let b = vec!["only"; n];
-    let ds = Dataset::builder()
+    let ds = rankfair_data::Dataset::builder()
         .categorical_from_str("a", &a)
         .categorical_from_str("b", &b)
         .build()
         .unwrap();
-    let space = PatternSpace::from_dataset(&ds).unwrap();
     // Rank the rare row last.
     let mut order: Vec<u32> = (1..n as u32).collect();
     order.push(0);
-    let ranking = Ranking::from_order(order).unwrap();
-    let index = RankedIndex::build(&ds, &space, &ranking);
+    let audit = Audit::builder(Arc::new(ds))
+        .ranking(Ranking::from_order(order).unwrap())
+        .build()
+        .unwrap();
     let cfg = DetectConfig::new(1, 2, n);
     let measure = BiasMeasure::GlobalLower(Bounds::constant(1));
-    let base = iter_td(&index, &space, &cfg, &measure);
-    let opt = global_bounds(&index, &space, &cfg, &Bounds::constant(1));
-    assert_eq!(base.per_k, opt.per_k);
+    let base = under(&audit, &cfg, &measure, Engine::Baseline);
+    let opt = under(&audit, &cfg, &measure, Engine::Optimized);
+    assert_eq!(base, opt);
     // {a=rare} has count 0 until the final k, so it is reported for every
     // k < n and disappears at k = n.
-    let rare = Pattern::single(0, space.pattern(&[("a", "rare")]).unwrap().terms()[0].1);
-    assert!(opt.per_k[0].patterns.contains(&rare));
-    assert!(!opt.per_k.last().unwrap().patterns.contains(&rare));
+    let rare = Pattern::single(
+        0,
+        audit.space().pattern(&[("a", "rare")]).unwrap().terms()[0].1,
+    );
+    assert!(opt[0].patterns.contains(&rare));
+    assert!(!opt.last().unwrap().patterns.contains(&rare));
 }
 
 #[test]
 fn stats_monotonicity_between_algorithms() {
     // On a moderate instance, the optimized engines must examine strictly
     // fewer patterns than the baseline while agreeing on results.
-    let (_ds, space, _ranking, index) = build(29, 150, 5);
+    let audit = build(29, 150, 5);
     let cfg = DetectConfig::new(8, 10, 120);
     let bounds = Bounds::steps(vec![(10, 3), (50, 6), (90, 9)]);
-    let g = BiasMeasure::GlobalLower(bounds.clone());
-    let base = iter_td(&index, &space, &cfg, &g);
-    let opt = global_bounds(&index, &space, &cfg, &bounds);
+    let g = AuditTask::UnderRep(BiasMeasure::GlobalLower(bounds));
+    let base = audit.run(&cfg, &g, Engine::Baseline).unwrap();
+    let opt = audit.run(&cfg, &g, Engine::Optimized).unwrap();
     assert_eq!(base.per_k, opt.per_k);
     assert!(opt.stats.patterns_examined() < base.stats.patterns_examined());
     assert_eq!(opt.stats.full_searches, 3); // initial + steps at 50 and 90
 
-    let p = BiasMeasure::Proportional { alpha: 0.7 };
-    let base = iter_td(&index, &space, &cfg, &p);
-    let opt = prop_bounds(&index, &space, &cfg, 0.7);
+    let p = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.7 });
+    let base = audit.run(&cfg, &p, Engine::Baseline).unwrap();
+    let opt = audit.run(&cfg, &p, Engine::Optimized).unwrap();
     assert_eq!(base.per_k, opt.per_k);
     assert!(opt.stats.patterns_examined() < base.stats.patterns_examined());
     assert_eq!(opt.stats.full_searches, 1); // PropBounds never rebuilds
+}
+
+/// Upper-bound edge cases through the audit API: impossible bounds and
+/// bound-zero behavior.
+#[test]
+fn over_rep_extremes() {
+    let audit = build(31, 40, 3);
+    let n = 40;
+    // U ≥ k can never be exceeded: nothing is over-represented.
+    let cfg = DetectConfig::new(1, 5, 10);
+    let task = AuditTask::OverRep {
+        upper: Bounds::constant(n),
+        scope: rankfair_core::OverRepScope::MostSpecific,
+    };
+    let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+    assert!(out.per_k.iter().all(|kr| kr.over.is_empty()));
+    // U = 0 at k = n: every non-empty substantial pattern qualifies.
+    let cfg = DetectConfig::new(1, n, n);
+    let task = AuditTask::OverRep {
+        upper: Bounds::constant(0),
+        scope: rankfair_core::OverRepScope::MostGeneral,
+    };
+    let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+    // Most general qualifying patterns are exactly the substantial
+    // level-1 patterns (every level-1 pattern with a match qualifies).
+    assert!(out.per_k[0].over.iter().all(|p| p.len() == 1));
+    assert!(!out.per_k[0].over.is_empty());
 }

@@ -2,67 +2,98 @@
 //! partial order compatible with matching and with the search-tree
 //! parent/child structure. The dominance bookkeeping of the detection
 //! engine is built entirely on these laws.
+//!
+//! Originally written against `proptest`; this container builds offline,
+//! so the strategies are replaced by seeded exhaustive-ish sampling with
+//! the workspace's deterministic generator — same laws, same coverage
+//! scale, reproducible failures by seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use rankfair_core::Pattern;
 
-/// Strategy: a pattern over `attrs` attributes with cardinality ≤ `card`,
-/// each attribute independently present.
-fn pattern_strategy(attrs: u16, card: u16) -> impl Strategy<Value = Pattern> {
-    proptest::collection::vec(proptest::option::of(0..card), attrs as usize).prop_map(|vals| {
-        let terms: Vec<(u16, u16)> = vals
-            .into_iter()
-            .enumerate()
-            .filter_map(|(a, v)| v.map(|v| (a as u16, v)))
-            .collect();
-        Pattern::from_terms(terms).expect("attributes are distinct by construction")
-    })
+/// A random pattern over `attrs` attributes with cardinality ≤ `card`,
+/// each attribute independently present with probability 1/2.
+fn random_pattern(rng: &mut StdRng, attrs: u16, card: u16) -> Pattern {
+    let terms: Vec<(u16, u16)> = (0..attrs)
+        .filter_map(|a| {
+            if rng.random::<bool>() {
+                Some((a, rng.random_range(0..card)))
+            } else {
+                None
+            }
+        })
+        .collect();
+    Pattern::from_terms(terms).expect("attributes are distinct by construction")
 }
 
 /// A random tuple over the same space.
-fn tuple_strategy(attrs: u16, card: u16) -> impl Strategy<Value = Vec<u16>> {
-    proptest::collection::vec(0..card, attrs as usize)
+fn random_tuple(rng: &mut StdRng, attrs: u16, card: u16) -> Vec<u16> {
+    (0..attrs).map(|_| rng.random_range(0..card)).collect()
 }
 
-proptest! {
-    #[test]
-    fn subset_is_reflexive_and_antisymmetric(p in pattern_strategy(5, 3)) {
-        prop_assert!(p.is_subset_of(&p));
-        prop_assert!(!p.is_proper_subset_of(&p));
-    }
+const CASES: usize = 512;
 
-    #[test]
-    fn subset_is_transitive(
-        a in pattern_strategy(5, 3),
-        b in pattern_strategy(5, 3),
-        c in pattern_strategy(5, 3),
-    ) {
-        if a.is_subset_of(&b) && b.is_subset_of(&c) {
-            prop_assert!(a.is_subset_of(&c));
-        }
+#[test]
+fn subset_is_reflexive_and_antisymmetric() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..CASES {
+        let p = random_pattern(&mut rng, 5, 3);
+        assert!(p.is_subset_of(&p));
+        assert!(!p.is_proper_subset_of(&p));
     }
+}
 
-    #[test]
-    fn antisymmetry(a in pattern_strategy(5, 3), b in pattern_strategy(5, 3)) {
+/// Drops each term of `p` independently with probability 1/2, producing a
+/// guaranteed subset.
+fn thin(rng: &mut StdRng, p: &Pattern) -> Pattern {
+    let terms: Vec<(u16, u16)> = p
+        .terms()
+        .iter()
+        .copied()
+        .filter(|_| rng.random::<bool>())
+        .collect();
+    Pattern::from_terms(terms).expect("thinning keeps attributes distinct")
+}
+
+#[test]
+fn subset_is_transitive() {
+    // Independent random triples essentially never chain, so construct
+    // them: c ⊇ b ⊇ a by thinning.
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..CASES {
+        let c = random_pattern(&mut rng, 5, 3);
+        let b = thin(&mut rng, &c);
+        let a = thin(&mut rng, &b);
+        assert!(a.is_subset_of(&b) && b.is_subset_of(&c));
+        assert!(a.is_subset_of(&c));
+    }
+}
+
+#[test]
+fn antisymmetry() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..CASES * 4 {
+        let a = random_pattern(&mut rng, 5, 3);
+        let b = random_pattern(&mut rng, 5, 3);
         if a.is_subset_of(&b) && b.is_subset_of(&a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    /// `a ⊆ b` ⟺ every tuple matching `b` matches `a` — checked over all
-    /// 3⁵ tuples of the small space (semantic characterization of the
-    /// syntactic subset test).
-    #[test]
-    fn subset_agrees_with_semantic_entailment(
-        a in pattern_strategy(5, 3),
-        b in pattern_strategy(5, 3),
-    ) {
+/// `a ⊆ b` ⟺ every tuple matching `b` matches `a` — checked over all
+/// 3⁵ tuples of the small space (semantic characterization of the
+/// syntactic subset test).
+#[test]
+fn subset_agrees_with_semantic_entailment() {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    for _ in 0..CASES {
+        let a = random_pattern(&mut rng, 5, 3);
+        let b = random_pattern(&mut rng, 5, 3);
         let mut entailed = true;
-        // Enumerate all tuples of the 3^5 space.
         for code in 0..3u32.pow(5) {
-            let tuple: Vec<u16> = (0..5)
-                .map(|i| ((code / 3u32.pow(i)) % 3) as u16)
-                .collect();
+            let tuple: Vec<u16> = (0..5).map(|i| ((code / 3u32.pow(i)) % 3) as u16).collect();
             let matches_b = b.matches(|attr| tuple[usize::from(attr)]);
             let matches_a = a.matches(|attr| tuple[usize::from(attr)]);
             if matches_b && !matches_a {
@@ -70,55 +101,65 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(a.is_subset_of(&b), entailed);
+        assert_eq!(a.is_subset_of(&b), entailed, "{a:?} vs {b:?}");
     }
+}
 
-    #[test]
-    fn matching_is_monotone_in_generality(
-        a in pattern_strategy(5, 3),
-        b in pattern_strategy(5, 3),
-        t in tuple_strategy(5, 3),
-    ) {
+#[test]
+fn matching_is_monotone_in_generality() {
+    let mut rng = StdRng::seed_from_u64(0xE44);
+    for _ in 0..CASES * 4 {
+        let a = random_pattern(&mut rng, 5, 3);
+        let b = random_pattern(&mut rng, 5, 3);
+        let t = random_tuple(&mut rng, 5, 3);
         if a.is_subset_of(&b) && b.matches(|attr| t[usize::from(attr)]) {
-            prop_assert!(a.matches(|attr| t[usize::from(attr)]));
+            assert!(a.matches(|attr| t[usize::from(attr)]));
         }
     }
+}
 
-    #[test]
-    fn tree_parent_is_proper_subset(p in pattern_strategy(6, 3)) {
+#[test]
+fn tree_parent_is_proper_subset() {
+    let mut rng = StdRng::seed_from_u64(0xF00);
+    for _ in 0..CASES {
+        let p = random_pattern(&mut rng, 6, 3);
         if let Some(parent) = p.tree_parent() {
             if !p.is_empty() {
-                prop_assert!(parent.is_proper_subset_of(&p));
-                prop_assert_eq!(parent.len() + 1, p.len());
+                assert!(parent.is_proper_subset_of(&p));
+                assert_eq!(parent.len() + 1, p.len());
             }
         }
     }
+}
 
-    #[test]
-    fn child_then_parent_roundtrips(
-        p in pattern_strategy(4, 3),
-        value in 0u16..3,
-    ) {
-        // Extend with an attribute index beyond the strategy's range so the
+#[test]
+fn child_then_parent_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0x1234);
+    for _ in 0..CASES {
+        let p = random_pattern(&mut rng, 4, 3);
+        let value = rng.random_range(0..3u16);
+        // Extend with an attribute index beyond the sampled range so the
         // Definition 4.1 precondition (attr > max_attr) holds.
         let child = p.child(10, value);
-        prop_assert_eq!(child.tree_parent().unwrap(), p.clone());
-        prop_assert!(p.is_subset_of(&child));
-        prop_assert_eq!(child.value_of(10), Some(value));
+        assert_eq!(child.tree_parent().unwrap(), p.clone());
+        assert!(p.is_subset_of(&child));
+        assert_eq!(child.value_of(10), Some(value));
     }
+}
 
-    /// Canonical (derive) ordering is a total order consistent with
-    /// equality — required for deterministic snapshots.
-    #[test]
-    fn ordering_total_and_consistent(
-        a in pattern_strategy(5, 3),
-        b in pattern_strategy(5, 3),
-    ) {
-        use std::cmp::Ordering;
+/// Canonical (derive) ordering is a total order consistent with
+/// equality — required for deterministic snapshots.
+#[test]
+fn ordering_total_and_consistent() {
+    use std::cmp::Ordering;
+    let mut rng = StdRng::seed_from_u64(0x5678);
+    for _ in 0..CASES * 2 {
+        let a = random_pattern(&mut rng, 5, 3);
+        let b = random_pattern(&mut rng, 5, 3);
         match a.cmp(&b) {
-            Ordering::Equal => prop_assert_eq!(&a, &b),
-            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
-            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => assert_eq!(&a, &b),
+            Ordering::Less => assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => assert_eq!(b.cmp(&a), Ordering::Less),
         }
     }
 }

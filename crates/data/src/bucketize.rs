@@ -27,12 +27,18 @@ pub enum BinStrategy {
 
 /// Computes bin edges for `values` (length `bins + 1`, strictly increasing
 /// where possible).
-pub fn bin_edges(values: &[f64], bins: usize, strategy: BinStrategy) -> Result<Vec<f64>, DataError> {
+pub fn bin_edges(
+    values: &[f64],
+    bins: usize,
+    strategy: BinStrategy,
+) -> Result<Vec<f64>, DataError> {
     if bins == 0 {
         return Err(DataError::Invalid("bins must be ≥ 1".into()));
     }
     if values.is_empty() {
-        return Err(DataError::Invalid("cannot bucketize an empty column".into()));
+        return Err(DataError::Invalid(
+            "cannot bucketize an empty column".into(),
+        ));
     }
     if values.iter().any(|v| v.is_nan()) {
         return Err(DataError::Invalid("cannot bucketize NaN values".into()));

@@ -189,9 +189,7 @@ impl Column {
     /// numeric).
     pub fn display(&self, row: usize) -> String {
         match &self.data {
-            ColumnData::Categorical { codes, labels } => {
-                labels[usize::from(codes[row])].clone()
-            }
+            ColumnData::Categorical { codes, labels } => labels[usize::from(codes[row])].clone(),
             ColumnData::Numeric { values } => {
                 let v = values[row];
                 if v.fract() == 0.0 && v.abs() < 1e15 {

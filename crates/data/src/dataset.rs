@@ -15,7 +15,9 @@ pub struct Dataset {
 impl Dataset {
     /// Starts building a dataset column by column.
     pub fn builder() -> DatasetBuilder {
-        DatasetBuilder { columns: Vec::new() }
+        DatasetBuilder {
+            columns: Vec::new(),
+        }
     }
 
     /// Constructs a dataset from pre-built columns.
@@ -287,9 +289,12 @@ mod tests {
     #[test]
     fn push_and_replace_column() {
         let mut ds = sample();
-        ds.push_column(Column::numeric("extra", vec![1.0; 4])).unwrap();
+        ds.push_column(Column::numeric("extra", vec![1.0; 4]))
+            .unwrap();
         assert_eq!(ds.n_cols(), 4);
-        assert!(ds.push_column(Column::numeric("extra", vec![1.0; 4])).is_err());
+        assert!(ds
+            .push_column(Column::numeric("extra", vec![1.0; 4]))
+            .is_err());
         assert!(ds.push_column(Column::numeric("short", vec![1.0])).is_err());
         ds.replace_column(0, Column::categorical("a2", &["q"; 4]).unwrap())
             .unwrap();

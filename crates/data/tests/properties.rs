@@ -1,26 +1,26 @@
 //! Property-based tests for the data substrate: bitmap algebra,
 //! bucketization laws, and CSV round-trips on arbitrary content.
+//!
+//! Originally written against `proptest`; this container builds offline,
+//! so the strategies are replaced by seeded randomized sweeps with the
+//! workspace's deterministic generator.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use rankfair_data::bucketize::{bin_edges, bin_index, bucketize_values, BinStrategy};
 use rankfair_data::csv::{read_csv_str, write_csv_string, CsvOptions};
 use rankfair_data::{intersect_counts, Bitmap, Column, Dataset};
 
-proptest! {
-    /// Fused intersection counts agree with the definitionally-correct
-    /// per-bit evaluation for any pair of bit sets and any prefix.
-    #[test]
-    fn intersect_counts_matches_naive(
-        bits_a in proptest::collection::vec(any::<bool>(), 1..300),
-        bits_b_seed in any::<u64>(),
-        k_frac in 0.0f64..1.2,
-    ) {
-        let n = bits_a.len();
-        // Derive b deterministically from the seed so the sizes match.
-        let bits_b: Vec<bool> = (0..n)
-            .map(|i| (bits_b_seed.wrapping_mul(i as u64 + 1)).count_ones() % 2 == 0)
-            .collect();
+/// Fused intersection counts agree with the definitionally-correct
+/// per-bit evaluation for any pair of bit sets and any prefix.
+#[test]
+fn intersect_counts_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..256 {
+        let n = rng.random_range(1..300usize);
+        let bits_a: Vec<bool> = (0..n).map(|_| rng.random::<bool>()).collect();
+        let bits_b: Vec<bool> = (0..n).map(|_| rng.random::<bool>()).collect();
         let mut a = Bitmap::new(n);
         let mut b = Bitmap::new(n);
         for i in 0..n {
@@ -31,89 +31,108 @@ proptest! {
                 b.set(i);
             }
         }
+        let k_frac: f64 = rng.random::<f64>() * 1.2;
         let k = ((n as f64) * k_frac) as usize;
         let (full, prefix) = intersect_counts(&[&a, &b], k, n);
         let naive_full = (0..n).filter(|&i| bits_a[i] && bits_b[i]).count();
         let naive_prefix = (0..k.min(n)).filter(|&i| bits_a[i] && bits_b[i]).count();
-        prop_assert_eq!(full, naive_full);
-        prop_assert_eq!(prefix, naive_prefix);
+        assert_eq!(full, naive_full);
+        assert_eq!(prefix, naive_prefix);
         // Prefix counts are monotone in k and bounded by the full count.
-        prop_assert!(prefix <= full);
+        assert!(prefix <= full);
     }
+}
 
-    /// Bucketization assigns every value to a bin whose edges contain it
-    /// (up to clamping), codes are monotone in the value, and every label
-    /// parses back as a range.
-    #[test]
-    fn bucketize_is_total_and_monotone(
-        values in proptest::collection::vec(-1e6f64..1e6, 2..200),
-        bins in 1usize..8,
-        quantile in any::<bool>(),
-    ) {
-        let strategy = if quantile {
+/// Bucketization assigns every value to a bin whose edges contain it
+/// (up to clamping), codes are monotone in the value, and every label
+/// parses back as a range.
+#[test]
+fn bucketize_is_total_and_monotone() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for case in 0..128 {
+        let len = rng.random_range(2..200usize);
+        let values: Vec<f64> = (0..len)
+            .map(|_| (rng.random::<f64>() - 0.5) * 2e6)
+            .collect();
+        let bins = rng.random_range(1..8usize);
+        let strategy = if case % 2 == 0 {
             BinStrategy::Quantile
         } else {
             BinStrategy::EqualWidth
         };
         let edges = bin_edges(&values, bins, strategy).unwrap();
-        prop_assert!(edges.len() >= 2);
-        prop_assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+        assert!(edges.len() >= 2);
+        assert!(edges.windows(2).all(|w| w[0] <= w[1]));
         let col = bucketize_values("v", &values, bins, strategy).unwrap();
         let codes = col.codes().unwrap();
-        prop_assert_eq!(codes.len(), values.len());
+        assert_eq!(codes.len(), values.len());
         for i in 0..values.len() {
             for j in 0..values.len() {
                 if values[i] < values[j] {
-                    prop_assert!(codes[i] <= codes[j]);
+                    assert!(codes[i] <= codes[j]);
                 }
             }
         }
         for (i, &v) in values.iter().enumerate() {
-            prop_assert_eq!(usize::from(codes[i]), bin_index(v, &edges));
+            assert_eq!(usize::from(codes[i]), bin_index(v, &edges));
         }
     }
+}
 
-    /// CSV round-trips arbitrary categorical content, including separators,
-    /// quotes and newlines inside fields.
-    #[test]
-    fn csv_roundtrip_arbitrary_strings(
-        cells in proptest::collection::vec("[ -~]{0,12}", 1..40),
-    ) {
-        // Build a one-column dataset; force categorical so numeric-looking
-        // strings keep their exact text.
-        let strings: Vec<String> = cells
-            .iter()
-            .map(|s| if s.is_empty() { "∅".to_string() } else { s.clone() })
+/// CSV round-trips arbitrary categorical content, including separators,
+/// quotes and newlines inside fields.
+#[test]
+fn csv_roundtrip_arbitrary_strings() {
+    let mut rng = StdRng::seed_from_u64(47);
+    for _ in 0..128 {
+        let rows = rng.random_range(1..40usize);
+        let strings: Vec<String> = (0..rows)
+            .map(|_| {
+                let len = rng.random_range(0..12usize);
+                let s: String = (0..len)
+                    .map(|_| {
+                        // Printable ASCII, including separator, quote, space.
+                        char::from(rng.random_range(0x20..0x7fu8))
+                    })
+                    .collect();
+                if s.is_empty() {
+                    "∅".to_string()
+                } else {
+                    s
+                }
+            })
             .collect();
-        let ds = Dataset::from_columns(vec![
-            Column::categorical("payload", &strings).unwrap(),
-        ])
-        .unwrap();
+        let ds =
+            Dataset::from_columns(vec![Column::categorical("payload", &strings).unwrap()]).unwrap();
         let text = write_csv_string(&ds, ',');
         let opts = CsvOptions {
             force_categorical: vec!["payload".into()],
             ..CsvOptions::default()
         };
         let back = read_csv_str(&text, &opts).unwrap();
-        prop_assert_eq!(back.n_rows(), ds.n_rows());
+        assert_eq!(back.n_rows(), ds.n_rows());
         for r in 0..ds.n_rows() {
-            prop_assert_eq!(back.column(0).display(r), ds.column(0).display(r));
+            assert_eq!(back.column(0).display(r), ds.column(0).display(r));
         }
     }
+}
 
-    /// Dictionary encoding is a bijection between occurring labels and
-    /// codes: decoding every row reproduces the input.
-    #[test]
-    fn categorical_encoding_roundtrips(
-        values in proptest::collection::vec(0u8..6, 1..100),
-    ) {
-        let strings: Vec<String> = values.iter().map(|v| format!("val{v}")).collect();
+/// Dictionary encoding is a bijection between occurring labels and
+/// codes: decoding every row reproduces the input.
+#[test]
+fn categorical_encoding_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(53);
+    for _ in 0..128 {
+        let rows = rng.random_range(1..100usize);
+        let strings: Vec<String> = (0..rows)
+            .map(|_| format!("val{}", rng.random_range(0..6u8)))
+            .collect();
         let col = Column::categorical("c", &strings).unwrap();
         for (i, s) in strings.iter().enumerate() {
-            prop_assert_eq!(col.label_of(col.code(i)).unwrap(), s.as_str());
+            assert_eq!(col.label_of(col.code(i)).unwrap(), s.as_str());
         }
         let card = col.cardinality().unwrap();
         let distinct: std::collections::BTreeSet<&String> = strings.iter().collect();
-        prop_assert_eq!(card, distinct.len());
+        assert_eq!(card, distinct.len());
     }
 }

@@ -198,12 +198,15 @@ mod tests {
         let subs = divergent_subgroups(&ds, &ranking, 5, &cfg);
         let has_subsumed_pair = subs.iter().any(|a| {
             subs.iter().any(|b| {
-                a.items.len() < b.items.len()
-                    && a.items.iter().all(|i| b.items.contains(i))
+                a.items.len() < b.items.len() && a.items.iter().all(|i| b.items.contains(i))
             })
         });
         assert!(has_subsumed_pair);
-        assert!(subs.len() > 9, "expected many subgroups, got {}", subs.len());
+        assert!(
+            subs.len() > 9,
+            "expected many subgroups, got {}",
+            subs.len()
+        );
     }
 
     #[test]
@@ -225,7 +228,9 @@ mod tests {
             columns: Some(vec![gender]),
         };
         let subs = divergent_subgroups(&ds, &ranking, 5, &cfg);
-        assert!(subs.iter().all(|s| s.items.iter().all(|&(c, _)| c == gender)));
+        assert!(subs
+            .iter()
+            .all(|s| s.items.iter().all(|&(c, _)| c == gender)));
         assert_eq!(subs.len(), 2); // F and M
     }
 }

@@ -26,4 +26,4 @@ mod apriori;
 mod divergent;
 
 pub use apriori::{frequent_itemsets, Item, Itemset};
-pub use divergent::{divergent_subgroups, display_items, DivergenceConfig, Subgroup};
+pub use divergent::{display_items, divergent_subgroups, DivergenceConfig, Subgroup};

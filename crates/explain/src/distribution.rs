@@ -54,8 +54,9 @@ pub fn compare_distributions(
                 .chain(group_rows)
                 .map(|&r| values[r as usize])
                 .collect();
-            let edges = bucketize::bin_edges(&pool, NUMERIC_BINS, bucketize::BinStrategy::EqualWidth)
-                .expect("non-empty numeric pool");
+            let edges =
+                bucketize::bin_edges(&pool, NUMERIC_BINS, bucketize::BinStrategy::EqualWidth)
+                    .expect("non-empty numeric pool");
             let labels: Vec<String> = (0..edges.len() - 1)
                 .map(|i| bucketize::bin_label(&edges, i))
                 .collect();

@@ -37,7 +37,12 @@ impl FeatureImportance {
     }
 }
 
-fn mse(model: &dyn Regressor, x: &FeatureMatrix, y: &[f64], permuted: Option<(usize, &[u32])>) -> f64 {
+fn mse(
+    model: &dyn Regressor,
+    x: &FeatureMatrix,
+    y: &[f64],
+    permuted: Option<(usize, &[u32])>,
+) -> f64 {
     let m = x.n_features();
     let mut buf = vec![0.0; m];
     let mut total = 0.0;
@@ -112,8 +117,7 @@ mod tests {
         assert_eq!(ranked[0].0, "a");
         assert!(ranked[0].1 > ranked[1].1);
         // The pure-noise feature contributes ~nothing.
-        let noise_score = imp
-            .scores[imp.attributes.iter().position(|n| n == "noise").unwrap()];
+        let noise_score = imp.scores[imp.attributes.iter().position(|n| n == "noise").unwrap()];
         assert!(noise_score < ranked[0].1 * 0.05);
     }
 

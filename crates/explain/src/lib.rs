@@ -36,8 +36,8 @@
 
 pub mod distribution;
 mod features;
-mod importance;
 mod forest;
+mod importance;
 mod shapley;
 mod surrogate;
 mod tree;

@@ -132,11 +132,7 @@ impl<'a> Builder<'a> {
         let (score, f, v, kind) = best?;
         // Translate the comparable score back into an SSE reduction check:
         // child SSE = Σy² − (Σy_l)²/n_l − (Σy_r)²/n_r = Σy² + score.
-        let child_sse = idx
-            .iter()
-            .map(|&i| self.y[i as usize].powi(2))
-            .sum::<f64>()
-            + score;
+        let child_sse = idx.iter().map(|&i| self.y[i as usize].powi(2)).sum::<f64>() + score;
         if child_sse >= parent_sse - 1e-12 {
             return None;
         }

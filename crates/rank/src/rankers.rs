@@ -92,7 +92,10 @@ impl Ranker for AttributeRanker {
         let mut order: Vec<u32> = (0..ds.n_rows() as u32).collect();
         order.sort_by(|&a, &b| {
             for &(col, desc) in &cols {
-                let (va, vb) = (sort_value(ds, col, a as usize), sort_value(ds, col, b as usize));
+                let (va, vb) = (
+                    sort_value(ds, col, a as usize),
+                    sort_value(ds, col, b as usize),
+                );
                 let ord = va.partial_cmp(&vb).expect("sort keys must not be NaN");
                 let ord = if desc { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
@@ -243,8 +246,7 @@ mod tests {
     #[test]
     fn running_example_ranker_reproduces_fig1_rank_column() {
         let ds = students_fig1();
-        let ranker =
-            AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
+        let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
         let ranking = ranker.rank(&ds);
         assert_eq!(ranking.order(), fig1_rank_order().as_slice());
     }
@@ -323,10 +325,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no column named")]
     fn unknown_column_panics() {
-        let ds = Dataset::builder()
-            .numeric("x", vec![1.0])
-            .build()
-            .unwrap();
+        let ds = Dataset::builder().numeric("x", vec![1.0]).build().unwrap();
         AttributeRanker::by_desc("nope").rank(&ds);
     }
 }

@@ -22,7 +22,11 @@ const DEFAULT_ROWS: usize = 6889;
 /// columns are kept numeric for ranking and should be bucketized for
 /// detection).
 pub fn compas(cfg: SynthConfig) -> Dataset {
-    let n = if cfg.rows == 0 { DEFAULT_ROWS } else { cfg.rows };
+    let n = if cfg.rows == 0 {
+        DEFAULT_ROWS
+    } else {
+        cfg.rows
+    };
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x434f_4d50_4153_2121);
 
     let races = [
@@ -56,7 +60,9 @@ pub fn compas(cfg: SynthConfig) -> Dataset {
         let is_male = rng.random::<f64>() < 0.81;
         sex.push(if is_male { "Male" } else { "Female" }.to_string());
         // Age: log-normal-ish, 18–80, median ~31.
-        let a = (18.0 + (gaussian(&mut rng) * 0.45 + 2.55).exp()).clamp(18.0, 80.0).round();
+        let a = (18.0 + (gaussian(&mut rng) * 0.45 + 2.55).exp())
+            .clamp(18.0, 80.0)
+            .round();
         age.push(a);
         let r_idx = sample_weighted(&mut rng, &race_w);
         race.push(races[r_idx].to_string());
@@ -80,7 +86,9 @@ pub fn compas(cfg: SynthConfig) -> Dataset {
         // signal. Slightly heavier for the synthetic majority group so the
         // ranking produces the representation skews the paper detects.
         let prior_rate = 2.0 + 0.03 * (a - 18.0) + if r_idx == 0 { 1.0 } else { 0.0 };
-        let p = (gaussian(&mut rng).abs() * prior_rate).round().clamp(0.0, 38.0);
+        let p = (gaussian(&mut rng).abs() * prior_rate)
+            .round()
+            .clamp(0.0, 38.0);
         priors.push(p);
 
         days_b_screen.push((gaussian(&mut rng) * 4.0).round().clamp(-30.0, 30.0));
@@ -91,7 +99,14 @@ pub fn compas(cfg: SynthConfig) -> Dataset {
         let p_recid = (0.18 + 0.035 * p + 0.25 * youth).clamp(0.02, 0.9);
         let recid = rng.random::<f64>() < p_recid;
         is_recid.push(if recid { "1" } else { "0" }.to_string());
-        is_violent.push(if recid && rng.random::<f64>() < 0.25 { "1" } else { "0" }.to_string());
+        is_violent.push(
+            if recid && rng.random::<f64>() < 0.25 {
+                "1"
+            } else {
+                "0"
+            }
+            .to_string(),
+        );
 
         // Decile score: priors + youth + noise, mapped to 1..10.
         let raw = 0.32 * p + 2.8 * youth + 0.8 * gaussian(&mut rng);
@@ -159,8 +174,14 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        assert_eq!(compas(SynthConfig::new(500, 3)), compas(SynthConfig::new(500, 3)));
-        assert_ne!(compas(SynthConfig::new(500, 3)), compas(SynthConfig::new(500, 4)));
+        assert_eq!(
+            compas(SynthConfig::new(500, 3)),
+            compas(SynthConfig::new(500, 3))
+        );
+        assert_ne!(
+            compas(SynthConfig::new(500, 3)),
+            compas(SynthConfig::new(500, 4))
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ const DEFAULT_ROWS: usize = 1000;
 /// `credit_amount` and `age` are numeric; everything else categorical
 /// (ordinal attributes use numeric labels so rankers can parse them).
 pub fn german_credit(cfg: SynthConfig) -> Dataset {
-    let n = if cfg.rows == 0 { DEFAULT_ROWS } else { cfg.rows };
+    let n = if cfg.rows == 0 {
+        DEFAULT_ROWS
+    } else {
+        cfg.rows
+    };
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4745_524d_414e_2121);
 
     let status_labels = ["<0 DM", "0<=...<200 DM", ">=200 DM", "no account"];
@@ -45,8 +49,20 @@ pub fn german_credit(cfg: SynthConfig) -> Dataset {
         "business",
         "others",
     ];
-    let savings_labels = ["<100 DM", "100<=...<500 DM", "500<=...<1000 DM", ">=1000 DM", "unknown"];
-    let employ_labels = ["unemployed", "<1 yr", "1<=...<4 yrs", "4<=...<7 yrs", ">=7 yrs"];
+    let savings_labels = [
+        "<100 DM",
+        "100<=...<500 DM",
+        "500<=...<1000 DM",
+        ">=1000 DM",
+        "unknown",
+    ];
+    let employ_labels = [
+        "unemployed",
+        "<1 yr",
+        "1<=...<4 yrs",
+        "4<=...<7 yrs",
+        ">=7 yrs",
+    ];
     let personal_labels = [
         "male divorced",
         "female div/married",
@@ -90,7 +106,9 @@ pub fn german_credit(cfg: SynthConfig) -> Dataset {
         );
         status.push(status_labels[st_idx].to_string());
         // Duration 4–72 months; stable applicants borrow shorter.
-        let dur = (21.0 - 4.0 * stab + gaussian(&mut rng) * 10.0).clamp(4.0, 72.0).round();
+        let dur = (21.0 - 4.0 * stab + gaussian(&mut rng) * 10.0)
+            .clamp(4.0, 72.0)
+            .round();
         duration.push(dur);
         history.push(
             history_labels[sample_weighted(&mut rng, &[0.04, 0.05, 0.53, 0.09, 0.29])].to_string(),
@@ -144,7 +162,9 @@ pub fn german_credit(cfg: SynthConfig) -> Dataset {
                 [sample_weighted(&mut rng, &[0.28, 0.23, 0.33, 0.16])]
             .to_string(),
         );
-        let a = (19.0 + (gaussian(&mut rng) * 0.4 + 2.7).exp() * 0.9).clamp(19.0, 75.0).round();
+        let a = (19.0 + (gaussian(&mut rng) * 0.4 + 2.7).exp() * 0.9)
+            .clamp(19.0, 75.0)
+            .round();
         age.push(a);
         plans.push(
             ["bank", "stores", "none"][sample_weighted(&mut rng, &[0.14, 0.05, 0.81])].to_string(),
@@ -163,8 +183,22 @@ pub fn german_credit(cfg: SynthConfig) -> Dataset {
             .to_string(),
         );
         liable.push((1 + sample_weighted(&mut rng, &[0.845, 0.155])).to_string());
-        telephone.push(if rng.random::<f64>() < 0.40 { "yes" } else { "none" }.to_string());
-        foreign.push(if rng.random::<f64>() < 0.963 { "yes" } else { "no" }.to_string());
+        telephone.push(
+            if rng.random::<f64>() < 0.40 {
+                "yes"
+            } else {
+                "none"
+            }
+            .to_string(),
+        );
+        foreign.push(
+            if rng.random::<f64>() < 0.963 {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+        );
     }
 
     let cat = |name: &str, v: &[String]| Column::categorical(name, v).expect("small dictionary");
@@ -233,7 +267,11 @@ mod tests {
         let ds = german_credit(SynthConfig::new(1000, 2));
         let dur = ds.column_by_name("duration").unwrap().values().unwrap();
         assert!(dur.iter().all(|&d| (4.0..=72.0).contains(&d)));
-        let amt = ds.column_by_name("credit_amount").unwrap().values().unwrap();
+        let amt = ds
+            .column_by_name("credit_amount")
+            .unwrap()
+            .values()
+            .unwrap();
         assert!(amt.iter().all(|&a| (250.0..=18500.0).contains(&a)));
     }
 

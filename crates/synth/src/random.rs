@@ -90,7 +90,14 @@ mod tests {
 
     #[test]
     fn values_are_skewed() {
-        let ds = random_dataset(3, RandomSpec { rows: 5000, attrs: 1, max_card: 4 });
+        let ds = random_dataset(
+            3,
+            RandomSpec {
+                rows: 5000,
+                attrs: 1,
+                max_card: 4,
+            },
+        );
         let col = ds.column(0);
         let card = col.cardinality().unwrap();
         let mut counts = vec![0usize; card];

@@ -19,7 +19,11 @@ const DEFAULT_ROWS: usize = 395;
 /// file; `age`, `absences`, `G1`, `G2`, `G3` are numeric (bucketize before
 /// detection), everything else categorical.
 pub fn student(cfg: SynthConfig) -> Dataset {
-    let n = if cfg.rows == 0 { DEFAULT_ROWS } else { cfg.rows };
+    let n = if cfg.rows == 0 {
+        DEFAULT_ROWS
+    } else {
+        cfg.rows
+    };
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5745_4e54_5f53_5455);
 
     let yes_no = |rng: &mut StdRng, p_yes: f64| {
@@ -73,12 +77,23 @@ pub fn student(cfg: SynthConfig) -> Dataset {
         school.push(if is_gp { "GP" } else { "MS" }.to_string());
         let is_f = rng.random::<f64>() < 0.527;
         sex.push(if is_f { "F" } else { "M" }.to_string());
-        let a = 15.0 + sample_weighted(&mut rng, &[0.21, 0.26, 0.25, 0.21, 0.05, 0.01, 0.005, 0.005]) as f64;
+        let a = 15.0
+            + sample_weighted(
+                &mut rng,
+                &[0.21, 0.26, 0.25, 0.21, 0.05, 0.01, 0.005, 0.005],
+            ) as f64;
         age.push(a);
         // Urban dominates (307/88), more so for GP.
         let urban = rng.random::<f64>() < if is_gp { 0.82 } else { 0.55 };
         address.push(if urban { "U" } else { "R" }.to_string());
-        famsize.push(if rng.random::<f64>() < 0.71 { "GT3" } else { "LE3" }.to_string());
+        famsize.push(
+            if rng.random::<f64>() < 0.71 {
+                "GT3"
+            } else {
+                "LE3"
+            }
+            .to_string(),
+        );
         pstatus.push(if rng.random::<f64>() < 0.90 { "T" } else { "A" }.to_string());
         // Education levels: urban parents skew higher.
         let medu_w = if urban {
@@ -114,7 +129,14 @@ pub fn student(cfg: SynthConfig) -> Dataset {
             ["mother", "father", "other"][sample_weighted(&mut rng, &[0.69, 0.23, 0.08])]
                 .to_string(),
         );
-        let tt = 1 + sample_weighted(&mut rng, if urban { &[0.72, 0.22, 0.05, 0.01] } else { &[0.35, 0.40, 0.18, 0.07] });
+        let tt = 1 + sample_weighted(
+            &mut rng,
+            if urban {
+                &[0.72, 0.22, 0.05, 0.01]
+            } else {
+                &[0.35, 0.40, 0.18, 0.07]
+            },
+        );
         traveltime.push(tt.to_string());
         let st = 1 + sample_weighted(&mut rng, &[0.27, 0.50, 0.16, 0.07]);
         studytime.push(st.to_string());
@@ -240,8 +262,16 @@ mod tests {
         let g1 = values(&ds, "G1");
         let g2 = values(&ds, "G2");
         let g3 = values(&ds, "G3");
-        assert!(pearson(&g1, &g3) > 0.7, "corr(G1,G3) = {}", pearson(&g1, &g3));
-        assert!(pearson(&g2, &g3) > 0.8, "corr(G2,G3) = {}", pearson(&g2, &g3));
+        assert!(
+            pearson(&g1, &g3) > 0.7,
+            "corr(G1,G3) = {}",
+            pearson(&g1, &g3)
+        );
+        assert!(
+            pearson(&g2, &g3) > 0.8,
+            "corr(G2,G3) = {}",
+            pearson(&g2, &g3)
+        );
     }
 
     #[test]

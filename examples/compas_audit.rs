@@ -4,7 +4,8 @@
 //! This example runs the proportional-representation detector (Problem
 //! 3.2) with the paper’s α = 0.8 and compares the cost of the baseline
 //! `IterTD` against the optimized `PropBounds` — the experiment shape of
-//! the paper’s Figures 5/7/9.
+//! the paper’s Figures 5/7/9 — then reruns the optimized engine with the
+//! k range fanned out over worker threads.
 //!
 //! Run with: `cargo run --release --example compas_audit`
 
@@ -23,42 +24,60 @@ fn main() {
     );
 
     // Use the first 8 attributes (the scalability experiments vary this).
-    let attrs = w.attr_names();
-    let attr_refs: Vec<&str> = attrs.iter().take(8).map(String::as_str).collect();
-    let detector =
-        Detector::with_ranking_over(&w.detection, w.ranking.clone(), &attr_refs).unwrap();
+    let audit = w.audit_with_attrs(8).unwrap();
 
     let cfg = DetectConfig::new(50, 10, 49);
     let alpha = 0.8;
+    let task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha });
 
     let t0 = Instant::now();
-    let base = detector.detect_baseline(&cfg, &BiasMeasure::Proportional { alpha });
+    let base = audit.run(&cfg, &task, Engine::Baseline).unwrap();
     let t_base = t0.elapsed();
 
     let t0 = Instant::now();
-    let opt = detector.detect_proportional(&cfg, alpha);
+    let opt = audit.run(&cfg, &task, Engine::Optimized).unwrap();
     let t_opt = t0.elapsed();
 
-    assert_eq!(base.per_k, opt.per_k, "algorithms must agree");
+    assert_eq!(base.per_k, opt.per_k, "engines must agree");
 
     println!("Groups with biased proportional representation (α = {alpha}):");
     if let Some(kr) = opt.at_k(49) {
         println!("  at k = 49:");
-        for p in &kr.patterns {
-            let (sd, count) = detector.index().counts(p, 49);
+        for p in &kr.under {
+            let (sd, count) = audit.index().counts(p, 49);
             println!(
                 "    {:55} s_D = {sd:>4}, top-49 = {count:>2}, required ≥ {:.1}",
-                detector.describe(p),
-                alpha * sd as f64 * 49.0 / detector.dataset().n_rows() as f64
+                audit.describe(p),
+                alpha * sd as f64 * 49.0 / audit.dataset().n_rows() as f64
             );
         }
     }
 
-    println!("\nBaseline IterTD:    {:>10.1?}  ({} patterns examined)",
-        t_base, base.stats.patterns_examined());
-    println!("Optimized PropBounds: {:>8.1?}  ({} patterns examined)",
-        t_opt, opt.stats.patterns_examined());
+    println!(
+        "\nBaseline IterTD:    {:>10.1?}  ({} patterns examined)",
+        t_base,
+        base.stats.patterns_examined()
+    );
+    println!(
+        "Optimized PropBounds: {:>8.1?}  ({} patterns examined)",
+        t_opt,
+        opt.stats.patterns_examined()
+    );
     let gain = 100.0
         * (1.0 - opt.stats.patterns_examined() as f64 / base.stats.patterns_examined() as f64);
     println!("Search-space gain: {gain:.2}% (the paper reports up to 39.60% for COMPAS)");
+
+    // The same audit, k range split across 4 scoped worker threads — the
+    // result is byte-identical to the sequential run.
+    let par_audit = Audit::builder(w.detection.clone())
+        .ranking(w.ranking.clone())
+        .attributes(w.attr_names().into_iter().take(8))
+        .threads(4)
+        .build()
+        .unwrap();
+    let t0 = Instant::now();
+    let par = par_audit.run(&cfg, &task, Engine::Optimized).unwrap();
+    let t_par = t0.elapsed();
+    assert_eq!(par.per_k, opt.per_k, "parallel run must be byte-identical");
+    println!("Parallel (4 threads): {t_par:>8.1?}  — identical per-k results");
 }

@@ -5,13 +5,12 @@
 //!
 //! Run with: `cargo run --release --example credit_audit`
 
-use rankfair::core::upper::combined_bounds;
 use rankfair::explain::distribution::compare_distributions;
 use rankfair::prelude::*;
 
 fn main() {
     let w = german_workload(0, 42); // 1,000 applicants
-    let detector = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let audit = w.audit().unwrap();
     println!(
         "Workload `{}`: {} applicants, {} pattern attributes, ranked by {}\n",
         w.name,
@@ -21,43 +20,41 @@ fn main() {
     );
 
     // Combined lower + upper bounds at k = 49 (paper parameters L = 40;
-    // upper bound picked symmetric at 45).
+    // upper bound picked symmetric at 45) — one task, both directions.
     let cfg = DetectConfig::new(50, 49, 49);
-    let combined = combined_bounds(
-        detector.index(),
-        detector.space(),
-        &cfg,
-        &Bounds::constant(40),
-        &Bounds::constant(45),
-    );
-    let report = &combined[0];
+    let task = AuditTask::Combined {
+        lower: Bounds::constant(40),
+        upper: Bounds::constant(45),
+    };
+    let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+    let report = &out.per_k[0];
     println!("Under-represented at k = 49 (fewer than 40 seats):");
-    for p in report.under_represented.iter().take(8) {
-        println!("  {}", detector.describe(p));
+    for p in report.under.iter().take(8) {
+        println!("  {}", audit.describe(p));
     }
-    if report.under_represented.len() > 8 {
-        println!("  ... and {} more", report.under_represented.len() - 8);
+    if report.under.len() > 8 {
+        println!("  ... and {} more", report.under.len() - 8);
     }
     println!("\nOver-represented at k = 49 (more than 45 seats, most specific):");
-    for p in report.over_represented.iter().take(5) {
-        println!("  {}", detector.describe(p));
+    for p in report.over.iter().take(5) {
+        println!("  {}", audit.describe(p));
     }
 
     // Explain the account-status group the paper analyzes (p3): if it is
     // detected, attribute its low ranking.
-    let p3 = detector
+    let p3 = audit
         .space()
         .pattern(&[("status_checking", "0<=...<200 DM")])
         .expect("p3 exists in the space");
-    let (sd, count) = detector.index().counts(&p3, 49);
+    let (sd, count) = audit.index().counts(&p3, 49);
     println!(
         "\nGroup p3 = {}: s_D = {sd}, top-49 = {count}",
-        detector.describe(&p3)
+        audit.describe(&p3)
     );
 
     let surrogate = RankSurrogate::fit(&w.raw, &w.ranking, &ExplainConfig::default());
     println!("Surrogate R² = {:.3}", surrogate.fit_quality());
-    let members = detector.group_members(&p3);
+    let members = audit.group_members(&p3);
     let explanation = surrogate.explain_group(&members);
     println!("\nAggregated Shapley values (top 6, Fig. 10c style):");
     print!("{}", explanation.render(6));

@@ -14,21 +14,27 @@ use rankfair::prelude::*;
 fn main() {
     let w = student_workload(0, 42);
     let attrs = ["school", "sex", "age", "address"];
-    let detector = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &attrs).unwrap();
+    let audit = Audit::builder(w.detection.clone())
+        .ranking(w.ranking.clone())
+        .attributes(attrs)
+        .build()
+        .unwrap();
     let cfg = DetectConfig::new(50, 10, 10);
 
     // Our algorithms.
-    let global = detector.detect_global(&cfg, &Bounds::constant(10));
-    let prop = detector.detect_proportional(&cfg, 0.8);
+    let g_task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(10)));
+    let p_task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 });
+    let global = audit.run(&cfg, &g_task, Engine::Optimized).unwrap();
+    let prop = audit.run(&cfg, &p_task, Engine::Optimized).unwrap();
     println!("=== GlobalBounds (L = 10, k = 10) ===");
-    for p in &global.per_k[0].patterns {
-        let (sd, count) = detector.index().counts(p, 10);
-        println!("  {:35} s_D = {sd:>3}, top-10 = {count}", detector.describe(p));
+    for p in &global.per_k[0].under {
+        let (sd, count) = audit.index().counts(p, 10);
+        println!("  {:35} s_D = {sd:>3}, top-10 = {count}", audit.describe(p));
     }
     println!("\n=== PropBounds (α = 0.8, k = 10) ===");
-    for p in &prop.per_k[0].patterns {
-        let (sd, count) = detector.index().counts(p, 10);
-        println!("  {:35} s_D = {sd:>3}, top-10 = {count}", detector.describe(p));
+    for p in &prop.per_k[0].under {
+        let (sd, count) = audit.index().counts(p, 10);
+        println!("  {:35} s_D = {sd:>3}, top-10 = {count}", audit.describe(p));
     }
 
     // The divergence framework on the same attribute set.
@@ -75,7 +81,7 @@ fn main() {
     );
     println!(
         "our detectors return {} (global) and {} (proportional) most general groups instead.",
-        global.per_k[0].patterns.len(),
-        prop.per_k[0].patterns.len()
+        global.per_k[0].under.len(),
+        prop.per_k[0].under.len()
     );
 }

@@ -13,25 +13,26 @@ use rankfair::prelude::*;
 
 fn main() {
     let w = student_workload(0, 42);
-    let detector = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let audit = w.audit().unwrap();
 
     // Detect with the paper's Fig. 10 parameters: k = 49, L = 40.
     let cfg = DetectConfig::new(50, 49, 49);
-    let out = detector.detect_global(&cfg, &Bounds::constant(40));
+    let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(40)));
+    let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
     let kr = out.at_k(49).expect("k = 49 computed");
     println!("Most general groups with < 40 of the top-49 seats:");
-    for p in kr.patterns.iter().take(8) {
-        println!("  {}", detector.describe(p));
+    for p in kr.under.iter().take(8) {
+        println!("  {}", audit.describe(p));
     }
-    if kr.patterns.len() > 8 {
-        println!("  ... and {} more", kr.patterns.len() - 8);
+    if kr.under.len() > 8 {
+        println!("  ... and {} more", kr.under.len() - 8);
     }
     let target = kr
-        .patterns
+        .under
         .iter()
-        .find(|p| detector.describe(p).contains("Medu"))
-        .unwrap_or_else(|| &kr.patterns[0]);
-    println!("\nExplaining group {}:", detector.describe(target));
+        .find(|p| audit.describe(p).contains("Medu"))
+        .unwrap_or_else(|| &kr.under[0]);
+    println!("\nExplaining group {}:", audit.describe(target));
 
     // §V: train M_R on (tuple → rank) and aggregate Shapley values over
     // the group. Features come from the RAW dataset so the true scoring
@@ -41,7 +42,7 @@ fn main() {
         "Surrogate quality: in-sample R² = {:.3} (how well M_R imitates the ranker)",
         surrogate.fit_quality()
     );
-    let members = detector.group_members(target);
+    let members = audit.group_members(target);
     let explanation = surrogate.explain_group(&members);
     println!(
         "\nAggregated Shapley values over {} group tuples (top 6, Fig. 10a style):",

@@ -7,12 +7,18 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use std::sync::Arc;
+
 use rankfair::core::render_report;
 use rankfair::prelude::*;
 
 fn main() {
     let ds = rankfair::data::examples::students_fig1();
-    println!("Dataset: {} students, {} attributes", ds.n_rows(), ds.n_cols());
+    println!(
+        "Dataset: {} students, {} attributes",
+        ds.n_rows(),
+        ds.n_cols()
+    );
     for row in 0..3 {
         println!("  tuple {}: {}", row + 1, ds.display_row(row));
     }
@@ -20,11 +26,14 @@ fn main() {
 
     // The ranker of Example 2.1: grade descending, failures ascending.
     let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
-    let detector = Detector::new(&ds, &ranker).unwrap();
+    let audit = Audit::builder(Arc::new(ds))
+        .ranker(&ranker)
+        .build()
+        .unwrap();
     println!(
         "Ranking by `{}`; top-5: tuples {:?}\n",
         ranker.name(),
-        detector
+        audit
             .ranking()
             .top_k(5)
             .iter()
@@ -34,18 +43,17 @@ fn main() {
 
     // Problem 3.1 — global bounds (Example 4.6): τs = 4, k ∈ [4,5], L = 2.
     let cfg = DetectConfig::new(4, 4, 5);
-    let bounds = Bounds::constant(2);
-    let out = detector.detect_global(&cfg, &bounds);
+    let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+    let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
     println!("=== Global bounds (L = 2), most general under-represented groups ===");
-    let measure = BiasMeasure::GlobalLower(bounds);
-    print!("{}", render_report(&detector.report(&out, &measure)));
+    print!("{}", render_report(&audit.report(&out, &task)));
 
     // Problem 3.2 — proportional representation (Example 4.9): τs = 5, α = 0.9.
     let cfg = DetectConfig::new(5, 4, 5);
-    let out = detector.detect_proportional(&cfg, 0.9);
+    let task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.9 });
+    let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
     println!("\n=== Proportional representation (α = 0.9) ===");
-    let measure = BiasMeasure::Proportional { alpha: 0.9 };
-    print!("{}", render_report(&detector.report(&out, &measure)));
+    print!("{}", render_report(&audit.report(&out, &task)));
 
     println!(
         "\nSearch statistics: {} patterns examined, {} fresh evaluations",

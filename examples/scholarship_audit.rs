@@ -5,7 +5,7 @@
 //! grade. We audit the ranking with the paper’s default parameters
 //! (τs = 50, k ∈ [10, 49], step bounds 10/20/30/40) and also demonstrate
 //! the automatic τs suggestion and the upper-bound (over-representation)
-//! extension.
+//! task in both scopes.
 //!
 //! Run with: `cargo run --release --example scholarship_audit`
 
@@ -21,18 +21,17 @@ fn main() {
         w.detection.categorical_columns().len(),
         w.ranker_name
     );
-    let detector = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let audit = w.audit().unwrap();
 
     // The paper suggests exploring thresholds automatically (§VIII).
-    let suggested = suggest_tau(detector.index(), detector.space(), 0.25);
+    let suggested = suggest_tau(audit.index(), audit.space(), 0.25);
     println!("Suggested τs at the 25% quantile of level-1 group sizes: {suggested}");
 
     // Paper defaults: τs = 50, k ∈ [10, 49], L stepping 10/20/30/40.
     let cfg = DetectConfig::new(50, 10, 49);
-    let bounds = Bounds::paper_default();
-    let out = detector.detect_global(&cfg, &bounds);
-    let measure = BiasMeasure::GlobalLower(bounds);
-    let reports = detector.report(&out, &measure);
+    let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::paper_default()));
+    let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+    let reports = audit.report(&out, &task);
 
     // Print a few representative k values rather than all forty.
     println!("\n=== Under-represented groups (global bounds) ===");
@@ -41,57 +40,51 @@ fn main() {
     }
     println!(
         "\n{} (k, group) pairs reported across k ∈ [10, 49]; search examined {} patterns.",
-        out.total_patterns(),
+        out.total_groups(),
         out.stats.patterns_examined()
     );
 
     // Proportional variant, α = 0.8 (paper default).
-    let out_prop = detector.detect_proportional(&cfg, 0.8);
+    let task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 });
+    let out_prop = audit.run(&cfg, &task, Engine::Optimized).unwrap();
     println!(
         "\nProportional (α = 0.8) reports {} (k, group) pairs; e.g. at k = 49:",
-        out_prop.total_patterns()
+        out_prop.total_groups()
     );
     if let Some(kr) = out_prop.at_k(49) {
-        for p in &kr.patterns {
-            println!("  {}", detector.describe(p));
+        for p in &kr.under {
+            println!("  {}", audit.describe(p));
         }
     }
 
-    // Upper-bound extension: groups *over*-represented in the top-49
-    // (most specific substantial patterns exceeding U = 30).
-    let mut stats = SearchStats::default();
-    let over = upper::upper_most_specific_single_k(
-        detector.index(),
-        detector.space(),
-        50,
-        49,
-        30,
-        &mut stats,
-    );
+    // Over-representation task: groups exceeding U = 30 seats at k = 49
+    // (most specific substantial patterns).
+    let cfg49 = DetectConfig::new(50, 49, 49);
+    let over_task = AuditTask::OverRep {
+        upper: Bounds::constant(30),
+        scope: OverRepScope::MostSpecific,
+    };
+    let over = audit.run(&cfg49, &over_task, Engine::Optimized).unwrap();
     // The paper's other §III variant: the most *specific* substantial
     // descriptions of who is missing — useful when an analyst wants the
     // narrowest actionable characterization instead of the broadest.
-    let narrow = upper::lower_most_specific_single_k(
-        detector.index(),
-        detector.space(),
-        50,
-        49,
-        40,
-        &mut stats,
-    );
+    let mut stats = SearchStats::default();
+    let narrow =
+        upper::lower_most_specific_single_k(audit.index(), audit.space(), 50, 49, 40, &mut stats);
     println!(
         "\nMost specific substantial under-represented groups at k = 49: {} found, e.g.:",
         narrow.len()
     );
     for p in narrow.iter().take(3) {
-        println!("  {}", detector.describe(p));
+        println!("  {}", audit.describe(p));
     }
     println!("\n=== Over-represented groups at k = 49 (count > 30, most specific) ===");
-    for p in over.iter().take(10) {
-        let (sd, count) = detector.index().counts(p, 49);
-        println!("  {:60} s_D = {sd:>3}, top-49 = {count}", detector.describe(p));
+    let over49 = &over.per_k[0].over;
+    for p in over49.iter().take(10) {
+        let (sd, count) = audit.index().counts(p, 49);
+        println!("  {:60} s_D = {sd:>3}, top-49 = {count}", audit.describe(p));
     }
-    if over.len() > 10 {
-        println!("  ... and {} more", over.len() - 10);
+    if over49.len() > 10 {
+        println!("  ... and {} more", over49.len() - 10);
     }
 }

@@ -3,38 +3,42 @@
 //! A hiring committee extends its interview short-list one candidate at a
 //! time and wants to be alerted the *first* time any sizeable group drops
 //! below its required representation — without paying for the ks it never
-//! reaches. `DetectionStream` keeps the incremental engine alive between
-//! pulls, so the cost is identical to the batch run up to the stopping
-//! point and zero beyond it.
+//! reaches. `Audit::run_streaming` keeps the incremental engine alive
+//! between pulls, so the cost is identical to the batch run up to the
+//! stopping point and zero beyond it.
 //!
 //! Run with: `cargo run --release --example streaming_audit`
 
-use rankfair::core::DetectionStream;
 use rankfair::prelude::*;
 
 fn main() {
     let w = german_workload(0, 42);
-    let detector = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let audit = w.audit().unwrap();
     println!(
         "Streaming audit of `{}` ({} applicants): alert on the first k ∈ [5, 120]\n\
          where a group of ≥ 80 applicants has fewer than ⌈k/10⌉ seats.\n",
         w.name,
-        w.detection.n_rows()
+        audit.dataset().n_rows()
     );
 
     let cfg = DetectConfig::new(80, 5, 120);
     let bounds = Bounds::LinearFraction(0.1);
-    let mut stream = DetectionStream::global(detector.index(), detector.space(), &cfg, &bounds);
+    let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(bounds.clone()));
+    let mut stream = audit.run_streaming(&cfg, &task).unwrap();
 
     let mut alerted = false;
     for kr in stream.by_ref() {
-        if !kr.patterns.is_empty() {
-            println!("ALERT at k = {}: {} under-represented group(s)", kr.k, kr.patterns.len());
-            for p in kr.patterns.iter().take(6) {
-                let (sd, count) = detector.index().counts(p, kr.k);
+        if !kr.under.is_empty() {
+            println!(
+                "ALERT at k = {}: {} under-represented group(s)",
+                kr.k,
+                kr.under.len()
+            );
+            for p in kr.under.iter().take(6) {
+                let (sd, count) = audit.index().counts(p, kr.k);
                 println!(
                     "  {:45} s_D = {sd:>3}, top-{} = {count} (required ≥ {})",
-                    detector.describe(p),
+                    audit.describe(p),
                     kr.k,
                     bounds.at(kr.k)
                 );
@@ -46,9 +50,9 @@ fn main() {
     if !alerted {
         println!("no group ever dropped below the bound in the audited range");
     }
+    let stats = stream.stats();
     println!(
         "\nwork done before stopping: {} fresh evaluations, {} incremental touches",
-        stream.stats().nodes_evaluated,
-        stream.stats().nodes_touched
+        stats.nodes_evaluated, stats.nodes_touched
     );
 }

@@ -2,11 +2,11 @@
 //!
 //! A Rust implementation of *“Detection of Groups with Biased
 //! Representation in Ranking”* (Li, Moskovitch, Jagadish — ICDE 2023):
-//! given a dataset and a black-box ranking, find **all most general
-//! groups** (conjunctions of attribute=value conditions) whose
-//! representation in the top-`k` ranked tuples is biased, for every `k` in
-//! a range — without pre-defining protected groups — then **explain** the
-//! detected groups with Shapley values over a surrogate of the ranker.
+//! given a dataset and a black-box ranking, find **all** groups
+//! (conjunctions of attribute=value conditions) whose representation in
+//! the top-`k` ranked tuples is biased, for every `k` in a range — without
+//! pre-defining protected groups — then **explain** the detected groups
+//! with Shapley values over a surrogate of the ranker.
 //!
 //! The workspace is organized as one crate per subsystem, all re-exported
 //! here:
@@ -15,7 +15,7 @@
 //! |---|---|
 //! | [`data`] | columnar dataset, bucketization, CSV, bitmaps |
 //! | [`rank`] | `Ranker` trait, score-based rankers, rankings |
-//! | [`core`] | patterns, `IterTD`, `GlobalBounds`, `PropBounds`, upper bounds, oracle |
+//! | [`core`] | the `Audit` API, patterns, `IterTD`, `GlobalBounds`, `PropBounds`, upper bounds, oracle |
 //! | [`explain`] | regression-forest surrogate, Shapley values, distributions |
 //! | [`divergence`] | the Pastor et al. divergence baseline (§VI-D) |
 //! | [`synth`] | seeded synthetic COMPAS / Student / German Credit generators |
@@ -23,21 +23,64 @@
 //!
 //! # Quickstart
 //!
+//! Everything goes through the owned [`core::Audit`], built fluently by
+//! [`core::AuditBuilder`]: pick a dataset, a ranking (or a ranker), the
+//! task, and run.
+//!
 //! ```
+//! use std::sync::Arc;
 //! use rankfair::prelude::*;
 //!
 //! // The paper's Figure 1 running example: sixteen students ranked by
 //! // grade, failures as tie-breaker.
 //! let ds = rankfair::data::examples::students_fig1();
 //! let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
-//! let detector = Detector::new(&ds, &ranker).unwrap();
+//! let audit = Audit::builder(Arc::new(ds)).ranker(&ranker).build().unwrap();
 //!
 //! // Detect groups of size ≥ 4 under-represented in the top-4..5 given a
 //! // lower bound of 2 (Example 4.6).
 //! let cfg = DetectConfig::new(4, 4, 5);
-//! let out = detector.detect_global(&cfg, &Bounds::constant(2));
-//! let found: Vec<String> = out.per_k[0].patterns.iter().map(|p| detector.describe(p)).collect();
+//! let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+//! let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+//! let found: Vec<String> = out.per_k[0].under.iter().map(|p| audit.describe(p)).collect();
 //! assert!(found.contains(&"{School=GP}".to_string()));
+//!
+//! // The same audit also answers over-representation and combined
+//! // questions — the task is a value, not a method:
+//! let both = AuditTask::Combined { lower: Bounds::constant(2), upper: Bounds::constant(3) };
+//! let out = audit.run(&cfg, &both, Engine::Optimized).unwrap();
+//! assert!(out.per_k.iter().any(|kr| !kr.over.is_empty()));
+//! ```
+//!
+//! # Thread safety
+//!
+//! [`core::Audit`] owns its dataset (`Arc<Dataset>`), pattern space,
+//! ranking and bitmap index, and is **`Send + Sync` by contract** — a
+//! single audit can be shared by reference across however many server
+//! threads you have, and [`core::Audit::run`] itself fans the `k` range
+//! out over scoped worker threads when built with
+//! [`core::AuditBuilder::threads`]. The contract is enforced at compile
+//! time:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rankfair::prelude::*;
+//!
+//! fn assert_send_sync<T: Send + Sync>() {}
+//! assert_send_sync::<Audit>(); // fails to compile if the contract breaks
+//!
+//! // Concurrent use: one audit, many threads, no locks.
+//! let ds = rankfair::data::examples::students_fig1();
+//! let ranking = Ranking::from_order(rankfair::data::examples::fig1_rank_order()).unwrap();
+//! let audit = Audit::builder(Arc::new(ds)).ranking(ranking).build().unwrap();
+//! let cfg = DetectConfig::new(4, 4, 5);
+//! let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let (audit, cfg, task) = (&audit, &cfg, &task);
+//!         s.spawn(move || audit.run(cfg, task, Engine::Optimized).unwrap());
+//!     }
+//! });
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,11 +98,17 @@ pub mod workloads;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::core::{
-        global_bounds, iter_td, prop_bounds, BiasMeasure, Bounds, DetectConfig, Detector, Pattern,
-        PatternSpace, RankedIndex,
+        Audit, AuditBuilder, AuditError, AuditKResult, AuditOutcome, AuditTask, BiasMeasure,
+        Bounds, DetectConfig, Engine, OverRepScope, Pattern, PatternSpace, RankedIndex,
     };
+    // Deprecated shims stay importable so pre-Audit call sites keep
+    // compiling (with a deprecation warning) during migration.
+    #[allow(deprecated)]
+    pub use crate::core::{global_bounds, iter_td, prop_bounds, Detector};
     pub use crate::data::{Column, ColumnData, Dataset};
     pub use crate::explain::{ExplainConfig, RankSurrogate};
-    pub use crate::rank::{AttributeRanker, FnRanker, LinearScoreRanker, Ranker, Ranking, ScoreTerm, SortKey};
+    pub use crate::rank::{
+        AttributeRanker, FnRanker, LinearScoreRanker, Ranker, Ranking, ScoreTerm, SortKey,
+    };
     pub use crate::workloads::{compas_workload, german_workload, student_workload, Workload};
 }

@@ -6,6 +6,9 @@
 //! Row counts default to the real datasets’ sizes (COMPAS 6,889; Student
 //! 395; German Credit 1,000) and can be scaled for stress tests.
 
+use std::sync::Arc;
+
+use rankfair_core::{Audit, AuditError};
 use rankfair_data::bucketize::{bucketize_in_place, BinStrategy};
 use rankfair_data::Dataset;
 use rankfair_rank::{AttributeRanker, LinearScoreRanker, Ranker, Ranking, ScoreTerm};
@@ -19,8 +22,10 @@ pub struct Workload {
     /// explanation module, whose regression features keep raw numerics).
     pub raw: Dataset,
     /// The detection-ready dataset: same columns, continuous attributes
-    /// bucketized, so every column is a pattern attribute.
-    pub detection: Dataset,
+    /// bucketized, so every column is a pattern attribute. Shared behind
+    /// an `Arc` so [`Workload::audit`] hands the same in-memory dataset to
+    /// any number of audits without copying.
+    pub detection: Arc<Dataset>,
     /// The ranking, computed on `raw` **before** bucketization.
     pub ranking: Ranking,
     /// Name of the ranking method (for reports).
@@ -37,6 +42,25 @@ impl Workload {
             .iter()
             .map(|c| c.name().to_string())
             .collect()
+    }
+
+    /// An [`Audit`] over the full attribute set, sharing this workload's
+    /// detection dataset and ranking.
+    pub fn audit(&self) -> Result<Audit, AuditError> {
+        Audit::builder(Arc::clone(&self.detection))
+            .ranking(self.ranking.clone())
+            .build()
+    }
+
+    /// An [`Audit`] restricted to the first `n_attrs` pattern attributes
+    /// (the x-axis of the paper's scalability experiments).
+    pub fn audit_with_attrs(&self, n_attrs: usize) -> Result<Audit, AuditError> {
+        let names = self.attr_names();
+        let take = n_attrs.min(names.len());
+        Audit::builder(Arc::clone(&self.detection))
+            .ranking(self.ranking.clone())
+            .attributes(names.into_iter().take(take))
+            .build()
     }
 }
 
@@ -56,18 +80,12 @@ pub fn student_workload(rows: usize, seed: u64) -> Workload {
     let mut detection = raw.clone();
     bucketize_all(
         &mut detection,
-        &[
-            ("age", 3),
-            ("absences", 4),
-            ("G1", 4),
-            ("G2", 4),
-            ("G3", 4),
-        ],
+        &[("age", 3), ("absences", 4), ("G1", 4), ("G2", 4), ("G3", 4)],
     );
     Workload {
         name: "student",
         raw,
-        detection,
+        detection: Arc::new(detection),
         ranking,
         ranker_name: ranker.name().to_string(),
     }
@@ -105,7 +123,7 @@ pub fn compas_workload(rows: usize, seed: u64) -> Workload {
     Workload {
         name: "compas",
         raw,
-        detection,
+        detection: Arc::new(detection),
         ranking,
         ranker_name: ranker.name().to_string(),
     }
@@ -133,11 +151,14 @@ pub fn german_workload(rows: usize, seed: u64) -> Workload {
     ]);
     let ranking = ranker.rank(&raw);
     let mut detection = raw.clone();
-    bucketize_all(&mut detection, &[("duration", 4), ("credit_amount", 4), ("age", 4)]);
+    bucketize_all(
+        &mut detection,
+        &[("duration", 4), ("credit_amount", 4), ("age", 4)],
+    );
     Workload {
         name: "german",
         raw,
-        detection,
+        detection: Arc::new(detection),
         ranking,
         ranker_name: ranker.name().to_string(),
     }

@@ -1,27 +1,36 @@
 //! Cross-crate integration tests: the full pipeline (synthetic data →
-//! ranking → detection → explanation) on all three paper workloads.
+//! ranking → detection → explanation) on all three paper workloads,
+//! through the owned `Audit` API.
 
-use rankfair::core::{render_report, upper};
+use rankfair::core::{render_report, KResult};
 use rankfair::explain::distribution::compare_distributions;
 use rankfair::prelude::*;
 
+fn under(audit: &Audit, cfg: &DetectConfig, measure: &BiasMeasure, engine: Engine) -> AuditOutcome {
+    audit
+        .run(cfg, &AuditTask::UnderRep(measure.clone()), engine)
+        .unwrap()
+}
+
 fn check_workload(w: &Workload, tau: usize, attrs_cap: usize) {
-    let names = w.attr_names();
-    let attr_refs: Vec<&str> = names.iter().take(attrs_cap).map(String::as_str).collect();
-    let det = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &attr_refs).unwrap();
+    let audit = w.audit_with_attrs(attrs_cap).unwrap();
     let cfg = DetectConfig::new(tau, 10, 49);
 
-    // Baseline and optimized algorithms agree for both measures.
+    // Baseline and optimized engines agree for both measures.
     let bounds = Bounds::paper_default();
     let g_measure = BiasMeasure::GlobalLower(bounds.clone());
-    let base_g = det.detect_baseline(&cfg, &g_measure);
-    let opt_g = det.detect_global(&cfg, &bounds);
+    let base_g = under(&audit, &cfg, &g_measure, Engine::Baseline);
+    let opt_g = under(&audit, &cfg, &g_measure, Engine::Optimized);
     assert_eq!(base_g.per_k, opt_g.per_k, "{}: global mismatch", w.name);
 
     let p_measure = BiasMeasure::Proportional { alpha: 0.8 };
-    let base_p = det.detect_baseline(&cfg, &p_measure);
-    let opt_p = det.detect_proportional(&cfg, 0.8);
-    assert_eq!(base_p.per_k, opt_p.per_k, "{}: proportional mismatch", w.name);
+    let base_p = under(&audit, &cfg, &p_measure, Engine::Baseline);
+    let opt_p = under(&audit, &cfg, &p_measure, Engine::Optimized);
+    assert_eq!(
+        base_p.per_k, opt_p.per_k,
+        "{}: proportional mismatch",
+        w.name
+    );
 
     // The optimized algorithms examine fewer patterns.
     assert!(
@@ -38,13 +47,13 @@ fn check_workload(w: &Workload, tau: usize, attrs_cap: usize) {
     // Every reported group is substantial, biased and most general.
     for (out, measure) in [(&opt_g, &g_measure), (&opt_p, &p_measure)] {
         for kr in &out.per_k {
-            for p in &kr.patterns {
-                let (sd, count) = det.index().counts(p, kr.k);
+            for p in &kr.under {
+                let (sd, count) = audit.index().counts(p, kr.k);
                 assert!(sd >= tau);
                 assert!(measure.is_biased(count, sd, kr.k, w.detection.n_rows()));
             }
-            for a in &kr.patterns {
-                for b in &kr.patterns {
+            for a in &kr.under {
+                for b in &kr.under {
                     assert!(a == b || !a.is_proper_subset_of(b));
                 }
             }
@@ -52,7 +61,8 @@ fn check_workload(w: &Workload, tau: usize, attrs_cap: usize) {
     }
 
     // Reports render with sizes and bounds.
-    let text = render_report(&det.report(&opt_g, &g_measure));
+    let task = AuditTask::UnderRep(g_measure);
+    let text = render_report(&audit.report(&opt_g, &task));
     assert!(text.contains("k = 10"));
 }
 
@@ -79,10 +89,13 @@ fn explanation_surfaces_the_true_scoring_attribute() {
     // Student ranking is a function of G3: for any detected group the
     // surrogate's strongest attribute must be one of the grade columns.
     let w = student_workload(0, 42);
-    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
-    let out = det.detect_global(&DetectConfig::new(50, 49, 49), &Bounds::constant(40));
-    let group_pattern = &out.per_k[0].patterns[0];
-    let members = det.group_members(group_pattern);
+    let audit = w.audit().unwrap();
+    let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(40)));
+    let out = audit
+        .run(&DetectConfig::new(50, 49, 49), &task, Engine::Optimized)
+        .unwrap();
+    let group_pattern = &out.per_k[0].under[0];
+    let members = audit.group_members(group_pattern);
     assert!(!members.is_empty());
 
     let surrogate = RankSurrogate::fit(&w.raw, &w.ranking, &ExplainConfig::fast());
@@ -104,18 +117,16 @@ fn explanation_surfaces_the_true_scoring_attribute() {
 #[test]
 fn upper_bound_extension_on_workload() {
     let w = german_workload(0, 42);
-    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let audit = w.audit().unwrap();
     let cfg = DetectConfig::new(50, 49, 49);
-    let combined = upper::combined_bounds(
-        det.index(),
-        det.space(),
-        &cfg,
-        &Bounds::constant(40),
-        &Bounds::constant(45),
-    );
-    assert_eq!(combined.len(), 1);
-    for p in &combined[0].over_represented {
-        let (sd, count) = det.index().counts(p, 49);
+    let task = AuditTask::Combined {
+        lower: Bounds::constant(40),
+        upper: Bounds::constant(45),
+    };
+    let combined = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+    assert_eq!(combined.per_k.len(), 1);
+    for p in &combined.per_k[0].over {
+        let (sd, count) = audit.index().counts(p, 49);
         assert!(sd >= 50 && count > 45);
     }
 }
@@ -123,76 +134,108 @@ fn upper_bound_extension_on_workload() {
 #[test]
 fn csv_roundtrip_preserves_detection_results() {
     use rankfair::data::csv::{read_csv_str, write_csv_string, CsvOptions};
+    use std::sync::Arc;
 
     let w = student_workload(150, 9);
-    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let audit = w.audit().unwrap();
     let cfg = DetectConfig::new(20, 5, 30);
-    let before = det.detect_proportional(&cfg, 0.8);
+    let task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 });
+    let before = audit.run(&cfg, &task, Engine::Optimized).unwrap();
 
     // Serialize the detection dataset, reload it, re-run: the labels and
     // encodings survive the round trip, so results must be identical.
     let text = write_csv_string(&w.detection, ',');
-    let names = w.attr_names();
-    let force: Vec<String> = names.clone();
+    let force: Vec<String> = w.attr_names();
     let opts = CsvOptions {
         force_categorical: force,
         ..CsvOptions::default()
     };
     let reloaded = read_csv_str(&text, &opts).unwrap();
-    let det2 = Detector::with_ranking(&reloaded, w.ranking.clone()).unwrap();
-    let after = det2.detect_proportional(&cfg, 0.8);
+    let audit2 = Audit::builder(Arc::new(reloaded))
+        .ranking(w.ranking.clone())
+        .build()
+        .unwrap();
+    let after = audit2.run(&cfg, &task, Engine::Optimized).unwrap();
 
-    let render = |out: &rankfair::core::DetectionOutput, d: &Detector| -> Vec<Vec<String>> {
+    let render = |out: &AuditOutcome, a: &Audit| -> Vec<Vec<String>> {
         out.per_k
             .iter()
             .map(|kr| {
-                let mut v: Vec<String> =
-                    kr.patterns.iter().map(|p| d.describe(p)).collect();
+                let mut v: Vec<String> = kr.under.iter().map(|p| a.describe(p)).collect();
                 v.sort();
                 v
             })
             .collect()
     };
-    assert_eq!(render(&before, &det), render(&after, &det2));
+    assert_eq!(render(&before, &audit), render(&after, &audit2));
 }
 
 #[test]
 fn deadline_produces_truncated_but_valid_output() {
     let w = compas_workload(2000, 1);
-    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
+    let audit = w.audit().unwrap();
     let cfg = DetectConfig::new(50, 10, 49).with_deadline(std::time::Duration::from_micros(200));
-    let out = det.detect_baseline(&cfg, &BiasMeasure::Proportional { alpha: 0.8 });
+    let task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 });
+    let out = audit.run(&cfg, &task, Engine::Baseline).unwrap();
     if out.stats.timed_out {
         assert!(out.per_k.len() < 40);
     }
     // Results that were produced are still exact prefixes.
-    let full = det.detect_proportional(&DetectConfig::new(50, 10, 49), 0.8);
+    let full = audit
+        .run(&DetectConfig::new(50, 10, 49), &task, Engine::Optimized)
+        .unwrap();
     for (got, want) in out.per_k.iter().zip(&full.per_k) {
         assert_eq!(got, want);
     }
 }
 
 #[test]
-fn streaming_and_fast_steps_match_batch_on_workload() {
-    use rankfair::core::{global_bounds_fast_steps, DetectionStream};
+fn streaming_matches_batch_on_workload() {
+    let w = german_workload(0, 42);
+    let audit = w.audit_with_attrs(8).unwrap();
+    let cfg = DetectConfig::new(50, 10, 49);
+    let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::paper_default()));
 
+    let batch = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+    // The paper variant rebuilds at every bound step...
+    assert!(batch.stats.full_searches > 1);
+    // ...while the streaming path reclassifies the node store instead,
+    // performing exactly one full search (the initial build) and
+    // producing identical results.
+    let mut stream = audit.run_streaming(&cfg, &task).unwrap();
+    let streamed: Vec<AuditKResult> = stream.by_ref().collect();
+    assert_eq!(batch.per_k, streamed);
+    assert_eq!(stream.stats().full_searches, 1);
+}
+
+#[test]
+fn multithreaded_run_is_byte_identical_on_workload() {
+    use std::sync::Arc;
     let w = german_workload(0, 42);
     let names = w.attr_names();
-    let attrs: Vec<&str> = names.iter().take(8).map(String::as_str).collect();
-    let det = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &attrs).unwrap();
+    let seq = w.audit_with_attrs(8).unwrap();
+    let par = Audit::builder(Arc::clone(&w.detection))
+        .ranking(w.ranking.clone())
+        .attributes(names.into_iter().take(8))
+        .threads(4)
+        .build()
+        .unwrap();
     let cfg = DetectConfig::new(50, 10, 49);
-    let bounds = Bounds::paper_default();
-
-    let batch = det.detect_global(&cfg, &bounds);
-    let fast = global_bounds_fast_steps(det.index(), det.space(), &cfg, &bounds);
-    assert_eq!(batch.per_k, fast.per_k);
-    // The extension performs exactly one full search (the initial build).
-    assert_eq!(fast.stats.full_searches, 1);
-    assert!(batch.stats.full_searches > 1); // paper variant rebuilt at steps
-
-    let streamed: Vec<rankfair::core::KResult> =
-        DetectionStream::global(det.index(), det.space(), &cfg, &bounds).collect();
-    assert_eq!(batch.per_k, streamed);
+    for task in [
+        AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::paper_default())),
+        AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 }),
+        AuditTask::Combined {
+            lower: Bounds::constant(40),
+            upper: Bounds::constant(45),
+        },
+    ] {
+        let a = seq.run(&cfg, &task, Engine::Optimized).unwrap();
+        let b = par.run(&cfg, &task, Engine::Optimized).unwrap();
+        assert_eq!(a.per_k, b.per_k);
+        let a_dets: Vec<KResult> = a.detection_output().per_k;
+        let b_dets: Vec<KResult> = b.detection_output().per_k;
+        assert_eq!(a_dets, b_dets);
+    }
 }
 
 #[test]
@@ -207,5 +250,8 @@ fn permutation_importance_agrees_with_shapley_on_student() {
     // The ranking is a function of G3; both attribution methods must put a
     // grade column on top.
     let top = &imp.ranked()[0].0;
-    assert!(["G1", "G2", "G3"].contains(&top.as_str()), "importance top: {top}");
+    assert!(
+        ["G1", "G2", "G3"].contains(&top.as_str()),
+        "importance top: {top}"
+    );
 }

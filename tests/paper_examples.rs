@@ -1,63 +1,79 @@
 //! Integration tests pinning the paper’s worked examples and §VI-D case
-//! study through the public facade API.
+//! study through the public `Audit` API.
+
+use std::sync::Arc;
 
 use rankfair::divergence::{divergent_subgroups, DivergenceConfig};
 use rankfair::prelude::*;
 
-fn fig1_detector(ds: &Dataset) -> Detector<'_> {
+fn fig1_audit() -> Audit {
+    let ds = rankfair::data::examples::students_fig1();
     let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
-    Detector::new(ds, &ranker).unwrap()
+    Audit::builder(Arc::new(ds))
+        .ranker(&ranker)
+        .build()
+        .unwrap()
+}
+
+fn run_under(audit: &Audit, cfg: &DetectConfig, measure: BiasMeasure) -> AuditOutcome {
+    audit
+        .run(cfg, &AuditTask::UnderRep(measure), Engine::Optimized)
+        .unwrap()
+}
+
+fn names(audit: &Audit, pats: &[Pattern]) -> Vec<String> {
+    pats.iter().map(|p| audit.describe(p)).collect()
 }
 
 #[test]
 fn example_2_3_sizes() {
-    let ds = rankfair::data::examples::students_fig1();
-    let det = fig1_detector(&ds);
-    let p = det.space().pattern(&[("School", "GP")]).unwrap();
-    assert_eq!(det.index().counts(&p, 5), (8, 1));
+    let audit = fig1_audit();
+    let p = audit.space().pattern(&[("School", "GP")]).unwrap();
+    assert_eq!(audit.index().counts(&p, 5), (8, 1));
 }
 
 #[test]
 fn example_2_4_global_bound_violated_for_gp() {
     // L_{5,school=GP} = 2: only one GP student in the top-5.
-    let ds = rankfair::data::examples::students_fig1();
-    let det = fig1_detector(&ds);
-    let out = det.detect_global(&DetectConfig::new(1, 5, 5), &Bounds::constant(2));
-    let names: Vec<String> = out.per_k[0]
-        .patterns
-        .iter()
-        .map(|p| det.describe(p))
-        .collect();
-    assert!(names.contains(&"{School=GP}".to_string()));
-    assert!(!names.contains(&"{School=MS}".to_string())); // 4 in top-5
+    let audit = fig1_audit();
+    let out = run_under(
+        &audit,
+        &DetectConfig::new(1, 5, 5),
+        BiasMeasure::GlobalLower(Bounds::constant(2)),
+    );
+    let found = names(&audit, &out.per_k[0].under);
+    assert!(found.contains(&"{School=GP}".to_string()));
+    assert!(!found.contains(&"{School=MS}".to_string())); // 4 in top-5
 }
 
 #[test]
 fn example_2_5_proportional_representation() {
     // Proportionate share of each school in the top-5 ≈ 2.5; with α = 0.8
     // the requirement is 2: GP (count 1) violates, MS (count 4) does not.
-    let ds = rankfair::data::examples::students_fig1();
-    let det = fig1_detector(&ds);
-    let out = det.detect_proportional(&DetectConfig::new(1, 5, 5), 0.8);
-    let names: Vec<String> = out.per_k[0]
-        .patterns
-        .iter()
-        .map(|p| det.describe(p))
-        .collect();
-    assert!(names.contains(&"{School=GP}".to_string()));
-    assert!(!names.contains(&"{School=MS}".to_string()));
+    let audit = fig1_audit();
+    let out = run_under(
+        &audit,
+        &DetectConfig::new(1, 5, 5),
+        BiasMeasure::Proportional { alpha: 0.8 },
+    );
+    let found = names(&audit, &out.per_k[0].under);
+    assert!(found.contains(&"{School=GP}".to_string()));
+    assert!(!found.contains(&"{School=MS}".to_string()));
 }
 
 #[test]
 fn example_4_6_incremental_global_bounds() {
-    let ds = rankfair::data::examples::students_fig1();
-    let det = fig1_detector(&ds);
-    let out = det.detect_global(&DetectConfig::new(4, 4, 5), &Bounds::constant(2));
-    let k4: Vec<String> = out.per_k[0].patterns.iter().map(|p| det.describe(p)).collect();
+    let audit = fig1_audit();
+    let out = run_under(
+        &audit,
+        &DetectConfig::new(4, 4, 5),
+        BiasMeasure::GlobalLower(Bounds::constant(2)),
+    );
+    let k4 = names(&audit, &out.per_k[0].under);
     for e in ["{School=GP}", "{Address=U}", "{Failures=1}", "{Failures=2}"] {
         assert!(k4.contains(&e.to_string()), "missing {e} at k=4: {k4:?}");
     }
-    let k5: Vec<String> = out.per_k[1].patterns.iter().map(|p| det.describe(p)).collect();
+    let k5 = names(&audit, &out.per_k[1].under);
     for e in [
         "{Address=U, Failures=1}",
         "{Gender=F, Address=U}",
@@ -73,14 +89,44 @@ fn example_4_6_incremental_global_bounds() {
 
 #[test]
 fn example_4_9_incremental_proportional() {
-    let ds = rankfair::data::examples::students_fig1();
-    let det = fig1_detector(&ds);
-    let out = det.detect_proportional(&DetectConfig::new(5, 4, 5), 0.9);
-    let k4: Vec<String> = out.per_k[0].patterns.iter().map(|p| det.describe(p)).collect();
+    let audit = fig1_audit();
+    let out = run_under(
+        &audit,
+        &DetectConfig::new(5, 4, 5),
+        BiasMeasure::Proportional { alpha: 0.9 },
+    );
+    let k4 = names(&audit, &out.per_k[0].under);
     assert_eq!(k4, ["{School=GP}", "{Address=U}", "{Failures=1}"]);
-    let k5: Vec<String> = out.per_k[1].patterns.iter().map(|p| det.describe(p)).collect();
+    let k5 = names(&audit, &out.per_k[1].under);
     assert!(k5.contains(&"{Gender=F}".to_string()));
     assert_eq!(k5.len(), 4);
+}
+
+/// §III upper bounds on the running example: at k = 5 with U = 2, the
+/// most specific substantial over-represented groups must all exceed the
+/// bound and be pairwise incomparable — and agree with the baseline.
+#[test]
+fn upper_bound_extension_on_fig1() {
+    let audit = fig1_audit();
+    let cfg = DetectConfig::new(2, 5, 5);
+    let task = AuditTask::OverRep {
+        upper: Bounds::constant(2),
+        scope: OverRepScope::MostSpecific,
+    };
+    let opt = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+    let base = audit.run(&cfg, &task, Engine::Baseline).unwrap();
+    assert_eq!(opt.per_k, base.per_k);
+    let over = &opt.per_k[0].over;
+    assert!(!over.is_empty());
+    for p in over {
+        let (sd, count) = audit.index().counts(p, 5);
+        assert!(sd >= 2 && count > 2, "{}", audit.describe(p));
+    }
+    for a in over {
+        for b in over {
+            assert!(a == b || !a.is_proper_subset_of(b));
+        }
+    }
 }
 
 /// §VI-D case study shape on the synthetic Student workload: the
@@ -91,19 +137,27 @@ fn example_4_9_incremental_proportional() {
 fn case_study_shapes_hold() {
     let w = student_workload(0, 42);
     let attrs = ["school", "sex", "age", "address"];
-    let det = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &attrs).unwrap();
+    let audit = Audit::builder(Arc::clone(&w.detection))
+        .ranking(w.ranking.clone())
+        .attributes(attrs)
+        .build()
+        .unwrap();
     let cfg = DetectConfig::new(50, 10, 10);
 
-    let global = det.detect_global(&cfg, &Bounds::constant(10));
-    let prop = det.detect_proportional(&cfg, 0.8);
-    let g = &global.per_k[0].patterns;
-    let p = &prop.per_k[0].patterns;
+    let global = run_under(&audit, &cfg, BiasMeasure::GlobalLower(Bounds::constant(10)));
+    let prop = run_under(&audit, &cfg, BiasMeasure::Proportional { alpha: 0.8 });
+    let g = &global.per_k[0].under;
+    let p = &prop.per_k[0].under;
 
     // Proportional bias implies the group is also below the (generous)
     // global bound here, so every proportional level-1 result appears in
     // the global result set.
     for pat in p.iter().filter(|pat| pat.len() == 1) {
-        assert!(g.contains(pat), "{} missing from global", det.describe(pat));
+        assert!(
+            g.contains(pat),
+            "{} missing from global",
+            audit.describe(pat)
+        );
     }
     // The global list is at least as large (L = 10 flags everything that
     // does not own the whole top-10).
@@ -132,9 +186,8 @@ fn case_study_shapes_hold() {
     );
     // …and contains subsumed pairs, which our output never does.
     let has_subsumed = div.iter().any(|a| {
-        div.iter().any(|b| {
-            b.items.len() < a.items.len() && b.items.iter().all(|i| a.items.contains(i))
-        })
+        div.iter()
+            .any(|b| b.items.len() < a.items.len() && b.items.iter().all(|i| a.items.contains(i)))
     });
     assert!(has_subsumed);
     for a in g {
@@ -153,22 +206,27 @@ fn result_sets_are_usually_small() {
     // prefix of the Student attributes (the bucketized grade columns are
     // heavily correlated with the ranking and would flag everything).
     let w = student_workload(0, 42);
-    let names = w.attr_names();
-    let attrs: Vec<&str> = names.iter().take(10).map(String::as_str).collect();
-    let det = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &attrs).unwrap();
+    let audit = w.audit_with_attrs(10).unwrap();
     let mut total = 0usize;
     let mut small = 0usize;
     for tau in [30, 50, 80] {
         for alpha in [0.6, 0.8] {
-            let out = det.detect_proportional(&DetectConfig::new(tau, 10, 49), alpha);
+            let out = run_under(
+                &audit,
+                &DetectConfig::new(tau, 10, 49),
+                BiasMeasure::Proportional { alpha },
+            );
             for kr in &out.per_k {
                 total += 1;
-                if kr.patterns.len() < 100 {
+                if kr.under.len() < 100 {
                     small += 1;
                 }
             }
         }
     }
     let frac = small as f64 / total as f64;
-    assert!(frac > 0.9, "only {frac:.2} of result sets were < 100 groups");
+    assert!(
+        frac > 0.9,
+        "only {frac:.2} of result sets were < 100 groups"
+    );
 }
