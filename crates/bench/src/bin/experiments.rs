@@ -4,7 +4,10 @@
 //!   experiments `<id>` [--timeout SECS] [--seed N] [--quick]
 //!
 //! ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize
-//!      worstcase faststeps scaling all
+//!      worstcase faststeps scaling overrep all
+//!
+//! `overrep` additionally writes its measurements to `BENCH_overrep.json`
+//! in the working directory.
 //!
 //! Absolute runtimes differ from the paper (Rust vs. the authors' Python
 //! testbed, synthetic vs. real data); the reproduced claims are the curve
@@ -14,7 +17,9 @@
 
 use std::time::Duration;
 
-use rankfair::core::{AuditKResult, AuditTask, BiasMeasure, Bounds, DetectConfig, Engine};
+use rankfair::core::{
+    upper, AuditKResult, AuditTask, BiasMeasure, Bounds, DetectConfig, Engine, OverRepScope,
+};
 use rankfair::explain::distribution::compare_distributions;
 use rankfair::explain::{ExplainConfig, RankSurrogate};
 use rankfair::prelude::{compas_workload, german_workload, student_workload, Workload};
@@ -557,6 +562,104 @@ fn scaling(opts: &Opts) {
     print!("{}", t.render());
 }
 
+/// Over-representation engines: the incremental upper engine (one build,
+/// per-`k` subtree walks and frontier deltas) vs. the per-`k` rescan it
+/// replaced (fresh DFS + full maximality sweep at every `k`) vs. the
+/// brute-force baseline. Prints a table and writes `BENCH_overrep.json`.
+fn overrep(opts: &Opts) {
+    println!("\n## Over-representation: incremental engine vs per-k rescan vs brute force");
+    let attrs = if opts.quick { 6 } else { 9 };
+    // Step upper bounds in the shape of the paper's lower-bound defaults:
+    // the top-k may contain at most ~60% of its slots from one group.
+    let upper = Bounds::steps(vec![(10, 6), (20, 12), (30, 18), (40, 24)]);
+    let mut t = Table::new(&[
+        "dataset",
+        "rows",
+        "incremental_ms",
+        "rescan_ms",
+        "baseline_ms",
+        "inc_evals",
+        "rescan_evals",
+        "groups",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for w in &workloads(opts) {
+        let audit = audit_with_attrs(w, attrs.min(w.attr_names().len()));
+        let rows = w.detection.n_rows();
+        let cfg = DetectConfig::new(50, 10, 49.min(rows)).with_deadline(opts.timeout);
+        let task = AuditTask::OverRep {
+            upper: upper.clone(),
+            scope: OverRepScope::MostSpecific,
+        };
+
+        let t0 = std::time::Instant::now();
+        let inc = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+        let inc_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t0 = std::time::Instant::now();
+        let rescan = upper::upper_most_specific(audit.index(), audit.space(), &cfg, &upper);
+        let rescan_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        let t0 = std::time::Instant::now();
+        let base = audit.run(&cfg, &task, Engine::Baseline).unwrap();
+        let base_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+        // The three paths must agree on every k all of them completed.
+        for (a, b) in inc.per_k.iter().zip(&rescan.per_k) {
+            assert_eq!(a.over, b.patterns, "incremental vs rescan at k={}", a.k);
+        }
+        for (a, b) in inc.per_k.iter().zip(&base.per_k) {
+            assert_eq!(a.over, b.over, "incremental vs baseline at k={}", a.k);
+        }
+
+        let groups = inc.total_groups();
+        t.row(&[
+            w.name.to_string(),
+            rows.to_string(),
+            format!("{inc_ms:.1}"),
+            format!("{rescan_ms:.1}"),
+            format!(
+                "{base_ms:.1}{}",
+                if base.stats.timed_out { "*" } else { "" }
+            ),
+            inc.stats.nodes_evaluated.to_string(),
+            rescan.stats.nodes_evaluated.to_string(),
+            groups.to_string(),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"rows\": {}, \"attrs\": {}, ",
+                "\"incremental_ms\": {:.3}, \"rescan_ms\": {:.3}, \"baseline_ms\": {:.3}, ",
+                "\"incremental_evals\": {}, \"rescan_evals\": {}, ",
+                "\"incremental_touched\": {}, \"groups\": {}, \"baseline_timed_out\": {}}}"
+            ),
+            w.name,
+            rows,
+            attrs.min(w.attr_names().len()),
+            inc_ms,
+            rescan_ms,
+            base_ms,
+            inc.stats.nodes_evaluated,
+            rescan.stats.nodes_evaluated,
+            inc.stats.nodes_touched,
+            groups,
+            base.stats.timed_out,
+        ));
+    }
+    print!("{}", t.render());
+    println!("(* = hit the timeout; rescan = the pre-incremental Engine::Optimized path)");
+    let json = format!(
+        "{{\n  \"bench\": \"overrep\",\n  \"config\": {{\"tau_s\": 50, \"k_min\": 10, \"k_max\": 49, \"upper\": \"steps(10:6,20:12,30:18,40:24)\", \"quick\": {}, \"timeout_s\": {}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        opts.quick,
+        opts.timeout.as_secs(),
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_overrep.json", &json) {
+        Ok(()) => println!("wrote BENCH_overrep.json"),
+        Err(e) => eprintln!("could not write BENCH_overrep.json: {e}"),
+    }
+}
+
 /// Theorem 3.3: the adversarial instance is exponential.
 fn worstcase(opts: &Opts) {
     println!("\n## Theorem 3.3: worst-case instance (n attributes, n+1 tuples, k = n)");
@@ -630,6 +733,7 @@ fn main() {
         "worstcase" => worstcase(&opts),
         "faststeps" => faststeps(&opts),
         "scaling" => scaling(&opts),
+        "overrep" => overrep(&opts),
         "all" => {
             fig45(true, &opts);
             fig45(false, &opts);
@@ -644,9 +748,10 @@ fn main() {
             worstcase(&opts);
             faststeps(&opts);
             scaling(&opts);
+            overrep(&opts);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase faststeps scaling overrep all");
             std::process::exit(2);
         }
     }

@@ -26,6 +26,7 @@ USAGE:
         --alpha X           proportional factor α (default 0.8; --problem prop only)
         --tau N             size threshold τs (default 50)
         --kmin N --kmax N   k range (default 10..49)
+        --deadline SECS     wall-clock budget; exceeding it truncates the k range
         --attrs a,b,c       pattern attributes (default: all categorical)
         --bucketize c=BINS,...  bucketize numeric columns before detection
         --baseline          deprecated alias for --engine baseline
@@ -73,6 +74,7 @@ pub const DETECT_SPEC: FlagSpec = FlagSpec {
         "tau",
         "kmin",
         "kmax",
+        "deadline",
         "top",
         "format",
     ],

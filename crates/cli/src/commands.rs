@@ -155,7 +155,18 @@ pub fn detect(flags: &Flags) -> Result<(), String> {
             "invalid k range [{k_min}, {k_max}] for {n_rows} rows"
         ));
     }
-    let cfg = DetectConfig::new(tau, k_min, k_max);
+    let mut cfg = DetectConfig::new(tau, k_min, k_max);
+    if let Some(secs) = flags.get("deadline") {
+        let parsed: f64 = secs
+            .parse()
+            .map_err(|_| format!("--deadline must be a number of seconds, got `{secs}`"))?;
+        // try_from_secs_f64 rejects NaN, negatives, and values past
+        // u64::MAX seconds — from_secs_f64 would panic on the latter.
+        let d = std::time::Duration::try_from_secs_f64(parsed).map_err(|_| {
+            format!("--deadline must be a representable number of seconds (non-negative, below u64::MAX), got {secs}")
+        })?;
+        cfg = cfg.with_deadline(d);
+    }
     let task = parse_task(flags)?;
     let engine = parse_engine(flags)?;
 
@@ -182,12 +193,17 @@ pub fn detect(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("--format must be table or csv, got `{other}`")),
     }
     eprintln!(
-        "[{} groups over {} k values; {} patterns examined in {:.1?}; {} thread(s)]",
+        "[{} groups over {} k values; {} patterns examined in {:.1?}; {} thread(s){}]",
         out.total_groups(),
         out.per_k.len(),
         out.stats.patterns_examined(),
         out.stats.elapsed,
         audit.threads(),
+        if out.stats.timed_out {
+            "; TIMED OUT — results truncated"
+        } else {
+            ""
+        },
     );
     Ok(())
 }

@@ -43,7 +43,6 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 use rankfair_data::Dataset;
 use rankfair_rank::{Ranker, Ranking};
@@ -54,9 +53,9 @@ use crate::oracle;
 use crate::pattern::Pattern;
 use crate::report::{summarize_audit, KReport};
 use crate::space::{PatternSpace, RankedIndex, SpaceError};
-use crate::stats::{DetectConfig, DetectionOutput, KResult, SearchStats};
+use crate::stats::{DeadlineGuard, DetectConfig, DetectionOutput, KResult, SearchStats};
 use crate::topdown;
-use crate::upper;
+use crate::upper_engine::{self, UpperStream};
 
 /// Typed error for audit construction and execution, replacing the
 /// `SpaceError`-or-`String` mix of the old facade.
@@ -81,8 +80,12 @@ pub enum AuditError {
         /// Ranked tuples available.
         n: usize,
     },
-    /// The proportional factor `α` must be positive.
+    /// The proportional factor `α` must be positive and finite (a NaN
+    /// silently classifies nothing as biased).
     InvalidAlpha(f64),
+    /// A [`Bounds::LinearFraction`] must be finite and non-negative (a NaN
+    /// or negative fraction silently empties or floods the result set).
+    InvalidBound(f64),
     /// A dataset-preparation hook (bucketization) failed.
     Prepare(String),
 }
@@ -104,7 +107,13 @@ impl fmt::Display for AuditError {
                     "k_max ({k_max}) exceeds the number of ranked tuples ({n})"
                 )
             }
-            AuditError::InvalidAlpha(a) => write!(f, "alpha must be positive, got {a}"),
+            AuditError::InvalidAlpha(a) => {
+                write!(f, "alpha must be positive and finite, got {a}")
+            }
+            AuditError::InvalidBound(v) => write!(
+                f,
+                "LinearFraction bounds must be finite and non-negative, got {v}"
+            ),
             AuditError::Prepare(e) => write!(f, "preparing dataset: {e}"),
         }
     }
@@ -122,11 +131,13 @@ impl From<SpaceError> for AuditError {
 /// or the from-scratch baselines used for differential testing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
-    /// `GlobalBounds` / `PropBounds` for under-representation, the pruned
-    /// single-`k` searches for over-representation.
+    /// `GlobalBounds` / `PropBounds` for under-representation, the
+    /// incremental upper engine (persistent node store, per-`k` subtree
+    /// walks, incremental maximal frontier) for over-representation.
     Optimized,
     /// `IterTD` for under-representation; brute-force enumeration with
-    /// naive row-scan counting for over-representation.
+    /// naive row-scan counting for over-representation. Kept as the
+    /// differential anchor for the incremental engines.
     Baseline,
 }
 
@@ -215,15 +226,6 @@ impl AuditOutcome {
             stats: self.stats.clone(),
         }
     }
-}
-
-fn merge_stats(into: &mut SearchStats, part: &SearchStats) {
-    into.nodes_evaluated += part.nodes_evaluated;
-    into.nodes_touched += part.nodes_touched;
-    into.schedule_pops += part.schedule_pops;
-    into.full_searches += part.full_searches;
-    into.elapsed = into.elapsed.max(part.elapsed);
-    into.timed_out |= part.timed_out;
 }
 
 type PrepareHook = Box<dyn FnOnce(&mut Dataset) -> Result<(), String>>;
@@ -437,10 +439,23 @@ impl Audit {
                 n: self.index.n(),
             });
         }
+        // The finiteness check must come first: a bare `alpha <= 0.0` is
+        // false for NaN, which would sail through and mark nothing biased.
         if let AuditTask::UnderRep(BiasMeasure::Proportional { alpha }) = task {
-            if *alpha <= 0.0 {
+            if !alpha.is_finite() || *alpha <= 0.0 {
                 return Err(AuditError::InvalidAlpha(*alpha));
             }
+        }
+        let bounds_of = |task: &AuditTask| -> Vec<Bounds> {
+            match task {
+                AuditTask::UnderRep(BiasMeasure::GlobalLower(b)) => vec![b.clone()],
+                AuditTask::UnderRep(BiasMeasure::Proportional { .. }) => Vec::new(),
+                AuditTask::OverRep { upper, .. } => vec![upper.clone()],
+                AuditTask::Combined { lower, upper } => vec![lower.clone(), upper.clone()],
+            }
+        };
+        for b in bounds_of(task) {
+            b.validate().map_err(AuditError::InvalidBound)?;
         }
         Ok(())
     }
@@ -498,7 +513,7 @@ impl Audit {
         let mut stats = SearchStats::default();
         for part in parts {
             per_k.extend(part.per_k);
-            merge_stats(&mut stats, &part.stats);
+            stats.merge(&part.stats);
         }
         Ok(AuditOutcome { per_k, stats })
     }
@@ -554,7 +569,7 @@ impl Audit {
                     None => (Vec::new(), SearchStats::default()),
                 };
                 let mut stats = low.stats.clone();
-                merge_stats(&mut stats, &over_stats);
+                stats.merge(&over_stats);
                 // The two phases ran back to back: report their total, not
                 // the max merge_stats uses for parallel workers.
                 stats.elapsed = low.stats.elapsed + over_stats.elapsed;
@@ -601,77 +616,85 @@ impl Audit {
         scope: OverRepScope,
         engine_sel: Engine,
     ) -> (Vec<KResult>, SearchStats) {
-        let start = Instant::now();
+        // The optimized path is the incremental engine: one build at
+        // `k_min`, then per-`k` subtree walks and frontier deltas instead
+        // of a fresh DFS plus full maximality sweep at every `k`.
+        if engine_sel == Engine::Optimized {
+            return upper_engine::upper_incremental(&self.index, &self.space, cfg, upper, scope);
+        }
+        // The guard starts before the substantial-set enumeration so that
+        // time counts against the budget; within each per-`k` scan it is
+        // polled per pattern, so a deadline overrun is bounded by one
+        // naive count, not by a whole `k` value (tens of seconds on the
+        // larger benches).
+        let mut guard = DeadlineGuard::new(cfg.deadline);
         let mut stats = SearchStats::default();
         let mut per_k = Vec::with_capacity(cfg.range_len());
         // The substantial set depends only on τs, not on k: enumerate once
         // per run for the brute-force baseline.
-        let substantial = match engine_sel {
-            Engine::Baseline => {
-                let all = oracle::enumerate_substantial(
-                    &self.dataset,
-                    &self.space,
-                    &self.ranking,
-                    cfg.tau_s,
-                );
-                stats.nodes_evaluated += all.len() as u64;
-                all
-            }
-            Engine::Optimized => Vec::new(),
-        };
+        let substantial =
+            oracle::enumerate_substantial(&self.dataset, &self.space, &self.ranking, cfg.tau_s);
+        stats.nodes_evaluated += substantial.len() as u64;
         for k in cfg.k_min..=cfg.k_max {
-            if let Some(d) = cfg.deadline {
-                if start.elapsed() > d {
+            stats.full_searches += 1;
+            match self.oracle_over(&substantial, k, upper.at(k), scope, &mut guard) {
+                Some(patterns) => per_k.push(KResult { k, patterns }),
+                None => {
                     stats.timed_out = true;
                     break;
                 }
             }
-            stats.full_searches += 1;
-            let patterns = match engine_sel {
-                Engine::Optimized => {
-                    self.run_over_single(cfg.tau_s, k, upper.at(k), scope, &mut stats)
-                }
-                Engine::Baseline => self.oracle_over(&substantial, k, upper.at(k), scope),
-            };
-            per_k.push(KResult { k, patterns });
         }
-        stats.elapsed = start.elapsed();
+        stats.elapsed = guard.elapsed();
         (per_k, stats)
     }
 
     /// Brute-force over-representation baseline on a different code path
     /// from the optimized searches: naive row-scan counting over the
     /// pre-enumerated substantial patterns, then a quadratic
-    /// maximality/minimality filter.
+    /// maximality/minimality filter. Returns `None` on deadline expiry.
     fn oracle_over(
         &self,
         substantial: &[Pattern],
         k: usize,
         u: usize,
         scope: OverRepScope,
-    ) -> Vec<Pattern> {
-        let qualifying: Vec<&Pattern> = substantial
-            .iter()
-            .filter(|p| oracle::naive_counts(&self.dataset, &self.space, &self.ranking, p, k).1 > u)
-            .collect();
-        let mut out: Vec<Pattern> = qualifying
-            .iter()
-            .filter(|p| match scope {
-                OverRepScope::MostSpecific => !qualifying.iter().any(|q| p.is_proper_subset_of(q)),
-                OverRepScope::MostGeneral => !qualifying.iter().any(|q| q.is_proper_subset_of(p)),
-            })
-            .map(|p| (*p).clone())
-            .collect();
+        guard: &mut DeadlineGuard,
+    ) -> Option<Vec<Pattern>> {
+        let mut qualifying: Vec<&Pattern> = Vec::new();
+        for p in substantial {
+            if guard.expired() {
+                return None;
+            }
+            if oracle::naive_counts(&self.dataset, &self.space, &self.ranking, p, k).1 > u {
+                qualifying.push(p);
+            }
+        }
+        let mut out: Vec<Pattern> = Vec::new();
+        for p in &qualifying {
+            if guard.expired() {
+                return None;
+            }
+            let dominated = match scope {
+                OverRepScope::MostSpecific => qualifying.iter().any(|q| p.is_proper_subset_of(q)),
+                OverRepScope::MostGeneral => qualifying.iter().any(|q| q.is_proper_subset_of(p)),
+            };
+            if !dominated {
+                out.push((*p).clone());
+            }
+        }
         out.sort_unstable();
-        out
+        Some(out)
     }
 
     /// Lazily yields the [`AuditKResult`] for each `k` on demand,
-    /// maintaining the incremental engine between pulls — the owned
+    /// maintaining the incremental engines between pulls — the owned
     /// successor of the deprecated `DetectionStream`.
     ///
-    /// Later `k` values cost nothing unless pulled; the under-representation
-    /// side always runs the optimized incremental engine.
+    /// Later `k` values cost nothing unless pulled; **both** directions
+    /// run their optimized incremental engine (the under side via
+    /// `GlobalBounds`/`PropBounds`, the over side via the incremental
+    /// upper engine).
     pub fn run_streaming(
         &self,
         cfg: &DetectConfig,
@@ -694,40 +717,48 @@ impl Audit {
             )),
             AuditTask::OverRep { .. } => None,
         };
+        let over = match task {
+            AuditTask::UnderRep(_) => None,
+            AuditTask::OverRep { upper, scope } => Some(UpperStream::new(
+                &self.index,
+                &self.space,
+                cfg,
+                upper.clone(),
+                *scope,
+            )),
+            AuditTask::Combined { upper, .. } => Some(UpperStream::new(
+                &self.index,
+                &self.space,
+                cfg,
+                upper.clone(),
+                OverRepScope::MostSpecific,
+            )),
+        };
         Ok(AuditStream {
-            audit: self,
-            cfg: cfg.clone(),
-            task: task.clone(),
+            k_max: cfg.k_max,
             under,
-            over_stats: SearchStats::default(),
+            over,
             next_k: cfg.k_min,
-            started: Instant::now(),
-            over_timed_out: false,
         })
     }
 }
 
 /// Lazy per-`k` iterator returned by [`Audit::run_streaming`].
 pub struct AuditStream<'a> {
-    audit: &'a Audit,
-    cfg: DetectConfig,
-    task: AuditTask,
+    k_max: usize,
     #[allow(deprecated)]
     under: Option<engine::DetectionStream<'a>>,
-    over_stats: SearchStats,
+    over: Option<UpperStream<'a>>,
     next_k: usize,
-    started: Instant,
-    over_timed_out: bool,
 }
 
 impl AuditStream<'_> {
     /// Instrumentation counters accumulated so far (both directions).
     pub fn stats(&self) -> SearchStats {
-        let mut stats = self.over_stats.clone();
-        stats.timed_out |= self.over_timed_out;
+        let mut stats = self.over.as_ref().map(|s| s.stats()).unwrap_or_default();
         #[allow(deprecated)]
         if let Some(s) = &self.under {
-            merge_stats(&mut stats, s.stats());
+            stats.merge(s.stats());
         }
         stats
     }
@@ -736,7 +767,7 @@ impl AuditStream<'_> {
     pub fn timed_out(&self) -> bool {
         #[allow(deprecated)]
         let under = self.under.as_ref().is_some_and(|s| s.timed_out());
-        under || self.over_timed_out
+        under || self.over.as_ref().is_some_and(|s| s.timed_out())
     }
 }
 
@@ -744,71 +775,24 @@ impl Iterator for AuditStream<'_> {
     type Item = AuditKResult;
 
     fn next(&mut self) -> Option<AuditKResult> {
-        if self.next_k > self.cfg.k_max || self.over_timed_out {
+        if self.next_k > self.k_max {
             return None;
         }
-        // The under side enforces the deadline inside its incremental
-        // engine; tasks with an over side check it here, mirroring the
-        // batch path's truncate-and-flag semantics.
-        if !matches!(self.task, AuditTask::UnderRep(_)) {
-            if let Some(d) = self.cfg.deadline {
-                if self.started.elapsed() > d {
-                    self.over_timed_out = true;
-                    return None;
-                }
-            }
-        }
+        // Each side enforces the deadline inside its incremental engine;
+        // if either truncates, the zipped stream ends (truncate-and-flag,
+        // matching the batch path).
         let k = self.next_k;
         #[allow(deprecated)]
         let under = match &mut self.under {
             Some(stream) => stream.next()?.patterns,
             None => Vec::new(),
         };
-        let over = match &self.task {
-            AuditTask::UnderRep(_) => Vec::new(),
-            AuditTask::OverRep { upper, scope } => {
-                self.over_stats.full_searches += 1;
-                self.audit.run_over_single(
-                    self.cfg.tau_s,
-                    k,
-                    upper.at(k),
-                    *scope,
-                    &mut self.over_stats,
-                )
-            }
-            AuditTask::Combined { upper, .. } => {
-                self.over_stats.full_searches += 1;
-                self.audit.run_over_single(
-                    self.cfg.tau_s,
-                    k,
-                    upper.at(k),
-                    OverRepScope::MostSpecific,
-                    &mut self.over_stats,
-                )
-            }
+        let over = match &mut self.over {
+            Some(stream) => stream.next()?.patterns,
+            None => Vec::new(),
         };
         self.next_k += 1;
         Some(AuditKResult { k, under, over })
-    }
-}
-
-impl Audit {
-    fn run_over_single(
-        &self,
-        tau_s: usize,
-        k: usize,
-        u: usize,
-        scope: OverRepScope,
-        stats: &mut SearchStats,
-    ) -> Vec<Pattern> {
-        match scope {
-            OverRepScope::MostSpecific => {
-                upper::upper_most_specific_single_k(&self.index, &self.space, tau_s, k, u, stats)
-            }
-            OverRepScope::MostGeneral => {
-                upper::upper_most_general_single_k(&self.index, &self.space, tau_s, k, u, stats)
-            }
-        }
     }
 }
 
@@ -888,6 +872,49 @@ mod tests {
             audit.run(&cfg, &bad, Engine::Optimized).unwrap_err(),
             AuditError::InvalidAlpha(0.0)
         );
+    }
+
+    #[test]
+    fn run_rejects_nan_and_negative_parameters() {
+        // Regression: a NaN α passed `alpha <= 0.0` (false for NaN) and a
+        // NaN/negative `LinearFraction` was never inspected — both
+        // produced silently empty or all-biased results.
+        let audit = fig1_audit();
+        let cfg = DetectConfig::new(2, 2, 5);
+        let nan_alpha = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: f64::NAN });
+        assert!(matches!(
+            audit.run(&cfg, &nan_alpha, Engine::Optimized).unwrap_err(),
+            AuditError::InvalidAlpha(a) if a.is_nan()
+        ));
+        let nan_lower =
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::LinearFraction(f64::NAN)));
+        assert!(matches!(
+            audit.run(&cfg, &nan_lower, Engine::Optimized).unwrap_err(),
+            AuditError::InvalidBound(v) if v.is_nan()
+        ));
+        let neg_upper = AuditTask::OverRep {
+            upper: Bounds::LinearFraction(-0.5),
+            scope: OverRepScope::MostSpecific,
+        };
+        assert_eq!(
+            audit.run(&cfg, &neg_upper, Engine::Optimized).unwrap_err(),
+            AuditError::InvalidBound(-0.5)
+        );
+        let bad_combined = AuditTask::Combined {
+            lower: Bounds::constant(1),
+            upper: Bounds::LinearFraction(f64::INFINITY),
+        };
+        assert!(matches!(
+            audit
+                .run(&cfg, &bad_combined, Engine::Optimized)
+                .unwrap_err(),
+            AuditError::InvalidBound(_)
+        ));
+        // The streaming entry point validates identically.
+        assert!(audit.run_streaming(&cfg, &nan_alpha).is_err());
+        // Well-formed fractional bounds still pass.
+        let ok = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::LinearFraction(0.25)));
+        assert!(audit.run(&cfg, &ok, Engine::Optimized).is_ok());
     }
 
     #[test]

@@ -42,15 +42,32 @@ impl Bounds {
     }
 
     /// The lower bound at `k`.
+    ///
+    /// Order-independent for [`Bounds::Steps`]: the variant is public and
+    /// can be constructed with pairs in any order, so the applicable entry
+    /// is the one with the **largest** `k_from ≤ k` regardless of where it
+    /// sits in the vector (ties on `k_from` resolve to the later entry,
+    /// matching what the sorting constructor produced all along).
     pub fn at(&self, k: usize) -> usize {
         match self {
             Bounds::Constant(l) => *l,
             Bounds::Steps(pairs) => pairs
                 .iter()
-                .take_while(|&&(from, _)| from <= k)
-                .last()
+                .filter(|&&(from, _)| from <= k)
+                .max_by_key(|&&(from, _)| from)
                 .map_or(0, |&(_, l)| l),
             Bounds::LinearFraction(f) => (f * k as f64).ceil() as usize,
+        }
+    }
+
+    /// Checks the numeric parameters: a [`Bounds::LinearFraction`] must be
+    /// finite and non-negative (a NaN fraction makes every comparison
+    /// false, silently emptying or flooding the result set). Returns the
+    /// offending value on failure.
+    pub fn validate(&self) -> Result<(), f64> {
+        match self {
+            Bounds::LinearFraction(f) if !f.is_finite() || *f < 0.0 => Err(*f),
+            _ => Ok(()),
         }
     }
 }
@@ -158,6 +175,32 @@ mod tests {
     fn steps_sorted_on_construction() {
         let b = Bounds::steps(vec![(20, 20), (10, 10)]);
         assert_eq!(b.at(15), 10);
+    }
+
+    #[test]
+    fn directly_constructed_unsorted_steps_are_order_independent() {
+        // Regression: `Bounds::Steps` is a public variant, so `at` must not
+        // assume the pairs arrive sorted (the old `take_while` lookup
+        // silently returned 0 here because the first pair already failed
+        // the `from <= k` filter).
+        let unsorted = Bounds::Steps(vec![(20, 20), (10, 10), (40, 40), (30, 30)]);
+        let sorted = Bounds::paper_default();
+        for k in 0..=60 {
+            assert_eq!(unsorted.at(k), sorted.at(k), "k={k}");
+        }
+        // Ties on `k_from` resolve to the later entry, like the sorting
+        // constructor.
+        assert_eq!(Bounds::Steps(vec![(10, 3), (10, 7)]).at(12), 7);
+        assert_eq!(Bounds::steps(vec![(10, 3), (10, 7)]).at(12), 7);
+    }
+
+    #[test]
+    fn linear_fraction_validation() {
+        assert_eq!(Bounds::LinearFraction(0.3).validate(), Ok(()));
+        assert_eq!(Bounds::constant(5).validate(), Ok(()));
+        assert!(Bounds::LinearFraction(f64::NAN).validate().is_err());
+        assert_eq!(Bounds::LinearFraction(-0.2).validate(), Err(-0.2));
+        assert!(Bounds::LinearFraction(f64::INFINITY).validate().is_err());
     }
 
     #[test]

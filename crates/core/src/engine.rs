@@ -33,6 +33,13 @@
 //! trade-off documented on that function — rebuilds *shrink* the store to
 //! the tighter bound, so the rescan wins only when re-evaluation is the
 //! dominant cost.
+//!
+//! This module covers the **lower-bound** (under-representation) side
+//! only. The §III upper-bound side has its own incremental engine in
+//! `upper_engine`, built on the same persistent-store/`walk_counts`
+//! machinery but maintaining the *most specific* frontier of the
+//! subset-closed over-represented set; the per-`k` searches in
+//! [`crate::upper`] remain as its differential anchor.
 
 use std::collections::VecDeque;
 

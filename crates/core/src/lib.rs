@@ -20,8 +20,9 @@
 //! * [`AuditTask::Combined`] — both directions at once.
 //!
 //! Each task runs on the [`Engine`] of your choice — `Optimized` (the
-//! incremental Algorithms 2–3 and the pruned single-`k` searches) or
-//! `Baseline` (`IterTD` / brute force) — and all pairs provably agree; the
+//! incremental Algorithms 2–3 for under-representation and the matching
+//! incremental upper engine for over-representation) or `Baseline`
+//! (`IterTD` / brute force) — and all pairs provably agree; the
 //! test suite checks them against each other and against a brute-force
 //! [`oracle`] on thousands of randomized instances, and pins the paper's
 //! worked Examples 2.3–4.9 as unit tests. [`Audit::run`] can split the
@@ -75,6 +76,7 @@ mod stats;
 mod suggest;
 mod topdown;
 pub mod upper;
+mod upper_engine;
 pub mod util;
 
 pub use audit::{

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use rankfair_data::{intersect_counts, Bitmap, Dataset, ValueCode};
+use rankfair_data::{intersect_counts_iter, Bitmap, Dataset, ValueCode};
 use rankfair_rank::Ranking;
 
 use crate::pattern::Pattern;
@@ -228,14 +228,18 @@ impl RankedIndex {
         self.n
     }
 
-    /// `(s_D(p), s_Rk(p))` in one fused bitmap pass.
+    /// `(s_D(p), s_Rk(p))` in one fused bitmap pass, with **zero heap
+    /// allocations**: the term→bitmap mapping is a lazy iterator handed to
+    /// [`intersect_counts_iter`], so the search hot path never materializes
+    /// a `Vec<&Bitmap>` per pattern evaluation.
     pub fn counts(&self, p: &Pattern, k: usize) -> (usize, usize) {
-        let maps: Vec<&Bitmap> = p
-            .terms()
-            .iter()
-            .map(|&(a, v)| &self.bitmaps[usize::from(a)][usize::from(v)])
-            .collect();
-        intersect_counts(&maps, k, self.n)
+        intersect_counts_iter(
+            p.terms()
+                .iter()
+                .map(|&(a, v)| &self.bitmaps[usize::from(a)][usize::from(v)]),
+            k,
+            self.n,
+        )
     }
 
     /// `s_D(p)` alone.

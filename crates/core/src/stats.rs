@@ -73,6 +73,19 @@ impl SearchStats {
     pub fn patterns_examined(&self) -> u64 {
         self.nodes_evaluated + self.nodes_touched + self.schedule_pops
     }
+
+    /// Folds the counters of another (concurrent or sequential) sub-search
+    /// into this one. Counters add; `elapsed` takes the max (parallel
+    /// workers overlap in wall-clock time — sequential phases that want a
+    /// sum overwrite it afterwards); `timed_out` is sticky.
+    pub fn merge(&mut self, part: &SearchStats) {
+        self.nodes_evaluated += part.nodes_evaluated;
+        self.nodes_touched += part.nodes_touched;
+        self.schedule_pops += part.schedule_pops;
+        self.full_searches += part.full_searches;
+        self.elapsed = self.elapsed.max(part.elapsed);
+        self.timed_out |= part.timed_out;
+    }
 }
 
 /// The most general biased patterns at one value of `k`, in canonical
@@ -130,19 +143,24 @@ impl DeadlineGuard {
     }
 
     /// Returns `true` once the deadline has passed. Latches.
+    ///
+    /// The clock is polled on the **first** call and then every
+    /// `CHECK_EVERY` ticks: searches that finish in under a batch of ticks
+    /// would otherwise never observe an already-expired (e.g. zero)
+    /// deadline, making truncation behavior depend on problem size.
     #[inline]
     pub(crate) fn expired(&mut self) -> bool {
         if self.expired {
             return true;
         }
         let Some(d) = self.deadline else { return false };
-        self.ticks += 1;
-        if self.ticks >= Self::CHECK_EVERY {
+        if self.ticks == 0 || self.ticks >= Self::CHECK_EVERY {
             self.ticks = 0;
             if self.start.elapsed() > d {
                 self.expired = true;
             }
         }
+        self.ticks += 1;
         self.expired
     }
 

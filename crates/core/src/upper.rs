@@ -15,7 +15,7 @@
 use crate::bounds::Bounds;
 use crate::pattern::Pattern;
 use crate::space::{AttrId, PatternSpace, RankedIndex};
-use crate::stats::{DetectConfig, DetectionOutput, KResult, SearchStats};
+use crate::stats::{DeadlineGuard, DetectConfig, DetectionOutput, KResult, SearchStats};
 
 fn qualifies(index: &RankedIndex, tau_s: usize, k: usize, u: usize, p: &Pattern) -> (bool, usize) {
     let (sd, count) = index.counts(p, k);
@@ -32,6 +32,24 @@ pub fn upper_most_specific_single_k(
     upper: usize,
     stats: &mut SearchStats,
 ) -> Vec<Pattern> {
+    let mut guard = DeadlineGuard::new(None);
+    upper_most_specific_single_k_guarded(index, space, tau_s, k, upper, stats, &mut guard)
+        .expect("a guard without a deadline never expires")
+}
+
+/// [`upper_most_specific_single_k`] with a cooperative deadline: the DFS
+/// and the maximality sweep both poll `guard`, so even a single-`k` search
+/// over a large pattern space truncates promptly. Returns `None` on
+/// expiry.
+pub(crate) fn upper_most_specific_single_k_guarded(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    tau_s: usize,
+    k: usize,
+    upper: usize,
+    stats: &mut SearchStats,
+    guard: &mut DeadlineGuard,
+) -> Option<Vec<Pattern>> {
     let m = space.n_attrs() as AttrId;
     // Depth-first enumeration of the (subset-closed) qualifying set.
     let mut qualifying: Vec<Pattern> = Vec::new();
@@ -39,6 +57,9 @@ pub fn upper_most_specific_single_k(
         .flat_map(|a| (0..space.card(a) as u16).map(move |v| Pattern::single(a, v)))
         .collect();
     while let Some(p) = stack.pop() {
+        if guard.expired() {
+            return None;
+        }
         stats.nodes_evaluated += 1;
         let (ok, _) = qualifies(index, tau_s, k, upper, &p);
         if !ok {
@@ -54,32 +75,42 @@ pub fn upper_most_specific_single_k(
     }
     // Maximality: no one-term extension (over *any* unused attribute, not
     // just larger-indexed ones) qualifies.
-    let mut maximal: Vec<Pattern> = qualifying
-        .into_iter()
-        .filter(|p| {
-            for a in 0..m {
-                if p.value_of(a).is_some() {
-                    continue;
+    let mut maximal: Vec<Pattern> = Vec::new();
+    'outer: for p in qualifying {
+        for a in 0..m {
+            if p.value_of(a).is_some() {
+                continue;
+            }
+            for v in 0..space.card(a) as u16 {
+                if guard.expired() {
+                    return None;
                 }
-                for v in 0..space.card(a) as u16 {
-                    let mut terms = p.terms().to_vec();
-                    terms.push((a, v));
-                    let ext = Pattern::from_terms(terms).expect("attribute unused");
-                    stats.nodes_evaluated += 1;
-                    if qualifies(index, tau_s, k, upper, &ext).0 {
-                        return false;
-                    }
+                let mut terms = p.terms().to_vec();
+                terms.push((a, v));
+                let ext = Pattern::from_terms(terms).expect("attribute unused");
+                stats.nodes_evaluated += 1;
+                if qualifies(index, tau_s, k, upper, &ext).0 {
+                    continue 'outer;
                 }
             }
-            true
-        })
-        .collect();
+        }
+        maximal.push(p);
+    }
     maximal.sort_unstable();
-    maximal
+    Some(maximal)
 }
 
 /// Upper-bound detection over a `k` range: for each `k`, the most specific
 /// substantial patterns with `s_Rk(p) > U_k`.
+///
+/// This is the **per-`k` rescan**: every `k` pays a fresh DFS plus the
+/// full maximality sweep. [`crate::Audit::run`] with `Engine::Optimized`
+/// uses the incremental upper engine instead; this function remains as the
+/// free-standing API and the differential/benchmark anchor for it.
+///
+/// Honors [`DetectConfig::deadline`], checking it *inside* each single-`k`
+/// search: a run that exceeds the budget truncates to the completed `k`
+/// values and sets [`SearchStats::timed_out`].
 pub fn upper_most_specific(
     index: &RankedIndex,
     space: &PatternSpace,
@@ -88,15 +119,27 @@ pub fn upper_most_specific(
 ) -> DetectionOutput {
     assert!(cfg.k_max <= index.n(), "k_max exceeds the ranked tuples");
     let mut stats = SearchStats::default();
-    let start = std::time::Instant::now();
+    let mut guard = DeadlineGuard::new(cfg.deadline);
     let mut per_k = Vec::with_capacity(cfg.range_len());
     for k in cfg.k_min..=cfg.k_max {
         stats.full_searches += 1;
-        let patterns =
-            upper_most_specific_single_k(index, space, cfg.tau_s, k, upper.at(k), &mut stats);
-        per_k.push(KResult { k, patterns });
+        match upper_most_specific_single_k_guarded(
+            index,
+            space,
+            cfg.tau_s,
+            k,
+            upper.at(k),
+            &mut stats,
+            &mut guard,
+        ) {
+            Some(patterns) => per_k.push(KResult { k, patterns }),
+            None => {
+                stats.timed_out = true;
+                break;
+            }
+        }
     }
-    stats.elapsed = start.elapsed();
+    stats.elapsed = guard.elapsed();
     DetectionOutput { per_k, stats }
 }
 
@@ -112,25 +155,61 @@ pub struct CombinedKResult {
     pub over_represented: Vec<Pattern>,
 }
 
+/// Output of [`combined_bounds`]: per-`k` results plus instrumentation,
+/// so a deadline-truncated prefix is distinguishable from a legitimately
+/// short range ([`SearchStats::timed_out`]).
+#[derive(Debug, Clone)]
+pub struct CombinedOutput {
+    /// Per-`k` result sets, ordered by `k` (possibly truncated on
+    /// timeout).
+    pub per_k: Vec<CombinedKResult>,
+    /// Counters summed over both directions; `elapsed` is the total.
+    pub stats: SearchStats,
+}
+
 /// Runs both directions for each `k` in the range.
+///
+/// Honors [`DetectConfig::deadline`]: the lower side runs first under the
+/// full budget, the upper side gets the **remaining** wall clock (not a
+/// fresh budget) and only covers the `k` values the possibly-truncated
+/// lower side produced, so a timed-out run returns a consistent prefix —
+/// flagged via [`SearchStats::timed_out`].
 pub fn combined_bounds(
     index: &RankedIndex,
     space: &PatternSpace,
     cfg: &DetectConfig,
     lower: &Bounds,
     upper: &Bounds,
-) -> Vec<CombinedKResult> {
+) -> CombinedOutput {
     let low = crate::engine::global_bounds(index, space, cfg, lower);
-    let high = upper_most_specific(index, space, cfg, upper);
-    low.per_k
-        .into_iter()
-        .zip(high.per_k)
-        .map(|(l, h)| CombinedKResult {
-            k: l.k,
-            under_represented: l.patterns,
-            over_represented: h.patterns,
-        })
-        .collect()
+    let Some(last) = low.per_k.last() else {
+        return CombinedOutput {
+            per_k: Vec::new(),
+            stats: low.stats,
+        };
+    };
+    let over_cfg = DetectConfig {
+        k_max: last.k,
+        deadline: cfg.deadline.map(|d| d.saturating_sub(low.stats.elapsed)),
+        ..cfg.clone()
+    };
+    let high = upper_most_specific(index, space, &over_cfg, upper);
+    let mut stats = low.stats.clone();
+    stats.merge(&high.stats);
+    stats.elapsed = low.stats.elapsed + high.stats.elapsed;
+    CombinedOutput {
+        per_k: low
+            .per_k
+            .into_iter()
+            .zip(high.per_k)
+            .map(|(l, h)| CombinedKResult {
+                k: l.k,
+                under_represented: l.patterns,
+                over_represented: h.patterns,
+            })
+            .collect(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -217,8 +296,9 @@ mod tests {
             &Bounds::constant(2),
             &Bounds::constant(3),
         );
-        assert_eq!(combined.len(), 3);
-        assert_eq!(combined[0].k, 4);
+        assert_eq!(combined.per_k.len(), 3);
+        assert_eq!(combined.per_k[0].k, 4);
+        assert!(!combined.stats.timed_out);
     }
 
     #[test]
@@ -226,6 +306,57 @@ mod tests {
         let (_ds, space, _ranking, index) = fig1();
         let mut stats = SearchStats::default();
         assert!(upper_most_specific_single_k(&index, &space, 1, 5, 5, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn upper_range_honors_deadline() {
+        // Regression: `upper_most_specific` used to ignore `cfg.deadline`
+        // entirely — a deadline-bound run never stopped and never set
+        // `stats.timed_out`. The guard is polled *inside* the single-`k`
+        // search, so even the first `k` truncates under a zero budget.
+        let (_ds, space, _ranking, index) = fig1();
+        let cfg = DetectConfig::new(1, 2, 16).with_deadline(std::time::Duration::ZERO);
+        let out = upper_most_specific(&index, &space, &cfg, &Bounds::constant(1));
+        assert!(out.stats.timed_out);
+        assert!(out.per_k.is_empty());
+        // Without a deadline the same run completes and is exact.
+        let full = upper_most_specific(
+            &index,
+            &space,
+            &DetectConfig::new(1, 2, 16),
+            &Bounds::constant(1),
+        );
+        assert!(!full.stats.timed_out);
+        assert_eq!(full.per_k.len(), 15);
+    }
+
+    #[test]
+    fn combined_honors_deadline() {
+        // Regression: `combined_bounds` ignored the deadline on both
+        // sides. Under a zero budget the lower engine truncates before
+        // producing any `k`, and the combined report is a (here empty)
+        // consistent prefix rather than a full-length result.
+        let (_ds, space, _ranking, index) = fig1();
+        let cfg = DetectConfig::new(2, 4, 6).with_deadline(std::time::Duration::ZERO);
+        let combined = combined_bounds(
+            &index,
+            &space,
+            &cfg,
+            &Bounds::constant(2),
+            &Bounds::constant(3),
+        );
+        assert!(combined.per_k.is_empty());
+        assert!(combined.stats.timed_out);
+        // And the undeadlined run still covers the whole range.
+        let full = combined_bounds(
+            &index,
+            &space,
+            &DetectConfig::new(2, 4, 6),
+            &Bounds::constant(2),
+            &Bounds::constant(3),
+        );
+        assert_eq!(full.per_k.len(), 3);
+        assert!(!full.stats.timed_out);
     }
 }
 

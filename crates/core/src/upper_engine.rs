@@ -1,0 +1,656 @@
+//! The incremental over-representation engine: §III upper-bound detection
+//! without the per-`k` rescan.
+//!
+//! The per-`k` searches in [`crate::upper`] re-run a fresh DFS plus
+//! `O(m·card)` maximality probes at **every** `k` — exactly the cost
+//! blow-up the paper's Algorithms 2–3 eliminate for the lower-bound
+//! problems. This engine applies the same observation (Proposition 4.3:
+//! consecutive top-`k` sets differ by one tuple) to the upper-bound side.
+//!
+//! Qualification here is `s_D(p) ≥ τs ∧ s_Rk(p) > U_k`, which is
+//! **subset-closed**: both counts are anti-monotone in specialization, so
+//! a subset of a qualifying pattern qualifies. The engine keeps every
+//! pattern it has evaluated in a persistent node store and maintains these
+//! invariants between `k` values:
+//!
+//! * **exact counts** — the tuple entering the top-`k` satisfies a
+//!   connected subtree of the stored search tree; one root walk bumps all
+//!   their counts (no dataset scans), exactly like the lower engine's
+//!   `walk_counts`;
+//! * **tree closure** — every qualifying node is expanded (its search-tree
+//!   children are stored), so the store always covers the full qualifying
+//!   set plus one boundary layer. With `U_k` fixed, counts only grow, so
+//!   nodes only *start* qualifying — the closure is repaired by expanding
+//!   exactly the newly qualifying nodes (and, recursively, their fresh
+//!   qualifying children);
+//! * **maximal frontier** — the reported most-specific patterns. A pattern
+//!   leaves the frontier only when a one-term extension starts qualifying,
+//!   and every such extension is itself a stored node when it flips (its
+//!   tree prefixes are subsets, hence qualify, hence are expanded). So the
+//!   per-step frontier delta is: drop the one-term subsets of each newly
+//!   qualifying node, then run the `O(m·card)` maximality probe **only on
+//!   the newly qualifying nodes** — not on the whole qualifying set as the
+//!   per-`k` rescan does. Probes read stored nodes exclusively: an
+//!   extension outside the tree closure has a non-qualifying (unexpanded)
+//!   prefix, so by subset-closure it cannot qualify — no probe ever costs
+//!   a fresh pattern evaluation.
+//!
+//! On an upper-bound step (`U_k ≠ U_{k-1}`) nodes can flip in both
+//! directions, so the engine reclassifies the whole store in one pass — a
+//! store rescan with zero fresh evaluations, not a from-scratch rebuild —
+//! expands any newly qualifying region, and applies the same frontier
+//! delta with the *lost* nodes folded in: a lost node leaves the frontier,
+//! and its still-qualifying one-term subsets (for which it may have been
+//! the last qualifying blocker) join the probe candidates. Probes stay
+//! confined to the flipped region, so bounds that change at every `k`
+//! (e.g. [`Bounds::LinearFraction`]) remain incremental; decreasing bounds
+//! are covered too, since the growing qualifying set is re-covered by the
+//! expansion cascade.
+//!
+//! For [`OverRepScope::MostGeneral`] the answer collapses: the qualifying
+//! set is subset-closed, so every qualifying multi-term pattern has a
+//! qualifying single-term subset, and the most general qualifying patterns
+//! are exactly the qualifying **single-term** patterns. The engine then
+//! maintains only the root level of the store.
+
+use crate::audit::OverRepScope;
+use crate::bounds::Bounds;
+use crate::pattern::Pattern;
+use crate::space::{AttrId, PatternSpace, RankedIndex};
+use crate::stats::{DeadlineGuard, DetectConfig, KResult, SearchStats};
+use crate::util::FxHashSet;
+use rankfair_data::ValueCode;
+
+#[derive(Debug)]
+struct Node {
+    pattern: Pattern,
+    /// `s_Rk` at the engine's current `k`. (`s_D` is not stored: it is
+    /// fixed for the run and only its `≥ τs` verdict — `pruned` — is ever
+    /// read again.)
+    count: u32,
+    /// `s_D < τs`: never qualifies, never expanded, counts never read.
+    pruned: bool,
+    /// `s_D ≥ τs ∧ count > U_k` under the current `(k, U_k)`.
+    qualified: bool,
+    expanded: bool,
+    /// Children in (attribute, value) order for attributes past
+    /// `max_attr`, enabling arithmetic child lookup on the walk.
+    children: Vec<u32>,
+}
+
+pub(crate) struct UpperEngine<'a> {
+    index: &'a RankedIndex,
+    space: &'a PatternSpace,
+    tau_s: usize,
+    scope: OverRepScope,
+    nodes: Vec<Node>,
+    /// Level-1 nodes laid out by `card_prefix[attr] + value`.
+    root_children: Vec<u32>,
+    /// `card_prefix[a] = Σ_{b<a} card(b)` — the walk's child-lookup
+    /// arithmetic, shared with the lower engine.
+    card_prefix: Vec<u32>,
+    /// Node ids of the maximal frontier (most-specific qualifying
+    /// patterns). Unused for [`OverRepScope::MostGeneral`].
+    maximal: FxHashSet<u32>,
+    stats: SearchStats,
+}
+
+impl<'a> UpperEngine<'a> {
+    fn new(
+        index: &'a RankedIndex,
+        space: &'a PatternSpace,
+        tau_s: usize,
+        scope: OverRepScope,
+    ) -> Self {
+        let mut card_prefix = Vec::with_capacity(space.n_attrs() + 1);
+        let mut acc = 0u32;
+        card_prefix.push(0);
+        for a in 0..space.n_attrs() as AttrId {
+            acc += space.card(a) as u32;
+            card_prefix.push(acc);
+        }
+        UpperEngine {
+            index,
+            space,
+            tau_s,
+            scope,
+            nodes: Vec::new(),
+            root_children: Vec::new(),
+            card_prefix,
+            maximal: FxHashSet::default(),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Evaluates a fresh pattern (one fused, zero-allocation bitmap scan)
+    /// and stores the node classified under `(k, u)`.
+    fn eval_new(&mut self, pattern: Pattern, k: usize, u: usize) -> u32 {
+        let (sd, count) = self.index.counts(&pattern, k);
+        self.stats.nodes_evaluated += 1;
+        let pruned = sd < self.tau_s;
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            pattern,
+            count: count as u32,
+            pruned,
+            qualified: !pruned && count > u,
+            expanded: false,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Finds the stored node for sorted `terms` by walking the child
+    /// arithmetic from the root, or `None` if the path leaves the stored
+    /// closure. Every pattern whose proper tree prefixes all qualify is
+    /// reachable (qualifying nodes are always expanded).
+    fn lookup(&self, terms: &[(AttrId, ValueCode)]) -> Option<u32> {
+        let (&(a0, v0), rest) = terms.split_first()?;
+        let mut id =
+            self.root_children[self.card_prefix[usize::from(a0)] as usize + usize::from(v0)];
+        let mut ma = a0;
+        for &(a, v) in rest {
+            let nd = &self.nodes[id as usize];
+            if !nd.expanded {
+                return None;
+            }
+            let base = self.card_prefix[usize::from(ma) + 1];
+            id = nd.children[(self.card_prefix[usize::from(a)] - base) as usize + usize::from(v)];
+            ma = a;
+        }
+        Some(id)
+    }
+
+    /// Phase 1 of a step: bump the count of every stored node the newly
+    /// ranked tuple satisfies (a connected subtree reachable from the
+    /// root). With `fresh = Some(..)` the qualification flag is updated
+    /// in place and nodes that flip qualifying are collected; with `None`
+    /// only counts move (a bound step reclassifies every flag afterwards).
+    fn walk_counts(&mut self, k: usize, u: usize, mut fresh: Option<&mut Vec<u32>>) {
+        let t_pos = k - 1;
+        let m = self.space.n_attrs() as AttrId;
+        let mut stack: Vec<u32> = Vec::new();
+        for a in 0..m {
+            let v = self.index.code_at(t_pos, a);
+            stack.push(
+                self.root_children[self.card_prefix[usize::from(a)] as usize + usize::from(v)],
+            );
+        }
+        while let Some(id) = stack.pop() {
+            if self.nodes[id as usize].pruned {
+                continue; // counts of pruned nodes are never read
+            }
+            self.nodes[id as usize].count += 1;
+            self.stats.nodes_touched += 1;
+            if let Some(list) = fresh.as_deref_mut() {
+                let nd = &mut self.nodes[id as usize];
+                if !nd.qualified && (nd.count as usize) > u {
+                    nd.qualified = true;
+                    list.push(id);
+                }
+            }
+            if self.nodes[id as usize].expanded {
+                let start = self.nodes[id as usize]
+                    .pattern
+                    .max_attr()
+                    .map_or(0, |a| a + 1);
+                let base = self.card_prefix[usize::from(start)];
+                for a in start..m {
+                    let v = self.index.code_at(t_pos, a);
+                    let idx = (self.card_prefix[usize::from(a)] - base) as usize + usize::from(v);
+                    stack.push(self.nodes[id as usize].children[idx]);
+                }
+            }
+        }
+    }
+
+    /// Phase 2: repair the tree closure. Every node in `fresh` (newly
+    /// qualifying) is expanded; fresh children that qualify under `(k, u)`
+    /// join the worklist, so the closure grows to cover the whole new
+    /// qualifying region.
+    fn cascade(
+        &mut self,
+        fresh: &mut Vec<u32>,
+        k: usize,
+        u: usize,
+        guard: &mut DeadlineGuard,
+    ) -> bool {
+        let m = self.space.n_attrs() as AttrId;
+        let mut i = 0;
+        while i < fresh.len() {
+            if guard.expired() {
+                return false;
+            }
+            let id = fresh[i];
+            i += 1;
+            if self.nodes[id as usize].expanded {
+                // Re-qualifying after a bound step: children already stored
+                // and walked; their own flips were collected independently.
+                continue;
+            }
+            let (start, pattern) = {
+                let nd = &self.nodes[id as usize];
+                (
+                    nd.pattern.max_attr().map_or(0, |a| a + 1),
+                    nd.pattern.clone(),
+                )
+            };
+            let mut children = Vec::new();
+            for a in start..m {
+                for v in 0..self.space.card(a) as ValueCode {
+                    let c = self.eval_new(pattern.child(a, v), k, u);
+                    if self.nodes[c as usize].qualified {
+                        fresh.push(c);
+                    }
+                    children.push(c);
+                }
+            }
+            let nd = &mut self.nodes[id as usize];
+            nd.children = children;
+            nd.expanded = true;
+        }
+        true
+    }
+
+    /// Whether any one-term extension of `id` qualifies under the current
+    /// bound `u` — entirely from stored state, with **zero** fresh pattern
+    /// evaluations: a `lookup` miss means some tree prefix of the
+    /// extension is unexpanded, i.e. non-qualifying, and qualification is
+    /// subset-closed, so the extension cannot qualify either. Returns
+    /// `None` on deadline expiry.
+    fn probe_maximal(&mut self, id: u32, u: usize, guard: &mut DeadlineGuard) -> Option<bool> {
+        let pattern = self.nodes[id as usize].pattern.clone();
+        let m = self.space.n_attrs() as AttrId;
+        let mut ext: Vec<(AttrId, ValueCode)> = Vec::with_capacity(pattern.len() + 1);
+        for a in 0..m {
+            if pattern.value_of(a).is_some() {
+                continue;
+            }
+            for v in 0..self.space.card(a) as ValueCode {
+                if guard.expired() {
+                    return None;
+                }
+                ext.clear();
+                ext.extend_from_slice(pattern.terms());
+                ext.push((a, v));
+                ext.sort_unstable();
+                let qualifies = match self.lookup(&ext) {
+                    Some(eid) => {
+                        self.stats.nodes_touched += 1;
+                        let nd = &self.nodes[eid as usize];
+                        !nd.pruned && (nd.count as usize) > u
+                    }
+                    None => false,
+                };
+                if qualifies {
+                    return Some(false);
+                }
+            }
+        }
+        Some(true)
+    }
+
+    /// The sorted one-term-deletion subsets of a stored node's pattern
+    /// (empty for single-term patterns, whose only subset is the
+    /// never-reported empty pattern), resolved to node ids. The subsets of
+    /// a pattern that qualifies — or qualified before this step — are
+    /// always stored and reachable, hence the `expect`.
+    fn one_term_subset_ids(&self, id: u32) -> Vec<u32> {
+        let pattern = &self.nodes[id as usize].pattern;
+        if pattern.len() < 2 {
+            return Vec::new();
+        }
+        let terms = pattern.terms();
+        let mut sub: Vec<(AttrId, ValueCode)> = Vec::with_capacity(terms.len() - 1);
+        (0..terms.len())
+            .map(|drop_i| {
+                sub.clear();
+                sub.extend(
+                    terms
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != drop_i)
+                        .map(|(_, &t)| t),
+                );
+                self.lookup(&sub)
+                    .expect("one-term subsets of a qualifying pattern are stored")
+            })
+            .collect()
+    }
+
+    /// Applies the frontier delta once a step has finalized every
+    /// qualification flag and repaired the closure. `fresh` holds the
+    /// nodes that started qualifying, `lost` those that stopped (possible
+    /// only on bound steps).
+    ///
+    /// Correctness: a pattern's frontier membership changes only when (a)
+    /// it flips qualification itself, or (b) a one-term extension flips —
+    /// and every extension that flips is a stored node in `fresh`/`lost`
+    /// (its tree prefixes are subsets, hence qualify(ed), hence are
+    /// expanded). Exits are therefore the lost nodes plus the one-term
+    /// subsets of fresh nodes; entry candidates are the fresh nodes plus
+    /// the still-qualifying one-term subsets of lost nodes (the lost
+    /// extension may have been their last qualifying blocker). Only the
+    /// entry candidates are probed — never the whole qualifying set.
+    fn apply_frontier_delta(
+        &mut self,
+        fresh: &[u32],
+        lost: &[u32],
+        u: usize,
+        guard: &mut DeadlineGuard,
+    ) -> bool {
+        for &id in lost {
+            self.maximal.remove(&id);
+        }
+        for &id in fresh {
+            for sid in self.one_term_subset_ids(id) {
+                self.maximal.remove(&sid);
+            }
+        }
+        let mut cands: Vec<u32> = fresh.to_vec();
+        let mut seen: FxHashSet<u32> = fresh.iter().copied().collect();
+        for &id in lost {
+            for sid in self.one_term_subset_ids(id) {
+                if self.nodes[sid as usize].qualified && seen.insert(sid) {
+                    cands.push(sid);
+                }
+            }
+        }
+        for id in cands {
+            // A candidate already in the frontier kept its verdict: any
+            // newly qualifying extension would have evicted it above.
+            if !self.nodes[id as usize].qualified || self.maximal.contains(&id) {
+                continue;
+            }
+            match self.probe_maximal(id, u, guard) {
+                None => return false,
+                Some(true) => {
+                    self.maximal.insert(id);
+                }
+                Some(false) => {}
+            }
+        }
+        true
+    }
+
+    /// Initial build at the first `k`: evaluate the root level, grow the
+    /// closure over the qualifying set, compute the frontier (every
+    /// qualifying node is "fresh", so the delta probes each exactly once).
+    fn build(&mut self, k: usize, u: usize, guard: &mut DeadlineGuard) -> bool {
+        if guard.expired() {
+            return false;
+        }
+        self.stats.full_searches += 1;
+        let m = self.space.n_attrs() as AttrId;
+        let mut fresh = Vec::new();
+        for a in 0..m {
+            for v in 0..self.space.card(a) as ValueCode {
+                let id = self.eval_new(Pattern::single(a, v), k, u);
+                self.root_children.push(id);
+                if self.nodes[id as usize].qualified {
+                    fresh.push(id);
+                }
+            }
+        }
+        if self.scope == OverRepScope::MostGeneral {
+            return true;
+        }
+        self.cascade(&mut fresh, k, u, guard) && self.apply_frontier_delta(&fresh, &[], u, guard)
+    }
+
+    /// Incremental step `k−1 → k` with an unchanged bound: walk the new
+    /// tuple's subtree, repair the closure, and apply the frontier delta.
+    /// With `U` fixed, counts only grow, so no node can stop qualifying —
+    /// `lost` is empty.
+    fn step(&mut self, k: usize, u: usize, guard: &mut DeadlineGuard) -> bool {
+        if guard.expired() {
+            return false;
+        }
+        let mut fresh = Vec::new();
+        self.walk_counts(k, u, Some(&mut fresh));
+        if self.scope == OverRepScope::MostGeneral {
+            return true;
+        }
+        self.cascade(&mut fresh, k, u, guard) && self.apply_frontier_delta(&fresh, &[], u, guard)
+    }
+
+    /// Step across a bound change `U_{k-1} ≠ U_k`: bump counts, then
+    /// reclassify the entire store in one pass (no fresh evaluations),
+    /// repair the closure where the qualifying set grew, and apply the
+    /// frontier delta with both gains and losses. Handles increasing *and*
+    /// decreasing bounds; frontier probes stay confined to the flipped
+    /// region, so even a bound that changes at every `k`
+    /// ([`Bounds::LinearFraction`]) keeps the engine incremental.
+    fn bound_step(&mut self, k: usize, u: usize, guard: &mut DeadlineGuard) -> bool {
+        if guard.expired() {
+            return false;
+        }
+        self.walk_counts(k, u, None);
+        let mut fresh = Vec::new();
+        let mut lost = Vec::new();
+        for id in 0..self.nodes.len() as u32 {
+            if self.nodes[id as usize].pruned {
+                continue;
+            }
+            self.stats.nodes_touched += 1;
+            let nd = &mut self.nodes[id as usize];
+            let q = (nd.count as usize) > u;
+            if q != nd.qualified {
+                nd.qualified = q;
+                if q {
+                    fresh.push(id);
+                } else {
+                    lost.push(id);
+                }
+            }
+        }
+        if self.scope == OverRepScope::MostGeneral {
+            return true;
+        }
+        self.cascade(&mut fresh, k, u, guard) && self.apply_frontier_delta(&fresh, &lost, u, guard)
+    }
+
+    /// The current result set for `k`, sorted canonically.
+    fn snapshot(&self, k: usize) -> KResult {
+        let mut patterns: Vec<Pattern> = match self.scope {
+            OverRepScope::MostSpecific => self
+                .maximal
+                .iter()
+                .map(|&id| self.nodes[id as usize].pattern.clone())
+                .collect(),
+            OverRepScope::MostGeneral => self
+                .root_children
+                .iter()
+                .filter(|&&id| self.nodes[id as usize].qualified)
+                .map(|&id| self.nodes[id as usize].pattern.clone())
+                .collect(),
+        };
+        patterns.sort_unstable();
+        KResult { k, patterns }
+    }
+}
+
+/// Lazy, resumable over-representation detection: yields the [`KResult`]
+/// for each `k` on demand, maintaining the incremental engine between
+/// pulls. Both [`crate::Audit::run`] and [`crate::Audit::run_streaming`]
+/// drive this for `Engine::Optimized`.
+pub(crate) struct UpperStream<'a> {
+    engine: UpperEngine<'a>,
+    upper: Bounds,
+    k_min: usize,
+    k_max: usize,
+    guard: DeadlineGuard,
+    next_k: usize,
+    failed: bool,
+}
+
+impl<'a> UpperStream<'a> {
+    pub(crate) fn new(
+        index: &'a RankedIndex,
+        space: &'a PatternSpace,
+        cfg: &DetectConfig,
+        upper: Bounds,
+        scope: OverRepScope,
+    ) -> Self {
+        debug_assert!(cfg.k_max <= index.n(), "k_max exceeds the ranked tuples");
+        UpperStream {
+            engine: UpperEngine::new(index, space, cfg.tau_s, scope),
+            upper,
+            k_min: cfg.k_min,
+            k_max: cfg.k_max,
+            guard: DeadlineGuard::new(cfg.deadline),
+            next_k: cfg.k_min,
+            failed: false,
+        }
+    }
+
+    /// Instrumentation accumulated so far, with up-to-date wall clock and
+    /// timeout flag.
+    pub(crate) fn stats(&self) -> SearchStats {
+        let mut stats = self.engine.stats.clone();
+        stats.elapsed = self.guard.elapsed();
+        stats.timed_out = self.failed;
+        stats
+    }
+
+    /// Whether the stream stopped early on the deadline.
+    pub(crate) fn timed_out(&self) -> bool {
+        self.failed
+    }
+}
+
+impl Iterator for UpperStream<'_> {
+    type Item = KResult;
+
+    fn next(&mut self) -> Option<KResult> {
+        if self.failed || self.next_k > self.k_max {
+            return None;
+        }
+        let k = self.next_k;
+        let u = self.upper.at(k);
+        let ok = if k == self.k_min {
+            self.engine.build(k, u, &mut self.guard)
+        } else if u != self.upper.at(k - 1) {
+            self.engine.bound_step(k, u, &mut self.guard)
+        } else {
+            self.engine.step(k, u, &mut self.guard)
+        };
+        if !ok {
+            self.failed = true;
+            return None;
+        }
+        self.next_k += 1;
+        Some(self.engine.snapshot(k))
+    }
+}
+
+/// Batch driver: runs the incremental engine over the whole `k` range.
+pub(crate) fn upper_incremental(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    cfg: &DetectConfig,
+    upper: &Bounds,
+    scope: OverRepScope,
+) -> (Vec<KResult>, SearchStats) {
+    let mut stream = UpperStream::new(index, space, cfg, upper.clone(), scope);
+    let per_k: Vec<KResult> = stream.by_ref().collect();
+    (per_k, stream.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upper::{upper_most_general_single_k, upper_most_specific_single_k};
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+    use rankfair_rank::Ranking;
+
+    fn fig1() -> (PatternSpace, RankedIndex) {
+        let ds = students_fig1();
+        let space = PatternSpace::from_dataset(&ds).unwrap();
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let index = RankedIndex::build(&ds, &space, &ranking);
+        (space, index)
+    }
+
+    #[test]
+    fn incremental_matches_per_k_search_on_fig1() {
+        let (space, index) = fig1();
+        for tau in [1, 2, 4] {
+            for u in [0, 1, 2, 4] {
+                for scope in [OverRepScope::MostSpecific, OverRepScope::MostGeneral] {
+                    let cfg = DetectConfig::new(tau, 2, 16);
+                    let (per_k, _) =
+                        upper_incremental(&index, &space, &cfg, &Bounds::constant(u), scope);
+                    assert_eq!(per_k.len(), 15);
+                    for kr in &per_k {
+                        let mut stats = SearchStats::default();
+                        let want = match scope {
+                            OverRepScope::MostSpecific => upper_most_specific_single_k(
+                                &index, &space, tau, kr.k, u, &mut stats,
+                            ),
+                            OverRepScope::MostGeneral => upper_most_general_single_k(
+                                &index, &space, tau, kr.k, u, &mut stats,
+                            ),
+                        };
+                        assert_eq!(kr.patterns, want, "tau={tau} u={u} k={} {scope:?}", kr.k);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_per_k_search_across_bound_steps() {
+        let (space, index) = fig1();
+        // Includes an increasing and a decreasing step, exercising the
+        // store-rescan path in both directions.
+        let bounds = Bounds::steps(vec![(0, 1), (6, 3), (11, 2)]);
+        let cfg = DetectConfig::new(2, 2, 16);
+        let (per_k, _) =
+            upper_incremental(&index, &space, &cfg, &bounds, OverRepScope::MostSpecific);
+        for kr in &per_k {
+            let mut stats = SearchStats::default();
+            let want =
+                upper_most_specific_single_k(&index, &space, 2, kr.k, bounds.at(kr.k), &mut stats);
+            assert_eq!(kr.patterns, want, "k={}", kr.k);
+        }
+    }
+
+    #[test]
+    fn incremental_evaluates_fewer_nodes_than_per_k_rescan() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 16);
+        let (_, inc_stats) = upper_incremental(
+            &index,
+            &space,
+            &cfg,
+            &Bounds::constant(2),
+            OverRepScope::MostSpecific,
+        );
+        let mut rescan = SearchStats::default();
+        for k in 2..=16 {
+            upper_most_specific_single_k(&index, &space, 2, k, 2, &mut rescan);
+        }
+        assert!(
+            inc_stats.nodes_evaluated < rescan.nodes_evaluated,
+            "incremental {} >= rescan {}",
+            inc_stats.nodes_evaluated,
+            rescan.nodes_evaluated
+        );
+    }
+
+    #[test]
+    fn zero_deadline_truncates_and_flags() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(1, 2, 16).with_deadline(std::time::Duration::ZERO);
+        let (per_k, stats) = upper_incremental(
+            &index,
+            &space,
+            &cfg,
+            &Bounds::constant(1),
+            OverRepScope::MostSpecific,
+        );
+        assert!(per_k.is_empty());
+        assert!(stats.timed_out);
+    }
+}

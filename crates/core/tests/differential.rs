@@ -291,6 +291,135 @@ fn over_rep_and_combined_single_k_agree_on_synthetic_compas() {
     }
 }
 
+/// Satellite requirement: the **incremental** over-representation engine
+/// (one build, then per-`k` subtree walks and frontier deltas) must match
+/// the brute-force baseline over whole `k` ranges with *step* upper
+/// bounds — the case that exercises the store-rescan path — on the
+/// paper's Figure 1 data.
+#[test]
+fn incremental_over_rep_matches_baseline_across_step_bounds_on_fig1() {
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+    let audit = Audit::builder(Arc::new(students_fig1()))
+        .ranking(Ranking::from_order(fig1_rank_order()).unwrap())
+        .build()
+        .unwrap();
+    let bounds = [
+        Bounds::constant(1),
+        Bounds::steps(vec![(0, 1), (6, 2), (11, 3)]),
+        // A decreasing step: outside the paper's assumption, but the
+        // rescan must stay exact for it.
+        Bounds::Steps(vec![(8, 1), (0, 2)]),
+        // Changes at almost every k — the frontier delta's gains+losses
+        // path runs on nearly every step.
+        Bounds::LinearFraction(0.3),
+    ];
+    for tau in [1, 2, 4] {
+        for upper in &bounds {
+            for scope in [OverRepScope::MostSpecific, OverRepScope::MostGeneral] {
+                let cfg = DetectConfig::new(tau, 2, 16);
+                let task = AuditTask::OverRep {
+                    upper: upper.clone(),
+                    scope,
+                };
+                let opt = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+                let base = audit.run(&cfg, &task, Engine::Baseline).unwrap();
+                assert_eq!(opt.per_k, base.per_k, "tau={tau} {upper:?} {scope:?}");
+            }
+            let task = AuditTask::Combined {
+                lower: Bounds::constant(2),
+                upper: upper.clone(),
+            };
+            let cfg = DetectConfig::new(tau, 2, 16);
+            let opt = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+            let base = audit.run(&cfg, &task, Engine::Baseline).unwrap();
+            assert_eq!(opt.per_k, base.per_k, "combined tau={tau} {upper:?}");
+        }
+    }
+}
+
+fn synthetic_audit(which: &str, rows: usize, seed: u64, rank_by: &str, n_attrs: usize) -> Audit {
+    use rankfair_rank::{AttributeRanker, Ranker};
+    let ds = match which {
+        "compas" => rankfair_synth::compas(rankfair_synth::SynthConfig::new(rows, seed)),
+        "german" => rankfair_synth::german_credit(rankfair_synth::SynthConfig::new(rows, seed)),
+        other => panic!("unknown synthetic dataset {other}"),
+    };
+    let ranking = AttributeRanker::by_desc(rank_by).rank(&ds);
+    let cats = ds.categorical_columns();
+    let space = PatternSpace::from_columns(&ds, &cats).unwrap();
+    let attr_names: Vec<String> = (0..space.n_attrs().min(n_attrs))
+        .map(|a| space.attr_name(a as u16).to_string())
+        .collect();
+    Audit::builder(Arc::new(ds))
+        .ranking(ranking)
+        .attributes(attr_names)
+        .build()
+        .unwrap()
+}
+
+/// Satellite requirement: incremental OverRep ≡ baseline on seeded
+/// synthetic COMPAS and German ranges with step upper bounds, and the
+/// streaming path must be byte-identical to the batch path.
+#[test]
+fn incremental_over_rep_matches_baseline_on_synthetic_compas_and_german() {
+    for (which, rank_by) in [("compas", "priors_count"), ("german", "credit_amount")] {
+        let audit = synthetic_audit(which, 180, 7, rank_by, 4);
+        let upper = Bounds::steps(vec![(10, 4), (25, 9), (40, 14)]);
+        for tau in [5, 15] {
+            let cfg = DetectConfig::new(tau, 10, 60);
+            for task in [
+                AuditTask::OverRep {
+                    upper: upper.clone(),
+                    scope: OverRepScope::MostSpecific,
+                },
+                AuditTask::OverRep {
+                    upper: upper.clone(),
+                    scope: OverRepScope::MostGeneral,
+                },
+                AuditTask::Combined {
+                    lower: Bounds::paper_default(),
+                    upper: upper.clone(),
+                },
+            ] {
+                let opt = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+                let base = audit.run(&cfg, &task, Engine::Baseline).unwrap();
+                assert_eq!(opt.per_k, base.per_k, "{which} tau={tau} {task:?}");
+                let streamed: Vec<_> = audit.run_streaming(&cfg, &task).unwrap().collect();
+                assert_eq!(opt.per_k, streamed, "streaming {which} tau={tau} {task:?}");
+            }
+        }
+    }
+}
+
+/// Satellite requirement: the incremental engine must evaluate strictly
+/// fewer patterns than the per-`k` rescan it replaces (the old
+/// `Engine::Optimized` path: a fresh DFS + full maximality sweep at every
+/// `k`, still available as `upper::upper_most_specific`).
+#[test]
+fn incremental_over_rep_evaluates_fewer_nodes_than_per_k_rescan() {
+    let audit = synthetic_audit("compas", 300, 11, "priors_count", 5);
+    let upper = Bounds::steps(vec![(10, 4), (25, 9), (40, 14)]);
+    let cfg = DetectConfig::new(10, 10, 80);
+    let task = AuditTask::OverRep {
+        upper: upper.clone(),
+        scope: OverRepScope::MostSpecific,
+    };
+    let inc = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+    let rescan =
+        rankfair_core::upper::upper_most_specific(audit.index(), audit.space(), &cfg, &upper);
+    assert_eq!(inc.per_k.len(), rescan.per_k.len());
+    for (a, b) in inc.per_k.iter().zip(&rescan.per_k) {
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.over, b.patterns, "k={}", a.k);
+    }
+    assert!(
+        inc.stats.nodes_evaluated < rescan.stats.nodes_evaluated,
+        "incremental {} >= per-k rescan {}",
+        inc.stats.nodes_evaluated,
+        rescan.stats.nodes_evaluated
+    );
+}
+
 /// The adversarial instance of Theorem 3.3: the number of most general
 /// biased patterns is C(n, n/2), exponential in the attribute count. Both
 /// measures of the theorem's proof are checked.

@@ -83,13 +83,28 @@ impl Bitmap {
 /// With an empty `maps` slice the AND is the universe: returns
 /// `(len, min(k, len))` where `len` is taken as `universe_len`.
 pub fn intersect_counts(maps: &[&Bitmap], k: usize, universe_len: usize) -> (usize, usize) {
-    if maps.is_empty() {
+    intersect_counts_iter(maps.iter().copied(), k, universe_len)
+}
+
+/// Iterator form of [`intersect_counts`]: the same fused full/prefix
+/// popcount without requiring the caller to materialize a `&[&Bitmap]`
+/// slice — the detection hot path maps pattern terms to bitmaps lazily, so
+/// a pattern evaluation performs **zero heap allocations**.
+///
+/// The iterator is re-walked once per 64-bit block, so it must be `Clone`
+/// and cheap to advance (a slice iterator plus a map closure is).
+pub fn intersect_counts_iter<'a, I>(maps: I, k: usize, universe_len: usize) -> (usize, usize)
+where
+    I: Iterator<Item = &'a Bitmap> + Clone,
+{
+    let mut probe = maps.clone();
+    let Some(first) = probe.next() else {
         return (universe_len, k.min(universe_len));
-    }
-    let len = maps[0].len;
-    debug_assert!(maps.iter().all(|m| m.len == len));
+    };
+    let len = first.len;
+    debug_assert!(maps.clone().all(|m| m.len == len));
     let k = k.min(len);
-    let n_blocks = maps[0].blocks.len();
+    let n_blocks = first.blocks.len();
     let k_full = k / BITS;
     let k_rem = k % BITS;
     let mut full = 0usize;
@@ -97,8 +112,8 @@ pub fn intersect_counts(maps: &[&Bitmap], k: usize, universe_len: usize) -> (usi
     for b in 0..n_blocks {
         // First map copied, remaining ANDed in: avoids a !0 sentinel and
         // lets LLVM unroll the common 1–3 term case.
-        let mut acc = maps[0].blocks[b];
-        for m in &maps[1..] {
+        let mut acc = first.blocks[b];
+        for m in maps.clone().skip(1) {
             acc &= m.blocks()[b];
         }
         let ones = acc.count_ones() as usize;
