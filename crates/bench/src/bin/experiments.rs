@@ -4,10 +4,10 @@
 //!   experiments `<id>` [--timeout SECS] [--seed N] [--quick]
 //!
 //! ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize
-//!      worstcase faststeps scaling overrep all
+//!      worstcase faststeps scaling overrep serve all
 //!
-//! `overrep` additionally writes its measurements to `BENCH_overrep.json`
-//! in the working directory.
+//! `overrep` and `serve` additionally write their measurements to
+//! `BENCH_overrep.json` / `BENCH_service.json` in the working directory.
 //!
 //! Absolute runtimes differ from the paper (Rust vs. the authors' Python
 //! testbed, synthetic vs. real data); the reproduced claims are the curve
@@ -15,6 +15,7 @@
 //! k-range, runtime decreasing in τs, and the qualitative content of the
 //! Shapley analysis and case study. See EXPERIMENTS.md.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use rankfair::core::{
@@ -660,6 +661,150 @@ fn overrep(opts: &Opts) {
     }
 }
 
+/// Service throughput: cold queries (every request pays audit
+/// construction — space + ranked index) vs. cached queries (all requests
+/// share one cached audit) at 1/2/4/8 concurrent client workers against a
+/// single `AuditService`. Prints a table and writes `BENCH_service.json`.
+fn serve_bench(opts: &Opts) {
+    use rankfair::json::Value;
+    use rankfair::service::{AuditRequest, AuditService, RankingSpec};
+
+    println!("\n## AuditService throughput: cold (build per request) vs cached");
+    let w = compas_workload(if opts.quick { 6889 / 4 } else { 0 }, opts.seed);
+    let per_worker = if opts.quick { 4 } else { 16 };
+    let order = w.ranking.order().to_vec();
+    let raw = Arc::new(w.raw.clone());
+    // The request carries the full preparation pipeline (the §VI-A COMPAS
+    // bucketization), exactly as a wire client would send it: a cold
+    // request pays dataset copy + bucketization + pattern space + ranked
+    // index; a cached one skips all of it.
+    let bucketize: Vec<(String, usize)> = [
+        ("age", 4),
+        ("juv_fel_count", 3),
+        ("juv_misd_count", 3),
+        ("juv_other_count", 3),
+        ("priors_count", 4),
+        ("days_b_screening_arrest", 3),
+        ("c_days_from_compas", 4),
+        ("start", 3),
+        ("end", 4),
+    ]
+    .map(|(c, b)| (c.to_string(), b))
+    .into_iter()
+    .collect();
+    // Single-k queries — the interactive serving shape ("who is biased in
+    // the top 20?"). The k-range sweep is the batch shape benchmarked by
+    // the other experiments; here the contrast under test is construction
+    // (cold) vs. not (cached).
+    let request_for = |dataset: String| AuditRequest {
+        dataset,
+        attributes: None,
+        bucketize: bucketize.clone(),
+        ranking: RankingSpec::Order(order.clone()),
+        task: AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::paper_default())),
+        config: DetectConfig::new(50, 20, 20),
+        engine: Engine::Optimized,
+    };
+
+    let mut t = Table::new(&[
+        "workers",
+        "requests",
+        "cold_ms",
+        "cold_qps",
+        "cached_ms",
+        "cached_qps",
+        "speedup",
+    ]);
+    let mut json_rows: Vec<Value> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let service = AuditService::new();
+        let total = workers * per_worker;
+        // Cold path: every request addresses a distinct alias of the same
+        // in-memory dataset, so every request maps to a fresh cache key
+        // and pays space + index construction.
+        for i in 0..total {
+            service.register_dataset(&format!("compas#{i}"), Arc::clone(&raw));
+        }
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for worker in 0..workers {
+                let (service, request_for) = (&service, &request_for);
+                s.spawn(move || {
+                    for i in 0..per_worker {
+                        let req = request_for(format!("compas#{}", worker * per_worker + i));
+                        let resp = service.handle(&req).expect("bench request");
+                        assert!(!resp.cache.hit, "cold request must not hit");
+                    }
+                });
+            }
+        });
+        let cold_s = t0.elapsed().as_secs_f64();
+        assert_eq!(service.cache_stats(), (0, total as u64));
+
+        // Cached path: one shared key, warmed once; every request after
+        // the warm-up skips construction.
+        service.register_dataset("compas", Arc::clone(&raw));
+        let warm_req = request_for("compas".to_string());
+        let warm = service.handle(&warm_req).expect("warm-up");
+        assert!(!warm.cache.hit);
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let (service, warm_req) = (&service, &warm_req);
+                s.spawn(move || {
+                    for _ in 0..per_worker {
+                        let resp = service.handle(warm_req).expect("bench request");
+                        assert!(resp.cache.hit, "warmed request must hit");
+                    }
+                });
+            }
+        });
+        let cached_s = t0.elapsed().as_secs_f64();
+
+        let cold_qps = total as f64 / cold_s;
+        let cached_qps = total as f64 / cached_s;
+        t.row(&[
+            workers.to_string(),
+            total.to_string(),
+            format!("{:.1}", cold_s * 1000.0),
+            format!("{cold_qps:.0}"),
+            format!("{:.1}", cached_s * 1000.0),
+            format!("{cached_qps:.0}"),
+            format!("{:.1}x", cached_qps / cold_qps),
+        ]);
+        json_rows.push(Value::object([
+            ("workers", Value::from(workers)),
+            ("requests", Value::from(total)),
+            ("cold_ms", Value::from(cold_s * 1000.0)),
+            ("cold_qps", Value::from(cold_qps)),
+            ("cached_ms", Value::from(cached_s * 1000.0)),
+            ("cached_qps", Value::from(cached_qps)),
+        ]));
+    }
+    print!("{}", t.render());
+    println!("(cold = fresh cache key per request; cached = one warmed key shared by all)");
+    let json = Value::object([
+        ("bench", Value::from("serve")),
+        (
+            "config",
+            Value::object([
+                ("dataset", Value::from("compas")),
+                ("rows", Value::from(w.detection.n_rows())),
+                ("tau_s", Value::from(50usize)),
+                ("k_min", Value::from(20usize)),
+                ("k_max", Value::from(20usize)),
+                ("per_worker", Value::from(per_worker)),
+                ("quick", Value::from(opts.quick)),
+            ]),
+        ),
+        ("rows", Value::array(json_rows)),
+    ]);
+    match std::fs::write("BENCH_service.json", json.render() + "\n") {
+        Ok(()) => println!("wrote BENCH_service.json"),
+        Err(e) => eprintln!("could not write BENCH_service.json: {e}"),
+    }
+}
+
 /// Theorem 3.3: the adversarial instance is exponential.
 fn worstcase(opts: &Opts) {
     println!("\n## Theorem 3.3: worst-case instance (n attributes, n+1 tuples, k = n)");
@@ -734,6 +879,7 @@ fn main() {
         "faststeps" => faststeps(&opts),
         "scaling" => scaling(&opts),
         "overrep" => overrep(&opts),
+        "serve" => serve_bench(&opts),
         "all" => {
             fig45(true, &opts);
             fig45(false, &opts);
@@ -749,9 +895,10 @@ fn main() {
             faststeps(&opts);
             scaling(&opts);
             overrep(&opts);
+            serve_bench(&opts);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase faststeps scaling overrep all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase faststeps scaling overrep serve all");
             std::process::exit(2);
         }
     }

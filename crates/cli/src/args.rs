@@ -31,7 +31,16 @@ USAGE:
         --bucketize c=BINS,...  bucketize numeric columns before detection
         --baseline          deprecated alias for --engine baseline
         --top N             print at most N groups per k (default 20)
-        --format table|csv  output format (default table)
+        --format table|csv|json  output format (default table)
+
+  rankfair serve [options]
+      Serve JSONL audit requests from stdin to stdout (one JSON object per
+      line, responses in request order). The Figure 1 example dataset is
+      preloaded as `fig1`; further datasets are registered with --datasets
+      or in-stream {\"op\": \"register\"} requests.
+        --workers N         worker threads answering requests (default 1)
+        --datasets n=p,...  preload CSV datasets as name=path pairs
+        --no-timing         zero wall-clock fields (deterministic output)
 
   rankfair explain --csv FILE --rank-by COL --group \"a=v,b=w\" [options]
       Shapley-explain why a group ranks where it does.
@@ -118,6 +127,12 @@ pub const COMPARE_SPEC: FlagSpec = FlagSpec {
 pub const DEMO_SPEC: FlagSpec = FlagSpec {
     values: &[],
     switches: &[],
+};
+
+/// `rankfair serve`.
+pub const SERVE_SPEC: FlagSpec = FlagSpec {
+    values: &["workers", "datasets"],
+    switches: &["no-timing"],
 };
 
 /// Parsed `--flag value` / `--flag` pairs.

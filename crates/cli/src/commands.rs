@@ -13,12 +13,49 @@ use rankfair_data::Dataset;
 use rankfair_divergence::{display_items, divergent_subgroups, DivergenceConfig};
 use rankfair_explain::{ExplainConfig, ForestParams, RankSurrogate};
 use rankfair_rank::{AttributeRanker, Ranker, Ranking, SortKey};
+use rankfair_service::serve::ServeOptions;
+use rankfair_service::AuditService;
 
 use crate::args::{parse_bucketize, parse_group, Flags};
 
+/// A command failure, classified so `main` can map it to the right exit
+/// code: **usage** errors (bad flags/values — the invocation itself is
+/// wrong, exit 2) vs. **runtime** failures (missing files, data-dependent
+/// errors, failed runs — exit 1). Scripts driving the CLI rely on the
+/// distinction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The invocation is malformed; rerunning it will never work.
+    Usage(String),
+    /// The invocation is well-formed but failed against this environment
+    /// or data.
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) | CliError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+// Flag parsing/validation helpers all yield Strings describing a bad
+// invocation; let `?` classify them as usage errors. Runtime failures are
+// wrapped explicitly via `rt`.
+impl From<String> for CliError {
+    fn from(e: String) -> Self {
+        CliError::Usage(e)
+    }
+}
+
+fn rt(e: impl ToString) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
 /// Loads the CSV and computes the ranking on the raw data — the shared
 /// front half of every subcommand.
-fn load(flags: &Flags) -> Result<(Arc<Dataset>, Ranking), String> {
+fn load(flags: &Flags) -> Result<(Arc<Dataset>, Ranking), CliError> {
     let path = flags.require("csv")?;
     let sep = flags
         .get("sep")
@@ -28,11 +65,11 @@ fn load(flags: &Flags) -> Result<(Arc<Dataset>, Ranking), String> {
         separator: sep,
         ..CsvOptions::default()
     };
-    let raw = read_csv(path, &opts).map_err(|e| format!("reading {path}: {e}"))?;
+    let raw = read_csv(path, &opts).map_err(|e| rt(format!("reading {path}: {e}")))?;
 
     let rank_col = flags.require("rank-by")?;
     if raw.column_index(rank_col).is_none() {
-        return Err(format!("--rank-by: no column named `{rank_col}`"));
+        return Err(rt(format!("--rank-by: no column named `{rank_col}`")));
     }
     let key = if flags.switch("asc") {
         SortKey::asc(rank_col)
@@ -45,7 +82,7 @@ fn load(flags: &Flags) -> Result<(Arc<Dataset>, Ranking), String> {
 
 /// Builds the audit: bucketization (as builder hooks on a private copy),
 /// attribute restriction, and worker threads all come from flags.
-fn build_audit(raw: &Arc<Dataset>, ranking: &Ranking, flags: &Flags) -> Result<Audit, String> {
+fn build_audit(raw: &Arc<Dataset>, ranking: &Ranking, flags: &Flags) -> Result<Audit, CliError> {
     let mut builder = Audit::builder(Arc::clone(raw)).ranking(ranking.clone());
     if let Some(spec) = flags.get("bucketize") {
         for (col, bins) in parse_bucketize(spec)? {
@@ -56,7 +93,9 @@ fn build_audit(raw: &Arc<Dataset>, ranking: &Ranking, flags: &Flags) -> Result<A
         builder = builder.attributes(attrs);
     }
     builder = builder.threads(flags.num("threads", 1)?);
-    builder.build().map_err(|e| e.to_string())
+    // Build failures are data-dependent (unknown attribute columns, failed
+    // bucketization hooks): runtime, not usage.
+    builder.build().map_err(rt)
 }
 
 fn parse_engine(flags: &Flags) -> Result<Engine, String> {
@@ -142,7 +181,7 @@ fn parse_task(flags: &Flags) -> Result<AuditTask, String> {
 }
 
 /// `rankfair detect`.
-pub fn detect(flags: &Flags) -> Result<(), String> {
+pub fn detect(flags: &Flags) -> Result<(), CliError> {
     let (raw, ranking) = load(flags)?;
     let audit = build_audit(&raw, &ranking, flags)?;
 
@@ -150,10 +189,16 @@ pub fn detect(flags: &Flags) -> Result<(), String> {
     let k_min: usize = flags.num("kmin", 10)?;
     let k_max: usize = flags.num("kmax", 49)?;
     let n_rows = audit.dataset().n_rows();
-    if k_min == 0 || k_min > k_max || k_max > n_rows {
-        return Err(format!(
+    if k_min == 0 || k_min > k_max {
+        return Err(CliError::Usage(format!(
+            "invalid k range [{k_min}, {k_max}]"
+        )));
+    }
+    if k_max > n_rows {
+        // Well-formed range, too large for *this* dataset: runtime.
+        return Err(rt(format!(
             "invalid k range [{k_min}, {k_max}] for {n_rows} rows"
-        ));
+        )));
     }
     let mut cfg = DetectConfig::new(tau, k_min, k_max);
     if let Some(secs) = flags.get("deadline") {
@@ -169,9 +214,17 @@ pub fn detect(flags: &Flags) -> Result<(), String> {
     }
     let task = parse_task(flags)?;
     let engine = parse_engine(flags)?;
-
-    let out = audit.run(&cfg, &task, engine).map_err(|e| e.to_string())?;
+    // Validate the remaining output flags *before* the (possibly long)
+    // run: a pure usage error must not cost minutes of computation first.
+    let format = flags.get("format").unwrap_or("table");
+    if !matches!(format, "table" | "csv" | "json") {
+        return Err(CliError::Usage(format!(
+            "--format must be table, csv or json, got `{format}`"
+        )));
+    }
     let top: usize = flags.num("top", 20)?;
+
+    let out = audit.run(&cfg, &task, engine).map_err(rt)?;
     let mut reports = audit.report(&out, &task);
     for r in &mut reports {
         // Cap each direction separately: the under block precedes the over
@@ -187,10 +240,21 @@ pub fn detect(flags: &Flags) -> Result<(), String> {
             *seen <= top
         });
     }
-    match flags.get("format").unwrap_or("table") {
+    match format {
         "table" => print!("{}", render_report(&reports)),
         "csv" => print!("{}", render_report_csv(&reports)),
-        other => return Err(format!("--format must be table or csv, got `{other}`")),
+        "json" => {
+            use rankfair_json::{ToJson, Value};
+            let v = Value::object([
+                (
+                    "per_k",
+                    rankfair_core::json::reports_json(&reports, audit.space()),
+                ),
+                ("stats", out.stats.to_json()),
+            ]);
+            println!("{v}");
+        }
+        _ => unreachable!("format validated before the run"),
     }
     eprintln!(
         "[{} groups over {} k values; {} patterns examined in {:.1?}; {} thread(s){}]",
@@ -209,7 +273,7 @@ pub fn detect(flags: &Flags) -> Result<(), String> {
 }
 
 /// `rankfair explain`.
-pub fn explain(flags: &Flags) -> Result<(), String> {
+pub fn explain(flags: &Flags) -> Result<(), CliError> {
     let (raw, ranking) = load(flags)?;
     let audit = build_audit(&raw, &ranking, flags)?;
     let pairs = parse_group(flags.require("group")?)?;
@@ -220,10 +284,10 @@ pub fn explain(flags: &Flags) -> Result<(), String> {
     let pattern = audit
         .space()
         .pattern(&refs)
-        .ok_or("unknown attribute or value in --group")?;
+        .ok_or_else(|| rt("unknown attribute or value in --group"))?;
     let members = audit.group_members(&pattern);
     if members.is_empty() {
-        return Err("the group matches no tuples".into());
+        return Err(rt("the group matches no tuples"));
     }
     let k: usize = flags.num("k", 49.min(raw.n_rows()))?;
     let (sd, count) = audit.index().counts(&pattern, k);
@@ -256,7 +320,7 @@ pub fn explain(flags: &Flags) -> Result<(), String> {
 }
 
 /// `rankfair compare`.
-pub fn compare(flags: &Flags) -> Result<(), String> {
+pub fn compare(flags: &Flags) -> Result<(), CliError> {
     let (raw, ranking) = load(flags)?;
     let audit = build_audit(&raw, &ranking, flags)?;
     let k: usize = flags.num("k", 10)?;
@@ -271,10 +335,8 @@ pub fn compare(flags: &Flags) -> Result<(), String> {
     });
     let global = audit
         .run(&cfg, &global_task, Engine::Optimized)
-        .map_err(|e| e.to_string())?;
-    let prop = audit
-        .run(&cfg, &prop_task, Engine::Optimized)
-        .map_err(|e| e.to_string())?;
+        .map_err(rt)?;
+    let prop = audit.run(&cfg, &prop_task, Engine::Optimized).map_err(rt)?;
     println!("GlobalBounds ({} groups):", global.per_k[0].under.len());
     for p in &global.per_k[0].under {
         println!("  {}", audit.describe(p));
@@ -318,28 +380,21 @@ pub fn compare(flags: &Flags) -> Result<(), String> {
 }
 
 /// `rankfair demo` — the Figure 1 running example, both directions.
-pub fn demo() -> Result<(), String> {
+pub fn demo() -> Result<(), CliError> {
     let ds = Arc::new(rankfair_data::examples::students_fig1());
     let ranker = AttributeRanker::new(vec![SortKey::desc("Grade"), SortKey::asc("Failures")]);
-    let audit = Audit::builder(ds)
-        .ranker(&ranker)
-        .build()
-        .map_err(|e| e.to_string())?;
+    let audit = Audit::builder(ds).ranker(&ranker).build().map_err(rt)?;
     println!("Figure 1 running example: 16 students, ranking by grade then failures.\n");
 
     let cfg = DetectConfig::new(4, 4, 5);
     let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
-    let out = audit
-        .run(&cfg, &task, Engine::Optimized)
-        .map_err(|e| e.to_string())?;
+    let out = audit.run(&cfg, &task, Engine::Optimized).map_err(rt)?;
     println!("Global bounds (τs = 4, L = 2):");
     print!("{}", render_report(&audit.report(&out, &task)));
 
     let cfg = DetectConfig::new(5, 4, 5);
     let task = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.9 });
-    let out = audit
-        .run(&cfg, &task, Engine::Optimized)
-        .map_err(|e| e.to_string())?;
+    let out = audit.run(&cfg, &task, Engine::Optimized).map_err(rt)?;
     println!("\nProportional (τs = 5, α = 0.9):");
     print!("{}", render_report(&audit.report(&out, &task)));
 
@@ -348,11 +403,47 @@ pub fn demo() -> Result<(), String> {
         lower: Bounds::constant(2),
         upper: Bounds::constant(2),
     };
-    let out = audit
-        .run(&cfg, &task, Engine::Optimized)
-        .map_err(|e| e.to_string())?;
+    let out = audit.run(&cfg, &task, Engine::Optimized).map_err(rt)?;
     println!("\nCombined lower + upper bounds (τs = 4, L = 2, U = 2):");
     print!("{}", render_report(&audit.report(&out, &task)));
+    Ok(())
+}
+
+/// `rankfair serve` — answer JSONL requests from stdin on stdout until
+/// EOF, on a worker pool. See `rankfair_service::wire` for the protocol.
+pub fn serve(flags: &Flags) -> Result<(), CliError> {
+    let workers: usize = flags.num("workers", 1)?;
+    let service = AuditService::new();
+    // The Figure 1 example dataset ships preloaded so sessions (and the
+    // golden-file CI check) work without any CSV on disk.
+    service.register_dataset("fig1", Arc::new(rankfair_data::examples::students_fig1()));
+    if let Some(specs) = flags.list("datasets") {
+        for spec in specs {
+            let (name, path) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("--datasets entry `{spec}` must look like name=path"))?;
+            let (rows, cols) = service.register_csv(name, path, ',').map_err(rt)?;
+            eprintln!("[loaded {name} from {path}: {rows} rows, {cols} cols]");
+        }
+    }
+    let opts = ServeOptions {
+        workers,
+        strip_timing: flags.switch("no-timing"),
+    };
+    let stdin = std::io::stdin();
+    // `StdoutLock` is not `Send` (the writer runs on its own thread);
+    // plain `Stdout` locks per write, which is fine for one writer.
+    let summary = rankfair_service::serve::serve(&service, stdin.lock(), std::io::stdout(), &opts)
+        .map_err(|e| rt(format!("serving: {e}")))?;
+    eprintln!(
+        "[served {} request(s), {} error(s); cache: {} audit(s), {} hit(s)/{} miss(es); {} worker(s)]",
+        summary.requests,
+        summary.errors,
+        service.cache_len(),
+        service.cache_stats().0,
+        service.cache_stats().1,
+        workers.max(1),
+    );
     Ok(())
 }
 
@@ -486,7 +577,8 @@ mod tests {
             args.extend(extra);
             let f = detect_flags(&args);
             let err = detect(&f).unwrap_err();
-            assert!(err.contains("does not apply"), "{err}");
+            assert!(err.to_string().contains("does not apply"), "{err:?}");
+            assert!(matches!(err, CliError::Usage(_)), "{err:?}");
         }
         // Most-general scope parses and runs.
         let f = detect_flags(&[
@@ -528,7 +620,7 @@ mod tests {
                 args.extend(["--task", "over"]);
             }
             let f = detect_flags(&args);
-            assert!(detect(&f).unwrap_err().contains(hint));
+            assert!(detect(&f).unwrap_err().to_string().contains(hint));
         }
     }
 
@@ -637,20 +729,27 @@ mod tests {
             "--format",
             "xml",
         ]);
-        assert!(detect(&bad).unwrap_err().contains("--format"));
+        let err = detect(&bad).unwrap_err();
+        assert!(err.to_string().contains("--format"));
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
     }
 
     #[test]
     fn missing_csv_flag_is_reported() {
         let f = detect_flags(&["--rank-by", "G3"]);
-        assert!(detect(&f).unwrap_err().contains("--csv"));
+        let err = detect(&f).unwrap_err();
+        assert!(err.to_string().contains("--csv"));
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
     }
 
     #[test]
     fn unknown_rank_column_is_reported() {
         let path = student_csv();
         let f = detect_flags(&["--csv", path.to_str().unwrap(), "--rank-by", "nope"]);
-        assert!(detect(&f).unwrap_err().contains("nope"));
+        let err = detect(&f).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+        // The flag is well-formed; the *data* lacks the column: runtime.
+        assert!(matches!(err, CliError::Runtime(_)), "{err:?}");
     }
 
     #[test]
@@ -666,7 +765,9 @@ mod tests {
             "--kmax",
             "10",
         ]);
-        assert!(detect(&f).unwrap_err().contains("invalid k range"));
+        let err = detect(&f).unwrap_err();
+        assert!(err.to_string().contains("invalid k range"));
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
     }
 
     #[test]
@@ -680,6 +781,8 @@ mod tests {
             "--group",
             "sex=Q",
         ]);
-        assert!(explain(&f).unwrap_err().contains("unknown attribute"));
+        let err = explain(&f).unwrap_err();
+        assert!(err.to_string().contains("unknown attribute"));
+        assert!(matches!(err, CliError::Runtime(_)), "{err:?}");
     }
 }

@@ -28,6 +28,7 @@ fn main() -> ExitCode {
         "detect" => &args::DETECT_SPEC,
         "explain" => &args::EXPLAIN_SPEC,
         "compare" => &args::COMPARE_SPEC,
+        "serve" => &args::SERVE_SPEC,
         other => {
             eprintln!("error: unknown command `{other}`");
             eprintln!("run `rankfair help` for usage");
@@ -47,13 +48,22 @@ fn main() -> ExitCode {
         "detect" => commands::detect(&flags),
         "explain" => commands::explain(&flags),
         "compare" => commands::compare(&flags),
+        "serve" => commands::serve(&flags),
         _ => unreachable!("command validated above"),
     };
+    // Exit codes distinguish *how* a command failed: 2 for usage errors
+    // (the invocation is wrong), 1 for runtime failures (the environment
+    // or data is). Scripts and the serve smoke test rely on this.
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(commands::CliError::Usage(e)) => {
             eprintln!("error: {e}");
+            eprintln!("run `rankfair help` for usage");
             ExitCode::from(2)
+        }
+        Err(commands::CliError::Runtime(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -701,15 +701,14 @@ impl Audit {
         task: &AuditTask,
     ) -> Result<AuditStream<'_>, AuditError> {
         self.validate(cfg, task)?;
-        #[allow(deprecated)] // internal reuse of the shimmed stream core
         let under = match task {
-            AuditTask::UnderRep(BiasMeasure::GlobalLower(b)) => Some(
-                engine::DetectionStream::global(&self.index, &self.space, cfg, b),
-            ),
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(b)) => {
+                Some(engine::StreamCore::global(&self.index, &self.space, cfg, b))
+            }
             AuditTask::UnderRep(BiasMeasure::Proportional { alpha }) => Some(
-                engine::DetectionStream::proportional(&self.index, &self.space, cfg, *alpha),
+                engine::StreamCore::proportional(&self.index, &self.space, cfg, *alpha),
             ),
-            AuditTask::Combined { lower, .. } => Some(engine::DetectionStream::global(
+            AuditTask::Combined { lower, .. } => Some(engine::StreamCore::global(
                 &self.index,
                 &self.space,
                 cfg,
@@ -746,8 +745,7 @@ impl Audit {
 /// Lazy per-`k` iterator returned by [`Audit::run_streaming`].
 pub struct AuditStream<'a> {
     k_max: usize,
-    #[allow(deprecated)]
-    under: Option<engine::DetectionStream<'a>>,
+    under: Option<engine::StreamCore<'a>>,
     over: Option<UpperStream<'a>>,
     next_k: usize,
 }
@@ -756,7 +754,6 @@ impl AuditStream<'_> {
     /// Instrumentation counters accumulated so far (both directions).
     pub fn stats(&self) -> SearchStats {
         let mut stats = self.over.as_ref().map(|s| s.stats()).unwrap_or_default();
-        #[allow(deprecated)]
         if let Some(s) = &self.under {
             stats.merge(s.stats());
         }
@@ -765,7 +762,6 @@ impl AuditStream<'_> {
 
     /// Whether either side stopped early on the deadline.
     pub fn timed_out(&self) -> bool {
-        #[allow(deprecated)]
         let under = self.under.as_ref().is_some_and(|s| s.timed_out());
         under || self.over.as_ref().is_some_and(|s| s.timed_out())
     }
@@ -782,7 +778,6 @@ impl Iterator for AuditStream<'_> {
         // if either truncates, the zipped stream ends (truncate-and-flag,
         // matching the batch path).
         let k = self.next_k;
-        #[allow(deprecated)]
         let under = match &mut self.under {
             Some(stream) => stream.next()?.patterns,
             None => Vec::new(),

@@ -555,15 +555,7 @@ fn check_range(index: &RankedIndex, cfg: &DetectConfig) {
     since = "0.2.0",
     note = "use Audit::run_streaming, which owns its data and also covers the upper-bound tasks"
 )]
-pub struct DetectionStream<'a> {
-    engine: Engine<'a>,
-    cfg: DetectConfig,
-    bounds_for_steps: Option<Bounds>,
-    fast_steps: bool,
-    guard: DeadlineGuard,
-    next_k: usize,
-    failed: bool,
-}
+pub struct DetectionStream<'a>(StreamCore<'a>);
 
 #[allow(deprecated)]
 impl<'a> DetectionStream<'a> {
@@ -574,9 +566,63 @@ impl<'a> DetectionStream<'a> {
         cfg: &DetectConfig,
         bounds: &Bounds,
     ) -> Self {
+        DetectionStream(StreamCore::global(index, space, cfg, bounds))
+    }
+
+    /// Streaming `PropBounds`.
+    pub fn proportional(
+        index: &'a RankedIndex,
+        space: &'a PatternSpace,
+        cfg: &DetectConfig,
+        alpha: f64,
+    ) -> Self {
+        DetectionStream(StreamCore::proportional(index, space, cfg, alpha))
+    }
+
+    /// Instrumentation counters accumulated so far.
+    pub fn stats(&self) -> &SearchStats {
+        self.0.stats()
+    }
+
+    /// Whether the stream stopped early because the deadline fired.
+    pub fn timed_out(&self) -> bool {
+        self.0.timed_out()
+    }
+}
+
+#[allow(deprecated)]
+impl Iterator for DetectionStream<'_> {
+    type Item = KResult;
+
+    fn next(&mut self) -> Option<KResult> {
+        self.0.next()
+    }
+}
+
+/// The non-deprecated core the shimmed [`DetectionStream`] wraps; also the
+/// under-representation half of `Audit::run_streaming`, so the owned API
+/// never has to touch the deprecated surface.
+pub(crate) struct StreamCore<'a> {
+    engine: Engine<'a>,
+    cfg: DetectConfig,
+    bounds_for_steps: Option<Bounds>,
+    fast_steps: bool,
+    guard: DeadlineGuard,
+    next_k: usize,
+    failed: bool,
+}
+
+impl<'a> StreamCore<'a> {
+    /// Streaming `GlobalBounds` (with the fast bound-step extension).
+    pub fn global(
+        index: &'a RankedIndex,
+        space: &'a PatternSpace,
+        cfg: &DetectConfig,
+        bounds: &Bounds,
+    ) -> Self {
         check_range(index, cfg);
         let measure = BiasMeasure::GlobalLower(bounds.clone());
-        DetectionStream {
+        StreamCore {
             engine: Engine::new(index, space, measure, cfg.tau_s, cfg.k_max),
             cfg: cfg.clone(),
             bounds_for_steps: Some(bounds.clone()),
@@ -597,7 +643,7 @@ impl<'a> DetectionStream<'a> {
         check_range(index, cfg);
         assert!(alpha > 0.0, "alpha must be positive");
         let measure = BiasMeasure::Proportional { alpha };
-        DetectionStream {
+        StreamCore {
             engine: Engine::new(index, space, measure, cfg.tau_s, cfg.k_max),
             cfg: cfg.clone(),
             bounds_for_steps: None,
@@ -619,8 +665,7 @@ impl<'a> DetectionStream<'a> {
     }
 }
 
-#[allow(deprecated)]
-impl Iterator for DetectionStream<'_> {
+impl Iterator for StreamCore<'_> {
     type Item = KResult;
 
     fn next(&mut self) -> Option<KResult> {

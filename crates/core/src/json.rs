@@ -1,0 +1,247 @@
+//! JSON encodings of the report and error types, for the wire protocol of
+//! `rankfair_service` and the CLI's `--format json`.
+//!
+//! Every encoding is a plain data mapping — deterministic field order,
+//! integral counts as JSON integers, durations in fractional milliseconds
+//! — so responses can be diffed byte-for-byte in golden tests. Patterns
+//! are encoded twice over: as the human-readable `{Attr=value}` display
+//! string and as structured `attr → value-label` terms, so wire consumers
+//! never need to re-parse the display form.
+
+use rankfair_json::{ToJson, Value};
+
+use crate::audit::{AuditError, AuditTask, OverRepScope};
+use crate::bounds::{BiasMeasure, Bounds};
+use crate::pattern::Pattern;
+use crate::report::{BiasedGroup, KReport};
+use crate::space::PatternSpace;
+use crate::stats::SearchStats;
+
+/// Encodes a pattern as structured terms: `{"Attr": "label", …}` in
+/// attribute order, resolved against `space`.
+pub fn pattern_terms_json(p: &Pattern, space: &PatternSpace) -> Value {
+    Value::Obj(
+        p.terms()
+            .iter()
+            .map(|&(attr, code)| {
+                (
+                    space.attr_name(attr).to_string(),
+                    Value::from(space.label(attr, code)),
+                )
+            })
+            .collect(),
+    )
+}
+
+impl ToJson for BiasedGroup {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("group", Value::from(self.display.as_str())),
+            ("direction", Value::from(self.direction.as_str())),
+            ("size_in_data", Value::from(self.size_in_data)),
+            ("size_in_topk", Value::from(self.size_in_topk)),
+            ("required", Value::from(self.required)),
+            ("bias_gap", Value::from(self.bias_gap)),
+        ])
+    }
+}
+
+impl ToJson for KReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("k", Value::from(self.k)),
+            (
+                "groups",
+                Value::array(self.groups.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for SearchStats {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("nodes_evaluated", Value::from(self.nodes_evaluated)),
+            ("nodes_touched", Value::from(self.nodes_touched)),
+            ("schedule_pops", Value::from(self.schedule_pops)),
+            ("full_searches", Value::from(self.full_searches)),
+            ("patterns_examined", Value::from(self.patterns_examined())),
+            (
+                "elapsed_ms",
+                Value::from(self.elapsed.as_secs_f64() * 1000.0),
+            ),
+            ("timed_out", Value::from(self.timed_out)),
+        ])
+    }
+}
+
+impl ToJson for Bounds {
+    fn to_json(&self) -> Value {
+        match self {
+            Bounds::Constant(l) => Value::from(*l),
+            Bounds::Steps(pairs) => Value::object([(
+                "steps",
+                Value::array(
+                    pairs
+                        .iter()
+                        .map(|&(k, b)| Value::array(vec![Value::from(k), Value::from(b)]))
+                        .collect(),
+                ),
+            )]),
+            Bounds::LinearFraction(f) => Value::object([("fraction", Value::from(*f))]),
+        }
+    }
+}
+
+impl ToJson for AuditTask {
+    fn to_json(&self) -> Value {
+        match self {
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(b)) => Value::object([
+                ("type", Value::from("under")),
+                (
+                    "measure",
+                    Value::object([("type", Value::from("global")), ("lower", b.to_json())]),
+                ),
+            ]),
+            AuditTask::UnderRep(BiasMeasure::Proportional { alpha }) => Value::object([
+                ("type", Value::from("under")),
+                (
+                    "measure",
+                    Value::object([
+                        ("type", Value::from("proportional")),
+                        ("alpha", Value::from(*alpha)),
+                    ]),
+                ),
+            ]),
+            AuditTask::OverRep { upper, scope } => Value::object([
+                ("type", Value::from("over")),
+                ("upper", upper.to_json()),
+                (
+                    "scope",
+                    Value::from(match scope {
+                        OverRepScope::MostSpecific => "specific",
+                        OverRepScope::MostGeneral => "general",
+                    }),
+                ),
+            ]),
+            AuditTask::Combined { lower, upper } => Value::object([
+                ("type", Value::from("combined")),
+                ("lower", lower.to_json()),
+                ("upper", upper.to_json()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for AuditError {
+    fn to_json(&self) -> Value {
+        let kind = match self {
+            AuditError::Space(_) => "space",
+            AuditError::MissingRanking => "missing_ranking",
+            AuditError::RankingMismatch { .. } => "ranking_mismatch",
+            AuditError::InvalidKRange { .. } => "invalid_k_range",
+            AuditError::InvalidAlpha(_) => "invalid_alpha",
+            AuditError::InvalidBound(_) => "invalid_bound",
+            AuditError::Prepare(_) => "prepare",
+        };
+        Value::object([
+            ("kind", Value::from(kind)),
+            ("message", Value::from(self.to_string())),
+        ])
+    }
+}
+
+/// Enriched per-`k` reports with structured pattern terms attached —
+/// [`KReport::to_json`] plus a `terms` member per group. The full-fidelity
+/// encoding the service responds with.
+pub fn reports_json(reports: &[KReport], space: &PatternSpace) -> Value {
+    Value::array(
+        reports
+            .iter()
+            .map(|r| {
+                Value::object([
+                    ("k", Value::from(r.k)),
+                    (
+                        "groups",
+                        Value::array(
+                            r.groups
+                                .iter()
+                                .map(|g| {
+                                    let Value::Obj(mut pairs) = g.to_json() else {
+                                        unreachable!("BiasedGroup encodes as an object")
+                                    };
+                                    pairs.insert(
+                                        1,
+                                        (
+                                            "terms".to_string(),
+                                            pattern_terms_json(&g.pattern, space),
+                                        ),
+                                    );
+                                    Value::Obj(pairs)
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{Audit, AuditTask};
+    use crate::bounds::{BiasMeasure, Bounds};
+    use crate::stats::DetectConfig;
+    use crate::Engine;
+    use rankfair_data::examples::{fig1_rank_order, students_fig1};
+    use rankfair_json::parse;
+    use rankfair_rank::Ranking;
+    use std::sync::Arc;
+
+    #[test]
+    fn reports_encode_and_round_trip_through_text() {
+        let audit = Audit::builder(Arc::new(students_fig1()))
+            .ranking(Ranking::from_order(fig1_rank_order()).unwrap())
+            .build()
+            .unwrap();
+        let cfg = DetectConfig::new(4, 4, 5);
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        let out = audit.run(&cfg, &task, Engine::Optimized).unwrap();
+        let reports = audit.report(&out, &task);
+        let v = reports_json(&reports, audit.space());
+        let parsed = parse(&v.render()).unwrap();
+        assert_eq!(parsed, v);
+        let k4 = &parsed.as_arr().unwrap()[0];
+        assert_eq!(k4.get("k").unwrap().as_usize(), Some(4));
+        let groups = k4.get("groups").unwrap().as_arr().unwrap();
+        let gp = groups
+            .iter()
+            .find(|g| g.get("group").unwrap().as_str() == Some("{School=GP}"))
+            .expect("GP group present");
+        assert_eq!(gp.get("size_in_data").unwrap().as_usize(), Some(8));
+        assert_eq!(gp.get("direction").unwrap().as_str(), Some("under"));
+        assert_eq!(
+            gp.get("terms").unwrap().get("School").unwrap().as_str(),
+            Some("GP")
+        );
+    }
+
+    #[test]
+    fn stats_and_errors_encode() {
+        let stats = SearchStats {
+            nodes_evaluated: 7,
+            nodes_touched: 3,
+            ..SearchStats::default()
+        };
+        let v = stats.to_json();
+        assert_eq!(v.get("patterns_examined").unwrap().as_usize(), Some(10));
+        assert_eq!(v.get("timed_out").unwrap().as_bool(), Some(false));
+
+        let e = AuditError::InvalidKRange { k_max: 20, n: 16 };
+        let v = e.to_json();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("invalid_k_range"));
+        assert!(v.get("message").unwrap().as_str().unwrap().contains("20"));
+    }
+}

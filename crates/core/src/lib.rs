@@ -68,6 +68,7 @@ mod audit;
 mod bounds;
 mod detector;
 mod engine;
+pub mod json;
 pub mod oracle;
 mod pattern;
 mod report;

@@ -1,0 +1,457 @@
+//! The JSONL line server: read requests line by line, answer them on a
+//! worker pool, write responses in request order.
+//!
+//! This is what `rankfair serve` runs against stdin/stdout, turning the
+//! library into a long-lived scriptable process:
+//!
+//! ```text
+//! $ rankfair serve --workers 4 < requests.jsonl > responses.jsonl
+//! ```
+//!
+//! Ordering contract: responses appear in **request order** regardless of
+//! worker count (a reorder buffer on the writer side). Registration ops
+//! (`register`) are a **barrier**: the reader waits for every previously
+//! dispatched request to finish, then applies the registration, then
+//! dispatches the rest — so an audit always runs against the dataset
+//! state at the point its line appeared in the stream, even when a later
+//! line re-registers the same name.
+//!
+//! Determinism: at `workers = 1` a session is fully deterministic apart
+//! from wall-clock fields, and with [`ServeOptions::strip_timing`] those
+//! are zeroed too — which is how the golden-file CI check diffs a whole
+//! session byte-for-byte. At higher worker counts the report/stats
+//! payloads are still deterministic, but *which* of several concurrently
+//! racing cold requests for one cache key pays the build (the `cache.hit`
+//! flag) is scheduling-dependent by nature — single-flight guarantees
+//! exactly one build, not which request runs it.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::{wire, AuditService};
+
+/// One unit of work flowing through the (bounded) job queue. Every input
+/// line becomes exactly one job, so in-flight memory — queue plus the
+/// writer's reorder buffer — is bounded by the queue capacity plus the
+/// worker count, independent of input size.
+enum Job {
+    /// An audit request a worker executes (boxed: `AuditRequest` is much
+    /// larger than a `Ready` line, and jobs sit in a queue).
+    Run(Box<wire::Request>),
+    /// A response already produced by the reader (registry ops, parse
+    /// errors); a worker just forwards it, preserving order and
+    /// backpressure.
+    Ready(String, bool),
+}
+
+/// Counts completed worker jobs so the reader can barrier on "everything
+/// dispatched so far has finished" before applying a registration.
+#[derive(Default)]
+struct JobBarrier {
+    completed: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl JobBarrier {
+    fn job_done(&self) {
+        *self.completed.lock().expect("barrier lock") += 1;
+        self.all_done.notify_all();
+    }
+
+    fn wait_for(&self, dispatched: usize) {
+        let mut completed = self.completed.lock().expect("barrier lock");
+        while *completed < dispatched {
+            completed = self.all_done.wait(completed).expect("barrier lock");
+        }
+    }
+}
+
+/// Options for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads answering audit requests (min 1).
+    pub workers: usize,
+    /// Zero out `wall_ms` and `stats.elapsed_ms` so responses are
+    /// byte-deterministic.
+    pub strip_timing: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 1,
+            strip_timing: false,
+        }
+    }
+}
+
+/// What a [`serve`] session did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines answered (empty lines are skipped).
+    pub requests: usize,
+    /// How many of them answered `"ok": false`.
+    pub errors: usize,
+}
+
+/// Reads JSONL requests from `input` until EOF, answers them against
+/// `service` on a pool of [`ServeOptions::workers`] threads, and writes
+/// one JSONL response per request to `output`, in request order.
+///
+/// Individual request failures are answered in-band (`"ok": false`) and
+/// never abort the session; the only `Err` here is an I/O failure on the
+/// streams themselves.
+pub fn serve<R: BufRead, W: Write + Send>(
+    service: &AuditService,
+    input: R,
+    output: W,
+    opts: &ServeOptions,
+) -> std::io::Result<ServeSummary> {
+    let workers = opts.workers.max(1);
+    let strip_timing = opts.strip_timing;
+    std::thread::scope(|scope| {
+        // Jobs fan out over a shared receiver; results fan in to a writer
+        // with a reorder buffer keyed by sequence number. The job queue is
+        // *bounded* so a huge input file cannot be slurped into memory
+        // faster than the workers drain it (backpressure on the reader).
+        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, Job)>(workers * 4);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (res_tx, res_rx) = mpsc::channel::<(usize, String, bool)>();
+        let barrier = Arc::new(JobBarrier::default());
+        // Raised when responses stop being deliverable (the writer hit an
+        // output I/O error): the reader stops consuming input instead of
+        // silently discarding the rest of the stream.
+        let writer_gone = Arc::new(AtomicBool::new(false));
+        for _ in 0..workers {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            let barrier = Arc::clone(&barrier);
+            let writer_gone = Arc::clone(&writer_gone);
+            scope.spawn(move || {
+                loop {
+                    // Hold the lock only while popping, not while working.
+                    let job = job_rx.lock().expect("job queue lock").recv();
+                    let Ok((seq, job)) = job else { break };
+                    // Once the writer is gone there is nowhere to send
+                    // responses, but the queue must still be drained and
+                    // the barrier ticked, or a pending register op would
+                    // block the reader forever.
+                    if !writer_gone.load(Ordering::Relaxed) {
+                        let (line, ok) = match job {
+                            Job::Ready(line, ok) => (line, ok),
+                            Job::Run(request) => {
+                                let response = wire::execute(service, &request, strip_timing);
+                                let ok = response
+                                    .get("ok")
+                                    .and_then(|v| v.as_bool())
+                                    .unwrap_or(false);
+                                (response.render(), ok)
+                            }
+                        };
+                        if res_tx.send((seq, line, ok)).is_err() {
+                            writer_gone.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    barrier.job_done();
+                }
+            });
+        }
+        let writer = scope.spawn({
+            let writer_gone = Arc::clone(&writer_gone);
+            move || -> std::io::Result<ServeSummary> {
+                let mut output = output;
+                let mut pending: HashMap<usize, (String, bool)> = HashMap::new();
+                let mut next = 0usize;
+                let mut summary = ServeSummary {
+                    requests: 0,
+                    errors: 0,
+                };
+                let mut emit = |line: &str, ok: bool| -> std::io::Result<()> {
+                    writeln!(output, "{line}")?;
+                    // Flush per response: downstream consumers (pipes,
+                    // interactive sessions) see answers as they complete.
+                    output.flush()?;
+                    summary.requests += 1;
+                    summary.errors += usize::from(!ok);
+                    Ok(())
+                };
+                for (seq, line, ok) in res_rx {
+                    pending.insert(seq, (line, ok));
+                    while let Some((line, ok)) = pending.remove(&next) {
+                        if let Err(e) = emit(&line, ok) {
+                            // Tell the reader to stop consuming input —
+                            // nothing it reads can be answered anymore.
+                            writer_gone.store(true, Ordering::Relaxed);
+                            return Err(e);
+                        }
+                        next += 1;
+                    }
+                }
+                Ok(summary)
+            }
+        });
+        let mut seq = 0usize;
+        let mut read_error = None;
+        for line in input.lines() {
+            // Responses stopped being deliverable: reading further input
+            // would silently discard it. Stop now; the writer's I/O error
+            // is surfaced below.
+            if writer_gone.load(Ordering::Relaxed) {
+                break;
+            }
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Every line becomes one bounded-queue job, keeping responses
+            // in order and memory bounded regardless of input size.
+            let job = match wire::parse_line(&line) {
+                Ok(request @ (wire::Request::Register { .. } | wire::Request::Datasets { .. })) => {
+                    // Registration is a barrier: wait for every earlier
+                    // in-flight request (they must see the *previous*
+                    // registry state), apply inline on the reader thread
+                    // (later lines must see the new state), then continue.
+                    // A `datasets` listing only reads the registry, which
+                    // audits never mutate — no need to drain the pool.
+                    if matches!(request, wire::Request::Register { .. }) {
+                        barrier.wait_for(seq);
+                    }
+                    let response = wire::execute(service, &request, strip_timing);
+                    let ok = response
+                        .get("ok")
+                        .and_then(|v| v.as_bool())
+                        .unwrap_or(false);
+                    Job::Ready(response.render(), ok)
+                }
+                Ok(request) => Job::Run(Box::new(request)),
+                Err((id, e)) => Job::Ready(wire::error_response(id.as_ref(), &e).render(), false),
+            };
+            let _ = job_tx.send((seq, job));
+            seq += 1;
+        }
+        // Close the queues: workers drain and exit, their result senders
+        // drop, the writer's receive loop ends.
+        drop(job_tx);
+        drop(res_tx);
+        let summary = writer.join().expect("writer thread")?;
+        match read_error {
+            Some(e) => Err(e),
+            None => Ok(summary),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rankfair_data::examples::students_fig1;
+    use std::io::Cursor;
+
+    fn fig1_service() -> AuditService {
+        let service = AuditService::new();
+        service.register_dataset("fig1", Arc::new(students_fig1()));
+        service
+    }
+
+    fn session(input: &str, workers: usize) -> (Vec<String>, ServeSummary) {
+        let service = fig1_service();
+        let mut out = Vec::new();
+        let summary = serve(
+            &service,
+            Cursor::new(input.to_string()),
+            &mut out,
+            &ServeOptions {
+                workers,
+                strip_timing: true,
+            },
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        (text.lines().map(str::to_string).collect(), summary)
+    }
+
+    fn audit_line(id: usize) -> String {
+        format!(
+            concat!(
+                r#"{{"id": {}, "dataset": "fig1", "ranking": {{"rank_by": "Grade"}}, "#,
+                r#""task": {{"type": "under", "measure": {{"type": "global", "lower": 2}}}}, "#,
+                r#""config": {{"tau": 4, "kmin": 4, "kmax": 5}}}}"#
+            ),
+            id
+        )
+    }
+
+    /// Re-renders a response line with the `cache` member removed — the
+    /// one field that is legitimately scheduling-dependent when several
+    /// cold requests race for the same key (single-flight guarantees one
+    /// build, not *which* request runs it).
+    fn strip_cache(line: &str) -> String {
+        match rankfair_json::parse(line).expect("response is JSON") {
+            rankfair_json::Value::Obj(pairs) => {
+                rankfair_json::Value::Obj(pairs.into_iter().filter(|(k, _)| k != "cache").collect())
+                    .render()
+            }
+            v => v.render(),
+        }
+    }
+
+    #[test]
+    fn answers_in_request_order_at_any_worker_count() {
+        let input: String = (0..12).map(|i| audit_line(i) + "\n").collect::<String>() + "\n\n"; // trailing empty lines are skipped
+        let (serial, s1) = session(&input, 1);
+        for workers in [2, 4, 8] {
+            let (parallel, sn) = session(&input, workers);
+            // Payloads (reports, stats) are deterministic at any worker
+            // count; only the cache-hit attribution may race.
+            let a: Vec<String> = serial.iter().map(|l| strip_cache(l)).collect();
+            let b: Vec<String> = parallel.iter().map(|l| strip_cache(l)).collect();
+            assert_eq!(a, b, "workers={workers}");
+            assert_eq!(s1, sn);
+            // Single-flight: exactly one of the twelve shared-key
+            // requests paid the build, whichever thread won.
+            let misses = parallel
+                .iter()
+                .filter(|l| l.contains(r#""cache":{"hit":false"#))
+                .count();
+            assert_eq!(misses, 1, "workers={workers}");
+        }
+        assert_eq!(s1.requests, 12);
+        assert_eq!(s1.errors, 0);
+        for (i, line) in serial.iter().enumerate() {
+            assert!(
+                line.starts_with(&format!(r#"{{"id":{i},"ok":true"#)),
+                "{line}"
+            );
+        }
+        // Serial session: the first request builds, the rest hit.
+        assert!(serial[0].contains(r#""cache":{"hit":false"#));
+        for line in &serial[1..] {
+            assert!(line.contains(r#""cache":{"hit":true"#), "{line}");
+        }
+    }
+
+    #[test]
+    fn register_is_a_barrier_for_in_flight_requests() {
+        // Line order: audit against 60-row `d` with kmax 70 (must fail:
+        // k_max exceeds the 60 ranked tuples) → re-register `d` with 100
+        // rows → same audit again (must now succeed). Without the barrier
+        // the first audit could race past the re-registration and
+        // nondeterministically succeed.
+        let dir = std::env::temp_dir().join("rankfair_serve_barrier");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (small, large) = (dir.join("small.csv"), dir.join("large.csv"));
+        for (path, rows) in [(&small, 60), (&large, 100)] {
+            let ds = rankfair_synth::student(rankfair_synth::SynthConfig::new(rows, 5));
+            rankfair_data::csv::write_csv(&ds, path, ',').unwrap();
+        }
+        let audit = |id: usize| {
+            format!(
+                concat!(
+                    r#"{{"id": {}, "dataset": "d", "ranking": {{"rank_by": "G3"}}, "#,
+                    r#""task": {{"type": "over", "upper": 5}}, "#,
+                    r#""config": {{"tau": 10, "kmin": 5, "kmax": 70}}, "#,
+                    r#""attributes": ["school", "sex"]}}"#
+                ),
+                id
+            )
+        };
+        let input = format!(
+            "{}\n{}\n{}\n{}\n",
+            format_args!(
+                r#"{{"id": 0, "op": "register", "name": "d", "csv": {:?}}}"#,
+                small.to_str().unwrap()
+            ),
+            audit(1),
+            format_args!(
+                r#"{{"id": 2, "op": "register", "name": "d", "csv": {:?}}}"#,
+                large.to_str().unwrap()
+            ),
+            audit(3),
+        );
+        for workers in [1, 4] {
+            let (lines, summary) = session(&input, workers);
+            assert_eq!(summary.requests, 4, "workers={workers}");
+            assert_eq!(summary.errors, 1, "workers={workers}");
+            assert!(lines[0].contains(r#""rows":60"#), "{}", lines[0]);
+            assert!(
+                lines[1].contains(r#""kind":"invalid_k_range""#),
+                "workers={workers}: {}",
+                lines[1]
+            );
+            assert!(lines[2].contains(r#""rows":100"#), "{}", lines[2]);
+            assert!(
+                lines[3].contains(r#""ok":true"#),
+                "workers={workers}: {}",
+                lines[3]
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_ops_and_errors_stay_in_band() {
+        let dir = std::env::temp_dir().join("rankfair_serve_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("students.csv");
+        let ds = rankfair_synth::student(rankfair_synth::SynthConfig::new(60, 5));
+        rankfair_data::csv::write_csv(&ds, &path, ',').unwrap();
+        let input = format!(
+            concat!(
+                r#"{{"id": 0, "op": "register", "name": "students", "csv": {path:?}}}"#,
+                "\n",
+                r#"{{"id": 1, "dataset": "students", "ranking": {{"rank_by": "G3"}}, "#,
+                r#""task": {{"type": "over", "upper": 3}}, "#,
+                r#""config": {{"tau": 10, "kmin": 5, "kmax": 8}}, "#,
+                r#""attributes": ["school", "sex", "address"]}}"#,
+                "\n",
+                r#"{{"id": 2, "dataset": "missing", "ranking": {{"rank_by": "G3"}}, "#,
+                r#""task": {{"type": "over", "upper": 3}}, "config": {{"tau": 10, "kmin": 5, "kmax": 8}}}}"#,
+                "\n",
+                "not json at all\n",
+                r#"{{"id": 4, "op": "datasets"}}"#,
+                "\n",
+            ),
+            path = path.to_str().unwrap()
+        );
+        let (lines, summary) = session(&input, 4);
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.errors, 2);
+        assert!(lines[0].contains(r#""op":"register""#) && lines[0].contains(r#""rows":60"#));
+        assert!(lines[1].contains(r#""ok":true"#) && lines[1].contains(r#""per_k""#));
+        assert!(lines[2].contains(r#""kind":"unknown_dataset""#));
+        assert!(lines[3].contains(r#""kind":"bad_request""#));
+        // The datasets listing sees the stream's own registration plus the
+        // preloaded fig1.
+        assert!(lines[4].contains(r#""op":"datasets""#));
+        assert!(lines[4].contains(r#""name":"fig1""#));
+        assert!(lines[4].contains(r#""name":"students""#));
+        // Every line parses as JSON.
+        for line in &lines {
+            rankfair_json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn strip_timing_makes_serial_sessions_byte_identical() {
+        let input = audit_line(1) + "\n" + &audit_line(1);
+        let (a, _) = session(&input, 1);
+        let (b, _) = session(&input, 1);
+        assert_eq!(a, b);
+        assert!(a[0].contains(r#""wall_ms":0"#));
+        assert!(a[0].contains(r#""elapsed_ms":0"#));
+        // Parallel sessions: payloads identical, cache attribution aside.
+        let (c, _) = session(&input, 2);
+        assert_eq!(
+            a.iter().map(|l| strip_cache(l)).collect::<Vec<_>>(),
+            c.iter().map(|l| strip_cache(l)).collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The serving layer end to end: register datasets, answer typed audit
+//! requests with caching, and speak the JSONL wire protocol in-process.
+//!
+//! Run with: `cargo run --release --example service_demo`
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use rankfair::json::ToJson;
+use rankfair::prelude::*;
+use rankfair::service::serve::{serve, ServeOptions};
+
+fn main() {
+    // One service holds any number of named datasets; audits built on them
+    // are cached by (dataset, attributes, bucketization, ranking spec).
+    let service = AuditService::new();
+    service.register_dataset("fig1", Arc::new(rankfair::data::examples::students_fig1()));
+    let students = rankfair::synth::student(rankfair::synth::SynthConfig::new(200, 7));
+    service.register_dataset("students", Arc::new(students));
+
+    // A typed request: the Figure 1 example, both directions at once.
+    let request = AuditRequest {
+        dataset: "fig1".into(),
+        attributes: None,
+        bucketize: Vec::new(),
+        ranking: RankingSpec::ByColumn {
+            column: "Grade".into(),
+            ascending: false,
+        },
+        task: AuditTask::Combined {
+            lower: Bounds::constant(2),
+            upper: Bounds::constant(2),
+        },
+        config: DetectConfig::new(4, 5, 5),
+        engine: Engine::Optimized,
+    };
+    println!("wire form of the request:\n  {}\n", request.to_json());
+
+    let cold = service.handle(&request).expect("valid request");
+    println!(
+        "cold query: cache hit = {}, {} group(s), {:.2} ms",
+        cold.cache.hit,
+        cold.outcome.total_groups(),
+        cold.wall_ms
+    );
+    for report in &cold.reports {
+        for g in &report.groups {
+            println!(
+                "  k={} {:5} {} (top-k {} vs required {})",
+                report.k,
+                g.direction.as_str(),
+                g.display,
+                g.size_in_topk,
+                g.required
+            );
+        }
+    }
+
+    // The same key again: index construction is skipped.
+    let warm = service.handle(&request).expect("valid request");
+    println!(
+        "\nwarm query: cache hit = {}, {:.2} ms (cache: {} audit(s), {} hit(s)/{} miss(es))",
+        warm.cache.hit,
+        warm.wall_ms,
+        service.cache_len(),
+        service.cache_stats().0,
+        service.cache_stats().1,
+    );
+
+    // The same queries as a JSONL session — what `rankfair serve` runs
+    // over stdin/stdout.
+    let session = concat!(
+        r#"{"id": 1, "dataset": "students", "ranking": {"rank_by": "G3"}, "#,
+        r#""task": {"type": "under", "measure": {"type": "global", "lower": 3}}, "#,
+        r#""config": {"tau": 20, "kmin": 5, "kmax": 10}, "#,
+        r#""attributes": ["school", "sex", "address"]}"#,
+        "\n",
+        r#"{"id": 2, "op": "datasets"}"#,
+        "\n",
+    );
+    let mut responses = Vec::new();
+    let summary = serve(
+        &service,
+        Cursor::new(session),
+        &mut responses,
+        &ServeOptions {
+            workers: 2,
+            strip_timing: false,
+        },
+    )
+    .expect("in-memory session");
+    println!(
+        "\nJSONL session ({} request(s), {} error(s)):",
+        summary.requests, summary.errors
+    );
+    for line in String::from_utf8(responses).unwrap().lines() {
+        let v = rankfair::json::parse(line).expect("responses are JSON");
+        let summary_line = match v.get("per_k") {
+            Some(per_k) => format!(
+                "id {} → ok over {} k value(s)",
+                v.get("id").unwrap(),
+                per_k.as_arr().map_or(0, <[_]>::len)
+            ),
+            None => line.to_string(),
+        };
+        println!("  {summary_line}");
+    }
+}

@@ -16,6 +16,8 @@
 //! | [`data`] | columnar dataset, bucketization, CSV, bitmaps |
 //! | [`rank`] | `Ranker` trait, score-based rankers, rankings |
 //! | [`core`] | the `Audit` API, patterns, `IterTD`, `GlobalBounds`, `PropBounds`, upper bounds, oracle |
+//! | [`service`] | `AuditService`: dataset registry, audit cache, JSONL wire protocol |
+//! | [`json`] | minimal in-workspace JSON (value, serializer, strict parser) |
 //! | [`explain`] | regression-forest surrogate, Shapley values, distributions |
 //! | [`divergence`] | the Pastor et al. divergence baseline (§VI-D) |
 //! | [`synth`] | seeded synthetic COMPAS / Student / German Credit generators |
@@ -90,7 +92,9 @@ pub use rankfair_core as core;
 pub use rankfair_data as data;
 pub use rankfair_divergence as divergence;
 pub use rankfair_explain as explain;
+pub use rankfair_json as json;
 pub use rankfair_rank as rank;
+pub use rankfair_service as service;
 pub use rankfair_synth as synth;
 
 pub mod workloads;
@@ -101,14 +105,11 @@ pub mod prelude {
         Audit, AuditBuilder, AuditError, AuditKResult, AuditOutcome, AuditTask, BiasMeasure,
         Bounds, DetectConfig, Engine, OverRepScope, Pattern, PatternSpace, RankedIndex,
     };
-    // Deprecated shims stay importable so pre-Audit call sites keep
-    // compiling (with a deprecation warning) during migration.
-    #[allow(deprecated)]
-    pub use crate::core::{global_bounds, iter_td, prop_bounds, Detector};
     pub use crate::data::{Column, ColumnData, Dataset};
     pub use crate::explain::{ExplainConfig, RankSurrogate};
     pub use crate::rank::{
         AttributeRanker, FnRanker, LinearScoreRanker, Ranker, Ranking, ScoreTerm, SortKey,
     };
+    pub use crate::service::{AuditRequest, AuditResponse, AuditService, RankingSpec};
     pub use crate::workloads::{compas_workload, german_workload, student_workload, Workload};
 }
