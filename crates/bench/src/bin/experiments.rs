@@ -4,10 +4,11 @@
 //!   experiments `<id>` [--timeout SECS] [--seed N] [--quick]
 //!
 //! ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize
-//!      worstcase faststeps scaling overrep serve all
+//!      worstcase faststeps scaling overrep serve monitor all
 //!
-//! `overrep` and `serve` additionally write their measurements to
-//! `BENCH_overrep.json` / `BENCH_service.json` in the working directory.
+//! `overrep`, `serve` and `monitor` additionally write their measurements
+//! to `BENCH_overrep.json` / `BENCH_service.json` / `BENCH_monitor.json`
+//! in the working directory.
 //!
 //! Absolute runtimes differ from the paper (Rust vs. the authors' Python
 //! testbed, synthetic vs. real data); the reproduced claims are the curve
@@ -805,6 +806,153 @@ fn serve_bench(opts: &Opts) {
     }
 }
 
+/// Live monitor: delta re-audit after small edit batches vs. a full audit
+/// rebuild (space + index construction + whole-`k`-range run) after every
+/// batch, on COMPAS. Prints a table and writes `BENCH_monitor.json`.
+fn monitor_bench(opts: &Opts) {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use rankfair::core::MonitorAudit;
+    use rankfair::json::Value;
+
+    println!("\n## Live monitor: delta re-audit vs full rebuild per edit batch (COMPAS)");
+    let attrs = if opts.quick { 6 } else { 9 };
+    let w = compas_workload(if opts.quick { 6889 / 4 } else { 0 }, opts.seed);
+    let n = w.detection.n_rows();
+    // Materialize the ranking as a continuous score column (position-
+    // derived, so the monitor's order matches the workload's ranking
+    // exactly and score edits move tuples by a controlled distance).
+    let mut ds = (*w.detection).clone();
+    let scores: Vec<f64> = (0..n)
+        .map(|row| (n - w.ranking.position(row as u32)) as f64)
+        .collect();
+    ds.push_column(rankfair::data::Column::numeric("__score", scores))
+        .expect("fresh column name");
+    let attr_names: Vec<String> = w.attr_names().into_iter().take(attrs).collect();
+
+    let cfg = DetectConfig::new(50, 10, 49.min(n));
+    let task = AuditTask::Combined {
+        lower: Bounds::paper_default(),
+        upper: Bounds::steps(vec![(10, 6), (20, 12), (30, 18), (40, 24)]),
+    };
+
+    let batches: usize = if opts.quick { 8 } else { 40 };
+    let mut t = Table::new(&[
+        "batch_size",
+        "batches",
+        "delta_ms",
+        "rebuild_ms",
+        "speedup",
+        "recomputed_k",
+        "changes",
+    ]);
+    let mut json_rows: Vec<Value> = Vec::new();
+    for batch_size in [1usize, 4, 16] {
+        let mut monitor = MonitorAudit::builder(ds.clone(), "__score")
+            .attributes(attr_names.iter().cloned())
+            .build(cfg.clone(), task.clone(), Engine::Optimized)
+            .expect("monitor build");
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ batch_size as u64);
+        let mut delta_s = 0.0f64;
+        let mut rebuild_s = 0.0f64;
+        let mut recomputed_k = 0usize;
+        let mut changes = 0usize;
+        for _ in 0..batches {
+            // Contested-region edits: rows currently ranked near the
+            // audited k window, nudged by up to ~25 positions — the
+            // live-traffic shape where the top-k actually churns. (Edits
+            // far below the window would recompute nothing and make the
+            // comparison trivially flattering.)
+            let ranking = monitor.ranking();
+            let edits: Vec<rankfair::core::RankingEdit> = (0..batch_size)
+                .map(|_| {
+                    let pos = rng.random_range(0..80usize.min(n));
+                    let row = ranking.at(pos);
+                    let nudge = rng.random_range(1..=25usize) as f64;
+                    let up: bool = rng.random();
+                    let score = (n - pos) as f64 + if up { nudge } else { -nudge };
+                    rankfair::core::RankingEdit::ScoreUpdate { row, score }
+                })
+                .collect();
+            let t0 = std::time::Instant::now();
+            let delta = monitor.apply(&edits).expect("apply");
+            delta_s += t0.elapsed().as_secs_f64();
+            if let Some((lo, hi)) = delta.recomputed {
+                recomputed_k += hi - lo + 1;
+            }
+            changes += delta.total_changes();
+
+            // The alternative a monitor-less server pays per batch: re-rank
+            // the edited scores from scratch (O(n log n) sort), rebuild the
+            // audit (pattern space + bitmap index) and run the whole k
+            // range.
+            let snapshot = Arc::new(monitor.dataset().clone());
+            let ranker = rankfair::rank::AttributeRanker::by_desc("__score");
+            let t0 = std::time::Instant::now();
+            let audit = rankfair::core::Audit::builder(Arc::clone(&snapshot))
+                .ranker(&ranker)
+                .attributes(attr_names.iter().cloned())
+                .build()
+                .expect("audit build");
+            let full = audit
+                .run(&cfg, &task, Engine::Optimized)
+                .expect("audit run");
+            rebuild_s += t0.elapsed().as_secs_f64();
+            assert_eq!(
+                monitor.results(),
+                &full.per_k[..],
+                "delta re-audit diverged from full rebuild"
+            );
+        }
+        let speedup = rebuild_s / delta_s.max(1e-9);
+        t.row(&[
+            batch_size.to_string(),
+            batches.to_string(),
+            format!("{:.2}", delta_s * 1000.0),
+            format!("{:.2}", rebuild_s * 1000.0),
+            format!("{speedup:.1}x"),
+            recomputed_k.to_string(),
+            changes.to_string(),
+        ]);
+        json_rows.push(Value::object([
+            ("batch_size", Value::from(batch_size)),
+            ("batches", Value::from(batches)),
+            ("delta_ms", Value::from(delta_s * 1000.0)),
+            ("rebuild_ms", Value::from(rebuild_s * 1000.0)),
+            ("speedup", Value::from(speedup)),
+            ("recomputed_k", Value::from(recomputed_k)),
+            ("changes", Value::from(changes)),
+        ]));
+    }
+    print!("{}", t.render());
+    println!("(every batch cross-checked: monitor results == fresh audit of the edited ranking)");
+    let json = Value::object([
+        ("bench", Value::from("monitor")),
+        (
+            "config",
+            Value::object([
+                ("dataset", Value::from("compas")),
+                ("rows", Value::from(n)),
+                ("attrs", Value::from(attrs)),
+                ("tau_s", Value::from(50usize)),
+                ("k_min", Value::from(10usize)),
+                ("k_max", Value::from(49.min(n))),
+                (
+                    "task",
+                    Value::from("combined(paper_default, steps(10:6,20:12,30:18,40:24))"),
+                ),
+                ("seed", Value::from(opts.seed as usize)),
+                ("quick", Value::from(opts.quick)),
+            ]),
+        ),
+        ("rows", Value::array(json_rows)),
+    ]);
+    match std::fs::write("BENCH_monitor.json", json.render() + "\n") {
+        Ok(()) => println!("wrote BENCH_monitor.json"),
+        Err(e) => eprintln!("could not write BENCH_monitor.json: {e}"),
+    }
+}
+
 /// Theorem 3.3: the adversarial instance is exponential.
 fn worstcase(opts: &Opts) {
     println!("\n## Theorem 3.3: worst-case instance (n attributes, n+1 tuples, k = n)");
@@ -880,6 +1028,7 @@ fn main() {
         "scaling" => scaling(&opts),
         "overrep" => overrep(&opts),
         "serve" => serve_bench(&opts),
+        "monitor" => monitor_bench(&opts),
         "all" => {
             fig45(true, &opts);
             fig45(false, &opts);
@@ -896,9 +1045,10 @@ fn main() {
             scaling(&opts);
             overrep(&opts);
             serve_bench(&opts);
+            monitor_bench(&opts);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase faststeps scaling overrep serve all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase faststeps scaling overrep serve monitor all");
             std::process::exit(2);
         }
     }

@@ -37,10 +37,29 @@ USAGE:
       Serve JSONL audit requests from stdin to stdout (one JSON object per
       line, responses in request order). The Figure 1 example dataset is
       preloaded as `fig1`; further datasets are registered with --datasets
-      or in-stream {\"op\": \"register\"} requests.
+      or in-stream {\"op\": \"register\"} requests. Live monitors are
+      driven with {\"op\": \"register_monitor\"|\"update\"|\"snapshot\"}.
         --workers N         worker threads answering requests (default 1)
         --datasets n=p,...  preload CSV datasets as name=path pairs
         --no-timing         zero wall-clock fields (deterministic output)
+
+  rankfair monitor --csv FILE --rank-by COL --edits FILE [options]
+      Replay a JSONL edit log against a live monitor: each log line is one
+      edit batch ({\"edit\": \"score\"|\"insert\", ...} or
+      {\"edits\": [...]}), re-audited by delta instead of a full rebuild.
+        --sep CHAR          CSV separator (default ',')
+        --asc               rank ascending (default: descending)
+        --task under|over|combined   what to detect (default under)
+        --engine optimized|baseline  algorithm family (default optimized)
+        --problem global|prop   under measure (default global; task under only)
+        --lower N --upper N --scope specific|general --alpha X
+                            task parameters, as in detect
+        --tau N             size threshold τs (default 50)
+        --kmin N --kmax N   k range (default 10..49)
+        --attrs a,b,c       pattern attributes (default: all categorical)
+        --top N             print at most N groups per k in the final report
+        --format table|json output format (default table; json = one delta
+                            object per batch plus a final snapshot object)
 
   rankfair explain --csv FILE --rank-by COL --group \"a=v,b=w\" [options]
       Shapley-explain why a group ranks where it does.
@@ -133,6 +152,15 @@ pub const DEMO_SPEC: FlagSpec = FlagSpec {
 pub const SERVE_SPEC: FlagSpec = FlagSpec {
     values: &["workers", "datasets"],
     switches: &["no-timing"],
+};
+
+/// `rankfair monitor`.
+pub const MONITOR_SPEC: FlagSpec = FlagSpec {
+    values: &[
+        "csv", "sep", "rank-by", "edits", "attrs", "task", "engine", "problem", "lower", "upper",
+        "scope", "alpha", "tau", "kmin", "kmax", "top", "format",
+    ],
+    switches: &["asc"],
 };
 
 /// Parsed `--flag value` / `--flag` pairs.

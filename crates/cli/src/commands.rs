@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use rankfair_core::{
     render_report, render_report_csv, Audit, AuditTask, BiasMeasure, Bounds, DetectConfig, Engine,
-    OverRepScope,
+    MonitorAudit, OverRepScope,
 };
 use rankfair_data::csv::{read_csv, CsvOptions};
 use rankfair_data::Dataset;
@@ -180,27 +180,49 @@ fn parse_task(flags: &Flags) -> Result<AuditTask, String> {
     }
 }
 
-/// `rankfair detect`.
-pub fn detect(flags: &Flags) -> Result<(), CliError> {
-    let (raw, ranking) = load(flags)?;
-    let audit = build_audit(&raw, &ranking, flags)?;
-
+/// Parses `--tau/--kmin/--kmax` and validates the range: a malformed
+/// range is a usage error, a well-formed one too large for *this*
+/// dataset a runtime failure (the exit-code split scripts rely on).
+fn parse_detect_config(flags: &Flags, n_rows: usize) -> Result<DetectConfig, CliError> {
     let tau: usize = flags.num("tau", 50)?;
     let k_min: usize = flags.num("kmin", 10)?;
     let k_max: usize = flags.num("kmax", 49)?;
-    let n_rows = audit.dataset().n_rows();
     if k_min == 0 || k_min > k_max {
         return Err(CliError::Usage(format!(
             "invalid k range [{k_min}, {k_max}]"
         )));
     }
     if k_max > n_rows {
-        // Well-formed range, too large for *this* dataset: runtime.
         return Err(rt(format!(
             "invalid k range [{k_min}, {k_max}] for {n_rows} rows"
         )));
     }
-    let mut cfg = DetectConfig::new(tau, k_min, k_max);
+    Ok(DetectConfig::new(tau, k_min, k_max))
+}
+
+/// Keeps at most `top` groups per `k` **per direction**: the under block
+/// precedes the over block, and a global cap would silently swallow
+/// every over group.
+fn truncate_reports(reports: &mut [rankfair_core::KReport], top: usize) {
+    for r in reports {
+        let mut under_seen = 0usize;
+        let mut over_seen = 0usize;
+        r.groups.retain(|g| {
+            let seen = match g.direction {
+                rankfair_core::BiasDirection::Under => &mut under_seen,
+                rankfair_core::BiasDirection::Over => &mut over_seen,
+            };
+            *seen += 1;
+            *seen <= top
+        });
+    }
+}
+
+/// `rankfair detect`.
+pub fn detect(flags: &Flags) -> Result<(), CliError> {
+    let (raw, ranking) = load(flags)?;
+    let audit = build_audit(&raw, &ranking, flags)?;
+    let mut cfg = parse_detect_config(flags, audit.dataset().n_rows())?;
     if let Some(secs) = flags.get("deadline") {
         let parsed: f64 = secs
             .parse()
@@ -226,20 +248,7 @@ pub fn detect(flags: &Flags) -> Result<(), CliError> {
 
     let out = audit.run(&cfg, &task, engine).map_err(rt)?;
     let mut reports = audit.report(&out, &task);
-    for r in &mut reports {
-        // Cap each direction separately: the under block precedes the over
-        // block, and a global cap would silently swallow every over group.
-        let mut under_seen = 0usize;
-        let mut over_seen = 0usize;
-        r.groups.retain(|g| {
-            let seen = match g.direction {
-                rankfair_core::BiasDirection::Under => &mut under_seen,
-                rankfair_core::BiasDirection::Over => &mut over_seen,
-            };
-            *seen += 1;
-            *seen <= top
-        });
-    }
+    truncate_reports(&mut reports, top);
     match format {
         "table" => print!("{}", render_report(&reports)),
         "csv" => print!("{}", render_report_csv(&reports)),
@@ -406,6 +415,134 @@ pub fn demo() -> Result<(), CliError> {
     let out = audit.run(&cfg, &task, Engine::Optimized).map_err(rt)?;
     println!("\nCombined lower + upper bounds (τs = 4, L = 2, U = 2):");
     print!("{}", render_report(&audit.report(&out, &task)));
+    Ok(())
+}
+
+/// `rankfair monitor` — build a live monitor over a CSV and replay a
+/// JSONL edit log against it, one delta re-audit per log line.
+pub fn monitor(flags: &Flags) -> Result<(), CliError> {
+    let path = flags.require("csv")?;
+    let sep = flags
+        .get("sep")
+        .map(|s| s.chars().next().unwrap_or(','))
+        .unwrap_or(',');
+    let opts = CsvOptions {
+        separator: sep,
+        ..CsvOptions::default()
+    };
+    let ds = read_csv(path, &opts).map_err(|e| rt(format!("reading {path}: {e}")))?;
+    let rank_col = flags.require("rank-by")?;
+    let edits_path = flags.require("edits")?;
+    let cfg = parse_detect_config(flags, ds.n_rows())?;
+    let task = parse_task(flags)?;
+    let engine = parse_engine(flags)?;
+    let format = flags.get("format").unwrap_or("table");
+    if !matches!(format, "table" | "json") {
+        return Err(CliError::Usage(format!(
+            "--format must be table or json, got `{format}`"
+        )));
+    }
+    let top: usize = flags.num("top", 20)?;
+
+    let mut builder = MonitorAudit::builder(ds, rank_col).ascending(flags.switch("asc"));
+    if let Some(attrs) = flags.list("attrs") {
+        builder = builder.attributes(attrs);
+    }
+    let mut monitor = builder.build(cfg.clone(), task, engine).map_err(rt)?;
+    eprintln!(
+        "[monitor over {} rows, ranked by `{rank_col}`; k in [{}, {}], τs = {}]",
+        monitor.n_rows(),
+        cfg.k_min,
+        cfg.k_max,
+        cfg.tau_s,
+    );
+
+    let log = std::fs::read_to_string(edits_path)
+        .map_err(|e| rt(format!("reading {edits_path}: {e}")))?;
+    let mut batches = 0usize;
+    let mut edits_total = 0usize;
+    let mut changes_total = 0usize;
+    for (lineno, line) in log.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = |e: &dyn std::fmt::Display| rt(format!("edit log line {}: {e}", lineno + 1));
+        let v = rankfair_json::parse(line).map_err(|e| at(&e))?;
+        let batch = match v.get("edits") {
+            Some(arr) => {
+                if let Some(pairs) = v.as_obj() {
+                    if let Some((key, _)) = pairs.iter().find(|(k, _)| k != "edits") {
+                        return Err(at(&format!("unknown member `{key}` in edit batch")));
+                    }
+                }
+                rankfair_core::json::edits_from_json(arr, monitor.dataset())
+            }
+            None => rankfair_core::json::edit_from_json(&v, monitor.dataset()).map(|e| vec![e]),
+        }
+        .map_err(|e| at(&e))?;
+        let delta = monitor.apply(&batch).map_err(|e| at(&e))?;
+        batches += 1;
+        edits_total += delta.edits;
+        changes_total += delta.total_changes();
+        match format {
+            "json" => println!(
+                "{}",
+                rankfair_core::json::delta_report_json(&delta, monitor.space(), false).render()
+            ),
+            _ => {
+                let span = match delta.recomputed {
+                    Some((lo, hi)) => format!("re-audited k in [{lo}, {hi}]"),
+                    None => "no top-k set changed".to_string(),
+                };
+                println!(
+                    "[batch {batches}] {} edit(s); {span}; {} membership change(s)",
+                    delta.edits,
+                    delta.total_changes()
+                );
+                for kd in &delta.changed {
+                    let mut parts: Vec<String> = Vec::new();
+                    for (list, tag, sign) in [
+                        (&kd.entered_under, "under", '+'),
+                        (&kd.left_under, "under", '-'),
+                        (&kd.entered_over, "over", '+'),
+                        (&kd.left_over, "over", '-'),
+                    ] {
+                        for p in list {
+                            parts.push(format!("{sign}{} ({tag})", monitor.describe(p)));
+                        }
+                    }
+                    println!("  k={:<4} {}", kd.k, parts.join("  "));
+                }
+            }
+        }
+    }
+
+    // Final state: the same report shape `detect` prints.
+    let mut reports = monitor.reports();
+    truncate_reports(&mut reports, top);
+    match format {
+        "json" => {
+            use rankfair_json::Value;
+            let v = Value::object([
+                ("rows", Value::from(monitor.n_rows())),
+                (
+                    "per_k",
+                    rankfair_core::json::reports_json(&reports, monitor.space()),
+                ),
+            ]);
+            println!("{v}");
+        }
+        _ => {
+            println!("\nFinal audit state after the edit log:");
+            print!("{}", render_report(&reports));
+        }
+    }
+    eprintln!(
+        "[replayed {batches} batch(es), {edits_total} edit(s); {changes_total} membership change(s); {} rows; {} patterns examined in {:.1?}]",
+        monitor.n_rows(),
+        monitor.stats().patterns_examined(),
+        monitor.stats().elapsed,
+    );
     Ok(())
 }
 
@@ -732,6 +869,100 @@ mod tests {
         let err = detect(&bad).unwrap_err();
         assert!(err.to_string().contains("--format"));
         assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn monitor_replays_an_edit_log() {
+        let path = student_csv();
+        let dir = std::env::temp_dir().join("rankfair_cli_tests");
+        let log = dir.join("edits.jsonl");
+        // A score batch, an insert (cells must cover every column of the
+        // synthetic student CSV — build it from the dataset itself), and
+        // a no-op nudge.
+        let ds = rankfair_data::csv::read_csv(&path, &rankfair_data::csv::CsvOptions::default())
+            .unwrap();
+        let cells: Vec<String> = ds
+            .columns()
+            .iter()
+            .map(|c| {
+                if c.is_categorical() {
+                    format!("{:?}: {:?}", c.name(), c.display(0))
+                } else {
+                    format!("{:?}: {}", c.name(), c.value(0))
+                }
+            })
+            .collect();
+        let log_text = format!(
+            "{}\n{}\n{}\n",
+            r#"{"edits": [{"edit": "score", "row": 3, "score": 19.5}, {"edit": "score", "row": 7, "score": 0.5}]}"#,
+            format_args!(
+                "{{\"edit\": \"insert\", \"cells\": {{{}}}}}",
+                cells.join(", ")
+            ),
+            r#"{"edit": "score", "row": 3, "score": 19.5}"#,
+        );
+        std::fs::write(&log, log_text).unwrap();
+        for format in ["table", "json"] {
+            let f = parse_flags(
+                &[
+                    "--csv",
+                    path.to_str().unwrap(),
+                    "--rank-by",
+                    "G3",
+                    "--edits",
+                    log.to_str().unwrap(),
+                    "--task",
+                    "combined",
+                    "--lower",
+                    "3",
+                    "--upper",
+                    "6",
+                    "--tau",
+                    "20",
+                    "--kmin",
+                    "5",
+                    "--kmax",
+                    "15",
+                    "--attrs",
+                    "school,sex,address",
+                    "--format",
+                    format,
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+                &crate::args::MONITOR_SPEC,
+            )
+            .unwrap();
+            monitor(&f).unwrap();
+        }
+        // Malformed logs and bad flags fail loudly.
+        let bad_log = dir.join("bad_edits.jsonl");
+        std::fs::write(&bad_log, "{\"edit\": \"warp\"}\n").unwrap();
+        let f = parse_flags(
+            &[
+                "--csv",
+                path.to_str().unwrap(),
+                "--rank-by",
+                "G3",
+                "--edits",
+                bad_log.to_str().unwrap(),
+                "--tau",
+                "20",
+                "--kmin",
+                "5",
+                "--kmax",
+                "15",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+            &crate::args::MONITOR_SPEC,
+        )
+        .unwrap();
+        let err = monitor(&f).unwrap_err();
+        assert!(err.to_string().contains("edit log line 1"), "{err:?}");
+        assert!(matches!(err, CliError::Runtime(_)));
     }
 
     #[test]

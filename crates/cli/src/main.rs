@@ -9,6 +9,7 @@
 //! rankfair detect  --csv data.csv --rank-by score --task combined --threads 4
 //! rankfair explain --csv data.csv --rank-by score --group "gender=F,address=R" --k 49
 //! rankfair compare --csv data.csv --rank-by score --k 10 --support 0.13
+//! rankfair monitor --csv data.csv --rank-by score --edits edits.jsonl --task combined
 //! ```
 
 mod args;
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         "explain" => &args::EXPLAIN_SPEC,
         "compare" => &args::COMPARE_SPEC,
         "serve" => &args::SERVE_SPEC,
+        "monitor" => &args::MONITOR_SPEC,
         other => {
             eprintln!("error: unknown command `{other}`");
             eprintln!("run `rankfair help` for usage");
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         "explain" => commands::explain(&flags),
         "compare" => commands::compare(&flags),
         "serve" => commands::serve(&flags),
+        "monitor" => commands::monitor(&flags),
         _ => unreachable!("command validated above"),
     };
     // Exit codes distinguish *how* a command failed: 2 for usage errors

@@ -433,31 +433,17 @@ impl Audit {
     }
 
     fn validate(&self, cfg: &DetectConfig, task: &AuditTask) -> Result<(), AuditError> {
-        if cfg.k_max > self.index.n() {
-            return Err(AuditError::InvalidKRange {
-                k_max: cfg.k_max,
-                n: self.index.n(),
-            });
+        validate_task(cfg, task, self.index.n())
+    }
+
+    /// The borrowed execution core shared with [`crate::MonitorAudit`].
+    fn parts(&self) -> AuditParts<'_> {
+        AuditParts {
+            dataset: &self.dataset,
+            space: &self.space,
+            ranking: &self.ranking,
+            index: &self.index,
         }
-        // The finiteness check must come first: a bare `alpha <= 0.0` is
-        // false for NaN, which would sail through and mark nothing biased.
-        if let AuditTask::UnderRep(BiasMeasure::Proportional { alpha }) = task {
-            if !alpha.is_finite() || *alpha <= 0.0 {
-                return Err(AuditError::InvalidAlpha(*alpha));
-            }
-        }
-        let bounds_of = |task: &AuditTask| -> Vec<Bounds> {
-            match task {
-                AuditTask::UnderRep(BiasMeasure::GlobalLower(b)) => vec![b.clone()],
-                AuditTask::UnderRep(BiasMeasure::Proportional { .. }) => Vec::new(),
-                AuditTask::OverRep { upper, .. } => vec![upper.clone()],
-                AuditTask::Combined { lower, upper } => vec![lower.clone(), upper.clone()],
-            }
-        };
-        for b in bounds_of(task) {
-            b.validate().map_err(AuditError::InvalidBound)?;
-        }
-        Ok(())
     }
 
     /// Executes `task` over `cfg`'s `k` range.
@@ -521,6 +507,64 @@ impl Audit {
     /// Sequential execution over one contiguous sub-range (already
     /// validated).
     fn run_range(&self, cfg: &DetectConfig, task: &AuditTask, engine: Engine) -> AuditOutcome {
+        self.parts().run_range(cfg, task, engine)
+    }
+}
+
+/// Shared validation of a `(config, task)` pair against a universe of `n`
+/// ranked tuples — used by [`Audit`] and [`crate::MonitorAudit`].
+pub(crate) fn validate_task(
+    cfg: &DetectConfig,
+    task: &AuditTask,
+    n: usize,
+) -> Result<(), AuditError> {
+    if cfg.k_max > n {
+        return Err(AuditError::InvalidKRange {
+            k_max: cfg.k_max,
+            n,
+        });
+    }
+    // The finiteness check must come first: a bare `alpha <= 0.0` is
+    // false for NaN, which would sail through and mark nothing biased.
+    if let AuditTask::UnderRep(BiasMeasure::Proportional { alpha }) = task {
+        if !alpha.is_finite() || *alpha <= 0.0 {
+            return Err(AuditError::InvalidAlpha(*alpha));
+        }
+    }
+    let bounds_of = |task: &AuditTask| -> Vec<Bounds> {
+        match task {
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(b)) => vec![b.clone()],
+            AuditTask::UnderRep(BiasMeasure::Proportional { .. }) => Vec::new(),
+            AuditTask::OverRep { upper, .. } => vec![upper.clone()],
+            AuditTask::Combined { lower, upper } => vec![lower.clone(), upper.clone()],
+        }
+    };
+    for b in bounds_of(task) {
+        b.validate().map_err(AuditError::InvalidBound)?;
+    }
+    Ok(())
+}
+
+/// The borrowed pieces an audit task executes against. [`Audit`] owns one
+/// set; [`crate::MonitorAudit`] owns an *evolving* set and re-runs tasks
+/// over sub-ranges of `k` after ranking edits — both drive exactly this
+/// code, so a delta re-audit can never drift from a full audit.
+pub(crate) struct AuditParts<'a> {
+    pub dataset: &'a Dataset,
+    pub space: &'a PatternSpace,
+    pub ranking: &'a Ranking,
+    pub index: &'a RankedIndex,
+}
+
+impl AuditParts<'_> {
+    /// Sequential execution over one contiguous, already validated `k`
+    /// sub-range.
+    pub(crate) fn run_range(
+        &self,
+        cfg: &DetectConfig,
+        task: &AuditTask,
+        engine: Engine,
+    ) -> AuditOutcome {
         match task {
             AuditTask::UnderRep(measure) => {
                 let out = self.run_under(cfg, measure, engine);
@@ -597,13 +641,13 @@ impl Audit {
         engine_sel: Engine,
     ) -> DetectionOutput {
         match engine_sel {
-            Engine::Baseline => topdown::iter_td(&self.index, &self.space, cfg, measure),
+            Engine::Baseline => topdown::iter_td(self.index, self.space, cfg, measure),
             Engine::Optimized => match measure {
                 BiasMeasure::GlobalLower(b) => {
-                    engine::global_bounds(&self.index, &self.space, cfg, b)
+                    engine::global_bounds(self.index, self.space, cfg, b)
                 }
                 BiasMeasure::Proportional { alpha } => {
-                    engine::prop_bounds(&self.index, &self.space, cfg, *alpha)
+                    engine::prop_bounds(self.index, self.space, cfg, *alpha)
                 }
             },
         }
@@ -620,7 +664,7 @@ impl Audit {
         // `k_min`, then per-`k` subtree walks and frontier deltas instead
         // of a fresh DFS plus full maximality sweep at every `k`.
         if engine_sel == Engine::Optimized {
-            return upper_engine::upper_incremental(&self.index, &self.space, cfg, upper, scope);
+            return upper_engine::upper_incremental(self.index, self.space, cfg, upper, scope);
         }
         // The guard starts before the substantial-set enumeration so that
         // time counts against the budget; within each per-`k` scan it is
@@ -633,7 +677,7 @@ impl Audit {
         // The substantial set depends only on τs, not on k: enumerate once
         // per run for the brute-force baseline.
         let substantial =
-            oracle::enumerate_substantial(&self.dataset, &self.space, &self.ranking, cfg.tau_s);
+            oracle::enumerate_substantial(self.dataset, self.space, self.ranking, cfg.tau_s);
         stats.nodes_evaluated += substantial.len() as u64;
         for k in cfg.k_min..=cfg.k_max {
             stats.full_searches += 1;
@@ -666,7 +710,7 @@ impl Audit {
             if guard.expired() {
                 return None;
             }
-            if oracle::naive_counts(&self.dataset, &self.space, &self.ranking, p, k).1 > u {
+            if oracle::naive_counts(self.dataset, self.space, self.ranking, p, k).1 > u {
                 qualifying.push(p);
             }
         }
@@ -686,7 +730,9 @@ impl Audit {
         out.sort_unstable();
         Some(out)
     }
+}
 
+impl Audit {
     /// Lazily yields the [`AuditKResult`] for each `k` on demand,
     /// maintaining the incremental engines between pulls — the owned
     /// successor of the deprecated `DetectionStream`.

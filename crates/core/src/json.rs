@@ -8,10 +8,12 @@
 //! string and as structured `attr → value-label` terms, so wire consumers
 //! never need to re-parse the display form.
 
+use rankfair_data::{Dataset, RowValue};
 use rankfair_json::{ToJson, Value};
 
 use crate::audit::{AuditError, AuditTask, OverRepScope};
 use crate::bounds::{BiasMeasure, Bounds};
+use crate::monitor::{DeltaReport, MonitorError, RankingEdit};
 use crate::pattern::Pattern;
 use crate::report::{BiasedGroup, KReport};
 use crate::space::PatternSpace;
@@ -188,6 +190,161 @@ pub fn reports_json(reports: &[KReport], space: &PatternSpace) -> Value {
     )
 }
 
+/// Parses one ranking edit. Two shapes, strict (unknown members are
+/// errors, like the rest of the wire protocol):
+///
+/// * `{"edit": "score", "row": N, "score": X}` — re-score a tuple;
+/// * `{"edit": "insert", "cells": {column: value, …}}` — append a tuple.
+///   Cells are keyed by column name and must cover **every** dataset
+///   column exactly once; strings become categorical labels, numbers
+///   numeric values.
+///
+/// The dataset is needed to resolve cell order and column kinds.
+pub fn edit_from_json(v: &Value, ds: &Dataset) -> Result<RankingEdit, String> {
+    let Some(pairs) = v.as_obj() else {
+        return Err("edit must be a JSON object".to_string());
+    };
+    let kind = v
+        .get("edit")
+        .and_then(Value::as_str)
+        .ok_or("`edit` must be \"score\" or \"insert\"")?;
+    match kind {
+        "score" => {
+            for (key, _) in pairs {
+                if !["edit", "row", "score"].contains(&key.as_str()) {
+                    return Err(format!("unknown member `{key}` in score edit"));
+                }
+            }
+            let row = v
+                .get("row")
+                .and_then(Value::as_usize)
+                .ok_or("`row` (non-negative integer) is required")?;
+            let score = v
+                .get("score")
+                .and_then(Value::as_f64)
+                .ok_or("`score` (number) is required")?;
+            Ok(RankingEdit::ScoreUpdate {
+                row: row as u32,
+                score,
+            })
+        }
+        "insert" => {
+            for (key, _) in pairs {
+                if !["edit", "cells"].contains(&key.as_str()) {
+                    return Err(format!("unknown member `{key}` in insert edit"));
+                }
+            }
+            let cells_obj = v
+                .get("cells")
+                .and_then(Value::as_obj)
+                .ok_or("`cells` (object of column → value) is required")?;
+            let mut cells = Vec::with_capacity(ds.n_cols());
+            for col in ds.columns() {
+                let cell = cells_obj
+                    .iter()
+                    .find(|(k, _)| k == col.name())
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("insert is missing a cell for `{}`", col.name()))?;
+                cells.push(match cell {
+                    Value::Str(s) => RowValue::Label(s.clone()),
+                    Value::Num(n) => RowValue::Number(*n),
+                    _ => {
+                        return Err(format!(
+                            "cell `{}` must be a string label or a number",
+                            col.name()
+                        ))
+                    }
+                });
+            }
+            for (key, _) in cells_obj {
+                if ds.column_index(key).is_none() {
+                    return Err(format!("insert cell `{key}` names no dataset column"));
+                }
+            }
+            Ok(RankingEdit::Insert { cells })
+        }
+        other => Err(format!("unknown edit kind `{other}`")),
+    }
+}
+
+/// Parses an array of ranking edits (one `update` batch).
+pub fn edits_from_json(v: &Value, ds: &Dataset) -> Result<Vec<RankingEdit>, String> {
+    let items = v.as_arr().ok_or("`edits` must be an array")?;
+    items.iter().map(|e| edit_from_json(e, ds)).collect()
+}
+
+fn patterns_json(patterns: &[Pattern], space: &PatternSpace) -> Value {
+    Value::array(
+        patterns
+            .iter()
+            .map(|p| {
+                Value::object([
+                    ("group", Value::from(space.display(p))),
+                    ("terms", pattern_terms_json(p, space)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Encodes a [`DeltaReport`] — which groups entered/left the biased sets
+/// at which `k` — with patterns resolved against `space`. `strip_timing`
+/// zeroes the wall clock for byte-deterministic transcripts.
+pub fn delta_report_json(d: &DeltaReport, space: &PatternSpace, strip_timing: bool) -> Value {
+    let mut stats = d.stats.clone();
+    if strip_timing {
+        stats.elapsed = std::time::Duration::ZERO;
+    }
+    Value::object([
+        ("edits", Value::from(d.edits)),
+        (
+            "recomputed",
+            match d.recomputed {
+                Some((lo, hi)) => Value::array(vec![Value::from(lo), Value::from(hi)]),
+                None => Value::Null,
+            },
+        ),
+        ("total_changes", Value::from(d.total_changes())),
+        (
+            "changed",
+            Value::array(
+                d.changed
+                    .iter()
+                    .map(|kd| {
+                        Value::object([
+                            ("k", Value::from(kd.k)),
+                            ("entered_under", patterns_json(&kd.entered_under, space)),
+                            ("left_under", patterns_json(&kd.left_under, space)),
+                            ("entered_over", patterns_json(&kd.entered_over, space)),
+                            ("left_over", patterns_json(&kd.left_over, space)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("stats", stats.to_json()),
+    ])
+}
+
+impl ToJson for MonitorError {
+    fn to_json(&self) -> Value {
+        // Audit errors keep their own kind taxonomy; monitor-specific
+        // failures get their own kinds.
+        let kind = match self {
+            MonitorError::Audit(a) => return a.to_json(),
+            MonitorError::ScoreColumn(_) => "score_column",
+            MonitorError::UnknownRow { .. } => "unknown_row",
+            MonitorError::UnknownLabel { .. } => "unknown_label",
+            MonitorError::BadEdit(_) => "bad_edit",
+            MonitorError::DeadlineUnsupported => "deadline_unsupported",
+        };
+        Value::object([
+            ("kind", Value::from(kind)),
+            ("message", Value::from(self.to_string())),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +382,72 @@ mod tests {
         assert_eq!(
             gp.get("terms").unwrap().get("School").unwrap().as_str(),
             Some("GP")
+        );
+    }
+
+    #[test]
+    fn edits_parse_strictly_and_delta_reports_encode() {
+        use crate::monitor::{MonitorAudit, MonitorError, RankingEdit};
+        use crate::Engine;
+        let ds = students_fig1();
+        let score = parse(r#"{"edit": "score", "row": 3, "score": 17.5}"#).unwrap();
+        assert_eq!(
+            edit_from_json(&score, &ds).unwrap(),
+            RankingEdit::ScoreUpdate {
+                row: 3,
+                score: 17.5
+            }
+        );
+        let insert = parse(concat!(
+            r#"{"edit": "insert", "cells": {"Gender": "F", "School": "GP", "#,
+            r#""Address": "U", "Failures": "0", "Grade": 11.5}}"#
+        ))
+        .unwrap();
+        let edit = edit_from_json(&insert, &ds).unwrap();
+        assert!(matches!(&edit, RankingEdit::Insert { cells } if cells.len() == 5));
+        // Strictness: unknown members, missing/extra/ill-typed cells.
+        for bad in [
+            r#"{"edit": "score", "row": 1}"#,
+            r#"{"edit": "score", "row": 1, "score": 2, "sco": 3}"#,
+            r#"{"edit": "teleport", "row": 1}"#,
+            r#"{"row": 1, "score": 2}"#,
+            r#"{"edit": "insert", "cells": {"Gender": "F"}}"#,
+            r#"{"edit": "insert", "cells": {"Gender": "F", "School": "GP", "Address": "U", "Failures": "0", "Grade": 11.5, "Extra": 1}}"#,
+            r#"{"edit": "insert", "cells": {"Gender": true, "School": "GP", "Address": "U", "Failures": "0", "Grade": 11.5}}"#,
+            r#"{"edit": "insert"}"#,
+            r#"[1]"#,
+        ] {
+            assert!(
+                edit_from_json(&parse(bad).unwrap(), &ds).is_err(),
+                "accepted {bad}"
+            );
+        }
+        // A real delta report round-trips through text.
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        let mut monitor = MonitorAudit::builder(ds, "Grade")
+            .build(crate::DetectConfig::new(2, 2, 16), task, Engine::Optimized)
+            .unwrap();
+        let bottom = monitor.ranking().at(15);
+        let delta = monitor
+            .apply(&[RankingEdit::ScoreUpdate {
+                row: bottom,
+                score: 19.9,
+            }])
+            .unwrap();
+        let v = delta_report_json(&delta, monitor.space(), true);
+        let parsed = parse(&v.render()).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(v.get("edits").unwrap().as_usize(), Some(1));
+        assert!(v.get("recomputed").unwrap().as_arr().is_some());
+        assert_eq!(
+            v.get("stats").unwrap().get("elapsed_ms").unwrap().as_f64(),
+            Some(0.0)
+        );
+        // Monitor errors carry kinds.
+        let e = MonitorError::UnknownRow { row: 9, n: 5 };
+        assert_eq!(
+            e.to_json().get("kind").unwrap().as_str(),
+            Some("unknown_row")
         );
     }
 

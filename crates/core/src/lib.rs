@@ -27,7 +27,9 @@
 //! [`oracle`] on thousands of randomized instances, and pins the paper's
 //! worked Examples 2.3–4.9 as unit tests. [`Audit::run`] can split the
 //! `k` range across scoped threads ([`AuditBuilder::threads`]);
-//! [`Audit::run_streaming`] yields results `k` by `k` on demand.
+//! [`Audit::run_streaming`] yields results `k` by `k` on demand; and
+//! [`MonitorAudit`] keeps an audit live over an *evolving* ranking by
+//! re-auditing only the `k` span each edit batch can have changed.
 //!
 //! # Quickstart
 //!
@@ -69,6 +71,7 @@ mod bounds;
 mod detector;
 mod engine;
 pub mod json;
+mod monitor;
 pub mod oracle;
 mod pattern;
 mod report;
@@ -89,6 +92,7 @@ pub use bounds::{BiasMeasure, Bounds};
 pub use detector::Detector;
 #[allow(deprecated)]
 pub use engine::DetectionStream;
+pub use monitor::{DeltaReport, KDelta, MonitorAudit, MonitorBuilder, MonitorError, RankingEdit};
 pub use pattern::Pattern;
 pub use report::{
     render_report, render_report_csv, summarize, summarize_audit, BiasDirection, BiasedGroup,

@@ -1,0 +1,819 @@
+//! Live ranking monitor: delta re-audits over an evolving ranking.
+//!
+//! The paper's algorithms audit a *frozen* ranking; a serving deployment
+//! faces rankings that churn — scores get re-estimated, new tuples
+//! arrive, the interesting `k` cutoffs move. Rebuilding an [`Audit`]
+//! (pattern space + rank-ordered bitmap index) and re-running the whole
+//! `k` range after every batch of edits throws away almost all of the
+//! previous work: a small batch of score updates only reorders a narrow
+//! band of rank positions, and the per-`k` result sets outside that band
+//! are **provably unchanged**.
+//!
+//! [`MonitorAudit`] exploits exactly that. It owns an evolving
+//! [`Dataset`], a [`ScoredRanking`] (the updatable ranking layer), the
+//! fixed [`PatternSpace`] and a [`RankedIndex`] it patches in place, plus
+//! the current per-`k` results. One [`MonitorAudit::apply`] call takes a
+//! batch of [`RankingEdit`]s and:
+//!
+//! 1. applies each edit to the dataset and the ranking, accumulating the
+//!    hull `[lo, hi]` of rank positions whose occupant changed;
+//! 2. patches the bitmap index over that span only
+//!    ([`RankedIndex::rewrite_span`] — `O(span·m)` bit flips, no
+//!    rebuild);
+//! 3. re-runs the audit task over the `k` sub-range whose top-`k`
+//!    membership can have changed, which for a pure reorder of positions
+//!    `[lo, hi]` is exactly `k ∈ [lo+1, hi]`: for `k ≤ lo` the top-`k`
+//!    prefix is untouched, and for `k > hi` it contains the whole
+//!    reordered span, i.e. the same *set* of tuples — and every count
+//!    `s_Rk`, every bound `L_k`/`U_k`, `s_D` and `n` are therefore
+//!    unchanged. The re-run drives the same incremental engines
+//!    (`engine.rs` / `upper_engine.rs`) through the same
+//!    [`crate::audit::AuditParts`] execution core as a fresh
+//!    [`Audit::run`], so a delta re-audit cannot drift from a full one;
+//! 4. splices the recomputed `k` results over the cached ones and diffs
+//!    old vs new into a typed [`DeltaReport`] — which groups entered and
+//!    left the biased set, per `k` and per direction.
+//!
+//! Insertions grow the universe (`n`, and `s_D` of every pattern the new
+//! tuple matches), which can flip substantiality and the proportional
+//! bound at *any* `k`; a batch containing an insertion therefore
+//! recomputes the full `k` range — still against the patched index, so
+//! the `O(n·m)` index rebuild is avoided even then.
+//!
+//! ```
+//! use rankfair_core::{
+//!     AuditTask, BiasMeasure, Bounds, DetectConfig, Engine, MonitorAudit, RankingEdit,
+//! };
+//! use rankfair_data::examples::students_fig1;
+//!
+//! let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+//! let mut monitor = MonitorAudit::builder(students_fig1(), "Grade")
+//!     .build(DetectConfig::new(4, 4, 5), task, Engine::Optimized)
+//!     .unwrap();
+//! let before = monitor.results().to_vec();
+//! // The bottom-ranked student gets a much better grade: re-audit the
+//! // delta (their climb reorders every position above them).
+//! let delta = monitor
+//!     .apply(&[RankingEdit::ScoreUpdate { row: 5, score: 19.5 }])
+//!     .unwrap();
+//! assert!(delta.recomputed.is_some());
+//! assert_ne!(before, monitor.results());
+//! ```
+
+use rankfair_data::{Dataset, RowValue, TupleId};
+use rankfair_rank::{Ranking, ScoredRanking};
+
+use crate::audit::{validate_task, AuditError, AuditKResult, AuditParts, AuditTask, Engine};
+use crate::pattern::Pattern;
+use crate::report::KReport;
+use crate::space::{PatternSpace, RankedIndex};
+use crate::stats::{DetectConfig, SearchStats};
+use crate::AuditOutcome;
+
+/// One edit to a live ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankingEdit {
+    /// Re-score an existing tuple; the ranking reorders locally.
+    ScoreUpdate {
+        /// Row id of the tuple to re-score.
+        row: TupleId,
+        /// The new score (written into the monitor's score column too).
+        score: f64,
+    },
+    /// Append a new tuple (one cell per dataset column, in declaration
+    /// order) and insert it into the ranking at the position its score
+    /// column cell dictates.
+    Insert {
+        /// The new tuple's cells.
+        cells: Vec<RowValue>,
+    },
+}
+
+/// Typed error of the monitor layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorError {
+    /// Construction-time audit error (bad attributes, invalid task
+    /// bounds, `k_max` beyond the dataset, …).
+    Audit(AuditError),
+    /// The score column is missing or not numeric.
+    ScoreColumn(String),
+    /// A score update names a row outside the dataset.
+    UnknownRow {
+        /// The offending row id.
+        row: TupleId,
+        /// Rows currently ranked.
+        n: usize,
+    },
+    /// An inserted tuple uses a label unknown to a pattern attribute.
+    /// The pattern space (and the bitmap index derived from it) has fixed
+    /// cardinalities; new labels on non-pattern columns are fine, but on
+    /// a pattern attribute they would require a rebuild — reported as an
+    /// error instead of silently miscounting.
+    UnknownLabel {
+        /// The pattern attribute column.
+        column: String,
+        /// The unknown label.
+        label: String,
+    },
+    /// An edit carries a NaN score or an otherwise malformed payload.
+    BadEdit(String),
+    /// The configuration carries a deadline. Monitors require *complete*
+    /// cached results for the whole `k` range — a truncated initial
+    /// build would make every later delta splice against missing entries
+    /// — so a deadline is rejected loudly instead of silently ignored.
+    DeadlineUnsupported,
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::Audit(e) => write!(f, "audit: {e}"),
+            MonitorError::ScoreColumn(c) => {
+                write!(f, "score column `{c}` is missing or not numeric")
+            }
+            MonitorError::UnknownRow { row, n } => {
+                write!(f, "row {row} out of range 0..{n}")
+            }
+            MonitorError::UnknownLabel { column, label } => write!(
+                f,
+                "label `{label}` is not in the dictionary of pattern attribute `{column}`"
+            ),
+            MonitorError::BadEdit(e) => write!(f, "bad edit: {e}"),
+            MonitorError::DeadlineUnsupported => write!(
+                f,
+                "monitors do not support config.deadline (cached results must cover the whole k range)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<AuditError> for MonitorError {
+    fn from(e: AuditError) -> Self {
+        MonitorError::Audit(e)
+    }
+}
+
+/// Per-`k` membership changes produced by one edit batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KDelta {
+    /// The `k` this delta refers to.
+    pub k: usize,
+    /// Under-represented groups that entered the result set.
+    pub entered_under: Vec<Pattern>,
+    /// Under-represented groups that left it.
+    pub left_under: Vec<Pattern>,
+    /// Over-represented groups that entered.
+    pub entered_over: Vec<Pattern>,
+    /// Over-represented groups that left.
+    pub left_over: Vec<Pattern>,
+}
+
+impl KDelta {
+    /// Whether nothing changed at this `k`.
+    pub fn is_empty(&self) -> bool {
+        self.entered_under.is_empty()
+            && self.left_under.is_empty()
+            && self.entered_over.is_empty()
+            && self.left_over.is_empty()
+    }
+}
+
+/// What one [`MonitorAudit::apply`] call did.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// Edits applied.
+    pub edits: usize,
+    /// Inclusive `k` span that was re-audited, or `None` when the batch
+    /// provably changed no top-`k` set in the configured range.
+    pub recomputed: Option<(usize, usize)>,
+    /// The `k` values whose result sets changed, with the group-level
+    /// diff. Only non-empty deltas appear; `k` ascending.
+    pub changed: Vec<KDelta>,
+    /// Instrumentation of the re-audit (zero when nothing was recomputed).
+    pub stats: SearchStats,
+}
+
+impl DeltaReport {
+    /// Total `(k, group)` membership changes, both directions.
+    pub fn total_changes(&self) -> usize {
+        self.changed
+            .iter()
+            .map(|d| {
+                d.entered_under.len()
+                    + d.left_under.len()
+                    + d.entered_over.len()
+                    + d.left_over.len()
+            })
+            .sum()
+    }
+}
+
+/// Fluent construction of a [`MonitorAudit`].
+pub struct MonitorBuilder {
+    dataset: Dataset,
+    score_column: String,
+    ascending: bool,
+    attrs: Option<Vec<String>>,
+}
+
+impl MonitorBuilder {
+    /// Ranks ascending (lower scores first) instead of the default
+    /// descending.
+    pub fn ascending(mut self, ascending: bool) -> Self {
+        self.ascending = ascending;
+        self
+    }
+
+    /// Restricts the pattern attributes to the named columns (default:
+    /// every categorical column).
+    pub fn attributes<I, S>(mut self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.attrs = Some(attrs.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Builds the monitor and runs the initial full audit.
+    pub fn build(
+        self,
+        cfg: DetectConfig,
+        task: AuditTask,
+        engine: Engine,
+    ) -> Result<MonitorAudit, MonitorError> {
+        let Some(score_col) = self.dataset.column_index(&self.score_column) else {
+            return Err(MonitorError::ScoreColumn(self.score_column));
+        };
+        let Some(scores) = self.dataset.column(score_col).values() else {
+            return Err(MonitorError::ScoreColumn(self.score_column));
+        };
+        let scored = if self.ascending {
+            ScoredRanking::ascending(scores.to_vec())
+        } else {
+            ScoredRanking::new(scores.to_vec())
+        }
+        .map_err(|e| MonitorError::BadEdit(e.to_string()))?;
+        let space = match &self.attrs {
+            Some(attrs) => {
+                let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                PatternSpace::from_column_names(&self.dataset, &refs)
+            }
+            None => PatternSpace::from_dataset(&self.dataset),
+        }
+        .map_err(AuditError::Space)?;
+        if cfg.deadline.is_some() {
+            return Err(MonitorError::DeadlineUnsupported);
+        }
+        validate_task(&cfg, &task, self.dataset.n_rows())?;
+        let ranking = scored.to_ranking();
+        let index = RankedIndex::build(&self.dataset, &space, &ranking);
+        let parts = AuditParts {
+            dataset: &self.dataset,
+            space: &space,
+            ranking: &ranking,
+            index: &index,
+        };
+        let out = parts.run_range(&cfg, &task, engine);
+        Ok(MonitorAudit {
+            dataset: self.dataset,
+            space,
+            score_col,
+            scored,
+            index,
+            cfg,
+            task,
+            engine,
+            results: out.per_k,
+            stats: out.stats,
+        })
+    }
+}
+
+/// An audit kept up to date over an evolving ranking by delta re-audits.
+/// See the module docs for the recomputation contract.
+#[derive(Debug)]
+pub struct MonitorAudit {
+    dataset: Dataset,
+    space: PatternSpace,
+    score_col: usize,
+    scored: ScoredRanking,
+    index: RankedIndex,
+    cfg: DetectConfig,
+    task: AuditTask,
+    engine: Engine,
+    /// Current result sets for every `k` in `cfg`'s range, `k` ascending.
+    results: Vec<AuditKResult>,
+    /// Cumulative instrumentation: the initial build plus every re-audit.
+    stats: SearchStats,
+}
+
+impl MonitorAudit {
+    /// Starts a builder over `dataset`, ranking by `score_column`
+    /// (numeric, descending by default).
+    pub fn builder(dataset: Dataset, score_column: &str) -> MonitorBuilder {
+        MonitorBuilder {
+            dataset,
+            score_column: score_column.to_string(),
+            ascending: false,
+            attrs: None,
+        }
+    }
+
+    /// The evolving dataset (edits applied so far included).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The pattern space (fixed for the monitor's lifetime).
+    pub fn space(&self) -> &PatternSpace {
+        &self.space
+    }
+
+    /// The current ranking as a frozen snapshot (`O(n)`).
+    pub fn ranking(&self) -> Ranking {
+        self.scored.to_ranking()
+    }
+
+    /// Rows currently ranked.
+    pub fn n_rows(&self) -> usize {
+        self.dataset.n_rows()
+    }
+
+    /// The detection configuration the monitor audits under.
+    pub fn config(&self) -> &DetectConfig {
+        &self.cfg
+    }
+
+    /// The task the monitor audits.
+    pub fn task(&self) -> &AuditTask {
+        &self.task
+    }
+
+    /// Current per-`k` result sets, `k` ascending over the configured
+    /// range.
+    pub fn results(&self) -> &[AuditKResult] {
+        &self.results
+    }
+
+    /// Cumulative instrumentation: initial build plus every delta
+    /// re-audit.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// Renders the current results as enriched per-`k` reports (the same
+    /// shape [`Audit::report`] produces).
+    ///
+    /// [`Audit::report`]: crate::Audit::report
+    pub fn reports(&self) -> Vec<KReport> {
+        let out = AuditOutcome {
+            per_k: self.results.clone(),
+            stats: self.stats.clone(),
+        };
+        crate::report::summarize_audit(&out, &self.index, &self.space, &self.task)
+    }
+
+    /// Renders a pattern with attribute names and value labels.
+    pub fn describe(&self, p: &Pattern) -> String {
+        self.space.display(p)
+    }
+
+    /// Pre-validates a batch so a failure cannot leave the monitor
+    /// half-updated. `n` tracks insertions earlier in the same batch.
+    fn validate_edits(&self, edits: &[RankingEdit]) -> Result<(), MonitorError> {
+        let mut n = self.dataset.n_rows();
+        // New labels earlier inserts in this batch will add per column:
+        // `push_row` must not be able to fail on dictionary overflow
+        // after part of the batch has been applied.
+        let mut pending_labels: Vec<Vec<&str>> = vec![Vec::new(); self.dataset.n_cols()];
+        for edit in edits {
+            match edit {
+                RankingEdit::ScoreUpdate { row, score } => {
+                    if (*row as usize) >= n {
+                        return Err(MonitorError::UnknownRow { row: *row, n });
+                    }
+                    if score.is_nan() {
+                        return Err(MonitorError::BadEdit(format!(
+                            "new score of row {row} is NaN"
+                        )));
+                    }
+                }
+                RankingEdit::Insert { cells } => {
+                    if cells.len() != self.dataset.n_cols() {
+                        return Err(MonitorError::BadEdit(format!(
+                            "insert has {} cells but the dataset has {} columns",
+                            cells.len(),
+                            self.dataset.n_cols()
+                        )));
+                    }
+                    for (ci, (col, cell)) in self.dataset.columns().iter().zip(cells).enumerate() {
+                        match (cell, col.is_categorical()) {
+                            (RowValue::Label(label), true) => {
+                                let pending = &mut pending_labels[ci];
+                                let is_new = col.code_of(label).is_none()
+                                    && !pending.contains(&label.as_str());
+                                if is_new {
+                                    let card = col.cardinality().unwrap_or(0);
+                                    // `>=` mirrors the data layer's cap,
+                                    // which reserves ValueCode::MAX.
+                                    if card + pending.len() >= usize::from(u16::MAX) {
+                                        return Err(MonitorError::BadEdit(format!(
+                                            "column `{}` would exceed the dictionary space",
+                                            col.name()
+                                        )));
+                                    }
+                                    pending.push(label);
+                                }
+                            }
+                            (RowValue::Number(_), false) => {}
+                            _ => {
+                                return Err(MonitorError::BadEdit(format!(
+                                    "cell kind mismatch for column `{}`",
+                                    col.name()
+                                )))
+                            }
+                        }
+                    }
+                    match &cells[self.score_col] {
+                        RowValue::Number(s) if s.is_nan() => {
+                            return Err(MonitorError::BadEdit("inserted score is NaN".into()))
+                        }
+                        RowValue::Number(_) => {}
+                        RowValue::Label(_) => unreachable!("kind checked above"),
+                    }
+                    // Pattern attributes have fixed cardinalities: a label
+                    // outside the dictionary cannot be represented in the
+                    // index.
+                    for a in 0..self.space.n_attrs() {
+                        let col_idx = self.space.dataset_col(a as u16);
+                        let col = self.dataset.column(col_idx);
+                        let RowValue::Label(label) = &cells[col_idx] else {
+                            unreachable!("pattern attributes are categorical");
+                        };
+                        if col.code_of(label).is_none() {
+                            return Err(MonitorError::UnknownLabel {
+                                column: col.name().to_string(),
+                                label: label.clone(),
+                            });
+                        }
+                    }
+                    n += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one batch of edits and re-audits the affected `k` span,
+    /// returning the typed diff. On error the monitor is unchanged.
+    pub fn apply(&mut self, edits: &[RankingEdit]) -> Result<DeltaReport, MonitorError> {
+        self.validate_edits(edits)?;
+        let mut span: Option<(usize, usize)> = None;
+        let merge = |d: Option<(usize, usize)>, span: &mut Option<(usize, usize)>| {
+            if let Some((lo, hi)) = d {
+                *span = Some(match *span {
+                    None => (lo, hi),
+                    Some((a, b)) => (a.min(lo), b.max(hi)),
+                });
+            }
+        };
+        let mut inserted = false;
+        for edit in edits {
+            match edit {
+                RankingEdit::ScoreUpdate { row, score } => {
+                    let d = self
+                        .scored
+                        .update_score(*row, *score)
+                        .map_err(|e| MonitorError::BadEdit(e.to_string()))?;
+                    self.dataset
+                        .set_number(*row as usize, self.score_col, *score)
+                        .map_err(|e| MonitorError::BadEdit(e.to_string()))?;
+                    merge(d.changed, &mut span);
+                }
+                RankingEdit::Insert { cells } => {
+                    let RowValue::Number(score) = cells[self.score_col] else {
+                        unreachable!("validated above");
+                    };
+                    self.dataset
+                        .push_row(cells)
+                        .map_err(|e| MonitorError::BadEdit(e.to_string()))?;
+                    let d = self
+                        .scored
+                        .insert(score)
+                        .map_err(|e| MonitorError::BadEdit(e.to_string()))?;
+                    self.index.grow();
+                    inserted = true;
+                    merge(d.changed, &mut span);
+                }
+            }
+        }
+        // Patch the index over the hull of occupant-changed positions.
+        if let Some((lo, hi)) = span {
+            self.index
+                .rewrite_span(&self.dataset, &self.space, self.scored.order(), lo, hi);
+        }
+        // The k values whose top-k membership can have changed: the whole
+        // range when the universe grew (n and s_D moved), else (lo, hi].
+        let recompute = if inserted {
+            Some((self.cfg.k_min, self.cfg.k_max))
+        } else {
+            span.and_then(|(lo, hi)| {
+                let k_lo = (lo + 1).max(self.cfg.k_min);
+                let k_hi = hi.min(self.cfg.k_max);
+                (k_lo <= k_hi).then_some((k_lo, k_hi))
+            })
+        };
+        let Some((k_lo, k_hi)) = recompute else {
+            return Ok(DeltaReport {
+                edits: edits.len(),
+                recomputed: None,
+                changed: Vec::new(),
+                stats: SearchStats::default(),
+            });
+        };
+        let sub = DetectConfig {
+            tau_s: self.cfg.tau_s,
+            k_min: k_lo,
+            k_max: k_hi,
+            deadline: None,
+        };
+        let ranking = self.scored.to_ranking();
+        let parts = AuditParts {
+            dataset: &self.dataset,
+            space: &self.space,
+            ranking: &ranking,
+            index: &self.index,
+        };
+        let out = parts.run_range(&sub, &self.task, self.engine);
+        // Re-audits run back to back with the initial build: their wall
+        // clocks add (merge's max is for parallel workers).
+        let elapsed_before = self.stats.elapsed;
+        self.stats.merge(&out.stats);
+        self.stats.elapsed = elapsed_before + out.stats.elapsed;
+        let mut changed = Vec::new();
+        for new in out.per_k {
+            let slot = new.k - self.cfg.k_min;
+            let old = std::mem::replace(&mut self.results[slot], new);
+            let new = &self.results[slot];
+            let (entered_under, left_under) = diff_sorted(&old.under, &new.under);
+            let (entered_over, left_over) = diff_sorted(&old.over, &new.over);
+            let delta = KDelta {
+                k: new.k,
+                entered_under,
+                left_under,
+                entered_over,
+                left_over,
+            };
+            if !delta.is_empty() {
+                changed.push(delta);
+            }
+        }
+        Ok(DeltaReport {
+            edits: edits.len(),
+            recomputed: Some((k_lo, k_hi)),
+            changed,
+            stats: out.stats,
+        })
+    }
+}
+
+/// `(in new but not old, in old but not new)` for canonically sorted
+/// pattern lists.
+fn diff_sorted(old: &[Pattern], new: &[Pattern]) -> (Vec<Pattern>, Vec<Pattern>) {
+    let mut entered = Vec::new();
+    let mut left = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(o), Some(n)) => match o.cmp(n) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    left.push(o.clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    entered.push(n.clone());
+                    j += 1;
+                }
+            },
+            (Some(o), None) => {
+                left.push(o.clone());
+                i += 1;
+            }
+            (None, Some(n)) => {
+                entered.push(n.clone());
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    (entered, left)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{BiasMeasure, Bounds};
+    use crate::{Audit, OverRepScope};
+    use rankfair_data::examples::students_fig1;
+    use std::sync::Arc;
+
+    fn grade_monitor(task: AuditTask) -> MonitorAudit {
+        MonitorAudit::builder(students_fig1(), "Grade")
+            .build(DetectConfig::new(2, 2, 16), task, Engine::Optimized)
+            .unwrap()
+    }
+
+    /// A fresh audit over the monitor's current dataset must agree with
+    /// the monitor's cached results exactly.
+    fn assert_matches_fresh(monitor: &MonitorAudit) {
+        let audit = Audit::builder(Arc::new(monitor.dataset().clone()))
+            .ranking(monitor.ranking())
+            .build()
+            .unwrap();
+        let fresh = audit
+            .run(monitor.config(), monitor.task(), Engine::Optimized)
+            .unwrap();
+        assert_eq!(monitor.results(), &fresh.per_k[..]);
+    }
+
+    #[test]
+    fn initial_results_match_fresh_audit() {
+        for task in [
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+            AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.9 }),
+            AuditTask::OverRep {
+                upper: Bounds::constant(2),
+                scope: OverRepScope::MostSpecific,
+            },
+            AuditTask::Combined {
+                lower: Bounds::constant(2),
+                upper: Bounds::constant(3),
+            },
+        ] {
+            let monitor = grade_monitor(task);
+            assert_matches_fresh(&monitor);
+        }
+    }
+
+    #[test]
+    fn score_update_recomputes_only_the_affected_span() {
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        let mut monitor = grade_monitor(task);
+        // Row 8 sits near the bottom of the fig1 ranking; a small nudge
+        // that does not cross anyone yields no recompute at all.
+        let d = monitor
+            .apply(&[RankingEdit::ScoreUpdate {
+                row: monitor.ranking().at(15),
+                score: monitor.scored.score(monitor.ranking().at(15)) - 0.01,
+            }])
+            .unwrap();
+        assert_eq!(d.recomputed, None);
+        assert!(d.changed.is_empty());
+        assert_matches_fresh(&monitor);
+        // A big promotion recomputes a bounded span and changes results.
+        let bottom = monitor.ranking().at(15);
+        let d = monitor
+            .apply(&[RankingEdit::ScoreUpdate {
+                row: bottom,
+                score: 19.9,
+            }])
+            .unwrap();
+        let (lo, hi) = d.recomputed.unwrap();
+        assert!(lo >= 2 && hi <= 16, "span [{lo}, {hi}]");
+        assert_matches_fresh(&monitor);
+    }
+
+    #[test]
+    fn insert_recomputes_full_range_and_matches_fresh_audit() {
+        use rankfair_data::RowValue;
+        let task = AuditTask::Combined {
+            lower: Bounds::constant(2),
+            upper: Bounds::constant(3),
+        };
+        let mut monitor = grade_monitor(task);
+        let d = monitor
+            .apply(&[RankingEdit::Insert {
+                cells: vec![
+                    RowValue::Label("F".into()),
+                    RowValue::Label("GP".into()),
+                    RowValue::Label("U".into()),
+                    RowValue::Label("0".into()),
+                    RowValue::Number(12.5),
+                ],
+            }])
+            .unwrap();
+        assert_eq!(d.recomputed, Some((2, 16)));
+        assert_eq!(monitor.n_rows(), 17);
+        assert_matches_fresh(&monitor);
+    }
+
+    #[test]
+    fn bad_edits_are_rejected_atomically() {
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        let mut monitor = grade_monitor(task);
+        let before = monitor.results().to_vec();
+        let n_before = monitor.n_rows();
+        // Second edit invalid: the valid first edit must not be applied.
+        let err = monitor
+            .apply(&[
+                RankingEdit::ScoreUpdate { row: 0, score: 1.0 },
+                RankingEdit::ScoreUpdate {
+                    row: 99,
+                    score: 1.0,
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::UnknownRow { row: 99, .. }));
+        assert_eq!(monitor.results(), &before[..]);
+        assert_eq!(monitor.n_rows(), n_before);
+        // NaN scores, wrong arity, unknown labels.
+        assert!(matches!(
+            monitor
+                .apply(&[RankingEdit::ScoreUpdate {
+                    row: 0,
+                    score: f64::NAN
+                }])
+                .unwrap_err(),
+            MonitorError::BadEdit(_)
+        ));
+        assert!(matches!(
+            monitor
+                .apply(&[RankingEdit::Insert { cells: vec![] }])
+                .unwrap_err(),
+            MonitorError::BadEdit(_)
+        ));
+        use rankfair_data::RowValue;
+        assert!(matches!(
+            monitor
+                .apply(&[RankingEdit::Insert {
+                    cells: vec![
+                        RowValue::Label("X".into()), // unknown Gender label
+                        RowValue::Label("GP".into()),
+                        RowValue::Label("U".into()),
+                        RowValue::Label("0".into()),
+                        RowValue::Number(1.0),
+                    ],
+                }])
+                .unwrap_err(),
+            MonitorError::UnknownLabel { .. }
+        ));
+        assert_eq!(monitor.results(), &before[..]);
+    }
+
+    #[test]
+    fn builder_validates_score_column_and_task() {
+        let err = MonitorAudit::builder(students_fig1(), "Nope")
+            .build(
+                DetectConfig::new(2, 2, 16),
+                AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+                Engine::Optimized,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::ScoreColumn(_)));
+        let err = MonitorAudit::builder(students_fig1(), "Gender")
+            .build(
+                DetectConfig::new(2, 2, 16),
+                AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+                Engine::Optimized,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::ScoreColumn(_)));
+        let err = MonitorAudit::builder(students_fig1(), "Grade")
+            .build(
+                DetectConfig::new(2, 2, 17),
+                AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+                Engine::Optimized,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MonitorError::Audit(AuditError::InvalidKRange { .. })
+        ));
+        // A deadline would let the initial build truncate, leaving later
+        // delta splices with missing k entries: rejected loudly.
+        let err = MonitorAudit::builder(students_fig1(), "Grade")
+            .build(
+                DetectConfig::new(2, 2, 16).with_deadline(std::time::Duration::from_secs(1)),
+                AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+                Engine::Optimized,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MonitorError::DeadlineUnsupported));
+    }
+
+    #[test]
+    fn reports_render_current_state() {
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        let monitor = grade_monitor(task);
+        let reports = monitor.reports();
+        assert_eq!(reports.len(), 15);
+        assert!(reports.iter().any(|r| !r.groups.is_empty()));
+    }
+}

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use rankfair_data::{intersect_counts_iter, Bitmap, Dataset, ValueCode};
+use rankfair_data::{intersect_counts_iter, Bitmap, Dataset, TupleId, ValueCode};
 use rankfair_rank::Ranking;
 
 use crate::pattern::Pattern;
@@ -252,6 +252,66 @@ impl RankedIndex {
         self.codes[usize::from(attr)][pos]
     }
 
+    /// Grows the index by one rank position (appended with placeholder
+    /// codes and clear bits). The caller must follow up with
+    /// [`RankedIndex::rewrite_span`] covering the new position — a live
+    /// insertion shifts every position from the insertion point to the
+    /// end, so the repaired span always includes it.
+    pub fn grow(&mut self) {
+        // The placeholder must be a code no attribute can have: a valid
+        // code would fool `rewrite_span`'s `old == new` short-circuit into
+        // skipping the position, leaving the new tuple's bit unset.
+        for attr_codes in &mut self.codes {
+            attr_codes.push(ValueCode::MAX);
+        }
+        for attr_maps in &mut self.bitmaps {
+            for map in attr_maps {
+                map.push_zero();
+            }
+        }
+        self.n += 1;
+    }
+
+    /// Patches the index after ranking edits: for every position in
+    /// `lo..=hi`, re-reads the occupant row from `order` and rewrites the
+    /// position's codes and bitmap bits in place. `O((hi−lo+1)·m)` bit
+    /// flips instead of the `O(n·m)` full rebuild — the index half of the
+    /// monitor's delta re-audit.
+    ///
+    /// # Panics
+    /// Panics if the span or a row's codes are out of range for the index.
+    pub fn rewrite_span(
+        &mut self,
+        ds: &Dataset,
+        space: &PatternSpace,
+        order: &[TupleId],
+        lo: usize,
+        hi: usize,
+    ) {
+        assert!(hi < self.n && lo <= hi, "span [{lo}, {hi}] out of range");
+        assert_eq!(order.len(), self.n, "order must cover every position");
+        for (a, (attr_codes, attr_maps)) in self.codes.iter_mut().zip(&mut self.bitmaps).enumerate()
+        {
+            let col = ds.column(space.dataset_col(a as AttrId));
+            for pos in lo..=hi {
+                let new = col.code(order[pos] as usize);
+                assert!(
+                    usize::from(new) < attr_maps.len(),
+                    "code out of range for attribute"
+                );
+                let old = attr_codes[pos];
+                if old != new {
+                    // `old` may be the `grow` placeholder (no bit set yet).
+                    if let Some(map) = attr_maps.get_mut(usize::from(old)) {
+                        map.clear(pos);
+                    }
+                    attr_maps[usize::from(new)].set(pos);
+                    attr_codes[pos] = new;
+                }
+            }
+        }
+    }
+
     /// Whether the tuple at rank position `pos` satisfies `p`.
     pub fn matches_at(&self, pos: usize, p: &Pattern) -> bool {
         p.matches(|a| self.code_at(pos, a))
@@ -377,5 +437,66 @@ mod tests {
     fn empty_pattern_counts_are_universe() {
         let (_ds, _space, index) = fig1();
         assert_eq!(index.counts(&Pattern::empty(), 5), (16, 5));
+    }
+
+    #[test]
+    fn rewrite_span_matches_fresh_build_after_reorder() {
+        let (ds, space, mut index) = fig1();
+        let mut order = fig1_rank_order();
+        // Rotate a middle span: positions 3..=8 change occupant.
+        order[3..=8].rotate_left(2);
+        index.rewrite_span(&ds, &space, &order, 3, 8);
+        let fresh = RankedIndex::build(&ds, &space, &Ranking::from_order(order).unwrap());
+        for a in 0..space.n_attrs() as u16 {
+            for v in 0..space.card(a) as u16 {
+                let p = Pattern::single(a, v);
+                for k in 0..=16 {
+                    assert_eq!(
+                        index.counts(&p, k),
+                        fresh.counts(&p, k),
+                        "a={a} v={v} k={k}"
+                    );
+                }
+            }
+            for pos in 0..16 {
+                assert_eq!(index.code_at(pos, a), fresh.code_at(pos, a));
+            }
+        }
+    }
+
+    #[test]
+    fn grow_then_rewrite_covers_an_insertion() {
+        use rankfair_data::RowValue;
+        let (mut ds, space, mut index) = fig1();
+        // Append a 17th student and slot them in at rank position 5.
+        ds.push_row(&[
+            RowValue::Label("F".into()),
+            RowValue::Label("GP".into()),
+            RowValue::Label("R".into()),
+            RowValue::Label("1".into()),
+            RowValue::Number(9.0),
+        ])
+        .unwrap();
+        let mut order = fig1_rank_order();
+        order.insert(5, 16);
+        index.grow();
+        index.rewrite_span(&ds, &space, &order, 5, 16);
+        let fresh = RankedIndex::build(&ds, &space, &Ranking::from_order(order).unwrap());
+        assert_eq!(index.n(), 17);
+        for a in 0..space.n_attrs() as u16 {
+            for v in 0..space.card(a) as u16 {
+                let p = Pattern::single(a, v);
+                // Every prefix: equal prefix counts at all k pins the
+                // bitmaps bit-for-bit (regression: a grow placeholder code
+                // of 0 skipped setting the new tuple's value-0 bits).
+                for k in 0..=17 {
+                    assert_eq!(
+                        index.counts(&p, k),
+                        fresh.counts(&p, k),
+                        "a={a} v={v} k={k}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -42,6 +42,29 @@ impl Bitmap {
         self.blocks[i / BITS] |= 1u64 << (i % BITS);
     }
 
+    /// Clears bit `i` (no-op if it was already clear).
+    ///
+    /// Used by the live-monitor path: when a ranking edit changes which
+    /// tuple occupies a rank position, the position's old (attribute,
+    /// value) bit is cleared and the new one set, instead of rebuilding
+    /// the whole index.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.blocks[i / BITS] &= !(1u64 << (i % BITS));
+    }
+
+    /// Grows the bitmap by one position, appended clear. Used when a new
+    /// tuple is inserted into a live ranking.
+    pub fn push_zero(&mut self) {
+        if self.len.is_multiple_of(BITS) {
+            self.blocks.push(0);
+        }
+        self.len += 1;
+    }
+
     /// Reads bit `i`.
     ///
     /// # Panics
@@ -233,5 +256,25 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn set_out_of_range_panics() {
         Bitmap::new(5).set(5);
+    }
+
+    #[test]
+    fn clear_and_push_zero() {
+        let mut m = Bitmap::new(65);
+        m.set(0);
+        m.set(64);
+        m.clear(64);
+        m.clear(3); // already clear: no-op
+        assert!(m.get(0) && !m.get(64) && !m.get(3));
+        assert_eq!(m.count_ones(), 1);
+        // Growing appends clear bits and extends blocks on the boundary.
+        for _ in 0..64 {
+            m.push_zero();
+        }
+        assert_eq!(m.len(), 129);
+        assert!(!m.get(128));
+        m.set(128);
+        assert_eq!(m.count_prefix(129), 2);
+        assert_eq!(m.count_prefix(128), 1);
     }
 }

@@ -44,7 +44,9 @@ impl Column {
             let code = match labels.iter().position(|l| l == v) {
                 Some(i) => i,
                 None => {
-                    if labels.len() > usize::from(u16::MAX) {
+                    // `>=` reserves ValueCode::MAX: the rank-index delta
+                    // path uses it as a can't-be-real placeholder code.
+                    if labels.len() >= usize::from(u16::MAX) {
                         return None;
                     }
                     labels.push(v.to_string());
@@ -166,6 +168,78 @@ impl Column {
         match &self.data {
             ColumnData::Numeric { values } => values[row],
             ColumnData::Categorical { .. } => panic!("column `{}` is not numeric", self.name),
+        }
+    }
+
+    /// Appends a row to a categorical column by label, extending the
+    /// dictionary if the label is new. Returns the code the row received.
+    ///
+    /// Errors with [`crate::DataError::KindMismatch`] on numeric columns
+    /// and [`crate::DataError::DictionaryOverflow`] when a new label would
+    /// exceed the `u16` dictionary space.
+    pub fn push_label(&mut self, label: &str) -> Result<ValueCode, crate::DataError> {
+        match &mut self.data {
+            ColumnData::Categorical { codes, labels } => {
+                let code = match labels.iter().position(|l| l == label) {
+                    Some(i) => i as ValueCode,
+                    None => {
+                        // `>=` reserves ValueCode::MAX (the rank-index
+                        // delta placeholder) — a real code must never
+                        // collide with it.
+                        if labels.len() >= usize::from(u16::MAX) {
+                            return Err(crate::DataError::DictionaryOverflow(self.name.clone()));
+                        }
+                        labels.push(label.to_string());
+                        (labels.len() - 1) as ValueCode
+                    }
+                };
+                codes.push(code);
+                Ok(code)
+            }
+            ColumnData::Numeric { .. } => Err(crate::DataError::KindMismatch {
+                column: self.name.clone(),
+                expected: "categorical",
+            }),
+        }
+    }
+
+    /// Appends a row to a numeric column.
+    ///
+    /// Errors with [`crate::DataError::KindMismatch`] on categorical
+    /// columns.
+    pub fn push_number(&mut self, value: f64) -> Result<(), crate::DataError> {
+        match &mut self.data {
+            ColumnData::Numeric { values } => {
+                values.push(value);
+                Ok(())
+            }
+            ColumnData::Categorical { .. } => Err(crate::DataError::KindMismatch {
+                column: self.name.clone(),
+                expected: "numeric",
+            }),
+        }
+    }
+
+    /// Overwrites the numeric value at `row` (live score updates).
+    ///
+    /// Errors with [`crate::DataError::KindMismatch`] on categorical
+    /// columns and [`crate::DataError::Invalid`] on an out-of-range row.
+    pub fn set_number(&mut self, row: usize, value: f64) -> Result<(), crate::DataError> {
+        match &mut self.data {
+            ColumnData::Numeric { values } => match values.get_mut(row) {
+                Some(v) => {
+                    *v = value;
+                    Ok(())
+                }
+                None => Err(crate::DataError::Invalid(format!(
+                    "row {row} out of range for column `{}`",
+                    self.name
+                ))),
+            },
+            ColumnData::Categorical { .. } => Err(crate::DataError::KindMismatch {
+                column: self.name.clone(),
+                expected: "numeric",
+            }),
         }
     }
 

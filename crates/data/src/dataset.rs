@@ -1,5 +1,16 @@
 use crate::{Column, ColumnData, DataError, ValueCode};
 
+/// One cell of a row being appended to a [`Dataset`] — a label for
+/// categorical columns, a number for numeric ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowValue {
+    /// A categorical value, resolved against (and possibly extending) the
+    /// column's dictionary.
+    Label(String),
+    /// A numeric value.
+    Number(f64),
+}
+
 /// An immutable, column-oriented relational table.
 ///
 /// Categorical columns carry the group-defining attributes of the paper’s
@@ -165,6 +176,68 @@ impl Dataset {
         Ok(())
     }
 
+    /// Overwrites the numeric value at (`row`, `col`) — the dataset half
+    /// of a live score update.
+    pub fn set_number(&mut self, row: usize, col: usize, value: f64) -> Result<(), DataError> {
+        self.columns[col].set_number(row, value)
+    }
+
+    /// Appends one row, given a cell per column in declaration order.
+    ///
+    /// Categorical cells must be [`RowValue::Label`]s (new labels extend
+    /// the column's dictionary); numeric cells must be
+    /// [`RowValue::Number`]s. On error nothing is modified.
+    ///
+    /// This is the data half of the live-monitor workload: tuples arriving
+    /// in a stream are appended here, then inserted into the evolving
+    /// ranking.
+    pub fn push_row(&mut self, cells: &[RowValue]) -> Result<(), DataError> {
+        if cells.len() != self.columns.len() {
+            return Err(DataError::Invalid(format!(
+                "row has {} cells but the dataset has {} columns",
+                cells.len(),
+                self.columns.len()
+            )));
+        }
+        // Validate every cell's kind first so a failure mid-row cannot
+        // leave columns with differing lengths.
+        for (c, cell) in self.columns.iter().zip(cells) {
+            match (cell, c.is_categorical()) {
+                (RowValue::Label(l), true) => {
+                    // `>=` matches `Column::push_label`'s cap, which
+                    // reserves ValueCode::MAX as the rank-index delta
+                    // placeholder.
+                    if c.code_of(l).is_none() && c.cardinality() >= Some(usize::from(u16::MAX)) {
+                        return Err(DataError::DictionaryOverflow(c.name().to_string()));
+                    }
+                }
+                (RowValue::Number(_), false) => {}
+                (RowValue::Label(_), false) => {
+                    return Err(DataError::KindMismatch {
+                        column: c.name().to_string(),
+                        expected: "categorical",
+                    })
+                }
+                (RowValue::Number(_), true) => {
+                    return Err(DataError::KindMismatch {
+                        column: c.name().to_string(),
+                        expected: "numeric",
+                    })
+                }
+            }
+        }
+        for (c, cell) in self.columns.iter_mut().zip(cells) {
+            match cell {
+                RowValue::Label(l) => {
+                    c.push_label(l)?;
+                }
+                RowValue::Number(v) => c.push_number(*v)?,
+            }
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
     /// Renders row `row` as `name=value` pairs — handy in examples and CLI
     /// output.
     pub fn display_row(&self, row: usize) -> String {
@@ -308,5 +381,41 @@ mod tests {
     fn display_row_formats_all_columns() {
         let ds = sample();
         assert_eq!(ds.display_row(0), "a=x, b=1, score=0.5");
+    }
+
+    #[test]
+    fn push_row_appends_and_validates() {
+        let mut ds = sample();
+        ds.push_row(&[
+            RowValue::Label("y".into()),
+            RowValue::Label("3".into()), // new label: dictionary extends
+            RowValue::Number(0.75),
+        ])
+        .unwrap();
+        assert_eq!(ds.n_rows(), 5);
+        assert_eq!(ds.column(0).display(4), "y");
+        assert_eq!(ds.column(1).display(4), "3");
+        assert_eq!(ds.column(1).cardinality(), Some(3));
+        assert_eq!(ds.column(2).value(4), 0.75);
+        // Wrong arity and wrong kinds are rejected without mutating.
+        assert!(ds.push_row(&[RowValue::Number(1.0)]).is_err());
+        assert!(ds
+            .push_row(&[
+                RowValue::Number(1.0), // categorical column
+                RowValue::Label("1".into()),
+                RowValue::Number(0.0),
+            ])
+            .is_err());
+        assert!(ds
+            .push_row(&[
+                RowValue::Label("x".into()),
+                RowValue::Label("1".into()),
+                RowValue::Label("oops".into()), // numeric column
+            ])
+            .is_err());
+        assert_eq!(ds.n_rows(), 5);
+        for c in ds.columns() {
+            assert_eq!(c.len(), 5);
+        }
     }
 }

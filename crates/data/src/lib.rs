@@ -57,7 +57,7 @@ pub mod examples;
 
 pub use bitmap::{intersect_counts, intersect_counts_iter, Bitmap};
 pub use column::{Column, ColumnData};
-pub use dataset::{Dataset, DatasetBuilder};
+pub use dataset::{Dataset, DatasetBuilder, RowValue};
 pub use error::DataError;
 
 /// Row identifier within a [`Dataset`].

@@ -384,6 +384,13 @@ impl Parser<'_> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            // Strict like the rest of the parser: a duplicate key would
+            // silently drop one of the values (`get` returns the first
+            // pair), turning e.g. a repeated wire-request member into a
+            // quiet behavior change instead of a loud error.
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err("duplicate object key"));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -608,24 +615,26 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected() {
         for bad in [
-            "",                   // empty
-            "   ",                // whitespace only
-            "{",                  // truncated object
-            "[1, 2",              // truncated array
-            "\"abc",              // unterminated string
-            "{\"a\": }",          // missing value
-            "{\"a\" 1}",          // missing colon
-            "[1,]",               // trailing comma
-            "{} {}",              // trailing garbage
-            "1 2",                // trailing garbage
-            "nul",                // truncated literal
-            "tru e",              // broken literal
-            "\"\\x\"",            // bad escape
-            "\"\\u12g4\"",        // bad hex
-            "\"\\ud800\"",        // lone high surrogate
-            "\"\\udc00\"",        // lone low surrogate
-            "\"\\ud800\\u0041\"", // high surrogate + non-surrogate
-            "NaN",                // non-finite spellings
+            "",                              // empty
+            "   ",                           // whitespace only
+            "{",                             // truncated object
+            "[1, 2",                         // truncated array
+            "\"abc",                         // unterminated string
+            "{\"a\": }",                     // missing value
+            "{\"a\" 1}",                     // missing colon
+            "{\"a\": 1, \"a\": 2}",          // duplicate key (first-wins would be silent)
+            "{\"a\": {\"b\": 1, \"b\": 1}}", // duplicate key, nested
+            "[1,]",                          // trailing comma
+            "{} {}",                         // trailing garbage
+            "1 2",                           // trailing garbage
+            "nul",                           // truncated literal
+            "tru e",                         // broken literal
+            "\"\\x\"",                       // bad escape
+            "\"\\u12g4\"",                   // bad hex
+            "\"\\ud800\"",                   // lone high surrogate
+            "\"\\udc00\"",                   // lone low surrogate
+            "\"\\ud800\\u0041\"",            // high surrogate + non-surrogate
+            "NaN",                           // non-finite spellings
             "Infinity",
             "-Infinity",
             "+1",                 // leading plus
@@ -656,8 +665,11 @@ mod tests {
     fn object_order_is_preserved() {
         let v = Value::object([("z", Value::from(1usize)), ("a", Value::from(2usize))]);
         assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
-        // Duplicate keys: first wins on lookup, both render.
-        let d = parse(r#"{"k":1,"k":2}"#).unwrap();
+        // The parser rejects duplicate keys (strictness: a first-wins
+        // lookup would silently drop the second value); directly
+        // constructed values still look up first-wins.
+        assert!(parse(r#"{"k":1,"k":2}"#).is_err());
+        let d = Value::object([("k", Value::from(1usize)), ("k", Value::from(2usize))]);
         assert_eq!(d.get("k").unwrap().as_f64(), Some(1.0));
     }
 

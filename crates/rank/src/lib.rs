@@ -22,9 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod live;
 mod rankers;
 mod ranking;
 
+pub use live::{RankDelta, ScoredRanking};
 pub use rankers::{AttributeRanker, FnRanker, LinearScoreRanker, ScoreTerm, SortKey};
 pub use ranking::{Ranking, RankingError};
 

@@ -1,0 +1,335 @@
+//! The updatable ranking layer behind the live monitor: a score-backed
+//! ranking that absorbs score updates and tuple insertions as **deltas**,
+//! reporting exactly which rank positions changed occupant.
+//!
+//! A frozen [`crate::Ranking`] is a validated permutation with no memory
+//! of how it was produced; re-ranking after every edit would cost a full
+//! `O(n log n)` sort plus an `O(n·m)` index rebuild downstream. A
+//! [`ScoredRanking`] instead keeps the scores next to the permutation and
+//! repairs the order locally: a score update moves one row from its old
+//! position to its new one (a rotation of the span between them), and an
+//! insertion shifts the suffix after the insertion point. Both return a
+//! [`RankDelta`] naming the **contiguous span of positions whose occupant
+//! changed** — which is precisely the information the monitor needs to
+//! patch its rank-ordered bitmap index and to bound the `k` values whose
+//! top-`k` membership can have changed (only `k` in `(lo, hi]` for a pure
+//! reorder over positions `[lo, hi]`).
+//!
+//! Ordering matches [`Ranking::from_scores_desc`] exactly: score
+//! descending (or ascending when built with [`ScoredRanking::ascending`]),
+//! ties broken by row id ascending — so a `ScoredRanking` built from a
+//! column and the frozen ranking a [`crate::Ranker`] would produce agree
+//! byte for byte, and stay in agreement after any edit sequence.
+
+use rankfair_data::TupleId;
+
+use crate::ranking::{Ranking, RankingError};
+
+/// The positions a ranking edit touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankDelta {
+    /// The row the edit concerned (the updated row, or the id assigned to
+    /// an inserted tuple).
+    pub row: TupleId,
+    /// Inclusive span `(lo, hi)` of 0-based rank positions whose occupant
+    /// changed, or `None` when the edit did not move anything (a score
+    /// update that keeps the row in place).
+    pub changed: Option<(usize, usize)>,
+    /// Whether the edit inserted a new tuple (the universe grew by one).
+    pub inserted: bool,
+}
+
+/// A ranking kept sorted under a live stream of score edits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredRanking {
+    scores: Vec<f64>,
+    /// Rows best-first (same convention as [`Ranking`]).
+    order: Vec<TupleId>,
+    /// `position[row]` — inverse of `order`.
+    position: Vec<u32>,
+    ascending: bool,
+}
+
+impl ScoredRanking {
+    /// Builds a descending ranking (higher scores first, ties by row id).
+    ///
+    /// Rejects NaN scores: they have no place in a total order.
+    pub fn new(scores: Vec<f64>) -> Result<Self, RankingError> {
+        Self::with_direction(scores, false)
+    }
+
+    /// Builds an ascending ranking (lower scores first).
+    pub fn ascending(scores: Vec<f64>) -> Result<Self, RankingError> {
+        Self::with_direction(scores, true)
+    }
+
+    fn with_direction(scores: Vec<f64>, ascending: bool) -> Result<Self, RankingError> {
+        if let Some(i) = scores.iter().position(|s| s.is_nan()) {
+            return Err(RankingError(format!("score of row {i} is NaN")));
+        }
+        let mut order: Vec<TupleId> = (0..scores.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (scores[a as usize], scores[b as usize]);
+            let key = if ascending {
+                sa.partial_cmp(&sb)
+            } else {
+                sb.partial_cmp(&sa)
+            };
+            key.expect("NaN rejected above").then(a.cmp(&b))
+        });
+        let mut position = vec![0u32; order.len()];
+        for (p, &row) in order.iter().enumerate() {
+            position[row as usize] = p as u32;
+        }
+        Ok(ScoredRanking {
+            scores,
+            order,
+            position,
+            ascending,
+        })
+    }
+
+    /// Number of ranked rows.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the ranking is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Rows best-first.
+    pub fn order(&self) -> &[TupleId] {
+        &self.order
+    }
+
+    /// 0-based rank position of `row`.
+    pub fn position(&self, row: TupleId) -> usize {
+        self.position[row as usize] as usize
+    }
+
+    /// Current score of `row`.
+    pub fn score(&self, row: TupleId) -> f64 {
+        self.scores[row as usize]
+    }
+
+    /// A frozen [`Ranking`] snapshot of the current order (`O(n)`).
+    pub fn to_ranking(&self) -> Ranking {
+        Ranking::from_order(self.order.clone()).expect("order is maintained as a permutation")
+    }
+
+    /// `true` when `row a` must precede `row b` under the current scores.
+    fn before(&self, a: TupleId, b: TupleId) -> bool {
+        let (sa, sb) = (self.scores[a as usize], self.scores[b as usize]);
+        if sa == sb {
+            return a < b;
+        }
+        if self.ascending {
+            sa < sb
+        } else {
+            sa > sb
+        }
+    }
+
+    /// Re-scores `row`, repairing the order with one local rotation.
+    ///
+    /// Errors on an out-of-range row or a NaN score; the ranking is
+    /// untouched on error.
+    pub fn update_score(&mut self, row: TupleId, score: f64) -> Result<RankDelta, RankingError> {
+        if (row as usize) >= self.scores.len() {
+            return Err(RankingError(format!(
+                "row {row} out of range 0..{}",
+                self.scores.len()
+            )));
+        }
+        if score.is_nan() {
+            return Err(RankingError(format!("new score of row {row} is NaN")));
+        }
+        self.scores[row as usize] = score;
+        let old_pos = self.position[row as usize] as usize;
+        // The array is sorted everywhere except the moved row's own slot,
+        // so a binary search is only valid on the side the row moves
+        // toward (those slices exclude the slot). Probe the neighbors to
+        // pick the side.
+        let moves_up = old_pos > 0 && self.before(row, self.order[old_pos - 1]);
+        let moves_down =
+            old_pos + 1 < self.order.len() && self.before(self.order[old_pos + 1], row);
+        let new_pos = if moves_up {
+            self.order[..old_pos].partition_point(|&r| self.before(r, row))
+        } else if moves_down {
+            old_pos + self.order[old_pos + 1..].partition_point(|&r| self.before(r, row))
+        } else {
+            old_pos
+        };
+        if new_pos == old_pos {
+            return Ok(RankDelta {
+                row,
+                changed: None,
+                inserted: false,
+            });
+        }
+        if new_pos < old_pos {
+            self.order[new_pos..=old_pos].rotate_right(1);
+        } else {
+            self.order[old_pos..=new_pos].rotate_left(1);
+        }
+        let (lo, hi) = (old_pos.min(new_pos), old_pos.max(new_pos));
+        for p in lo..=hi {
+            self.position[self.order[p] as usize] = p as u32;
+        }
+        Ok(RankDelta {
+            row,
+            changed: Some((lo, hi)),
+            inserted: false,
+        })
+    }
+
+    /// Inserts a new tuple with id `len()` and the given score. Every
+    /// position from the insertion point to the (new) end changes
+    /// occupant.
+    ///
+    /// Errors on a NaN score.
+    pub fn insert(&mut self, score: f64) -> Result<RankDelta, RankingError> {
+        if score.is_nan() {
+            return Err(RankingError("inserted score is NaN".to_string()));
+        }
+        let row = self.scores.len() as TupleId;
+        self.scores.push(score);
+        let pos = self.order.partition_point(|&r| self.before(r, row));
+        self.order.insert(pos, row);
+        self.position.push(0);
+        for p in pos..self.order.len() {
+            self.position[self.order[p] as usize] = p as u32;
+        }
+        Ok(RankDelta {
+            row,
+            changed: Some((pos, self.order.len() - 1)),
+            inserted: true,
+        })
+    }
+
+    /// Debug-only invariant check: `order` sorted under `before`,
+    /// `position` its inverse.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for w in self.order.windows(2) {
+            assert!(self.before(w[0], w[1]), "order out of order: {w:?}");
+        }
+        for (p, &row) in self.order.iter().enumerate() {
+            assert_eq!(self.position[row as usize] as usize, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_matches_from_scores_desc() {
+        let scores = vec![1.0, 3.0, 3.0, 2.0];
+        let live = ScoredRanking::new(scores.clone()).unwrap();
+        let frozen = Ranking::from_scores_desc(&scores);
+        assert_eq!(live.order(), frozen.order());
+        assert_eq!(live.to_ranking(), frozen);
+        live.check_invariants();
+        assert!(ScoredRanking::new(vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn ascending_reverses_score_order_not_ties() {
+        let live = ScoredRanking::ascending(vec![2.0, 1.0, 2.0]).unwrap();
+        assert_eq!(live.order(), &[1, 0, 2]);
+        live.check_invariants();
+    }
+
+    #[test]
+    fn update_score_moves_up_and_down() {
+        let mut live = ScoredRanking::new(vec![5.0, 4.0, 3.0, 2.0, 1.0]).unwrap();
+        // Promote row 3 past rows 2 and 1.
+        let d = live.update_score(3, 4.5).unwrap();
+        assert_eq!(d.changed, Some((1, 3)));
+        assert!(!d.inserted);
+        assert_eq!(live.order(), &[0, 3, 1, 2, 4]);
+        live.check_invariants();
+        // Demote row 0 to the bottom.
+        let d = live.update_score(0, 0.5).unwrap();
+        assert_eq!(d.changed, Some((0, 4)));
+        assert_eq!(live.order(), &[3, 1, 2, 4, 0]);
+        live.check_invariants();
+        // A no-move update reports no change.
+        let d = live.update_score(1, 4.1).unwrap();
+        assert_eq!(d.changed, None);
+        live.check_invariants();
+        // Errors leave the ranking intact.
+        assert!(live.update_score(99, 1.0).is_err());
+        assert!(live.update_score(1, f64::NAN).is_err());
+        live.check_invariants();
+    }
+
+    #[test]
+    fn tie_breaks_by_row_id_after_update() {
+        let mut live = ScoredRanking::new(vec![3.0, 2.0, 1.0]).unwrap();
+        // Row 2 ties row 1: row id ascending puts it after row 1.
+        live.update_score(2, 2.0).unwrap();
+        assert_eq!(live.order(), &[0, 1, 2]);
+        // Row 0 drops to the same tie: lands before 1 and 2 (smaller id).
+        let d = live.update_score(0, 2.0).unwrap();
+        assert_eq!(d.changed, None); // already first among the ties
+        live.check_invariants();
+    }
+
+    #[test]
+    fn insert_shifts_suffix() {
+        let mut live = ScoredRanking::new(vec![3.0, 1.0]).unwrap();
+        let d = live.insert(2.0).unwrap();
+        assert_eq!(d.row, 2);
+        assert!(d.inserted);
+        assert_eq!(d.changed, Some((1, 2)));
+        assert_eq!(live.order(), &[0, 2, 1]);
+        assert_eq!(live.position(2), 1);
+        live.check_invariants();
+        // Insert at the very bottom: only the last position changes.
+        let d = live.insert(0.0).unwrap();
+        assert_eq!(d.changed, Some((3, 3)));
+        live.check_invariants();
+        assert!(live.insert(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn random_edit_sequences_match_full_resort() {
+        // Deterministic xorshift; no rng dependency in this crate.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for ascending in [false, true] {
+            let scores: Vec<f64> = (0..40).map(|_| (next() % 97) as f64 / 7.0).collect();
+            let mut live = if ascending {
+                ScoredRanking::ascending(scores).unwrap()
+            } else {
+                ScoredRanking::new(scores).unwrap()
+            };
+            for _ in 0..200 {
+                if next() % 4 == 0 {
+                    live.insert((next() % 97) as f64 / 7.0).unwrap();
+                } else {
+                    let row = (next() % live.len() as u64) as TupleId;
+                    live.update_score(row, (next() % 97) as f64 / 7.0).unwrap();
+                }
+                live.check_invariants();
+                // The live order equals a from-scratch sort of the scores.
+                let fresh = if ascending {
+                    ScoredRanking::ascending(live.scores.clone()).unwrap()
+                } else {
+                    ScoredRanking::new(live.scores.clone()).unwrap()
+                };
+                assert_eq!(live.order(), fresh.order());
+            }
+        }
+    }
+}

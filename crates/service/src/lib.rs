@@ -53,10 +53,13 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-use rankfair_core::{Audit, AuditError, AuditOutcome, AuditTask, DetectConfig, Engine, KReport};
+use rankfair_core::{
+    Audit, AuditError, AuditOutcome, AuditTask, DeltaReport, DetectConfig, Engine, KReport,
+    MonitorAudit, MonitorError, PatternSpace, RankingEdit,
+};
 use rankfair_data::csv::{read_csv, CsvOptions};
 use rankfair_data::Dataset;
 use rankfair_rank::{AttributeRanker, Ranker, Ranking, SortKey};
@@ -199,6 +202,8 @@ pub struct AuditResponse {
 pub enum ServiceError {
     /// The request names a dataset that was never registered.
     UnknownDataset(String),
+    /// The request names a monitor that was never registered.
+    UnknownMonitor(String),
     /// A dataset registration failed (CSV read/parse error).
     Csv(String),
     /// The request is malformed at the wire or semantic level (bad JSON
@@ -206,6 +211,8 @@ pub enum ServiceError {
     BadRequest(String),
     /// Audit construction or execution failed.
     Audit(AuditError),
+    /// Monitor construction or an edit batch failed.
+    Monitor(MonitorError),
 }
 
 impl fmt::Display for ServiceError {
@@ -214,9 +221,13 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownDataset(name) => {
                 write!(f, "unknown dataset `{name}` (register it first)")
             }
+            ServiceError::UnknownMonitor(name) => {
+                write!(f, "unknown monitor `{name}` (register_monitor it first)")
+            }
             ServiceError::Csv(e) => write!(f, "loading dataset: {e}"),
             ServiceError::BadRequest(e) => write!(f, "bad request: {e}"),
             ServiceError::Audit(e) => write!(f, "audit: {e}"),
+            ServiceError::Monitor(e) => write!(f, "monitor: {e}"),
         }
     }
 }
@@ -227,6 +238,62 @@ impl From<AuditError> for ServiceError {
     fn from(e: AuditError) -> Self {
         ServiceError::Audit(e)
     }
+}
+
+impl From<MonitorError> for ServiceError {
+    fn from(e: MonitorError) -> Self {
+        ServiceError::Monitor(e)
+    }
+}
+
+/// How to build a [`MonitorAudit`] over a registered dataset.
+///
+/// Monitors rank by a numeric column of the dataset (the updatable
+/// ranking layer needs scores it can edit); bucketization is deliberately
+/// unsupported — bin edges fixed at build time would silently misplace
+/// later insertions.
+#[derive(Debug, Clone)]
+pub struct MonitorSpec {
+    /// Registered dataset the monitor snapshots at registration time.
+    pub dataset: String,
+    /// Numeric column supplying the scores.
+    pub rank_by: String,
+    /// Rank ascending instead of the default descending.
+    pub ascending: bool,
+    /// Pattern attributes (default: every categorical column).
+    pub attributes: Option<Vec<String>>,
+    /// What to detect after every edit batch.
+    pub task: AuditTask,
+    /// τs and the `k` range audited on every update.
+    pub config: DetectConfig,
+    /// Optimized or baseline engine.
+    pub engine: Engine,
+}
+
+/// A point-in-time view of a monitor, rendered for the wire.
+#[derive(Debug, Clone)]
+pub struct MonitorView {
+    /// The dataset name the monitor was registered over.
+    pub dataset: String,
+    /// Rows currently ranked (edits included).
+    pub rows: usize,
+    /// Enriched per-`k` reports of the current result sets.
+    pub reports: Vec<KReport>,
+    /// The monitor's pattern space (needed to render patterns).
+    pub space: PatternSpace,
+}
+
+/// What a monitor update did, plus everything needed to render it.
+#[derive(Debug, Clone)]
+pub struct MonitorUpdate {
+    /// The dataset name the monitor tracks.
+    pub dataset: String,
+    /// Rows ranked after the batch.
+    pub rows: usize,
+    /// The typed diff the batch produced.
+    pub delta: DeltaReport,
+    /// The monitor's pattern space (needed to render the delta).
+    pub space: PatternSpace,
 }
 
 struct DatasetEntry {
@@ -245,9 +312,15 @@ type AuditCell = Arc<OnceLock<Result<Arc<Audit>, ServiceError>>>;
 pub struct AuditService {
     datasets: RwLock<HashMap<String, DatasetEntry>>,
     audits: RwLock<HashMap<AuditKey, AuditCell>>,
+    monitors: RwLock<HashMap<String, Arc<Mutex<MonitorEntry>>>>,
     max_audits: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+struct MonitorEntry {
+    monitor: MonitorAudit,
+    dataset: String,
 }
 
 impl Default for AuditService {
@@ -255,6 +328,7 @@ impl Default for AuditService {
         AuditService {
             datasets: RwLock::default(),
             audits: RwLock::default(),
+            monitors: RwLock::default(),
             max_audits: Self::DEFAULT_MAX_AUDITS,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -373,6 +447,133 @@ impl AuditService {
             .write()
             .expect("cache lock")
             .retain(|k, _| k.dataset != name);
+    }
+
+    /// Registers (or replaces) a live monitor over the current snapshot
+    /// of a registered dataset, returning the initial audit state.
+    ///
+    /// The monitor owns a **private evolving copy** of the dataset:
+    /// subsequent [`AuditService::monitor_update`] calls mutate the copy
+    /// and republish it under the dataset's name, so plain `audit`
+    /// requests issued after an update see the post-edit data (and never
+    /// a stale cached audit). Re-registering the dataset itself does
+    /// *not* retroactively change an existing monitor.
+    pub fn register_monitor(
+        &self,
+        name: &str,
+        spec: &MonitorSpec,
+    ) -> Result<MonitorView, ServiceError> {
+        let dataset = {
+            let datasets = self.datasets.read().expect("registry lock");
+            let entry = datasets
+                .get(&spec.dataset)
+                .ok_or_else(|| ServiceError::UnknownDataset(spec.dataset.clone()))?;
+            Arc::clone(&entry.dataset)
+        };
+        let mut builder =
+            MonitorAudit::builder((*dataset).clone(), &spec.rank_by).ascending(spec.ascending);
+        if let Some(attrs) = &spec.attributes {
+            builder = builder.attributes(attrs.iter().cloned());
+        }
+        let monitor = builder.build(spec.config.clone(), spec.task.clone(), spec.engine)?;
+        let view = MonitorView {
+            dataset: spec.dataset.clone(),
+            rows: monitor.n_rows(),
+            reports: monitor.reports(),
+            space: monitor.space().clone(),
+        };
+        self.monitors.write().expect("monitor lock").insert(
+            name.to_string(),
+            Arc::new(Mutex::new(MonitorEntry {
+                monitor,
+                dataset: spec.dataset.clone(),
+            })),
+        );
+        Ok(view)
+    }
+
+    fn monitor_entry(&self, name: &str) -> Result<Arc<Mutex<MonitorEntry>>, ServiceError> {
+        self.monitors
+            .read()
+            .expect("monitor lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownMonitor(name.to_string()))
+    }
+
+    /// Applies one edit batch to a monitor: delta re-audit, then the
+    /// cache interplay — the monitor's new dataset snapshot replaces the
+    /// registry entry for its dataset name, which **evicts every cached
+    /// audit** built on the pre-edit data.
+    pub fn monitor_update(
+        &self,
+        name: &str,
+        edits: &[RankingEdit],
+    ) -> Result<MonitorUpdate, ServiceError> {
+        let entry = self.monitor_entry(name)?;
+        let mut entry = entry.lock().expect("monitor entry lock");
+        let delta = entry.monitor.apply(edits)?;
+        let update = MonitorUpdate {
+            dataset: entry.dataset.clone(),
+            rows: entry.monitor.n_rows(),
+            delta,
+            space: entry.monitor.space().clone(),
+        };
+        // Republish the evolved dataset under its name and drop the now
+        // stale cached audits for it. Lock order: monitor entry first,
+        // registry second — no other path takes them in reverse.
+        let snapshot = Arc::new(entry.monitor.dataset().clone());
+        let mut datasets = self.datasets.write().expect("registry lock");
+        datasets.insert(
+            update.dataset.clone(),
+            DatasetEntry {
+                dataset: snapshot,
+                source: format!("monitor:{name}"),
+            },
+        );
+        drop(datasets);
+        self.evict_dataset(&update.dataset);
+        Ok(update)
+    }
+
+    /// Runs `f` against a monitor's current dataset — the wire layer uses
+    /// this to resolve edit cells against the evolving column set without
+    /// cloning the dataset.
+    pub fn with_monitor_dataset<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&Dataset) -> T,
+    ) -> Result<T, ServiceError> {
+        let entry = self.monitor_entry(name)?;
+        let entry = entry.lock().expect("monitor entry lock");
+        Ok(f(entry.monitor.dataset()))
+    }
+
+    /// The current state of a monitor (rows, per-`k` reports).
+    pub fn monitor_snapshot(&self, name: &str) -> Result<MonitorView, ServiceError> {
+        let entry = self.monitor_entry(name)?;
+        let entry = entry.lock().expect("monitor entry lock");
+        Ok(MonitorView {
+            dataset: entry.dataset.clone(),
+            rows: entry.monitor.n_rows(),
+            reports: entry.monitor.reports(),
+            space: entry.monitor.space().clone(),
+        })
+    }
+
+    /// `(name, dataset, rows)` of every registered monitor, sorted by
+    /// name.
+    pub fn monitors(&self) -> Vec<(String, String, usize)> {
+        let monitors = self.monitors.read().expect("monitor lock");
+        let mut out: Vec<_> = monitors
+            .iter()
+            .map(|(name, e)| {
+                let e = e.lock().expect("monitor entry lock");
+                (name.clone(), e.dataset.clone(), e.monitor.n_rows())
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// Answers one request: resolve (or build and cache) the audit for the
@@ -733,6 +934,116 @@ mod tests {
             service.handle(base).unwrap().outcome.per_k
         );
         assert!(service.cache_len() <= 2);
+    }
+
+    #[test]
+    fn monitor_lifecycle_register_update_snapshot() {
+        use rankfair_core::RankingEdit;
+        let service = fig1_service();
+        let spec = MonitorSpec {
+            dataset: "fig1".into(),
+            rank_by: "Grade".into(),
+            ascending: false,
+            attributes: None,
+            task: AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+            config: DetectConfig::new(2, 2, 16),
+            engine: Engine::Optimized,
+        };
+        let view = service.register_monitor("m1", &spec).unwrap();
+        assert_eq!(view.rows, 16);
+        assert_eq!(view.reports.len(), 15);
+        assert_eq!(
+            service.monitors(),
+            vec![("m1".to_string(), "fig1".to_string(), 16)]
+        );
+        // Unknown names are typed errors.
+        assert_eq!(
+            service.monitor_snapshot("nope").unwrap_err(),
+            ServiceError::UnknownMonitor("nope".into())
+        );
+        let mut bad = spec.clone();
+        bad.dataset = "nope".into();
+        assert_eq!(
+            service.register_monitor("m2", &bad).unwrap_err(),
+            ServiceError::UnknownDataset("nope".into())
+        );
+        // An update changes the snapshot and reports a delta.
+        let before = service.monitor_snapshot("m1").unwrap();
+        let update = service
+            .monitor_update(
+                "m1",
+                &[RankingEdit::ScoreUpdate {
+                    row: 8,
+                    score: 19.75,
+                }],
+            )
+            .unwrap();
+        assert!(update.delta.recomputed.is_some());
+        let after = service.monitor_snapshot("m1").unwrap();
+        assert_eq!(after.rows, 16);
+        if update.delta.total_changes() > 0 {
+            assert_ne!(
+                rankfair_core::json::reports_json(&before.reports, &before.space).render(),
+                rankfair_core::json::reports_json(&after.reports, &after.space).render(),
+            );
+        }
+        // Bad edits surface as typed monitor errors and change nothing.
+        assert!(matches!(
+            service
+                .monitor_update(
+                    "m1",
+                    &[RankingEdit::ScoreUpdate {
+                        row: 999,
+                        score: 1.0
+                    }]
+                )
+                .unwrap_err(),
+            ServiceError::Monitor(_)
+        ));
+    }
+
+    #[test]
+    fn monitor_update_evicts_and_republishes_the_dataset() {
+        use rankfair_core::RankingEdit;
+        let service = fig1_service();
+        let audit_req = mixed_workload()[0].clone();
+        // Warm the audit cache for fig1.
+        assert!(!service.handle(&audit_req).unwrap().cache.hit);
+        assert!(service.handle(&audit_req).unwrap().cache.hit);
+        let spec = MonitorSpec {
+            dataset: "fig1".into(),
+            rank_by: "Grade".into(),
+            ascending: false,
+            attributes: None,
+            task: AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+            config: DetectConfig::new(2, 2, 16),
+            engine: Engine::Optimized,
+        };
+        service.register_monitor("m1", &spec).unwrap();
+        service
+            .monitor_update(
+                "m1",
+                &[RankingEdit::ScoreUpdate {
+                    row: 8,
+                    score: 19.75,
+                }],
+            )
+            .unwrap();
+        // The cached audit for fig1 was evicted and the registry now
+        // serves the monitor's evolved snapshot.
+        assert_eq!(service.cache_len(), 0);
+        let resp = service.handle(&audit_req).unwrap();
+        assert!(!resp.cache.hit, "stale audit served after monitor update");
+        let listed = service.datasets();
+        assert_eq!(listed[0].1, "monitor:m1");
+        // The post-edit grade is visible to fresh audits.
+        let grade = resp
+            .audit
+            .dataset()
+            .column_by_name("Grade")
+            .unwrap()
+            .value(8);
+        assert_eq!(grade, 19.75);
     }
 
     #[test]

@@ -215,14 +215,21 @@ pub fn serve<R: BufRead, W: Write + Send>(
             // Every line becomes one bounded-queue job, keeping responses
             // in order and memory bounded regardless of input size.
             let job = match wire::parse_line(&line) {
-                Ok(request @ (wire::Request::Register { .. } | wire::Request::Datasets { .. })) => {
-                    // Registration is a barrier: wait for every earlier
-                    // in-flight request (they must see the *previous*
-                    // registry state), apply inline on the reader thread
-                    // (later lines must see the new state), then continue.
-                    // A `datasets` listing only reads the registry, which
-                    // audits never mutate — no need to drain the pool.
-                    if matches!(request, wire::Request::Register { .. }) {
+                Ok(request @ (wire::Request::Register { .. } | wire::Request::Datasets { .. }))
+                | Ok(
+                    request @ (wire::Request::RegisterMonitor { .. }
+                    | wire::Request::MonitorUpdate { .. }),
+                ) => {
+                    // Mutations (register, register_monitor, update) are
+                    // barriers: wait for every earlier in-flight request
+                    // (they must see the *previous* service state), apply
+                    // inline on the reader thread (later lines must see
+                    // the new state), then continue. A `datasets` listing
+                    // only reads the registry, which audits never mutate
+                    // — no need to drain the pool (and `snapshot` runs as
+                    // a normal worker job: monitors only mutate under
+                    // barriered updates, so its view is deterministic).
+                    if request.is_mutation() {
                         barrier.wait_for(seq);
                     }
                     let response = wire::execute(service, &request, strip_timing);
@@ -436,6 +443,62 @@ mod tests {
         // Every line parses as JSON.
         for line in &lines {
             rankfair_json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn monitor_session_is_deterministic_at_any_worker_count() {
+        let register = concat!(
+            r#"{"id": 0, "op": "register_monitor", "name": "m", "dataset": "fig1", "#,
+            r#""rank_by": "Grade", "task": {"type": "combined", "lower": 2, "upper": 3}, "#,
+            r#""config": {"tau": 2, "kmin": 2, "kmax": 16}}"#
+        );
+        let update = concat!(
+            r#"{"id": 1, "op": "update", "monitor": "m", "edits": ["#,
+            r#"{"edit": "score", "row": 8, "score": 19.75}, "#,
+            r#"{"edit": "insert", "cells": {"Gender": "F", "School": "GP", "#,
+            r#""Address": "U", "Failures": "0", "Grade": 13.25}}]}"#
+        );
+        let input = [
+            register,
+            // Snapshots before and after the update must bracket it in
+            // stream order (update is a barrier).
+            r#"{"id": 1, "op": "snapshot", "monitor": "m"}"#,
+            update,
+            r#"{"id": 3, "op": "snapshot", "monitor": "m"}"#,
+            // Audits against the dataset now see the evolved snapshot.
+            r#"{"id": 4, "dataset": "fig1", "ranking": {"rank_by": "Grade"}, "task": {"type": "under", "measure": {"type": "global", "lower": 2}}, "config": {"tau": 4, "kmin": 4, "kmax": 5}}"#,
+            // Error paths stay in-band.
+            r#"{"id": 5, "op": "snapshot", "monitor": "nope"}"#,
+            r#"{"id": 6, "op": "update", "monitor": "m", "edits": [{"edit": "score", "row": 999, "score": 1}]}"#,
+            r#"{"id": 7, "op": "update", "monitor": "m", "edits": [{"edit": "warp"}]}"#,
+        ]
+        .join("\n");
+        let (serial, summary) = session(&input, 1);
+        assert_eq!(summary.requests, 8);
+        assert_eq!(summary.errors, 3);
+        assert!(
+            serial[0].contains(r#""op":"register_monitor""#) && serial[0].contains(r#""rows":16"#)
+        );
+        assert!(serial[2].contains(r#""op":"update""#) && serial[2].contains(r#""rows":17"#));
+        assert!(serial[2].contains(r#""recomputed""#));
+        assert!(serial[3].contains(r#""rows":17"#));
+        // The pre-update snapshot must show the pre-update row count.
+        assert!(serial[1].contains(r#""rows":16"#), "{}", serial[1]);
+        assert!(serial[5].contains(r#""kind":"unknown_monitor""#));
+        assert!(serial[6].contains(r#""kind":"unknown_row""#));
+        assert!(serial[7].contains(r#""kind":"bad_request""#));
+        for line in &serial {
+            rankfair_json::parse(line).unwrap();
+        }
+        // Monitor mutations are barriers: payloads are identical at any
+        // worker count, cache attribution aside.
+        for workers in [2, 4, 8] {
+            let (parallel, sn) = session(&input, workers);
+            let a: Vec<String> = serial.iter().map(|l| strip_cache(l)).collect();
+            let b: Vec<String> = parallel.iter().map(|l| strip_cache(l)).collect();
+            assert_eq!(a, b, "workers={workers}");
+            assert_eq!(summary, sn);
         }
     }
 

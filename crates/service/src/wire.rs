@@ -30,6 +30,27 @@
 //!   or `{"fraction": X}` (`⌈X·k⌉`).
 //! * `config` — `{"tau": N, "kmin": N, "kmax": N, "deadline_s": X?}`.
 //!
+//! # Monitor ops
+//!
+//! Live monitors track an evolving ranking with delta re-audits:
+//!
+//! ```json
+//! {"op": "register_monitor", "name": "m", "dataset": "students",
+//!  "rank_by": "G3", "task": {"type": "combined", "lower": 2, "upper": 6},
+//!  "config": {"tau": 20, "kmin": 5, "kmax": 40}}
+//! {"op": "update", "monitor": "m", "edits": [
+//!   {"edit": "score", "row": 17, "score": 14.5},
+//!   {"edit": "insert", "cells": {"school": "GP", "sex": "F", "G3": 12}}]}
+//! {"op": "snapshot", "monitor": "m"}
+//! ```
+//!
+//! `register_monitor` and `update` are **barriers** like `register`
+//! (earlier requests see the pre-mutation state, later lines the
+//! post-mutation state); an `update` additionally republishes the
+//! monitor's evolved dataset under its dataset name, evicting the cached
+//! audits built on the pre-edit data. `snapshot` is a plain read and runs
+//! on the worker pool.
+//!
 //! The protocol is **strict**: unknown members anywhere in a request are
 //! rejected (like the CLI's per-command flag specs), so a misspelled
 //! optional field fails loudly instead of silently changing results.
@@ -41,11 +62,13 @@
 //! `{"id", "ok": false, "error": {"kind", "message"}}`. Responses are
 //! emitted in request order regardless of worker count.
 
-use rankfair_core::json::reports_json;
+use rankfair_core::json::{delta_report_json, edits_from_json, reports_json};
 use rankfair_core::{AuditTask, BiasMeasure, Bounds, DetectConfig, Engine, OverRepScope};
 use rankfair_json::{parse, ToJson, Value};
 
-use crate::{AuditRequest, AuditResponse, AuditService, RankingSpec, ServiceError};
+use crate::{
+    AuditRequest, AuditResponse, AuditService, MonitorSpec, MonitorView, RankingSpec, ServiceError,
+};
 
 /// One parsed request line.
 #[derive(Debug, Clone)]
@@ -73,16 +96,58 @@ pub enum Request {
         /// Client correlation id.
         id: Option<Value>,
     },
+    /// Register a live monitor over a dataset.
+    RegisterMonitor {
+        /// Client correlation id.
+        id: Option<Value>,
+        /// Name to register the monitor under.
+        name: String,
+        /// How to build it.
+        spec: MonitorSpec,
+    },
+    /// Apply an edit batch to a monitor (delta re-audit).
+    MonitorUpdate {
+        /// Client correlation id.
+        id: Option<Value>,
+        /// The monitor to update.
+        monitor: String,
+        /// Raw `edits` array — cells can only be resolved against the
+        /// monitor's dataset at execution time.
+        edits: Value,
+    },
+    /// Read a monitor's current per-`k` state.
+    MonitorSnapshot {
+        /// Client correlation id.
+        id: Option<Value>,
+        /// The monitor to read.
+        monitor: String,
+    },
 }
 
 impl Request {
     /// The request's correlation id, if any.
     pub fn id(&self) -> Option<&Value> {
         match self {
-            Request::Audit { id, .. } | Request::Register { id, .. } | Request::Datasets { id } => {
-                id.as_ref()
-            }
+            Request::Audit { id, .. }
+            | Request::Register { id, .. }
+            | Request::Datasets { id }
+            | Request::RegisterMonitor { id, .. }
+            | Request::MonitorUpdate { id, .. }
+            | Request::MonitorSnapshot { id, .. } => id.as_ref(),
         }
+    }
+
+    /// Whether executing this request mutates service state — the server
+    /// treats these as **barriers**: every previously dispatched request
+    /// finishes first (it must see the pre-mutation state), and the
+    /// mutation is applied before any later line is dispatched.
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            Request::Register { .. }
+                | Request::RegisterMonitor { .. }
+                | Request::MonitorUpdate { .. }
+        )
     }
 }
 
@@ -156,10 +221,94 @@ fn parse_request(v: &Value) -> Result<Request, ServiceError> {
             reject_unknown(v, &["id", "op"], "datasets")?;
             Ok(Request::Datasets { id })
         }
+        Some(Some("register_monitor")) => {
+            reject_unknown(
+                v,
+                &[
+                    "id",
+                    "op",
+                    "name",
+                    "dataset",
+                    "rank_by",
+                    "ascending",
+                    "attributes",
+                    "task",
+                    "config",
+                    "engine",
+                ],
+                "register_monitor",
+            )?;
+            let name = require_str(v, "name")?.to_string();
+            let spec = MonitorSpec {
+                dataset: require_str(v, "dataset")?.to_string(),
+                rank_by: require_str(v, "rank_by")?.to_string(),
+                ascending: match v.get("ascending") {
+                    None => false,
+                    Some(a) => a
+                        .as_bool()
+                        .ok_or_else(|| bad("`ascending` must be a boolean"))?,
+                },
+                attributes: attributes_from_json(v)?,
+                task: task_from_json(v.get("task").ok_or_else(|| bad("`task` is required"))?)?,
+                config: config_from_json(
+                    v.get("config").ok_or_else(|| bad("`config` is required"))?,
+                )?,
+                engine: engine_from_json(v)?,
+            };
+            Ok(Request::RegisterMonitor { id, name, spec })
+        }
+        Some(Some("update")) => {
+            reject_unknown(v, &["id", "op", "monitor", "edits"], "update")?;
+            let monitor = require_str(v, "monitor")?.to_string();
+            let edits = v
+                .get("edits")
+                .cloned()
+                .ok_or_else(|| bad("`edits` (array) is required"))?;
+            if edits.as_arr().is_none() {
+                return Err(bad("`edits` must be an array"));
+            }
+            Ok(Request::MonitorUpdate { id, monitor, edits })
+        }
+        Some(Some("snapshot")) => {
+            reject_unknown(v, &["id", "op", "monitor"], "snapshot")?;
+            Ok(Request::MonitorSnapshot {
+                id,
+                monitor: require_str(v, "monitor")?.to_string(),
+            })
+        }
         Some(Some(other)) => Err(bad(format!(
-            "unknown op `{other}` (expected audit, register or datasets)"
+            "unknown op `{other}` (expected audit, register, datasets, register_monitor, update or snapshot)"
         ))),
         Some(None) => Err(bad("`op` must be a string")),
+    }
+}
+
+fn attributes_from_json(v: &Value) -> Result<Option<Vec<String>>, ServiceError> {
+    match v.get("attributes") {
+        None => Ok(None),
+        Some(a) => {
+            let items = a
+                .as_arr()
+                .ok_or_else(|| bad("`attributes` must be an array of strings"))?;
+            let names: Option<Vec<String>> = items
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect();
+            Ok(Some(names.ok_or_else(|| {
+                bad("`attributes` must be an array of strings")
+            })?))
+        }
+    }
+}
+
+fn engine_from_json(v: &Value) -> Result<Engine, ServiceError> {
+    match v.get("engine") {
+        None => Ok(Engine::Optimized),
+        Some(e) => match e.as_str() {
+            Some("optimized") => Ok(Engine::Optimized),
+            Some("baseline") => Ok(Engine::Baseline),
+            _ => Err(bad("`engine` must be \"optimized\" or \"baseline\"")),
+        },
     }
 }
 
@@ -199,27 +348,8 @@ pub fn audit_request_from_json(v: &Value) -> Result<AuditRequest, ServiceError> 
     )?;
     let task = task_from_json(v.get("task").ok_or_else(|| bad("`task` is required"))?)?;
     let config = config_from_json(v.get("config").ok_or_else(|| bad("`config` is required"))?)?;
-    let engine = match v.get("engine") {
-        None => Engine::Optimized,
-        Some(e) => match e.as_str() {
-            Some("optimized") => Engine::Optimized,
-            Some("baseline") => Engine::Baseline,
-            _ => return Err(bad("`engine` must be \"optimized\" or \"baseline\"")),
-        },
-    };
-    let attributes = match v.get("attributes") {
-        None => None,
-        Some(a) => {
-            let items = a
-                .as_arr()
-                .ok_or_else(|| bad("`attributes` must be an array of strings"))?;
-            let names: Option<Vec<String>> = items
-                .iter()
-                .map(|s| s.as_str().map(str::to_string))
-                .collect();
-            Some(names.ok_or_else(|| bad("`attributes` must be an array of strings"))?)
-        }
-    };
+    let engine = engine_from_json(v)?;
+    let attributes = attributes_from_json(v)?;
     let bucketize = match v.get("bucketize") {
         None => Vec::new(),
         Some(b) => {
@@ -471,10 +601,16 @@ impl ToJson for AuditRequest {
 /// The `error` payload of a failure response.
 pub fn error_json(e: &ServiceError) -> Value {
     match e {
-        // Audit errors keep their own kind taxonomy from rankfair_core.
+        // Audit and monitor errors keep their own kind taxonomies from
+        // rankfair_core.
         ServiceError::Audit(a) => a.to_json(),
+        ServiceError::Monitor(m) => m.to_json(),
         ServiceError::UnknownDataset(_) => Value::object([
             ("kind", Value::from("unknown_dataset")),
+            ("message", Value::from(e.to_string())),
+        ]),
+        ServiceError::UnknownMonitor(_) => Value::object([
+            ("kind", Value::from("unknown_monitor")),
             ("message", Value::from(e.to_string())),
         ]),
         ServiceError::Csv(_) => Value::object([
@@ -589,7 +725,71 @@ pub fn execute(service: &AuditService, request: &Request, strip_timing: bool) ->
                 ],
             )
         }
+        Request::RegisterMonitor { id, name, spec } => match service.register_monitor(name, spec) {
+            Ok(view) => envelope(
+                id.as_ref(),
+                true,
+                vec![
+                    ("op".to_string(), Value::from("register_monitor")),
+                    ("monitor".to_string(), Value::from(name.as_str())),
+                    ("dataset".to_string(), Value::from(view.dataset)),
+                    ("rows".to_string(), Value::from(view.rows)),
+                    (
+                        "per_k".to_string(),
+                        reports_json(&view.reports, &view.space),
+                    ),
+                ],
+            ),
+            Err(e) => error_response(id.as_ref(), &e),
+        },
+        Request::MonitorUpdate { id, monitor, edits } => {
+            // Cell resolution needs the monitor's dataset: parse against
+            // it, then apply. The serve loop runs mutations on the reader
+            // thread, so no other update can interleave between the two.
+            let result = service
+                .with_monitor_dataset(monitor, |ds| edits_from_json(edits, ds))
+                .and_then(|parsed| parsed.map_err(bad))
+                .and_then(|parsed| service.monitor_update(monitor, &parsed));
+            match result {
+                Ok(update) => envelope(
+                    id.as_ref(),
+                    true,
+                    vec![
+                        ("op".to_string(), Value::from("update")),
+                        ("monitor".to_string(), Value::from(monitor.as_str())),
+                        ("dataset".to_string(), Value::from(update.dataset)),
+                        ("rows".to_string(), Value::from(update.rows)),
+                        (
+                            "delta".to_string(),
+                            delta_report_json(&update.delta, &update.space, strip_timing),
+                        ),
+                    ],
+                ),
+                Err(e) => error_response(id.as_ref(), &e),
+            }
+        }
+        Request::MonitorSnapshot { id, monitor } => match service.monitor_snapshot(monitor) {
+            Ok(view) => monitor_view_response(id.as_ref(), monitor, &view),
+            Err(e) => error_response(id.as_ref(), &e),
+        },
     }
+}
+
+fn monitor_view_response(id: Option<&Value>, monitor: &str, view: &MonitorView) -> Value {
+    envelope(
+        id,
+        true,
+        vec![
+            ("op".to_string(), Value::from("snapshot")),
+            ("monitor".to_string(), Value::from(monitor)),
+            ("dataset".to_string(), Value::from(view.dataset.as_str())),
+            ("rows".to_string(), Value::from(view.rows)),
+            (
+                "per_k".to_string(),
+                reports_json(&view.reports, &view.space),
+            ),
+        ],
+    )
 }
 
 #[cfg(test)]

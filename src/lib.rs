@@ -15,7 +15,7 @@
 //! |---|---|
 //! | [`data`] | columnar dataset, bucketization, CSV, bitmaps |
 //! | [`rank`] | `Ranker` trait, score-based rankers, rankings |
-//! | [`core`] | the `Audit` API, patterns, `IterTD`, `GlobalBounds`, `PropBounds`, upper bounds, oracle |
+//! | [`core`] | the `Audit` API, patterns, `IterTD`, `GlobalBounds`, `PropBounds`, upper bounds, the live `MonitorAudit`, oracle |
 //! | [`service`] | `AuditService`: dataset registry, audit cache, JSONL wire protocol |
 //! | [`json`] | minimal in-workspace JSON (value, serializer, strict parser) |
 //! | [`explain`] | regression-forest surrogate, Shapley values, distributions |
@@ -103,7 +103,8 @@ pub mod workloads;
 pub mod prelude {
     pub use crate::core::{
         Audit, AuditBuilder, AuditError, AuditKResult, AuditOutcome, AuditTask, BiasMeasure,
-        Bounds, DetectConfig, Engine, OverRepScope, Pattern, PatternSpace, RankedIndex,
+        Bounds, DeltaReport, DetectConfig, Engine, MonitorAudit, OverRepScope, Pattern,
+        PatternSpace, RankedIndex, RankingEdit,
     };
     pub use crate::data::{Column, ColumnData, Dataset};
     pub use crate::explain::{ExplainConfig, RankSurrogate};

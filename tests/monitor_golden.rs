@@ -1,0 +1,71 @@
+//! Golden-file test of the monitor wire ops: the checked-in request
+//! stream (register_monitor / snapshot / update / audit / error paths)
+//! must produce byte-identical responses (timing stripped) on a serial
+//! session, and identical payloads at any worker count. CI additionally
+//! pipes the same files through the `rankfair serve` binary.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use rankfair::service::serve::{serve, ServeOptions};
+use rankfair::service::AuditService;
+
+fn data_file(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+/// Re-renders a response line without its `cache` member — the one field
+/// whose attribution is scheduling-dependent when concurrent cold
+/// requests race for a shared key.
+fn strip_cache(line: &str) -> String {
+    match rankfair::json::parse(line).expect("response is JSON") {
+        rankfair::json::Value::Obj(pairs) => {
+            rankfair::json::Value::Obj(pairs.into_iter().filter(|(k, _)| k != "cache").collect())
+                .render()
+        }
+        v => v.render(),
+    }
+}
+
+fn run_session(requests: &str, workers: usize) -> String {
+    let service = AuditService::new();
+    service.register_dataset("fig1", Arc::new(rankfair::data::examples::students_fig1()));
+    let mut out = Vec::new();
+    let summary = serve(
+        &service,
+        Cursor::new(requests.to_string()),
+        &mut out,
+        &ServeOptions {
+            workers,
+            strip_timing: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(summary.requests, 10);
+    assert_eq!(summary.errors, 4);
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn monitor_session_matches_golden_file() {
+    let requests = data_file("monitor_requests.jsonl");
+    let golden = data_file("monitor_golden.jsonl");
+    // Serial sessions are byte-deterministic (monitor mutations run as
+    // barriers on the reader thread; timing is stripped).
+    let got = run_session(&requests, 1);
+    assert_eq!(got, golden);
+    for line in got.lines() {
+        rankfair::json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    // Parallel sessions: identical payloads in identical order; only
+    // cache-hit attribution of racing audits may differ.
+    for workers in [4, 8] {
+        let parallel = run_session(&requests, workers);
+        let a: Vec<String> = golden.lines().map(strip_cache).collect();
+        let b: Vec<String> = parallel.lines().map(strip_cache).collect();
+        assert_eq!(a, b, "workers={workers}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Audit-cache staleness: re-registering a dataset must atomically evict
+//! the audits built on the old data — a subsequent audit must pay a
+//! fresh build (`hit == false`) and reflect the **new** data, never the
+//! pre-registration cached results. Covers both the in-memory and the
+//! monitor-driven registration paths.
+
+use std::sync::Arc;
+
+use rankfair::core::{AuditTask, BiasMeasure, Bounds, DetectConfig, Engine, RankingEdit};
+use rankfair::service::{AuditRequest, AuditService, MonitorSpec, RankingSpec};
+use rankfair::synth::SynthConfig;
+
+fn request(dataset: &str, kmax: usize) -> AuditRequest {
+    AuditRequest {
+        dataset: dataset.into(),
+        attributes: Some(vec!["school".into(), "sex".into(), "address".into()]),
+        bucketize: Vec::new(),
+        ranking: RankingSpec::ByColumn {
+            column: "G3".into(),
+            ascending: false,
+        },
+        task: AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(3))),
+        config: DetectConfig::new(10, 5, kmax),
+        engine: Engine::Optimized,
+    }
+}
+
+#[test]
+fn reregistration_never_serves_the_pre_registration_audit() {
+    let service = AuditService::new();
+    // Two genuinely different datasets under one name: different row
+    // counts and different seeds, so the result sets differ.
+    let old = rankfair::synth::student(SynthConfig::new(80, 7));
+    let new = rankfair::synth::student(SynthConfig::new(120, 8));
+    service.register_dataset("students", Arc::new(old));
+
+    let req = request("students", 20);
+    let cold = service.handle(&req).unwrap();
+    assert!(!cold.cache.hit);
+    assert!(service.handle(&req).unwrap().cache.hit, "warm-up failed");
+    let old_render = rankfair::core::json::reports_json(&cold.reports, cold.audit.space()).render();
+
+    // Replace-evict: the very next audit must not see the cached audit.
+    service.register_dataset("students", Arc::new(new));
+    let after = service.handle(&req).unwrap();
+    assert!(
+        !after.cache.hit,
+        "served the pre-registration cached audit after re-registration"
+    );
+    assert_eq!(after.audit.dataset().n_rows(), 120);
+    let new_render =
+        rankfair::core::json::reports_json(&after.reports, after.audit.space()).render();
+    assert_ne!(
+        old_render, new_render,
+        "results did not change with the data"
+    );
+    // And the new audit is itself cacheable again.
+    assert!(service.handle(&req).unwrap().cache.hit);
+}
+
+#[test]
+fn reregistration_under_concurrency_is_never_stale() {
+    // Hammer one key from several threads while the dataset is replaced:
+    // every response must come from an audit whose dataset matches what
+    // was registered at *some* point (80 or 120 rows), and after the
+    // final registration settles, a fresh audit must see the final data.
+    let service = AuditService::new();
+    service.register_dataset(
+        "students",
+        Arc::new(rankfair::synth::student(SynthConfig::new(80, 7))),
+    );
+    let req = request("students", 20);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (service, req) = (&service, &req);
+            s.spawn(move || {
+                for _ in 0..8 {
+                    let resp = service.handle(req).unwrap();
+                    let rows = resp.audit.dataset().n_rows();
+                    assert!(rows == 80 || rows == 120, "phantom dataset: {rows} rows");
+                }
+            });
+        }
+        s.spawn(|| {
+            service.register_dataset(
+                "students",
+                Arc::new(rankfair::synth::student(SynthConfig::new(120, 8))),
+            );
+        });
+    });
+    let settled = service.handle(&req).unwrap();
+    assert_eq!(settled.audit.dataset().n_rows(), 120);
+}
+
+#[test]
+fn monitor_updates_are_a_registration_for_cache_purposes() {
+    // The same staleness guarantee when the "registration" is a monitor
+    // update republishing its evolved dataset.
+    let service = AuditService::new();
+    service.register_dataset(
+        "students",
+        Arc::new(rankfair::synth::student(SynthConfig::new(80, 7))),
+    );
+    let req = request("students", 20);
+    let cold = service.handle(&req).unwrap();
+    assert!(!cold.cache.hit);
+    assert!(service.handle(&req).unwrap().cache.hit);
+
+    service
+        .register_monitor(
+            "m",
+            &MonitorSpec {
+                dataset: "students".into(),
+                rank_by: "G3".into(),
+                ascending: false,
+                attributes: Some(vec!["school".into(), "sex".into(), "address".into()]),
+                task: AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(3))),
+                config: DetectConfig::new(10, 5, 20),
+                engine: Engine::Optimized,
+            },
+        )
+        .unwrap();
+    service
+        .monitor_update(
+            "m",
+            &[RankingEdit::ScoreUpdate {
+                row: 0,
+                score: 99.0,
+            }],
+        )
+        .unwrap();
+    let after = service.handle(&req).unwrap();
+    assert!(!after.cache.hit, "stale audit after monitor update");
+    assert_eq!(
+        after.audit.dataset().column_by_name("G3").unwrap().value(0),
+        99.0
+    );
+}

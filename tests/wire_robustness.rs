@@ -1,0 +1,137 @@
+//! Wire-protocol robustness: byte-level corruption of a valid request
+//! stream must never panic the server. Every line the server answers is
+//! either a valid response or an in-band `{"ok": false, ...}` error; a
+//! corrupted stream that stops being valid UTF-8 surfaces as an I/O
+//! error from `serve` — never a crash, never a half-written line.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rankfair::service::serve::{serve, ServeOptions};
+use rankfair::service::AuditService;
+
+fn requests() -> Vec<u8> {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/serve_requests.jsonl");
+    std::fs::read(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+fn run(input: Vec<u8>, workers: usize) -> std::io::Result<(usize, Vec<String>)> {
+    let service = AuditService::new();
+    service.register_dataset("fig1", Arc::new(rankfair::data::examples::students_fig1()));
+    let mut out = Vec::new();
+    let summary = serve(
+        &service,
+        Cursor::new(input),
+        &mut out,
+        &ServeOptions {
+            workers,
+            strip_timing: true,
+        },
+    )?;
+    let text = String::from_utf8(out).expect("responses are always UTF-8");
+    Ok((summary.requests, text.lines().map(str::to_string).collect()))
+}
+
+fn assert_lines_well_formed(lines: &[String]) {
+    for line in lines {
+        let v = rankfair::json::parse(line)
+            .unwrap_or_else(|e| panic!("response is not JSON ({e}): {line}"));
+        let ok = v
+            .get("ok")
+            .and_then(|b| b.as_bool())
+            .unwrap_or_else(|| panic!("response without boolean `ok`: {line}"));
+        if !ok {
+            assert!(
+                v.get("error").and_then(|e| e.get("kind")).is_some(),
+                "error response without error.kind: {line}"
+            );
+        }
+    }
+}
+
+/// Printable-ASCII corruption keeps the stream valid UTF-8, so the
+/// server must answer **every** (non-empty) line in-band.
+#[test]
+fn printable_ascii_mutations_always_answer_in_band() {
+    let base = requests();
+    let mut rng = StdRng::seed_from_u64(0xF022);
+    for case in 0..120 {
+        let mut bytes = base.clone();
+        match rng.random_range(0..3usize) {
+            // Truncate at an arbitrary offset.
+            0 => {
+                let cut = rng.random_range(0..bytes.len());
+                bytes.truncate(cut);
+            }
+            // Overwrite a byte with a random printable character.
+            1 => {
+                let at = rng.random_range(0..bytes.len());
+                bytes[at] = rng.random_range(0x20usize..0x7f) as u8;
+            }
+            // Insert a random printable character.
+            _ => {
+                let at = rng.random_range(0..=bytes.len());
+                let c = rng.random_range(0x20usize..0x7f) as u8;
+                bytes.insert(at, c);
+            }
+        }
+        let expected_lines = String::from_utf8(bytes.clone())
+            .expect("printable mutations keep UTF-8 valid")
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count();
+        let workers = [1, 4][case % 2];
+        let (answered, lines) =
+            run(bytes, workers).expect("valid-UTF-8 input must not be an I/O error");
+        assert_eq!(answered, expected_lines, "case {case}");
+        assert_eq!(lines.len(), expected_lines, "case {case}");
+        assert_lines_well_formed(&lines);
+    }
+}
+
+/// Arbitrary byte corruption (flips, insertions, truncation) may break
+/// UTF-8 mid-stream: the server must still never panic, and everything
+/// it *does* answer must be well-formed.
+#[test]
+fn arbitrary_byte_mutations_never_panic() {
+    let base = requests();
+    let mut rng = StdRng::seed_from_u64(0xB17E);
+    for case in 0..120 {
+        let mut bytes = base.clone();
+        for _ in 0..=rng.random_range(0..4usize) {
+            match rng.random_range(0..3usize) {
+                0 => {
+                    let cut = rng.random_range(0..bytes.len());
+                    bytes.truncate(cut.max(1));
+                }
+                1 => {
+                    let at = rng.random_range(0..bytes.len());
+                    bytes[at] = (rng.random::<u32>() & 0xff) as u8;
+                }
+                _ => {
+                    let at = rng.random_range(0..=bytes.len());
+                    bytes.insert(at, (rng.random::<u32>() & 0xff) as u8);
+                }
+            }
+        }
+        let workers = [1, 2, 8][case % 3];
+        match run(bytes, workers) {
+            Ok((_, lines)) => assert_lines_well_formed(&lines),
+            // Invalid UTF-8 mid-stream: an I/O error is the contract —
+            // the responses already written are still complete lines.
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "case {case}"),
+        }
+    }
+}
+
+/// The original, uncorrupted stream sanity-checks the harness itself.
+#[test]
+fn uncorrupted_stream_answers_every_line() {
+    let (answered, lines) = run(requests(), 4).unwrap();
+    assert_eq!(answered, 10);
+    assert_eq!(lines.len(), 10);
+    assert_lines_well_formed(&lines);
+}
