@@ -806,9 +806,23 @@ fn serve_bench(opts: &Opts) {
     }
 }
 
+/// Speedup floors the `--quick` monitor bench enforces (exit 1 on
+/// regression), guarding the persistent-engine-state win in CI. Quick
+/// mode runs COMPAS/4 with 8 batches on shared runners; measured quick
+/// numbers are ~15× at batch=1 and 1.7–2.9× at batch=16 (full run:
+/// ~15× / ~2×), so the floors sit below those to absorb timing noise
+/// while still catching a collapse back to pre-checkpoint behavior
+/// (delta ≈ rebuild at batch=1; delta ≈ 0.6× at batch=16 when the span
+/// seek is broken). Note these gate the *achieved* win — ISSUE 5's
+/// original ≥5×-at-batch=16 target is not met and is documented as out
+/// of reach of checkpointing alone (see ROADMAP/CHANGES).
+const QUICK_FLOOR_BATCH_1: f64 = 6.0;
+const QUICK_FLOOR_BATCH_16: f64 = 1.2;
+
 /// Live monitor: delta re-audit after small edit batches vs. a full audit
 /// rebuild (space + index construction + whole-`k`-range run) after every
-/// batch, on COMPAS. Prints a table and writes `BENCH_monitor.json`.
+/// batch, on COMPAS. Prints a table and writes `BENCH_monitor.json`; with
+/// `--quick` it additionally enforces the speedup floors above.
 fn monitor_bench(opts: &Opts) {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
@@ -845,8 +859,10 @@ fn monitor_bench(opts: &Opts) {
         "speedup",
         "recomputed_k",
         "changes",
+        "seeks/repairs",
     ]);
     let mut json_rows: Vec<Value> = Vec::new();
+    let mut floor_failures: Vec<String> = Vec::new();
     for batch_size in [1usize, 4, 16] {
         let mut monitor = MonitorAudit::builder(ds.clone(), "__score")
             .attributes(attr_names.iter().cloned())
@@ -905,6 +921,9 @@ fn monitor_bench(opts: &Opts) {
             );
         }
         let speedup = rebuild_s / delta_s.max(1e-9);
+        let ck = monitor
+            .checkpoint_stats()
+            .expect("optimized monitor keeps engine state");
         t.row(&[
             batch_size.to_string(),
             batches.to_string(),
@@ -913,6 +932,7 @@ fn monitor_bench(opts: &Opts) {
             format!("{speedup:.1}x"),
             recomputed_k.to_string(),
             changes.to_string(),
+            format!("{}/{}", ck.seeks, ck.repairs),
         ]);
         json_rows.push(Value::object([
             ("batch_size", Value::from(batch_size)),
@@ -922,7 +942,30 @@ fn monitor_bench(opts: &Opts) {
             ("speedup", Value::from(speedup)),
             ("recomputed_k", Value::from(recomputed_k)),
             ("changes", Value::from(changes)),
+            (
+                "checkpoints",
+                Value::object([
+                    ("cadence", Value::from(ck.cadence)),
+                    ("seeks", Value::from(ck.seeks as usize)),
+                    ("repairs", Value::from(ck.repairs as usize)),
+                    ("cold_builds", Value::from(ck.cold_builds as usize)),
+                    ("replayed_steps", Value::from(ck.replayed_steps as usize)),
+                    ("stored_nodes", Value::from(ck.stored_nodes)),
+                ]),
+            ),
         ]));
+        let floor = match batch_size {
+            1 => Some(QUICK_FLOOR_BATCH_1),
+            16 => Some(QUICK_FLOOR_BATCH_16),
+            _ => None,
+        };
+        if let Some(floor) = floor {
+            if opts.quick && speedup < floor {
+                floor_failures.push(format!(
+                    "batch={batch_size}: delta-vs-rebuild speedup {speedup:.2}x below the floor {floor}x"
+                ));
+            }
+        }
     }
     print!("{}", t.render());
     println!("(every batch cross-checked: monitor results == fresh audit of the edited ranking)");
@@ -950,6 +993,12 @@ fn monitor_bench(opts: &Opts) {
     match std::fs::write("BENCH_monitor.json", json.render() + "\n") {
         Ok(()) => println!("wrote BENCH_monitor.json"),
         Err(e) => eprintln!("could not write BENCH_monitor.json: {e}"),
+    }
+    if !floor_failures.is_empty() {
+        for f in &floor_failures {
+            eprintln!("MONITOR BENCH REGRESSION: {f}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -157,8 +157,24 @@ pub const SERVE_SPEC: FlagSpec = FlagSpec {
 /// `rankfair monitor`.
 pub const MONITOR_SPEC: FlagSpec = FlagSpec {
     values: &[
-        "csv", "sep", "rank-by", "edits", "attrs", "task", "engine", "problem", "lower", "upper",
-        "scope", "alpha", "tau", "kmin", "kmax", "top", "format",
+        "csv",
+        "sep",
+        "rank-by",
+        "edits",
+        "attrs",
+        "task",
+        "engine",
+        "problem",
+        "lower",
+        "upper",
+        "scope",
+        "alpha",
+        "tau",
+        "kmin",
+        "kmax",
+        "top",
+        "format",
+        "checkpoint-every",
     ],
     switches: &["asc"],
 };

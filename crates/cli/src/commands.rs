@@ -443,8 +443,16 @@ pub fn monitor(flags: &Flags) -> Result<(), CliError> {
         )));
     }
     let top: usize = flags.num("top", 20)?;
+    let cadence: usize = flags.num("checkpoint-every", MonitorAudit::DEFAULT_CHECKPOINT_CADENCE)?;
+    if cadence == 0 {
+        return Err(CliError::Usage(
+            "--checkpoint-every must be at least 1".into(),
+        ));
+    }
 
-    let mut builder = MonitorAudit::builder(ds, rank_col).ascending(flags.switch("asc"));
+    let mut builder = MonitorAudit::builder(ds, rank_col)
+        .ascending(flags.switch("asc"))
+        .checkpoint_every(cadence);
     if let Some(attrs) = flags.list("attrs") {
         builder = builder.attributes(attrs);
     }
@@ -543,6 +551,20 @@ pub fn monitor(flags: &Flags) -> Result<(), CliError> {
         monitor.stats().patterns_examined(),
         monitor.stats().elapsed,
     );
+    if let Some(ck) = monitor.checkpoint_stats() {
+        eprintln!(
+            "[engine checkpoints: every {} k, {}+{} live ({} nodes); {} seek(s), {} repair(s), {} cold build(s), {} replayed step(s), {} invalidated]",
+            ck.cadence,
+            ck.lower_checkpoints,
+            ck.upper_checkpoints,
+            ck.stored_nodes,
+            ck.seeks,
+            ck.repairs,
+            ck.cold_builds,
+            ck.replayed_steps,
+            ck.invalidated,
+        );
+    }
     Ok(())
 }
 
@@ -927,6 +949,8 @@ mod tests {
                     "school,sex,address",
                     "--format",
                     format,
+                    "--checkpoint-every",
+                    "3",
                 ]
                 .iter()
                 .map(|s| s.to_string())
@@ -936,6 +960,26 @@ mod tests {
             .unwrap();
             monitor(&f).unwrap();
         }
+        // A zero cadence is a usage error, not a silent clamp.
+        let f = parse_flags(
+            &[
+                "--csv",
+                path.to_str().unwrap(),
+                "--rank-by",
+                "G3",
+                "--edits",
+                log.to_str().unwrap(),
+                "--checkpoint-every",
+                "0",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+            &crate::args::MONITOR_SPEC,
+        )
+        .unwrap();
+        let err = monitor(&f).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
         // Malformed logs and bad flags fail loudly.
         let bad_log = dir.join("bad_edits.jsonl");
         std::fs::write(&bad_log, "{\"edit\": \"warp\"}\n").unwrap();

@@ -44,7 +44,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rankfair_data::Dataset;
+use rankfair_data::{Dataset, TupleId};
 use rankfair_rank::{Ranker, Ranking};
 
 use crate::bounds::{BiasMeasure, Bounds};
@@ -53,7 +53,9 @@ use crate::oracle;
 use crate::pattern::Pattern;
 use crate::report::{summarize_audit, KReport};
 use crate::space::{PatternSpace, RankedIndex, SpaceError};
-use crate::stats::{DeadlineGuard, DetectConfig, DetectionOutput, KResult, SearchStats};
+use crate::stats::{
+    DeadlineGuard, DetectConfig, DetectionOutput, KResult, ReplayCounters, SearchStats,
+};
 use crate::topdown;
 use crate::upper_engine::{self, UpperStream};
 
@@ -556,6 +558,147 @@ pub(crate) struct AuditParts<'a> {
     pub index: &'a RankedIndex,
 }
 
+/// The persistent engine state a [`crate::MonitorAudit`] carries between
+/// delta re-audits: per-direction checkpoint stores (engine snapshots
+/// every `cadence` values of `k`, grid `k ≡ k_min (mod cadence)`) plus
+/// the replay work counters. The monitor invalidates entries that an edit
+/// batch made stale — the span `(lo, hi]` for a pure reorder, everything
+/// for an insertion — and [`AuditParts::run_range_checkpointed`] heals
+/// the holes while recomputing.
+#[derive(Debug)]
+pub(crate) struct EngineCheckpoints {
+    /// Grid spacing `C`: one snapshot every `C` values of `k`.
+    pub(crate) cadence: usize,
+    /// Lower-engine snapshots, `k` ascending (UnderRep and the lower half
+    /// of Combined).
+    pub(crate) lower: Vec<engine::LowerCheckpoint>,
+    /// Upper-engine snapshots, `k` ascending (OverRep and the upper half
+    /// of Combined).
+    pub(crate) upper: Vec<upper_engine::UpperCheckpoint>,
+    /// Seek/build/replay counters accumulated over the monitor's life.
+    pub(crate) counters: ReplayCounters,
+    /// Checkpoints dropped by edit invalidation so far.
+    pub(crate) invalidated: u64,
+}
+
+impl EngineCheckpoints {
+    pub(crate) fn new(cadence: usize) -> Self {
+        EngineCheckpoints {
+            cadence: cadence.max(1),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            counters: ReplayCounters::default(),
+            invalidated: 0,
+        }
+    }
+
+    /// Drops every checkpoint — an insertion moved `n` and `s_D`, which
+    /// every stored node's classification depends on.
+    pub(crate) fn invalidate_all(&mut self) {
+        self.invalidated += (self.lower.len() + self.upper.len()) as u64;
+        self.lower.clear();
+        self.upper.clear();
+    }
+
+    /// Live checkpoints per direction.
+    pub(crate) fn live(&self) -> (usize, usize) {
+        (self.lower.len(), self.upper.len())
+    }
+
+    /// Total nodes held across every stored snapshot (memory driver).
+    pub(crate) fn stored_nodes(&self) -> usize {
+        self.lower.iter().map(|cp| cp.stored_nodes()).sum::<usize>()
+            + self.upper.iter().map(|cp| cp.stored_nodes()).sum::<usize>()
+    }
+}
+
+/// Shared checkpoint-grid maintenance for both engines' snapshot stores
+/// (one definition so the heal/prune policy cannot drift between them).
+/// Writes a snapshot at `k` when it sits on the grid
+/// (`k ≡ k_min (mod cadence)`): reorder replays pass a `heal_cutoff` so
+/// only the snapshots near the span start — where the next seek lands —
+/// are (re)written, and deeper stale ones are dropped instead of
+/// recloned; full builds (no cutoff) lay the whole grid.
+pub(crate) fn maintain_grid_snapshot<T>(
+    store: &mut Vec<T>,
+    k: usize,
+    k_min: usize,
+    cadence: usize,
+    heal_cutoff: Option<usize>,
+    key: impl FnMut(&T) -> usize,
+    snapshot: impl FnOnce() -> T,
+) {
+    if k < k_min || !(k - k_min).is_multiple_of(cadence) {
+        return;
+    }
+    match store.binary_search_by_key(&k, key) {
+        Ok(i) => match heal_cutoff {
+            Some(cut) if k > cut => {
+                store.remove(i);
+            }
+            _ => store[i] = snapshot(),
+        },
+        Err(i) => {
+            if heal_cutoff.is_none_or(|cut| k <= cut) {
+                store.insert(i, snapshot());
+            }
+        }
+    }
+}
+
+/// How a pure-reorder edit batch moved the ranking: the hull start `lo`
+/// (smallest rank position whose occupant changed) and the pre-batch
+/// order. A checkpoint at `k ≤ lo` or `k > hi` is untouched by the
+/// reorder; the one seek checkpoint that can land inside `(lo, hi]` is
+/// **repaired** from this spec instead of discarded — the top-`k` set
+/// diff is bounded by the number of moved tuples, never by the span, so
+/// the repair costs a handful of ±count walks plus one store rescan
+/// where a discard would cost a from-scratch build at `k_min`.
+pub(crate) struct ReorderSpec {
+    /// Smallest rank position whose occupant changed.
+    pub lo: usize,
+    /// The full pre-batch rank order.
+    pub old_order: Vec<TupleId>,
+}
+
+/// The top-`k` set transition of a reorder whose hull starts at `lo`:
+/// `(entering, leaving)` rank positions **in the new order**. Entering
+/// tuples (joined the top-`k`) sit at their new positions `< k`; leaving
+/// tuples sit at their new positions `≥ k`, where the patched index can
+/// still read their attribute codes.
+pub(crate) fn top_k_diff(
+    k: usize,
+    lo: usize,
+    old_order: &[TupleId],
+    new_order: &[TupleId],
+) -> (Vec<usize>, Vec<usize>) {
+    debug_assert!(lo < k && k <= old_order.len() && old_order.len() == new_order.len());
+    // Only the window [lo, k) can differ between the two top-k sets; hash
+    // the windows so the diff stays linear in the window even when a
+    // top-of-ranking edit meets a large `k_min` (window = [0, k_min)).
+    let old_w: crate::util::FxHashSet<TupleId> = old_order[lo..k].iter().copied().collect();
+    let new_w: crate::util::FxHashSet<TupleId> = new_order[lo..k].iter().copied().collect();
+    let entering: Vec<usize> = (lo..k)
+        .filter(|&p| !old_w.contains(&new_order[p]))
+        .collect();
+    let mut remaining: crate::util::FxHashSet<TupleId> =
+        old_w.difference(&new_w).copied().collect();
+    debug_assert_eq!(entering.len(), remaining.len());
+    let mut leaving = Vec::with_capacity(remaining.len());
+    if !remaining.is_empty() {
+        for (off, r) in new_order[k..].iter().enumerate() {
+            if remaining.remove(r) {
+                leaving.push(k + off);
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+        }
+        debug_assert!(remaining.is_empty(), "leaving tuples must reappear below k");
+    }
+    (entering, leaving)
+}
+
 impl AuditParts<'_> {
     /// Sequential execution over one contiguous, already validated `k`
     /// sub-range.
@@ -616,6 +759,110 @@ impl AuditParts<'_> {
                 stats.merge(&over_stats);
                 // The two phases ran back to back: report their total, not
                 // the max merge_stats uses for parallel workers.
+                stats.elapsed = low.stats.elapsed + over_stats.elapsed;
+                AuditOutcome {
+                    per_k: low
+                        .per_k
+                        .into_iter()
+                        .zip(high)
+                        .map(|(l, h)| AuditKResult {
+                            k: l.k,
+                            under: l.patterns,
+                            over: h.patterns,
+                        })
+                        .collect(),
+                    stats,
+                }
+            }
+        }
+    }
+
+    /// Checkpointed execution over the `k` span `[span.0, span.1]` —
+    /// [`crate::MonitorAudit`]'s delta path with `Engine::Optimized`.
+    ///
+    /// Functionally identical to [`AuditParts::run_range`] over the same
+    /// span (both directions drive the same engine step code; the
+    /// differential sweeps assert equality), but it seeks into `ckpts`'s
+    /// stored snapshots instead of building the engines from scratch at
+    /// the span's first `k`, repairing the seek checkpoint against
+    /// `reorder` when the edit hull swallowed it, and refreshes snapshots
+    /// as it replays. Deadlines are unsupported (monitors reject them at
+    /// construction): a truncated replay would leave the checkpoint store
+    /// inconsistent with the cached results.
+    pub(crate) fn run_range_checkpointed(
+        &self,
+        cfg: &DetectConfig,
+        span: (usize, usize),
+        task: &AuditTask,
+        ckpts: &mut EngineCheckpoints,
+        reorder: Option<&ReorderSpec>,
+    ) -> AuditOutcome {
+        debug_assert!(cfg.deadline.is_none(), "checkpointed runs take no deadline");
+        let cadence = ckpts.cadence;
+        let lower_side = |measure: &BiasMeasure, ckpts: &mut EngineCheckpoints| {
+            engine::lower_replay(
+                self.index,
+                self.space,
+                measure,
+                cfg,
+                span,
+                reorder.map(|r| (r, self.ranking.order())),
+                &mut ckpts.lower,
+                cadence,
+                &mut ckpts.counters,
+            )
+        };
+        let upper_side = |upper: &Bounds, scope: OverRepScope, ckpts: &mut EngineCheckpoints| {
+            upper_engine::upper_replay(
+                self.index,
+                self.space,
+                cfg,
+                upper,
+                scope,
+                span,
+                reorder.map(|r| (r, self.ranking.order())),
+                &mut ckpts.upper,
+                cadence,
+                &mut ckpts.counters,
+            )
+        };
+        match task {
+            AuditTask::UnderRep(measure) => {
+                let out = lower_side(measure, ckpts);
+                AuditOutcome {
+                    per_k: out
+                        .per_k
+                        .into_iter()
+                        .map(|kr| AuditKResult {
+                            k: kr.k,
+                            under: kr.patterns,
+                            over: Vec::new(),
+                        })
+                        .collect(),
+                    stats: out.stats,
+                }
+            }
+            AuditTask::OverRep { upper, scope } => {
+                let (per_k, stats) = upper_side(upper, *scope, ckpts);
+                AuditOutcome {
+                    per_k: per_k
+                        .into_iter()
+                        .map(|kr| AuditKResult {
+                            k: kr.k,
+                            under: Vec::new(),
+                            over: kr.patterns,
+                        })
+                        .collect(),
+                    stats,
+                }
+            }
+            AuditTask::Combined { lower, upper } => {
+                let low = lower_side(&BiasMeasure::GlobalLower(lower.clone()), ckpts);
+                let (high, over_stats) = upper_side(upper, OverRepScope::MostSpecific, ckpts);
+                let mut stats = low.stats.clone();
+                stats.merge(&over_stats);
+                // Sequential phases: wall clocks add (merge takes the max
+                // for parallel workers).
                 stats.elapsed = low.stats.elapsed + over_stats.elapsed;
                 AuditOutcome {
                     per_k: low

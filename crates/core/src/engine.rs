@@ -40,18 +40,29 @@
 //! machinery but maintaining the *most specific* frontier of the
 //! subset-closed over-represented set; the per-`k` searches in
 //! [`crate::upper`] remain as its differential anchor.
+//!
+//! For the live monitor the engine state is additionally **resumable**:
+//! [`LowerCheckpoint`] snapshots the complete search state at a given
+//! `k`, and [`lower_replay`] seeks to a stored snapshot, optionally
+//! repairs it against a ranking reorder ([`Engine::repair`] — ±count
+//! walks over the top-`k` set diff plus one store reclassify), and
+//! replays forward emitting per-`k` results — the delta re-audit path of
+//! [`crate::MonitorAudit`], with zero from-scratch builds on pure
+//! reorders.
 
 use std::collections::VecDeque;
 
 use crate::bounds::{BiasMeasure, Bounds};
 use crate::pattern::Pattern;
 use crate::space::{AttrId, PatternSpace, RankedIndex};
-use crate::stats::{DeadlineGuard, DetectConfig, DetectionOutput, KResult, SearchStats};
-use crate::util::FxHashSet;
+use crate::stats::{
+    DeadlineGuard, DetectConfig, DetectionOutput, KResult, ReplayCounters, SearchStats,
+};
+use crate::util::{FxHashMap, FxHashSet};
 
 const ROOT: u32 = u32::MAX;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node {
     pattern: Pattern,
     parent: u32,
@@ -80,7 +91,19 @@ struct Engine<'a> {
     /// arithmetic, no hashing on the hot walk.
     card_prefix: Vec<u32>,
     res: FxHashSet<u32>,
-    dres: FxHashSet<u32>,
+    /// The dominated biased nodes (`DRes`), each mapped to its
+    /// **designated dominator**: one current `res` member whose pattern
+    /// is a proper subset. When a `res` member un-biases, only the nodes
+    /// designated to it can have lost their last dominator — so the
+    /// promotion scan touches `O(|designees|)`, not `O(|DRes|)` (the
+    /// full-set scan made every un-bias event cost a pass over all
+    /// dominated nodes ever accumulated, which dominated the monitor's
+    /// delta re-audits).
+    dres: FxHashMap<u32, u32>,
+    /// Reverse index: `res` member → nodes designated to it. Entries may
+    /// be stale (the designee re-designated or removed); they are
+    /// validated against `dres` when consumed.
+    dominates: FxHashMap<u32, Vec<u32>>,
     /// `k̃` buckets indexed by `k` (0..=k_max); entries may be stale and are
     /// re-validated when popped.
     schedule: Vec<Vec<u32>>,
@@ -118,7 +141,8 @@ impl<'a> Engine<'a> {
             root_children: Vec::new(),
             card_prefix,
             res: FxHashSet::default(),
-            dres: FxHashSet::default(),
+            dres: FxHashMap::default(),
+            dominates: FxHashMap::default(),
             schedule,
             stats: SearchStats::default(),
         }
@@ -133,7 +157,7 @@ impl<'a> Engine<'a> {
 
     #[inline]
     fn in_stopped(&self, id: u32) -> bool {
-        self.res.contains(&id) || self.dres.contains(&id)
+        self.res.contains(&id) || self.dres.contains_key(&id)
     }
 
     /// Evaluates a fresh pattern (one fused bitmap scan), stores the node,
@@ -201,6 +225,23 @@ impl<'a> Engine<'a> {
         nd.expanded = true;
     }
 
+    /// Records `d`'s designation to `dom` in the reverse index. Lists are
+    /// append-mostly with lazily validated (possibly duplicate) entries;
+    /// when one outgrows twice the whole dominated set it is compacted in
+    /// place — valid entries deduped, stale ones dropped — so a node
+    /// flip-flopping under a long-lived dominator cannot grow the list
+    /// (and every checkpoint clone of it) without bound.
+    fn push_designee(&mut self, dom: u32, d: u32) {
+        let dres = &self.dres;
+        let list = self.dominates.entry(dom).or_default();
+        list.push(d);
+        if list.len() > 2 * dres.len() + 8 {
+            list.retain(|&x| dres.get(&x) == Some(&dom));
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+
     /// Inserts a newly biased node into `Res`/`DRes`, demoting any `Res`
     /// members it dominates. Idempotent.
     fn add_stopped(&mut self, id: u32) {
@@ -208,12 +249,14 @@ impl<'a> Engine<'a> {
             return;
         }
         let p = &self.nodes[id as usize].pattern;
-        let dominated = self
+        let dominator = self
             .res
             .iter()
-            .any(|&r| self.nodes[r as usize].pattern.is_subset_of(p));
-        if dominated {
-            self.dres.insert(id);
+            .copied()
+            .find(|&r| self.nodes[r as usize].pattern.is_subset_of(p));
+        if let Some(dom) = dominator {
+            self.dres.insert(id, dom);
+            self.push_designee(dom, id);
         } else {
             let demote: Vec<u32> = self
                 .res
@@ -221,40 +264,63 @@ impl<'a> Engine<'a> {
                 .copied()
                 .filter(|&r| p.is_proper_subset_of(&self.nodes[r as usize].pattern))
                 .collect();
+            let mut mine: Vec<u32> = Vec::new();
             for r in demote {
                 self.res.remove(&r);
-                self.dres.insert(r);
+                // Everything designated to `r` is also dominated by the
+                // strictly more general `id` — re-point in O(designees).
+                for d in self.dominates.remove(&r).unwrap_or_default() {
+                    if self.dres.get(&d) == Some(&r) {
+                        self.dres.insert(d, id);
+                        mine.push(d);
+                    }
+                }
+                self.dres.insert(r, id);
+                mine.push(r);
+            }
+            if !mine.is_empty() {
+                self.dominates.entry(id).or_default().extend(mine);
             }
             self.res.insert(id);
         }
     }
 
     /// Removes a node that stopped being biased, promoting `DRes` members
-    /// it was the last `Res` dominator of. Promotion candidates are
-    /// processed most-general-first so a promoted pattern immediately
-    /// dominates its own supersets.
+    /// it was the last `Res` dominator of. Only the nodes *designated* to
+    /// the removed member are candidates: every other dominated node has
+    /// a designated dominator still in `res`, so it cannot have lost its
+    /// last one. Candidates are processed most-general-first so a
+    /// promoted pattern immediately dominates its own supersets.
     fn remove_stopped(&mut self, id: u32, k: usize) {
         if self.res.remove(&id) {
-            let p = self.nodes[id as usize].pattern.clone();
-            let mut cands: Vec<u32> = self
-                .dres
-                .iter()
-                .copied()
-                .filter(|&d| p.is_proper_subset_of(&self.nodes[d as usize].pattern))
-                .collect();
+            let mut cands = self.dominates.remove(&id).unwrap_or_default();
+            cands.retain(|&d| self.dres.get(&d) == Some(&id));
             cands.sort_by_key(|&d| (self.nodes[d as usize].pattern.len(), d));
             for d in cands {
+                // Designation lists can hold duplicates (a node designated
+                // here, moved away, then designated here again): re-check
+                // so a second occurrence of an already promoted or
+                // re-designated node is skipped — processing it again
+                // would self-designate a fresh `res` member into `dres`.
+                if self.dres.get(&d) != Some(&id) {
+                    continue;
+                }
                 // A candidate that flipped non-biased in this same round is
-                // left for its own pending transition event.
+                // left for its own pending transition event (its dangling
+                // designation dies with that event's `dres` removal).
                 if !self.is_biased(d, k) {
                     continue;
                 }
                 let dp = &self.nodes[d as usize].pattern;
-                let still_dominated = self
+                let dominator = self
                     .res
                     .iter()
-                    .any(|&r| self.nodes[r as usize].pattern.is_subset_of(dp));
-                if !still_dominated {
+                    .copied()
+                    .find(|&r| self.nodes[r as usize].pattern.is_subset_of(dp));
+                if let Some(dom) = dominator {
+                    self.dres.insert(d, dom);
+                    self.push_designee(dom, d);
+                } else {
                     self.dres.remove(&d);
                     self.res.insert(d);
                 }
@@ -341,6 +407,7 @@ impl<'a> Engine<'a> {
         self.root_children.clear();
         self.res.clear();
         self.dres.clear();
+        self.dominates.clear();
         for bucket in &mut self.schedule {
             bucket.clear();
         }
@@ -434,6 +501,95 @@ impl<'a> Engine<'a> {
         true
     }
 
+    /// Adds or removes one tuple's worth of counts: the subtree walk of
+    /// [`Engine::walk_counts`] with a signed delta and no candidate
+    /// collection (repairs reclassify the whole store afterwards).
+    /// `t_pos` is any rank position whose index codes are the tuple's —
+    /// for a tuple that left the top-`k`, its new position below `k`.
+    /// With `touched_down`, decremented node ids are collected so the
+    /// proportional `k̃` schedule can be refreshed (a smaller count flips
+    /// *earlier*; a stale later entry would miss the flip — the inverse
+    /// of the growth-only staleness `pop_schedule` tolerates).
+    fn walk_delta(&mut self, t_pos: usize, up: bool, mut touched_down: Option<&mut Vec<u32>>) {
+        let m = self.space.n_attrs() as AttrId;
+        let mut stack: Vec<u32> = Vec::new();
+        for a in 0..m {
+            let v = self.index.code_at(t_pos, a);
+            let idx = self.card_prefix[usize::from(a)] as usize + usize::from(v);
+            stack.push(self.root_children[idx]);
+        }
+        while let Some(id) = stack.pop() {
+            if self.nodes[id as usize].pruned {
+                continue; // counts of pruned leaves are never read
+            }
+            if up {
+                self.nodes[id as usize].count += 1;
+            } else {
+                self.nodes[id as usize].count -= 1;
+                if let Some(list) = touched_down.as_deref_mut() {
+                    list.push(id);
+                }
+            }
+            self.stats.nodes_touched += 1;
+            if self.nodes[id as usize].expanded {
+                let start = self.nodes[id as usize]
+                    .pattern
+                    .max_attr()
+                    .map_or(0, |a| a + 1);
+                let base = self.card_prefix[usize::from(start)];
+                for a in start..m {
+                    let v = self.index.code_at(t_pos, a);
+                    let idx = (self.card_prefix[usize::from(a)] - base) as usize + usize::from(v);
+                    stack.push(self.nodes[id as usize].children[idx]);
+                }
+            }
+        }
+    }
+
+    /// Repairs this state (positioned at `k`) after a pure reorder
+    /// changed its top-`k` **set**: subtracts the leaving tuples, adds
+    /// the entering ones (positions in the *patched* index), then
+    /// reclassifies the whole store and applies the transitions — the
+    /// same both-directions machinery the bound-step rescan uses, so
+    /// counts may move either way. `s_D`, `n` and the pruned flags are
+    /// untouched by a reorder, which is exactly why this repair is sound
+    /// (an insertion moves those and voids the checkpoint instead).
+    fn repair(
+        &mut self,
+        k: usize,
+        entering: &[usize],
+        leaving: &[usize],
+        guard: &mut DeadlineGuard,
+    ) -> bool {
+        let mut touched_down = if self.schedule.is_empty() {
+            None
+        } else {
+            Some(Vec::new())
+        };
+        for &pos in leaving {
+            self.walk_delta(pos, false, touched_down.as_mut());
+        }
+        for &pos in entering {
+            self.walk_delta(pos, true, None);
+        }
+        let mut cands = FxHashSet::default();
+        self.rescan_all(k, &mut cands);
+        if !self.apply_transitions(k, cands, guard) {
+            return false;
+        }
+        // Refresh k̃ entries for every decremented, still-unbiased node:
+        // its flip moved earlier, so the pre-repair entry alone could be
+        // popped too late.
+        if let Some(ids) = touched_down {
+            for id in ids {
+                if !self.nodes[id as usize].pruned && !self.in_stopped(id) {
+                    self.schedule_push(id, k);
+                }
+            }
+        }
+        true
+    }
+
     /// Extension beyond the paper: handles an *increase* of the global
     /// lower bound without the full rebuild Algorithm 2 performs.
     ///
@@ -453,6 +609,79 @@ impl<'a> Engine<'a> {
                 cands.insert(id);
             }
         }
+    }
+
+    /// One incremental step `k−1 → k`: walk the entering tuple, handle
+    /// bound steps (store rescan with `fast_steps`, Algorithm 2's rebuild
+    /// without), drain the `k̃` schedule, apply transitions. The batch
+    /// driver, the streaming core and the checkpointed monitor replay all
+    /// step through exactly this function, so no execution mode can drift
+    /// from another.
+    fn advance(
+        &mut self,
+        k: usize,
+        bounds_for_steps: Option<&Bounds>,
+        fast_steps: bool,
+        guard: &mut DeadlineGuard,
+    ) -> bool {
+        match bounds_for_steps {
+            // A bound *increase* with the extension enabled: walk the new
+            // tuple, then reclassify the whole store.
+            Some(b) if fast_steps && b.at(k) > b.at(k - 1) => {
+                let mut cands = FxHashSet::default();
+                self.walk_counts(k, &mut cands);
+                self.rescan_all(k, &mut cands);
+                self.apply_transitions(k, cands, guard)
+            }
+            // Algorithm 2, lines 4–5: a bound change invalidates the
+            // incremental frontier — run a fresh search. (Also the
+            // fallback for decreasing bounds, where the rescan argument
+            // does not apply.)
+            Some(b) if b.at(k) != b.at(k - 1) => {
+                self.reset();
+                self.build(k, guard)
+            }
+            _ => {
+                let mut cands = FxHashSet::default();
+                self.walk_counts(k, &mut cands);
+                self.pop_schedule(k, &mut cands);
+                self.apply_transitions(k, cands, guard)
+            }
+        }
+    }
+
+    /// Clones the complete search state into a resumable
+    /// [`LowerCheckpoint`] anchored at `k`.
+    fn to_checkpoint(&self, k: usize) -> LowerCheckpoint {
+        LowerCheckpoint {
+            k,
+            nodes: self.nodes.clone(),
+            root_children: self.root_children.clone(),
+            res: self.res.clone(),
+            dres: self.dres.clone(),
+            dominates: self.dominates.clone(),
+            schedule: self.schedule.clone(),
+        }
+    }
+
+    /// Rebuilds an engine positioned at `cp.k` from a stored checkpoint;
+    /// the next [`Engine::advance`] call must be for `cp.k + 1`.
+    fn from_checkpoint(
+        index: &'a RankedIndex,
+        space: &'a PatternSpace,
+        measure: BiasMeasure,
+        tau_s: usize,
+        k_max: usize,
+        cp: &LowerCheckpoint,
+    ) -> Self {
+        let mut engine = Engine::new(index, space, measure, tau_s, k_max);
+        engine.nodes = cp.nodes.clone();
+        engine.root_children = cp.root_children.clone();
+        engine.res = cp.res.clone();
+        engine.dres = cp.dres.clone();
+        engine.dominates = cp.dominates.clone();
+        engine.schedule = cp.schedule.clone();
+        engine
     }
 
     /// The current `Res` as sorted patterns.
@@ -478,31 +707,7 @@ impl<'a> Engine<'a> {
         if ok {
             per_k.push(self.snapshot(cfg.k_min));
             for k in cfg.k_min + 1..=cfg.k_max {
-                let step_ok = match bounds_for_steps {
-                    // A bound *increase* with the extension enabled: walk
-                    // the new tuple, then reclassify the whole store.
-                    Some(b) if fast_steps && b.at(k) > b.at(k - 1) => {
-                        let mut cands = FxHashSet::default();
-                        self.walk_counts(k, &mut cands);
-                        self.rescan_all(k, &mut cands);
-                        self.apply_transitions(k, cands, &mut guard)
-                    }
-                    // Algorithm 2, lines 4–5: a bound change invalidates the
-                    // incremental frontier — run a fresh search. (Also the
-                    // fallback for decreasing bounds, where the rescan
-                    // argument does not apply.)
-                    Some(b) if b.at(k) != b.at(k - 1) => {
-                        self.reset();
-                        self.build(k, &mut guard)
-                    }
-                    _ => {
-                        let mut cands = FxHashSet::default();
-                        self.walk_counts(k, &mut cands);
-                        self.pop_schedule(k, &mut cands);
-                        self.apply_transitions(k, cands, &mut guard)
-                    }
-                };
-                if !step_ok {
+                if !self.advance(k, bounds_for_steps, fast_steps, &mut guard) {
                     ok = false;
                     break;
                 }
@@ -676,24 +881,12 @@ impl Iterator for StreamCore<'_> {
         let ok = if k == self.cfg.k_min {
             self.engine.build(k, &mut self.guard)
         } else {
-            match &self.bounds_for_steps {
-                Some(b) if self.fast_steps && b.at(k) > b.at(k - 1) => {
-                    let mut cands = FxHashSet::default();
-                    self.engine.walk_counts(k, &mut cands);
-                    self.engine.rescan_all(k, &mut cands);
-                    self.engine.apply_transitions(k, cands, &mut self.guard)
-                }
-                Some(b) if b.at(k) != b.at(k - 1) => {
-                    self.engine.reset();
-                    self.engine.build(k, &mut self.guard)
-                }
-                _ => {
-                    let mut cands = FxHashSet::default();
-                    self.engine.walk_counts(k, &mut cands);
-                    self.engine.pop_schedule(k, &mut cands);
-                    self.engine.apply_transitions(k, cands, &mut self.guard)
-                }
-            }
+            self.engine.advance(
+                k,
+                self.bounds_for_steps.as_ref(),
+                self.fast_steps,
+                &mut self.guard,
+            )
         };
         if !ok {
             self.failed = true;
@@ -743,6 +936,160 @@ pub(crate) fn global_bounds_fast_steps(
     let measure = BiasMeasure::GlobalLower(bounds.clone());
     let engine = Engine::new(index, space, measure, cfg.tau_s, cfg.k_max);
     engine.run(cfg, Some(bounds), true)
+}
+
+/// A resumable snapshot of the lower engine's complete search state —
+/// node store, frontier sets and `k̃` schedule — anchored at a specific
+/// `k`. The live monitor keeps one of these every `C` values of `k` so a
+/// delta re-audit over `k ∈ (lo, hi]` can seek to the checkpoint at or
+/// below `lo` and replay forward with per-`k` subtree walks, instead of
+/// paying a from-scratch top-down build at the start of the span.
+///
+/// Validity under edits: every stored count is `|top-k ∩ p|`, a function
+/// of the top-`k` **set** alone, and the frontier sets are determined by
+/// those counts plus store structure. A pure reorder of rank positions
+/// `[lo, hi]` leaves the top-`k` set unchanged for `k ≤ lo` and `k > hi`,
+/// so checkpoints outside `(lo, hi]` stay exact; insertions move `n` and
+/// `s_D`, invalidating every checkpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct LowerCheckpoint {
+    /// The `k` whose state this snapshot holds.
+    pub(crate) k: usize,
+    nodes: Vec<Node>,
+    root_children: Vec<u32>,
+    res: FxHashSet<u32>,
+    dres: FxHashMap<u32, u32>,
+    dominates: FxHashMap<u32, Vec<u32>>,
+    schedule: Vec<Vec<u32>>,
+}
+
+impl LowerCheckpoint {
+    /// Number of stored nodes (the checkpoint's memory footprint driver).
+    pub(crate) fn stored_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Grid-snapshot maintenance for the lower store — the shared policy
+/// lives in [`crate::audit::maintain_grid_snapshot`].
+fn maybe_checkpoint(
+    store: &mut Vec<LowerCheckpoint>,
+    engine: &Engine<'_>,
+    k: usize,
+    k_min: usize,
+    cadence: usize,
+    heal_cutoff: Option<usize>,
+) {
+    crate::audit::maintain_grid_snapshot(
+        store,
+        k,
+        k_min,
+        cadence,
+        heal_cutoff,
+        |cp| cp.k,
+        || engine.to_checkpoint(k),
+    );
+}
+
+/// Checkpointed execution of the lower (under-representation) side over
+/// the `k` span `[span.0, span.1]` — the monitor's delta re-audit core.
+///
+/// Seeks to the latest stored checkpoint at or below the span start and
+/// replays forward with per-`k` subtree walks. When the edit hull
+/// swallowed the seek checkpoint (`cp.k > reorder.lo` — only ever the
+/// single checkpoint closest to the span, see the invalidation proof in
+/// `MonitorAudit::apply`), it is **repaired** in place from the top-`k`
+/// set diff rather than discarded, so a delta re-audit performs **zero**
+/// from-scratch builds on any pure reorder — the `build(k_min)` that
+/// used to dominate delta cost, plus the per-bound-step rebuilds of
+/// Algorithm 2, all disappear (bound increases run the `fast_steps`
+/// store rescan during replay). With an empty store (initial audit, or
+/// after an insertion voided it) it builds at `k_min` exactly like a
+/// fresh run. Every replayed grid `k` rewrites its snapshot, keeping the
+/// whole store valid after every batch. Output-equivalent to
+/// [`global_bounds`] / [`prop_bounds`] — asserted by the differential
+/// sweeps.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lower_replay(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    measure: &BiasMeasure,
+    cfg: &DetectConfig,
+    span: (usize, usize),
+    reorder: Option<(&crate::audit::ReorderSpec, &[rankfair_data::TupleId])>,
+    store: &mut Vec<LowerCheckpoint>,
+    cadence: usize,
+    counters: &mut ReplayCounters,
+) -> DetectionOutput {
+    let (k_lo, k_hi) = span;
+    debug_assert!(cfg.k_min <= k_lo && k_lo <= k_hi && k_hi <= cfg.k_max);
+    debug_assert!(cadence >= 1);
+    let bounds_for_steps = match measure {
+        BiasMeasure::GlobalLower(b) => Some(b.clone()),
+        BiasMeasure::Proportional { .. } => None,
+    };
+    // No deadline: monitors reject deadlines at construction, so a replay
+    // can never truncate mid-span.
+    let mut guard = DeadlineGuard::new(None);
+    let mut per_k = Vec::with_capacity(k_hi - k_lo + 1);
+    // Reorder replays re-clone at most the two grid snapshots nearest the
+    // span start; see `maybe_checkpoint`.
+    let heal_cutoff = reorder.is_some().then_some(k_lo + cadence);
+    let seek = store.iter().rposition(|cp| cp.k <= k_lo);
+    let (mut engine, mut k_cur) = match seek {
+        Some(i) => {
+            counters.seeks += 1;
+            let cp_k = store[i].k;
+            let mut engine = Engine::from_checkpoint(
+                index,
+                space,
+                measure.clone(),
+                cfg.tau_s,
+                cfg.k_max,
+                &store[i],
+            );
+            if let Some((spec, new_order)) = reorder {
+                if cp_k > spec.lo {
+                    let (entering, leaving) =
+                        crate::audit::top_k_diff(cp_k, spec.lo, &spec.old_order, new_order);
+                    engine.repair(cp_k, &entering, &leaving, &mut guard);
+                    counters.repairs += 1;
+                    store[i] = engine.to_checkpoint(cp_k);
+                }
+            }
+            if cp_k >= k_lo {
+                per_k.push(engine.snapshot(cp_k));
+            }
+            (engine, cp_k)
+        }
+        None => {
+            counters.cold_builds += 1;
+            let mut engine = Engine::new(index, space, measure.clone(), cfg.tau_s, cfg.k_max);
+            engine.build(cfg.k_min, &mut guard);
+            if cfg.k_min >= k_lo {
+                per_k.push(engine.snapshot(cfg.k_min));
+            } else {
+                counters.replayed_steps += 1;
+            }
+            maybe_checkpoint(store, &engine, cfg.k_min, cfg.k_min, cadence, None);
+            (engine, cfg.k_min)
+        }
+    };
+    while k_cur < k_hi {
+        k_cur += 1;
+        engine.advance(k_cur, bounds_for_steps.as_ref(), true, &mut guard);
+        if k_cur >= k_lo {
+            per_k.push(engine.snapshot(k_cur));
+        } else {
+            counters.replayed_steps += 1;
+        }
+        maybe_checkpoint(store, &engine, k_cur, cfg.k_min, cadence, heal_cutoff);
+    }
+    engine.stats.elapsed = guard.elapsed();
+    DetectionOutput {
+        per_k,
+        stats: std::mem::take(&mut engine.stats),
+    }
 }
 
 /// `PropBounds` (Algorithm 3): detection of groups with biased
@@ -874,6 +1221,62 @@ mod tests {
             opt.stats.patterns_examined(),
             base.stats.patterns_examined()
         );
+    }
+
+    #[test]
+    fn lower_replay_matches_batch_and_seeks_checkpoints() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 16);
+        for measure in [
+            BiasMeasure::GlobalLower(Bounds::steps(vec![(2, 1), (6, 2), (10, 3)])),
+            BiasMeasure::GlobalLower(Bounds::LinearFraction(0.3)),
+            BiasMeasure::Proportional { alpha: 0.8 },
+        ] {
+            let want = match &measure {
+                BiasMeasure::GlobalLower(b) => global_bounds(&index, &space, &cfg, b).per_k,
+                BiasMeasure::Proportional { alpha } => {
+                    prop_bounds(&index, &space, &cfg, *alpha).per_k
+                }
+            };
+            for cadence in [1usize, 3, 8] {
+                let mut store = Vec::new();
+                let mut counters = ReplayCounters::default();
+                let full = lower_replay(
+                    &index,
+                    &space,
+                    &measure,
+                    &cfg,
+                    (2, 16),
+                    None,
+                    &mut store,
+                    cadence,
+                    &mut counters,
+                );
+                assert_eq!(full.per_k, want, "{measure:?} cadence {cadence}");
+                assert_eq!(counters.cold_builds, 1);
+                assert!(!store.is_empty());
+                assert!(store.windows(2).all(|w| w[0].k < w[1].k));
+                // A sub-span replay seeded from the stored checkpoints
+                // must reproduce the batch run's slice exactly, without a
+                // fresh build.
+                let mut counters = ReplayCounters::default();
+                let sub = lower_replay(
+                    &index,
+                    &space,
+                    &measure,
+                    &cfg,
+                    (9, 12),
+                    None,
+                    &mut store,
+                    cadence,
+                    &mut counters,
+                );
+                assert_eq!(sub.per_k[..], want[7..=10], "{measure:?} cadence {cadence}");
+                assert_eq!(counters.seeks, 1);
+                assert_eq!(counters.cold_builds, 0);
+                assert!(counters.replayed_steps < 9 - 1);
+            }
+        }
     }
 
     #[test]

@@ -219,14 +219,15 @@ pub fn edit_from_json(v: &Value, ds: &Dataset) -> Result<RankingEdit, String> {
                 .get("row")
                 .and_then(Value::as_usize)
                 .ok_or("`row` (non-negative integer) is required")?;
+            // A bare `as u32` would wrap ids past u32::MAX and silently
+            // re-score the wrong tuple.
+            let row =
+                u32::try_from(row).map_err(|_| format!("row {row} does not fit a TupleId"))?;
             let score = v
                 .get("score")
                 .and_then(Value::as_f64)
                 .ok_or("`score` (number) is required")?;
-            Ok(RankingEdit::ScoreUpdate {
-                row: row as u32,
-                score,
-            })
+            Ok(RankingEdit::ScoreUpdate { row, score })
         }
         "insert" => {
             for (key, _) in pairs {
@@ -324,6 +325,22 @@ pub fn delta_report_json(d: &DeltaReport, space: &PatternSpace, strip_timing: bo
         ),
         ("stats", stats.to_json()),
     ])
+}
+
+impl ToJson for crate::monitor::CheckpointStats {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("cadence", Value::from(self.cadence)),
+            ("lower", Value::from(self.lower_checkpoints)),
+            ("upper", Value::from(self.upper_checkpoints)),
+            ("stored_nodes", Value::from(self.stored_nodes)),
+            ("seeks", Value::from(self.seeks as usize)),
+            ("cold_builds", Value::from(self.cold_builds as usize)),
+            ("repairs", Value::from(self.repairs as usize)),
+            ("replayed_steps", Value::from(self.replayed_steps as usize)),
+            ("invalidated", Value::from(self.invalidated as usize)),
+        ])
+    }
 }
 
 impl ToJson for MonitorError {

@@ -92,7 +92,9 @@ pub use bounds::{BiasMeasure, Bounds};
 pub use detector::Detector;
 #[allow(deprecated)]
 pub use engine::DetectionStream;
-pub use monitor::{DeltaReport, KDelta, MonitorAudit, MonitorBuilder, MonitorError, RankingEdit};
+pub use monitor::{
+    CheckpointStats, DeltaReport, KDelta, MonitorAudit, MonitorBuilder, MonitorError, RankingEdit,
+};
 pub use pattern::Pattern;
 pub use report::{
     render_report, render_report_csv, summarize, summarize_audit, BiasDirection, BiasedGroup,

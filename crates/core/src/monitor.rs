@@ -34,11 +34,34 @@
 //!    old vs new into a typed [`DeltaReport`] — which groups entered and
 //!    left the biased set, per `k` and per direction.
 //!
+//! # Persistent engine state
+//!
+//! With [`Engine::Optimized`] the monitor keeps the engines' search
+//! state **across** edit batches: every `C` values of `k`
+//! ([`MonitorBuilder::checkpoint_every`]) it snapshots the pattern-tree
+//! node store and frontier sets. Step 3 then *seeks* to the checkpoint
+//! at or below the recompute span and replays forward with per-`k`
+//! subtree walks, instead of paying the from-scratch top-down build at
+//! the span's first `k` that used to dominate delta cost. A checkpoint
+//! is exact after a reorder of positions `[lo, hi]` whenever its
+//! `k ≤ lo` or `k > hi` (stored counts are functions of the top-`k`
+//! *set* alone); the one seek checkpoint that can land inside the hull
+//! is **repaired in place** from the old-vs-new top-`k` set diff —
+//! ±count walks for the tuples that crossed, plus one store reclassify
+//! — so no pure reorder ever triggers a fresh engine build. (One carve
+//! out: a *decreasing* lower step bound still rebuilds at its step
+//! during replay, exactly as Algorithm 2 does — the store-rescan
+//! shortcut only covers increases.)
+//! [`MonitorAudit::checkpoint_stats`] exposes the live-checkpoint,
+//! memory and seek/repair counters (also on the wire `snapshot` op).
+//!
 //! Insertions grow the universe (`n`, and `s_D` of every pattern the new
-//! tuple matches), which can flip substantiality and the proportional
-//! bound at *any* `k`; a batch containing an insertion therefore
-//! recomputes the full `k` range — still against the patched index, so
-//! the `O(n·m)` index rebuild is avoided even then.
+//! tuple matches), which can flip substantiality, the proportional
+//! bound and every stored checkpoint count at *any* `k`; a batch
+//! containing an insertion therefore voids the checkpoint store and
+//! recomputes the full `k` range (reseeding the checkpoint grid) —
+//! still against the patched index, so the `O(n·m)` index rebuild is
+//! avoided even then.
 //!
 //! ```
 //! use rankfair_core::{
@@ -63,7 +86,10 @@
 use rankfair_data::{Dataset, RowValue, TupleId};
 use rankfair_rank::{Ranking, ScoredRanking};
 
-use crate::audit::{validate_task, AuditError, AuditKResult, AuditParts, AuditTask, Engine};
+use crate::audit::{
+    validate_task, AuditError, AuditKResult, AuditParts, AuditTask, Engine, EngineCheckpoints,
+    ReorderSpec,
+};
 use crate::pattern::Pattern;
 use crate::report::KReport;
 use crate::space::{PatternSpace, RankedIndex};
@@ -210,12 +236,47 @@ impl DeltaReport {
     }
 }
 
+/// A point-in-time view of the monitor's persistent engine state: how
+/// many checkpoints are live, what they cost in memory, and how well the
+/// delta replays have been exploiting them. `None` from
+/// [`MonitorAudit::checkpoint_stats`] means the monitor runs the baseline
+/// engine, which keeps no state between `k` values to checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Grid spacing `C`: one engine snapshot every `C` values of `k`.
+    pub cadence: usize,
+    /// Live lower-engine checkpoints.
+    pub lower_checkpoints: usize,
+    /// Live upper-engine checkpoints.
+    pub upper_checkpoints: usize,
+    /// Total pattern nodes held across every snapshot — the memory the
+    /// speed/memory trade-off spends (smaller `C` ⇒ shorter replays,
+    /// more stored nodes).
+    pub stored_nodes: usize,
+    /// Delta runs (per direction) that resumed from a checkpoint.
+    pub seeks: u64,
+    /// Runs that found no usable checkpoint and paid a from-scratch
+    /// build (includes the initial audit).
+    pub cold_builds: u64,
+    /// Seek checkpoints repaired in place (±count walks over the top-`k`
+    /// set diff + one store reclassify) because the edit hull had
+    /// swallowed them — each repair is a from-scratch build avoided.
+    pub repairs: u64,
+    /// `k` steps replayed between a seek point and the start of the
+    /// recomputed span — the granularity overhead.
+    pub replayed_steps: u64,
+    /// Checkpoints dropped by edit invalidation (span for reorders,
+    /// everything for insertions).
+    pub invalidated: u64,
+}
+
 /// Fluent construction of a [`MonitorAudit`].
 pub struct MonitorBuilder {
     dataset: Dataset,
     score_column: String,
     ascending: bool,
     attrs: Option<Vec<String>>,
+    checkpoint_every: usize,
 }
 
 impl MonitorBuilder {
@@ -223,6 +284,17 @@ impl MonitorBuilder {
     /// descending.
     pub fn ascending(mut self, ascending: bool) -> Self {
         self.ascending = ascending;
+        self
+    }
+
+    /// Sets the checkpoint cadence `C` (clamped to ≥ 1; default
+    /// [`MonitorAudit::DEFAULT_CHECKPOINT_CADENCE`]): the optimized
+    /// engines snapshot their search state every `C` values of `k`, so a
+    /// delta re-audit replays at most `C − 1` extra `k` steps to reach
+    /// its span — at the cost of `⌈k_max / C⌉` stored node stores.
+    /// Smaller `C` = faster deltas, more memory.
+    pub fn checkpoint_every(mut self, cadence: usize) -> Self {
+        self.checkpoint_every = cadence.max(1);
         self
     }
 
@@ -276,7 +348,23 @@ impl MonitorBuilder {
             ranking: &ranking,
             index: &index,
         };
-        let out = parts.run_range(&cfg, &task, engine);
+        // The optimized engines carry persistent, checkpointed state
+        // between re-audits; the baseline rebuilds per k by design (it is
+        // the differential anchor) and has nothing to checkpoint.
+        let (out, checkpoints) = match engine {
+            Engine::Optimized => {
+                let mut ckpts = EngineCheckpoints::new(self.checkpoint_every);
+                let out = parts.run_range_checkpointed(
+                    &cfg,
+                    (cfg.k_min, cfg.k_max),
+                    &task,
+                    &mut ckpts,
+                    None,
+                );
+                (out, Some(ckpts))
+            }
+            Engine::Baseline => (parts.run_range(&cfg, &task, engine), None),
+        };
         Ok(MonitorAudit {
             dataset: self.dataset,
             space,
@@ -286,6 +374,7 @@ impl MonitorBuilder {
             cfg,
             task,
             engine,
+            checkpoints,
             results: out.per_k,
             stats: out.stats,
         })
@@ -304,6 +393,8 @@ pub struct MonitorAudit {
     cfg: DetectConfig,
     task: AuditTask,
     engine: Engine,
+    /// Persistent engine snapshots (`Some` iff `engine` is optimized).
+    checkpoints: Option<EngineCheckpoints>,
     /// Current result sets for every `k` in `cfg`'s range, `k` ascending.
     results: Vec<AuditKResult>,
     /// Cumulative instrumentation: the initial build plus every re-audit.
@@ -319,8 +410,13 @@ impl MonitorAudit {
             score_column: score_column.to_string(),
             ascending: false,
             attrs: None,
+            checkpoint_every: Self::DEFAULT_CHECKPOINT_CADENCE,
         }
     }
+
+    /// Default checkpoint cadence `C` (see
+    /// [`MonitorBuilder::checkpoint_every`]).
+    pub const DEFAULT_CHECKPOINT_CADENCE: usize = 8;
 
     /// The evolving dataset (edits applied so far included).
     pub fn dataset(&self) -> &Dataset {
@@ -364,6 +460,27 @@ impl MonitorAudit {
         &self.stats
     }
 
+    /// The persistent-engine-state picture: live checkpoints, their node
+    /// footprint, and the seek/build/replay counters. `None` when the
+    /// monitor runs [`Engine::Baseline`], which keeps no incremental
+    /// state to checkpoint.
+    pub fn checkpoint_stats(&self) -> Option<CheckpointStats> {
+        self.checkpoints.as_ref().map(|ck| {
+            let (lower, upper) = ck.live();
+            CheckpointStats {
+                cadence: ck.cadence,
+                lower_checkpoints: lower,
+                upper_checkpoints: upper,
+                stored_nodes: ck.stored_nodes(),
+                seeks: ck.counters.seeks,
+                cold_builds: ck.counters.cold_builds,
+                repairs: ck.counters.repairs,
+                replayed_steps: ck.counters.replayed_steps,
+                invalidated: ck.invalidated,
+            }
+        })
+    }
+
     /// Renders the current results as enriched per-`k` reports (the same
     /// shape [`Audit::report`] produces).
     ///
@@ -385,6 +502,18 @@ impl MonitorAudit {
     /// half-updated. `n` tracks insertions earlier in the same batch.
     fn validate_edits(&self, edits: &[RankingEdit]) -> Result<(), MonitorError> {
         let mut n = self.dataset.n_rows();
+        // Row ids are dense: every insert of the batch must fit the
+        // TupleId space *before* any edit is applied, or `insert` could
+        // fail mid-batch and break atomicity.
+        let inserts = edits
+            .iter()
+            .filter(|e| matches!(e, RankingEdit::Insert { .. }))
+            .count();
+        if !self.scored.can_insert(inserts) {
+            return Err(MonitorError::BadEdit(format!(
+                "batch of {inserts} inserts would overflow the TupleId row-id space"
+            )));
+        }
         // New labels earlier inserts in this batch will add per column:
         // `push_row` must not be able to fail on dictionary overflow
         // after part of the batch has been applied.
@@ -471,6 +600,15 @@ impl MonitorAudit {
     /// returning the typed diff. On error the monitor is unchanged.
     pub fn apply(&mut self, edits: &[RankingEdit]) -> Result<DeltaReport, MonitorError> {
         self.validate_edits(edits)?;
+        // The pre-batch order: a pure reorder's seek checkpoint may need
+        // repairing from the old-vs-new top-k set diff. Batches with an
+        // insert never repair (the whole store is invalidated), so skip
+        // the O(n) copy for them.
+        let has_insert = edits
+            .iter()
+            .any(|e| matches!(e, RankingEdit::Insert { .. }));
+        let old_order =
+            (self.checkpoints.is_some() && !has_insert).then(|| self.scored.order().to_vec());
         let mut span: Option<(usize, usize)> = None;
         let merge = |d: Option<(usize, usize)>, span: &mut Option<(usize, usize)>| {
             if let Some((lo, hi)) = d {
@@ -515,6 +653,24 @@ impl MonitorAudit {
             self.index
                 .rewrite_span(&self.dataset, &self.space, self.scored.order(), lo, hi);
         }
+        // Checkpoint maintenance. An insertion moves `n` and the `s_D`
+        // of every pattern the new tuple matches — every snapshot's
+        // counts (and pruned flags) are stale, so the store is voided
+        // and reseeded by the full-range recompute below. A pure reorder
+        // of positions `[lo, hi]` only changes the top-k *sets* for
+        // `k ∈ (lo, hi]`: snapshots at `k ≤ lo` and `k > hi` stay exact;
+        // of the stale ones, the replay rewrites every grid k inside the
+        // recomputed span and *repairs* the single seek checkpoint that
+        // can sit in the gap `(lo, k_min)` — so no snapshot is ever
+        // discarded on a reorder, and no reorder ever pays a fresh
+        // build. (Gap proof: grid ks are ≥ k_min and the seek k is the
+        // largest grid k ≤ max(lo + 1, k_min), so every other stale grid
+        // k lies inside the recomputed span.)
+        if inserted {
+            if let Some(ckpts) = &mut self.checkpoints {
+                ckpts.invalidate_all();
+            }
+        }
         // The k values whose top-k membership can have changed: the whole
         // range when the universe grew (n and s_D moved), else (lo, hi].
         let recompute = if inserted {
@@ -534,12 +690,6 @@ impl MonitorAudit {
                 stats: SearchStats::default(),
             });
         };
-        let sub = DetectConfig {
-            tau_s: self.cfg.tau_s,
-            k_min: k_lo,
-            k_max: k_hi,
-            deadline: None,
-        };
         let ranking = self.scored.to_ranking();
         let parts = AuditParts {
             dataset: &self.dataset,
@@ -547,7 +697,35 @@ impl MonitorAudit {
             ranking: &ranking,
             index: &self.index,
         };
-        let out = parts.run_range(&sub, &self.task, self.engine);
+        // The delta path: seek into the persistent engine snapshots
+        // (repairing the seek point if this batch's hull swallowed it)
+        // and replay the span, instead of paying a from-scratch engine
+        // build at `k_lo`. Baseline monitors re-run the span the old way.
+        let reorder = if inserted {
+            None
+        } else {
+            old_order
+                .zip(span)
+                .map(|(old_order, (lo, _))| ReorderSpec { lo, old_order })
+        };
+        let out = match &mut self.checkpoints {
+            Some(ckpts) => parts.run_range_checkpointed(
+                &self.cfg,
+                (k_lo, k_hi),
+                &self.task,
+                ckpts,
+                reorder.as_ref(),
+            ),
+            None => {
+                let sub = DetectConfig {
+                    tau_s: self.cfg.tau_s,
+                    k_min: k_lo,
+                    k_max: k_hi,
+                    deadline: None,
+                };
+                parts.run_range(&sub, &self.task, self.engine)
+            }
+        };
         // Re-audits run back to back with the initial build: their wall
         // clocks add (merge's max is for parallel workers).
         let elapsed_before = self.stats.elapsed;
@@ -806,6 +984,105 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, MonitorError::DeadlineUnsupported));
+    }
+
+    #[test]
+    fn checkpoints_seek_and_invalidate_across_edit_kinds() {
+        use rankfair_data::RowValue;
+        let task = AuditTask::Combined {
+            lower: Bounds::constant(2),
+            upper: Bounds::constant(2),
+        };
+        for cadence in [1usize, 3, 8] {
+            let mut monitor = MonitorAudit::builder(students_fig1(), "Grade")
+                .checkpoint_every(cadence)
+                .build(DetectConfig::new(2, 2, 16), task.clone(), Engine::Optimized)
+                .unwrap();
+            let initial = monitor.checkpoint_stats().expect("optimized keeps state");
+            assert_eq!(initial.cadence, cadence);
+            // Both directions built once from scratch and laid checkpoints
+            // on the grid k = k_min, k_min+C, … up to k_max = 16.
+            assert_eq!(initial.cold_builds, 2);
+            assert_eq!(initial.seeks, 0);
+            let per_dir = (16 - 2) / cadence + 1;
+            assert_eq!(initial.lower_checkpoints, per_dir);
+            assert_eq!(initial.upper_checkpoints, per_dir);
+            assert!(initial.stored_nodes > 0);
+            // A mid-ranking swap: the delta seeks (repairing the seek
+            // snapshot if the hull swallowed it) instead of rebuilding.
+            let mid = monitor.ranking().at(9);
+            let score = monitor.scored.score(monitor.ranking().at(5));
+            let d = monitor
+                .apply(&[RankingEdit::ScoreUpdate {
+                    row: mid,
+                    score: score + 0.01,
+                }])
+                .unwrap();
+            assert!(d.recomputed.is_some());
+            let after = monitor.checkpoint_stats().unwrap();
+            assert_eq!(after.seeks, 2, "cadence {cadence}");
+            assert_eq!(after.cold_builds, 2, "no fresh build on a reorder");
+            assert_eq!(after.invalidated, 0, "reorders repair, never discard");
+            // The replay heals the grid near the span start and may prune
+            // deep stale snapshots (bounded clone churn), but always keeps
+            // a seekable store.
+            assert!(after.lower_checkpoints >= 1 && after.lower_checkpoints <= per_dir);
+            assert!(after.upper_checkpoints >= 1 && after.upper_checkpoints <= per_dir);
+            assert_matches_fresh(&monitor);
+            // A strike at the very top of the ranking swallows every
+            // checkpoint at or below the hull end — the seek snapshot is
+            // repaired in place, still without any fresh build.
+            let top = monitor.ranking().at(0);
+            monitor
+                .apply(&[RankingEdit::ScoreUpdate {
+                    row: top,
+                    score: -5.0,
+                }])
+                .unwrap();
+            let struck = monitor.checkpoint_stats().unwrap();
+            assert_eq!(struck.cold_builds, 2, "cadence {cadence}");
+            assert_eq!(
+                struck.repairs,
+                after.repairs + 2,
+                "both directions repair their seek"
+            );
+            assert!(struck.lower_checkpoints >= 1);
+            assert_matches_fresh(&monitor);
+            // An insertion moves n and s_D: every snapshot is dropped,
+            // then the full-range recompute reseeds the grid.
+            let before_insert = monitor.checkpoint_stats().unwrap();
+            monitor
+                .apply(&[RankingEdit::Insert {
+                    cells: vec![
+                        RowValue::Label("F".into()),
+                        RowValue::Label("GP".into()),
+                        RowValue::Label("U".into()),
+                        RowValue::Label("0".into()),
+                        RowValue::Number(12.5),
+                    ],
+                }])
+                .unwrap();
+            let after_insert = monitor.checkpoint_stats().unwrap();
+            assert_eq!(
+                after_insert.invalidated,
+                before_insert.invalidated
+                    + (before_insert.lower_checkpoints + before_insert.upper_checkpoints) as u64,
+                "insert must drop every checkpoint"
+            );
+            assert_eq!(after_insert.cold_builds, 4, "insert rebuilds both sides");
+            // The post-insert full-range rebuild relays the whole grid.
+            assert_eq!(after_insert.lower_checkpoints, per_dir);
+            assert_matches_fresh(&monitor);
+        }
+        // The baseline engine has no incremental state to checkpoint.
+        let baseline = MonitorAudit::builder(students_fig1(), "Grade")
+            .build(
+                DetectConfig::new(2, 2, 8),
+                AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+                Engine::Baseline,
+            )
+            .unwrap();
+        assert!(baseline.checkpoint_stats().is_none());
     }
 
     #[test]

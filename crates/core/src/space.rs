@@ -278,8 +278,23 @@ impl RankedIndex {
     /// flips instead of the `O(n·m)` full rebuild — the index half of the
     /// monitor's delta re-audit.
     ///
+    /// The span and value codes are **internal invariants**: the primary
+    /// caller is the monitor, whose edit validation rejects out-of-range
+    /// rows and unknown labels before anything is applied, and whose
+    /// spans come from [`ScoredRanking`] deltas over the same universe.
+    /// Those are `debug_assert!`s — a violation still fails loudly in
+    /// release via the slice indexing that follows, so the serving wire
+    /// path cannot corrupt silently (tests/wire_robustness.rs drives
+    /// corrupted `update` ops through the full stack to prove no panic
+    /// escapes the in-band error handling). The order-*length* check
+    /// stays a hard assert: a short-but-span-covering `order` from an
+    /// external caller would otherwise rewrite the index silently from
+    /// the wrong universe.
+    ///
     /// # Panics
-    /// Panics if the span or a row's codes are out of range for the index.
+    /// Panics if `order` does not cover every position of the index.
+    ///
+    /// [`ScoredRanking`]: rankfair_rank::ScoredRanking
     pub fn rewrite_span(
         &mut self,
         ds: &Dataset,
@@ -288,14 +303,14 @@ impl RankedIndex {
         lo: usize,
         hi: usize,
     ) {
-        assert!(hi < self.n && lo <= hi, "span [{lo}, {hi}] out of range");
+        debug_assert!(hi < self.n && lo <= hi, "span [{lo}, {hi}] out of range");
         assert_eq!(order.len(), self.n, "order must cover every position");
         for (a, (attr_codes, attr_maps)) in self.codes.iter_mut().zip(&mut self.bitmaps).enumerate()
         {
             let col = ds.column(space.dataset_col(a as AttrId));
             for pos in lo..=hi {
                 let new = col.code(order[pos] as usize);
-                assert!(
+                debug_assert!(
                     usize::from(new) < attr_maps.len(),
                     "code out of range for attribute"
                 );

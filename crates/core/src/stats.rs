@@ -88,6 +88,26 @@ impl SearchStats {
     }
 }
 
+/// Work counters of the checkpointed replay drivers (`lower_replay` /
+/// `upper_replay`): how often a delta re-audit could seek to a stored
+/// engine snapshot versus paying a from-scratch build, and how many `k`
+/// steps were replayed purely to move from the seek point to the start of
+/// the recompute span.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReplayCounters {
+    /// Delta runs that resumed from a stored checkpoint.
+    pub seeks: u64,
+    /// Delta runs (and initial builds) that had no usable checkpoint and
+    /// paid a from-scratch engine build.
+    pub cold_builds: u64,
+    /// Seek checkpoints repaired in place from a top-`k` set diff
+    /// because the edit hull had swallowed them.
+    pub repairs: u64,
+    /// `k` steps replayed between the seek point and the first `k` whose
+    /// result was actually needed — the price of checkpoint granularity.
+    pub replayed_steps: u64,
+}
+
 /// The most general biased patterns at one value of `k`, in canonical
 /// order (sorted by terms).
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -57,11 +57,11 @@ use crate::audit::OverRepScope;
 use crate::bounds::Bounds;
 use crate::pattern::Pattern;
 use crate::space::{AttrId, PatternSpace, RankedIndex};
-use crate::stats::{DeadlineGuard, DetectConfig, KResult, SearchStats};
+use crate::stats::{DeadlineGuard, DetectConfig, KResult, ReplayCounters, SearchStats};
 use crate::util::FxHashSet;
 use rankfair_data::ValueCode;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node {
     pattern: Pattern,
     /// `s_Rk` at the engine's current `k`. (`s_D` is not stored: it is
@@ -426,6 +426,14 @@ impl<'a> UpperEngine<'a> {
             return false;
         }
         self.walk_counts(k, u, None);
+        self.reclassify_all(k, u, guard)
+    }
+
+    /// Reclassifies every stored node under `(k, u)` after counts moved
+    /// in bulk (a bound step, or a checkpoint repair), repairs the
+    /// closure where the qualifying set grew, and applies the frontier
+    /// delta with both gains and losses.
+    fn reclassify_all(&mut self, k: usize, u: usize, guard: &mut DeadlineGuard) -> bool {
         let mut fresh = Vec::new();
         let mut lost = Vec::new();
         for id in 0..self.nodes.len() as u32 {
@@ -448,6 +456,106 @@ impl<'a> UpperEngine<'a> {
             return true;
         }
         self.cascade(&mut fresh, k, u, guard) && self.apply_frontier_delta(&fresh, &lost, u, guard)
+    }
+
+    /// Adds or removes one tuple's worth of counts: the subtree walk of
+    /// [`UpperEngine::walk_counts`] with a signed delta and no flag
+    /// maintenance (a repair reclassifies the whole store afterwards).
+    /// `t_pos` is any rank position whose index codes are the tuple's.
+    fn walk_delta(&mut self, t_pos: usize, up: bool) {
+        let m = self.space.n_attrs() as AttrId;
+        let mut stack: Vec<u32> = Vec::new();
+        for a in 0..m {
+            let v = self.index.code_at(t_pos, a);
+            stack.push(
+                self.root_children[self.card_prefix[usize::from(a)] as usize + usize::from(v)],
+            );
+        }
+        while let Some(id) = stack.pop() {
+            if self.nodes[id as usize].pruned {
+                continue; // counts of pruned nodes are never read
+            }
+            if up {
+                self.nodes[id as usize].count += 1;
+            } else {
+                self.nodes[id as usize].count -= 1;
+            }
+            self.stats.nodes_touched += 1;
+            if self.nodes[id as usize].expanded {
+                let start = self.nodes[id as usize]
+                    .pattern
+                    .max_attr()
+                    .map_or(0, |a| a + 1);
+                let base = self.card_prefix[usize::from(start)];
+                for a in start..m {
+                    let v = self.index.code_at(t_pos, a);
+                    let idx = (self.card_prefix[usize::from(a)] - base) as usize + usize::from(v);
+                    stack.push(self.nodes[id as usize].children[idx]);
+                }
+            }
+        }
+    }
+
+    /// Repairs this state (positioned at `k`, bound `u = U_k`) after a
+    /// pure reorder changed its top-`k` **set**: subtract the leaving
+    /// tuples, add the entering ones, then reclassify the whole store —
+    /// the bound-step machinery, which already handles flips in both
+    /// directions. Sound for reorders only: `s_D`, `n` and the pruned
+    /// flags are untouched (insertions void the checkpoint instead).
+    fn repair(
+        &mut self,
+        k: usize,
+        u: usize,
+        entering: &[usize],
+        leaving: &[usize],
+        guard: &mut DeadlineGuard,
+    ) -> bool {
+        for &pos in leaving {
+            self.walk_delta(pos, false);
+        }
+        for &pos in entering {
+            self.walk_delta(pos, true);
+        }
+        self.reclassify_all(k, u, guard)
+    }
+
+    /// One incremental step `k−1 → k` under `upper`: a store rescan when
+    /// the bound moved, a plain walk + closure repair otherwise. Shared
+    /// by [`UpperStream`] and the checkpointed monitor replay.
+    fn advance(&mut self, k: usize, upper: &Bounds, guard: &mut DeadlineGuard) -> bool {
+        let u = upper.at(k);
+        if u != upper.at(k - 1) {
+            self.bound_step(k, u, guard)
+        } else {
+            self.step(k, u, guard)
+        }
+    }
+
+    /// Clones the complete search state into a resumable
+    /// [`UpperCheckpoint`] anchored at `k`.
+    fn to_checkpoint(&self, k: usize) -> UpperCheckpoint {
+        UpperCheckpoint {
+            k,
+            nodes: self.nodes.clone(),
+            root_children: self.root_children.clone(),
+            maximal: self.maximal.clone(),
+        }
+    }
+
+    /// Rebuilds an engine positioned at `cp.k` from a stored checkpoint;
+    /// the next [`UpperEngine::advance`] call must be for `cp.k + 1`.
+    fn from_checkpoint(
+        index: &'a RankedIndex,
+        space: &'a PatternSpace,
+        tau_s: usize,
+        scope: OverRepScope,
+        cp: &UpperCheckpoint,
+    ) -> Self {
+        let mut engine = UpperEngine::new(index, space, tau_s, scope);
+        engine.nodes = cp.nodes.clone();
+        engine.root_children = cp.root_children.clone();
+        engine.maximal = cp.maximal.clone();
+        engine
     }
 
     /// The current result set for `k`, sorted canonically.
@@ -527,13 +635,10 @@ impl Iterator for UpperStream<'_> {
             return None;
         }
         let k = self.next_k;
-        let u = self.upper.at(k);
         let ok = if k == self.k_min {
-            self.engine.build(k, u, &mut self.guard)
-        } else if u != self.upper.at(k - 1) {
-            self.engine.bound_step(k, u, &mut self.guard)
+            self.engine.build(k, self.upper.at(k), &mut self.guard)
         } else {
-            self.engine.step(k, u, &mut self.guard)
+            self.engine.advance(k, &self.upper, &mut self.guard)
         };
         if !ok {
             self.failed = true;
@@ -542,6 +647,126 @@ impl Iterator for UpperStream<'_> {
         self.next_k += 1;
         Some(self.engine.snapshot(k))
     }
+}
+
+/// A resumable snapshot of the upper engine's complete search state —
+/// node store (with qualification flags under `(k, U_k)`) and maximal
+/// frontier — anchored at a specific `k`. Same validity contract as the
+/// lower engine's `LowerCheckpoint`: exact outside a reordered position
+/// span, void after an insertion.
+#[derive(Debug, Clone)]
+pub(crate) struct UpperCheckpoint {
+    /// The `k` whose state this snapshot holds.
+    pub(crate) k: usize,
+    nodes: Vec<Node>,
+    root_children: Vec<u32>,
+    maximal: FxHashSet<u32>,
+}
+
+impl UpperCheckpoint {
+    /// Number of stored nodes (the checkpoint's memory footprint driver).
+    pub(crate) fn stored_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Grid-snapshot maintenance for the upper store — the shared policy
+/// lives in [`crate::audit::maintain_grid_snapshot`].
+fn maybe_checkpoint(
+    store: &mut Vec<UpperCheckpoint>,
+    engine: &UpperEngine<'_>,
+    k: usize,
+    k_min: usize,
+    cadence: usize,
+    heal_cutoff: Option<usize>,
+) {
+    crate::audit::maintain_grid_snapshot(
+        store,
+        k,
+        k_min,
+        cadence,
+        heal_cutoff,
+        |cp| cp.k,
+        || engine.to_checkpoint(k),
+    );
+}
+
+/// Checkpointed execution of the over-representation side over the `k`
+/// span `[span.0, span.1]` — the upper half of the monitor's delta
+/// re-audit. Seeks to the latest checkpoint at or below the span start,
+/// repairing it in place from the top-`k` set diff when the edit hull
+/// swallowed it, and replays forward (bound changes are store rescans,
+/// never rebuilds, so even per-`k`-changing [`Bounds::LinearFraction`]
+/// bounds replay incrementally). A pure reorder therefore costs **zero**
+/// from-scratch builds; only an empty store (initial audit, or after an
+/// insertion voided it) pays a build at `k_min`. Replayed grid `k`s
+/// rewrite their snapshots. Output-equivalent to [`upper_incremental`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn upper_replay(
+    index: &RankedIndex,
+    space: &PatternSpace,
+    cfg: &DetectConfig,
+    upper: &Bounds,
+    scope: OverRepScope,
+    span: (usize, usize),
+    reorder: Option<(&crate::audit::ReorderSpec, &[rankfair_data::TupleId])>,
+    store: &mut Vec<UpperCheckpoint>,
+    cadence: usize,
+    counters: &mut ReplayCounters,
+) -> (Vec<KResult>, SearchStats) {
+    let (k_lo, k_hi) = span;
+    debug_assert!(cfg.k_min <= k_lo && k_lo <= k_hi && k_hi <= cfg.k_max);
+    debug_assert!(cadence >= 1);
+    let mut guard = DeadlineGuard::new(None);
+    let mut per_k = Vec::with_capacity(k_hi - k_lo + 1);
+    let heal_cutoff = reorder.is_some().then_some(k_lo + cadence);
+    let seek = store.iter().rposition(|cp| cp.k <= k_lo);
+    let (mut engine, mut k_cur) = match seek {
+        Some(i) => {
+            counters.seeks += 1;
+            let cp_k = store[i].k;
+            let mut engine =
+                UpperEngine::from_checkpoint(index, space, cfg.tau_s, scope, &store[i]);
+            if let Some((spec, new_order)) = reorder {
+                if cp_k > spec.lo {
+                    let (entering, leaving) =
+                        crate::audit::top_k_diff(cp_k, spec.lo, &spec.old_order, new_order);
+                    engine.repair(cp_k, upper.at(cp_k), &entering, &leaving, &mut guard);
+                    counters.repairs += 1;
+                    store[i] = engine.to_checkpoint(cp_k);
+                }
+            }
+            if cp_k >= k_lo {
+                per_k.push(engine.snapshot(cp_k));
+            }
+            (engine, cp_k)
+        }
+        None => {
+            counters.cold_builds += 1;
+            let mut engine = UpperEngine::new(index, space, cfg.tau_s, scope);
+            engine.build(cfg.k_min, upper.at(cfg.k_min), &mut guard);
+            if cfg.k_min >= k_lo {
+                per_k.push(engine.snapshot(cfg.k_min));
+            } else {
+                counters.replayed_steps += 1;
+            }
+            maybe_checkpoint(store, &engine, cfg.k_min, cfg.k_min, cadence, None);
+            (engine, cfg.k_min)
+        }
+    };
+    while k_cur < k_hi {
+        k_cur += 1;
+        engine.advance(k_cur, upper, &mut guard);
+        if k_cur >= k_lo {
+            per_k.push(engine.snapshot(k_cur));
+        } else {
+            counters.replayed_steps += 1;
+        }
+        maybe_checkpoint(store, &engine, k_cur, cfg.k_min, cadence, heal_cutoff);
+    }
+    let mut stats = engine.stats;
+    stats.elapsed = guard.elapsed();
+    (per_k, stats)
 }
 
 /// Batch driver: runs the incremental engine over the whole `k` range.
@@ -637,6 +862,60 @@ mod tests {
             inc_stats.nodes_evaluated,
             rescan.nodes_evaluated
         );
+    }
+
+    #[test]
+    fn upper_replay_matches_batch_and_seeks_checkpoints() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 16);
+        // A per-k-changing bound and a stepped one, both scopes.
+        for upper in [
+            Bounds::LinearFraction(0.4),
+            Bounds::steps(vec![(0, 1), (6, 3), (11, 2)]),
+        ] {
+            for scope in [OverRepScope::MostSpecific, OverRepScope::MostGeneral] {
+                let (want, _) = upper_incremental(&index, &space, &cfg, &upper, scope);
+                for cadence in [1usize, 4, 8] {
+                    let mut store = Vec::new();
+                    let mut counters = ReplayCounters::default();
+                    let (full, _) = upper_replay(
+                        &index,
+                        &space,
+                        &cfg,
+                        &upper,
+                        scope,
+                        (2, 16),
+                        None,
+                        &mut store,
+                        cadence,
+                        &mut counters,
+                    );
+                    assert_eq!(full, want, "{upper:?} {scope:?} cadence {cadence}");
+                    assert_eq!(counters.cold_builds, 1);
+                    assert!(store.windows(2).all(|w| w[0].k < w[1].k));
+                    let mut counters = ReplayCounters::default();
+                    let (sub, _) = upper_replay(
+                        &index,
+                        &space,
+                        &cfg,
+                        &upper,
+                        scope,
+                        (10, 14),
+                        None,
+                        &mut store,
+                        cadence,
+                        &mut counters,
+                    );
+                    assert_eq!(
+                        sub[..],
+                        want[8..=12],
+                        "{upper:?} {scope:?} cadence {cadence}"
+                    );
+                    assert_eq!(counters.seeks, 1);
+                    assert_eq!(counters.cold_builds, 0);
+                }
+            }
+        }
     }
 
     #[test]

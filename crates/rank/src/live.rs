@@ -48,6 +48,12 @@ pub struct ScoredRanking {
     /// `position[row]` — inverse of `order`.
     position: Vec<u32>,
     ascending: bool,
+    /// Largest representable row id. Row ids are dense `0..len`, so an
+    /// insert past this cap has no id: `len as TupleId` would silently
+    /// wrap to 0 and corrupt `position`. Defaults to [`TupleId::MAX`];
+    /// tests shrink it to exercise the overflow path without allocating
+    /// 4 billion rows.
+    max_row_id: usize,
 }
 
 impl ScoredRanking {
@@ -86,7 +92,30 @@ impl ScoredRanking {
             order,
             position,
             ascending,
+            max_row_id: TupleId::MAX as usize,
         })
+    }
+
+    /// Whether `additional` more inserts fit the row-id space (ids are
+    /// dense `0..len`, so the last new id would be
+    /// `len + additional − 1`). The monitor pre-validates batches with
+    /// this so [`ScoredRanking::insert`] can never fail mid-batch.
+    pub fn can_insert(&self, additional: usize) -> bool {
+        match additional.checked_sub(1) {
+            None => true,
+            Some(extra) => self
+                .scores
+                .len()
+                .checked_add(extra)
+                .is_some_and(|last| last <= self.max_row_id),
+        }
+    }
+
+    /// Shrinks the row-id capacity so tests can reach the insert-overflow
+    /// path cheaply (the real cap is `TupleId::MAX`, i.e. 2³² rows).
+    #[doc(hidden)]
+    pub fn shrink_row_capacity_for_tests(&mut self, max_row_id: usize) {
+        self.max_row_id = max_row_id;
     }
 
     /// Number of ranked rows.
@@ -189,10 +218,19 @@ impl ScoredRanking {
     /// position from the insertion point to the (new) end changes
     /// occupant.
     ///
-    /// Errors on a NaN score.
+    /// Errors on a NaN score, or when the new row id would not fit a
+    /// [`TupleId`] (`len() > TupleId::MAX` — the unchecked `as` cast
+    /// would wrap to 0 and silently corrupt the position index). The
+    /// ranking is untouched on error.
     pub fn insert(&mut self, score: f64) -> Result<RankDelta, RankingError> {
         if score.is_nan() {
             return Err(RankingError("inserted score is NaN".to_string()));
+        }
+        if !self.can_insert(1) {
+            return Err(RankingError(format!(
+                "ranking is full: row id {} does not fit a TupleId",
+                self.scores.len()
+            )));
         }
         let row = self.scores.len() as TupleId;
         self.scores.push(score);
@@ -295,6 +333,31 @@ mod tests {
         assert_eq!(d.changed, Some((3, 3)));
         live.check_invariants();
         assert!(live.insert(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn insert_past_row_id_capacity_errors_instead_of_wrapping() {
+        // Regression: `self.scores.len() as TupleId` wrapped silently past
+        // u32::MAX rows, assigning a colliding row id and corrupting
+        // `position`. The capacity is shrunk so the test does not need 4
+        // billion real rows.
+        let mut live = ScoredRanking::new(vec![3.0, 2.0, 1.0]).unwrap();
+        live.shrink_row_capacity_for_tests(2); // ids 0..=2 ⇒ full at len 3
+        assert!(live.can_insert(0));
+        assert!(!live.can_insert(1));
+        let before = live.clone();
+        let err = live.insert(5.0).unwrap_err();
+        assert!(err.to_string().contains("full"), "{err}");
+        assert_eq!(live, before, "failed insert must not touch the ranking");
+        live.check_invariants();
+        // One id below the cap still works, then the cap bites.
+        live.shrink_row_capacity_for_tests(3);
+        assert!(live.can_insert(1));
+        assert!(!live.can_insert(2));
+        live.insert(5.0).unwrap();
+        assert!(live.insert(4.0).is_err());
+        assert_eq!(live.len(), 4);
+        live.check_invariants();
     }
 
     #[test]

@@ -57,8 +57,8 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 use rankfair_core::{
-    Audit, AuditError, AuditOutcome, AuditTask, DeltaReport, DetectConfig, Engine, KReport,
-    MonitorAudit, MonitorError, PatternSpace, RankingEdit,
+    Audit, AuditError, AuditOutcome, AuditTask, CheckpointStats, DeltaReport, DetectConfig, Engine,
+    KReport, MonitorAudit, MonitorError, PatternSpace, RankingEdit,
 };
 use rankfair_data::csv::{read_csv, CsvOptions};
 use rankfair_data::Dataset;
@@ -281,6 +281,10 @@ pub struct MonitorView {
     pub reports: Vec<KReport>,
     /// The monitor's pattern space (needed to render patterns).
     pub space: PatternSpace,
+    /// Persistent-engine-state stats (live checkpoints, seek/build
+    /// counters); `None` for baseline-engine monitors, which keep no
+    /// incremental state.
+    pub checkpoints: Option<CheckpointStats>,
 }
 
 /// What a monitor update did, plus everything needed to render it.
@@ -481,6 +485,7 @@ impl AuditService {
             rows: monitor.n_rows(),
             reports: monitor.reports(),
             space: monitor.space().clone(),
+            checkpoints: monitor.checkpoint_stats(),
         };
         self.monitors.write().expect("monitor lock").insert(
             name.to_string(),
@@ -558,6 +563,7 @@ impl AuditService {
             rows: entry.monitor.n_rows(),
             reports: entry.monitor.reports(),
             space: entry.monitor.space().clone(),
+            checkpoints: entry.monitor.checkpoint_stats(),
         })
     }
 
@@ -952,6 +958,10 @@ mod tests {
         let view = service.register_monitor("m1", &spec).unwrap();
         assert_eq!(view.rows, 16);
         assert_eq!(view.reports.len(), 15);
+        // Optimized monitors surface their persistent engine state.
+        let ck = view.checkpoints.as_ref().expect("optimized keeps state");
+        assert!(ck.lower_checkpoints > 0 && ck.stored_nodes > 0);
+        assert_eq!(ck.upper_checkpoints, 0, "UnderRep has no upper engine");
         assert_eq!(
             service.monitors(),
             vec![("m1".to_string(), "fig1".to_string(), 16)]
@@ -981,6 +991,10 @@ mod tests {
         assert!(update.delta.recomputed.is_some());
         let after = service.monitor_snapshot("m1").unwrap();
         assert_eq!(after.rows, 16);
+        // The delta re-audit either seeked into a checkpoint or rebuilt
+        // after a full invalidation — both show up in the counters.
+        let ck = after.checkpoints.as_ref().unwrap();
+        assert!(ck.seeks + ck.cold_builds >= 2);
         if update.delta.total_changes() > 0 {
             assert_ne!(
                 rankfair_core::json::reports_json(&before.reports, &before.space).render(),

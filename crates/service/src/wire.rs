@@ -776,20 +776,24 @@ pub fn execute(service: &AuditService, request: &Request, strip_timing: bool) ->
 }
 
 fn monitor_view_response(id: Option<&Value>, monitor: &str, view: &MonitorView) -> Value {
-    envelope(
-        id,
-        true,
-        vec![
-            ("op".to_string(), Value::from("snapshot")),
-            ("monitor".to_string(), Value::from(monitor)),
-            ("dataset".to_string(), Value::from(view.dataset.as_str())),
-            ("rows".to_string(), Value::from(view.rows)),
-            (
-                "per_k".to_string(),
-                reports_json(&view.reports, &view.space),
-            ),
-        ],
-    )
+    let mut rest = vec![
+        ("op".to_string(), Value::from("snapshot")),
+        ("monitor".to_string(), Value::from(monitor)),
+        ("dataset".to_string(), Value::from(view.dataset.as_str())),
+        ("rows".to_string(), Value::from(view.rows)),
+        (
+            "per_k".to_string(),
+            reports_json(&view.reports, &view.space),
+        ),
+    ];
+    // Persistent-engine-state health: live checkpoints per direction,
+    // their node footprint, and the seek/build/replay counters. All
+    // deterministic (no wall clocks), so golden transcripts stay
+    // byte-stable. Absent for baseline-engine monitors.
+    if let Some(ck) = &view.checkpoints {
+        rest.push(("checkpoints".to_string(), ck.to_json()));
+    }
+    envelope(id, true, rest)
 }
 
 #[cfg(test)]

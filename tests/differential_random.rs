@@ -233,6 +233,133 @@ fn engines_agree_with_each_other_and_the_oracle_on_random_instances() {
     }
 }
 
+/// Checkpoint-equivalence sweep: seeded edit sequences against monitors
+/// whose engines carry **persistent checkpointed state** at every cadence
+/// `C ∈ {1, 2, 3, 5, 9}`. After every batch — top-of-ranking edits whose
+/// hull swallows the whole checkpoint grid (forcing an in-place seek
+/// repair), deep-span reorders, mixed batches, and checkpoint-
+/// invalidating inserts — the delta re-audit (seek + repair + replay)
+/// must be identical to a fresh `Audit::run` over the monitor's current
+/// data. Bounds include `LinearFraction` on **both** sides, whose
+/// `L_k`/`U_k` change at every single `k`, so replays cross a bound step
+/// at every advance.
+#[test]
+fn checkpointed_delta_reaudits_match_fresh_audits_at_every_cadence() {
+    let mut rng = StdRng::seed_from_u64(0xC4E7);
+    for case in 0..40usize {
+        let cadence = [1usize, 2, 3, 5, 9][case % 5];
+        let rows = rng.random_range(12..36usize);
+        let attrs = rng.random_range(2..4usize);
+        let mut ds = random_dataset(
+            rng.random::<u64>() % 100_000,
+            RandomSpec {
+                rows,
+                attrs,
+                max_card: 3,
+            },
+        );
+        let scores: Vec<f64> = (0..rows)
+            .map(|_| rng.random_range(0..8usize) as f64)
+            .collect();
+        ds.push_column(rankfair::data::Column::numeric("score", scores))
+            .unwrap();
+        let tau = rng.random_range(0..5usize);
+        let k_max = rng.random_range(3..=rows);
+        let cfg = DetectConfig::new(tau, rng.random_range(1..3usize).min(k_max), k_max);
+        // Fraction bounds change at every k — the hardest replay shape.
+        let task = match rng.random_range(0..3usize) {
+            0 => AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::LinearFraction(
+                [0.1, 0.3, 0.6][rng.random_range(0..3usize)],
+            ))),
+            1 => AuditTask::OverRep {
+                upper: Bounds::LinearFraction([0.2, 0.4][rng.random_range(0..2usize)]),
+                scope: if rng.random::<bool>() {
+                    OverRepScope::MostSpecific
+                } else {
+                    OverRepScope::MostGeneral
+                },
+            },
+            _ => AuditTask::Combined {
+                lower: Bounds::LinearFraction(0.25),
+                upper: Bounds::LinearFraction(0.5),
+            },
+        };
+        let mut monitor = MonitorAudit::builder(ds, "score")
+            .checkpoint_every(cadence)
+            .build(cfg.clone(), task.clone(), Engine::Optimized)
+            .unwrap();
+        assert_eq!(
+            monitor.checkpoint_stats().unwrap().cadence,
+            cadence,
+            "case {case}"
+        );
+        for batch_no in 0..5 {
+            let n = monitor.n_rows();
+            let batch: Vec<RankingEdit> = match batch_no % 3 {
+                // A top-of-ranking strike: position 0 changes occupant,
+                // the hull swallows *every* checkpoint, and the seek
+                // snapshot must be repaired in place from the top-k set
+                // diff before the replay.
+                0 => vec![RankingEdit::ScoreUpdate {
+                    row: monitor.ranking().at(0),
+                    score: -1.0 - batch_no as f64,
+                }],
+                // A mid/deep reorder whose seek checkpoint is already
+                // valid (hull starts at or above it).
+                1 => vec![RankingEdit::ScoreUpdate {
+                    row: monitor.ranking().at(rng.random_range(n / 2..n)),
+                    score: rng.random_range(0..8usize) as f64,
+                }],
+                // A mixed batch with an insert: n and s_D move, the
+                // whole store is invalidated and reseeded.
+                _ => {
+                    let cells: Vec<RowValue> = monitor
+                        .dataset()
+                        .columns()
+                        .iter()
+                        .map(|c| {
+                            if c.is_categorical() {
+                                let card = c.cardinality().unwrap();
+                                let code = rng.random_range(0..card) as u16;
+                                RowValue::Label(c.label_of(code).unwrap().to_string())
+                            } else {
+                                RowValue::Number(rng.random_range(0..8usize) as f64)
+                            }
+                        })
+                        .collect();
+                    vec![
+                        RankingEdit::ScoreUpdate {
+                            row: rng.random_range(0..n) as u32,
+                            score: rng.random_range(0..8usize) as f64,
+                        },
+                        RankingEdit::Insert { cells },
+                    ]
+                }
+            };
+            monitor.apply(&batch).unwrap();
+            let fresh = Audit::builder(Arc::new(monitor.dataset().clone()))
+                .ranking(monitor.ranking())
+                .build()
+                .unwrap()
+                .run(&cfg, &task, Engine::Optimized)
+                .unwrap();
+            assert_eq!(
+                monitor.results(),
+                &fresh.per_k[..],
+                "case {case} cadence {cadence} batch {batch_no}: checkpointed delta diverged"
+            );
+        }
+        let stats = monitor.checkpoint_stats().unwrap();
+        // The sequence forced every regime: top strikes exercised the
+        // in-place checkpoint repair, deep edits plain seeks, and the
+        // inserts full invalidation plus cold reseeding.
+        assert!(stats.seeks > 0, "case {case}: {stats:?}");
+        assert!(stats.repairs > 0, "case {case}: {stats:?}");
+        assert!(stats.cold_builds >= 2, "case {case}: {stats:?}");
+        assert!(stats.invalidated > 0, "case {case}: {stats:?}");
+    }
+}
+
 /// ≥ 100 seeded edit sequences: after **every** edit, the monitor's
 /// cached results must equal a fresh `Audit::run` over the edited
 /// dataset and ranking — for score updates (including ones creating and

@@ -18,6 +18,12 @@ fn requests() -> Vec<u8> {
     std::fs::read(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
 }
 
+fn monitor_requests() -> Vec<u8> {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/monitor_requests.jsonl");
+    std::fs::read(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
 fn run(input: Vec<u8>, workers: usize) -> std::io::Result<(usize, Vec<String>)> {
     let service = AuditService::new();
     service.register_dataset("fig1", Arc::new(rankfair::data::examples::students_fig1()));
@@ -134,4 +140,109 @@ fn uncorrupted_stream_answers_every_line() {
     assert_eq!(answered, 10);
     assert_eq!(lines.len(), 10);
     assert_lines_well_formed(&lines);
+}
+
+/// Byte-level corruption of the **monitor** op stream
+/// (`register_monitor` / `update` / `snapshot`): a mangled `update` must
+/// surface as an in-band error or a clean I/O stop, never as a panic — a
+/// panicking serve worker would take the whole session down. This drives
+/// the monitor's edit validation and the (debug-assert-guarded)
+/// `RankedIndex::rewrite_span` patch path under every corruption the
+/// wire can deliver.
+#[test]
+fn corrupted_monitor_update_streams_never_panic() {
+    let base = monitor_requests();
+    let mut rng = StdRng::seed_from_u64(0x0b5e);
+    for case in 0..120 {
+        let mut bytes = base.clone();
+        for _ in 0..=rng.random_range(0..3usize) {
+            match rng.random_range(0..4usize) {
+                0 => {
+                    let cut = rng.random_range(0..bytes.len());
+                    bytes.truncate(cut.max(1));
+                }
+                1 => {
+                    let at = rng.random_range(0..bytes.len());
+                    bytes[at] = rng.random_range(0x20usize..0x7f) as u8;
+                }
+                2 => {
+                    let at = rng.random_range(0..=bytes.len());
+                    bytes.insert(at, rng.random_range(0x20usize..0x7f) as u8);
+                }
+                _ => {
+                    let at = rng.random_range(0..bytes.len());
+                    bytes[at] = (rng.random::<u32>() & 0xff) as u8;
+                }
+            }
+        }
+        let workers = [1, 2, 4][case % 3];
+        match run(bytes, workers) {
+            Ok((_, lines)) => assert_lines_well_formed(&lines),
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "case {case}"),
+        }
+    }
+}
+
+/// Hostile but well-formed-JSON `update` ops — out-of-range and absurd
+/// row ids, non-finite and overflowing scores, wrong-arity and
+/// wrong-kind cells, unknown labels and columns, empty and nested edit
+/// batches — every one must be answered in-band with `"ok": false`
+/// while the monitor keeps serving correct snapshots afterwards.
+#[test]
+fn hostile_update_ops_answer_in_band() {
+    let mut input = String::from(concat!(
+        r#"{"id": 0, "op": "register_monitor", "name": "m", "dataset": "fig1", "#,
+        r#""rank_by": "Grade", "task": {"type": "combined", "lower": 2, "upper": 3}, "#,
+        r#""config": {"tau": 2, "kmin": 2, "kmax": 16}}"#,
+        "\n",
+    ));
+    let hostile = [
+        r#"{"edit": "score", "row": 4294967295, "score": 1}"#,
+        // One past TupleId::MAX: a bare `as u32` cast would wrap this to
+        // row 0 and silently re-score the wrong tuple.
+        r#"{"edit": "score", "row": 4294967296, "score": 1}"#,
+        r#"{"edit": "score", "row": 99999999999999999999, "score": 1}"#,
+        r#"{"edit": "score", "row": -3, "score": 1}"#,
+        r#"{"edit": "score", "row": 0, "score": 1e309}"#,
+        r#"{"edit": "score", "row": 0.5, "score": 1}"#,
+        r#"{"edit": "score", "row": 0}"#,
+        r#"{"edit": "insert", "cells": {}}"#,
+        r#"{"edit": "insert", "cells": {"Gender": "F"}}"#,
+        r#"{"edit": "insert", "cells": {"Gender": "F", "School": "GP", "Address": "U", "Failures": "0", "Grade": 1, "Bogus": 2}}"#,
+        r#"{"edit": "insert", "cells": {"Gender": 7, "School": "GP", "Address": "U", "Failures": "0", "Grade": 1}}"#,
+        r#"{"edit": "insert", "cells": {"Gender": "???", "School": "GP", "Address": "U", "Failures": "0", "Grade": 1}}"#,
+        r#"{"edit": "insert", "cells": {"Gender": "F", "School": "GP", "Address": "U", "Failures": "0", "Grade": "ten"}}"#,
+        r#"{"edit": "teleport", "row": 1}"#,
+        r#"{"edits": [{"edit": "score", "row": 0, "score": 2}]}"#,
+        r#"[]"#,
+        r#"17"#,
+    ];
+    for (i, edit) in hostile.iter().enumerate() {
+        input.push_str(&format!(
+            "{{\"id\": {}, \"op\": \"update\", \"monitor\": \"m\", \"edits\": [{edit}]}}\n",
+            i + 1,
+        ));
+    }
+    // A valid update and a snapshot close the session: the monitor must
+    // still be alive and consistent after the onslaught.
+    input.push_str(concat!(
+        r#"{"id": 90, "op": "update", "monitor": "m", "edits": "#,
+        r#"[{"edit": "score", "row": 5, "score": 19.5}]}"#,
+        "\n",
+    ));
+    input.push_str("{\"id\": 91, \"op\": \"snapshot\", \"monitor\": \"m\"}\n");
+    let (answered, lines) = run(input.into_bytes(), 2).expect("valid UTF-8 stream");
+    assert_eq!(answered, hostile.len() + 3);
+    assert_lines_well_formed(&lines);
+    for line in &lines {
+        let v = rankfair::json::parse(line).unwrap();
+        // The non-finite-score line is rejected by the JSON parser
+        // itself, so its in-band error carries no id.
+        let id = v.get("id").and_then(|i| i.as_usize());
+        let ok = v.get("ok").and_then(|b| b.as_bool()).unwrap();
+        match id {
+            Some(0) | Some(90) | Some(91) => assert!(ok, "expected success: {line}"),
+            _ => assert!(!ok, "hostile edit must fail in-band: {line}"),
+        }
+    }
 }
