@@ -5,15 +5,19 @@
 //! * the hand-rolled FxHash pattern maps vs. std's SipHash (perf-book
 //!   guidance on hot hash maps);
 //! * incremental engine vs. per-k rebuild — the paper's core optimization,
-//!   isolated per measure.
+//!   isolated per measure;
+//! * additive shard merging vs. the single fused index.
 
 use std::collections::HashMap;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use rankfair::core::{oracle, BiasMeasure, Bounds, DetectConfig, Pattern, PatternSpace, RankedIndex};
-use rankfair::prelude::{compas_workload, student_workload, Detector};
+use rankfair::core::{
+    oracle, AuditTask, BiasMeasure, Bounds, DetectConfig, Engine, Pattern, PatternSpace,
+    RankedIndex, ShardedIndex,
+};
+use rankfair::prelude::{compas_workload, student_workload};
 use rankfair_core::util::FxHashMap;
 
 fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
@@ -50,6 +54,17 @@ fn counting(c: &mut Criterion) {
             let mut acc = 0usize;
             for p in &patterns {
                 let (sd, topk) = oracle::naive_counts(&w.detection, &space, &w.ranking, p, 49);
+                acc += sd + topk;
+            }
+            acc
+        })
+    });
+    let sharded = ShardedIndex::build(&w.detection, &space, &w.ranking, 4);
+    group.bench_function("bitmap_sharded_merge", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &patterns {
+                let (sd, topk) = sharded.counts(p, 49);
                 acc += sd + topk;
             }
             acc
@@ -96,29 +111,28 @@ fn hashing(c: &mut Criterion) {
 /// rebuild, for both fairness measures.
 fn incremental_vs_rebuild(c: &mut Criterion) {
     let w = student_workload(0, 42);
-    let names = w.attr_names();
-    let refs: Vec<&str> = names.iter().take(11).map(String::as_str).collect();
-    let det = Detector::with_ranking_over(&w.detection, w.ranking.clone(), &refs).unwrap();
+    let audit = w.audit_with_attrs(11).unwrap();
     let cfg = DetectConfig::new(50, 10, 49);
     let bounds = Bounds::paper_default();
+    let global = AuditTask::UnderRep(BiasMeasure::GlobalLower(bounds));
+    let prop = AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 });
     let mut group = c.benchmark_group("ablation_incremental");
     configure(&mut group);
     group.bench_function("global_rebuild_per_k", |b| {
-        b.iter(|| det.detect_baseline(&cfg, &BiasMeasure::GlobalLower(bounds.clone())))
+        b.iter(|| audit.run(&cfg, &global, Engine::Baseline))
     });
     group.bench_function("global_incremental", |b| {
-        b.iter(|| det.detect_global(&cfg, &bounds))
+        b.iter(|| audit.run(&cfg, &global, Engine::Optimized))
     });
     group.bench_function("global_incremental_fast_steps", |b| {
-        b.iter(|| {
-            rankfair::core::global_bounds_fast_steps(det.index(), det.space(), &cfg, &bounds)
-        })
+        // The streaming path applies the bound-step rescan extension.
+        b.iter(|| audit.run_streaming(&cfg, &global).unwrap().count())
     });
     group.bench_function("prop_rebuild_per_k", |b| {
-        b.iter(|| det.detect_baseline(&cfg, &BiasMeasure::Proportional { alpha: 0.8 }))
+        b.iter(|| audit.run(&cfg, &prop, Engine::Baseline))
     });
     group.bench_function("prop_incremental", |b| {
-        b.iter(|| det.detect_proportional(&cfg, 0.8))
+        b.iter(|| audit.run(&cfg, &prop, Engine::Optimized))
     });
     group.finish();
 }

@@ -11,10 +11,10 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use rankfair::core::{BiasMeasure, Bounds, DetectConfig, Detector};
+use rankfair::core::{AuditTask, BiasMeasure, Bounds, DetectConfig, Engine};
 use rankfair::explain::{ExplainConfig, RankSurrogate};
 use rankfair::prelude::{compas_workload, german_workload, student_workload};
-use rankfair_bench::detector_with_attrs;
+use rankfair_bench::audit_with_attrs;
 
 fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
     group.sample_size(10);
@@ -31,17 +31,17 @@ fn fig45_attrs(c: &mut Criterion) {
         let mut group = c.benchmark_group(fig);
         configure(&mut group);
         for n_attrs in [4usize, 8, 12] {
-            let det = detector_with_attrs(&w, n_attrs);
-            let measure = if global {
-                BiasMeasure::GlobalLower(bounds.clone())
+            let audit = audit_with_attrs(&w, n_attrs);
+            let task = if global {
+                AuditTask::UnderRep(BiasMeasure::GlobalLower(bounds.clone()))
             } else {
-                BiasMeasure::Proportional { alpha: 0.8 }
+                AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 })
             };
             group.bench_with_input(BenchmarkId::new("IterTD", n_attrs), &n_attrs, |b, _| {
-                b.iter(|| det.detect_baseline(&cfg, &measure))
+                b.iter(|| audit.run(&cfg, &task, Engine::Baseline))
             });
             group.bench_with_input(BenchmarkId::new("optimized", n_attrs), &n_attrs, |b, _| {
-                b.iter(|| det.detect_optimized(&cfg, &measure))
+                b.iter(|| audit.run(&cfg, &task, Engine::Optimized))
             });
         }
         group.finish();
@@ -51,23 +51,23 @@ fn fig45_attrs(c: &mut Criterion) {
 /// Figures 6 (global) and 7 (proportional): runtime vs τs.
 fn fig67_tau(c: &mut Criterion) {
     let w = student_workload(0, 42);
-    let det = detector_with_attrs(&w, 11);
+    let audit = audit_with_attrs(&w, 11);
     let bounds = Bounds::paper_default();
     for (fig, global) in [("fig6_tau_global", true), ("fig7_tau_prop", false)] {
         let mut group = c.benchmark_group(fig);
         configure(&mut group);
         for tau in [10usize, 50, 100] {
             let cfg = DetectConfig::new(tau, 10, 49);
-            let measure = if global {
-                BiasMeasure::GlobalLower(bounds.clone())
+            let task = if global {
+                AuditTask::UnderRep(BiasMeasure::GlobalLower(bounds.clone()))
             } else {
-                BiasMeasure::Proportional { alpha: 0.8 }
+                AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 })
             };
             group.bench_with_input(BenchmarkId::new("IterTD", tau), &tau, |b, _| {
-                b.iter(|| det.detect_baseline(&cfg, &measure))
+                b.iter(|| audit.run(&cfg, &task, Engine::Baseline))
             });
             group.bench_with_input(BenchmarkId::new("optimized", tau), &tau, |b, _| {
-                b.iter(|| det.detect_optimized(&cfg, &measure))
+                b.iter(|| audit.run(&cfg, &task, Engine::Optimized))
             });
         }
         group.finish();
@@ -77,23 +77,23 @@ fn fig67_tau(c: &mut Criterion) {
 /// Figures 8 (global) and 9 (proportional): runtime vs range of k.
 fn fig89_krange(c: &mut Criterion) {
     let w = german_workload(0, 42);
-    let det = detector_with_attrs(&w, 11);
+    let audit = audit_with_attrs(&w, 11);
     let bounds = Bounds::paper_default();
     for (fig, global) in [("fig8_krange_global", true), ("fig9_krange_prop", false)] {
         let mut group = c.benchmark_group(fig);
         configure(&mut group);
         for k_max in [50usize, 200, 350] {
             let cfg = DetectConfig::new(50, 10, k_max);
-            let measure = if global {
-                BiasMeasure::GlobalLower(bounds.clone())
+            let task = if global {
+                AuditTask::UnderRep(BiasMeasure::GlobalLower(bounds.clone()))
             } else {
-                BiasMeasure::Proportional { alpha: 0.8 }
+                AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 })
             };
             group.bench_with_input(BenchmarkId::new("IterTD", k_max), &k_max, |b, _| {
-                b.iter(|| det.detect_baseline(&cfg, &measure))
+                b.iter(|| audit.run(&cfg, &task, Engine::Baseline))
             });
             group.bench_with_input(BenchmarkId::new("optimized", k_max), &k_max, |b, _| {
-                b.iter(|| det.detect_optimized(&cfg, &measure))
+                b.iter(|| audit.run(&cfg, &task, Engine::Optimized))
             });
         }
         group.finish();
@@ -109,12 +109,12 @@ fn fig10_shapley(c: &mut Criterion) {
         b.iter(|| RankSurrogate::fit(&w.raw, &w.ranking, &ExplainConfig::fast()))
     });
     let surrogate = RankSurrogate::fit(&w.raw, &w.ranking, &ExplainConfig::fast());
-    let det = Detector::with_ranking(&w.detection, w.ranking.clone()).unwrap();
-    let p = det
+    let audit = w.audit().unwrap();
+    let p = audit
         .space()
         .pattern(&[("Medu", "primary")])
         .expect("synthetic Medu has a primary level");
-    let members = det.group_members(&p);
+    let members = audit.group_members(&p);
     group.bench_function("explain_group", |b| b.iter(|| surrogate.explain_group(&members)));
     group.finish();
 }

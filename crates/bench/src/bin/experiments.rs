@@ -4,11 +4,11 @@
 //!   experiments `<id>` [--timeout SECS] [--seed N] [--quick]
 //!
 //! ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize
-//!      worstcase faststeps scaling overrep serve monitor all
+//!      worstcase faststeps scaling overrep serve monitor shard all
 //!
-//! `overrep`, `serve` and `monitor` additionally write their measurements
-//! to `BENCH_overrep.json` / `BENCH_service.json` / `BENCH_monitor.json`
-//! in the working directory.
+//! `overrep`, `serve`, `monitor` and `shard` additionally write their
+//! measurements to `BENCH_overrep.json` / `BENCH_service.json` /
+//! `BENCH_monitor.json` / `BENCH_shard.json` in the working directory.
 //!
 //! Absolute runtimes differ from the paper (Rust vs. the authors' Python
 //! testbed, synthetic vs. real data); the reproduced claims are the curve
@@ -466,7 +466,7 @@ fn resultsize(opts: &Opts) {
 }
 
 /// Ablation of the bound-step extension: Algorithm 2's rebuild-at-steps
-/// vs. the node-store rescan (`global_bounds_fast_steps`).
+/// vs. the node-store rescan (the streaming path's bound-step handling).
 fn faststeps(opts: &Opts) {
     println!("\n## Ablation: bound-step handling in GlobalBounds (rebuild vs. rescan)");
     let attrs = if opts.quick { 8 } else { 11 };
@@ -1002,6 +1002,222 @@ fn monitor_bench(opts: &Opts) {
     }
 }
 
+/// Parallel-speedup floor the `--quick` shard bench enforces at 4 shards
+/// (exit 1 on regression). Per-shard counting only fans out when the host
+/// has cores to fan out to, so the floor is **core-count-aware**: hosts
+/// with fewer than 4 cores skip it (sharding degenerates to a sequential
+/// merge there — correctness is still fully checked) instead of failing.
+const SHARD_QUICK_FLOOR_AT_4: f64 = 1.5;
+const SHARD_FLOOR_MIN_CORES: usize = 4;
+
+/// Sharded audit at scale: a seeded synthetic dataset (10M+ rows; quick
+/// mode shrinks it for CI smoke) audited through [`ShardedIndex`] at
+/// several shard counts, every outcome cross-checked against the
+/// unsharded audit, plus a subsampled control re-audited both ways.
+/// Prints a table and writes `BENCH_shard.json` (scale + parallel-speedup
+/// numbers); with `--quick` it enforces the speedup floor above when the
+/// host has enough cores.
+fn shard_bench(opts: &Opts) {
+    use rankfair::core::Audit;
+    use rankfair::json::Value;
+    use rankfair::rank::Ranking;
+    use rankfair::synth::{
+        random_dataset_block, random_dataset_streamed, random_ranking, RandomSpec,
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let rows: usize = if opts.quick { 200_000 } else { 10_000_000 };
+    let shard_counts: &[usize] = if opts.quick {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let spec = RandomSpec {
+        rows,
+        attrs: 6,
+        max_card: 5,
+    };
+    println!("\n## Sharded audit at scale ({rows} rows, {cores} core(s))");
+
+    // Streaming generation: the whole table in one pass. The per-row
+    // generator makes every block a pure function of (seed, row), checked
+    // below at scale against an independently generated block.
+    let t0 = std::time::Instant::now();
+    let ds = Arc::new(random_dataset_streamed(opts.seed, spec));
+    let gen_s = t0.elapsed().as_secs_f64();
+    println!(
+        "generated {} rows x {} attrs in {:.1}s",
+        ds.n_rows(),
+        ds.n_cols(),
+        gen_s
+    );
+    // Split-invariance spot check at scale: a mid-table block generated
+    // on its own must reproduce the streamed table bit-for-bit.
+    let lo = rows / 2;
+    let block = random_dataset_block(opts.seed, spec, lo, lo + 1_000);
+    for r in 0..block.n_rows() {
+        for c in 0..block.n_cols() {
+            assert_eq!(
+                block.code(r, c),
+                ds.code(lo + r, c),
+                "streamed generation is not split-invariant at row {}",
+                lo + r
+            );
+        }
+    }
+
+    let order = random_ranking(opts.seed, rows);
+    let ranking = Ranking::from_order(order).expect("permutation");
+    let cfg = DetectConfig::new(rows / 20, 10, 49);
+    let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(20)));
+
+    let mut t = Table::new(&[
+        "shards", "build_ms", "run_ms", "speedup", "groups", "patterns",
+    ]);
+    let mut json_rows: Vec<Value> = Vec::new();
+    let mut unsharded: Option<(rankfair::core::AuditOutcome, f64)> = None;
+    let mut speedup_at_floor: Option<f64> = None;
+    for &shards in shard_counts {
+        let t0 = std::time::Instant::now();
+        let audit = Audit::builder(Arc::clone(&ds))
+            .ranking(ranking.clone())
+            .shards(shards)
+            .build()
+            .expect("audit build");
+        let build_s = t0.elapsed().as_secs_f64();
+        assert_eq!(audit.index().shard_count(), shards);
+        let t0 = std::time::Instant::now();
+        let out = audit
+            .run(&cfg, &task, Engine::Optimized)
+            .expect("audit run");
+        let run_s = t0.elapsed().as_secs_f64();
+        // Correctness gate: every sharded outcome must equal the
+        // unsharded audit of the same task, k for k. The speedup is
+        // end-to-end (index build + run): shard builds fan out over one
+        // thread per shard, and per-shard counting fans out too once the
+        // universe is large enough for scans to dominate spawn cost.
+        let total_s = build_s + run_s;
+        let speedup = match &unsharded {
+            None => {
+                unsharded = Some((out.clone(), total_s));
+                1.0
+            }
+            Some((base, base_s)) => {
+                assert_eq!(
+                    base.per_k, out.per_k,
+                    "sharded audit ({shards} shards) diverged from unsharded"
+                );
+                base_s / total_s.max(1e-9)
+            }
+        };
+        if shards == 4 {
+            speedup_at_floor = Some(speedup);
+        }
+        t.row(&[
+            shards.to_string(),
+            format!("{:.1}", build_s * 1000.0),
+            format!("{:.1}", run_s * 1000.0),
+            format!("{speedup:.2}x"),
+            out.total_groups().to_string(),
+            out.stats.patterns_examined().to_string(),
+        ]);
+        json_rows.push(Value::object([
+            ("shards", Value::from(shards)),
+            ("build_ms", Value::from(build_s * 1000.0)),
+            ("run_ms", Value::from(run_s * 1000.0)),
+            ("speedup_vs_unsharded", Value::from(speedup)),
+            ("groups", Value::from(out.total_groups())),
+            (
+                "patterns_examined",
+                Value::from(out.stats.patterns_examined()),
+            ),
+        ]));
+    }
+    print!("{}", t.render());
+    println!("(every shard count cross-checked: sharded per-k results == unsharded audit)");
+
+    // Subsampled control: a small prefix of the same streamed table (its
+    // own dataset by split-invariance), audited sharded and unsharded.
+    let control_rows = (rows / 100).max(10_000).min(rows);
+    let control_spec = RandomSpec {
+        rows: control_rows,
+        ..spec
+    };
+    let control = Arc::new(random_dataset_block(
+        opts.seed,
+        control_spec,
+        0,
+        control_rows,
+    ));
+    let control_ranking =
+        Ranking::from_order(random_ranking(opts.seed ^ 1, control_rows)).expect("permutation");
+    let control_cfg = DetectConfig::new(control_rows / 20, 10, 49);
+    let base = Audit::builder(Arc::clone(&control))
+        .ranking(control_ranking.clone())
+        .build()
+        .expect("control build")
+        .run(&control_cfg, &task, Engine::Optimized)
+        .expect("control run");
+    for shards in [3usize, 7] {
+        let out = Audit::builder(Arc::clone(&control))
+            .ranking(control_ranking.clone())
+            .shards(shards)
+            .build()
+            .expect("control build")
+            .run(&control_cfg, &task, Engine::Optimized)
+            .expect("control run");
+        assert_eq!(
+            base.per_k, out.per_k,
+            "subsampled control diverged at {shards} shards"
+        );
+    }
+    println!("(subsampled control: {control_rows} rows re-audited at 3 and 7 shards, equal)");
+
+    let json = Value::object([
+        ("bench", Value::from("shard")),
+        (
+            "config",
+            Value::object([
+                ("rows", Value::from(rows)),
+                ("attrs", Value::from(spec.attrs)),
+                ("max_card", Value::from(spec.max_card)),
+                ("tau_s", Value::from(rows / 20)),
+                ("k_min", Value::from(10usize)),
+                ("k_max", Value::from(49usize)),
+                ("task", Value::from("under(global_lower=20)")),
+                ("seed", Value::from(opts.seed as usize)),
+                ("quick", Value::from(opts.quick)),
+                ("cores", Value::from(cores)),
+                ("generate_ms", Value::from(gen_s * 1000.0)),
+                ("control_rows", Value::from(control_rows)),
+            ]),
+        ),
+        ("rows", Value::array(json_rows)),
+    ]);
+    match std::fs::write("BENCH_shard.json", json.render() + "\n") {
+        Ok(()) => println!("wrote BENCH_shard.json"),
+        Err(e) => eprintln!("could not write BENCH_shard.json: {e}"),
+    }
+
+    if opts.quick {
+        let speedup = speedup_at_floor.expect("4 shards is in every sweep");
+        if cores < SHARD_FLOOR_MIN_CORES {
+            println!(
+                "speedup floor skipped: {cores} core(s) < {SHARD_FLOOR_MIN_CORES} (per-shard \
+                 counting stays sequential; correctness still checked above)"
+            );
+        } else if speedup < SHARD_QUICK_FLOOR_AT_4 {
+            eprintln!(
+                "SHARD BENCH REGRESSION: speedup {speedup:.2}x at 4 shards below the floor \
+                 {SHARD_QUICK_FLOOR_AT_4}x on a {cores}-core host"
+            );
+            std::process::exit(1);
+        } else {
+            println!("speedup floor met: {speedup:.2}x >= {SHARD_QUICK_FLOOR_AT_4}x at 4 shards");
+        }
+    }
+}
+
 /// Theorem 3.3: the adversarial instance is exponential.
 fn worstcase(opts: &Opts) {
     println!("\n## Theorem 3.3: worst-case instance (n attributes, n+1 tuples, k = n)");
@@ -1078,6 +1294,7 @@ fn main() {
         "overrep" => overrep(&opts),
         "serve" => serve_bench(&opts),
         "monitor" => monitor_bench(&opts),
+        "shard" => shard_bench(&opts),
         "all" => {
             fig45(true, &opts);
             fig45(false, &opts);
@@ -1095,9 +1312,10 @@ fn main() {
             overrep(&opts);
             serve_bench(&opts);
             monitor_bench(&opts);
+            shard_bench(&opts);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase faststeps scaling overrep serve monitor all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase faststeps scaling overrep serve monitor shard all");
             std::process::exit(2);
         }
     }

@@ -93,6 +93,9 @@ fn build_audit(raw: &Arc<Dataset>, ranking: &Ranking, flags: &Flags) -> Result<A
         builder = builder.attributes(attrs);
     }
     builder = builder.threads(flags.num("threads", 1)?);
+    // `--shards` is only in the detect flag spec; the other commands fall
+    // through to the default monolithic index.
+    builder = builder.shards(flags.num("shards", 1)?);
     // Build failures are data-dependent (unknown attribute columns, failed
     // bucketization hooks): runtime, not usage.
     builder.build().map_err(rt)
@@ -266,12 +269,16 @@ pub fn detect(flags: &Flags) -> Result<(), CliError> {
         _ => unreachable!("format validated before the run"),
     }
     eprintln!(
-        "[{} groups over {} k values; {} patterns examined in {:.1?}; {} thread(s){}]",
+        "[{} groups over {} k values; {} patterns examined in {:.1?}; {} thread(s){}{}]",
         out.total_groups(),
         out.per_k.len(),
         out.stats.patterns_examined(),
         out.stats.elapsed,
         audit.threads(),
+        match audit.index().shard_count() {
+            0 | 1 => String::new(),
+            s => format!(", {s} shards"),
+        },
         if out.stats.timed_out {
             "; TIMED OUT — results truncated"
         } else {

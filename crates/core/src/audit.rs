@@ -2,10 +2,11 @@
 //! entry point for every detection mode in the paper.
 //!
 //! [`Audit`] owns its dataset (behind an [`Arc`]), the pattern space, the
-//! ranking and the ranked bitmap index, so it is `Send + Sync` and can be
-//! shared across threads, held in a server, or cached between requests —
-//! unlike the borrowing [`crate::Detector`] facade it replaces. The
-//! detection mode is a value, not a method name:
+//! ranking and the ranked counting index ([`AuditIndex`]: a single
+//! [`RankedIndex`] or a [`ShardedIndex`] merging per-shard counts
+//! additively), so it is `Send + Sync` and can be shared across threads,
+//! held in a server, or cached between requests. The detection mode is a
+//! value, not a method name:
 //!
 //! * [`AuditTask::UnderRep`] — the paper's Problems 3.1/3.2 (most general
 //!   under-represented groups, Algorithms 1–3);
@@ -44,7 +45,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rankfair_data::{Dataset, TupleId};
+use rankfair_data::{Dataset, TupleId, ValueCode};
 use rankfair_rank::{Ranker, Ranking};
 
 use crate::bounds::{BiasMeasure, Bounds};
@@ -52,7 +53,8 @@ use crate::engine;
 use crate::oracle;
 use crate::pattern::Pattern;
 use crate::report::{summarize_audit, KReport};
-use crate::space::{PatternSpace, RankedIndex, SpaceError};
+use crate::shard::ShardedIndex;
+use crate::space::{AttrId, CountsProvider, PatternSpace, RankedIndex, SpaceError};
 use crate::stats::{
     DeadlineGuard, DetectConfig, DetectionOutput, KResult, ReplayCounters, SearchStats,
 };
@@ -230,6 +232,79 @@ impl AuditOutcome {
     }
 }
 
+/// The counting index an [`Audit`] executes against: one [`RankedIndex`]
+/// over the whole ranking, or a [`ShardedIndex`] whose per-shard counts
+/// merge additively ([`AuditBuilder::shards`]). Both satisfy the
+/// [`CountsProvider`] contract the engines consume, so every task,
+/// engine and streaming mode runs unchanged on either variant and the
+/// results are identical — the differential suite sweeps that equality.
+#[derive(Debug, Clone)]
+pub enum AuditIndex {
+    /// A single index over the whole ranking (the default).
+    Single(RankedIndex),
+    /// Rows partitioned into contiguous rank blocks with one shard-local
+    /// index per block.
+    Sharded(ShardedIndex),
+}
+
+impl AuditIndex {
+    /// Number of ranked tuples.
+    pub fn n(&self) -> usize {
+        match self {
+            AuditIndex::Single(i) => i.n(),
+            AuditIndex::Sharded(i) => i.n(),
+        }
+    }
+
+    /// `(s_D(p), s_Rk(p))` in one pass.
+    pub fn counts(&self, p: &Pattern, k: usize) -> (usize, usize) {
+        match self {
+            AuditIndex::Single(i) => i.counts(p, k),
+            AuditIndex::Sharded(i) => i.counts(p, k),
+        }
+    }
+
+    /// `s_D(p)` alone.
+    pub fn size_in_data(&self, p: &Pattern) -> usize {
+        self.counts(p, 0).0
+    }
+
+    /// Value of `attr` for the tuple at rank position `pos`.
+    pub fn code_at(&self, pos: usize, attr: AttrId) -> ValueCode {
+        match self {
+            AuditIndex::Single(i) => i.code_at(pos, attr),
+            AuditIndex::Sharded(i) => i.code_at(pos, attr),
+        }
+    }
+
+    /// Whether the tuple at rank position `pos` satisfies `p`.
+    pub fn matches_at(&self, pos: usize, p: &Pattern) -> bool {
+        p.matches(|a| self.code_at(pos, a))
+    }
+
+    /// Number of shards (`1` for the single-index variant).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            AuditIndex::Single(_) => 1,
+            AuditIndex::Sharded(i) => i.shard_count(),
+        }
+    }
+}
+
+impl CountsProvider for AuditIndex {
+    fn n(&self) -> usize {
+        AuditIndex::n(self)
+    }
+
+    fn counts(&self, p: &Pattern, k: usize) -> (usize, usize) {
+        AuditIndex::counts(self, p, k)
+    }
+
+    fn code_at(&self, pos: usize, attr: AttrId) -> ValueCode {
+        AuditIndex::code_at(self, pos, attr)
+    }
+}
+
 type PrepareHook = Box<dyn FnOnce(&mut Dataset) -> Result<(), String>>;
 
 /// Fluent construction of an [`Audit`].
@@ -246,6 +321,7 @@ pub struct AuditBuilder {
     attrs: Option<Vec<String>>,
     prepare: Vec<PrepareHook>,
     threads: usize,
+    shards: usize,
 }
 
 impl AuditBuilder {
@@ -257,6 +333,7 @@ impl AuditBuilder {
             attrs: None,
             prepare: Vec::new(),
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -317,6 +394,15 @@ impl AuditBuilder {
         self
     }
 
+    /// Partitions the ranking into `shards` contiguous rank blocks, each
+    /// with its own shard-local index; pattern counts are merged
+    /// additively across shards ([`ShardedIndex`]). `0` or `1` keeps the
+    /// single unsharded index; results are identical either way.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Builds the audit: ranks (if needed), applies preparation hooks,
     /// constructs the pattern space and the ranked bitmap index.
     pub fn build(self) -> Result<Audit, AuditError> {
@@ -345,7 +431,11 @@ impl AuditBuilder {
             }
             None => PatternSpace::from_dataset(&dataset)?,
         };
-        let index = RankedIndex::build(&dataset, &space, &ranking);
+        let index = if self.shards <= 1 {
+            AuditIndex::Single(RankedIndex::build(&dataset, &space, &ranking))
+        } else {
+            AuditIndex::Sharded(ShardedIndex::build(&dataset, &space, &ranking, self.shards))
+        };
         let threads = if self.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -368,7 +458,7 @@ pub struct Audit {
     dataset: Arc<Dataset>,
     space: PatternSpace,
     ranking: Ranking,
-    index: RankedIndex,
+    index: AuditIndex,
     threads: usize,
 }
 
@@ -407,8 +497,8 @@ impl Audit {
         &self.ranking
     }
 
-    /// The ranked bitmap index.
-    pub fn index(&self) -> &RankedIndex {
+    /// The ranked counting index (single or sharded).
+    pub fn index(&self) -> &AuditIndex {
         &self.index
     }
 
@@ -439,7 +529,7 @@ impl Audit {
     }
 
     /// The borrowed execution core shared with [`crate::MonitorAudit`].
-    fn parts(&self) -> AuditParts<'_> {
+    fn parts(&self) -> AuditParts<'_, AuditIndex> {
         AuditParts {
             dataset: &self.dataset,
             space: &self.space,
@@ -551,11 +641,11 @@ pub(crate) fn validate_task(
 /// set; [`crate::MonitorAudit`] owns an *evolving* set and re-runs tasks
 /// over sub-ranges of `k` after ranking edits — both drive exactly this
 /// code, so a delta re-audit can never drift from a full audit.
-pub(crate) struct AuditParts<'a> {
+pub(crate) struct AuditParts<'a, I: CountsProvider> {
     pub dataset: &'a Dataset,
     pub space: &'a PatternSpace,
     pub ranking: &'a Ranking,
-    pub index: &'a RankedIndex,
+    pub index: &'a I,
 }
 
 /// The persistent engine state a [`crate::MonitorAudit`] carries between
@@ -699,7 +789,7 @@ pub(crate) fn top_k_diff(
     (entering, leaving)
 }
 
-impl AuditParts<'_> {
+impl<I: CountsProvider> AuditParts<'_, I> {
     /// Sequential execution over one contiguous, already validated `k`
     /// sub-range.
     pub(crate) fn run_range(
@@ -1038,8 +1128,8 @@ impl Audit {
 /// Lazy per-`k` iterator returned by [`Audit::run_streaming`].
 pub struct AuditStream<'a> {
     k_max: usize,
-    under: Option<engine::StreamCore<'a>>,
-    over: Option<UpperStream<'a>>,
+    under: Option<engine::StreamCore<'a, AuditIndex>>,
+    over: Option<UpperStream<'a, AuditIndex>>,
     next_k: usize,
 }
 
@@ -1308,6 +1398,52 @@ mod tests {
                 b.detection_output().per_k,
                 "{task:?}"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_builder_matches_unsharded_for_every_task() {
+        let ds = Arc::new(students_fig1());
+        let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
+        let single = Audit::builder(Arc::clone(&ds))
+            .ranking(ranking.clone())
+            .build()
+            .unwrap();
+        assert_eq!(single.index().shard_count(), 1);
+        let cfg = DetectConfig::new(2, 2, 16);
+        let tasks = [
+            AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
+            AuditTask::UnderRep(BiasMeasure::Proportional { alpha: 0.8 }),
+            AuditTask::OverRep {
+                upper: Bounds::constant(2),
+                scope: OverRepScope::MostSpecific,
+            },
+            AuditTask::Combined {
+                lower: Bounds::constant(2),
+                upper: Bounds::constant(3),
+            },
+        ];
+        for shards in [2, 4, 7] {
+            let sharded = Audit::builder(Arc::clone(&ds))
+                .ranking(ranking.clone())
+                .shards(shards)
+                .build()
+                .unwrap();
+            assert_eq!(sharded.index().shard_count(), shards);
+            for task in &tasks {
+                for engine in [Engine::Optimized, Engine::Baseline] {
+                    let a = single.run(&cfg, task, engine).unwrap();
+                    let b = sharded.run(&cfg, task, engine).unwrap();
+                    assert_eq!(a.per_k, b.per_k, "shards={shards} {task:?} {engine:?}");
+                }
+                let streamed: Vec<AuditKResult> =
+                    sharded.run_streaming(&cfg, task).unwrap().collect();
+                assert_eq!(
+                    single.run(&cfg, task, Engine::Optimized).unwrap().per_k,
+                    streamed,
+                    "streaming shards={shards} {task:?}"
+                );
+            }
         }
     }
 

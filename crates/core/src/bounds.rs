@@ -4,7 +4,7 @@
 /// The paper’s default experimental setting is a step function (“10 for
 /// 10 ≤ k < 20, 20 for 20 ≤ k < 30, …”); [`Bounds::steps`] builds exactly
 /// that shape. Bounds are assumed non-decreasing in `k` (footnote 3 of the
-/// paper); [`crate::global_bounds`] falls back to a fresh search whenever
+/// paper); the `GlobalBounds` engine falls back to a fresh search whenever
 /// the bound changes, so even a decreasing specification stays correct.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Bounds {

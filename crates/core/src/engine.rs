@@ -27,12 +27,11 @@
 //! For the global measure the bound is constant between bound steps and
 //! counts only grow, so nodes can only *leave* the biased state — no
 //! schedule is needed; when `L_k` changes the engine rebuilds from scratch,
-//! exactly as Algorithm 2 does (lines 4–5). The
-//! [`global_bounds_fast_steps`] extension replaces those rebuilds with a
-//! store-wide reclassification pass (zero fresh evaluations); note the
-//! trade-off documented on that function — rebuilds *shrink* the store to
-//! the tighter bound, so the rescan wins only when re-evaluation is the
-//! dominant cost.
+//! exactly as Algorithm 2 does (lines 4–5). The streaming path
+//! ([`StreamCore::global`]) applies the bound-step extension instead:
+//! a store-wide reclassification pass with zero fresh evaluations.
+//! Rebuilds *shrink* the store to the tighter bound, so the rescan wins
+//! only when re-evaluation is the dominant cost.
 //!
 //! This module covers the **lower-bound** (under-representation) side
 //! only. The §III upper-bound side has its own incremental engine in
@@ -54,7 +53,7 @@ use std::collections::VecDeque;
 
 use crate::bounds::{BiasMeasure, Bounds};
 use crate::pattern::Pattern;
-use crate::space::{AttrId, PatternSpace, RankedIndex};
+use crate::space::{AttrId, CountsProvider, PatternSpace};
 use crate::stats::{
     DeadlineGuard, DetectConfig, DetectionOutput, KResult, ReplayCounters, SearchStats,
 };
@@ -73,8 +72,8 @@ struct Node {
     children: Vec<u32>,
 }
 
-struct Engine<'a> {
-    index: &'a RankedIndex,
+struct Engine<'a, I: CountsProvider> {
+    index: &'a I,
     space: &'a PatternSpace,
     measure: BiasMeasure,
     tau_s: usize,
@@ -110,9 +109,9 @@ struct Engine<'a> {
     stats: SearchStats,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, I: CountsProvider> Engine<'a, I> {
     fn new(
-        index: &'a RankedIndex,
+        index: &'a I,
         space: &'a PatternSpace,
         measure: BiasMeasure,
         tau_s: usize,
@@ -667,7 +666,7 @@ impl<'a> Engine<'a> {
     /// Rebuilds an engine positioned at `cp.k` from a stored checkpoint;
     /// the next [`Engine::advance`] call must be for `cp.k + 1`.
     fn from_checkpoint(
-        index: &'a RankedIndex,
+        index: &'a I,
         space: &'a PatternSpace,
         measure: BiasMeasure,
         tau_s: usize,
@@ -723,7 +722,7 @@ impl<'a> Engine<'a> {
     }
 }
 
-fn check_range(index: &RankedIndex, cfg: &DetectConfig) {
+fn check_range<I: CountsProvider>(index: &I, cfg: &DetectConfig) {
     assert!(
         cfg.k_max <= index.n(),
         "k_max ({}) exceeds the number of ranked tuples ({})",
@@ -734,81 +733,15 @@ fn check_range(index: &RankedIndex, cfg: &DetectConfig) {
 
 /// A lazy, resumable detection run: yields the [`KResult`] for each `k`
 /// in `[k_min, k_max]` on demand, maintaining the incremental engine
-/// between calls.
+/// between calls — the under-representation half of
+/// `Audit::run_streaming`.
 ///
 /// Useful when a consumer inspects results `k` by `k` (an interactive
 /// audit UI, or an early-exit search for the first `k` with a biased
 /// group) — later `k` values are never computed unless requested, and the
 /// incremental state is reused exactly as in the batch algorithms.
-///
-/// ```
-/// #![allow(deprecated)]
-/// use rankfair_core::{DetectionStream, Bounds, DetectConfig, PatternSpace, RankedIndex};
-/// use rankfair_data::examples::{students_fig1, fig1_rank_order};
-/// use rankfair_rank::Ranking;
-///
-/// let ds = students_fig1();
-/// let space = PatternSpace::from_dataset(&ds).unwrap();
-/// let ranking = Ranking::from_order(fig1_rank_order()).unwrap();
-/// let index = RankedIndex::build(&ds, &space, &ranking);
-/// let cfg = DetectConfig::new(4, 4, 16);
-/// let mut stream = DetectionStream::global(&index, &space, &cfg, &Bounds::constant(2));
-/// let first = stream.next().unwrap();
-/// assert_eq!(first.k, 4); // later k values not yet computed
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use Audit::run_streaming, which owns its data and also covers the upper-bound tasks"
-)]
-pub struct DetectionStream<'a>(StreamCore<'a>);
-
-#[allow(deprecated)]
-impl<'a> DetectionStream<'a> {
-    /// Streaming `GlobalBounds` (with the fast bound-step extension).
-    pub fn global(
-        index: &'a RankedIndex,
-        space: &'a PatternSpace,
-        cfg: &DetectConfig,
-        bounds: &Bounds,
-    ) -> Self {
-        DetectionStream(StreamCore::global(index, space, cfg, bounds))
-    }
-
-    /// Streaming `PropBounds`.
-    pub fn proportional(
-        index: &'a RankedIndex,
-        space: &'a PatternSpace,
-        cfg: &DetectConfig,
-        alpha: f64,
-    ) -> Self {
-        DetectionStream(StreamCore::proportional(index, space, cfg, alpha))
-    }
-
-    /// Instrumentation counters accumulated so far.
-    pub fn stats(&self) -> &SearchStats {
-        self.0.stats()
-    }
-
-    /// Whether the stream stopped early because the deadline fired.
-    pub fn timed_out(&self) -> bool {
-        self.0.timed_out()
-    }
-}
-
-#[allow(deprecated)]
-impl Iterator for DetectionStream<'_> {
-    type Item = KResult;
-
-    fn next(&mut self) -> Option<KResult> {
-        self.0.next()
-    }
-}
-
-/// The non-deprecated core the shimmed [`DetectionStream`] wraps; also the
-/// under-representation half of `Audit::run_streaming`, so the owned API
-/// never has to touch the deprecated surface.
-pub(crate) struct StreamCore<'a> {
-    engine: Engine<'a>,
+pub(crate) struct StreamCore<'a, I: CountsProvider> {
+    engine: Engine<'a, I>,
     cfg: DetectConfig,
     bounds_for_steps: Option<Bounds>,
     fast_steps: bool,
@@ -817,10 +750,10 @@ pub(crate) struct StreamCore<'a> {
     failed: bool,
 }
 
-impl<'a> StreamCore<'a> {
+impl<'a, I: CountsProvider> StreamCore<'a, I> {
     /// Streaming `GlobalBounds` (with the fast bound-step extension).
     pub fn global(
-        index: &'a RankedIndex,
+        index: &'a I,
         space: &'a PatternSpace,
         cfg: &DetectConfig,
         bounds: &Bounds,
@@ -840,7 +773,7 @@ impl<'a> StreamCore<'a> {
 
     /// Streaming `PropBounds`.
     pub fn proportional(
-        index: &'a RankedIndex,
+        index: &'a I,
         space: &'a PatternSpace,
         cfg: &DetectConfig,
         alpha: f64,
@@ -870,7 +803,7 @@ impl<'a> StreamCore<'a> {
     }
 }
 
-impl Iterator for StreamCore<'_> {
+impl<I: CountsProvider> Iterator for StreamCore<'_, I> {
     type Item = KResult;
 
     fn next(&mut self) -> Option<KResult> {
@@ -900,8 +833,8 @@ impl Iterator for StreamCore<'_> {
 /// `GlobalBounds` (Algorithm 2): detection of groups with biased
 /// representation under global lower bounds, incremental across the `k`
 /// range.
-pub(crate) fn global_bounds(
-    index: &RankedIndex,
+pub(crate) fn global_bounds<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     cfg: &DetectConfig,
     bounds: &Bounds,
@@ -910,32 +843,6 @@ pub(crate) fn global_bounds(
     let measure = BiasMeasure::GlobalLower(bounds.clone());
     let engine = Engine::new(index, space, measure, cfg.tau_s, cfg.k_max);
     engine.run(cfg, Some(bounds), false)
-}
-
-/// `GlobalBounds` with the bound-step extension: instead of re-running a
-/// full top-down search whenever `L_k` increases (Algorithm 2, lines 4–5),
-/// the persistent node store is reclassified in one pass with **zero**
-/// fresh pattern evaluations. Returns exactly the same results as
-/// [`global_bounds`]. Decreasing bounds still fall back to a fresh search.
-///
-/// Trade-off (measured in the `ablations` bench and `experiments
-/// faststeps`): skipping rebuilds saves every re-evaluation, but a rebuild
-/// under a *larger* bound also produces a smaller node store (more nodes
-/// are biased, so expansion stops earlier), which makes all subsequent
-/// per-k walks cheaper. On workloads whose per-step searches are small the
-/// rescan variant can therefore lose wall-clock despite doing strictly
-/// less counting work — prefer [`global_bounds`] unless pattern evaluation
-/// (not store traversal) dominates, e.g. very large datasets.
-pub(crate) fn global_bounds_fast_steps(
-    index: &RankedIndex,
-    space: &PatternSpace,
-    cfg: &DetectConfig,
-    bounds: &Bounds,
-) -> DetectionOutput {
-    check_range(index, cfg);
-    let measure = BiasMeasure::GlobalLower(bounds.clone());
-    let engine = Engine::new(index, space, measure, cfg.tau_s, cfg.k_max);
-    engine.run(cfg, Some(bounds), true)
 }
 
 /// A resumable snapshot of the lower engine's complete search state —
@@ -972,9 +879,9 @@ impl LowerCheckpoint {
 
 /// Grid-snapshot maintenance for the lower store — the shared policy
 /// lives in [`crate::audit::maintain_grid_snapshot`].
-fn maybe_checkpoint(
+fn maybe_checkpoint<I: CountsProvider>(
     store: &mut Vec<LowerCheckpoint>,
-    engine: &Engine<'_>,
+    engine: &Engine<'_, I>,
     k: usize,
     k_min: usize,
     cadence: usize,
@@ -1010,8 +917,8 @@ fn maybe_checkpoint(
 /// [`global_bounds`] / [`prop_bounds`] — asserted by the differential
 /// sweeps.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn lower_replay(
-    index: &RankedIndex,
+pub(crate) fn lower_replay<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     measure: &BiasMeasure,
     cfg: &DetectConfig,
@@ -1095,8 +1002,8 @@ pub(crate) fn lower_replay(
 /// `PropBounds` (Algorithm 3): detection of groups with biased
 /// proportional representation, incremental across the `k` range with
 /// `k̃` scheduling.
-pub(crate) fn prop_bounds(
-    index: &RankedIndex,
+pub(crate) fn prop_bounds<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     cfg: &DetectConfig,
     alpha: f64,
@@ -1111,6 +1018,7 @@ pub(crate) fn prop_bounds(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::space::RankedIndex;
     use crate::topdown::iter_td;
     use rankfair_data::examples::{fig1_rank_order, students_fig1};
     use rankfair_rank::Ranking;
@@ -1297,9 +1205,9 @@ mod tests {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod stream_tests {
     use super::*;
+    use crate::space::RankedIndex;
     use rankfair_data::examples::{fig1_rank_order, students_fig1};
     use rankfair_rank::Ranking;
 
@@ -1317,8 +1225,7 @@ mod stream_tests {
         let cfg = DetectConfig::new(2, 2, 16);
         let bounds = Bounds::steps(vec![(2, 1), (6, 2), (10, 3)]);
         let batch = global_bounds(&index, &space, &cfg, &bounds);
-        let streamed: Vec<KResult> =
-            DetectionStream::global(&index, &space, &cfg, &bounds).collect();
+        let streamed: Vec<KResult> = StreamCore::global(&index, &space, &cfg, &bounds).collect();
         assert_eq!(batch.per_k, streamed);
     }
 
@@ -1327,8 +1234,7 @@ mod stream_tests {
         let (space, index) = fig1();
         let cfg = DetectConfig::new(2, 3, 16);
         let batch = prop_bounds(&index, &space, &cfg, 0.8);
-        let streamed: Vec<KResult> =
-            DetectionStream::proportional(&index, &space, &cfg, 0.8).collect();
+        let streamed: Vec<KResult> = StreamCore::proportional(&index, &space, &cfg, 0.8).collect();
         assert_eq!(batch.per_k, streamed);
     }
 
@@ -1336,7 +1242,7 @@ mod stream_tests {
     fn stream_is_lazy() {
         let (space, index) = fig1();
         let cfg = DetectConfig::new(2, 2, 16);
-        let mut stream = DetectionStream::proportional(&index, &space, &cfg, 0.8);
+        let mut stream = StreamCore::proportional(&index, &space, &cfg, 0.8);
         let first = stream.next().unwrap();
         assert_eq!(first.k, 2);
         let after_one = stream.stats().nodes_evaluated;
@@ -1349,7 +1255,7 @@ mod stream_tests {
     fn stream_can_stop_early() {
         let (space, index) = fig1();
         let cfg = DetectConfig::new(2, 2, 16);
-        let ks: Vec<usize> = DetectionStream::global(&index, &space, &cfg, &Bounds::constant(2))
+        let ks: Vec<usize> = StreamCore::global(&index, &space, &cfg, &Bounds::constant(2))
             .take(3)
             .map(|kr| kr.k)
             .collect();

@@ -68,13 +68,13 @@
 
 mod audit;
 mod bounds;
-mod detector;
 mod engine;
 pub mod json;
 mod monitor;
 pub mod oracle;
 mod pattern;
 mod report;
+mod shard;
 mod space;
 mod stats;
 mod suggest;
@@ -84,14 +84,10 @@ mod upper_engine;
 pub mod util;
 
 pub use audit::{
-    Audit, AuditBuilder, AuditError, AuditKResult, AuditOutcome, AuditStream, AuditTask, Engine,
-    OverRepScope,
+    Audit, AuditBuilder, AuditError, AuditIndex, AuditKResult, AuditOutcome, AuditStream,
+    AuditTask, Engine, OverRepScope,
 };
 pub use bounds::{BiasMeasure, Bounds};
-#[allow(deprecated)]
-pub use detector::Detector;
-#[allow(deprecated)]
-pub use engine::DetectionStream;
 pub use monitor::{
     CheckpointStats, DeltaReport, KDelta, MonitorAudit, MonitorBuilder, MonitorError, RankingEdit,
 };
@@ -100,61 +96,8 @@ pub use report::{
     render_report, render_report_csv, summarize, summarize_audit, BiasDirection, BiasedGroup,
     KReport,
 };
-pub use space::{AttrId, PatternSpace, RankedIndex, SpaceError};
+pub use shard::ShardedIndex;
+pub use space::{AttrId, CountsProvider, PatternSpace, RankedIndex, SpaceError};
 pub use stats::{DetectConfig, DetectionOutput, KResult, SearchStats};
 pub use suggest::suggest_tau;
 pub use topdown::top_down_single_k;
-
-/// `GlobalBounds` (Algorithm 2) as a free function.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Audit::run with AuditTask::UnderRep(BiasMeasure::GlobalLower(..))"
-)]
-pub fn global_bounds(
-    index: &RankedIndex,
-    space: &PatternSpace,
-    cfg: &DetectConfig,
-    bounds: &Bounds,
-) -> DetectionOutput {
-    engine::global_bounds(index, space, cfg, bounds)
-}
-
-/// `GlobalBounds` with the bound-step extension (store-wide rescan instead
-/// of a rebuild at each bound step).
-#[deprecated(
-    since = "0.2.0",
-    note = "use Audit::run_streaming, which applies the extension internally"
-)]
-pub fn global_bounds_fast_steps(
-    index: &RankedIndex,
-    space: &PatternSpace,
-    cfg: &DetectConfig,
-    bounds: &Bounds,
-) -> DetectionOutput {
-    engine::global_bounds_fast_steps(index, space, cfg, bounds)
-}
-
-/// `PropBounds` (Algorithm 3) as a free function.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Audit::run with AuditTask::UnderRep(BiasMeasure::Proportional { .. })"
-)]
-pub fn prop_bounds(
-    index: &RankedIndex,
-    space: &PatternSpace,
-    cfg: &DetectConfig,
-    alpha: f64,
-) -> DetectionOutput {
-    engine::prop_bounds(index, space, cfg, alpha)
-}
-
-/// The `IterTD` baseline (Algorithm 1 applied per `k`) as a free function.
-#[deprecated(since = "0.2.0", note = "use Audit::run with Engine::Baseline")]
-pub fn iter_td(
-    index: &RankedIndex,
-    space: &PatternSpace,
-    cfg: &DetectConfig,
-    measure: &BiasMeasure,
-) -> DetectionOutput {
-    topdown::iter_td(index, space, cfg, measure)
-}

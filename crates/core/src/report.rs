@@ -7,7 +7,7 @@
 use crate::audit::{AuditOutcome, AuditTask};
 use crate::bounds::BiasMeasure;
 use crate::pattern::Pattern;
-use crate::space::{PatternSpace, RankedIndex};
+use crate::space::{CountsProvider, PatternSpace};
 use crate::stats::DetectionOutput;
 
 /// Which bound a reported group violates.
@@ -62,9 +62,9 @@ pub struct KReport {
 }
 
 /// Enriches a detection output into per-`k` reports.
-pub fn summarize(
+pub fn summarize<I: CountsProvider>(
     out: &DetectionOutput,
-    index: &RankedIndex,
+    index: &I,
     space: &PatternSpace,
     measure: &BiasMeasure,
 ) -> Vec<KReport> {
@@ -103,9 +103,9 @@ pub fn summarize(
 /// Enriches an [`AuditOutcome`] into per-`k` reports covering **both**
 /// directions: under-represented groups first (largest deficit first),
 /// then over-represented ones (largest excess first).
-pub fn summarize_audit(
+pub fn summarize_audit<I: CountsProvider>(
     out: &AuditOutcome,
-    index: &RankedIndex,
+    index: &I,
     space: &PatternSpace,
     task: &AuditTask,
 ) -> Vec<KReport> {
@@ -217,6 +217,7 @@ mod tests {
     use super::*;
     use crate::bounds::Bounds;
     use crate::engine::global_bounds;
+    use crate::space::RankedIndex;
     use crate::stats::DetectConfig;
     use rankfair_data::examples::{fig1_rank_order, students_fig1};
     use rankfair_rank::Ranking;

@@ -34,6 +34,37 @@ impl fmt::Display for SpaceError {
 
 impl std::error::Error for SpaceError {}
 
+/// The count surface the detection engines consume.
+///
+/// Everything in the lower and upper engines reaches the data through
+/// three primitives — the universe size, the fused `(s_D, s_Rk)` count,
+/// and the value of an attribute at a rank position — so any provider
+/// implementing them runs the same algorithms unchanged: the single
+/// [`RankedIndex`], the sharded additive merge of
+/// [`ShardedIndex`](crate::ShardedIndex), or the
+/// [`AuditIndex`](crate::AuditIndex) dispatching between them.
+pub trait CountsProvider: Sync {
+    /// Number of tuples.
+    fn n(&self) -> usize;
+
+    /// `(s_D(p), s_Rk(p))` — the pattern's size in the data and in the
+    /// top-`k` prefix of the ranking.
+    fn counts(&self, p: &Pattern, k: usize) -> (usize, usize);
+
+    /// Value of `attr` for the tuple at rank position `pos` (0-based).
+    fn code_at(&self, pos: usize, attr: AttrId) -> ValueCode;
+
+    /// `s_D(p)` alone.
+    fn size_in_data(&self, p: &Pattern) -> usize {
+        self.counts(p, 0).0
+    }
+
+    /// Whether the tuple at rank position `pos` satisfies `p`.
+    fn matches_at(&self, pos: usize, p: &Pattern) -> bool {
+        p.matches(|a| self.code_at(pos, a))
+    }
+}
+
 #[derive(Debug, Clone)]
 struct AttrInfo {
     name: String,
@@ -202,7 +233,21 @@ impl RankedIndex {
             ds.n_rows(),
             "ranking must cover every dataset row"
         );
-        let n = ds.n_rows();
+        Self::build_from_order(ds, space, ranking.order())
+    }
+
+    /// Builds the index over a (possibly partial) rank-order slice: the
+    /// tuple at `order[pos]` occupies local position `pos`. This is the
+    /// shard-local build — a contiguous block of a global ranking becomes
+    /// its own index, with the additive-merge identity
+    /// `counts(p, k) = Σ_shard counts(p, k ∩ shard span)` recovering the
+    /// global counts (see [`ShardedIndex`](crate::ShardedIndex)).
+    ///
+    /// # Panics
+    /// Panics if a row id is out of range for `ds`, or codes exceed the
+    /// space's cardinalities.
+    pub fn build_from_order(ds: &Dataset, space: &PatternSpace, order: &[TupleId]) -> Self {
+        let n = order.len();
         let m = space.n_attrs();
         let mut codes = Vec::with_capacity(m);
         let mut bitmaps = Vec::with_capacity(m);
@@ -211,7 +256,7 @@ impl RankedIndex {
             let card = space.card(a as AttrId);
             let mut attr_codes = Vec::with_capacity(n);
             let mut attr_maps = vec![Bitmap::new(n); card];
-            for (pos, &row) in ranking.order().iter().enumerate() {
+            for (pos, &row) in order.iter().enumerate() {
                 let v = col.code(row as usize);
                 assert!(usize::from(v) < card, "code out of range for attribute");
                 attr_codes.push(v);
@@ -330,6 +375,20 @@ impl RankedIndex {
     /// Whether the tuple at rank position `pos` satisfies `p`.
     pub fn matches_at(&self, pos: usize, p: &Pattern) -> bool {
         p.matches(|a| self.code_at(pos, a))
+    }
+}
+
+impl CountsProvider for RankedIndex {
+    fn n(&self) -> usize {
+        RankedIndex::n(self)
+    }
+
+    fn counts(&self, p: &Pattern, k: usize) -> (usize, usize) {
+        RankedIndex::counts(self, p, k)
+    }
+
+    fn code_at(&self, pos: usize, attr: AttrId) -> ValueCode {
+        RankedIndex::code_at(self, pos, attr)
     }
 }
 

@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 
 use crate::bounds::BiasMeasure;
 use crate::pattern::Pattern;
-use crate::space::{AttrId, PatternSpace, RankedIndex};
+use crate::space::{AttrId, CountsProvider, PatternSpace};
 use crate::stats::{DeadlineGuard, DetectConfig, DetectionOutput, KResult, SearchStats};
 
 /// Outcome of one single-`k` top-down search.
@@ -32,8 +32,8 @@ pub(crate) struct SingleK {
 /// live on strictly smaller levels and are never size-pruned, since `s_D`
 /// is anti-monotone). The `update(Res, p)` of the paper therefore reduces
 /// to a subset probe against `res`.
-pub(crate) fn search_single_k(
-    index: &RankedIndex,
+pub(crate) fn search_single_k<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     tau_s: usize,
     k: usize,
@@ -91,8 +91,8 @@ pub(crate) fn search_single_k(
 
 /// Public single-`k` entry point: the most general substantial patterns
 /// with biased representation in the top-`k`, in canonical order.
-pub fn top_down_single_k(
-    index: &RankedIndex,
+pub fn top_down_single_k<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     tau_s: usize,
     k: usize,
@@ -104,8 +104,8 @@ pub fn top_down_single_k(
 }
 
 /// The `IterTD` baseline (§IV-A): one full top-down search per `k`.
-pub(crate) fn iter_td(
-    index: &RankedIndex,
+pub(crate) fn iter_td<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     cfg: &DetectConfig,
     measure: &BiasMeasure,
@@ -133,6 +133,7 @@ pub(crate) fn iter_td(
 mod tests {
     use super::*;
     use crate::bounds::Bounds;
+    use crate::space::RankedIndex;
     use rankfair_data::examples::{fig1_rank_order, students_fig1};
     use rankfair_rank::Ranking;
 

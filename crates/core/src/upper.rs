@@ -14,18 +14,24 @@
 
 use crate::bounds::Bounds;
 use crate::pattern::Pattern;
-use crate::space::{AttrId, PatternSpace, RankedIndex};
+use crate::space::{AttrId, CountsProvider, PatternSpace};
 use crate::stats::{DeadlineGuard, DetectConfig, DetectionOutput, KResult, SearchStats};
 
-fn qualifies(index: &RankedIndex, tau_s: usize, k: usize, u: usize, p: &Pattern) -> (bool, usize) {
+fn qualifies<I: CountsProvider>(
+    index: &I,
+    tau_s: usize,
+    k: usize,
+    u: usize,
+    p: &Pattern,
+) -> (bool, usize) {
     let (sd, count) = index.counts(p, k);
     (sd >= tau_s && count > u, sd)
 }
 
 /// Most specific substantial patterns whose top-`k` count exceeds `U_k`,
 /// for a single `k`.
-pub fn upper_most_specific_single_k(
-    index: &RankedIndex,
+pub fn upper_most_specific_single_k<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     tau_s: usize,
     k: usize,
@@ -41,8 +47,8 @@ pub fn upper_most_specific_single_k(
 /// and the maximality sweep both poll `guard`, so even a single-`k` search
 /// over a large pattern space truncates promptly. Returns `None` on
 /// expiry.
-pub(crate) fn upper_most_specific_single_k_guarded(
-    index: &RankedIndex,
+pub(crate) fn upper_most_specific_single_k_guarded<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     tau_s: usize,
     k: usize,
@@ -111,8 +117,8 @@ pub(crate) fn upper_most_specific_single_k_guarded(
 /// Honors [`DetectConfig::deadline`], checking it *inside* each single-`k`
 /// search: a run that exceeds the budget truncates to the completed `k`
 /// values and sets [`SearchStats::timed_out`].
-pub fn upper_most_specific(
-    index: &RankedIndex,
+pub fn upper_most_specific<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     cfg: &DetectConfig,
     upper: &Bounds,
@@ -174,8 +180,8 @@ pub struct CombinedOutput {
 /// fresh budget) and only covers the `k` values the possibly-truncated
 /// lower side produced, so a timed-out run returns a consistent prefix —
 /// flagged via [`SearchStats::timed_out`].
-pub fn combined_bounds(
-    index: &RankedIndex,
+pub fn combined_bounds<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     cfg: &DetectConfig,
     lower: &Bounds,
@@ -216,6 +222,7 @@ pub fn combined_bounds(
 mod tests {
     use super::*;
     use crate::oracle;
+    use crate::space::RankedIndex;
     use rankfair_data::examples::{fig1_rank_order, students_fig1};
     use rankfair_data::Dataset;
     use rankfair_rank::Ranking;
@@ -365,8 +372,8 @@ mod tests {
 /// (subsets have larger counts), so the minimal patterns are found by the
 /// same breadth-first dominance search the lower-bound problem uses, with
 /// the predicate flipped: expansion stops at qualifying nodes.
-pub fn upper_most_general_single_k(
-    index: &RankedIndex,
+pub fn upper_most_general_single_k<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     tau_s: usize,
     k: usize,
@@ -406,8 +413,8 @@ pub fn upper_most_general_single_k(
 /// under-representation is superset-closed (supersets have counts at most
 /// as large), so a biased substantial pattern is maximal exactly when
 /// every single-term extension falls below `τs`.
-pub fn lower_most_specific_single_k(
-    index: &RankedIndex,
+pub fn lower_most_specific_single_k<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     tau_s: usize,
     k: usize,
@@ -465,6 +472,7 @@ pub fn lower_most_specific_single_k(
 mod variant_tests {
     use super::*;
     use crate::oracle;
+    use crate::space::RankedIndex;
     use rankfair_data::examples::{fig1_rank_order, students_fig1};
     use rankfair_data::Dataset;
     use rankfair_rank::Ranking;

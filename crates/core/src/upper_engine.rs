@@ -56,7 +56,7 @@
 use crate::audit::OverRepScope;
 use crate::bounds::Bounds;
 use crate::pattern::Pattern;
-use crate::space::{AttrId, PatternSpace, RankedIndex};
+use crate::space::{AttrId, CountsProvider, PatternSpace};
 use crate::stats::{DeadlineGuard, DetectConfig, KResult, ReplayCounters, SearchStats};
 use crate::util::FxHashSet;
 use rankfair_data::ValueCode;
@@ -78,8 +78,8 @@ struct Node {
     children: Vec<u32>,
 }
 
-pub(crate) struct UpperEngine<'a> {
-    index: &'a RankedIndex,
+pub(crate) struct UpperEngine<'a, I: CountsProvider> {
+    index: &'a I,
     space: &'a PatternSpace,
     tau_s: usize,
     scope: OverRepScope,
@@ -95,13 +95,8 @@ pub(crate) struct UpperEngine<'a> {
     stats: SearchStats,
 }
 
-impl<'a> UpperEngine<'a> {
-    fn new(
-        index: &'a RankedIndex,
-        space: &'a PatternSpace,
-        tau_s: usize,
-        scope: OverRepScope,
-    ) -> Self {
+impl<'a, I: CountsProvider> UpperEngine<'a, I> {
+    fn new(index: &'a I, space: &'a PatternSpace, tau_s: usize, scope: OverRepScope) -> Self {
         let mut card_prefix = Vec::with_capacity(space.n_attrs() + 1);
         let mut acc = 0u32;
         card_prefix.push(0);
@@ -545,7 +540,7 @@ impl<'a> UpperEngine<'a> {
     /// Rebuilds an engine positioned at `cp.k` from a stored checkpoint;
     /// the next [`UpperEngine::advance`] call must be for `cp.k + 1`.
     fn from_checkpoint(
-        index: &'a RankedIndex,
+        index: &'a I,
         space: &'a PatternSpace,
         tau_s: usize,
         scope: OverRepScope,
@@ -582,8 +577,8 @@ impl<'a> UpperEngine<'a> {
 /// for each `k` on demand, maintaining the incremental engine between
 /// pulls. Both [`crate::Audit::run`] and [`crate::Audit::run_streaming`]
 /// drive this for `Engine::Optimized`.
-pub(crate) struct UpperStream<'a> {
-    engine: UpperEngine<'a>,
+pub(crate) struct UpperStream<'a, I: CountsProvider> {
+    engine: UpperEngine<'a, I>,
     upper: Bounds,
     k_min: usize,
     k_max: usize,
@@ -592,9 +587,9 @@ pub(crate) struct UpperStream<'a> {
     failed: bool,
 }
 
-impl<'a> UpperStream<'a> {
+impl<'a, I: CountsProvider> UpperStream<'a, I> {
     pub(crate) fn new(
-        index: &'a RankedIndex,
+        index: &'a I,
         space: &'a PatternSpace,
         cfg: &DetectConfig,
         upper: Bounds,
@@ -627,7 +622,7 @@ impl<'a> UpperStream<'a> {
     }
 }
 
-impl Iterator for UpperStream<'_> {
+impl<I: CountsProvider> Iterator for UpperStream<'_, I> {
     type Item = KResult;
 
     fn next(&mut self) -> Option<KResult> {
@@ -672,9 +667,9 @@ impl UpperCheckpoint {
 
 /// Grid-snapshot maintenance for the upper store — the shared policy
 /// lives in [`crate::audit::maintain_grid_snapshot`].
-fn maybe_checkpoint(
+fn maybe_checkpoint<I: CountsProvider>(
     store: &mut Vec<UpperCheckpoint>,
-    engine: &UpperEngine<'_>,
+    engine: &UpperEngine<'_, I>,
     k: usize,
     k_min: usize,
     cadence: usize,
@@ -702,8 +697,8 @@ fn maybe_checkpoint(
 /// insertion voided it) pays a build at `k_min`. Replayed grid `k`s
 /// rewrite their snapshots. Output-equivalent to [`upper_incremental`].
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn upper_replay(
-    index: &RankedIndex,
+pub(crate) fn upper_replay<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     cfg: &DetectConfig,
     upper: &Bounds,
@@ -770,8 +765,8 @@ pub(crate) fn upper_replay(
 }
 
 /// Batch driver: runs the incremental engine over the whole `k` range.
-pub(crate) fn upper_incremental(
-    index: &RankedIndex,
+pub(crate) fn upper_incremental<I: CountsProvider>(
+    index: &I,
     space: &PatternSpace,
     cfg: &DetectConfig,
     upper: &Bounds,
@@ -785,6 +780,7 @@ pub(crate) fn upper_incremental(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::space::RankedIndex;
     use crate::upper::{upper_most_general_single_k, upper_most_specific_single_k};
     use rankfair_data::examples::{fig1_rank_order, students_fig1};
     use rankfair_rank::Ranking;

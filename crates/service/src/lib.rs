@@ -124,18 +124,23 @@ impl AuditRequest {
     /// The cache key this request maps to — everything that determines the
     /// built [`Audit`], and nothing that doesn't (task, config and engine
     /// only affect the *run*, so they deliberately stay out).
+    ///
+    /// The shard count is a property of the *registered dataset*, not the
+    /// request, so it is keyed as `1` here; [`AuditService::handle`]
+    /// substitutes the registry's value before touching the cache.
     pub fn cache_key(&self) -> AuditKey {
         AuditKey {
             dataset: self.dataset.clone(),
             attributes: self.attributes.clone(),
             bucketize: self.bucketize.clone(),
             ranking: self.ranking.clone(),
+            shards: 1,
         }
     }
 }
 
 /// The audit-cache key: (dataset id, attribute selection, bucketization,
-/// ranking spec).
+/// ranking spec, shard count).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AuditKey {
     /// Registered dataset name.
@@ -146,6 +151,10 @@ pub struct AuditKey {
     pub bucketize: Vec<(String, usize)>,
     /// Ranking specification.
     pub ranking: RankingSpec,
+    /// Shard count the audit's index was built with. Part of the key so
+    /// re-registering a dataset with a different shard spec can never
+    /// serve an audit whose index layout no longer matches.
+    pub shards: usize,
 }
 
 impl fmt::Display for AuditKey {
@@ -161,6 +170,9 @@ impl fmt::Display for AuditKey {
                 .map(|(c, b)| format!("{c}:{b}"))
                 .collect();
             write!(f, "|bucketize={}", spec.join(","))?;
+        }
+        if self.shards > 1 {
+            write!(f, "|shards={}", self.shards)?;
         }
         Ok(())
     }
@@ -303,6 +315,11 @@ pub struct MonitorUpdate {
 struct DatasetEntry {
     dataset: Arc<Dataset>,
     source: String,
+    /// Shard count for audits built on this dataset: `1` means one
+    /// monolithic [`rankfair_core::RankedIndex`]; `> 1` partitions the
+    /// rows across shard-local indexes merged additively at query time
+    /// (see [`rankfair_core::ShardedIndex`]).
+    shards: usize,
 }
 
 /// A single-flight cache slot: the first request for a key creates the
@@ -369,12 +386,23 @@ impl AuditService {
     /// Registers (or replaces) an in-memory dataset under `name`.
     /// Replacing a dataset invalidates the cached audits built on it.
     pub fn register_dataset(&self, name: &str, dataset: Arc<Dataset>) {
+        self.register_dataset_sharded(name, dataset, 1);
+    }
+
+    /// Registers (or replaces) an in-memory dataset under `name`, with
+    /// audits built on it partitioning rows across `shards` shard-local
+    /// indexes ([`rankfair_core::ShardedIndex`]) whose pattern counts
+    /// merge additively at query time. `shards <= 1` means the ordinary
+    /// monolithic index. Replacing a dataset — including re-registering
+    /// it with a different shard count — invalidates its cached audits.
+    pub fn register_dataset_sharded(&self, name: &str, dataset: Arc<Dataset>, shards: usize) {
         let mut datasets = self.datasets.write().expect("registry lock");
         datasets.insert(
             name.to_string(),
             DatasetEntry {
                 dataset,
                 source: "memory".to_string(),
+                shards: shards.max(1),
             },
         );
         drop(datasets);
@@ -388,6 +416,18 @@ impl AuditService {
         path: &str,
         separator: char,
     ) -> Result<(usize, usize), ServiceError> {
+        self.register_csv_sharded(name, path, separator, 1)
+    }
+
+    /// Loads a CSV and registers it under `name` with a shard spec (see
+    /// [`AuditService::register_dataset_sharded`]). Returns `(rows, cols)`.
+    pub fn register_csv_sharded(
+        &self,
+        name: &str,
+        path: &str,
+        separator: char,
+        shards: usize,
+    ) -> Result<(usize, usize), ServiceError> {
         let opts = CsvOptions {
             separator,
             ..CsvOptions::default()
@@ -400,6 +440,7 @@ impl AuditService {
             DatasetEntry {
                 dataset: Arc::new(ds),
                 source: path.to_string(),
+                shards: shards.max(1),
             },
         );
         drop(datasets);
@@ -407,9 +448,19 @@ impl AuditService {
         Ok(shape)
     }
 
-    /// `(name, source, rows, cols)` of every registered dataset, sorted by
-    /// name.
-    pub fn datasets(&self) -> Vec<(String, String, usize, usize)> {
+    /// The shard count audits on `name` are built with (`1` when the
+    /// dataset was registered without a shard spec).
+    pub fn dataset_shards(&self, name: &str) -> Result<usize, ServiceError> {
+        let datasets = self.datasets.read().expect("registry lock");
+        datasets
+            .get(name)
+            .map(|e| e.shards)
+            .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))
+    }
+
+    /// `(name, source, rows, cols, shards)` of every registered dataset,
+    /// sorted by name.
+    pub fn datasets(&self) -> Vec<(String, String, usize, usize, usize)> {
         let datasets = self.datasets.read().expect("registry lock");
         let mut out: Vec<_> = datasets
             .iter()
@@ -419,6 +470,7 @@ impl AuditService {
                     e.source.clone(),
                     e.dataset.n_rows(),
                     e.dataset.n_cols(),
+                    e.shards,
                 )
             })
             .collect();
@@ -529,11 +581,15 @@ impl AuditService {
         // registry second — no other path takes them in reverse.
         let snapshot = Arc::new(entry.monitor.dataset().clone());
         let mut datasets = self.datasets.write().expect("registry lock");
+        // The shard spec belongs to the dataset *name*, so a monitor
+        // republishing its evolved snapshot keeps it.
+        let shards = datasets.get(&update.dataset).map_or(1, |e| e.shards);
         datasets.insert(
             update.dataset.clone(),
             DatasetEntry {
                 dataset: snapshot,
                 source: format!("monitor:{name}"),
+                shards,
             },
         );
         drop(datasets);
@@ -592,7 +648,14 @@ impl AuditService {
     /// "this request did not pay construction".
     pub fn handle(&self, request: &AuditRequest) -> Result<AuditResponse, ServiceError> {
         let start = Instant::now();
-        let key = request.cache_key();
+        let mut key = request.cache_key();
+        // The shard spec lives with the registered dataset, not the
+        // request; fold it into the key so audits built under different
+        // shard counts never alias. An unknown dataset keeps shards = 1 —
+        // the build below reports the typed error.
+        if let Ok(shards) = self.dataset_shards(&request.dataset) {
+            key.shards = shards;
+        }
         let (audit, hit) = self.audit_for(&key, request)?;
         let outcome = audit.run(&request.config, &request.task, request.engine)?;
         let reports = audit.report(&outcome, &request.task);
@@ -670,15 +733,17 @@ impl AuditService {
     }
 
     fn build_audit(&self, request: &AuditRequest) -> Result<Arc<Audit>, ServiceError> {
-        let dataset = {
+        let (dataset, shards) = {
             let datasets = self.datasets.read().expect("registry lock");
             let entry = datasets
                 .get(&request.dataset)
                 .ok_or_else(|| ServiceError::UnknownDataset(request.dataset.clone()))?;
-            Arc::clone(&entry.dataset)
+            (Arc::clone(&entry.dataset), entry.shards)
         };
         let ranking = self.resolve_ranking(&dataset, &request.ranking)?;
-        let mut builder = Audit::builder(Arc::clone(&dataset)).ranking(ranking);
+        let mut builder = Audit::builder(Arc::clone(&dataset))
+            .ranking(ranking)
+            .shards(shards);
         for (column, bins) in &request.bucketize {
             builder = builder.bucketize(column, *bins);
         }
@@ -940,6 +1005,45 @@ mod tests {
             service.handle(base).unwrap().outcome.per_k
         );
         assert!(service.cache_len() <= 2);
+    }
+
+    #[test]
+    fn sharded_registration_matches_unsharded_and_keys_separately() {
+        let service = fig1_service();
+        service.register_dataset_sharded("fig1s", Arc::new(students_fig1()), 3);
+        assert_eq!(service.dataset_shards("fig1s").unwrap(), 3);
+        assert_eq!(service.dataset_shards("fig1").unwrap(), 1);
+        // Every task/engine shape answers identically through the sharded
+        // index, the response is keyed (and cached) under the shard spec,
+        // and the audit really is sharded.
+        for req in mixed_workload() {
+            let mut sharded = req.clone();
+            sharded.dataset = "fig1s".into();
+            let mono = service.handle(&req).unwrap();
+            let shard = service.handle(&sharded).unwrap();
+            assert_eq!(mono.outcome.per_k, shard.outcome.per_k);
+            assert!(shard.cache.key.contains("|shards=3"), "{}", shard.cache.key);
+            assert!(!mono.cache.key.contains("shards"), "{}", mono.cache.key);
+            assert_eq!(shard.audit.index().shard_count(), 3);
+            assert!(service.handle(&sharded).unwrap().cache.hit);
+        }
+        // Re-registering under a different shard count evicts the cached
+        // audits and the next request rebuilds with the new layout.
+        service.register_dataset_sharded("fig1s", Arc::new(students_fig1()), 5);
+        let mut req = mixed_workload()[0].clone();
+        req.dataset = "fig1s".into();
+        let resp = service.handle(&req).unwrap();
+        assert!(!resp.cache.hit, "stale sharded audit served");
+        assert_eq!(resp.audit.index().shard_count(), 5);
+        assert!(resp.cache.key.contains("|shards=5"), "{}", resp.cache.key);
+        // The registry listing reports the shard spec.
+        let listed = service.datasets();
+        let entry = listed.iter().find(|d| d.0 == "fig1s").unwrap();
+        assert_eq!(entry.4, 5);
+        assert_eq!(
+            service.dataset_shards("nope").unwrap_err(),
+            ServiceError::UnknownDataset("nope".into())
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!
 //! ```json
 //! {"op": "register", "name": "students", "csv": "students.csv", "separator": ","}
+//! {"op": "register", "name": "big", "csv": "big.csv", "shards": 8}
 //! {"op": "datasets"}
 //! {"id": 1, "dataset": "students",
 //!  "ranking": {"rank_by": "G3"},
@@ -29,6 +30,13 @@
 //! * bounds `B` — a number (constant), `{"steps": [[k_from, bound], …]}`,
 //!   or `{"fraction": X}` (`⌈X·k⌉`).
 //! * `config` — `{"tau": N, "kmin": N, "kmax": N, "deadline_s": X?}`.
+//! * `register.shards` — optional positive integer (default 1). With
+//!   `shards > 1`, audits on the dataset partition its ranked rows into
+//!   that many contiguous blocks, index each block separately, and merge
+//!   per-shard pattern counts additively at query time; results are
+//!   identical to the monolithic index, and the audit-cache key records
+//!   the shard count so re-registering with a different spec never serves
+//!   a stale layout.
 //!
 //! # Monitor ops
 //!
@@ -90,6 +98,9 @@ pub enum Request {
         csv: String,
         /// Field separator.
         separator: char,
+        /// Shard count for audits on this dataset (`1` = monolithic
+        /// index; `> 1` = shard-local indexes merged additively).
+        shards: usize,
     },
     /// List registered datasets.
     Datasets {
@@ -194,7 +205,11 @@ fn parse_request(v: &Value) -> Result<Request, ServiceError> {
             request: audit_request_from_json(v)?,
         }),
         Some(Some("register")) => {
-            reject_unknown(v, &["id", "op", "name", "csv", "separator"], "register")?;
+            reject_unknown(
+                v,
+                &["id", "op", "name", "csv", "separator", "shards"],
+                "register",
+            )?;
             let name = require_str(v, "name")?.to_string();
             let csv = require_str(v, "csv")?.to_string();
             let separator = match v.get("separator") {
@@ -210,11 +225,19 @@ fn parse_request(v: &Value) -> Result<Request, ServiceError> {
                     }
                 }
             };
+            let shards = match v.get("shards") {
+                None => 1,
+                Some(s) => s
+                    .as_usize()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| bad("`shards` must be a positive integer"))?,
+            };
             Ok(Request::Register {
                 id,
                 name,
                 csv,
                 separator,
+                shards,
             })
         }
         Some(Some("datasets")) => {
@@ -690,7 +713,8 @@ pub fn execute(service: &AuditService, request: &Request, strip_timing: bool) ->
             name,
             csv,
             separator,
-        } => match service.register_csv(name, csv, *separator) {
+            shards,
+        } => match service.register_csv_sharded(name, csv, *separator, *shards) {
             Ok((rows, cols)) => envelope(
                 id.as_ref(),
                 true,
@@ -699,6 +723,7 @@ pub fn execute(service: &AuditService, request: &Request, strip_timing: bool) ->
                     ("dataset".to_string(), Value::from(name.as_str())),
                     ("rows".to_string(), Value::from(rows)),
                     ("cols".to_string(), Value::from(cols)),
+                    ("shards".to_string(), Value::from(*shards)),
                 ],
             ),
             Err(e) => error_response(id.as_ref(), &e),
@@ -707,12 +732,13 @@ pub fn execute(service: &AuditService, request: &Request, strip_timing: bool) ->
             let datasets = service
                 .datasets()
                 .into_iter()
-                .map(|(name, source, rows, cols)| {
+                .map(|(name, source, rows, cols, shards)| {
                     Value::object([
                         ("name", Value::from(name)),
                         ("source", Value::from(source)),
                         ("rows", Value::from(rows)),
                         ("cols", Value::from(cols)),
+                        ("shards", Value::from(shards)),
                     ])
                 })
                 .collect();
@@ -831,6 +857,33 @@ mod tests {
         };
         assert_eq!(format!("{:?}", again), format!("{:?}", request));
         assert_eq!(again.cache_key(), request.cache_key());
+    }
+
+    #[test]
+    fn register_with_shards_parses_and_defaults() {
+        let r = parse_line(r#"{"op": "register", "name": "x", "csv": "y", "shards": 4}"#).unwrap();
+        let Request::Register {
+            shards, separator, ..
+        } = r
+        else {
+            panic!("expected register request");
+        };
+        assert_eq!(shards, 4);
+        assert_eq!(separator, ',');
+        let r = parse_line(r#"{"op": "register", "name": "x", "csv": "y"}"#).unwrap();
+        let Request::Register { shards, .. } = r else {
+            panic!("expected register request");
+        };
+        assert_eq!(shards, 1);
+        // Zero, negative and fractional shard counts are rejected.
+        for bad in [
+            r#"{"op": "register", "name": "x", "csv": "y", "shards": 0}"#,
+            r#"{"op": "register", "name": "x", "csv": "y", "shards": -2}"#,
+            r#"{"op": "register", "name": "x", "csv": "y", "shards": 2.5}"#,
+            r#"{"op": "register", "name": "x", "csv": "y", "shards": "four"}"#,
+        ] {
+            assert!(parse_line(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

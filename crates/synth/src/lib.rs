@@ -35,7 +35,9 @@ mod worst_case;
 
 pub use compas::compas;
 pub use german::german_credit;
-pub use random::{random_dataset, random_ranking, RandomSpec};
+pub use random::{
+    random_dataset, random_dataset_block, random_dataset_streamed, random_ranking, RandomSpec,
+};
 pub use student::student;
 pub use util::pearson;
 pub use worst_case::{worst_case, worst_case_result_count};

@@ -45,6 +45,84 @@ pub fn random_dataset(seed: u64, spec: RandomSpec) -> Dataset {
     Dataset::from_columns(cols).expect("columns share the row count")
 }
 
+/// SplitMix64 finalizer: decorrelates `(seed, row)` pairs so each row gets
+/// an independent generator stream.
+fn mix(seed: u64, row: u64) -> u64 {
+    let mut z = seed ^ row.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-attribute cardinalities for the streaming generator — a function of
+/// the seed and spec alone, so every block of the same dataset agrees on
+/// the schema.
+fn stream_cards(seed: u64, spec: RandomSpec) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(mix(seed, u64::MAX));
+    (0..spec.attrs)
+        .map(|_| rng.random_range(2..=spec.max_card))
+        .collect()
+}
+
+/// Generates the rows `lo..hi` of the streaming random dataset for
+/// `(seed, spec)`.
+///
+/// Unlike [`random_dataset`] (one sequential generator for the whole
+/// table), every row's codes here are a pure function of `(seed, row)`:
+/// generating `[0, n)` in one call and generating any partition of
+/// `[0, n)` block by block produce bit-identical rows. That is what lets
+/// a sharded build materialize one shard's rows at a time — no giant
+/// intermediate buffer, no cross-shard generator state — and is asserted
+/// by the `block_generation_is_split_invariant` test.
+///
+/// Value distributions are skewed (Zipf-ish) like [`random_dataset`], so
+/// minorities exist at every scale.
+///
+/// # Panics
+/// Panics if the block is out of range or the spec is degenerate.
+pub fn random_dataset_block(seed: u64, spec: RandomSpec, lo: usize, hi: usize) -> Dataset {
+    assert!(spec.rows > 0 && spec.attrs > 0 && spec.max_card >= 2);
+    assert!(lo <= hi && hi <= spec.rows, "block {lo}..{hi} out of range");
+    let cards = stream_cards(seed, spec);
+    let weights: Vec<Vec<f64>> = cards
+        .iter()
+        .map(|&card| (1..=card).map(|i| 1.0 / i as f64).collect())
+        .collect();
+    let totals: Vec<f64> = weights.iter().map(|w| w.iter().sum()).collect();
+    let mut codes: Vec<Vec<ValueCode>> = (0..spec.attrs)
+        .map(|_| Vec::with_capacity(hi - lo))
+        .collect();
+    for row in lo..hi {
+        let mut rng = StdRng::seed_from_u64(mix(seed, row as u64));
+        for a in 0..spec.attrs {
+            let mut x = rng.random::<f64>() * totals[a];
+            let mut code = (cards[a] - 1) as ValueCode;
+            for (i, &w) in weights[a].iter().enumerate() {
+                x -= w;
+                if x <= 0.0 {
+                    code = i as ValueCode;
+                    break;
+                }
+            }
+            codes[a].push(code);
+        }
+    }
+    let cols: Vec<Column> = codes
+        .into_iter()
+        .enumerate()
+        .map(|(a, codes)| {
+            let labels: Vec<String> = (0..cards[a]).map(|v| format!("v{v}")).collect();
+            Column::categorical_encoded(format!("a{a}"), codes, labels)
+        })
+        .collect();
+    Dataset::from_columns(cols).expect("columns share the row count")
+}
+
+/// The whole streaming dataset: [`random_dataset_block`] over `[0, rows)`.
+pub fn random_dataset_streamed(seed: u64, spec: RandomSpec) -> Dataset {
+    random_dataset_block(seed, spec, 0, spec.rows)
+}
+
 /// A uniformly random rank order over `rows` tuples.
 pub fn random_ranking(seed: u64, rows: usize) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x52414e4b);
@@ -86,6 +164,64 @@ mod tests {
         }
         assert_eq!(random_ranking(5, 100), order); // deterministic
         assert_ne!(random_ranking(6, 100), order);
+    }
+
+    #[test]
+    fn block_generation_is_split_invariant() {
+        // The property the sharded bench stands on: generating a dataset
+        // block by block — any blocks — reproduces whole-dataset
+        // generation exactly.
+        let spec = RandomSpec {
+            rows: 120,
+            attrs: 5,
+            max_card: 4,
+        };
+        let whole = random_dataset_streamed(7, spec);
+        assert_eq!(whole.n_rows(), 120);
+        assert_eq!(whole.n_cols(), 5);
+        for splits in [vec![0, 120], vec![0, 41, 77, 120], vec![0, 1, 2, 120]] {
+            let blocks: Vec<Dataset> = splits
+                .windows(2)
+                .map(|w| random_dataset_block(7, spec, w[0], w[1]))
+                .collect();
+            for (b, w) in splits.windows(2).zip(&blocks) {
+                assert_eq!(w.n_rows(), b[1] - b[0]);
+                for col in 0..5 {
+                    for r in 0..w.n_rows() {
+                        assert_eq!(
+                            w.code(r, col),
+                            whole.code(b[0] + r, col),
+                            "block {}..{} col {col} row {r}",
+                            b[0],
+                            b[1]
+                        );
+                    }
+                }
+            }
+        }
+        // Different seeds change the data.
+        assert_ne!(random_dataset_streamed(8, spec), whole);
+        // Repeat generation is bit-identical.
+        assert_eq!(random_dataset_streamed(7, spec), whole);
+    }
+
+    #[test]
+    fn streamed_values_are_skewed() {
+        let ds = random_dataset_streamed(
+            11,
+            RandomSpec {
+                rows: 5000,
+                attrs: 1,
+                max_card: 4,
+            },
+        );
+        let col = ds.column(0);
+        let card = col.cardinality().unwrap();
+        let mut counts = vec![0usize; card];
+        for r in 0..ds.n_rows() {
+            counts[usize::from(col.code(r))] += 1;
+        }
+        assert!(counts[0] > counts[card - 1]);
     }
 
     #[test]

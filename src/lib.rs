@@ -102,9 +102,9 @@ pub mod workloads;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::core::{
-        Audit, AuditBuilder, AuditError, AuditKResult, AuditOutcome, AuditTask, BiasMeasure,
-        Bounds, DeltaReport, DetectConfig, Engine, MonitorAudit, OverRepScope, Pattern,
-        PatternSpace, RankedIndex, RankingEdit,
+        Audit, AuditBuilder, AuditError, AuditIndex, AuditKResult, AuditOutcome, AuditTask,
+        BiasMeasure, Bounds, CountsProvider, DeltaReport, DetectConfig, Engine, MonitorAudit,
+        OverRepScope, Pattern, PatternSpace, RankedIndex, RankingEdit, ShardedIndex,
     };
     pub use crate::data::{Column, ColumnData, Dataset};
     pub use crate::explain::{ExplainConfig, RankSurrogate};
