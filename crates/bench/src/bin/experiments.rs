@@ -838,7 +838,10 @@ fn monitor_bench(opts: &Opts) {
     // exactly and score edits move tuples by a controlled distance).
     let mut ds = (*w.detection).clone();
     let scores: Vec<f64> = (0..n)
-        .map(|row| (n - w.ranking.position(row as u32)) as f64)
+        .map(|row| {
+            let row = u32::try_from(row).expect("bench row ids fit TupleId");
+            (n - w.ranking.position(row)) as f64
+        })
         .collect();
     ds.push_column(rankfair::data::Column::numeric("__score", scores))
         .expect("fresh column name");

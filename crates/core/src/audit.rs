@@ -514,7 +514,8 @@ impl Audit {
 
     /// Row ids of the tuples matching `p`.
     pub fn group_members(&self, p: &Pattern) -> Vec<u32> {
-        (0..self.dataset.n_rows() as u32)
+        let n = u32::try_from(self.dataset.n_rows()).expect("row count fits TupleId");
+        (0..n)
             .filter(|&r| p.matches(|a| self.dataset.code(r as usize, self.space.dataset_col(a))))
             .collect()
     }

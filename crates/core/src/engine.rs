@@ -125,8 +125,8 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         let mut card_prefix = Vec::with_capacity(space.n_attrs() + 1);
         let mut acc = 0u32;
         card_prefix.push(0);
-        for a in 0..space.n_attrs() as AttrId {
-            acc += space.card(a) as u32;
+        for a in space.attr_ids() {
+            acc += u32::try_from(space.card(a)).expect("dictionary cap keeps cardinality in u32");
             card_prefix.push(acc);
         }
         Engine {
@@ -165,13 +165,14 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
     fn eval_new(&mut self, pattern: Pattern, parent: u32, k: usize) -> u32 {
         let (sd, count) = self.index.counts(&pattern, k);
         self.stats.nodes_evaluated += 1;
-        let id = self.nodes.len() as u32;
+        let id = u32::try_from(self.nodes.len()).expect("node ids fit u32");
         let pruned = sd < self.tau_s;
         self.nodes.push(Node {
             pattern,
             parent,
-            sd: sd as u32,
-            count: count as u32,
+            // Row counts are bounded by n, which fits TupleId (u32).
+            sd: u32::try_from(sd).expect("row counts fit TupleId"),
+            count: u32::try_from(count).expect("row counts fit TupleId"),
             expanded: false,
             pruned,
             children: Vec::new(),
@@ -215,7 +216,7 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         let m = self.space.n_attrs() as AttrId;
         let mut children = Vec::new();
         for a in start..m {
-            for v in 0..self.space.card(a) as u16 {
+            for v in self.space.value_codes(a) {
                 children.push(self.eval_new(pattern.child(a, v), id, k));
             }
         }
@@ -375,7 +376,7 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         let m = self.space.n_attrs() as AttrId;
         let mut queue: VecDeque<u32> = VecDeque::new();
         for a in 0..m {
-            for v in 0..self.space.card(a) as u16 {
+            for v in self.space.value_codes(a) {
                 let id = self.eval_new(Pattern::single(a, v), ROOT, k);
                 self.root_children.push(id);
                 queue.push_back(id);
@@ -599,7 +600,7 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
     /// bound). A single pass over the node store reclassifies without a
     /// single fresh pattern evaluation.
     fn rescan_all(&mut self, k: usize, cands: &mut FxHashSet<u32>) {
-        for id in 0..self.nodes.len() as u32 {
+        for id in 0..u32::try_from(self.nodes.len()).expect("node ids fit u32") {
             if self.nodes[id as usize].pruned {
                 continue;
             }

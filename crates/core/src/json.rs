@@ -169,17 +169,20 @@ pub fn reports_json(reports: &[KReport], space: &PatternSpace) -> Value {
                             r.groups
                                 .iter()
                                 .map(|g| {
-                                    let Value::Obj(mut pairs) = g.to_json() else {
-                                        unreachable!("BiasedGroup encodes as an object")
-                                    };
-                                    pairs.insert(
-                                        1,
-                                        (
-                                            "terms".to_string(),
-                                            pattern_terms_json(&g.pattern, space),
-                                        ),
-                                    );
-                                    Value::Obj(pairs)
+                                    // BiasedGroup encodes as an object;
+                                    // anything else passes through
+                                    // un-enriched rather than panicking.
+                                    let mut encoded = g.to_json();
+                                    if let Value::Obj(pairs) = &mut encoded {
+                                        pairs.insert(
+                                            1,
+                                            (
+                                                "terms".to_string(),
+                                                pattern_terms_json(&g.pattern, space),
+                                            ),
+                                        );
+                                    }
+                                    encoded
                                 })
                                 .collect(),
                         ),
@@ -210,11 +213,7 @@ pub fn edit_from_json(v: &Value, ds: &Dataset) -> Result<RankingEdit, String> {
         .ok_or("`edit` must be \"score\" or \"insert\"")?;
     match kind {
         "score" => {
-            for (key, _) in pairs {
-                if !["edit", "row", "score"].contains(&key.as_str()) {
-                    return Err(format!("unknown member `{key}` in score edit"));
-                }
-            }
+            reject_unknown_members(pairs, &["edit", "row", "score"], "score edit")?;
             let row = v
                 .get("row")
                 .and_then(Value::as_usize)
@@ -230,11 +229,7 @@ pub fn edit_from_json(v: &Value, ds: &Dataset) -> Result<RankingEdit, String> {
             Ok(RankingEdit::ScoreUpdate { row, score })
         }
         "insert" => {
-            for (key, _) in pairs {
-                if !["edit", "cells"].contains(&key.as_str()) {
-                    return Err(format!("unknown member `{key}` in insert edit"));
-                }
-            }
+            reject_unknown_members(pairs, &["edit", "cells"], "insert edit")?;
             let cells_obj = v
                 .get("cells")
                 .and_then(Value::as_obj)
@@ -266,6 +261,22 @@ pub fn edit_from_json(v: &Value, ds: &Dataset) -> Result<RankingEdit, String> {
         }
         other => Err(format!("unknown edit kind `{other}`")),
     }
+}
+
+/// Member-allowlist check shared by the edit shapes — the core-side
+/// counterpart of the wire layer's `reject_unknown`, so misspelled or
+/// smuggled members fail loudly instead of being silently ignored.
+fn reject_unknown_members(
+    pairs: &[(String, Value)],
+    allowed: &[&str],
+    context: &str,
+) -> Result<(), String> {
+    for (key, _) in pairs {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown member `{key}` in {context}"));
+        }
+    }
+    Ok(())
 }
 
 /// Parses an array of ranking edits (one `update` batch).

@@ -538,10 +538,15 @@ impl MonitorAudit {
                             self.dataset.n_cols()
                         )));
                     }
-                    for (ci, (col, cell)) in self.dataset.columns().iter().zip(cells).enumerate() {
+                    for ((col, cell), pending) in self
+                        .dataset
+                        .columns()
+                        .iter()
+                        .zip(cells)
+                        .zip(pending_labels.iter_mut())
+                    {
                         match (cell, col.is_categorical()) {
                             (RowValue::Label(label), true) => {
-                                let pending = &mut pending_labels[ci];
                                 let is_new = col.code_of(label).is_none()
                                     && !pending.contains(&label.as_str());
                                 if is_new {
@@ -566,21 +571,32 @@ impl MonitorAudit {
                             }
                         }
                     }
-                    match &cells[self.score_col] {
-                        RowValue::Number(s) if s.is_nan() => {
+                    match cells.get(self.score_col) {
+                        Some(RowValue::Number(s)) if s.is_nan() => {
                             return Err(MonitorError::BadEdit("inserted score is NaN".into()))
                         }
-                        RowValue::Number(_) => {}
-                        RowValue::Label(_) => unreachable!("kind checked above"),
+                        Some(RowValue::Number(_)) => {}
+                        // The kind check above already rejected a label
+                        // here; cover it in-band all the same.
+                        _ => {
+                            return Err(MonitorError::BadEdit(
+                                "insert score cell must be numeric".into(),
+                            ))
+                        }
                     }
                     // Pattern attributes have fixed cardinalities: a label
                     // outside the dictionary cannot be represented in the
                     // index.
-                    for a in 0..self.space.n_attrs() {
-                        let col_idx = self.space.dataset_col(a as u16);
+                    for a in self.space.attr_ids() {
+                        let col_idx = self.space.dataset_col(a);
                         let col = self.dataset.column(col_idx);
-                        let RowValue::Label(label) = &cells[col_idx] else {
-                            unreachable!("pattern attributes are categorical");
+                        // Pattern columns are categorical by
+                        // construction; reject in-band regardless.
+                        let Some(RowValue::Label(label)) = cells.get(col_idx) else {
+                            return Err(MonitorError::BadEdit(format!(
+                                "cell for pattern column `{}` must be a label",
+                                col.name()
+                            )));
                         };
                         if col.code_of(label).is_none() {
                             return Err(MonitorError::UnknownLabel {
@@ -632,8 +648,9 @@ impl MonitorAudit {
                     merge(d.changed, &mut span);
                 }
                 RankingEdit::Insert { cells } => {
-                    let RowValue::Number(score) = cells[self.score_col] else {
-                        unreachable!("validated above");
+                    let score = match cells.get(self.score_col) {
+                        Some(RowValue::Number(s)) => *s,
+                        _ => unreachable!("validate_edits proved this cell numeric"), // lint:allow(panic-path) -- earlier batch edits are already applied here; an in-band error would break apply's all-or-nothing contract, and validate_edits pre-proved the cell
                     };
                     self.dataset
                         .push_row(cells)
@@ -734,8 +751,9 @@ impl MonitorAudit {
         let mut changed = Vec::new();
         for new in out.per_k {
             let slot = new.k - self.cfg.k_min;
-            let old = std::mem::replace(&mut self.results[slot], new);
-            let new = &self.results[slot];
+            let old = std::mem::replace(&mut self.results[slot], new); // lint:allow(panic-path) -- run_range only produces k inside (k_lo, k_hi] ⊆ the configured grid `results` was built over
+            let new = &self.results[slot]; // lint:allow(panic-path) -- same in-grid slot as the line above
+
             let (entered_under, left_under) = diff_sorted(&old.under, &new.under);
             let (entered_over, left_over) = diff_sorted(&old.over, &new.over);
             let delta = KDelta {
@@ -764,7 +782,7 @@ fn diff_sorted(old: &[Pattern], new: &[Pattern]) -> (Vec<Pattern>, Vec<Pattern>)
     let mut entered = Vec::new();
     let mut left = Vec::new();
     let (mut i, mut j) = (0, 0);
-    while i < old.len() || j < new.len() {
+    loop {
         match (old.get(i), new.get(j)) {
             (Some(o), Some(n)) => match o.cmp(n) {
                 std::cmp::Ordering::Equal => {
@@ -788,7 +806,7 @@ fn diff_sorted(old: &[Pattern], new: &[Pattern]) -> (Vec<Pattern>, Vec<Pattern>)
                 entered.push(n.clone());
                 j += 1;
             }
-            (None, None) => unreachable!(),
+            (None, None) => break,
         }
     }
     (entered, left)

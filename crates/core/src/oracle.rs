@@ -44,7 +44,7 @@ pub fn enumerate_substantial(
     let mut out = Vec::new();
     let m = space.n_attrs() as AttrId;
     let mut stack: Vec<Pattern> = (0..m)
-        .flat_map(|a| (0..space.card(a) as u16).map(move |v| Pattern::single(a, v)))
+        .flat_map(|a| space.value_codes(a).map(move |v| Pattern::single(a, v)))
         .collect();
     while let Some(p) = stack.pop() {
         let (sd, _) = naive_counts(ds, space, ranking, &p, 0);
@@ -53,7 +53,7 @@ pub fn enumerate_substantial(
         }
         let start = p.max_attr().map_or(0, |a| a + 1);
         for a in start..m {
-            for v in 0..space.card(a) as u16 {
+            for v in space.value_codes(a) {
                 stack.push(p.child(a, v));
             }
         }

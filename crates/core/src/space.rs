@@ -132,6 +132,21 @@ impl PatternSpace {
         self.attrs[usize::from(a)].labels.len()
     }
 
+    /// All attribute ids, typed — the checked replacement for the old
+    /// `0..n_attrs() as u16` loops (a bare cast would wrap past
+    /// `u16::MAX` attributes instead of failing).
+    pub fn attr_ids(&self) -> std::ops::Range<AttrId> {
+        0..AttrId::try_from(self.attrs.len()).expect("attribute count fits AttrId")
+    }
+
+    /// All value codes of attribute `a`, typed — the checked
+    /// replacement for the old `0..card(a) as u16` loops. The data
+    /// layer's dictionary cap reserves `ValueCode::MAX`, so every real
+    /// cardinality fits.
+    pub fn value_codes(&self, a: AttrId) -> std::ops::Range<ValueCode> {
+        0..ValueCode::try_from(self.card(a)).expect("dictionary cap keeps cardinality in ValueCode")
+    }
+
     /// Name of attribute `a`.
     pub fn attr_name(&self, a: AttrId) -> &str {
         &self.attrs[usize::from(a)].name

@@ -25,7 +25,7 @@ pub fn suggest_tau<I: CountsProvider>(index: &I, space: &PatternSpace, quantile:
     );
     let mut sizes: Vec<usize> = Vec::new();
     for a in 0..space.n_attrs() as AttrId {
-        for v in 0..space.card(a) as u16 {
+        for v in space.value_codes(a) {
             let sd = index.size_in_data(&Pattern::single(a, v));
             if sd > 0 {
                 sizes.push(sd);

@@ -48,7 +48,7 @@ pub(crate) fn search_single_k<I: CountsProvider>(
     let mut queue: VecDeque<Pattern> = VecDeque::new();
     // generateChildren({}): every single-term pattern.
     for a in 0..m {
-        for v in 0..space.card(a) as u16 {
+        for v in space.value_codes(a) {
             queue.push_back(Pattern::single(a, v));
         }
     }
@@ -74,7 +74,7 @@ pub(crate) fn search_single_k<I: CountsProvider>(
         } else {
             let start = p.max_attr().map_or(0, |a| a + 1);
             for a in start..m {
-                for v in 0..space.card(a) as u16 {
+                for v in space.value_codes(a) {
                     queue.push_back(p.child(a, v));
                 }
             }

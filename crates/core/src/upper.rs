@@ -60,7 +60,7 @@ pub(crate) fn upper_most_specific_single_k_guarded<I: CountsProvider>(
     // Depth-first enumeration of the (subset-closed) qualifying set.
     let mut qualifying: Vec<Pattern> = Vec::new();
     let mut stack: Vec<Pattern> = (0..m)
-        .flat_map(|a| (0..space.card(a) as u16).map(move |v| Pattern::single(a, v)))
+        .flat_map(|a| space.value_codes(a).map(move |v| Pattern::single(a, v)))
         .collect();
     while let Some(p) = stack.pop() {
         if guard.expired() {
@@ -73,7 +73,7 @@ pub(crate) fn upper_most_specific_single_k_guarded<I: CountsProvider>(
         }
         let start = p.max_attr().map_or(0, |a| a + 1);
         for a in start..m {
-            for v in 0..space.card(a) as u16 {
+            for v in space.value_codes(a) {
                 stack.push(p.child(a, v));
             }
         }
@@ -87,7 +87,7 @@ pub(crate) fn upper_most_specific_single_k_guarded<I: CountsProvider>(
             if p.value_of(a).is_some() {
                 continue;
             }
-            for v in 0..space.card(a) as u16 {
+            for v in space.value_codes(a) {
                 if guard.expired() {
                     return None;
                 }
@@ -383,7 +383,7 @@ pub fn upper_most_general_single_k<I: CountsProvider>(
     let m = space.n_attrs() as AttrId;
     let mut res: Vec<Pattern> = Vec::new();
     let mut queue: std::collections::VecDeque<Pattern> = (0..m)
-        .flat_map(|a| (0..space.card(a) as u16).map(move |v| Pattern::single(a, v)))
+        .flat_map(|a| space.value_codes(a).map(move |v| Pattern::single(a, v)))
         .collect();
     while let Some(p) = queue.pop_front() {
         stats.nodes_evaluated += 1;
@@ -398,7 +398,7 @@ pub fn upper_most_general_single_k<I: CountsProvider>(
         } else {
             let start = p.max_attr().map_or(0, |a| a + 1);
             for a in start..m {
-                for v in 0..space.card(a) as u16 {
+                for v in space.value_codes(a) {
                     queue.push_back(p.child(a, v));
                 }
             }
@@ -424,7 +424,7 @@ pub fn lower_most_specific_single_k<I: CountsProvider>(
     let m = space.n_attrs() as AttrId;
     let mut qualifying: Vec<Pattern> = Vec::new();
     let mut stack: Vec<Pattern> = (0..m)
-        .flat_map(|a| (0..space.card(a) as u16).map(move |v| Pattern::single(a, v)))
+        .flat_map(|a| space.value_codes(a).map(move |v| Pattern::single(a, v)))
         .collect();
     while let Some(p) = stack.pop() {
         stats.nodes_evaluated += 1;
@@ -434,7 +434,7 @@ pub fn lower_most_specific_single_k<I: CountsProvider>(
         }
         let start = p.max_attr().map_or(0, |a| a + 1);
         for a in start..m {
-            for v in 0..space.card(a) as u16 {
+            for v in space.value_codes(a) {
                 stack.push(p.child(a, v));
             }
         }
@@ -451,7 +451,7 @@ pub fn lower_most_specific_single_k<I: CountsProvider>(
                 if p.value_of(a).is_some() {
                     continue;
                 }
-                for v in 0..space.card(a) as u16 {
+                for v in space.value_codes(a) {
                     let mut terms = p.terms().to_vec();
                     terms.push((a, v));
                     let ext = Pattern::from_terms(terms).expect("attribute unused");

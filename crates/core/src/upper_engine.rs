@@ -100,8 +100,8 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
         let mut card_prefix = Vec::with_capacity(space.n_attrs() + 1);
         let mut acc = 0u32;
         card_prefix.push(0);
-        for a in 0..space.n_attrs() as AttrId {
-            acc += space.card(a) as u32;
+        for a in space.attr_ids() {
+            acc += u32::try_from(space.card(a)).expect("dictionary cap keeps cardinality in u32");
             card_prefix.push(acc);
         }
         UpperEngine {
@@ -123,10 +123,11 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
         let (sd, count) = self.index.counts(&pattern, k);
         self.stats.nodes_evaluated += 1;
         let pruned = sd < self.tau_s;
-        let id = self.nodes.len() as u32;
+        let id = u32::try_from(self.nodes.len()).expect("node ids fit u32");
         self.nodes.push(Node {
             pattern,
-            count: count as u32,
+            // Row counts are bounded by n, which fits TupleId (u32).
+            count: u32::try_from(count).expect("row counts fit TupleId"),
             pruned,
             qualified: !pruned && count > u,
             expanded: false,
@@ -431,7 +432,7 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
     fn reclassify_all(&mut self, k: usize, u: usize, guard: &mut DeadlineGuard) -> bool {
         let mut fresh = Vec::new();
         let mut lost = Vec::new();
-        for id in 0..self.nodes.len() as u32 {
+        for id in 0..u32::try_from(self.nodes.len()).expect("node ids fit u32") {
             if self.nodes[id as usize].pruned {
                 continue;
             }

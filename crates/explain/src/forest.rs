@@ -46,10 +46,11 @@ impl Forest {
             tree_params.features_per_split = (x.n_features() as f64).sqrt().ceil() as usize;
         }
         let mut rng = StdRng::seed_from_u64(params.seed);
+        let n32 = u32::try_from(n).expect("row count fits u32");
         let trees = (0..params.n_trees)
             .map(|_| {
                 // Bootstrap sample (with replacement).
-                let idx: Vec<u32> = (0..n).map(|_| rng.random_range(0..n as u32)).collect();
+                let idx: Vec<u32> = (0..n).map(|_| rng.random_range(0..n32)).collect();
                 RegressionTree::fit_on(x, y, &idx, tree_params, &mut rng)
             })
             .collect();

@@ -71,7 +71,7 @@ pub fn permutation_importance(
     assert!(repeats > 0, "need at least one repeat");
     let baseline = mse(model, x, y, None);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut perm: Vec<u32> = (0..x.n_rows() as u32).collect();
+    let mut perm: Vec<u32> = (0..u32::try_from(x.n_rows()).expect("row count fits u32")).collect();
     let mut scores = Vec::with_capacity(x.n_features());
     for f in 0..x.n_features() {
         let mut acc = 0.0;

@@ -207,7 +207,7 @@ impl RegressionTree {
 
     /// Fits on all rows.
     pub fn fit(x: &FeatureMatrix, y: &[f64], params: TreeParams, rng: &mut StdRng) -> Self {
-        let idx: Vec<u32> = (0..x.n_rows() as u32).collect();
+        let idx: Vec<u32> = (0..u32::try_from(x.n_rows()).expect("row count fits u32")).collect();
         Self::fit_on(x, y, &idx, params, rng)
     }
 

@@ -249,8 +249,8 @@ fn write_string(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -318,7 +318,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -328,7 +328,11 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        if self
+            .bytes
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(word.as_bytes()))
+        {
             self.pos += word.len();
             Ok(v)
         } else {
@@ -351,7 +355,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -374,7 +378,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -392,7 +396,7 @@ impl Parser<'_> {
                 return Err(self.err("duplicate object key"));
             }
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             pairs.push((key, val));
@@ -409,7 +413,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -443,11 +447,16 @@ impl Parser<'_> {
                     return Err(self.err("unescaped control character in string"));
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so slicing
-                    // at the next char boundary is safe).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input was a &str");
-                    let c = s.chars().next().unwrap();
+                    // Consume one UTF-8 scalar. The input arrived as a
+                    // &str so the decode cannot fail, but the failure
+                    // stays in-band rather than trusting that at a
+                    // distance.
+                    let c = self
+                        .bytes
+                        .get(self.pos..)
+                        .and_then(|rest| std::str::from_utf8(rest).ok())
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -481,9 +490,9 @@ impl Parser<'_> {
         let mut v = 0u32;
         for _ in 0..4 {
             let d = match self.peek() {
-                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
-                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
-                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a' + 10),
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A' + 10),
                 _ => return Err(self.err("invalid hex digit in \\u escape")),
             };
             v = v * 16 + d;
@@ -529,7 +538,13 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // The span was matched byte-by-byte against ASCII digit classes,
+        // so the decode cannot fail; the failure stays in-band regardless.
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|span| std::str::from_utf8(span).ok())
+            .ok_or_else(|| self.err("invalid number"))?;
         let n: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
         // Overflowing literals (1e999) parse to infinity; a wire format
         // must not let a non-finite number in through the front door.

@@ -1,0 +1,122 @@
+//! `rankfair-lint` — CLI driver for [`rankfair_lint`].
+//!
+//! ```text
+//! cargo run -p rankfair-lint -- check [--root DIR] [--format text|json] [--list-allows]
+//! ```
+//!
+//! Exit codes: `0` clean (or listing allows over a clean tree), `1`
+//! unsuppressed findings, `2` usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    json: bool,
+    list_allows: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rankfair-lint check [--root DIR] [--format text|json] [--list-allows]\n\
+         \n\
+         Lints every crates/*/src and src/ .rs file plus all Cargo.toml manifests.\n\
+         Rules: {}\n\
+         Suppress with `// lint:allow(<rule>) -- <reason>` (reason mandatory; every\n\
+         allow must be ledgered in {}).",
+        rankfair_lint::RULES.join(", "),
+        rankfair_lint::LEDGER_FILE,
+    );
+    ExitCode::from(2)
+}
+
+fn parse_opts() -> Result<Opts, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => {}
+        _ => return Err(usage()),
+    }
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        json: false,
+        list_allows: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => opts.root = PathBuf::from(dir),
+                None => return Err(usage()),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                _ => return Err(usage()),
+            },
+            "--list-allows" => opts.list_allows = true,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
+    if !opts.root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "rankfair-lint: {} has no Cargo.toml — pass the workspace root via --root",
+            opts.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = match rankfair_lint::run(&opts.root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("rankfair-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Buffer the report and ignore write errors: `check | head` closing
+    // the pipe early must not panic a tool whose job is panic-freedom.
+    let mut out = String::new();
+    {
+        use std::fmt::Write;
+        if opts.list_allows {
+            for a in &report.allows {
+                let _ = writeln!(out, "{}:{}  {}  — {}", a.file, a.line, a.rule, a.reason);
+            }
+            let _ = writeln!(out, "{} allow(s)", report.allows.len());
+        } else if opts.json {
+            let _ = writeln!(out, "{}", rankfair_lint::report_json(&report).render());
+        } else {
+            for f in &report.findings {
+                let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                if !f.excerpt.is_empty() {
+                    let _ = writeln!(out, "    | {}", f.excerpt);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{} file(s), {} manifest(s) scanned: {} finding(s), {} allow(s)",
+                report.files_scanned,
+                report.manifests_scanned,
+                report.findings.len(),
+                report.allows.len()
+            );
+        }
+    }
+    {
+        use std::io::Write;
+        let _ = std::io::stdout().write_all(out.as_bytes());
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,137 @@
+//! `offline-deps` — the container has no network and no crates.io
+//! vendor directory, so a registry dependency can never build. Every
+//! `[dependencies]`/`[dev-dependencies]`/`[build-dependencies]` entry
+//! in every manifest must resolve in-workspace: an inline table with
+//! `path = "…"`, or `workspace = true` inheritance. This is how the
+//! PR 1 seed broke (crates.io `rand`/`proptest` imports in an offline
+//! container) — the rule keeps that class of breakage from landing
+//! again.
+
+use crate::Finding;
+
+fn is_dep_section(section: &str) -> bool {
+    let core = section
+        .strip_prefix("target.")
+        .and_then(|rest| rest.rfind('.').map(|i| &rest[i + 1..]))
+        .unwrap_or(section);
+    matches!(
+        core.split('.').next().unwrap_or(core),
+        "dependencies" | "dev-dependencies" | "build-dependencies"
+    )
+}
+
+/// Lints one `Cargo.toml`. `file` is the workspace-relative path used
+/// in findings.
+pub fn offline_deps(file: &str, src: &str, out: &mut Vec<Finding>) {
+    let mut section = String::new();
+    // For `[dependencies.foo]` table-form deps: the open finding is
+    // retracted if a `path` key shows up before the section ends.
+    let mut table_dep: Option<Finding> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = raw.trim();
+        if let Some(header) = line.strip_prefix('[') {
+            if let Some(open) = table_dep.take() {
+                out.push(open);
+            }
+            section = header.trim_end_matches(']').trim().to_string();
+            // `[dependencies.foo]` table form: offline until proven
+            // otherwise by a `path` key inside the section.
+            // (`[target.….dependencies]` ends with the section word and
+            // stays inline form.)
+            if is_dep_section(&section) && !section.ends_with("dependencies") {
+                table_dep = Some(Finding {
+                    file: file.to_string(),
+                    line: line_no,
+                    rule: "offline-deps",
+                    message: format!(
+                        "dependency table `[{section}]` has no `path` key — registry deps cannot \
+                         resolve in the offline container; use an in-workspace path dep"
+                    ),
+                    excerpt: line.to_string(),
+                });
+            }
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        if !section.ends_with("dependencies") {
+            // Inside a `[dependencies.foo]` table.
+            if line.starts_with("path") {
+                table_dep = None;
+            }
+            continue;
+        }
+        // Inline form: `name = "1.0"` or `name = { … }`.
+        let Some((name, spec)) = line.split_once('=') else {
+            continue;
+        };
+        let (name, spec) = (name.trim(), spec.trim());
+        let offline = spec.contains("path") || spec.replace(' ', "").contains("workspace=true");
+        if !offline {
+            out.push(Finding {
+                file: file.to_string(),
+                line: line_no,
+                rule: "offline-deps",
+                message: format!(
+                    "dependency `{name}` does not use an in-workspace `path` (or workspace \
+                     inheritance) — registry deps cannot resolve in the offline container"
+                ),
+                excerpt: line.to_string(),
+            });
+        }
+    }
+    if let Some(open) = table_dep.take() {
+        out.push(open);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        offline_deps("Cargo.toml", src, &mut out);
+        out
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = "[package]\nname = \"x\"\nversion = \"1.0\"\n\n[dependencies]\n\
+                   rankfair_json = { path = \"../json\" }\nrand = { path = \"crates/rand\" }\n\
+                   [dev-dependencies]\nfoo = { workspace = true }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn registry_deps_fail() {
+        let src = "[dependencies]\nserde = \"1.0\"\nrayon = { version = \"1.8\" }\n";
+        let out = run(src);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains("serde"));
+        assert_eq!(out[1].line, 3);
+    }
+
+    #[test]
+    fn table_form_needs_path() {
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\nfeatures = [\"derive\"]\n";
+        assert_eq!(run(bad).len(), 1);
+        let good = "[dependencies.local]\npath = \"../local\"\n\n[package]\nname = \"x\"\n";
+        assert!(run(good).is_empty());
+    }
+
+    #[test]
+    fn package_metadata_is_not_a_dep() {
+        // `version.workspace = true` under [package] must not trip the rule,
+        // and random `key = value` lines outside dep sections are ignored.
+        let src = "[package]\nversion.workspace = true\nedition = \"2021\"\n\
+                   [features]\ndefault = []\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,438 @@
+//! The source-level rules. Each rule walks the token stream from
+//! [`crate::lexer`] and pushes [`Finding`]s (excerpts are attached by
+//! the caller). Tokens inside `#[cfg(test)]` blocks are skipped — test
+//! code may panic and cast freely.
+
+use crate::lexer::{match_brace, Lexed, Tok, TokKind};
+use crate::Finding;
+
+fn finding(file: &str, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+        excerpt: String::new(),
+    }
+}
+
+/// `lock-guard-liveness` — the PR 3 deadlock class.
+///
+/// A `.read()`/`.lock()` call inside a `match`/`if let`/`while let`/
+/// `for` **header** produces a temporary guard that Rust keeps alive
+/// through *every* arm and branch of the construct (scrutinee
+/// temporaries drop at the end of the whole expression, not at the end
+/// of the header). If any reachable branch then takes `.write()` or
+/// `.lock()` on the same lock path, the thread deadlocks against
+/// itself — exactly the shipped PR 3 bug
+/// (`if let Some(c) = map.read()….get(..)` holding the read guard into
+/// the else-branch `write()`). Plain-`if` conditions are exempt: their
+/// temporaries drop before the block runs.
+pub fn lock_guard_liveness(file: &str, lx: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lx.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.in_test {
+            i += 1;
+            continue;
+        }
+        let construct = if t.is_ident("match") {
+            Some("match")
+        } else if t.is_ident("if") && toks.get(i + 1).is_some_and(|n| n.is_ident("let")) {
+            Some("if let")
+        } else if t.is_ident("while") && toks.get(i + 1).is_some_and(|n| n.is_ident("let")) {
+            Some("while let")
+        } else if t.is_ident("for") {
+            Some("for")
+        } else {
+            None
+        };
+        let Some(construct) = construct else {
+            i += 1;
+            continue;
+        };
+        let Some(open) = header_end(toks, i + 1) else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = match_brace(toks, open) else {
+            i += 1;
+            continue;
+        };
+        // `if let` / `match` temporaries stay live through chained
+        // else-branches and all arms; extend the body span over them.
+        let body_end = extend_over_else(toks, close);
+
+        for g in i + 1..open {
+            let Some(path) = guard_call(toks, g, &["read", "lock"]) else {
+                continue;
+            };
+            if let Some(w) = find_lock_use(toks, open + 1, body_end, &path, &["write", "lock"]) {
+                out.push(finding(
+                    file,
+                    toks[i].line,
+                    "lock-guard-liveness",
+                    format!(
+                        "temporary `.{}()` guard on `{}` in this `{construct}` header is held through \
+                         every branch, and line {} takes `.{}()` on the same lock — bind the extracted \
+                         value with a prior `let` so the guard drops first (PR 3 deadlock class)",
+                        toks[g + 1].text,
+                        path.join("."),
+                        toks[w].line,
+                        toks[w].text,
+                    ),
+                ));
+                break;
+            }
+        }
+        i = open + 1;
+    }
+}
+
+/// Finds the `{` opening the construct body: the first `{` at
+/// paren/bracket depth zero after `start`.
+fn header_end(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some(j),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extends a body span over chained `else` / `else if` blocks (the
+/// scrutinee temporary lives through all of them).
+fn extend_over_else(toks: &[Tok], mut close: usize) -> usize {
+    while toks.get(close + 1).is_some_and(|t| t.is_ident("else")) {
+        let Some(open) = header_end(toks, close + 2) else {
+            break;
+        };
+        let Some(next_close) = match_brace(toks, open) else {
+            break;
+        };
+        close = next_close;
+    }
+    close
+}
+
+/// If `toks[g]` is the `.` of a zero-argument `.read()`/`.lock()` call,
+/// returns the dotted receiver path (walked backwards over
+/// `ident . ident . …`), e.g. `["self", "map"]`.
+fn guard_call(toks: &[Tok], g: usize, methods: &[&str]) -> Option<Vec<String>> {
+    if !toks[g].is_punct('.') {
+        return None;
+    }
+    let m = toks.get(g + 1)?;
+    if m.kind != TokKind::Ident || !methods.contains(&m.text.as_str()) {
+        return None;
+    }
+    if !(toks.get(g + 2)?.is_punct('(') && toks.get(g + 3)?.is_punct(')')) {
+        return None;
+    }
+    // Walk backwards: ident (. ident)* ending just before `g`.
+    let mut path = Vec::new();
+    let mut j = g;
+    while j >= 1 && toks[j - 1].kind == TokKind::Ident {
+        path.push(toks[j - 1].text.clone());
+        if j >= 2 && toks[j - 2].is_punct('.') {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    if path.is_empty() {
+        return None;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Searches `toks[from..=to]` for `path[0].path[1]…` followed by
+/// `.write()` / `.lock()`; returns the index of the method ident.
+fn find_lock_use(
+    toks: &[Tok],
+    from: usize,
+    to: usize,
+    path: &[String],
+    methods: &[&str],
+) -> Option<usize> {
+    'outer: for j in from..=to.min(toks.len().saturating_sub(1)) {
+        let mut k = j;
+        for (n, seg) in path.iter().enumerate() {
+            if !toks.get(k).is_some_and(|t| t.is_ident(seg)) {
+                continue 'outer;
+            }
+            if n + 1 < path.len() {
+                if !toks.get(k + 1).is_some_and(|t| t.is_punct('.')) {
+                    continue 'outer;
+                }
+                k += 2;
+            }
+        }
+        if toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(k + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && methods.contains(&t.text.as_str()))
+            && toks.get(k + 3).is_some_and(|t| t.is_punct('('))
+        {
+            return Some(k + 2);
+        }
+    }
+    None
+}
+
+/// `panic-path` — serving-path files must not contain a reachable
+/// panic: no `.unwrap()`, `.expect()`, `panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!`, and no direct `container[index]` indexing (the
+/// wire-robustness tests prove no panic *escapes*; this rule proves
+/// none is *reachable*).
+///
+/// One documented exemption: `.expect(..)` chained **directly** onto
+/// `.read()`/`.write()`/`.lock()` is lock-poison propagation — it can
+/// only fire if another thread already panicked while holding the
+/// lock, so it is not a new panic path.
+pub fn panic_path(file: &str, lx: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lx.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "unwrap" | "expect"
+                    if i >= 1
+                        && toks[i - 1].is_punct('.')
+                        && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+                {
+                    if t.text == "expect" && is_lock_poison_chain(toks, i) {
+                        continue;
+                    }
+                    out.push(finding(
+                        file,
+                        t.line,
+                        "panic-path",
+                        format!(
+                            "`.{}()` on a serving path — return an in-band wire error instead",
+                            t.text
+                        ),
+                    ));
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+                {
+                    out.push(finding(
+                        file,
+                        t.line,
+                        "panic-path",
+                        format!(
+                            "`{}!` on a serving path — restructure so the case is handled in-band",
+                            t.text
+                        ),
+                    ));
+                }
+                _ => {}
+            },
+            TokKind::Punct if t.is_punct('[') && i >= 1 => {
+                let p = &toks[i - 1];
+                let indexes = p.kind == TokKind::Ident || p.is_punct(')') || p.is_punct(']');
+                // `#[attr]` / `vec![…]` / `&[u8]` / `= [a, b]` all have a
+                // non-indexing previous token and fall through.
+                if indexes {
+                    out.push(finding(
+                        file,
+                        t.line,
+                        "panic-path",
+                        "direct indexing on a serving path can panic — use `.get(..)` and handle `None` in-band"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is `toks[i]` (`expect`) directly chained onto a lock acquisition —
+/// `… .read().expect(` / `.write().expect(` / `.lock().expect(`?
+fn is_lock_poison_chain(toks: &[Tok], i: usize) -> bool {
+    i >= 4
+        && toks[i - 1].is_punct('.')
+        && toks[i - 2].is_punct(')')
+        && toks[i - 3].is_punct('(')
+        && matches!(toks[i - 4].text.as_str(), "read" | "write" | "lock")
+        && toks[i - 4].kind == TokKind::Ident
+}
+
+/// `lossy-cast` — the PR 5 wrap class: a narrowing `as u32`/`as u16`/
+/// `as u8` silently truncates out-of-range values (a `u32` row-id wrap
+/// corrupted ranking positions in PR 5). The cast is accepted only
+/// with same-scope evidence that the value is bounded: the enclosing
+/// `fn` mentions `<target>::try_from` or compares against
+/// `<target>::MAX`, or the cast source is a literal that fits.
+pub fn lossy_cast(file: &str, lx: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lx.toks;
+    let fns = fn_spans(toks);
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokKind::Ident || !matches!(target.text.as_str(), "u8" | "u16" | "u32") {
+            continue;
+        }
+        // `7 as u16`-style literal casts that fit are lossless.
+        if i >= 1
+            && toks[i - 1].kind == TokKind::Num
+            && literal_fits(&toks[i - 1].text, &target.text)
+        {
+            continue;
+        }
+        let (lo, hi) = enclosing_span(&fns, i).unwrap_or((0, toks.len()));
+        if has_bounds_evidence(&toks[lo..hi], &target.text) {
+            continue;
+        }
+        out.push(finding(
+            file,
+            t.line,
+            "lossy-cast",
+            format!(
+                "narrowing `as {0}` without bounds evidence in the enclosing fn — use \
+                 `{0}::try_from(..)` (or check against `{0}::MAX`) so overflow fails loudly \
+                 instead of wrapping (PR 5 wrap class)",
+                target.text
+            ),
+        ));
+    }
+}
+
+/// Token spans `(start, end_exclusive)` of every `fn` body, in order.
+fn fn_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(open) = header_end(toks, i + 1) else {
+            continue;
+        };
+        let Some(close) = match_brace(toks, open) else {
+            continue;
+        };
+        spans.push((i, close + 1));
+    }
+    spans
+}
+
+/// The innermost recorded span containing token `i`.
+fn enclosing_span(spans: &[(usize, usize)], i: usize) -> Option<(usize, usize)> {
+    spans
+        .iter()
+        .filter(|(lo, hi)| *lo <= i && i < *hi)
+        .max_by_key(|(lo, _)| *lo)
+        .copied()
+}
+
+fn literal_fits(text: &str, target: &str) -> bool {
+    let max: u64 = match target {
+        "u8" => u8::MAX.into(),
+        "u16" => u16::MAX.into(),
+        _ => u32::MAX.into(),
+    };
+    let s: String = text.chars().filter(|c| *c != '_').collect();
+    let (radix, body) = if let Some(r) = s.strip_prefix("0x") {
+        (16, r)
+    } else if let Some(r) = s.strip_prefix("0o") {
+        (8, r)
+    } else if let Some(r) = s.strip_prefix("0b") {
+        (2, r)
+    } else {
+        (10, s.as_str())
+    };
+    // Cut off any type suffix (`u64`, `usize`): digits of the radix only.
+    let end = body
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map_or(body.len(), |(i, _)| i);
+    let digits = &body[..end];
+    !digits.is_empty() && u64::from_str_radix(digits, radix).is_ok_and(|v| v <= max)
+}
+
+/// Does the span mention `<target>::try_from` or `<target>::MAX`?
+fn has_bounds_evidence(toks: &[Tok], target: &str) -> bool {
+    toks.windows(4).any(|w| {
+        w[0].is_ident(target)
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && (w[3].is_ident("try_from") || w[3].is_ident("MAX"))
+    })
+}
+
+/// `strict-parse` — in wire-facing files, any `fn` that destructures
+/// two or more distinct object members via `.get("…")` must route
+/// through the member-allowlist helper (an identifier containing
+/// `reject_unknown`), so misspelled or smuggled members fail loudly
+/// instead of being silently ignored.
+pub fn strict_parse(file: &str, lx: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lx.toks;
+    for span in fn_spans(toks) {
+        let (lo, hi) = span;
+        if toks[lo].in_test {
+            continue;
+        }
+        let name = toks
+            .get(lo + 1)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .unwrap_or("");
+        if name.contains("reject_unknown") {
+            continue;
+        }
+        let body = &toks[lo..hi];
+        let mut members: Vec<&str> = Vec::new();
+        for w in body.windows(4) {
+            if w[0].is_punct('.')
+                && w[1].is_ident("get")
+                && w[2].is_punct('(')
+                && w[3].kind == TokKind::Str
+                && !members.contains(&w[3].text.as_str())
+            {
+                members.push(&w[3].text);
+            }
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        let has_helper = body
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.contains("reject_unknown"));
+        if !has_helper {
+            out.push(finding(
+                file,
+                toks[lo].line,
+                "strict-parse",
+                format!(
+                    "`fn {name}` destructures members {} without a `reject_unknown` allowlist \
+                     call — unknown members would be silently ignored",
+                    members
+                        .iter()
+                        .map(|m| format!("\"{m}\""))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+        }
+    }
+}

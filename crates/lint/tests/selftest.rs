@@ -1,0 +1,465 @@
+//! Fixture-based self-tests: every rule gets positive, negative, and
+//! suppressed cases, including the exact shapes of the two historical
+//! bugs the lint exists to keep out — the PR 3 read-guard-into-write
+//! deadlock and the PR 5 `as u32` length wrap.
+
+use rankfair_lint::{analyze_source, manifest, Analysis, Config};
+
+/// A neutral path: no path-scoped rule applies, so only
+/// `lock-guard-liveness` and `lossy-cast` can fire.
+const NEUTRAL: &str = "crates/core/src/engine.rs";
+/// A serving-path file: `panic-path` and `strict-parse` both apply.
+const SERVING: &str = "crates/service/src/wire.rs";
+
+fn lint(file: &str, src: &str) -> Analysis {
+    analyze_source(file, src, &Config::default())
+}
+
+fn rule_lines(a: &Analysis, rule: &str) -> Vec<u32> {
+    a.findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+fn assert_clean(a: &Analysis) {
+    assert!(
+        a.findings.is_empty(),
+        "expected no findings, got: {:?}",
+        a.findings
+    );
+}
+
+// ---- lock-guard-liveness ----------------------------------------------
+
+/// The exact PR 3 shape: the `if let` header holds a read guard that
+/// Rust keeps alive through *both* branches, so the `else` branch's
+/// `.write()` self-deadlocks.
+#[test]
+fn lock_guard_pr3_read_into_write_fires() {
+    let src = "\
+fn lookup(map: &std::sync::RwLock<Table>, k: u32) -> u32 {
+    if let Some(v) = map.read().expect(\"poisoned\").get(&k) {
+        *v
+    } else {
+        let mut w = map.write().expect(\"poisoned\");
+        w.insert(k, 0);
+        0
+    }
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_eq!(rule_lines(&a, "lock-guard-liveness"), vec![2]);
+}
+
+/// The PR 3 fix shape: clone out of the guard in a plain `let`, so the
+/// guard is dropped before the write path. Must not fire.
+#[test]
+fn lock_guard_clone_out_then_write_is_clean() {
+    let src = "\
+fn lookup(map: &std::sync::RwLock<Table>, k: u32) -> u32 {
+    let existing = map.read().expect(\"poisoned\").get(&k).cloned();
+    match existing {
+        Some(v) => v,
+        None => {
+            let mut w = map.write().expect(\"poisoned\");
+            w.insert(k, 0);
+            0
+        }
+    }
+}
+";
+    assert_clean(&lint(NEUTRAL, src));
+}
+
+/// A `for` header guard iterated while the body locks the same table.
+#[test]
+fn lock_guard_for_header_fires() {
+    let src = "\
+fn sweep(table: &std::sync::RwLock<Table>) {
+    for k in table.read().unwrap().stale_keys() {
+        table.write().unwrap().remove(&k);
+    }
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_eq!(rule_lines(&a, "lock-guard-liveness"), vec![2]);
+}
+
+/// Writing a *different* lock inside the guarded body is fine.
+#[test]
+fn lock_guard_distinct_locks_is_clean() {
+    let src = "\
+fn cross(a: &std::sync::RwLock<Table>, b: &std::sync::RwLock<Table>) {
+    if let Some(v) = a.read().unwrap().peek() {
+        b.write().unwrap().push(v);
+    }
+}
+";
+    assert_clean(&lint(NEUTRAL, src));
+}
+
+#[test]
+fn lock_guard_suppression_records_allow() {
+    let src = "\
+fn lookup(map: &std::sync::RwLock<Table>, k: u32) -> u32 {
+    // lint:allow(lock-guard-liveness) -- fixture: deadlock shape kept on purpose
+    if let Some(v) = map.read().unwrap().get(&k) {
+        *v
+    } else {
+        map.write().unwrap().insert(k, 0)
+    }
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_clean(&a);
+    assert_eq!(a.allows.len(), 1);
+    assert_eq!(a.allows[0].rule, "lock-guard-liveness");
+    assert!(a.allows[0].reason.starts_with("fixture"));
+}
+
+// ---- panic-path -------------------------------------------------------
+
+#[test]
+fn panic_path_flags_unwrap_expect_macros_and_indexing() {
+    let src = "\
+fn handle(req: &[u8], table: &Table) -> u32 {
+    let head = req[0];
+    let parsed = parse(req).unwrap();
+    let row = table.find(parsed).expect(\"present\");
+    if head == 0 {
+        panic!(\"empty request\");
+    }
+    match row {
+        Row::Data(v) => v,
+        Row::Hole => unreachable!(),
+    }
+}
+";
+    let a = lint(SERVING, src);
+    let lines = rule_lines(&a, "panic-path");
+    assert_eq!(lines, vec![2, 3, 4, 6, 10], "findings: {:?}", a.findings);
+}
+
+/// The same source on a non-serving file produces nothing: panic-path
+/// is scoped to the wire/serve/parse/monitor files.
+#[test]
+fn panic_path_is_scoped_to_serving_files() {
+    let src = "fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n";
+    assert!(!rule_lines(&lint(SERVING, src), "panic-path").is_empty());
+    assert_clean(&lint(NEUTRAL, src));
+}
+
+/// `.lock().expect(..)` / `.read().expect(..)` propagate an existing
+/// poison panic rather than creating a new path — exempt.
+#[test]
+fn panic_path_lock_poison_expect_is_exempt() {
+    let src = "\
+fn snapshot(state: &std::sync::Mutex<State>) -> State {
+    state.lock().expect(\"poisoned\").clone()
+}
+fn view(state: &std::sync::RwLock<State>) -> State {
+    state.read().expect(\"poisoned\").clone()
+}
+";
+    assert_clean(&lint(SERVING, src));
+}
+
+/// Attributes, `vec![..]`, slice types, and array literals all contain
+/// `[` without being indexing.
+#[test]
+fn panic_path_indexing_heuristic_excludes_non_indexing_brackets() {
+    let src = "\
+#[derive(Debug)]
+struct Frame {
+    payload: Vec<u8>,
+}
+fn build() -> Vec<u8> {
+    let header: [u8; 2] = [0x52, 0x46];
+    let mut out: Vec<u8> = vec![header.len() as u8];
+    out.extend_from_slice(&header);
+    out
+}
+";
+    let a = lint(SERVING, src);
+    assert!(rule_lines(&a, "panic-path").is_empty(), "{:?}", a.findings);
+}
+
+/// `#[cfg(test)]` spans are exempt from every rule.
+#[test]
+fn rules_skip_cfg_test_spans() {
+    let src = "\
+fn serve(b: &[u8]) -> usize {
+    b.len()
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Vec<u8> = vec![1, 2];
+        assert_eq!(v[0], parse(&v).unwrap());
+        let _ = v.len() as u16;
+    }
+}
+";
+    assert_clean(&lint(SERVING, src));
+}
+
+/// Panic-looking text inside string literals is not code; the lexer
+/// must keep it out of the token stream.
+#[test]
+fn panic_path_ignores_strings_and_comments() {
+    let src = "\
+fn describe() -> &'static str {
+    // the old code called table.get(k).unwrap() here
+    \"refusing to unwrap() or panic!() in serving paths\"
+}
+";
+    assert_clean(&lint(SERVING, src));
+}
+
+#[test]
+fn panic_path_trailing_and_own_line_suppressions() {
+    let src = "\
+fn handle(req: &[u8]) -> u8 {
+    let head = req[0]; // lint:allow(panic-path) -- fixture: trailing form
+    // lint:allow(panic-path) -- fixture: own-line form targets the next line
+    let tail = req[1];
+    head + tail
+}
+";
+    let a = lint(SERVING, src);
+    assert_clean(&a);
+    assert_eq!(a.allows.len(), 2);
+    assert_eq!(a.allows[0].line, 2);
+    assert_eq!(a.allows[1].line, 3);
+}
+
+// ---- lossy-cast -------------------------------------------------------
+
+/// The exact PR 5 shape: a length collapsed to `u32` with no bounds
+/// evidence in the enclosing function.
+#[test]
+fn lossy_cast_pr5_len_as_u32_fires() {
+    let src = "\
+fn next_id(nodes: &[Node]) -> u32 {
+    nodes.len() as u32
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_eq!(rule_lines(&a, "lossy-cast"), vec![2]);
+}
+
+/// `try_from` in the same function is bounds evidence: the author
+/// visibly confronted the overflow case.
+#[test]
+fn lossy_cast_try_from_evidence_is_clean() {
+    let src = "\
+fn next_id(nodes: &[Node]) -> u32 {
+    let n = u32::try_from(nodes.len()).expect(\"node ids fit u32\");
+    n as u32
+}
+";
+    assert_clean(&lint(NEUTRAL, src));
+}
+
+/// Comparing against `<target>::MAX` in the same function also counts.
+#[test]
+fn lossy_cast_max_comparison_evidence_is_clean() {
+    let src = "\
+fn code(card: usize) -> u16 {
+    assert!(card <= usize::from(u16::MAX));
+    card as u16
+}
+";
+    assert_clean(&lint(NEUTRAL, src));
+}
+
+/// Evidence is per-function: a `try_from` in one function does not
+/// launder a bare cast in its neighbor.
+#[test]
+fn lossy_cast_evidence_does_not_leak_across_functions() {
+    let src = "\
+fn checked(n: usize) -> u32 {
+    u32::try_from(n).expect(\"fits\")
+}
+fn unchecked(n: usize) -> u32 {
+    n as u32
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_eq!(rule_lines(&a, "lossy-cast"), vec![5]);
+}
+
+/// Literal sources that fit the target are fine; ones that don't, fire.
+#[test]
+fn lossy_cast_literal_fit_is_radix_aware() {
+    let src = "\
+fn lits() -> (u8, u8, u8) {
+    (255 as u8, 0xFF as u8, 0x1_00 as u8)
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_eq!(rule_lines(&a, "lossy-cast"), vec![2]);
+}
+
+/// Widening and same-width casts are not narrowing.
+#[test]
+fn lossy_cast_ignores_widening() {
+    let src = "\
+fn widen(x: u16) -> (u64, usize) {
+    (x as u64, x as usize)
+}
+";
+    assert_clean(&lint(NEUTRAL, src));
+}
+
+#[test]
+fn lossy_cast_suppression_records_allow() {
+    let src = "\
+fn sample(draw: u64) -> u32 {
+    (draw >> 32) as u32 // lint:allow(lossy-cast) -- fixture: high bits are the sample
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_clean(&a);
+    assert_eq!(a.allows.len(), 1);
+    assert_eq!(a.allows[0].rule, "lossy-cast");
+}
+
+// ---- strict-parse -----------------------------------------------------
+
+/// Destructuring two members without rejecting unknowns silently
+/// accepts misspelled fields on the wire.
+#[test]
+fn strict_parse_two_members_without_reject_fires() {
+    let src = "\
+fn edit_from_json(pairs: &Obj) -> Result<Edit, String> {
+    let row = pairs.get(\"row\").ok_or(\"missing row\")?;
+    let score = pairs.get(\"score\").ok_or(\"missing score\")?;
+    Ok(Edit::new(row, score))
+}
+";
+    let a = lint(SERVING, src);
+    assert_eq!(rule_lines(&a, "strict-parse"), vec![1]);
+}
+
+#[test]
+fn strict_parse_reject_unknown_call_is_clean() {
+    let src = "\
+fn edit_from_json(pairs: &Obj) -> Result<Edit, String> {
+    reject_unknown_members(pairs, &[\"row\", \"score\"], \"edit\")?;
+    let row = pairs.get(\"row\").ok_or(\"missing row\")?;
+    let score = pairs.get(\"score\").ok_or(\"missing score\")?;
+    Ok(Edit::new(row, score))
+}
+";
+    assert_clean(&lint(SERVING, src));
+}
+
+/// One member is a lookup, not a destructure; and the rule is scoped
+/// to wire-facing files.
+#[test]
+fn strict_parse_scope_and_single_member() {
+    let single = "\
+fn kind(pairs: &Obj) -> Option<&Value> {
+    pairs.get(\"kind\")
+}
+";
+    assert_clean(&lint(SERVING, single));
+
+    let two = "\
+fn pair(pairs: &Obj) -> (Option<&Value>, Option<&Value>) {
+    (pairs.get(\"a\"), pairs.get(\"b\"))
+}
+";
+    assert_clean(&lint(NEUTRAL, two));
+}
+
+// ---- offline-deps -----------------------------------------------------
+
+fn lint_manifest(src: &str) -> Vec<rankfair_lint::Finding> {
+    let mut out = Vec::new();
+    manifest::offline_deps("crates/demo/Cargo.toml", src, &mut out);
+    out
+}
+
+#[test]
+fn offline_deps_registry_dep_fires() {
+    let findings = lint_manifest("[package]\nname = \"demo\"\n\n[dependencies]\nserde = \"1.0\"\n");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "offline-deps");
+    assert_eq!(findings[0].line, 5);
+}
+
+#[test]
+fn offline_deps_path_and_workspace_deps_are_clean() {
+    let findings = lint_manifest(
+        "[dependencies]\n\
+         rankfair_core = { path = \"../core\" }\n\
+         rankfair_json = { workspace = true }\n\
+         \n\
+         [dev-dependencies]\n\
+         rankfair_synth = { path = \"../synth\" }\n",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn offline_deps_table_form_needs_path() {
+    let bad = lint_manifest("[dependencies.serde]\nversion = \"1.0\"\n");
+    assert_eq!(bad.len(), 1);
+    let good = lint_manifest("[dependencies.rankfair_core]\npath = \"../core\"\n");
+    assert!(good.is_empty(), "{good:?}");
+}
+
+// ---- suppression meta-rules -------------------------------------------
+
+#[test]
+fn allow_without_reason_is_a_finding() {
+    let src = "\
+fn handle(req: &[u8]) -> u8 {
+    req[0] // lint:allow(panic-path)
+}
+";
+    let a = lint(SERVING, src);
+    assert_eq!(rule_lines(&a, "allow-missing-reason"), vec![2]);
+    // The reasonless allow suppresses nothing: the finding survives.
+    assert_eq!(rule_lines(&a, "panic-path"), vec![2]);
+    assert!(a.allows.is_empty());
+}
+
+#[test]
+fn allow_naming_unknown_or_meta_rule_is_a_finding() {
+    let src = "\
+fn f() {
+    let _ = 0; // lint:allow(bogus-rule) -- typo'd rule id
+    let _ = 1; // lint:allow(allow-unused) -- meta rules cannot be suppressed
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_eq!(rule_lines(&a, "allow-unknown-rule"), vec![2, 3]);
+}
+
+#[test]
+fn allow_that_suppresses_nothing_is_a_finding() {
+    let src = "\
+fn f(n: u64) -> u64 {
+    n + 1 // lint:allow(lossy-cast) -- stale: the cast this covered was removed
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_eq!(rule_lines(&a, "allow-unused"), vec![2]);
+    assert!(a.allows.is_empty());
+}
+
+/// Doc comments *describing* the syntax are prose, not directives.
+#[test]
+fn doc_comment_mentioning_allow_syntax_is_ignored() {
+    let src = "\
+/// Suppress with `lint:allow(panic-path) -- reason`.
+fn f() {}
+";
+    assert_clean(&lint(NEUTRAL, src));
+}

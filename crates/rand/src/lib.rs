@@ -99,7 +99,7 @@ impl Random for u64 {
 
 impl Random for u32 {
     fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        (rng.next_u64() >> 32) as u32
+        (rng.next_u64() >> 32) as u32 // lint:allow(lossy-cast) -- deliberate truncation: the high 32 bits of a 64-bit draw ARE the u32 sample
     }
 }
 

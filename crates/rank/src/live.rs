@@ -73,7 +73,9 @@ impl ScoredRanking {
         if let Some(i) = scores.iter().position(|s| s.is_nan()) {
             return Err(RankingError(format!("score of row {i} is NaN")));
         }
-        let mut order: Vec<TupleId> = (0..scores.len() as u32).collect();
+        let n = u32::try_from(scores.len())
+            .map_err(|_| RankingError("row count exceeds the TupleId space".to_string()))?;
+        let mut order: Vec<TupleId> = (0..n).collect();
         order.sort_by(|&a, &b| {
             let (sa, sb) = (scores[a as usize], scores[b as usize]);
             let key = if ascending {
@@ -205,7 +207,8 @@ impl ScoredRanking {
         }
         let (lo, hi) = (old_pos.min(new_pos), old_pos.max(new_pos));
         for p in lo..=hi {
-            self.position[self.order[p] as usize] = p as u32;
+            self.position[self.order[p] as usize] =
+                u32::try_from(p).expect("positions fit the TupleId space");
         }
         Ok(RankDelta {
             row,
@@ -238,7 +241,8 @@ impl ScoredRanking {
         self.order.insert(pos, row);
         self.position.push(0);
         for p in pos..self.order.len() {
-            self.position[self.order[p] as usize] = p as u32;
+            self.position[self.order[p] as usize] =
+                u32::try_from(p).expect("can_insert keeps positions in the TupleId space");
         }
         Ok(RankDelta {
             row,

@@ -89,7 +89,8 @@ impl Ranker for AttributeRanker {
                 (idx, k.descending)
             })
             .collect();
-        let mut order: Vec<u32> = (0..ds.n_rows() as u32).collect();
+        let mut order: Vec<u32> =
+            (0..u32::try_from(ds.n_rows()).expect("row count fits TupleId")).collect();
         order.sort_by(|&a, &b| {
             for &(col, desc) in &cols {
                 let (va, vb) = (

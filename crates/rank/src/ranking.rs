@@ -46,7 +46,8 @@ impl Ranking {
 
     /// Ranks rows by `score` descending, breaking ties by row id (stable).
     pub fn from_scores_desc(scores: &[f64]) -> Self {
-        let mut order: Vec<TupleId> = (0..scores.len() as u32).collect();
+        let mut order: Vec<TupleId> =
+            (0..u32::try_from(scores.len()).expect("row count fits TupleId")).collect();
         // Stable sort keeps row-id order within equal scores.
         order.sort_by(|&a, &b| {
             scores[b as usize]

@@ -64,7 +64,7 @@ impl JobBarrier {
     fn wait_for(&self, dispatched: usize) {
         let mut completed = self.completed.lock().expect("barrier lock");
         while *completed < dispatched {
-            completed = self.all_done.wait(completed).expect("barrier lock");
+            completed = self.all_done.wait(completed).expect("barrier lock"); // lint:allow(panic-path) -- Condvar::wait only fails on mutex poison, i.e. a worker already panicked; like `.lock().expect(..)` this propagates an existing panic rather than creating a path
         }
     }
 }
@@ -249,7 +249,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
         // drop, the writer's receive loop ends.
         drop(job_tx);
         drop(res_tx);
-        let summary = writer.join().expect("writer thread")?;
+        let summary = writer.join().expect("writer thread")?; // lint:allow(panic-path) -- join only errs if the writer thread panicked; re-raising on the serve thread beats silently losing the session summary
         match read_error {
             Some(e) => Err(e),
             None => Ok(summary),

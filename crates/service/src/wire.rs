@@ -429,7 +429,7 @@ fn ranking_from_json(v: &Value) -> Result<RankingSpec, ServiceError> {
             .ok_or_else(|| bad("`order` must be an array of tuple ids"))?;
         let ids: Option<Vec<u32>> = items
             .iter()
-            .map(|x| x.as_usize().map(|n| n as u32))
+            .map(|x| x.as_usize().and_then(|n| u32::try_from(n).ok()))
             .collect();
         return Ok(RankingSpec::Order(ids.ok_or_else(|| {
             bad("`order` must be an array of non-negative integers")

@@ -126,7 +126,7 @@ pub fn random_dataset_streamed(seed: u64, spec: RandomSpec) -> Dataset {
 /// A uniformly random rank order over `rows` tuples.
 pub fn random_ranking(seed: u64, rows: usize) -> Vec<u32> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x52414e4b);
-    let mut order: Vec<u32> = (0..rows as u32).collect();
+    let mut order: Vec<u32> = (0..u32::try_from(rows).expect("row count fits TupleId")).collect();
     order.shuffle(&mut rng);
     order
 }

@@ -27,7 +27,7 @@ pub fn worst_case(n: usize) -> (Dataset, Vec<u32>) {
         ));
     }
     let ds = Dataset::from_columns(cols).expect("columns share the row count");
-    let order: Vec<u32> = (0..rows as u32).collect();
+    let order: Vec<u32> = (0..u32::try_from(rows).expect("row count fits TupleId")).collect();
     (ds, order)
 }
 
