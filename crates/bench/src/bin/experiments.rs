@@ -4,11 +4,12 @@
 //!   experiments `<id>` [--timeout SECS] [--seed N] [--quick]
 //!
 //! ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize
-//!      worstcase faststeps scaling overrep serve monitor shard all
+//!      worstcase faststeps scaling overrep serve monitor shard serve-net all
 //!
-//! `overrep`, `serve`, `monitor` and `shard` additionally write their
-//! measurements to `BENCH_overrep.json` / `BENCH_service.json` /
-//! `BENCH_monitor.json` / `BENCH_shard.json` in the working directory.
+//! `overrep`, `serve`, `monitor`, `shard` and `serve-net` additionally
+//! write their measurements to `BENCH_overrep.json` / `BENCH_service.json`
+//! / `BENCH_monitor.json` / `BENCH_shard.json` / `BENCH_net.json` in the
+//! working directory.
 //!
 //! Absolute runtimes differ from the paper (Rust vs. the authors' Python
 //! testbed, synthetic vs. real data); the reproduced claims are the curve
@@ -34,6 +35,13 @@ struct Opts {
     timeout: Duration,
     seed: u64,
     quick: bool,
+}
+
+/// Host core count, recorded in every BENCH_*.json `config` so flat
+/// worker-scaling curves from 1-core CI containers are machine-readably
+/// distinguishable from real regressions.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
 }
 
 fn parse_args() -> (String, Opts) {
@@ -651,9 +659,10 @@ fn overrep(opts: &Opts) {
     print!("{}", t.render());
     println!("(* = hit the timeout; rescan = the pre-incremental Engine::Optimized path)");
     let json = format!(
-        "{{\n  \"bench\": \"overrep\",\n  \"config\": {{\"tau_s\": 50, \"k_min\": 10, \"k_max\": 49, \"upper\": \"steps(10:6,20:12,30:18,40:24)\", \"quick\": {}, \"timeout_s\": {}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"overrep\",\n  \"config\": {{\"tau_s\": 50, \"k_min\": 10, \"k_max\": 49, \"upper\": \"steps(10:6,20:12,30:18,40:24)\", \"quick\": {}, \"timeout_s\": {}, \"cores\": {}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
         opts.quick,
         opts.timeout.as_secs(),
+        host_cores(),
         json_rows.join(",\n")
     );
     match std::fs::write("BENCH_overrep.json", &json) {
@@ -796,6 +805,7 @@ fn serve_bench(opts: &Opts) {
                 ("k_max", Value::from(20usize)),
                 ("per_worker", Value::from(per_worker)),
                 ("quick", Value::from(opts.quick)),
+                ("cores", Value::from(host_cores())),
             ]),
         ),
         ("rows", Value::array(json_rows)),
@@ -989,6 +999,7 @@ fn monitor_bench(opts: &Opts) {
                 ),
                 ("seed", Value::from(opts.seed as usize)),
                 ("quick", Value::from(opts.quick)),
+                ("cores", Value::from(host_cores())),
             ]),
         ),
         ("rows", Value::array(json_rows)),
@@ -1221,6 +1232,231 @@ fn shard_bench(opts: &Opts) {
     }
 }
 
+/// Floors the `--quick` network bench enforces (exit 1 on regression).
+/// Deliberately loose — shared CI runners are slow and 1-core containers
+/// serialize everything — they catch order-of-magnitude regressions
+/// (an accidental global barrier, a lost flush), not few-percent drift.
+const NET_QUICK_MIN_QPS: f64 = 50.0;
+const NET_QUICK_MAX_P99_MS: f64 = 2_000.0;
+
+/// Network serving: mixed audit/update/snapshot traffic from concurrent
+/// TCP connections against `serve-net`, spread over 64 distinct monitors
+/// (each with its own dataset registry entry, so the per-resource lanes
+/// can actually parallelize). Measures per-class round-trip latency
+/// (p50/p99) and total qps; writes `BENCH_net.json`; with `--quick`
+/// enforces the floors above.
+fn serve_net_bench(opts: &Opts) {
+    use rankfair::json::Value;
+    use rankfair::service::net::{serve_net, NetListeners, NetOptions};
+    use rankfair::service::AuditService;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    const MONITORS: usize = 64;
+    const CLIENTS: usize = 8;
+    let rounds = if opts.quick { 4 } else { 16 };
+    let rows = if opts.quick { 200 } else { 600 };
+    let cores = host_cores();
+    println!("\n## serve-net: mixed audit/update/snapshot over {MONITORS} monitors ({CLIENTS} connections, {cores} core(s))");
+
+    let ds = Arc::new(rankfair::synth::student(rankfair::synth::SynthConfig::new(
+        rows, 5,
+    )));
+    let service = AuditService::new();
+    // One registry entry per monitor: updates to different monitors hold
+    // different dataset lanes and different monitor lanes — nothing
+    // global between them but the worker pool itself.
+    for m in 0..MONITORS {
+        service.register_dataset(&format!("ds{m}"), Arc::clone(&ds));
+    }
+    let listeners = NetListeners::bind(&["tcp:127.0.0.1:0".to_string()]).expect("bind loopback");
+    let addr = listeners
+        .local_addrs()
+        .remove(0)
+        .strip_prefix("tcp:")
+        .expect("tcp addr")
+        .to_string();
+    let handle = listeners.handle();
+    let net_opts = NetOptions {
+        workers: cores.clamp(2, 8),
+        strip_timing: true,
+        idle_timeout: Duration::from_secs(60),
+        ..NetOptions::default()
+    };
+
+    let audit_line = |m: usize| {
+        format!(
+            concat!(
+                r#"{{"dataset": "ds{}", "ranking": {{"rank_by": "G3"}}, "#,
+                r#""task": {{"type": "under", "measure": {{"type": "global", "lower": 2}}}}, "#,
+                r#""config": {{"tau": 10, "kmin": 5, "kmax": 40}}, "#,
+                r#""attributes": ["school", "sex", "address"]}}"#
+            ),
+            m
+        )
+    };
+    let register_line = |m: usize| {
+        format!(
+            concat!(
+                r#"{{"op": "register_monitor", "name": "m{}", "dataset": "ds{}", "#,
+                r#""rank_by": "G3", "task": {{"type": "under", "measure": {{"type": "global", "lower": 2}}}}, "#,
+                r#""config": {{"tau": 10, "kmin": 5, "kmax": 40}}, "#,
+                r#""attributes": ["school", "sex", "address"]}}"#
+            ),
+            m, m
+        )
+    };
+    let update_line = |m: usize, round: usize| {
+        // Deterministic score churn: every monitor sees a different edit
+        // stream, every round moves a different row.
+        let row = (round * 31 + m * 7) % rows;
+        let score = ((round * 13 + m * 17) % 200) as f64 / 10.0;
+        format!(
+            r#"{{"op": "update", "monitor": "m{m}", "edits": [{{"edit": "score", "row": {row}, "score": {score}}}]}}"#
+        )
+    };
+    let snapshot_line = |m: usize| format!(r#"{{"op": "snapshot", "monitor": "m{m}"}}"#);
+
+    // (elapsed total, per-class latencies)
+    let (elapsed_s, per_class) = std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve_net(&service, listeners, &net_opts));
+        let t0 = std::time::Instant::now();
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let addr = addr.clone();
+                let (audit_line, register_line, update_line, snapshot_line) =
+                    (&audit_line, &register_line, &update_line, &snapshot_line);
+                scope.spawn(move || {
+                    let conn = TcpStream::connect(&addr).expect("connect");
+                    conn.set_nodelay(true).expect("nodelay");
+                    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+                    let mut conn = conn;
+                    let mut line = String::new();
+                    let mut roundtrip = |req: &str| -> f64 {
+                        let t = std::time::Instant::now();
+                        // One write per request: a trailing-newline write
+                        // of its own would sit in Nagle's buffer waiting
+                        // for the delayed ACK.
+                        conn.write_all(format!("{req}\n").as_bytes()).expect("send");
+                        line.clear();
+                        reader.read_line(&mut line).expect("recv");
+                        assert!(line.contains(r#""ok":true"#), "request failed: {line}");
+                        t.elapsed().as_secs_f64() * 1000.0
+                    };
+                    // This connection owns an eighth of the monitors.
+                    let mine: Vec<usize> = (0..MONITORS).filter(|m| m % CLIENTS == c).collect();
+                    for &m in &mine {
+                        roundtrip(&register_line(m));
+                    }
+                    let mut lat = [Vec::new(), Vec::new(), Vec::new()];
+                    for round in 0..rounds {
+                        for &m in &mine {
+                            lat[0].push(roundtrip(&update_line(m, round)));
+                            lat[1].push(roundtrip(&snapshot_line(m)));
+                            lat[2].push(roundtrip(&audit_line(m)));
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut per_class = [Vec::new(), Vec::new(), Vec::new()];
+        for h in clients {
+            let lat = h.join().expect("client thread");
+            for (all, mine) in per_class.iter_mut().zip(lat) {
+                all.extend(mine);
+            }
+        }
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        handle.shutdown();
+        let summary = server.join().expect("server thread");
+        assert_eq!(summary.errors, 0, "bench traffic must not error");
+        (elapsed_s, per_class)
+    });
+
+    let pct = |sorted: &[f64], p: f64| {
+        let idx = ((sorted.len() as f64 * p) as usize).min(sorted.len().saturating_sub(1));
+        sorted.get(idx).copied().unwrap_or(0.0)
+    };
+    let mut t = Table::new(&["class", "count", "p50_ms", "p99_ms", "max_ms"]);
+    let mut json_rows: Vec<Value> = Vec::new();
+    let mut total = 0usize;
+    let mut worst_p99 = 0.0f64;
+    for (class, mut lat) in ["update", "snapshot", "audit"].into_iter().zip(per_class) {
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let (p50, p99) = (pct(&lat, 0.50), pct(&lat, 0.99));
+        let max = lat.last().copied().unwrap_or(0.0);
+        total += lat.len();
+        worst_p99 = worst_p99.max(p99);
+        t.row(&[
+            class.to_string(),
+            lat.len().to_string(),
+            format!("{p50:.2}"),
+            format!("{p99:.2}"),
+            format!("{max:.2}"),
+        ]);
+        json_rows.push(Value::object([
+            ("class", Value::from(class)),
+            ("count", Value::from(lat.len())),
+            ("p50_ms", Value::from(p50)),
+            ("p99_ms", Value::from(p99)),
+            ("max_ms", Value::from(max)),
+        ]));
+    }
+    let qps = total as f64 / elapsed_s;
+    print!("{}", t.render());
+    println!(
+        "({total} round-trip requests plus {MONITORS} registrations in {:.1} ms — {qps:.0} qps)",
+        elapsed_s * 1000.0
+    );
+
+    let json = Value::object([
+        ("bench", Value::from("serve_net")),
+        (
+            "config",
+            Value::object([
+                ("rows", Value::from(rows)),
+                ("monitors", Value::from(MONITORS)),
+                ("clients", Value::from(CLIENTS)),
+                ("workers", Value::from(net_opts.workers)),
+                ("rounds", Value::from(rounds)),
+                ("seed", Value::from(opts.seed as usize)),
+                ("quick", Value::from(opts.quick)),
+                ("cores", Value::from(cores)),
+            ]),
+        ),
+        ("qps", Value::from(qps)),
+        ("elapsed_ms", Value::from(elapsed_s * 1000.0)),
+        ("rows", Value::array(json_rows)),
+    ]);
+    match std::fs::write("BENCH_net.json", json.render() + "\n") {
+        Ok(()) => println!("wrote BENCH_net.json"),
+        Err(e) => eprintln!("could not write BENCH_net.json: {e}"),
+    }
+
+    if opts.quick {
+        let mut failures = Vec::new();
+        if qps < NET_QUICK_MIN_QPS {
+            failures.push(format!("qps {qps:.1} below the floor {NET_QUICK_MIN_QPS}"));
+        }
+        if worst_p99 > NET_QUICK_MAX_P99_MS {
+            failures.push(format!(
+                "worst p99 {worst_p99:.1} ms above the ceiling {NET_QUICK_MAX_P99_MS} ms"
+            ));
+        }
+        if failures.is_empty() {
+            println!(
+                "net floors met: {qps:.0} qps >= {NET_QUICK_MIN_QPS}, worst p99 {worst_p99:.1} ms <= {NET_QUICK_MAX_P99_MS} ms"
+            );
+        } else {
+            for f in &failures {
+                eprintln!("NET BENCH REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Theorem 3.3: the adversarial instance is exponential.
 fn worstcase(opts: &Opts) {
     println!("\n## Theorem 3.3: worst-case instance (n attributes, n+1 tuples, k = n)");
@@ -1298,6 +1534,7 @@ fn main() {
         "serve" => serve_bench(&opts),
         "monitor" => monitor_bench(&opts),
         "shard" => shard_bench(&opts),
+        "serve-net" => serve_net_bench(&opts),
         "all" => {
             fig45(true, &opts);
             fig45(false, &opts);
@@ -1316,9 +1553,10 @@ fn main() {
             serve_bench(&opts);
             monitor_bench(&opts);
             shard_bench(&opts);
+            serve_net_bench(&opts);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase faststeps scaling overrep serve monitor shard all");
+            eprintln!("unknown experiment `{other}`; expected one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 gain casestudy resultsize worstcase faststeps scaling overrep serve monitor shard serve-net all");
             std::process::exit(2);
         }
     }

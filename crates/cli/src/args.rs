@@ -46,6 +46,27 @@ USAGE:
         --datasets n=p,...  preload CSV datasets as name=path pairs
         --no-timing         zero wall-clock fields (deterministic output)
 
+  rankfair serve-net [options]
+      Serve the same JSONL protocol over TCP and/or Unix-domain sockets:
+      every connection is an independent pipelined session (responses in
+      that connection's request order) over one shared worker pool with
+      per-monitor/per-dataset ordering. An in-stream {\"op\": \"shutdown\"}
+      drains and stops the server. The Figure 1 example dataset is
+      preloaded as `fig1`.
+        --listen a,b,...    addresses to bind (default tcp:127.0.0.1:7878);
+                            forms: tcp:host:port, host:port, unix:/path.sock;
+                            repeatable, comma lists and repeats accumulate
+        --workers N         worker threads shared by all connections (default 4)
+        --datasets n=p,...  preload CSV datasets as name=path pairs
+        --max-conns N       concurrent connection cap (default 256); excess
+                            connections get one in-band `overloaded` error
+        --window N          per-connection pipeline window: responses in
+                            flight past dispatch (default 64)
+        --max-line-bytes N  longest accepted request line (default 1048576)
+        --idle-timeout SECS close connections idle this long; also bounds
+                            writes to a peer that never reads (default 300)
+        --no-timing         zero wall-clock fields (deterministic output)
+
   rankfair monitor --csv FILE --rank-by COL --edits FILE [options]
       Replay a JSONL edit log against a live monitor: each log line is one
       edit batch ({\"edit\": \"score\"|\"insert\", ...} or
@@ -158,6 +179,20 @@ pub const SERVE_SPEC: FlagSpec = FlagSpec {
     switches: &["no-timing"],
 };
 
+/// `rankfair serve-net`.
+pub const SERVE_NET_SPEC: FlagSpec = FlagSpec {
+    values: &[
+        "listen",
+        "workers",
+        "datasets",
+        "max-conns",
+        "window",
+        "max-line-bytes",
+        "idle-timeout",
+    ],
+    switches: &["no-timing"],
+};
+
 /// `rankfair monitor`.
 pub const MONITOR_SPEC: FlagSpec = FlagSpec {
     values: &[
@@ -183,10 +218,13 @@ pub const MONITOR_SPEC: FlagSpec = FlagSpec {
     switches: &["asc"],
 };
 
-/// Parsed `--flag value` / `--flag` pairs.
+/// Parsed `--flag value` / `--flag` pairs. A value flag may repeat:
+/// [`Flags::get`] reads the last occurrence, [`Flags::list`] gathers
+/// every occurrence (each comma-split), so `--listen a --listen b`
+/// and `--listen a,b` are equivalent.
 #[derive(Debug, Default)]
 pub struct Flags {
-    values: BTreeMap<String, String>,
+    values: BTreeMap<String, Vec<String>>,
     switches: Vec<String>,
 }
 
@@ -218,7 +256,11 @@ pub fn parse_flags(argv: &[String], spec: &FlagSpec) -> Result<Flags, String> {
             let value = argv
                 .get(i)
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.values.insert(name.to_string(), value.clone());
+            flags
+                .values
+                .entry(name.to_string())
+                .or_default()
+                .push(value.clone());
         } else {
             return Err(format!(
                 "unknown flag `--{name}` for this command; valid flags: {}",
@@ -231,9 +273,12 @@ pub fn parse_flags(argv: &[String], spec: &FlagSpec) -> Result<Flags, String> {
 }
 
 impl Flags {
-    /// String flag.
+    /// String flag (last occurrence wins).
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.values.get(name).map(String::as_str)
+        self.values
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
     }
 
     /// Required string flag.
@@ -257,10 +302,14 @@ impl Flags {
         self.switches.iter().any(|s| s == name)
     }
 
-    /// Comma-separated list flag.
+    /// Comma-separated list flag; repeated occurrences accumulate.
     pub fn list(&self, name: &str) -> Option<Vec<String>> {
-        self.get(name)
-            .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+        self.values.get(name).map(|vals| {
+            vals.iter()
+                .flat_map(|v| v.split(','))
+                .map(|s| s.trim().to_string())
+                .collect()
+        })
     }
 }
 
@@ -345,6 +394,20 @@ mod tests {
     fn list_splits_on_commas() {
         let f = parse_flags(&argv(&["--attrs", "a, b,c"]), &DETECT_SPEC).unwrap();
         assert_eq!(f.list("attrs").unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn repeated_value_flags_accumulate_in_list_and_last_wins_in_get() {
+        let f = parse_flags(
+            &argv(&["--listen", "tcp:a:1", "--listen", "unix:/s,tcp:b:2"]),
+            &SERVE_NET_SPEC,
+        )
+        .unwrap();
+        assert_eq!(
+            f.list("listen").unwrap(),
+            vec!["tcp:a:1", "unix:/s", "tcp:b:2"]
+        );
+        assert_eq!(f.get("listen"), Some("unix:/s,tcp:b:2"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use rankfair_data::Dataset;
 use rankfair_divergence::{display_items, divergent_subgroups, DivergenceConfig};
 use rankfair_explain::{ExplainConfig, ForestParams, RankSurrogate};
 use rankfair_rank::{AttributeRanker, Ranker, Ranking, SortKey};
+use rankfair_service::net::{NetListeners, NetOptions};
 use rankfair_service::serve::ServeOptions;
 use rankfair_service::AuditService;
 
@@ -603,6 +604,54 @@ pub fn serve(flags: &Flags) -> Result<(), CliError> {
         .map_err(|e| rt(format!("serving: {e}")))?;
     eprintln!(
         "[served {} request(s), {} error(s); cache: {} audit(s), {} hit(s)/{} miss(es); {} worker(s)]",
+        summary.requests,
+        summary.errors,
+        service.cache_len(),
+        service.cache_stats().0,
+        service.cache_stats().1,
+        workers.max(1),
+    );
+    Ok(())
+}
+
+/// `rankfair serve-net` — serve the JSONL protocol over TCP and/or
+/// Unix-domain sockets, one pipelined session per connection over a
+/// shared worker pool, until an in-stream `{"op": "shutdown"}` drains the
+/// server. See `rankfair_service::net`.
+pub fn serve_net(flags: &Flags) -> Result<(), CliError> {
+    let workers: usize = flags.num("workers", 4)?;
+    let service = AuditService::new();
+    // Same preload as `serve`: sessions work without any CSV on disk.
+    service.register_dataset("fig1", Arc::new(rankfair_data::examples::students_fig1()));
+    if let Some(specs) = flags.list("datasets") {
+        for spec in specs {
+            let (name, path) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("--datasets entry `{spec}` must look like name=path"))?;
+            let (rows, cols) = service.register_csv(name, path, ',').map_err(rt)?;
+            eprintln!("[loaded {name} from {path}: {rows} rows, {cols} cols]");
+        }
+    }
+    let listens = flags
+        .list("listen")
+        .unwrap_or_else(|| vec!["tcp:127.0.0.1:7878".to_string()]);
+    let opts = NetOptions {
+        workers,
+        strip_timing: flags.switch("no-timing"),
+        max_connections: flags.num("max-conns", 256)?,
+        pipeline_window: flags.num("window", 64)?,
+        max_line_bytes: flags.num("max-line-bytes", 1 << 20)?,
+        idle_timeout: std::time::Duration::from_secs(flags.num("idle-timeout", 300)?),
+    };
+    let listeners = NetListeners::bind(&listens).map_err(|e| rt(format!("binding: {e}")))?;
+    for addr in listeners.local_addrs() {
+        eprintln!("[listening on {addr}]");
+    }
+    let summary = rankfair_service::net::serve_net(&service, listeners, &opts);
+    eprintln!(
+        "[served {} connection(s) ({} rejected at cap), {} request(s), {} error(s); cache: {} audit(s), {} hit(s)/{} miss(es); {} worker(s)]",
+        summary.connections,
+        summary.rejected,
         summary.requests,
         summary.errors,
         service.cache_len(),

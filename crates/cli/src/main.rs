@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "explain" => &args::EXPLAIN_SPEC,
         "compare" => &args::COMPARE_SPEC,
         "serve" => &args::SERVE_SPEC,
+        "serve-net" => &args::SERVE_NET_SPEC,
         "monitor" => &args::MONITOR_SPEC,
         other => {
             eprintln!("error: unknown command `{other}`");
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
         "explain" => commands::explain(&flags),
         "compare" => commands::compare(&flags),
         "serve" => commands::serve(&flags),
+        "serve-net" => commands::serve_net(&flags),
         "monitor" => commands::monitor(&flags),
         _ => unreachable!("command validated above"),
     };

@@ -102,11 +102,18 @@ impl Default for Config {
                 "crates/service/src/lib.rs",
                 "crates/service/src/wire.rs",
                 "crates/service/src/serve.rs",
+                "crates/service/src/session.rs",
+                "crates/service/src/net.rs",
                 "crates/json/src/lib.rs",
                 "crates/core/src/json.rs",
                 "crates/core/src/monitor.rs",
             ]),
-            strict_parse_files: own(&["crates/service/src/wire.rs", "crates/core/src/json.rs"]),
+            strict_parse_files: own(&[
+                "crates/service/src/wire.rs",
+                "crates/service/src/session.rs",
+                "crates/service/src/net.rs",
+                "crates/core/src/json.rs",
+            ]),
         }
     }
 }

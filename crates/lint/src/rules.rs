@@ -190,6 +190,31 @@ fn find_lock_use(
     None
 }
 
+/// Keywords the lexer surfaces as plain identifiers but which can
+/// never be the expression on the left of an index: after any of
+/// these, `[` opens a slice type or an array literal.
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "mut"
+            | "dyn"
+            | "impl"
+            | "ref"
+            | "move"
+            | "as"
+            | "in"
+            | "return"
+            | "break"
+            | "else"
+            | "match"
+            | "if"
+            | "while"
+            | "const"
+            | "static"
+            | "where"
+    )
+}
+
 /// `panic-path` — serving-path files must not contain a reachable
 /// panic: no `.unwrap()`, `.expect()`, `panic!`/`unreachable!`/`todo!`/
 /// `unimplemented!`, and no direct `container[index]` indexing (the
@@ -244,9 +269,14 @@ pub fn panic_path(file: &str, lx: &Lexed, out: &mut Vec<Finding>) {
             },
             TokKind::Punct if t.is_punct('[') && i >= 1 => {
                 let p = &toks[i - 1];
-                let indexes = p.kind == TokKind::Ident || p.is_punct(')') || p.is_punct(']');
+                let indexes = (p.kind == TokKind::Ident && !is_keyword(&p.text))
+                    || p.is_punct(')')
+                    || p.is_punct(']');
                 // `#[attr]` / `vec![…]` / `&[u8]` / `= [a, b]` all have a
-                // non-indexing previous token and fall through.
+                // non-indexing previous token and fall through, as do
+                // keyword-led slices and array literals (`&mut [u8]`,
+                // `return [a, b]`) — a keyword is never the expression
+                // being indexed.
                 if indexes {
                     out.push(finding(
                         file,

@@ -181,6 +181,10 @@ fn build() -> Vec<u8> {
     out.extend_from_slice(&header);
     out
 }
+fn read(buf: &mut [u8]) -> [u8; 2] {
+    let _ = buf.len();
+    return [0, 1];
+}
 ";
     let a = lint(SERVING, src);
     assert!(rule_lines(&a, "panic-path").is_empty(), "{:?}", a.findings);

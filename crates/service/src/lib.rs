@@ -64,7 +64,9 @@ use rankfair_data::csv::{read_csv, CsvOptions};
 use rankfair_data::Dataset;
 use rankfair_rank::{AttributeRanker, Ranker, Ranking, SortKey};
 
+pub mod net;
 pub mod serve;
+mod session;
 pub mod wire;
 
 /// How a request wants the dataset ranked. Part of the cache key: two
@@ -621,6 +623,16 @@ impl AuditService {
             space: entry.monitor.space().clone(),
             checkpoints: entry.monitor.checkpoint_stats(),
         })
+    }
+
+    /// The dataset a monitor was registered over, or `None` for an
+    /// unknown monitor — the server uses this to claim the right dataset
+    /// ordering lane for an `update` without locking the monitor itself.
+    pub fn monitor_dataset(&self, name: &str) -> Option<String> {
+        let monitors = self.monitors.read().expect("monitor lock");
+        let entry = monitors.get(name)?;
+        let entry = entry.lock().expect("monitor entry lock");
+        Some(entry.dataset.clone())
     }
 
     /// `(name, dataset, rows)` of every registered monitor, sorted by

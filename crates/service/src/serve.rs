@@ -9,12 +9,19 @@
 //! ```
 //!
 //! Ordering contract: responses appear in **request order** regardless of
-//! worker count (a reorder buffer on the writer side). Registration ops
-//! (`register`) are a **barrier**: the reader waits for every previously
-//! dispatched request to finish, then applies the registration, then
-//! dispatches the rest — so an audit always runs against the dataset
-//! state at the point its line appeared in the stream, even when a later
-//! line re-registers the same name.
+//! worker count (a reorder buffer on the writer side). Mutations
+//! (`register`, `register_monitor`, `update`) serialize **per resource**
+//! through the ordering lanes of the shared session core (see
+//! `crate::session`): a request sees exactly the dataset/monitor state at
+//! the point its line appeared in the stream relative to other requests
+//! *on that resource* — a `register` is a registry-entry barrier for its
+//! own name, a monitor `update` is ordered against that monitor's
+//! snapshots and its dataset's audits — while requests on unrelated
+//! resources proceed in parallel. The same core drives the socket
+//! front-end ([`crate::net`]), where the parallelism actually pays off
+//! across connections.
+//!
+//! An `{"op": "shutdown"}` line answers, stops reading, and drains.
 //!
 //! Determinism: at `workers = 1` a session is fully deterministic apart
 //! from wall-clock fields, and with [`ServeOptions::strip_timing`] those
@@ -25,49 +32,12 @@
 //! flag) is scheduling-dependent by nature — single-flight guarantees
 //! exactly one build, not which request runs it.
 
-use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::AtomicBool;
+use std::sync::{mpsc, Arc};
 
-use crate::{wire, AuditService};
-
-/// One unit of work flowing through the (bounded) job queue. Every input
-/// line becomes exactly one job, so in-flight memory — queue plus the
-/// writer's reorder buffer — is bounded by the queue capacity plus the
-/// worker count, independent of input size.
-enum Job {
-    /// An audit request a worker executes (boxed: `AuditRequest` is much
-    /// larger than a `Ready` line, and jobs sit in a queue).
-    Run(Box<wire::Request>),
-    /// A response already produced by the reader (registry ops, parse
-    /// errors); a worker just forwards it, preserving order and
-    /// backpressure.
-    Ready(String, bool),
-}
-
-/// Counts completed worker jobs so the reader can barrier on "everything
-/// dispatched so far has finished" before applying a registration.
-#[derive(Default)]
-struct JobBarrier {
-    completed: Mutex<usize>,
-    all_done: Condvar,
-}
-
-impl JobBarrier {
-    fn job_done(&self) {
-        *self.completed.lock().expect("barrier lock") += 1;
-        self.all_done.notify_all();
-    }
-
-    fn wait_for(&self, dispatched: usize) {
-        let mut completed = self.completed.lock().expect("barrier lock");
-        while *completed < dispatched {
-            completed = self.all_done.wait(completed).expect("barrier lock"); // lint:allow(panic-path) -- Condvar::wait only fails on mutex poison, i.e. a worker already panicked; like `.lock().expect(..)` this propagates an existing panic rather than creating a path
-        }
-    }
-}
+use crate::session::{Executor, Gate, LineOutcome, Session};
+use crate::AuditService;
 
 /// Options for [`serve`].
 #[derive(Debug, Clone)]
@@ -97,6 +67,13 @@ pub struct ServeSummary {
     pub errors: usize,
 }
 
+/// How many responses may be past dispatch but unwritten in a stdio
+/// session — generous, since stdout cannot "never read" the way a
+/// network peer can; it still bounds the reorder buffer on huge inputs.
+fn pipeline_window(workers: usize) -> usize {
+    (workers * 4).max(64)
+}
+
 /// Reads JSONL requests from `input` until EOF, answers them against
 /// `service` on a pool of [`ServeOptions::workers`] threads, and writes
 /// one JSONL response per request to `output`, in request order.
@@ -111,95 +88,26 @@ pub fn serve<R: BufRead, W: Write + Send>(
     opts: &ServeOptions,
 ) -> std::io::Result<ServeSummary> {
     let workers = opts.workers.max(1);
-    let strip_timing = opts.strip_timing;
+    // Declared before the scope so worker threads can borrow it.
+    let exec = Executor::new(workers, opts.strip_timing);
+    let gate = Arc::new(Gate::new(pipeline_window(workers)));
+    let dead = Arc::new(AtomicBool::new(false));
     std::thread::scope(|scope| {
-        // Jobs fan out over a shared receiver; results fan in to a writer
-        // with a reorder buffer keyed by sequence number. The job queue is
-        // *bounded* so a huge input file cannot be slurped into memory
-        // faster than the workers drain it (backpressure on the reader).
-        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, Job)>(workers * 4);
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let (res_tx, res_rx) = mpsc::channel::<(usize, String, bool)>();
-        let barrier = Arc::new(JobBarrier::default());
-        // Raised when responses stop being deliverable (the writer hit an
-        // output I/O error): the reader stops consuming input instead of
-        // silently discarding the rest of the stream.
-        let writer_gone = Arc::new(AtomicBool::new(false));
-        for _ in 0..workers {
-            let job_rx = Arc::clone(&job_rx);
-            let res_tx = res_tx.clone();
-            let barrier = Arc::clone(&barrier);
-            let writer_gone = Arc::clone(&writer_gone);
-            scope.spawn(move || {
-                loop {
-                    // Hold the lock only while popping, not while working.
-                    let job = job_rx.lock().expect("job queue lock").recv();
-                    let Ok((seq, job)) = job else { break };
-                    // Once the writer is gone there is nowhere to send
-                    // responses, but the queue must still be drained and
-                    // the barrier ticked, or a pending register op would
-                    // block the reader forever.
-                    if !writer_gone.load(Ordering::Relaxed) {
-                        let (line, ok) = match job {
-                            Job::Ready(line, ok) => (line, ok),
-                            Job::Run(request) => {
-                                let response = wire::execute(service, &request, strip_timing);
-                                let ok = response
-                                    .get("ok")
-                                    .and_then(|v| v.as_bool())
-                                    .unwrap_or(false);
-                                (response.render(), ok)
-                            }
-                        };
-                        if res_tx.send((seq, line, ok)).is_err() {
-                            writer_gone.store(true, Ordering::Relaxed);
-                        }
-                    }
-                    barrier.job_done();
-                }
-            });
-        }
+        exec.start_workers(scope, service);
+        let (res_tx, res_rx) = mpsc::channel();
         let writer = scope.spawn({
-            let writer_gone = Arc::clone(&writer_gone);
-            move || -> std::io::Result<ServeSummary> {
-                let mut output = output;
-                let mut pending: HashMap<usize, (String, bool)> = HashMap::new();
-                let mut next = 0usize;
-                let mut summary = ServeSummary {
-                    requests: 0,
-                    errors: 0,
-                };
-                let mut emit = |line: &str, ok: bool| -> std::io::Result<()> {
-                    writeln!(output, "{line}")?;
-                    // Flush per response: downstream consumers (pipes,
-                    // interactive sessions) see answers as they complete.
-                    output.flush()?;
-                    summary.requests += 1;
-                    summary.errors += usize::from(!ok);
-                    Ok(())
-                };
-                for (seq, line, ok) in res_rx {
-                    pending.insert(seq, (line, ok));
-                    while let Some((line, ok)) = pending.remove(&next) {
-                        if let Err(e) = emit(&line, ok) {
-                            // Tell the reader to stop consuming input —
-                            // nothing it reads can be answered anymore.
-                            writer_gone.store(true, Ordering::Relaxed);
-                            return Err(e);
-                        }
-                        next += 1;
-                    }
-                }
-                Ok(summary)
-            }
+            let gate = Arc::clone(&gate);
+            let dead = Arc::clone(&dead);
+            move || crate::session::write_responses(output, &res_rx, &gate, &dead)
         });
-        let mut seq = 0usize;
+        let mut session =
+            Session::new(&exec, service, res_tx, Arc::clone(&dead), Arc::clone(&gate));
         let mut read_error = None;
         for line in input.lines() {
-            // Responses stopped being deliverable: reading further input
-            // would silently discard it. Stop now; the writer's I/O error
-            // is surfaced below.
-            if writer_gone.load(Ordering::Relaxed) {
+            // Responses stopped being deliverable (output I/O error):
+            // reading further input would silently discard it. Stop now;
+            // the writer's error is surfaced below.
+            if session.dead() {
                 break;
             }
             let line = match line {
@@ -212,43 +120,16 @@ pub fn serve<R: BufRead, W: Write + Send>(
             if line.trim().is_empty() {
                 continue;
             }
-            // Every line becomes one bounded-queue job, keeping responses
-            // in order and memory bounded regardless of input size.
-            let job = match wire::parse_line(&line) {
-                Ok(request @ (wire::Request::Register { .. } | wire::Request::Datasets { .. }))
-                | Ok(
-                    request @ (wire::Request::RegisterMonitor { .. }
-                    | wire::Request::MonitorUpdate { .. }),
-                ) => {
-                    // Mutations (register, register_monitor, update) are
-                    // barriers: wait for every earlier in-flight request
-                    // (they must see the *previous* service state), apply
-                    // inline on the reader thread (later lines must see
-                    // the new state), then continue. A `datasets` listing
-                    // only reads the registry, which audits never mutate
-                    // — no need to drain the pool (and `snapshot` runs as
-                    // a normal worker job: monitors only mutate under
-                    // barriered updates, so its view is deterministic).
-                    if request.is_mutation() {
-                        barrier.wait_for(seq);
-                    }
-                    let response = wire::execute(service, &request, strip_timing);
-                    let ok = response
-                        .get("ok")
-                        .and_then(|v| v.as_bool())
-                        .unwrap_or(false);
-                    Job::Ready(response.render(), ok)
-                }
-                Ok(request) => Job::Run(Box::new(request)),
-                Err((id, e)) => Job::Ready(wire::error_response(id.as_ref(), &e).render(), false),
-            };
-            let _ = job_tx.send((seq, job));
-            seq += 1;
+            if session.dispatch_line(&line) == LineOutcome::Shutdown {
+                break;
+            }
         }
-        // Close the queues: workers drain and exit, their result senders
-        // drop, the writer's receive loop ends.
-        drop(job_tx);
-        drop(res_tx);
+        // Drop the session (and with it this session's response sender):
+        // once the in-flight jobs complete, the writer's receive loop
+        // ends. Closing the executor lets the workers exit so the scope
+        // can join.
+        drop(session);
+        exec.close();
         let summary = writer.join().expect("writer thread")?; // lint:allow(panic-path) -- join only errs if the writer thread panicked; re-raising on the serve thread beats silently losing the session summary
         match read_error {
             Some(e) => Err(e),
@@ -350,9 +231,9 @@ mod tests {
     fn register_is_a_barrier_for_in_flight_requests() {
         // Line order: audit against 60-row `d` with kmax 70 (must fail:
         // k_max exceeds the 60 ranked tuples) → re-register `d` with 100
-        // rows → same audit again (must now succeed). Without the barrier
-        // the first audit could race past the re-registration and
-        // nondeterministically succeed.
+        // rows → same audit again (must now succeed). Without the
+        // dataset-lane ordering the first audit could race past the
+        // re-registration and nondeterministically succeed.
         let dir = std::env::temp_dir().join("rankfair_serve_barrier");
         std::fs::create_dir_all(&dir).unwrap();
         let (small, large) = (dir.join("small.csv"), dir.join("large.csv"));
@@ -462,7 +343,7 @@ mod tests {
         let input = [
             register,
             // Snapshots before and after the update must bracket it in
-            // stream order (update is a barrier).
+            // stream order (the monitor's lane orders them).
             r#"{"id": 1, "op": "snapshot", "monitor": "m"}"#,
             update,
             r#"{"id": 3, "op": "snapshot", "monitor": "m"}"#,
@@ -491,8 +372,9 @@ mod tests {
         for line in &serial {
             rankfair_json::parse(line).unwrap();
         }
-        // Monitor mutations are barriers: payloads are identical at any
-        // worker count, cache attribution aside.
+        // Monitor mutations hold the monitor's and dataset's lanes:
+        // payloads are identical at any worker count, cache attribution
+        // aside.
         for workers in [2, 4, 8] {
             let (parallel, sn) = session(&input, workers);
             let a: Vec<String> = serial.iter().map(|l| strip_cache(l)).collect();
@@ -516,5 +398,22 @@ mod tests {
             a.iter().map(|l| strip_cache(l)).collect::<Vec<_>>(),
             c.iter().map(|l| strip_cache(l)).collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn shutdown_op_answers_then_stops_reading() {
+        let input = format!(
+            "{}\n{}\n{}\n",
+            audit_line(0),
+            r#"{"id": 1, "op": "shutdown"}"#,
+            audit_line(2), // never read: the shutdown line ends the session
+        );
+        for workers in [1, 4] {
+            let (lines, summary) = session(&input, workers);
+            assert_eq!(summary.requests, 2, "workers={workers}");
+            assert_eq!(summary.errors, 0, "workers={workers}");
+            assert!(lines[0].contains(r#""id":0"#), "{}", lines[0]);
+            assert_eq!(lines[1], r#"{"id":1,"ok":true,"op":"shutdown"}"#);
+        }
     }
 }

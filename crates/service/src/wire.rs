@@ -52,12 +52,18 @@
 //! {"op": "snapshot", "monitor": "m"}
 //! ```
 //!
-//! `register_monitor` and `update` are **barriers** like `register`
-//! (earlier requests see the pre-mutation state, later lines the
-//! post-mutation state); an `update` additionally republishes the
-//! monitor's evolved dataset under its dataset name, evicting the cached
-//! audits built on the pre-edit data. `snapshot` is a plain read and runs
-//! on the worker pool.
+//! `register_monitor` and `update` serialize **per resource** (see
+//! [`crate::serve`]): earlier requests touching the same monitor or
+//! dataset see the pre-mutation state, later lines the post-mutation
+//! state, while requests on unrelated resources proceed in parallel. An
+//! `update` additionally republishes the monitor's evolved dataset under
+//! its dataset name, evicting the cached audits built on the pre-edit
+//! data. `snapshot` is a plain read and runs on the worker pool.
+//!
+//! An admin `{"op": "shutdown"}` asks the server to stop: the stdio
+//! server stops reading, the socket server ([`crate::net`]) additionally
+//! stops accepting connections; either way in-flight requests drain and
+//! their responses flush before the process exits.
 //!
 //! The protocol is **strict**: unknown members anywhere in a request are
 //! rejected (like the CLI's per-command flag specs), so a misspelled
@@ -133,6 +139,12 @@ pub enum Request {
         /// The monitor to read.
         monitor: String,
     },
+    /// Admin op: gracefully stop the server (stop reading/accepting,
+    /// drain in-flight requests, flush, close).
+    Shutdown {
+        /// Client correlation id.
+        id: Option<Value>,
+    },
 }
 
 impl Request {
@@ -144,14 +156,17 @@ impl Request {
             | Request::Datasets { id }
             | Request::RegisterMonitor { id, .. }
             | Request::MonitorUpdate { id, .. }
-            | Request::MonitorSnapshot { id, .. } => id.as_ref(),
+            | Request::MonitorSnapshot { id, .. }
+            | Request::Shutdown { id } => id.as_ref(),
         }
     }
 
-    /// Whether executing this request mutates service state — the server
-    /// treats these as **barriers**: every previously dispatched request
-    /// finishes first (it must see the pre-mutation state), and the
-    /// mutation is applied before any later line is dispatched.
+    /// Whether executing this request mutates service state. The server
+    /// serializes these **per resource**: every previously dispatched
+    /// request on the same dataset/monitor lane finishes first (it must
+    /// see the pre-mutation state), and the mutation completes before any
+    /// later request on that lane runs — requests on other resources
+    /// proceed in parallel.
     pub fn is_mutation(&self) -> bool {
         matches!(
             self,
@@ -299,8 +314,12 @@ fn parse_request(v: &Value) -> Result<Request, ServiceError> {
                 monitor: require_str(v, "monitor")?.to_string(),
             })
         }
+        Some(Some("shutdown")) => {
+            reject_unknown(v, &["id", "op"], "shutdown")?;
+            Ok(Request::Shutdown { id })
+        }
         Some(Some(other)) => Err(bad(format!(
-            "unknown op `{other}` (expected audit, register, datasets, register_monitor, update or snapshot)"
+            "unknown op `{other}` (expected audit, register, datasets, register_monitor, update, snapshot or shutdown)"
         ))),
         Some(None) => Err(bad("`op` must be a string")),
     }
@@ -770,8 +789,9 @@ pub fn execute(service: &AuditService, request: &Request, strip_timing: bool) ->
         },
         Request::MonitorUpdate { id, monitor, edits } => {
             // Cell resolution needs the monitor's dataset: parse against
-            // it, then apply. The serve loop runs mutations on the reader
-            // thread, so no other update can interleave between the two.
+            // it, then apply. The server holds the monitor's exclusive
+            // ordering lane for the whole job, so no other update on this
+            // monitor can interleave between the two.
             let result = service
                 .with_monitor_dataset(monitor, |ds| edits_from_json(edits, ds))
                 .and_then(|parsed| parsed.map_err(bad))
@@ -798,6 +818,11 @@ pub fn execute(service: &AuditService, request: &Request, strip_timing: bool) ->
             Ok(view) => monitor_view_response(id.as_ref(), monitor, &view),
             Err(e) => error_response(id.as_ref(), &e),
         },
+        Request::Shutdown { id } => envelope(
+            id.as_ref(),
+            true,
+            vec![("op".to_string(), Value::from("shutdown"))],
+        ),
     }
 }
 

@@ -4,11 +4,14 @@
 //! corrupted stream that stops being valid UTF-8 surfaces as an I/O
 //! error from `serve` — never a crash, never a half-written line.
 
-use std::io::Cursor;
+use std::io::{BufRead as _, BufReader, Cursor, Write as _};
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rankfair::service::net::{serve_net, NetListeners, NetOptions, NetSummary};
 use rankfair::service::serve::{serve, ServeOptions};
 use rankfair::service::AuditService;
 
@@ -245,4 +248,250 @@ fn hostile_update_ops_answer_in_band() {
             _ => assert!(!ok, "hostile edit must fail in-band: {line}"),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Socket framing: the same robustness contract over the TCP front-end.
+// The socket reader reassembles lines from arbitrary segment boundaries,
+// so every split, stall, and disconnect the transport can produce must
+// leave the server answering in-band or closing cleanly — never stuck,
+// never panicking, never emitting a half-written line.
+// ---------------------------------------------------------------------------
+
+/// Runs `serve_net` on a loopback TCP listener with `fig1` preloaded and
+/// hands the client closure the `host:port` address. Shuts the server
+/// down once the closure returns and reports the summary alongside the
+/// closure's result.
+fn with_net_server<T: Send>(
+    opts: NetOptions,
+    client: impl FnOnce(&str) -> T + Send,
+) -> (NetSummary, T) {
+    let service = AuditService::new();
+    service.register_dataset("fig1", Arc::new(rankfair::data::examples::students_fig1()));
+    let listeners = NetListeners::bind(&["tcp:127.0.0.1:0".to_string()]).unwrap();
+    let addr = listeners.local_addrs().remove(0);
+    let addr = addr.strip_prefix("tcp:").unwrap().to_string();
+    let handle = listeners.handle();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve_net(&service, listeners, &opts));
+        let out = client(&addr);
+        handle.shutdown();
+        (server.join().expect("server thread"), out)
+    })
+}
+
+/// Lines split across TCP segments: the request stream dribbled to the
+/// socket in tiny random chunks (1–6 bytes, i.e. every request arrives
+/// across many partial writes) must produce **byte-identical** responses
+/// to the stdio transport over the same bytes.
+#[test]
+fn socket_lines_split_across_segments_match_stdio() {
+    let base = requests();
+    let (_, stdio_lines) = run(base.clone(), 1).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5E61);
+    for case in 0..4 {
+        let opts = NetOptions {
+            workers: 1,
+            strip_timing: true,
+            ..NetOptions::default()
+        };
+        let (summary, lines) = with_net_server(opts, |addr| {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.set_nodelay(true).unwrap();
+            let mut pos = 0;
+            let mut chunks = 0usize;
+            while pos < base.len() {
+                let end = (pos + rng.random_range(1..=6usize)).min(base.len());
+                conn.write_all(&base[pos..end]).unwrap();
+                chunks += 1;
+                // An occasional stall between segments exercises the
+                // reader's timeout-and-retry path mid-line.
+                if chunks.is_multiple_of(64) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                pos = end;
+            }
+            let reader = BufReader::new(conn);
+            reader
+                .lines()
+                .take(stdio_lines.len())
+                .map(|l| l.unwrap())
+                .collect::<Vec<String>>()
+        });
+        assert_eq!(lines, stdio_lines, "case {case}");
+        assert_eq!(summary.requests, stdio_lines.len(), "case {case}");
+        // The fixture deliberately includes bad requests; the socket
+        // transport must count exactly the same in-band errors.
+        let expected_errors = stdio_lines
+            .iter()
+            .filter(|l| l.contains(r#""ok":false"#))
+            .count();
+        assert_eq!(summary.errors, expected_errors, "case {case}");
+    }
+}
+
+/// Mid-line disconnects: a client that cuts the stream at an arbitrary
+/// byte offset and half-closes gets an answer for every **complete**
+/// line it managed to send — the trailing unterminated fragment is
+/// dropped, the connection closes cleanly, and the server keeps
+/// accepting fresh connections afterwards.
+#[test]
+fn mid_line_disconnects_answer_complete_lines_then_close() {
+    let base = requests();
+    let opts = NetOptions {
+        workers: 2,
+        strip_timing: true,
+        ..NetOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    const CASES: usize = 10;
+    let (summary, ()) = with_net_server(opts, |addr| {
+        for case in 0..CASES {
+            let cut = rng.random_range(1..base.len());
+            let prefix = &base[..cut];
+            // Complete lines are everything before the last newline;
+            // blank ones are skipped, per the wire contract.
+            let expected = String::from_utf8_lossy(prefix)
+                .rsplit_once('\n')
+                .map_or(0, |(head, _)| {
+                    head.lines().filter(|l| !l.trim().is_empty()).count()
+                });
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(prefix).unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let reader = BufReader::new(conn);
+            let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+            assert_eq!(lines.len(), expected, "case {case} (cut at {cut})");
+            assert_lines_well_formed(&lines);
+        }
+    });
+    assert_eq!(summary.connections, CASES);
+}
+
+/// Oversized lines against the read cap: a line **at** `max_line_bytes`
+/// is still parsed (and answered in-band, here as a JSON error), one
+/// byte **over** draws an in-band `bad_request` naming the cap and the
+/// connection is closed — the reader never buffers past the limit.
+#[test]
+fn oversized_lines_hit_the_read_cap_in_band() {
+    let opts = NetOptions {
+        workers: 1,
+        strip_timing: true,
+        max_line_bytes: 512,
+        ..NetOptions::default()
+    };
+    let first_request = {
+        let base = requests();
+        let eol = base.iter().position(|&b| b == b'\n').unwrap();
+        base[..=eol].to_vec()
+    };
+    let (summary, ()) = with_net_server(opts, |addr| {
+        // Exactly at the cap: garbage JSON, but framed fine — answered
+        // in-band and the session stays open for a valid follow-up.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut at_cap = vec![b'x'; 512];
+        at_cap.push(b'\n');
+        conn.write_all(&at_cap).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains(r#""ok":false"#) && line.contains("bad_request"),
+            "at-cap garbage answered in-band: {line}"
+        );
+        conn.write_all(&first_request).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains(r#""ok":true"#),
+            "session survives an at-cap line: {line}"
+        );
+        drop((conn, reader));
+
+        // One byte over: in-band error naming the cap, then EOF.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut over = vec![b'y'; 513];
+        over.push(b'\n');
+        conn.write_all(&over).unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains(r#""ok":false"#) && line.contains("512"),
+            "over-cap line names the cap: {line}"
+        );
+        line.clear();
+        assert_eq!(
+            reader.read_line(&mut line).unwrap(),
+            0,
+            "connection closes after an over-cap line"
+        );
+    });
+    assert_eq!(summary.connections, 2);
+}
+
+/// A client that pipelines far past the window and never reads: the
+/// pipeline gate bounds what the server buffers (memory stays bounded
+/// instead of OOMing), other connections stay fully served, and once
+/// the stalled client finally reads it receives every response in
+/// order.
+#[test]
+fn never_reading_client_stalls_only_itself() {
+    const BACKLOG: usize = 4_000;
+    let opts = NetOptions {
+        workers: 2,
+        strip_timing: true,
+        pipeline_window: 8,
+        ..NetOptions::default()
+    };
+    let first_request = {
+        let base = requests();
+        let eol = base.iter().position(|&b| b == b'\n').unwrap();
+        base[..=eol].to_vec()
+    };
+    let (summary, ()) = with_net_server(opts, |addr| {
+        let stalled = TcpStream::connect(addr).unwrap();
+        let mut stalled_writer = stalled.try_clone().unwrap();
+        // Blast requests without ever reading. The writes themselves
+        // block once the 8-response window plus the kernel buffers
+        // fill, so they run on their own thread.
+        let pump = std::thread::spawn(move || {
+            let line = b"{\"op\": \"datasets\"}\n";
+            for _ in 0..BACKLOG {
+                if stalled_writer.write_all(line).is_err() {
+                    panic!("server dropped a backpressured connection");
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(100));
+
+        // A second connection is answered while the first is wedged.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_nodelay(true).unwrap();
+        conn.write_all(&first_request).unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains(r#""ok":true"#),
+            "an independent connection must not stall: {line}"
+        );
+        drop(reader);
+
+        // Draining the stalled connection yields every response, in
+        // order, well-formed.
+        let reader = BufReader::new(stalled);
+        let mut ids = 0usize;
+        let lines: Vec<String> = reader
+            .lines()
+            .take(BACKLOG)
+            .map(|l| l.unwrap())
+            .inspect(|_| ids += 1)
+            .collect();
+        assert_eq!(ids, BACKLOG);
+        assert_lines_well_formed(&lines);
+        pump.join().expect("pump thread");
+    });
+    assert_eq!(summary.requests, BACKLOG + 1);
+    assert_eq!(summary.errors, 0);
 }
