@@ -818,16 +818,27 @@ fn serve_bench(opts: &Opts) {
 
 /// Speedup floors the `--quick` monitor bench enforces (exit 1 on
 /// regression), guarding the persistent-engine-state win in CI. Quick
-/// mode runs COMPAS/4 with 8 batches on shared runners; measured quick
-/// numbers are ~15× at batch=1 and 1.7–2.9× at batch=16 (full run:
-/// ~15× / ~2×), so the floors sit below those to absorb timing noise
-/// while still catching a collapse back to pre-checkpoint behavior
-/// (delta ≈ rebuild at batch=1; delta ≈ 0.6× at batch=16 when the span
-/// seek is broken). Note these gate the *achieved* win — ISSUE 5's
-/// original ≥5×-at-batch=16 target is not met and is documented as out
-/// of reach of checkpointing alone (see ROADMAP/CHANGES).
+/// mode runs COMPAS/4 with 8 batches on shared runners; the floors sit
+/// below the measured quick numbers to absorb timing noise while still
+/// catching a collapse back to pre-checkpoint behavior (delta ≈ rebuild
+/// at batch=1; delta ≈ 0.6× at batch=16 when the span seek is broken).
+/// With arena-backed stores, counts-only snapshots and segmented replay
+/// the measured quick numbers are ~16-20× at batch=1, ~2.2-2.5× on the
+/// dense batch=16 workload, and ~10-13× on the sparse two-cluster
+/// batch=16 workload where segmented replay skips the dead middle of the
+/// hull. The dense batch=16 case replays ~37 of the 40 audited `k`
+/// values, so its ratio is capped near (fixed rebuild cost + per-`k`
+/// work) / per-`k` work ≈ 2.8× — the floor sits at 2.0× (was 1.2× under
+/// hull replay) to stay noise-proof, and the ≥ 4× segmented-replay
+/// guarantee is gated on the sparse workload, whose changed-`k` set is
+/// genuinely small. The floors compare against a *trimmed* ratio — each
+/// side's single slowest batch is dropped before summing (the untrimmed
+/// ratio is still reported): a single scheduler hiccup in a ~1.5ms batch
+/// series swings the total by 2×, while a real regression slows every
+/// batch and the survivors still show it.
 const QUICK_FLOOR_BATCH_1: f64 = 6.0;
-const QUICK_FLOOR_BATCH_16: f64 = 1.2;
+const QUICK_FLOOR_BATCH_16: f64 = 2.0;
+const QUICK_FLOOR_BATCH_16_SPARSE: f64 = 4.0;
 
 /// Live monitor: delta re-audit after small edit batches vs. a full audit
 /// rebuild (space + index construction + whole-`k`-range run) after every
@@ -876,39 +887,59 @@ fn monitor_bench(opts: &Opts) {
     ]);
     let mut json_rows: Vec<Value> = Vec::new();
     let mut floor_failures: Vec<String> = Vec::new();
-    for batch_size in [1usize, 4, 16] {
+    for (batch_size, sparse) in [(1usize, false), (4, false), (16, false), (16, true)] {
         let mut monitor = MonitorAudit::builder(ds.clone(), "__score")
             .attributes(attr_names.iter().cloned())
             .build(cfg.clone(), task.clone(), Engine::Optimized)
             .expect("monitor build");
-        let mut rng = StdRng::seed_from_u64(opts.seed ^ batch_size as u64);
-        let mut delta_s = 0.0f64;
-        let mut rebuild_s = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ batch_size as u64 ^ (sparse as u64) << 8);
+        let mut delta_times: Vec<f64> = Vec::with_capacity(batches);
+        let mut rebuild_times: Vec<f64> = Vec::with_capacity(batches);
         let mut recomputed_k = 0usize;
         let mut changes = 0usize;
         for _ in 0..batches {
-            // Contested-region edits: rows currently ranked near the
-            // audited k window, nudged by up to ~25 positions — the
-            // live-traffic shape where the top-k actually churns. (Edits
-            // far below the window would recompute nothing and make the
-            // comparison trivially flattering.)
             let ranking = monitor.ranking();
             let edits: Vec<rankfair::core::RankingEdit> = (0..batch_size)
-                .map(|_| {
-                    let pos = rng.random_range(0..80usize.min(n));
+                .map(|i| {
+                    let (pos, nudge) = if sparse {
+                        // Sparse shape: two tight clusters near the ends of
+                        // the audited k window, each row nudged by 1–2
+                        // positions. The net-movement hull spans most of the
+                        // window but the true changed-k set is two short
+                        // segments — the case segmented replay exists for.
+                        let base = if i % 2 == 0 { 12 } else { 45.min(n - 3) };
+                        (
+                            base + rng.random_range(0..2usize),
+                            rng.random_range(1..=2usize),
+                        )
+                    } else {
+                        // Contested-region edits: rows currently ranked near
+                        // the audited k window, nudged by up to ~25 positions
+                        // — the live-traffic shape where the top-k actually
+                        // churns. (Edits far below the window would recompute
+                        // nothing and make the comparison trivially
+                        // flattering.)
+                        (
+                            rng.random_range(0..80usize.min(n)),
+                            rng.random_range(1..=25usize),
+                        )
+                    };
                     let row = ranking.at(pos);
-                    let nudge = rng.random_range(1..=25usize) as f64;
                     let up: bool = rng.random();
-                    let score = (n - pos) as f64 + if up { nudge } else { -nudge };
+                    let score = (n - pos) as f64 + if up { nudge as f64 } else { -(nudge as f64) };
                     rankfair::core::RankingEdit::ScoreUpdate { row, score }
                 })
                 .collect();
             let t0 = std::time::Instant::now();
             let delta = monitor.apply(&edits).expect("apply");
-            delta_s += t0.elapsed().as_secs_f64();
-            if let Some((lo, hi)) = delta.recomputed {
-                recomputed_k += hi - lo + 1;
-            }
+            delta_times.push(t0.elapsed().as_secs_f64());
+            // Sum the segments actually replayed, not the hull width — the
+            // two differ exactly when segmented replay pays off.
+            recomputed_k += delta
+                .segments
+                .iter()
+                .map(|&(lo, hi)| hi - lo + 1)
+                .sum::<usize>();
             changes += delta.total_changes();
 
             // The alternative a monitor-less server pays per batch: re-rank
@@ -926,19 +957,39 @@ fn monitor_bench(opts: &Opts) {
             let full = audit
                 .run(&cfg, &task, Engine::Optimized)
                 .expect("audit run");
-            rebuild_s += t0.elapsed().as_secs_f64();
+            rebuild_times.push(t0.elapsed().as_secs_f64());
             assert_eq!(
                 monitor.results(),
                 &full.per_k[..],
                 "delta re-audit diverged from full rebuild"
             );
         }
+        let delta_s: f64 = delta_times.iter().sum();
+        let rebuild_s: f64 = rebuild_times.iter().sum();
         let speedup = rebuild_s / delta_s.max(1e-9);
+        // The floor gates on a *trimmed* ratio — each side's single
+        // slowest batch is dropped before summing. One scheduler hiccup in
+        // an 8-batch × ~1.5ms series moves the untrimmed total by 2×
+        // either way, and a flaky CI gate is worse than a slightly
+        // later-firing one; a real regression slows every batch and the
+        // seven survivors still show it. (A per-batch median would be
+        // blind at batch=1, where most single-edit batches recompute
+        // nothing and stay fast no matter how broken replay is.)
+        let trimmed = |times: &[f64]| -> f64 {
+            let max = times.iter().copied().fold(0.0f64, f64::max);
+            times.iter().sum::<f64>() - max
+        };
+        let speedup_trimmed = trimmed(&rebuild_times) / trimmed(&delta_times).max(1e-9);
         let ck = monitor
             .checkpoint_stats()
             .expect("optimized monitor keeps engine state");
+        let label = if sparse {
+            format!("{batch_size} (sparse)")
+        } else {
+            batch_size.to_string()
+        };
         t.row(&[
-            batch_size.to_string(),
+            label,
             batches.to_string(),
             format!("{:.2}", delta_s * 1000.0),
             format!("{:.2}", rebuild_s * 1000.0),
@@ -949,10 +1000,15 @@ fn monitor_bench(opts: &Opts) {
         ]);
         json_rows.push(Value::object([
             ("batch_size", Value::from(batch_size)),
+            (
+                "workload",
+                Value::from(if sparse { "sparse" } else { "dense" }),
+            ),
             ("batches", Value::from(batches)),
             ("delta_ms", Value::from(delta_s * 1000.0)),
             ("rebuild_ms", Value::from(rebuild_s * 1000.0)),
             ("speedup", Value::from(speedup)),
+            ("speedup_trimmed", Value::from(speedup_trimmed)),
             ("recomputed_k", Value::from(recomputed_k)),
             ("changes", Value::from(changes)),
             (
@@ -963,19 +1019,24 @@ fn monitor_bench(opts: &Opts) {
                     ("repairs", Value::from(ck.repairs as usize)),
                     ("cold_builds", Value::from(ck.cold_builds as usize)),
                     ("replayed_steps", Value::from(ck.replayed_steps as usize)),
+                    ("segments", Value::from(ck.segments as usize)),
+                    ("prefix_recounts", Value::from(ck.prefix_recounts as usize)),
                     ("stored_nodes", Value::from(ck.stored_nodes)),
+                    ("arena_nodes", Value::from(ck.arena_nodes)),
                 ]),
             ),
         ]));
-        let floor = match batch_size {
-            1 => Some(QUICK_FLOOR_BATCH_1),
-            16 => Some(QUICK_FLOOR_BATCH_16),
+        let floor = match (batch_size, sparse) {
+            (1, false) => Some(QUICK_FLOOR_BATCH_1),
+            (16, false) => Some(QUICK_FLOOR_BATCH_16),
+            (16, true) => Some(QUICK_FLOOR_BATCH_16_SPARSE),
             _ => None,
         };
         if let Some(floor) = floor {
-            if opts.quick && speedup < floor {
+            if opts.quick && speedup_trimmed < floor {
                 floor_failures.push(format!(
-                    "batch={batch_size}: delta-vs-rebuild speedup {speedup:.2}x below the floor {floor}x"
+                    "batch={batch_size}{}: trimmed delta-vs-rebuild speedup {speedup_trimmed:.2}x below the floor {floor}x",
+                    if sparse { " (sparse)" } else { "" }
                 ));
             }
         }

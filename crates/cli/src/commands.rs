@@ -561,15 +561,18 @@ pub fn monitor(flags: &Flags) -> Result<(), CliError> {
     );
     if let Some(ck) = monitor.checkpoint_stats() {
         eprintln!(
-            "[engine checkpoints: every {} k, {}+{} live ({} nodes); {} seek(s), {} repair(s), {} cold build(s), {} replayed step(s), {} invalidated]",
+            "[engine checkpoints: every {} k, {}+{} live ({} snapshot nodes, {} arena nodes); {} seek(s), {} repair(s), {} cold build(s), {} replayed step(s) over {} segment(s), {} prefix recount(s), {} invalidated]",
             ck.cadence,
             ck.lower_checkpoints,
             ck.upper_checkpoints,
             ck.stored_nodes,
+            ck.arena_nodes,
             ck.seeks,
             ck.repairs,
             ck.cold_builds,
             ck.replayed_steps,
+            ck.segments,
+            ck.prefix_recounts,
             ck.invalidated,
         );
     }

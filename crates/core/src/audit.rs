@@ -264,6 +264,16 @@ impl AuditIndex {
         }
     }
 
+    /// `s_Rk(p)` alone via a truncated prefix scan — the arena engines'
+    /// re-activation fast path (the stored `s_D` makes the full fused
+    /// scan redundant).
+    pub fn prefix_count(&self, p: &Pattern, k: usize) -> usize {
+        match self {
+            AuditIndex::Single(i) => i.prefix_count(p, k),
+            AuditIndex::Sharded(i) => i.prefix_count(p, k),
+        }
+    }
+
     /// `s_D(p)` alone.
     pub fn size_in_data(&self, p: &Pattern) -> usize {
         self.counts(p, 0).0
@@ -302,6 +312,10 @@ impl CountsProvider for AuditIndex {
 
     fn code_at(&self, pos: usize, attr: AttrId) -> ValueCode {
         AuditIndex::code_at(self, pos, attr)
+    }
+
+    fn prefix_count(&self, p: &Pattern, k: usize) -> usize {
+        AuditIndex::prefix_count(self, p, k)
     }
 }
 
@@ -650,22 +664,23 @@ pub(crate) struct AuditParts<'a, I: CountsProvider> {
 }
 
 /// The persistent engine state a [`crate::MonitorAudit`] carries between
-/// delta re-audits: per-direction checkpoint stores (engine snapshots
-/// every `cadence` values of `k`, grid `k ≡ k_min (mod cadence)`) plus
-/// the replay work counters. The monitor invalidates entries that an edit
-/// batch made stale — the span `(lo, hi]` for a pure reorder, everything
-/// for an insertion — and [`AuditParts::run_range_checkpointed`] heals
-/// the holes while recomputing.
+/// delta re-audits: per-direction stores (the shared node arena plus
+/// counts-only engine snapshots every `cadence` values of `k`, grid
+/// `k ≡ k_min (mod cadence)`) and the replay work counters. The monitor
+/// invalidates entries that an edit batch made stale — the changed-`k`
+/// segments for a pure reorder, everything (arena included) for an
+/// insertion — and [`AuditParts::run_range_checkpointed`] heals the holes
+/// while recomputing.
 #[derive(Debug)]
 pub(crate) struct EngineCheckpoints {
     /// Grid spacing `C`: one snapshot every `C` values of `k`.
     pub(crate) cadence: usize,
-    /// Lower-engine snapshots, `k` ascending (UnderRep and the lower half
-    /// of Combined).
-    pub(crate) lower: Vec<engine::LowerCheckpoint>,
-    /// Upper-engine snapshots, `k` ascending (OverRep and the upper half
-    /// of Combined).
-    pub(crate) upper: Vec<upper_engine::UpperCheckpoint>,
+    /// Lower-engine arena + snapshots (UnderRep and the lower half of
+    /// Combined).
+    pub(crate) lower: engine::LowerStore,
+    /// Upper-engine arena + snapshots (OverRep and the upper half of
+    /// Combined).
+    pub(crate) upper: upper_engine::UpperStore,
     /// Seek/build/replay counters accumulated over the monitor's life.
     pub(crate) counters: ReplayCounters,
     /// Checkpoints dropped by edit invalidation so far.
@@ -676,30 +691,49 @@ impl EngineCheckpoints {
     pub(crate) fn new(cadence: usize) -> Self {
         EngineCheckpoints {
             cadence: cadence.max(1),
-            lower: Vec::new(),
-            upper: Vec::new(),
+            lower: engine::LowerStore::default(),
+            upper: upper_engine::UpperStore::default(),
             counters: ReplayCounters::default(),
             invalidated: 0,
         }
     }
 
-    /// Drops every checkpoint — an insertion moved `n` and `s_D`, which
-    /// every stored node's classification depends on.
+    /// Drops every checkpoint *and* both arenas — an insertion moved `n`
+    /// and `s_D`, which every interned node's pruned verdict and every
+    /// snapshot's classification depend on.
     pub(crate) fn invalidate_all(&mut self) {
-        self.invalidated += (self.lower.len() + self.upper.len()) as u64;
-        self.lower.clear();
-        self.upper.clear();
+        self.invalidated += (self.lower.snaps.len() + self.upper.snaps.len()) as u64;
+        self.lower.snaps.clear();
+        self.lower.arena.clear();
+        self.upper.snaps.clear();
+        self.upper.arena.clear();
     }
 
     /// Live checkpoints per direction.
     pub(crate) fn live(&self) -> (usize, usize) {
-        (self.lower.len(), self.upper.len())
+        (self.lower.snaps.len(), self.upper.snaps.len())
     }
 
-    /// Total nodes held across every stored snapshot (memory driver).
+    /// Total node slots held across every stored snapshot (each one
+    /// `u32` count plus frontier bits — the arena is shared, not cloned).
     pub(crate) fn stored_nodes(&self) -> usize {
-        self.lower.iter().map(|cp| cp.stored_nodes()).sum::<usize>()
-            + self.upper.iter().map(|cp| cp.stored_nodes()).sum::<usize>()
+        self.lower
+            .snaps
+            .iter()
+            .map(|cp| cp.stored_nodes())
+            .sum::<usize>()
+            + self
+                .upper
+                .snaps
+                .iter()
+                .map(|cp| cp.stored_nodes())
+                .sum::<usize>()
+    }
+
+    /// Nodes interned across both arenas (the steady-state memory
+    /// driver; checkpoints only add counts-vector slots on top).
+    pub(crate) fn arena_nodes(&self) -> usize {
+        self.lower.arena.len() + self.upper.arena.len()
     }
 }
 
@@ -709,7 +743,10 @@ impl EngineCheckpoints {
 /// (`k ≡ k_min (mod cadence)`): reorder replays pass a `heal_cutoff` so
 /// only the snapshots near the span start — where the next seek lands —
 /// are (re)written, and deeper stale ones are dropped instead of
-/// recloned; full builds (no cutoff) lay the whole grid.
+/// recloned; full builds (no cutoff) lay the whole grid. Returns whether
+/// a snapshot was written (inserted or overwritten) at `k` — segmented
+/// replays track written grid `k`s so a later segment of the same call
+/// never re-repairs state that already holds the new order.
 pub(crate) fn maintain_grid_snapshot<T>(
     store: &mut Vec<T>,
     k: usize,
@@ -718,20 +755,27 @@ pub(crate) fn maintain_grid_snapshot<T>(
     heal_cutoff: Option<usize>,
     key: impl FnMut(&T) -> usize,
     snapshot: impl FnOnce() -> T,
-) {
+) -> bool {
     if k < k_min || !(k - k_min).is_multiple_of(cadence) {
-        return;
+        return false;
     }
     match store.binary_search_by_key(&k, key) {
         Ok(i) => match heal_cutoff {
             Some(cut) if k > cut => {
                 store.remove(i);
+                false
             }
-            _ => store[i] = snapshot(),
+            _ => {
+                store[i] = snapshot();
+                true
+            }
         },
         Err(i) => {
             if heal_cutoff.is_none_or(|cut| k <= cut) {
                 store.insert(i, snapshot());
+                true
+            } else {
+                false
             }
         }
     }
@@ -868,22 +912,23 @@ impl<I: CountsProvider> AuditParts<'_, I> {
         }
     }
 
-    /// Checkpointed execution over the `k` span `[span.0, span.1]` —
+    /// Checkpointed execution over the disjoint ascending `k` segments
+    /// `spans` (each `[lo, hi]` inclusive) —
     /// [`crate::MonitorAudit`]'s delta path with `Engine::Optimized`.
     ///
     /// Functionally identical to [`AuditParts::run_range`] over the same
-    /// span (both directions drive the same engine step code; the
+    /// `k` values (both directions drive the same engine step code; the
     /// differential sweeps assert equality), but it seeks into `ckpts`'s
     /// stored snapshots instead of building the engines from scratch at
-    /// the span's first `k`, repairing the seek checkpoint against
-    /// `reorder` when the edit hull swallowed it, and refreshes snapshots
-    /// as it replays. Deadlines are unsupported (monitors reject them at
+    /// each segment's first `k`, repairing the seek checkpoint against
+    /// `reorder` when an edit swallowed it, and refreshes snapshots as it
+    /// replays. Deadlines are unsupported (monitors reject them at
     /// construction): a truncated replay would leave the checkpoint store
     /// inconsistent with the cached results.
     pub(crate) fn run_range_checkpointed(
         &self,
         cfg: &DetectConfig,
-        span: (usize, usize),
+        spans: &[(usize, usize)],
         task: &AuditTask,
         ckpts: &mut EngineCheckpoints,
         reorder: Option<&ReorderSpec>,
@@ -896,7 +941,7 @@ impl<I: CountsProvider> AuditParts<'_, I> {
                 self.space,
                 measure,
                 cfg,
-                span,
+                spans,
                 reorder.map(|r| (r, self.ranking.order())),
                 &mut ckpts.lower,
                 cadence,
@@ -910,7 +955,7 @@ impl<I: CountsProvider> AuditParts<'_, I> {
                 cfg,
                 upper,
                 scope,
-                span,
+                spans,
                 reorder.map(|r| (r, self.ranking.order())),
                 &mut ckpts.upper,
                 cadence,

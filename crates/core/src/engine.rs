@@ -30,24 +30,49 @@
 //! exactly as Algorithm 2 does (lines 4–5). The streaming path
 //! ([`StreamCore::global`]) applies the bound-step extension instead:
 //! a store-wide reclassification pass with zero fresh evaluations.
-//! Rebuilds *shrink* the store to the tighter bound, so the rescan wins
-//! only when re-evaluation is the dominant cost.
+//!
+//! ## Arena store and run state
+//!
+//! The node store is split in two. A [`LowerArena`] holds everything that
+//! is a function of the **pattern alone** — the interned pattern, its tree
+//! parent, `s_D`, the substantiality verdict, and the generated-children
+//! structure — in a flat `Vec` addressed by `u32` ids. Per-run state lives
+//! beside it in parallel vectors: `counts[id]` is the node's `s_Rk`
+//! (sentinel [`NOT_LIVE`] until the node joins the current run) and
+//! `open[id]` is the run-level expansion frontier the count walks descend
+//! through. The split buys three things:
+//!
+//! * [`LowerCheckpoint`] snapshots are **counts-plus-frontier memcpys**
+//!   (two flat vectors plus the small `Res`/`DRes` sets) instead of deep
+//!   clones of the whole node map — the arena is shared, not copied;
+//! * re-expanding a stored node re-activates its children with
+//!   **prefix-only recounts** ([`CountsProvider::prefix_count`], a
+//!   truncated bitmap scan) — the stored `s_D` is reused, never recomputed;
+//! * bound-step rebuilds ([`Engine::reset`] + [`Engine::build`]) keep the
+//!   arena and only clear run state, so Algorithm 2's per-step rebuild
+//!   also runs on prefix recounts after the first build.
+//!
+//! The arena is append-only (structure is `k`- and bound-independent), so
+//! a checkpoint taken at any time stays consistent with every later arena:
+//! restoring extends `counts`/`open` with `NOT_LIVE`/`false` for nodes
+//! created after the snapshot. Insertions change `s_D` and the pruned
+//! verdicts, so they clear the arena along with the checkpoint store.
 //!
 //! This module covers the **lower-bound** (under-representation) side
 //! only. The §III upper-bound side has its own incremental engine in
-//! `upper_engine`, built on the same persistent-store/`walk_counts`
-//! machinery but maintaining the *most specific* frontier of the
-//! subset-closed over-represented set; the per-`k` searches in
-//! [`crate::upper`] remain as its differential anchor.
+//! `upper_engine`, built on the same arena/`walk_counts` machinery but
+//! maintaining the *most specific* frontier of the subset-closed
+//! over-represented set; the per-`k` searches in [`crate::upper`] remain
+//! as its differential anchor.
 //!
 //! For the live monitor the engine state is additionally **resumable**:
-//! [`LowerCheckpoint`] snapshots the complete search state at a given
-//! `k`, and [`lower_replay`] seeks to a stored snapshot, optionally
-//! repairs it against a ranking reorder ([`Engine::repair`] — ±count
-//! walks over the top-`k` set diff plus one store reclassify), and
-//! replays forward emitting per-`k` results — the delta re-audit path of
-//! [`crate::MonitorAudit`], with zero from-scratch builds on pure
-//! reorders.
+//! [`LowerCheckpoint`] snapshots the run state at a given `k`, and
+//! [`lower_replay`] seeks to a stored snapshot, optionally repairs it
+//! against a ranking reorder ([`Engine::repair`] — ±count walks over the
+//! top-`k` set diff plus one store reclassify), and replays forward over
+//! the requested **segments** of the `k` range emitting per-`k` results —
+//! the delta re-audit path of [`crate::MonitorAudit`], with zero
+//! from-scratch builds on pure reorders.
 
 use std::collections::VecDeque;
 
@@ -58,18 +83,66 @@ use crate::stats::{
     DeadlineGuard, DetectConfig, DetectionOutput, KResult, ReplayCounters, SearchStats,
 };
 use crate::util::{FxHashMap, FxHashSet};
+use rankfair_data::ValueCode;
 
 const ROOT: u32 = u32::MAX;
 
+/// Sentinel in `counts` marking a node that is not live in the current
+/// run. Real counts are bounded by `n`, which fits `TupleId` (u32).
+const NOT_LIVE: u32 = u32::MAX;
+
+/// Everything about a node that is a function of its pattern alone —
+/// shared across runs, checkpoints and replays without cloning.
 #[derive(Debug, Clone)]
-struct Node {
+struct NodeMeta {
     pattern: Pattern,
     parent: u32,
     sd: u32,
-    count: u32,
+    /// Structural: the children have been generated and stored. Distinct
+    /// from the run-level `open` frontier — a node expanded in an earlier
+    /// run re-activates its stored children instead of re-evaluating them.
     expanded: bool,
-    pruned: bool,
     children: Vec<u32>,
+}
+
+/// The lower engine's index-addressed node arena: flat `Vec` of
+/// [`NodeMeta`] plus the level-1 child index. Append-only (node structure
+/// is independent of `k` and of the bias bound), owned by the
+/// [`LowerStore`] between runs and moved — not cloned — into the engine
+/// for the duration of a replay.
+#[derive(Debug, Default)]
+pub(crate) struct LowerArena {
+    nodes: Vec<NodeMeta>,
+    /// `s_D < τs` verdict per node, kept out of [`NodeMeta`] so the hot
+    /// walks resolve the prune-skip from one flat byte array — a closed
+    /// node's visit never has to pull its full `NodeMeta` cache line.
+    pruned: Vec<bool>,
+    /// Level-1 nodes laid out by `card_prefix[attr] + value` — the walk's
+    /// entry points.
+    root_children: Vec<u32>,
+}
+
+impl LowerArena {
+    /// Number of interned nodes — the steady-state memory driver.
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drops all interned structure (insertions change `s_D` and the
+    /// pruned verdicts, so the arena is rebuilt from scratch).
+    pub(crate) fn clear(&mut self) {
+        self.nodes.clear();
+        self.pruned.clear();
+        self.root_children.clear();
+    }
+}
+
+/// The persistent lower-side store a monitor keeps between batches: one
+/// shared arena plus the `k`-grid of counts-only snapshots taken over it.
+#[derive(Debug, Default)]
+pub(crate) struct LowerStore {
+    pub(crate) arena: LowerArena,
+    pub(crate) snaps: Vec<LowerCheckpoint>,
 }
 
 struct Engine<'a, I: CountsProvider> {
@@ -79,16 +152,27 @@ struct Engine<'a, I: CountsProvider> {
     tau_s: usize,
     n: usize,
     k_max: usize,
-    nodes: Vec<Node>,
-    /// Level-1 nodes laid out by `card_prefix[attr] + value` — the walk's
-    /// entry points.
-    root_children: Vec<u32>,
+    arena: LowerArena,
+    /// Per-run `s_Rk` per node, [`NOT_LIVE`] until activated this run.
+    counts: Vec<u32>,
+    /// Run-level expansion frontier: walks descend through `open` nodes
+    /// only. `open[id]` implies every stored child of `id` is live.
+    open: Vec<bool>,
     /// `card_prefix[a] = Σ_{b<a} card(b)`. Children of an expanded node are
     /// generated in (attribute, value) order, so the child binding
     /// `(a, v)` sits at `children[card_prefix[a] − card_prefix[ma+1] + v]`
     /// (where `ma` is the node's max attribute) — child lookup is pure
     /// arithmetic, no hashing on the hot walk.
     card_prefix: Vec<u32>,
+    /// Flat mirror of `res ∪ keys(dres)`: the walks and rescans test
+    /// membership per touched node, so it must be an index read, not two
+    /// hash probes. Maintained by `add_stopped`/`remove_stopped`, rebuilt
+    /// on restore/reset.
+    stopped: Vec<bool>,
+    /// Memoized `(k, L_k)` for the global measure: every `is_biased` call
+    /// within one step shares `k`, so the bound lookup (a linear scan for
+    /// [`Bounds::Steps`]) is hoisted out of the per-node predicate.
+    lk_memo: std::cell::Cell<(usize, usize)>,
     res: FxHashSet<u32>,
     /// The dominated biased nodes (`DRes`), each mapped to its
     /// **designated dominator**: one current `res` member whose pattern
@@ -107,6 +191,14 @@ struct Engine<'a, I: CountsProvider> {
     /// re-validated when popped.
     schedule: Vec<Vec<u32>>,
     stats: SearchStats,
+    /// Activations served by a stored `s_D` plus a truncated prefix scan
+    /// instead of a full fused evaluation.
+    prefix_recounts: u64,
+    /// Reused walk buffers: the DFS stack and the entering tuple's value
+    /// codes. Taken/returned by the walks so a replay's per-step walks
+    /// never hit the allocator.
+    scratch_stack: Vec<u32>,
+    scratch_codes: Vec<ValueCode>,
 }
 
 impl<'a, I: CountsProvider> Engine<'a, I> {
@@ -136,51 +228,130 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
             tau_s,
             n: index.n(),
             k_max,
-            nodes: Vec::new(),
-            root_children: Vec::new(),
+            arena: LowerArena::default(),
+            counts: Vec::new(),
+            open: Vec::new(),
             card_prefix,
+            stopped: Vec::new(),
+            lk_memo: std::cell::Cell::new((usize::MAX, 0)),
             res: FxHashSet::default(),
             dres: FxHashMap::default(),
             dominates: FxHashMap::default(),
             schedule,
             stats: SearchStats::default(),
+            prefix_recounts: 0,
+            scratch_stack: Vec::new(),
+            scratch_codes: Vec::new(),
         }
+    }
+
+    /// An engine over a pre-existing arena (no run state yet): the replay
+    /// entry point. The arena is moved in, not cloned, and handed back by
+    /// [`Engine::into_parts`].
+    fn with_arena(
+        index: &'a I,
+        space: &'a PatternSpace,
+        measure: BiasMeasure,
+        tau_s: usize,
+        k_max: usize,
+        arena: LowerArena,
+    ) -> Self {
+        let mut engine = Engine::new(index, space, measure, tau_s, k_max);
+        engine.counts = vec![NOT_LIVE; arena.nodes.len()];
+        engine.open = vec![false; arena.nodes.len()];
+        engine.stopped = vec![false; arena.nodes.len()];
+        engine.arena = arena;
+        engine
+    }
+
+    /// Tears the engine down, returning the (possibly grown) arena to its
+    /// store along with the run's instrumentation.
+    fn into_parts(self) -> (LowerArena, SearchStats, u64) {
+        (self.arena, self.stats, self.prefix_recounts)
     }
 
     #[inline]
     fn is_biased(&self, id: u32, k: usize) -> bool {
-        let nd = &self.nodes[id as usize];
-        self.measure
-            .is_biased(nd.count as usize, nd.sd as usize, k, self.n)
+        debug_assert!(self.counts[id as usize] != NOT_LIVE);
+        match &self.measure {
+            // Same predicate as `BiasMeasure::is_biased` (`count < L_k`,
+            // an exact integer compare — no drift possible), with the
+            // `L_k` lookup memoized per `k` instead of re-scanned for
+            // every touched node.
+            BiasMeasure::GlobalLower(b) => {
+                let (mk, ml) = self.lk_memo.get();
+                let l = if mk == k {
+                    ml
+                } else {
+                    let l = b.at(k);
+                    self.lk_memo.set((k, l));
+                    l
+                };
+                (self.counts[id as usize] as usize) < l
+            }
+            m => m.is_biased(
+                self.counts[id as usize] as usize,
+                self.arena.nodes[id as usize].sd as usize,
+                k,
+                self.n,
+            ),
+        }
     }
 
     #[inline]
     fn in_stopped(&self, id: u32) -> bool {
-        self.res.contains(&id) || self.dres.contains_key(&id)
+        self.stopped[id as usize]
     }
 
-    /// Evaluates a fresh pattern (one fused bitmap scan), stores the node,
-    /// registers it in the child index, and gives non-biased nodes their
-    /// initial `k̃` schedule entry.
+    /// Evaluates a fresh pattern (one fused bitmap scan), interns the node
+    /// in the arena, and gives non-biased nodes their initial `k̃`
+    /// schedule entry.
     fn eval_new(&mut self, pattern: Pattern, parent: u32, k: usize) -> u32 {
         let (sd, count) = self.index.counts(&pattern, k);
         self.stats.nodes_evaluated += 1;
-        let id = u32::try_from(self.nodes.len()).expect("node ids fit u32");
+        let id = u32::try_from(self.arena.nodes.len()).expect("node ids fit u32");
         let pruned = sd < self.tau_s;
-        self.nodes.push(Node {
+        self.arena.nodes.push(NodeMeta {
             pattern,
             parent,
             // Row counts are bounded by n, which fits TupleId (u32).
             sd: u32::try_from(sd).expect("row counts fit TupleId"),
-            count: u32::try_from(count).expect("row counts fit TupleId"),
             expanded: false,
-            pruned,
             children: Vec::new(),
         });
+        self.arena.pruned.push(pruned);
+        self.counts
+            .push(u32::try_from(count).expect("row counts fit TupleId"));
+        self.open.push(false);
+        self.stopped.push(false);
         if !pruned && !self.is_biased(id, k) {
             self.schedule_push(id, k);
         }
         id
+    }
+
+    /// Brings a stored node into the current run: the stored `s_D` and
+    /// pruned verdict are reused and only the top-`k` prefix is recounted
+    /// (a truncated scan that never touches blocks past `k`). Idempotent —
+    /// an already-live node is left untouched.
+    fn activate(&mut self, id: u32, k: usize) {
+        if self.counts[id as usize] != NOT_LIVE {
+            return;
+        }
+        if self.arena.pruned[id as usize] {
+            // Live marker only; counts of pruned nodes are never read.
+            self.counts[id as usize] = 0;
+            return;
+        }
+        let count = self
+            .index
+            .prefix_count(&self.arena.nodes[id as usize].pattern, k);
+        self.stats.nodes_evaluated += 1;
+        self.prefix_recounts += 1;
+        self.counts[id as usize] = u32::try_from(count).expect("row counts fit TupleId");
+        if !self.is_biased(id, k) {
+            self.schedule_push(id, k);
+        }
     }
 
     /// Pushes a `k̃` entry for a currently non-biased node (proportional
@@ -189,40 +360,51 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         if self.schedule.is_empty() {
             return;
         }
-        let nd = &self.nodes[id as usize];
-        if let Some(kt) = self
-            .measure
-            .k_tilde(nd.count as usize, nd.sd as usize, k, self.n)
-        {
+        if let Some(kt) = self.measure.k_tilde(
+            self.counts[id as usize] as usize,
+            self.arena.nodes[id as usize].sd as usize,
+            k,
+            self.n,
+        ) {
             if kt <= self.k_max {
                 self.schedule[kt].push(id);
             }
         }
     }
 
-    /// Generates all search-tree children of `id` (Definition 4.1),
-    /// evaluating each fresh. Idempotent.
+    /// Opens `id`'s search-tree children (Definition 4.1) in the current
+    /// run: stored children are re-activated with prefix recounts, a node
+    /// never expanded before generates (and fully evaluates) them fresh.
+    /// Idempotent per run.
     fn expand(&mut self, id: u32, k: usize) {
-        if self.nodes[id as usize].expanded {
+        if self.open[id as usize] {
             return;
         }
-        let (start, pattern) = {
-            let nd = &self.nodes[id as usize];
-            (
-                nd.pattern.max_attr().map_or(0, |a| a + 1),
-                nd.pattern.clone(),
-            )
-        };
-        let m = self.space.n_attrs() as AttrId;
-        let mut children = Vec::new();
-        for a in start..m {
-            for v in self.space.value_codes(a) {
-                children.push(self.eval_new(pattern.child(a, v), id, k));
+        if self.arena.nodes[id as usize].expanded {
+            for i in 0..self.arena.nodes[id as usize].children.len() {
+                let c = self.arena.nodes[id as usize].children[i];
+                self.activate(c, k);
             }
+        } else {
+            let (start, pattern) = {
+                let nd = &self.arena.nodes[id as usize];
+                (
+                    nd.pattern.max_attr().map_or(0, |a| a + 1),
+                    nd.pattern.clone(),
+                )
+            };
+            let m = self.space.n_attrs() as AttrId;
+            let mut children = Vec::new();
+            for a in start..m {
+                for v in self.space.value_codes(a) {
+                    children.push(self.eval_new(pattern.child(a, v), id, k));
+                }
+            }
+            let nd = &mut self.arena.nodes[id as usize];
+            nd.children = children;
+            nd.expanded = true;
         }
-        let nd = &mut self.nodes[id as usize];
-        nd.children = children;
-        nd.expanded = true;
+        self.open[id as usize] = true;
     }
 
     /// Records `d`'s designation to `dom` in the reverse index. Lists are
@@ -248,21 +430,22 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         if self.in_stopped(id) {
             return;
         }
-        let p = &self.nodes[id as usize].pattern;
+        let p = &self.arena.nodes[id as usize].pattern;
         let dominator = self
             .res
             .iter()
             .copied()
-            .find(|&r| self.nodes[r as usize].pattern.is_subset_of(p));
+            .find(|&r| self.arena.nodes[r as usize].pattern.is_subset_of(p));
         if let Some(dom) = dominator {
             self.dres.insert(id, dom);
+            self.stopped[id as usize] = true;
             self.push_designee(dom, id);
         } else {
             let demote: Vec<u32> = self
                 .res
                 .iter()
                 .copied()
-                .filter(|&r| p.is_proper_subset_of(&self.nodes[r as usize].pattern))
+                .filter(|&r| p.is_proper_subset_of(&self.arena.nodes[r as usize].pattern))
                 .collect();
             let mut mine: Vec<u32> = Vec::new();
             for r in demote {
@@ -282,6 +465,7 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
                 self.dominates.entry(id).or_default().extend(mine);
             }
             self.res.insert(id);
+            self.stopped[id as usize] = true;
         }
     }
 
@@ -292,10 +476,11 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
     /// last one. Candidates are processed most-general-first so a
     /// promoted pattern immediately dominates its own supersets.
     fn remove_stopped(&mut self, id: u32, k: usize) {
+        self.stopped[id as usize] = false;
         if self.res.remove(&id) {
             let mut cands = self.dominates.remove(&id).unwrap_or_default();
             cands.retain(|&d| self.dres.get(&d) == Some(&id));
-            cands.sort_by_key(|&d| (self.nodes[d as usize].pattern.len(), d));
+            cands.sort_by_key(|&d| (self.arena.nodes[d as usize].pattern.len(), d));
             for d in cands {
                 // Designation lists can hold duplicates (a node designated
                 // here, moved away, then designated here again): re-check
@@ -311,12 +496,12 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
                 if !self.is_biased(d, k) {
                     continue;
                 }
-                let dp = &self.nodes[d as usize].pattern;
+                let dp = &self.arena.nodes[d as usize].pattern;
                 let dominator = self
                     .res
                     .iter()
                     .copied()
-                    .find(|&r| self.nodes[r as usize].pattern.is_subset_of(dp));
+                    .find(|&r| self.arena.nodes[r as usize].pattern.is_subset_of(dp));
                 if let Some(dom) = dominator {
                     self.dres.insert(d, dom);
                     self.push_designee(dom, d);
@@ -334,19 +519,19 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
     /// node is on the live search frontier rather than masked below a
     /// biased ancestor).
     fn tree_minimal(&self, id: u32, k: usize) -> bool {
-        let mut cur = self.nodes[id as usize].parent;
+        let mut cur = self.arena.nodes[id as usize].parent;
         while cur != ROOT {
             if self.is_biased(cur, k) {
                 return false;
             }
-            cur = self.nodes[cur as usize].parent;
+            cur = self.arena.nodes[cur as usize].parent;
         }
         true
     }
 
     /// The paper’s `searchFromNode`: resumes the suspended search below a
     /// node that just stopped being biased, expanding any frontier not yet
-    /// generated and stopping at (and registering) biased descendants.
+    /// opened and stopping at (and registering) biased descendants.
     fn resume_subtree(&mut self, id: u32, k: usize, guard: &mut DeadlineGuard) -> bool {
         let mut stack = vec![id];
         while let Some(nid) = stack.pop() {
@@ -354,9 +539,9 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
                 return false;
             }
             self.expand(nid, k);
-            let children = self.nodes[nid as usize].children.clone();
-            for c in children {
-                if self.nodes[c as usize].pruned {
+            for i in 0..self.arena.nodes[nid as usize].children.len() {
+                let c = self.arena.nodes[nid as usize].children[i];
+                if self.arena.pruned[c as usize] {
                     continue;
                 }
                 if self.is_biased(c, k) {
@@ -371,14 +556,24 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
 
     /// Full top-down build at `k` (used for `k_min` and for global-bound
     /// steps). Breadth-first so dominance sees subsets before supersets.
+    /// With a populated arena the whole pass runs on prefix recounts —
+    /// fresh fused evaluations happen only for never-seen patterns.
     fn build(&mut self, k: usize, guard: &mut DeadlineGuard) -> bool {
         self.stats.full_searches += 1;
-        let m = self.space.n_attrs() as AttrId;
         let mut queue: VecDeque<u32> = VecDeque::new();
-        for a in 0..m {
-            for v in self.space.value_codes(a) {
-                let id = self.eval_new(Pattern::single(a, v), ROOT, k);
-                self.root_children.push(id);
+        if self.arena.root_children.is_empty() {
+            let m = self.space.n_attrs() as AttrId;
+            for a in 0..m {
+                for v in self.space.value_codes(a) {
+                    let id = self.eval_new(Pattern::single(a, v), ROOT, k);
+                    self.arena.root_children.push(id);
+                    queue.push_back(id);
+                }
+            }
+        } else {
+            for i in 0..self.arena.root_children.len() {
+                let id = self.arena.root_children[i];
+                self.activate(id, k);
                 queue.push_back(id);
             }
         }
@@ -386,14 +581,14 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
             if guard.expired() {
                 return false;
             }
-            if self.nodes[id as usize].pruned {
+            if self.arena.pruned[id as usize] {
                 continue;
             }
             if self.is_biased(id, k) {
                 self.add_stopped(id);
             } else {
                 self.expand(id, k);
-                for &c in &self.nodes[id as usize].children {
+                for &c in &self.arena.nodes[id as usize].children {
                     queue.push_back(c);
                 }
             }
@@ -401,10 +596,16 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         true
     }
 
-    /// Clears all state for a fresh build (global-bound steps).
+    /// Clears the run state for a fresh build (global-bound steps). The
+    /// arena is kept: the follow-up [`Engine::build`] re-activates the
+    /// stored structure with prefix recounts instead of re-evaluating it.
     fn reset(&mut self) {
-        self.nodes.clear();
-        self.root_children.clear();
+        self.counts.clear();
+        self.counts.resize(self.arena.nodes.len(), NOT_LIVE);
+        self.open.clear();
+        self.open.resize(self.arena.nodes.len(), false);
+        self.stopped.clear();
+        self.stopped.resize(self.arena.nodes.len(), false);
         self.res.clear();
         self.dres.clear();
         self.dominates.clear();
@@ -413,41 +614,51 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         }
     }
 
-    /// Phase 1 of an incremental step: bump the count of every stored node
+    /// Phase 1 of an incremental step: bump the count of every live node
     /// the newly ranked tuple satisfies (a connected subtree reachable from
     /// the root), collecting nodes whose bias classification may flip.
     fn walk_counts(&mut self, k: usize, cands: &mut FxHashSet<u32>) {
         let t_pos = k - 1;
         let m = self.space.n_attrs() as AttrId;
-        let mut stack: Vec<u32> = Vec::new();
+        // Hoist the tuple's value codes into one contiguous buffer: the
+        // inner loop below reads a code per remaining attribute for every
+        // open node, and `code_at` is a per-column indirection. Both
+        // buffers are engine-owned scratch, so steady-state steps are
+        // allocation-free.
+        let mut codes = std::mem::take(&mut self.scratch_codes);
+        codes.clear();
+        codes.extend((0..m).map(|a| self.index.code_at(t_pos, a)));
+        let mut stack = std::mem::take(&mut self.scratch_stack);
+        stack.clear();
         for a in 0..m {
-            let v = self.index.code_at(t_pos, a);
-            let idx = self.card_prefix[usize::from(a)] as usize + usize::from(v);
-            stack.push(self.root_children[idx]);
+            let idx =
+                self.card_prefix[usize::from(a)] as usize + usize::from(codes[usize::from(a)]);
+            stack.push(self.arena.root_children[idx]);
         }
         while let Some(id) = stack.pop() {
-            let pruned = self.nodes[id as usize].pruned;
-            if pruned {
+            if self.arena.pruned[id as usize] {
                 continue; // counts of pruned leaves are never read
             }
-            self.nodes[id as usize].count += 1;
+            self.counts[id as usize] += 1;
             self.stats.nodes_touched += 1;
             if self.is_biased(id, k) != self.in_stopped(id) {
                 cands.insert(id);
             }
-            if self.nodes[id as usize].expanded {
-                let start = self.nodes[id as usize]
+            if self.open[id as usize] {
+                let start = self.arena.nodes[id as usize]
                     .pattern
                     .max_attr()
                     .map_or(0, |a| a + 1);
                 let base = self.card_prefix[usize::from(start)];
                 for a in start..m {
-                    let v = self.index.code_at(t_pos, a);
-                    let idx = (self.card_prefix[usize::from(a)] - base) as usize + usize::from(v);
-                    stack.push(self.nodes[id as usize].children[idx]);
+                    let idx = (self.card_prefix[usize::from(a)] - base) as usize
+                        + usize::from(codes[usize::from(a)]);
+                    stack.push(self.arena.nodes[id as usize].children[idx]);
                 }
             }
         }
+        self.scratch_codes = codes;
+        self.scratch_stack = stack;
     }
 
     /// Phase 2 (proportional only): drain the `k̃` bucket for `k`. Stale
@@ -460,7 +671,7 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         let bucket = std::mem::take(&mut self.schedule[k]);
         for id in bucket {
             self.stats.schedule_pops += 1;
-            if self.nodes[id as usize].pruned {
+            if self.arena.pruned[id as usize] || self.counts[id as usize] == NOT_LIVE {
                 continue;
             }
             let biased = self.is_biased(id, k);
@@ -481,20 +692,20 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         guard: &mut DeadlineGuard,
     ) -> bool {
         let mut ids: Vec<u32> = cands.into_iter().collect();
-        ids.sort_by_key(|&id| (self.nodes[id as usize].pattern.len(), id));
+        ids.sort_by_key(|&id| (self.arena.nodes[id as usize].pattern.len(), id));
         for id in ids {
             let before = self.in_stopped(id);
             let after = self.is_biased(id, k);
             if before && !after {
                 self.remove_stopped(id, k);
                 self.schedule_push(id, k);
-                if !self.nodes[id as usize].pruned
+                if !self.arena.pruned[id as usize]
                     && self.tree_minimal(id, k)
                     && !self.resume_subtree(id, k, guard)
                 {
                     return false;
                 }
-            } else if !before && after && !self.nodes[id as usize].pruned {
+            } else if !before && after && !self.arena.pruned[id as usize] {
                 self.add_stopped(id);
             }
         }
@@ -512,38 +723,44 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
     /// of the growth-only staleness `pop_schedule` tolerates).
     fn walk_delta(&mut self, t_pos: usize, up: bool, mut touched_down: Option<&mut Vec<u32>>) {
         let m = self.space.n_attrs() as AttrId;
-        let mut stack: Vec<u32> = Vec::new();
+        let mut codes = std::mem::take(&mut self.scratch_codes);
+        codes.clear();
+        codes.extend((0..m).map(|a| self.index.code_at(t_pos, a)));
+        let mut stack = std::mem::take(&mut self.scratch_stack);
+        stack.clear();
         for a in 0..m {
-            let v = self.index.code_at(t_pos, a);
-            let idx = self.card_prefix[usize::from(a)] as usize + usize::from(v);
-            stack.push(self.root_children[idx]);
+            let idx =
+                self.card_prefix[usize::from(a)] as usize + usize::from(codes[usize::from(a)]);
+            stack.push(self.arena.root_children[idx]);
         }
         while let Some(id) = stack.pop() {
-            if self.nodes[id as usize].pruned {
+            if self.arena.pruned[id as usize] {
                 continue; // counts of pruned leaves are never read
             }
             if up {
-                self.nodes[id as usize].count += 1;
+                self.counts[id as usize] += 1;
             } else {
-                self.nodes[id as usize].count -= 1;
+                self.counts[id as usize] -= 1;
                 if let Some(list) = touched_down.as_deref_mut() {
                     list.push(id);
                 }
             }
             self.stats.nodes_touched += 1;
-            if self.nodes[id as usize].expanded {
-                let start = self.nodes[id as usize]
+            if self.open[id as usize] {
+                let start = self.arena.nodes[id as usize]
                     .pattern
                     .max_attr()
                     .map_or(0, |a| a + 1);
                 let base = self.card_prefix[usize::from(start)];
                 for a in start..m {
-                    let v = self.index.code_at(t_pos, a);
-                    let idx = (self.card_prefix[usize::from(a)] - base) as usize + usize::from(v);
-                    stack.push(self.nodes[id as usize].children[idx]);
+                    let idx = (self.card_prefix[usize::from(a)] - base) as usize
+                        + usize::from(codes[usize::from(a)]);
+                    stack.push(self.arena.nodes[id as usize].children[idx]);
                 }
             }
         }
+        self.scratch_codes = codes;
+        self.scratch_stack = stack;
     }
 
     /// Repairs this state (positioned at `k`) after a pure reorder
@@ -582,7 +799,7 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         // popped too late.
         if let Some(ids) = touched_down {
             for id in ids {
-                if !self.nodes[id as usize].pruned && !self.in_stopped(id) {
+                if !self.arena.pruned[id as usize] && !self.in_stopped(id) {
                     self.schedule_push(id, k);
                 }
             }
@@ -597,11 +814,11 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
     /// most general biased pattern under the new bound is already stored
     /// (its tree ancestors are non-biased under the new bound, hence were
     /// non-biased — and therefore expanded — under every earlier, smaller
-    /// bound). A single pass over the node store reclassifies without a
+    /// bound). A single pass over the live store reclassifies without a
     /// single fresh pattern evaluation.
     fn rescan_all(&mut self, k: usize, cands: &mut FxHashSet<u32>) {
-        for id in 0..u32::try_from(self.nodes.len()).expect("node ids fit u32") {
-            if self.nodes[id as usize].pruned {
+        for id in 0..u32::try_from(self.arena.nodes.len()).expect("node ids fit u32") {
+            if self.arena.pruned[id as usize] || self.counts[id as usize] == NOT_LIVE {
                 continue;
             }
             self.stats.nodes_touched += 1;
@@ -636,7 +853,8 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
             // Algorithm 2, lines 4–5: a bound change invalidates the
             // incremental frontier — run a fresh search. (Also the
             // fallback for decreasing bounds, where the rescan argument
-            // does not apply.)
+            // does not apply.) The arena survives the reset, so the
+            // rebuild runs on prefix recounts.
             Some(b) if b.at(k) != b.at(k - 1) => {
                 self.reset();
                 self.build(k, guard)
@@ -650,13 +868,14 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         }
     }
 
-    /// Clones the complete search state into a resumable
-    /// [`LowerCheckpoint`] anchored at `k`.
+    /// Copies the run state into a resumable [`LowerCheckpoint`] anchored
+    /// at `k` — two flat-vector memcpys plus the frontier sets; the arena
+    /// (patterns, `s_D`, tree structure) is **not** cloned.
     fn to_checkpoint(&self, k: usize) -> LowerCheckpoint {
         LowerCheckpoint {
             k,
-            nodes: self.nodes.clone(),
-            root_children: self.root_children.clone(),
+            counts: self.counts.clone(),
+            open: self.open.clone(),
             res: self.res.clone(),
             dres: self.dres.clone(),
             dominates: self.dominates.clone(),
@@ -664,24 +883,26 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         }
     }
 
-    /// Rebuilds an engine positioned at `cp.k` from a stored checkpoint;
-    /// the next [`Engine::advance`] call must be for `cp.k + 1`.
-    fn from_checkpoint(
-        index: &'a I,
-        space: &'a PatternSpace,
-        measure: BiasMeasure,
-        tau_s: usize,
-        k_max: usize,
-        cp: &LowerCheckpoint,
-    ) -> Self {
-        let mut engine = Engine::new(index, space, measure, tau_s, k_max);
-        engine.nodes = cp.nodes.clone();
-        engine.root_children = cp.root_children.clone();
-        engine.res = cp.res.clone();
-        engine.dres = cp.dres.clone();
-        engine.dominates = cp.dominates.clone();
-        engine.schedule = cp.schedule.clone();
-        engine
+    /// Overwrites the run state from a stored checkpoint, positioning the
+    /// engine at `cp.k`; the next [`Engine::advance`] call must be for
+    /// `cp.k + 1`. Nodes interned after the snapshot was taken restore as
+    /// not-live.
+    fn restore(&mut self, cp: &LowerCheckpoint) {
+        self.counts.clear();
+        self.counts.extend_from_slice(&cp.counts);
+        self.counts.resize(self.arena.nodes.len(), NOT_LIVE);
+        self.open.clear();
+        self.open.extend_from_slice(&cp.open);
+        self.open.resize(self.arena.nodes.len(), false);
+        self.res = cp.res.clone();
+        self.dres = cp.dres.clone();
+        self.dominates = cp.dominates.clone();
+        self.schedule = cp.schedule.clone();
+        self.stopped.clear();
+        self.stopped.resize(self.arena.nodes.len(), false);
+        for &id in self.res.iter().chain(self.dres.keys()) {
+            self.stopped[id as usize] = true;
+        }
     }
 
     /// The current `Res` as sorted patterns.
@@ -689,7 +910,7 @@ impl<'a, I: CountsProvider> Engine<'a, I> {
         let mut patterns: Vec<Pattern> = self
             .res
             .iter()
-            .map(|&id| self.nodes[id as usize].pattern.clone())
+            .map(|&id| self.arena.nodes[id as usize].pattern.clone())
             .collect();
         patterns.sort_unstable();
         KResult { k, patterns }
@@ -846,25 +1067,30 @@ pub(crate) fn global_bounds<I: CountsProvider>(
     engine.run(cfg, Some(bounds), false)
 }
 
-/// A resumable snapshot of the lower engine's complete search state —
-/// node store, frontier sets and `k̃` schedule — anchored at a specific
-/// `k`. The live monitor keeps one of these every `C` values of `k` so a
-/// delta re-audit over `k ∈ (lo, hi]` can seek to the checkpoint at or
-/// below `lo` and replay forward with per-`k` subtree walks, instead of
-/// paying a from-scratch top-down build at the start of the span.
+/// A resumable snapshot of the lower engine's **run state** — per-node
+/// counts, the open frontier, the `Res`/`DRes` sets and the `k̃` schedule
+/// — anchored at a specific `k`. The node structure itself (patterns,
+/// `s_D`, tree shape) lives in the [`LowerArena`] shared by every
+/// snapshot, so taking one is a counts-plus-frontier memcpy, not a deep
+/// clone of the node map. The live monitor keeps one of these every `C`
+/// values of `k` so a delta re-audit can seek to the checkpoint at or
+/// below a segment start and replay forward with per-`k` subtree walks,
+/// instead of paying a from-scratch top-down build.
 ///
 /// Validity under edits: every stored count is `|top-k ∩ p|`, a function
 /// of the top-`k` **set** alone, and the frontier sets are determined by
 /// those counts plus store structure. A pure reorder of rank positions
-/// `[lo, hi]` leaves the top-`k` set unchanged for `k ≤ lo` and `k > hi`,
-/// so checkpoints outside `(lo, hi]` stay exact; insertions move `n` and
-/// `s_D`, invalidating every checkpoint.
+/// `[lo, hi]` leaves the top-`k` set unchanged for `k ≤ lo` and `k > hi`
+/// — and for every `k` no row's net movement crossed, which is what
+/// segmented replay exploits — so those checkpoints stay exact;
+/// insertions move `n` and `s_D`, invalidating every checkpoint and the
+/// arena itself.
 #[derive(Debug, Clone)]
 pub(crate) struct LowerCheckpoint {
     /// The `k` whose state this snapshot holds.
     pub(crate) k: usize,
-    nodes: Vec<Node>,
-    root_children: Vec<u32>,
+    counts: Vec<u32>,
+    open: Vec<bool>,
     res: FxHashSet<u32>,
     dres: FxHashMap<u32, u32>,
     dominates: FxHashMap<u32, Vec<u32>>,
@@ -872,14 +1098,16 @@ pub(crate) struct LowerCheckpoint {
 }
 
 impl LowerCheckpoint {
-    /// Number of stored nodes (the checkpoint's memory footprint driver).
+    /// Number of node slots snapshotted (the checkpoint's memory
+    /// footprint driver — one `u32` + one `bool` each, not a node clone).
     pub(crate) fn stored_nodes(&self) -> usize {
-        self.nodes.len()
+        self.counts.len()
     }
 }
 
 /// Grid-snapshot maintenance for the lower store — the shared policy
-/// lives in [`crate::audit::maintain_grid_snapshot`].
+/// lives in [`crate::audit::maintain_grid_snapshot`]. Returns whether a
+/// snapshot was written (inserted or overwritten) at `k`.
 fn maybe_checkpoint<I: CountsProvider>(
     store: &mut Vec<LowerCheckpoint>,
     engine: &Engine<'_, I>,
@@ -887,7 +1115,7 @@ fn maybe_checkpoint<I: CountsProvider>(
     k_min: usize,
     cadence: usize,
     heal_cutoff: Option<usize>,
-) {
+) -> bool {
     crate::audit::maintain_grid_snapshot(
         store,
         k,
@@ -896,42 +1124,47 @@ fn maybe_checkpoint<I: CountsProvider>(
         heal_cutoff,
         |cp| cp.k,
         || engine.to_checkpoint(k),
-    );
+    )
 }
 
 /// Checkpointed execution of the lower (under-representation) side over
-/// the `k` span `[span.0, span.1]` — the monitor's delta re-audit core.
+/// the given `k` **segments** (sorted, disjoint) — the monitor's delta
+/// re-audit core.
 ///
-/// Seeks to the latest stored checkpoint at or below the span start and
-/// replays forward with per-`k` subtree walks. When the edit hull
-/// swallowed the seek checkpoint (`cp.k > reorder.lo` — only ever the
-/// single checkpoint closest to the span, see the invalidation proof in
-/// `MonitorAudit::apply`), it is **repaired** in place from the top-`k`
-/// set diff rather than discarded, so a delta re-audit performs **zero**
-/// from-scratch builds on any pure reorder — the `build(k_min)` that
-/// used to dominate delta cost, plus the per-bound-step rebuilds of
-/// Algorithm 2, all disappear (bound increases run the `fast_steps`
-/// store rescan during replay). With an empty store (initial audit, or
-/// after an insertion voided it) it builds at `k_min` exactly like a
-/// fresh run. Every replayed grid `k` rewrites its snapshot, keeping the
-/// whole store valid after every batch. Output-equivalent to
-/// [`global_bounds`] / [`prop_bounds`] — asserted by the differential
-/// sweeps.
+/// For each segment the replay seeks to the latest stored checkpoint at
+/// or below the segment start (or keeps stepping from the previous
+/// segment's end when that is at least as cheap) and replays forward with
+/// per-`k` subtree walks. When the edit hull swallowed a seek checkpoint
+/// (`cp.k > reorder.lo`), it is **repaired** in place from the top-`k`
+/// set diff rather than discarded — but only when that diff is non-empty:
+/// checkpoints in the gaps *between* segments are exact by construction
+/// (no row's net movement crossed their `k`), and checkpoints already
+/// healed by an earlier segment of this call hold the new state, so both
+/// are used as-is. A delta re-audit therefore performs **zero**
+/// from-scratch builds on any pure reorder. With an empty store (initial
+/// audit, or after an insertion voided it) it builds at `k_min` exactly
+/// like a fresh run — on the shared arena, so even cold builds after the
+/// first run on prefix recounts. Every replayed grid `k` rewrites its
+/// snapshot, keeping the whole store valid after every batch.
+/// Output-equivalent to [`global_bounds`] / [`prop_bounds`] on the
+/// replayed `k` values — asserted by the differential sweeps.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn lower_replay<I: CountsProvider>(
     index: &I,
     space: &PatternSpace,
     measure: &BiasMeasure,
     cfg: &DetectConfig,
-    span: (usize, usize),
+    spans: &[(usize, usize)],
     reorder: Option<(&crate::audit::ReorderSpec, &[rankfair_data::TupleId])>,
-    store: &mut Vec<LowerCheckpoint>,
+    store: &mut LowerStore,
     cadence: usize,
     counters: &mut ReplayCounters,
 ) -> DetectionOutput {
-    let (k_lo, k_hi) = span;
-    debug_assert!(cfg.k_min <= k_lo && k_lo <= k_hi && k_hi <= cfg.k_max);
     debug_assert!(cadence >= 1);
+    debug_assert!(spans
+        .iter()
+        .all(|&(lo, hi)| cfg.k_min <= lo && lo <= hi && hi <= cfg.k_max));
+    debug_assert!(spans.windows(2).all(|w| w[0].1 < w[1].0));
     let bounds_for_steps = match measure {
         BiasMeasure::GlobalLower(b) => Some(b.clone()),
         BiasMeasure::Proportional { .. } => None,
@@ -939,65 +1172,93 @@ pub(crate) fn lower_replay<I: CountsProvider>(
     // No deadline: monitors reject deadlines at construction, so a replay
     // can never truncate mid-span.
     let mut guard = DeadlineGuard::new(None);
-    let mut per_k = Vec::with_capacity(k_hi - k_lo + 1);
-    // Reorder replays re-clone at most the two grid snapshots nearest the
-    // span start; see `maybe_checkpoint`.
-    let heal_cutoff = reorder.is_some().then_some(k_lo + cadence);
-    let seek = store.iter().rposition(|cp| cp.k <= k_lo);
-    let (mut engine, mut k_cur) = match seek {
-        Some(i) => {
-            counters.seeks += 1;
-            let cp_k = store[i].k;
-            let mut engine = Engine::from_checkpoint(
-                index,
-                space,
-                measure.clone(),
-                cfg.tau_s,
-                cfg.k_max,
-                &store[i],
-            );
-            if let Some((spec, new_order)) = reorder {
-                if cp_k > spec.lo {
-                    let (entering, leaving) =
-                        crate::audit::top_k_diff(cp_k, spec.lo, &spec.old_order, new_order);
-                    engine.repair(cp_k, &entering, &leaving, &mut guard);
-                    counters.repairs += 1;
-                    store[i] = engine.to_checkpoint(cp_k);
+    let mut per_k = Vec::with_capacity(spans.iter().map(|&(lo, hi)| hi - lo + 1).sum());
+    counters.segments += spans.len() as u64;
+    let mut engine = Engine::with_arena(
+        index,
+        space,
+        measure.clone(),
+        cfg.tau_s,
+        cfg.k_max,
+        std::mem::take(&mut store.arena),
+    );
+    // Grid ks whose snapshot was rewritten by this call: those hold the
+    // *new* state, so a later segment seeking to one must not repair it.
+    let mut healed: FxHashSet<usize> = FxHashSet::default();
+    let mut positioned: Option<usize> = None;
+    for &(k_lo, k_hi) in spans {
+        // Reorder replays re-clone at most the grid snapshots nearest each
+        // segment start; see `maybe_checkpoint`.
+        let heal_cutoff = reorder.is_some().then_some(k_lo + cadence);
+        let seek = store.snaps.iter().rposition(|cp| cp.k <= k_lo);
+        let mut k_cur = match (positioned, seek) {
+            // Stepping on from the previous segment's end is at least as
+            // cheap as restoring a snapshot at or below it.
+            (Some(p), seek) if p <= k_lo && seek.is_none_or(|i| store.snaps[i].k <= p) => p,
+            (_, Some(i)) => {
+                counters.seeks += 1;
+                let cp_k = store.snaps[i].k;
+                engine.restore(&store.snaps[i]);
+                if let Some((spec, new_order)) = reorder {
+                    if cp_k > spec.lo && !healed.contains(&cp_k) {
+                        let (entering, leaving) =
+                            crate::audit::top_k_diff(cp_k, spec.lo, &spec.old_order, new_order);
+                        if !(entering.is_empty() && leaving.is_empty()) {
+                            engine.repair(cp_k, &entering, &leaving, &mut guard);
+                            counters.repairs += 1;
+                            store.snaps[i] = engine.to_checkpoint(cp_k);
+                            healed.insert(cp_k);
+                        }
+                    }
                 }
+                cp_k
             }
-            if cp_k >= k_lo {
-                per_k.push(engine.snapshot(cp_k));
-            }
-            (engine, cp_k)
-        }
-        None => {
-            counters.cold_builds += 1;
-            let mut engine = Engine::new(index, space, measure.clone(), cfg.tau_s, cfg.k_max);
-            engine.build(cfg.k_min, &mut guard);
-            if cfg.k_min >= k_lo {
-                per_k.push(engine.snapshot(cfg.k_min));
-            } else {
+            _ => {
+                counters.cold_builds += 1;
                 counters.replayed_steps += 1;
+                engine.reset();
+                engine.build(cfg.k_min, &mut guard);
+                if maybe_checkpoint(
+                    &mut store.snaps,
+                    &engine,
+                    cfg.k_min,
+                    cfg.k_min,
+                    cadence,
+                    None,
+                ) {
+                    healed.insert(cfg.k_min);
+                }
+                cfg.k_min
             }
-            maybe_checkpoint(store, &engine, cfg.k_min, cfg.k_min, cadence, None);
-            (engine, cfg.k_min)
-        }
-    };
-    while k_cur < k_hi {
-        k_cur += 1;
-        engine.advance(k_cur, bounds_for_steps.as_ref(), true, &mut guard);
+        };
         if k_cur >= k_lo {
             per_k.push(engine.snapshot(k_cur));
-        } else {
-            counters.replayed_steps += 1;
         }
-        maybe_checkpoint(store, &engine, k_cur, cfg.k_min, cadence, heal_cutoff);
+        while k_cur < k_hi {
+            k_cur += 1;
+            engine.advance(k_cur, bounds_for_steps.as_ref(), true, &mut guard);
+            counters.replayed_steps += 1;
+            if k_cur >= k_lo {
+                per_k.push(engine.snapshot(k_cur));
+            }
+            if maybe_checkpoint(
+                &mut store.snaps,
+                &engine,
+                k_cur,
+                cfg.k_min,
+                cadence,
+                heal_cutoff,
+            ) {
+                healed.insert(k_cur);
+            }
+        }
+        positioned = Some(k_cur);
     }
-    engine.stats.elapsed = guard.elapsed();
-    DetectionOutput {
-        per_k,
-        stats: std::mem::take(&mut engine.stats),
-    }
+    let (arena, mut stats, prefix_recounts) = engine.into_parts();
+    store.arena = arena;
+    counters.prefix_recounts += prefix_recounts;
+    stats.elapsed = guard.elapsed();
+    DetectionOutput { per_k, stats }
 }
 
 /// `PropBounds` (Algorithm 3): detection of groups with biased
@@ -1148,14 +1409,14 @@ mod tests {
                 }
             };
             for cadence in [1usize, 3, 8] {
-                let mut store = Vec::new();
+                let mut store = LowerStore::default();
                 let mut counters = ReplayCounters::default();
                 let full = lower_replay(
                     &index,
                     &space,
                     &measure,
                     &cfg,
-                    (2, 16),
+                    &[(2, 16)],
                     None,
                     &mut store,
                     cadence,
@@ -1163,8 +1424,8 @@ mod tests {
                 );
                 assert_eq!(full.per_k, want, "{measure:?} cadence {cadence}");
                 assert_eq!(counters.cold_builds, 1);
-                assert!(!store.is_empty());
-                assert!(store.windows(2).all(|w| w[0].k < w[1].k));
+                assert!(!store.snaps.is_empty());
+                assert!(store.snaps.windows(2).all(|w| w[0].k < w[1].k));
                 // A sub-span replay seeded from the stored checkpoints
                 // must reproduce the batch run's slice exactly, without a
                 // fresh build.
@@ -1174,7 +1435,7 @@ mod tests {
                     &space,
                     &measure,
                     &cfg,
-                    (9, 12),
+                    &[(9, 12)],
                     None,
                     &mut store,
                     cadence,
@@ -1183,8 +1444,54 @@ mod tests {
                 assert_eq!(sub.per_k[..], want[7..=10], "{measure:?} cadence {cadence}");
                 assert_eq!(counters.seeks, 1);
                 assert_eq!(counters.cold_builds, 0);
-                assert!(counters.replayed_steps < 9 - 1);
+                // Every replay-driven position (catch-up + in-span) beats
+                // a full-range pass (1 build + 14 advances).
+                assert!(counters.replayed_steps < 14);
             }
+        }
+    }
+
+    #[test]
+    fn lower_replay_segmented_spans_match_batch() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 16);
+        let measure = BiasMeasure::Proportional { alpha: 0.8 };
+        let want = prop_bounds(&index, &space, &cfg, 0.8).per_k;
+        for cadence in [1usize, 3, 8] {
+            let mut store = LowerStore::default();
+            let mut counters = ReplayCounters::default();
+            lower_replay(
+                &index,
+                &space,
+                &measure,
+                &cfg,
+                &[(2, 16)],
+                None,
+                &mut store,
+                cadence,
+                &mut counters,
+            );
+            // Two disjoint segments: each seeks independently; the gap ks
+            // are neither stepped nor emitted.
+            let mut counters = ReplayCounters::default();
+            let out = lower_replay(
+                &index,
+                &space,
+                &measure,
+                &cfg,
+                &[(4, 5), (12, 13)],
+                None,
+                &mut store,
+                cadence,
+                &mut counters,
+            );
+            let got_ks: Vec<usize> = out.per_k.iter().map(|r| r.k).collect();
+            assert_eq!(got_ks, vec![4, 5, 12, 13], "cadence {cadence}");
+            assert_eq!(out.per_k[0..2], want[2..=3], "cadence {cadence}");
+            assert_eq!(out.per_k[2..4], want[10..=11], "cadence {cadence}");
+            assert_eq!(counters.segments, 2);
+            assert_eq!(counters.cold_builds, 0);
+            assert!(counters.seeks >= 1 && counters.seeks <= 2);
         }
     }
 

@@ -316,6 +316,15 @@ pub fn delta_report_json(d: &DeltaReport, space: &PatternSpace, strip_timing: bo
                 None => Value::Null,
             },
         ),
+        (
+            "segments",
+            Value::array(
+                d.segments
+                    .iter()
+                    .map(|&(lo, hi)| Value::array(vec![Value::from(lo), Value::from(hi)]))
+                    .collect(),
+            ),
+        ),
         ("total_changes", Value::from(d.total_changes())),
         (
             "changed",
@@ -345,10 +354,16 @@ impl ToJson for crate::monitor::CheckpointStats {
             ("lower", Value::from(self.lower_checkpoints)),
             ("upper", Value::from(self.upper_checkpoints)),
             ("stored_nodes", Value::from(self.stored_nodes)),
+            ("arena_nodes", Value::from(self.arena_nodes)),
             ("seeks", Value::from(self.seeks as usize)),
             ("cold_builds", Value::from(self.cold_builds as usize)),
             ("repairs", Value::from(self.repairs as usize)),
             ("replayed_steps", Value::from(self.replayed_steps as usize)),
+            (
+                "prefix_recounts",
+                Value::from(self.prefix_recounts as usize),
+            ),
+            ("segments", Value::from(self.segments as usize)),
             ("invalidated", Value::from(self.invalidated as usize)),
         ])
     }
@@ -467,6 +482,10 @@ mod tests {
         assert_eq!(parsed, v);
         assert_eq!(v.get("edits").unwrap().as_usize(), Some(1));
         assert!(v.get("recomputed").unwrap().as_arr().is_some());
+        // The replayed segments mirror the report (outer bounds =
+        // recomputed hull).
+        let segs = v.get("segments").unwrap().as_arr().unwrap();
+        assert!(!segs.is_empty());
         assert_eq!(
             v.get("stats").unwrap().get("elapsed_ms").unwrap().as_f64(),
             Some(0.0)

@@ -20,15 +20,21 @@
 //! 2. patches the bitmap index over that span only
 //!    ([`RankedIndex::rewrite_span`] — `O(span·m)` bit flips, no
 //!    rebuild);
-//! 3. re-runs the audit task over the `k` sub-range whose top-`k`
-//!    membership can have changed, which for a pure reorder of positions
-//!    `[lo, hi]` is exactly `k ∈ [lo+1, hi]`: for `k ≤ lo` the top-`k`
-//!    prefix is untouched, and for `k > hi` it contains the whole
-//!    reordered span, i.e. the same *set* of tuples — and every count
-//!    `s_Rk`, every bound `L_k`/`U_k`, `s_D` and `n` are therefore
-//!    unchanged. The re-run drives the same incremental engines
-//!    (`engine.rs` / `upper_engine.rs`) through the same
-//!    [`crate::audit::AuditParts`] execution core as a fresh
+//! 3. re-runs the audit task over exactly the `k` values whose top-`k`
+//!    membership changed. The hull `[lo+1, hi]` bounds them (for
+//!    `k ≤ lo` the top-`k` prefix is untouched, and for `k > hi` it
+//!    contains the whole reordered span, i.e. the same *set* of tuples —
+//!    every count `s_Rk`, every bound `L_k`/`U_k`, `s_D` and `n` are
+//!    therefore unchanged), but the hull over-recomputes: the true
+//!    changed-`k` set is the **union of per-row net movement intervals**
+//!    — a row that moved from position `op` to `p` changes top-`k`
+//!    membership for `k ∈ [min(op,p)+1, max(op,p)]` only. The monitor
+//!    computes that union, merges segments closer than the checkpoint
+//!    cadence (a seek would replay the gap anyway), and replays only the
+//!    surviving segments — a batch of two tight edit clusters far apart
+//!    no longer re-audits the dead middle. The re-run drives the same
+//!    incremental engines (`engine.rs` / `upper_engine.rs`) through the
+//!    same [`crate::audit::AuditParts`] execution core as a fresh
 //!    [`Audit::run`], so a delta re-audit cannot drift from a full one;
 //! 4. splices the recomputed `k` results over the cached ones and diffs
 //!    old vs new into a typed [`DeltaReport`] — which groups entered and
@@ -37,23 +43,30 @@
 //! # Persistent engine state
 //!
 //! With [`Engine::Optimized`] the monitor keeps the engines' search
-//! state **across** edit batches: every `C` values of `k`
-//! ([`MonitorBuilder::checkpoint_every`]) it snapshots the pattern-tree
-//! node store and frontier sets. Step 3 then *seeks* to the checkpoint
-//! at or below the recompute span and replays forward with per-`k`
-//! subtree walks, instead of paying the from-scratch top-down build at
-//! the span's first `k` that used to dominate delta cost. A checkpoint
-//! is exact after a reorder of positions `[lo, hi]` whenever its
-//! `k ≤ lo` or `k > hi` (stored counts are functions of the top-`k`
-//! *set* alone); the one seek checkpoint that can land inside the hull
-//! is **repaired in place** from the old-vs-new top-`k` set diff —
-//! ±count walks for the tuples that crossed, plus one store reclassify
-//! — so no pure reorder ever triggers a fresh engine build. (One carve
-//! out: a *decreasing* lower step bound still rebuilds at its step
-//! during replay, exactly as Algorithm 2 does — the store-rescan
-//! shortcut only covers increases.)
+//! state **across** edit batches. The pattern-tree *structure* (interned
+//! patterns, parent/child links, `s_D`, pruned verdicts) is `k`- and
+//! bound-independent, so each engine interns it once in a flat
+//! index-addressed **arena** that persists for the monitor's lifetime;
+//! every `C` values of `k` ([`MonitorBuilder::checkpoint_every`]) the
+//! engine snapshots only its *run state* — per-node counts, frontier
+//! bits and result sets, a few flat-vector memcpys — never the arena.
+//! Step 3 then *seeks* to the checkpoint at or below each recompute
+//! segment and replays forward with per-`k` subtree walks, re-activating
+//! stored arena nodes with prefix-only recounts (the stored `s_D` makes
+//! the full fused scan redundant), instead of paying the from-scratch
+//! top-down build at the segment's first `k` that used to dominate delta
+//! cost. A checkpoint is exact after a reorder whenever no moved row's
+//! net movement interval covers its `k` (stored counts are functions of
+//! the top-`k` *set* alone); a seek checkpoint an edit did swallow is
+//! **repaired in place** from the old-vs-new top-`k` set diff — ±count
+//! walks for the tuples that crossed, plus one store reclassify — so no
+//! pure reorder ever triggers a fresh engine build. (One carve out: a
+//! *decreasing* lower step bound still rebuilds at its step during
+//! replay, exactly as Algorithm 2 does — the store-rescan shortcut only
+//! covers increases.)
 //! [`MonitorAudit::checkpoint_stats`] exposes the live-checkpoint,
-//! memory and seek/repair counters (also on the wire `snapshot` op).
+//! arena/memory and seek/repair/segment counters (also on the wire
+//! `snapshot` op).
 //!
 //! Insertions grow the universe (`n`, and `s_D` of every pattern the new
 //! tuple matches), which can flip substantiality, the proportional
@@ -94,6 +107,7 @@ use crate::pattern::Pattern;
 use crate::report::KReport;
 use crate::space::{PatternSpace, RankedIndex};
 use crate::stats::{DetectConfig, SearchStats};
+use crate::util::FxHashMap;
 use crate::AuditOutcome;
 
 /// One edit to a live ranking.
@@ -211,9 +225,16 @@ impl KDelta {
 pub struct DeltaReport {
     /// Edits applied.
     pub edits: usize,
-    /// Inclusive `k` span that was re-audited, or `None` when the batch
-    /// provably changed no top-`k` set in the configured range.
+    /// Inclusive `k` hull that was re-audited (outer bounds of
+    /// `segments`), or `None` when the batch provably changed no top-`k`
+    /// set in the configured range.
     pub recomputed: Option<(usize, usize)>,
+    /// The disjoint ascending `k` segments actually replayed — the union
+    /// of per-row net movement intervals, merged across gaps shorter
+    /// than the checkpoint cadence and clamped to the configured range.
+    /// Empty iff `recomputed` is `None`; a single hull-wide segment for
+    /// insertions (and in hull-replay mode).
+    pub segments: Vec<(usize, usize)>,
     /// The `k` values whose result sets changed, with the group-level
     /// diff. Only non-empty deltas appear; `k` ascending.
     pub changed: Vec<KDelta>,
@@ -249,24 +270,33 @@ pub struct CheckpointStats {
     pub lower_checkpoints: usize,
     /// Live upper-engine checkpoints.
     pub upper_checkpoints: usize,
-    /// Total pattern nodes held across every snapshot — the memory the
-    /// speed/memory trade-off spends (smaller `C` ⇒ shorter replays,
-    /// more stored nodes).
+    /// Node *slots* held across every snapshot (each slot one `u32`
+    /// count plus frontier bits) — the memory the speed/memory trade-off
+    /// spends (smaller `C` ⇒ shorter replays, more stored slots).
     pub stored_nodes: usize,
+    /// Pattern nodes interned across both engines' persistent arenas —
+    /// structure stored once, shared by every snapshot.
+    pub arena_nodes: usize,
     /// Delta runs (per direction) that resumed from a checkpoint.
     pub seeks: u64,
     /// Runs that found no usable checkpoint and paid a from-scratch
     /// build (includes the initial audit).
     pub cold_builds: u64,
     /// Seek checkpoints repaired in place (±count walks over the top-`k`
-    /// set diff + one store reclassify) because the edit hull had
-    /// swallowed them — each repair is a from-scratch build avoided.
+    /// set diff + one store reclassify) because an edit had swallowed
+    /// them — each repair is a from-scratch build avoided.
     pub repairs: u64,
-    /// `k` steps replayed between a seek point and the start of the
-    /// recomputed span — the granularity overhead.
+    /// Every `k` position the replay drivers computed (cold builds,
+    /// catch-up steps and requested `k`s alike) — the total replay work.
     pub replayed_steps: u64,
-    /// Checkpoints dropped by edit invalidation (span for reorders,
-    /// everything for insertions).
+    /// Node activations served by the arena's stored `s_D` plus a
+    /// truncated prefix-only recount, instead of a full fused scan.
+    pub prefix_recounts: u64,
+    /// Replay segments driven (per engine direction) — with segmented
+    /// replay a sparse batch contributes its changed-`k` clusters only.
+    pub segments: u64,
+    /// Checkpoints dropped by edit invalidation (everything, arena
+    /// included, on insertions; reorders repair instead).
     pub invalidated: u64,
 }
 
@@ -277,6 +307,7 @@ pub struct MonitorBuilder {
     ascending: bool,
     attrs: Option<Vec<String>>,
     checkpoint_every: usize,
+    segmented: bool,
 }
 
 impl MonitorBuilder {
@@ -295,6 +326,15 @@ impl MonitorBuilder {
     /// Smaller `C` = faster deltas, more memory.
     pub fn checkpoint_every(mut self, cadence: usize) -> Self {
         self.checkpoint_every = cadence.max(1);
+        self
+    }
+
+    /// Toggles segmented replay (default `true`): delta re-audits replay
+    /// only the union of per-row net movement intervals instead of the
+    /// whole edit hull `[lo+1, hi]`. `false` restores hull replay — the
+    /// differential sweeps compare both modes against a fresh audit.
+    pub fn segmented_replay(mut self, segmented: bool) -> Self {
+        self.segmented = segmented;
         self
     }
 
@@ -356,7 +396,7 @@ impl MonitorBuilder {
                 let mut ckpts = EngineCheckpoints::new(self.checkpoint_every);
                 let out = parts.run_range_checkpointed(
                     &cfg,
-                    (cfg.k_min, cfg.k_max),
+                    &[(cfg.k_min, cfg.k_max)],
                     &task,
                     &mut ckpts,
                     None,
@@ -375,6 +415,7 @@ impl MonitorBuilder {
             task,
             engine,
             checkpoints,
+            segmented: self.segmented,
             results: out.per_k,
             stats: out.stats,
         })
@@ -395,6 +436,8 @@ pub struct MonitorAudit {
     engine: Engine,
     /// Persistent engine snapshots (`Some` iff `engine` is optimized).
     checkpoints: Option<EngineCheckpoints>,
+    /// Replay the exact changed-`k` segments (default) vs the edit hull.
+    segmented: bool,
     /// Current result sets for every `k` in `cfg`'s range, `k` ascending.
     results: Vec<AuditKResult>,
     /// Cumulative instrumentation: the initial build plus every re-audit.
@@ -411,11 +454,15 @@ impl MonitorAudit {
             ascending: false,
             attrs: None,
             checkpoint_every: Self::DEFAULT_CHECKPOINT_CADENCE,
+            segmented: true,
         }
     }
 
     /// Default checkpoint cadence `C` (see
-    /// [`MonitorBuilder::checkpoint_every`]).
+    /// [`MonitorBuilder::checkpoint_every`]). Counts-only arena snapshots
+    /// are cheap enough that a denser grid is affordable, but a finer
+    /// default buys little: seek distance shrinks while per-replay grid
+    /// maintenance (snapshot writes, repair-heal work) grows to match.
     pub const DEFAULT_CHECKPOINT_CADENCE: usize = 8;
 
     /// The evolving dataset (edits applied so far included).
@@ -472,10 +519,13 @@ impl MonitorAudit {
                 lower_checkpoints: lower,
                 upper_checkpoints: upper,
                 stored_nodes: ck.stored_nodes(),
+                arena_nodes: ck.arena_nodes(),
                 seeks: ck.counters.seeks,
                 cold_builds: ck.counters.cold_builds,
                 repairs: ck.counters.repairs,
                 replayed_steps: ck.counters.replayed_steps,
+                prefix_recounts: ck.counters.prefix_recounts,
+                segments: ck.counters.segments,
                 invalidated: ck.invalidated,
             }
         })
@@ -689,20 +739,44 @@ impl MonitorAudit {
             }
         }
         // The k values whose top-k membership can have changed: the whole
-        // range when the universe grew (n and s_D moved), else (lo, hi].
-        let recompute = if inserted {
-            Some((self.cfg.k_min, self.cfg.k_max))
+        // range when the universe grew (n and s_D moved); else the union
+        // of per-row net movement intervals — exact, and a subset of the
+        // hull (lo, hi] that hull replay recomputes wholesale.
+        let segments: Vec<(usize, usize)> = if inserted {
+            vec![(self.cfg.k_min, self.cfg.k_max)]
+        } else if let Some((lo, hi)) = span {
+            let gap = self.checkpoints.as_ref().map_or(1, |ck| ck.cadence);
+            match &old_order {
+                Some(old) if self.segmented => changed_k_segments(
+                    old,
+                    self.scored.order(),
+                    lo,
+                    hi,
+                    self.cfg.k_min,
+                    self.cfg.k_max,
+                    gap,
+                ),
+                _ => {
+                    let k_lo = (lo + 1).max(self.cfg.k_min);
+                    let k_hi = hi.min(self.cfg.k_max);
+                    if k_lo <= k_hi {
+                        vec![(k_lo, k_hi)]
+                    } else {
+                        Vec::new()
+                    }
+                }
+            }
         } else {
-            span.and_then(|(lo, hi)| {
-                let k_lo = (lo + 1).max(self.cfg.k_min);
-                let k_hi = hi.min(self.cfg.k_max);
-                (k_lo <= k_hi).then_some((k_lo, k_hi))
-            })
+            Vec::new()
         };
-        let Some((k_lo, k_hi)) = recompute else {
+        // Every segment empty (or clamped away): no top-k set in the
+        // configured range changed, nothing to recompute — checkpoints in
+        // the hull's dead middle are exact by the same argument.
+        let Some((&(k_lo, _), &(_, k_hi))) = segments.first().zip(segments.last()) else {
             return Ok(DeltaReport {
                 edits: edits.len(),
                 recomputed: None,
+                segments: Vec::new(),
                 changed: Vec::new(),
                 stats: SearchStats::default(),
             });
@@ -715,9 +789,12 @@ impl MonitorAudit {
             index: &self.index,
         };
         // The delta path: seek into the persistent engine snapshots
-        // (repairing the seek point if this batch's hull swallowed it)
-        // and replay the span, instead of paying a from-scratch engine
-        // build at `k_lo`. Baseline monitors re-run the span the old way.
+        // (repairing a seek point this batch's edits swallowed) and
+        // replay each segment, instead of paying a from-scratch engine
+        // build at `k_lo`. Baseline monitors re-run the hull the old way
+        // (their segments are always the single clamped hull — the
+        // segmented union needs the pre-batch order, which only
+        // checkpointed monitors retain).
         let reorder = if inserted {
             None
         } else {
@@ -728,7 +805,7 @@ impl MonitorAudit {
         let out = match &mut self.checkpoints {
             Some(ckpts) => parts.run_range_checkpointed(
                 &self.cfg,
-                (k_lo, k_hi),
+                &segments,
                 &self.task,
                 ckpts,
                 reorder.as_ref(),
@@ -770,10 +847,77 @@ impl MonitorAudit {
         Ok(DeltaReport {
             edits: edits.len(),
             recomputed: Some((k_lo, k_hi)),
+            segments,
             changed,
             stats: out.stats,
         })
     }
+}
+
+/// The exact changed-`k` set of a pure reorder, as disjoint ascending
+/// inclusive segments. A row that moved from old position `op` to new
+/// position `p` (0-based ranks) changes top-`k` membership exactly for
+/// `k ∈ [min(op,p)+1, max(op,p)]`; the changed-`k` set is the union of
+/// those intervals over every moved row in the hull `[lo, hi]`. Segments
+/// separated by less than `gap` (the checkpoint cadence) are merged — a
+/// separate seek would replay the gap anyway — and the result is clamped
+/// to `[k_min, k_max]`. The union's outer bounds equal the hull's
+/// `[lo+1, hi]`, so hull replay is the one-segment special case.
+fn changed_k_segments(
+    old_order: &[TupleId],
+    new_order: &[TupleId],
+    lo: usize,
+    hi: usize,
+    k_min: usize,
+    k_max: usize,
+    gap: usize,
+) -> Vec<(usize, usize)> {
+    let mut intervals: Vec<(usize, usize)> = Vec::new();
+    match (old_order.get(lo..=hi), new_order.get(lo..=hi)) {
+        (Some(old_hull), Some(new_hull)) => {
+            let mut old_pos = FxHashMap::default();
+            for (i, &row) in old_hull.iter().enumerate() {
+                old_pos.insert(row, lo + i);
+            }
+            for (i, &row) in new_hull.iter().enumerate() {
+                let p = lo + i;
+                match old_pos.get(&row) {
+                    // A pure reorder permutes the hull's own occupants; an
+                    // unknown row means the caller's hull is unsound — fall
+                    // back to full-hull replay rather than under-recompute.
+                    None => {
+                        debug_assert!(false, "row {row} entered the reorder hull");
+                        intervals = vec![(lo + 1, hi)];
+                        break;
+                    }
+                    Some(&op) if op != p => intervals.push((op.min(p) + 1, op.max(p))),
+                    Some(_) => {}
+                }
+            }
+        }
+        // A hull outside the ranking is a caller bug; replay it whole
+        // (clamped below) rather than panic or under-recompute.
+        _ => {
+            debug_assert!(false, "reorder hull [{lo}, {hi}] outside the ranking");
+            intervals.push((lo + 1, hi));
+        }
+    }
+    intervals.sort_unstable();
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in intervals {
+        match segments.last_mut() {
+            Some(last) if s <= last.1 + gap => last.1 = last.1.max(e),
+            _ => segments.push((s, e)),
+        }
+    }
+    segments
+        .into_iter()
+        .filter_map(|(s, e)| {
+            let s = s.max(k_min);
+            let e = e.min(k_max);
+            (s <= e).then_some((s, e))
+        })
+        .collect()
 }
 
 /// `(in new but not old, in old but not new)` for canonically sorted
@@ -1101,6 +1245,115 @@ mod tests {
             )
             .unwrap();
         assert!(baseline.checkpoint_stats().is_none());
+    }
+
+    /// Satellite of the segmented-replay change: the `(lo + 1).max(k_min)`
+    /// / `hi.min(k_max)` clamp math at the very edges of the configured
+    /// `k` grid, for both the no-op and the exactly-one-`k` outcomes.
+    #[test]
+    fn span_clamp_boundaries_at_k_min_and_k_max() {
+        let task = AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2)));
+        // A swap of rank positions 0↔1 only changes the top-1 set, below
+        // k_min = 2: provably nothing to recompute.
+        let mut monitor = grade_monitor(task.clone());
+        let top1 = monitor.ranking().at(1);
+        let d = monitor
+            .apply(&[RankingEdit::ScoreUpdate {
+                row: top1,
+                score: 20.5,
+            }])
+            .unwrap();
+        assert_eq!(d.recomputed, None);
+        assert!(d.segments.is_empty());
+        assert_matches_fresh(&monitor);
+        // Positions 1↔2 change exactly the top-2 set: k = k_min alone.
+        let mut monitor = grade_monitor(task.clone());
+        let row = monitor.ranking().at(2);
+        let d = monitor
+            .apply(&[RankingEdit::ScoreUpdate { row, score: 19.5 }])
+            .unwrap();
+        assert_eq!(d.recomputed, Some((2, 2)));
+        assert_eq!(d.segments, vec![(2, 2)]);
+        assert_matches_fresh(&monitor);
+        // Positions 14↔15 change exactly the top-15 set: k = 15 ≤ k_max.
+        let mut monitor = grade_monitor(task.clone());
+        let row = monitor.ranking().at(15);
+        let d = monitor
+            .apply(&[RankingEdit::ScoreUpdate { row, score: 4.5 }])
+            .unwrap();
+        assert_eq!(d.recomputed, Some((15, 15)));
+        assert_eq!(d.segments, vec![(15, 15)]);
+        assert_matches_fresh(&monitor);
+        // The same bottom swap under k_max = 14: the one changed k lies
+        // past the range and the hi.min(k_max) clamp empties the span.
+        let mut monitor = MonitorAudit::builder(students_fig1(), "Grade")
+            .build(DetectConfig::new(2, 2, 14), task.clone(), Engine::Optimized)
+            .unwrap();
+        let row = monitor.ranking().at(15);
+        let d = monitor
+            .apply(&[RankingEdit::ScoreUpdate { row, score: 4.5 }])
+            .unwrap();
+        assert_eq!(d.recomputed, None);
+        assert!(d.segments.is_empty());
+        assert_matches_fresh(&monitor);
+        // And with k_max = 15 exactly, the clamp keeps the edge k.
+        let mut monitor = MonitorAudit::builder(students_fig1(), "Grade")
+            .build(DetectConfig::new(2, 2, 15), task, Engine::Optimized)
+            .unwrap();
+        let row = monitor.ranking().at(15);
+        let d = monitor
+            .apply(&[RankingEdit::ScoreUpdate { row, score: 4.5 }])
+            .unwrap();
+        assert_eq!(d.recomputed, Some((15, 15)));
+        assert_eq!(d.segments, vec![(15, 15)]);
+        assert_matches_fresh(&monitor);
+    }
+
+    /// A batch of two tight swaps far apart replays two one-`k` segments
+    /// instead of the whole hull — same results, strictly less work.
+    #[test]
+    fn segmented_replay_skips_the_dead_middle() {
+        let task = AuditTask::Combined {
+            lower: Bounds::constant(2),
+            upper: Bounds::constant(2),
+        };
+        let run = |segmented: bool| {
+            let mut monitor = MonitorAudit::builder(students_fig1(), "Grade")
+                .checkpoint_every(1)
+                .segmented_replay(segmented)
+                .build(DetectConfig::new(2, 2, 16), task.clone(), Engine::Optimized)
+                .unwrap();
+            let steps0 = monitor.checkpoint_stats().unwrap().replayed_steps;
+            // Swap rank positions 2↔3 and 12↔13 in one batch.
+            let r_a = monitor.ranking().at(3);
+            let r_b = monitor.ranking().at(13);
+            let d = monitor
+                .apply(&[
+                    RankingEdit::ScoreUpdate {
+                        row: r_a,
+                        score: 15.5,
+                    },
+                    RankingEdit::ScoreUpdate {
+                        row: r_b,
+                        score: 6.5,
+                    },
+                ])
+                .unwrap();
+            assert_matches_fresh(&monitor);
+            let stats = monitor.checkpoint_stats().unwrap();
+            (d, stats.replayed_steps - steps0)
+        };
+        let (seg, seg_steps) = run(true);
+        let (hull, hull_steps) = run(false);
+        assert_eq!(seg.recomputed, Some((3, 13)));
+        assert_eq!(hull.recomputed, Some((3, 13)));
+        assert_eq!(seg.segments, vec![(3, 3), (13, 13)]);
+        assert_eq!(hull.segments, vec![(3, 13)]);
+        assert_eq!(seg.changed, hull.changed);
+        assert!(
+            seg_steps < hull_steps,
+            "segmented replayed {seg_steps} k steps vs hull {hull_steps}"
+        );
     }
 
     #[test]

@@ -1,24 +1,97 @@
 use crate::space::AttrId;
 use rankfair_data::ValueCode;
 
+/// Terms a pattern can hold without a heap allocation. Engines clone and
+/// drop patterns on every per-`k` result snapshot, so the common case
+/// (few bound attributes) must be allocation-free; wider patterns spill
+/// to a `Vec`.
+const INLINE_TERMS: usize = 8;
+
+/// Inline-or-spilled term storage. Both variants hold terms sorted by
+/// attribute index; all comparisons and hashing go through the slice view
+/// so the two representations are indistinguishable.
+#[derive(Clone)]
+enum Terms {
+    Inline {
+        len: u8,
+        buf: [(AttrId, ValueCode); INLINE_TERMS],
+    },
+    Heap(Vec<(AttrId, ValueCode)>),
+}
+
 /// A *pattern* (Definition 2.2 of the paper): a value assignment to a
 /// subset of the categorical attributes, e.g. `{School=GP, Address=U}`.
 ///
 /// Terms are stored sorted by attribute index, which makes structural
 /// operations (subset tests, tree-parent extraction, canonical ordering)
 /// cheap and gives every pattern a unique representation suitable for use
-/// as a hash-map key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// as a hash-map key. Up to `INLINE_TERMS` (8) terms live inline, so
+/// cloning a typical pattern never touches the allocator.
+#[derive(Clone)]
 pub struct Pattern {
-    terms: Vec<(AttrId, ValueCode)>,
+    terms: Terms,
+}
+
+impl std::fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pattern")
+            .field("terms", &self.terms())
+            .finish()
+    }
+}
+
+impl PartialEq for Pattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.terms() == other.terms()
+    }
+}
+
+impl Eq for Pattern {}
+
+impl std::hash::Hash for Pattern {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Slice hashing (length prefix + elements) — identical to the
+        // previous derived `Vec` hash.
+        self.terms().hash(state);
+    }
+}
+
+impl PartialOrd for Pattern {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pattern {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lexicographic over sorted terms — the canonical report order.
+        self.terms().cmp(other.terms())
+    }
 }
 
 impl Pattern {
+    /// Builds the storage for a sorted, duplicate-free term slice.
+    fn from_sorted(terms: &[(AttrId, ValueCode)]) -> Self {
+        debug_assert!(terms.windows(2).all(|w| w[0].0 < w[1].0));
+        match u8::try_from(terms.len()) {
+            Ok(len) if terms.len() <= INLINE_TERMS => {
+                let mut buf = [(0, 0); INLINE_TERMS];
+                buf[..terms.len()].copy_from_slice(terms);
+                Pattern {
+                    terms: Terms::Inline { len, buf },
+                }
+            }
+            _ => Pattern {
+                terms: Terms::Heap(terms.to_vec()),
+            },
+        }
+    }
+
     /// The most general (empty) pattern — matched by every tuple. Never
     /// reported by the algorithms (the search starts from its children),
     /// but useful as the search-tree root.
     pub fn empty() -> Self {
-        Pattern { terms: Vec::new() }
+        Pattern::from_sorted(&[])
     }
 
     /// Builds a pattern from terms in any order.
@@ -29,43 +102,45 @@ impl Pattern {
         if terms.windows(2).any(|w| w[0].0 == w[1].0) {
             return None;
         }
-        Some(Pattern { terms })
+        Some(Pattern::from_sorted(&terms))
     }
 
     /// A single-term pattern.
     pub fn single(attr: AttrId, value: ValueCode) -> Self {
-        Pattern {
-            terms: vec![(attr, value)],
-        }
+        Pattern::from_sorted(&[(attr, value)])
     }
 
     /// The sorted terms.
     pub fn terms(&self) -> &[(AttrId, ValueCode)] {
-        &self.terms
+        match &self.terms {
+            Terms::Inline { len, buf } => &buf[..usize::from(*len)],
+            Terms::Heap(v) => v,
+        }
     }
 
     /// Number of terms.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.terms().len()
     }
 
     /// Whether this is the empty pattern.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.terms().is_empty()
     }
 
     /// Largest attribute index bound by the pattern (`idx(Attr(p))` in
     /// Definition 4.1), or `None` for the empty pattern.
     pub fn max_attr(&self) -> Option<AttrId> {
-        self.terms.last().map(|&(a, _)| a)
+        self.terms().last().map(|&(a, _)| a)
     }
 
     /// The value this pattern binds for `attr`, if any.
     pub fn value_of(&self, attr: AttrId) -> Option<ValueCode> {
-        self.terms
+        let terms = self.terms();
+        terms
             .binary_search_by_key(&attr, |&(a, _)| a)
             .ok()
-            .map(|i| self.terms[i].1)
+            .map(|i| terms[i].1)
     }
 
     /// Extends the pattern with one term whose attribute index exceeds
@@ -75,32 +150,45 @@ impl Pattern {
     /// Panics (debug builds) if `attr` does not exceed `max_attr`.
     pub fn child(&self, attr: AttrId, value: ValueCode) -> Pattern {
         debug_assert!(self.max_attr().is_none_or(|m| attr > m));
-        let mut terms = Vec::with_capacity(self.terms.len() + 1);
-        terms.extend_from_slice(&self.terms);
-        terms.push((attr, value));
-        Pattern { terms }
+        // One term past the inline cap: extend in place without a round
+        // trip through a temporary `Vec`.
+        if let Terms::Inline { len, buf } = &self.terms {
+            if usize::from(*len) < INLINE_TERMS {
+                let mut buf = *buf;
+                buf[usize::from(*len)] = (attr, value);
+                return Pattern {
+                    terms: Terms::Inline { len: len + 1, buf },
+                };
+            }
+        }
+        let terms = self.terms();
+        let mut out = Vec::with_capacity(terms.len() + 1);
+        out.extend_from_slice(terms);
+        out.push((attr, value));
+        Pattern {
+            terms: Terms::Heap(out),
+        }
     }
 
     /// The unique search-tree parent: the pattern without its
     /// largest-index term. Returns `None` for the empty pattern.
     pub fn tree_parent(&self) -> Option<Pattern> {
-        if self.terms.is_empty() {
+        let terms = self.terms();
+        if terms.is_empty() {
             return None;
         }
-        Some(Pattern {
-            terms: self.terms[..self.terms.len() - 1].to_vec(),
-        })
+        Some(Pattern::from_sorted(&terms[..terms.len() - 1]))
     }
 
     /// Whether `self ⊆ other` in the pattern-graph sense: every term of
     /// `self` appears in `other`.
     pub fn is_subset_of(&self, other: &Pattern) -> bool {
-        if self.terms.len() > other.terms.len() {
+        if self.len() > other.len() {
             return false;
         }
         // Both sides sorted: linear merge.
-        let mut it = other.terms.iter();
-        'outer: for t in &self.terms {
+        let mut it = other.terms().iter();
+        'outer: for t in self.terms() {
             for o in it.by_ref() {
                 match o.0.cmp(&t.0) {
                     std::cmp::Ordering::Less => continue,
@@ -120,13 +208,13 @@ impl Pattern {
 
     /// Whether `self ⊊ other`.
     pub fn is_proper_subset_of(&self, other: &Pattern) -> bool {
-        self.terms.len() < other.terms.len() && self.is_subset_of(other)
+        self.len() < other.len() && self.is_subset_of(other)
     }
 
     /// Whether a tuple, given as a closure from attribute index to value
     /// code, satisfies the pattern.
     pub fn matches(&self, code_of: impl Fn(AttrId) -> ValueCode) -> bool {
-        self.terms.iter().all(|&(a, v)| code_of(a) == v)
+        self.terms().iter().all(|&(a, v)| code_of(a) == v)
     }
 }
 

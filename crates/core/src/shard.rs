@@ -182,6 +182,18 @@ impl ShardedIndex {
         self.counts(p, 0).0
     }
 
+    /// `s_Rk(p)` alone: only the shards whose span overlaps the top-`k`
+    /// prefix are consulted, each with a truncated prefix scan — shards
+    /// entirely past `k` contribute nothing and are skipped outright.
+    pub fn prefix_count(&self, p: &Pattern, k: usize) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .take_while(|&(s, _)| self.boundaries[s] < k)
+            .map(|(s, shard)| shard.prefix_count(p, self.local_k(s, k)))
+            .sum()
+    }
+
     /// Value of `attr` for the tuple at **global** rank position `pos`:
     /// locates the owning shard by boundary search, then reads the
     /// shard-local position.
@@ -209,6 +221,10 @@ impl CountsProvider for ShardedIndex {
 
     fn code_at(&self, pos: usize, attr: AttrId) -> ValueCode {
         ShardedIndex::code_at(self, pos, attr)
+    }
+
+    fn prefix_count(&self, p: &Pattern, k: usize) -> usize {
+        ShardedIndex::prefix_count(self, p, k)
     }
 }
 
@@ -256,6 +272,26 @@ mod tests {
                 sharded.counts(&Pattern::empty(), 5),
                 single.counts(&Pattern::empty(), 5)
             );
+        }
+    }
+
+    #[test]
+    fn prefix_count_matches_fused_merge_all_shard_counts() {
+        for shards in [1, 2, 3, 5, 16, 25] {
+            let (space, single, sharded) = fig1_sharded(shards);
+            for a in 0..space.n_attrs() as AttrId {
+                for v in 0..space.card(a) as u16 {
+                    let p = Pattern::single(a, v);
+                    for k in 0..=16 {
+                        assert_eq!(
+                            sharded.prefix_count(&p, k),
+                            single.counts(&p, k).1,
+                            "shards={shards} a={a} v={v} k={k}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(sharded.prefix_count(&Pattern::empty(), 5), 5);
         }
     }
 

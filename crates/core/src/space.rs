@@ -1,6 +1,8 @@
 use std::fmt;
 
-use rankfair_data::{intersect_counts_iter, Bitmap, Dataset, TupleId, ValueCode};
+use rankfair_data::{
+    intersect_counts_iter, intersect_prefix_iter, Bitmap, Dataset, TupleId, ValueCode,
+};
 use rankfair_rank::Ranking;
 
 use crate::pattern::Pattern;
@@ -57,6 +59,16 @@ pub trait CountsProvider: Sync {
     /// `s_D(p)` alone.
     fn size_in_data(&self, p: &Pattern) -> usize {
         self.counts(p, 0).0
+    }
+
+    /// `s_Rk(p)` alone — the prefix half of [`CountsProvider::counts`].
+    ///
+    /// The engines call this when re-activating a stored node whose `s_D`
+    /// is already interned in the arena, so providers should truncate the
+    /// scan at `k` when they can ([`RankedIndex`] does); the default
+    /// computes the fused pair and discards `s_D`.
+    fn prefix_count(&self, p: &Pattern, k: usize) -> usize {
+        self.counts(p, k).1
     }
 
     /// Whether the tuple at rank position `pos` satisfies `p`.
@@ -307,6 +319,19 @@ impl RankedIndex {
         self.counts(p, 0).0
     }
 
+    /// `s_Rk(p)` alone, walking only the bitmap blocks that overlap the
+    /// top-`k` prefix — the engines' arena re-activation recount, which
+    /// for `k ≪ n` touches a `k/n` fraction of the fused pass's blocks.
+    pub fn prefix_count(&self, p: &Pattern, k: usize) -> usize {
+        intersect_prefix_iter(
+            p.terms()
+                .iter()
+                .map(|&(a, v)| &self.bitmaps[usize::from(a)][usize::from(v)]),
+            k,
+            self.n,
+        )
+    }
+
     /// Value of `attr` for the tuple at rank position `pos` (0-based).
     pub fn code_at(&self, pos: usize, attr: AttrId) -> ValueCode {
         self.codes[usize::from(attr)][pos]
@@ -404,6 +429,10 @@ impl CountsProvider for RankedIndex {
 
     fn code_at(&self, pos: usize, attr: AttrId) -> ValueCode {
         RankedIndex::code_at(self, pos, attr)
+    }
+
+    fn prefix_count(&self, p: &Pattern, k: usize) -> usize {
+        RankedIndex::prefix_count(self, p, k)
     }
 }
 

@@ -91,11 +91,11 @@ impl SearchStats {
 /// Work counters of the checkpointed replay drivers (`lower_replay` /
 /// `upper_replay`): how often a delta re-audit could seek to a stored
 /// engine snapshot versus paying a from-scratch build, and how many `k`
-/// steps were replayed purely to move from the seek point to the start of
-/// the recompute span.
+/// positions the replay actually computed — the quantity segmented
+/// replay minimizes.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ReplayCounters {
-    /// Delta runs that resumed from a stored checkpoint.
+    /// Segment starts that resumed from a stored checkpoint.
     pub seeks: u64,
     /// Delta runs (and initial builds) that had no usable checkpoint and
     /// paid a from-scratch engine build.
@@ -103,9 +103,18 @@ pub(crate) struct ReplayCounters {
     /// Seek checkpoints repaired in place from a top-`k` set diff
     /// because the edit hull had swallowed them.
     pub repairs: u64,
-    /// `k` steps replayed between the seek point and the first `k` whose
-    /// result was actually needed — the price of checkpoint granularity.
+    /// Every `k` position the replay drivers computed — cold builds,
+    /// catch-up steps from a seek point to a segment start, and in-segment
+    /// advances. Hull-vs-segmented comparisons of this counter measure
+    /// exactly the `k` work segmentation saves.
     pub replayed_steps: u64,
+    /// Node activations served by the stored `s_D` plus a truncated
+    /// prefix-only recount instead of a full fused `counts(p, k)` scan.
+    pub prefix_recounts: u64,
+    /// Replay segments driven (per engine direction). Hull replay is one
+    /// segment per delta; segmented replay drives one per merged run of
+    /// changed `k` values.
+    pub segments: u64,
 }
 
 /// The most general biased patterns at one value of `k`, in canonical

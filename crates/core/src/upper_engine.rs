@@ -18,40 +18,53 @@
 //!   their counts (no dataset scans), exactly like the lower engine's
 //!   `walk_counts`;
 //! * **tree closure** — every qualifying node is expanded (its search-tree
-//!   children are stored), so the store always covers the full qualifying
-//!   set plus one boundary layer. With `U_k` fixed, counts only grow, so
-//!   nodes only *start* qualifying — the closure is repaired by expanding
-//!   exactly the newly qualifying nodes (and, recursively, their fresh
-//!   qualifying children);
+//!   children are live), so the live store always covers the full
+//!   qualifying set plus one boundary layer. With `U_k` fixed, counts only
+//!   grow, so nodes only *start* qualifying — the closure is repaired by
+//!   expanding exactly the newly qualifying nodes (and, recursively, their
+//!   fresh qualifying children);
 //! * **maximal frontier** — the reported most-specific patterns. A pattern
 //!   leaves the frontier only when a one-term extension starts qualifying,
-//!   and every such extension is itself a stored node when it flips (its
+//!   and every such extension is itself a live node when it flips (its
 //!   tree prefixes are subsets, hence qualify, hence are expanded). So the
 //!   per-step frontier delta is: drop the one-term subsets of each newly
 //!   qualifying node, then run the `O(m·card)` maximality probe **only on
 //!   the newly qualifying nodes** — not on the whole qualifying set as the
 //!   per-`k` rescan does. Probes read stored nodes exclusively: an
-//!   extension outside the tree closure has a non-qualifying (unexpanded)
+//!   extension outside the live closure has a non-qualifying (unopened)
 //!   prefix, so by subset-closure it cannot qualify — no probe ever costs
 //!   a fresh pattern evaluation.
 //!
 //! On an upper-bound step (`U_k ≠ U_{k-1}`) nodes can flip in both
-//! directions, so the engine reclassifies the whole store in one pass — a
-//! store rescan with zero fresh evaluations, not a from-scratch rebuild —
-//! expands any newly qualifying region, and applies the same frontier
-//! delta with the *lost* nodes folded in: a lost node leaves the frontier,
-//! and its still-qualifying one-term subsets (for which it may have been
-//! the last qualifying blocker) join the probe candidates. Probes stay
-//! confined to the flipped region, so bounds that change at every `k`
-//! (e.g. [`Bounds::LinearFraction`]) remain incremental; decreasing bounds
-//! are covered too, since the growing qualifying set is re-covered by the
-//! expansion cascade.
+//! directions, so the engine reclassifies the whole live store in one pass
+//! — a store rescan with zero fresh evaluations, not a from-scratch
+//! rebuild — expands any newly qualifying region, and applies the same
+//! frontier delta with the *lost* nodes folded in: a lost node leaves the
+//! frontier, and its still-qualifying one-term subsets (for which it may
+//! have been the last qualifying blocker) join the probe candidates.
+//! Probes stay confined to the flipped region, so bounds that change at
+//! every `k` (e.g. [`Bounds::LinearFraction`]) remain incremental;
+//! decreasing bounds are covered too, since the growing qualifying set is
+//! re-covered by the expansion cascade.
 //!
 //! For [`OverRepScope::MostGeneral`] the answer collapses: the qualifying
 //! set is subset-closed, so every qualifying multi-term pattern has a
 //! qualifying single-term subset, and the most general qualifying patterns
 //! are exactly the qualifying **single-term** patterns. The engine then
 //! maintains only the root level of the store.
+//!
+//! ## Arena store and run state
+//!
+//! Node *structure* — the pattern, its pruned (`s_D < τs`) verdict and
+//! the generated children — is independent of `k` and of the bound, so it
+//! lives in an append-only [`UpperArena`] owned by the monitor's
+//! [`UpperStore`] and shared by every run and checkpoint. Run state is
+//! three flat vectors indexed by node id (`counts`, the `open` frontier,
+//! the `qualified` flags) plus the maximal frontier set, making an
+//! [`UpperCheckpoint`] a counts-plus-frontier memcpy rather than a deep
+//! clone of the node store. Re-activating a stored node costs one
+//! truncated *prefix* recount (`s_Rk` only — the stored pruned verdict
+//! stands in for `s_D`), never a full fused scan.
 
 use crate::audit::OverRepScope;
 use crate::bounds::Bounds;
@@ -61,21 +74,64 @@ use crate::stats::{DeadlineGuard, DetectConfig, KResult, ReplayCounters, SearchS
 use crate::util::FxHashSet;
 use rankfair_data::ValueCode;
 
+/// Sentinel in `counts` marking a node that is not live in the current
+/// run. Real counts are bounded by `n`, which fits `TupleId` (u32).
+const NOT_LIVE: u32 = u32::MAX;
+
+/// Everything about a node that is a function of its pattern alone —
+/// shared across runs, checkpoints and replays without cloning. (`s_D`
+/// itself is not stored: the upper side only ever reads its `≥ τs`
+/// verdict.)
 #[derive(Debug, Clone)]
-struct Node {
+struct UpperNodeMeta {
     pattern: Pattern,
-    /// `s_Rk` at the engine's current `k`. (`s_D` is not stored: it is
-    /// fixed for the run and only its `≥ τs` verdict — `pruned` — is ever
-    /// read again.)
-    count: u32,
-    /// `s_D < τs`: never qualifies, never expanded, counts never read.
-    pruned: bool,
-    /// `s_D ≥ τs ∧ count > U_k` under the current `(k, U_k)`.
-    qualified: bool,
+    /// Structural: the children have been generated and stored. Distinct
+    /// from the run-level `open` frontier — a node expanded in an earlier
+    /// run re-activates its stored children instead of re-evaluating them.
     expanded: bool,
     /// Children in (attribute, value) order for attributes past
     /// `max_attr`, enabling arithmetic child lookup on the walk.
     children: Vec<u32>,
+}
+
+/// The upper engine's index-addressed node arena: flat `Vec` of
+/// [`UpperNodeMeta`] plus the level-1 child index. Append-only (node
+/// structure is independent of `k` and of the bound), owned by the
+/// [`UpperStore`] between runs and moved — not cloned — into the engine
+/// for the duration of a replay.
+#[derive(Debug, Default)]
+pub(crate) struct UpperArena {
+    nodes: Vec<UpperNodeMeta>,
+    /// `s_D < τs` per node (never qualifies, never expanded, counts never
+    /// read), kept out of [`UpperNodeMeta`] so the hot walks resolve the
+    /// prune-skip from one flat byte array.
+    pruned: Vec<bool>,
+    /// Level-1 nodes laid out by `card_prefix[attr] + value` — the walk's
+    /// entry points.
+    root_children: Vec<u32>,
+}
+
+impl UpperArena {
+    /// Number of interned nodes — the steady-state memory driver.
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drops all interned structure (insertions change `s_D` and the
+    /// pruned verdicts, so the arena is rebuilt from scratch).
+    pub(crate) fn clear(&mut self) {
+        self.nodes.clear();
+        self.pruned.clear();
+        self.root_children.clear();
+    }
+}
+
+/// The persistent upper-side store a monitor keeps between batches: one
+/// shared arena plus the `k`-grid of counts-only snapshots taken over it.
+#[derive(Debug, Default)]
+pub(crate) struct UpperStore {
+    pub(crate) arena: UpperArena,
+    pub(crate) snaps: Vec<UpperCheckpoint>,
 }
 
 pub(crate) struct UpperEngine<'a, I: CountsProvider> {
@@ -83,9 +139,14 @@ pub(crate) struct UpperEngine<'a, I: CountsProvider> {
     space: &'a PatternSpace,
     tau_s: usize,
     scope: OverRepScope,
-    nodes: Vec<Node>,
-    /// Level-1 nodes laid out by `card_prefix[attr] + value`.
-    root_children: Vec<u32>,
+    arena: UpperArena,
+    /// Per-run `s_Rk` per node, [`NOT_LIVE`] until activated this run.
+    counts: Vec<u32>,
+    /// Run-level expansion frontier: walks descend through `open` nodes
+    /// only. `open[id]` implies every stored child of `id` is live.
+    open: Vec<bool>,
+    /// `s_D ≥ τs ∧ count > U_k` under the current `(k, U_k)`, per node.
+    qualified: Vec<bool>,
     /// `card_prefix[a] = Σ_{b<a} card(b)` — the walk's child-lookup
     /// arithmetic, shared with the lower engine.
     card_prefix: Vec<u32>,
@@ -93,6 +154,14 @@ pub(crate) struct UpperEngine<'a, I: CountsProvider> {
     /// patterns). Unused for [`OverRepScope::MostGeneral`].
     maximal: FxHashSet<u32>,
     stats: SearchStats,
+    /// Activations served by the stored pruned verdict plus a truncated
+    /// prefix scan instead of a full fused evaluation.
+    prefix_recounts: u64,
+    /// Reused walk buffers: the DFS stack and the entering tuple's value
+    /// codes. Taken/returned by the walks so a replay's per-step walks
+    /// never hit the allocator.
+    scratch_stack: Vec<u32>,
+    scratch_codes: Vec<ValueCode>,
 }
 
 impl<'a, I: CountsProvider> UpperEngine<'a, I> {
@@ -109,55 +178,108 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
             space,
             tau_s,
             scope,
-            nodes: Vec::new(),
-            root_children: Vec::new(),
+            arena: UpperArena::default(),
+            counts: Vec::new(),
+            open: Vec::new(),
+            qualified: Vec::new(),
             card_prefix,
             maximal: FxHashSet::default(),
             stats: SearchStats::default(),
+            prefix_recounts: 0,
+            scratch_stack: Vec::new(),
+            scratch_codes: Vec::new(),
         }
     }
 
-    /// Evaluates a fresh pattern (one fused, zero-allocation bitmap scan)
-    /// and stores the node classified under `(k, u)`.
+    /// An engine over a pre-existing arena (no run state yet): the replay
+    /// entry point. The arena is moved in, not cloned, and handed back by
+    /// [`UpperEngine::into_parts`].
+    fn with_arena(
+        index: &'a I,
+        space: &'a PatternSpace,
+        tau_s: usize,
+        scope: OverRepScope,
+        arena: UpperArena,
+    ) -> Self {
+        let mut engine = UpperEngine::new(index, space, tau_s, scope);
+        engine.counts = vec![NOT_LIVE; arena.nodes.len()];
+        engine.open = vec![false; arena.nodes.len()];
+        engine.qualified = vec![false; arena.nodes.len()];
+        engine.arena = arena;
+        engine
+    }
+
+    /// Tears the engine down, returning the (possibly grown) arena to its
+    /// store along with the run's instrumentation.
+    fn into_parts(self) -> (UpperArena, SearchStats, u64) {
+        (self.arena, self.stats, self.prefix_recounts)
+    }
+
+    /// Evaluates a fresh pattern (one fused, zero-allocation bitmap scan),
+    /// interns the node in the arena, and classifies it under `(k, u)`.
     fn eval_new(&mut self, pattern: Pattern, k: usize, u: usize) -> u32 {
         let (sd, count) = self.index.counts(&pattern, k);
         self.stats.nodes_evaluated += 1;
         let pruned = sd < self.tau_s;
-        let id = u32::try_from(self.nodes.len()).expect("node ids fit u32");
-        self.nodes.push(Node {
+        let id = u32::try_from(self.arena.nodes.len()).expect("node ids fit u32");
+        self.arena.nodes.push(UpperNodeMeta {
             pattern,
-            // Row counts are bounded by n, which fits TupleId (u32).
-            count: u32::try_from(count).expect("row counts fit TupleId"),
-            pruned,
-            qualified: !pruned && count > u,
             expanded: false,
             children: Vec::new(),
         });
+        self.arena.pruned.push(pruned);
+        // Row counts are bounded by n, which fits TupleId (u32).
+        self.counts
+            .push(u32::try_from(count).expect("row counts fit TupleId"));
+        self.open.push(false);
+        self.qualified.push(!pruned && count > u);
         id
     }
 
-    /// Finds the stored node for sorted `terms` by walking the child
-    /// arithmetic from the root, or `None` if the path leaves the stored
+    /// Brings a stored node into the current run: the stored pruned
+    /// verdict is reused and only the top-`k` prefix is recounted (a
+    /// truncated scan that never touches blocks past `k`). Idempotent —
+    /// an already-live node is left untouched.
+    fn activate(&mut self, id: u32, k: usize, u: usize) {
+        if self.counts[id as usize] != NOT_LIVE {
+            return;
+        }
+        if self.arena.pruned[id as usize] {
+            // Live marker only; counts of pruned nodes are never read.
+            self.counts[id as usize] = 0;
+            return;
+        }
+        let count = self
+            .index
+            .prefix_count(&self.arena.nodes[id as usize].pattern, k);
+        self.stats.nodes_evaluated += 1;
+        self.prefix_recounts += 1;
+        self.counts[id as usize] = u32::try_from(count).expect("row counts fit TupleId");
+        self.qualified[id as usize] = count > u;
+    }
+
+    /// Finds the live node for sorted `terms` by walking the child
+    /// arithmetic from the root, or `None` if the path leaves the live
     /// closure. Every pattern whose proper tree prefixes all qualify is
-    /// reachable (qualifying nodes are always expanded).
+    /// reachable (qualifying nodes are always open).
     fn lookup(&self, terms: &[(AttrId, ValueCode)]) -> Option<u32> {
         let (&(a0, v0), rest) = terms.split_first()?;
         let mut id =
-            self.root_children[self.card_prefix[usize::from(a0)] as usize + usize::from(v0)];
+            self.arena.root_children[self.card_prefix[usize::from(a0)] as usize + usize::from(v0)];
         let mut ma = a0;
         for &(a, v) in rest {
-            let nd = &self.nodes[id as usize];
-            if !nd.expanded {
+            if !self.open[id as usize] {
                 return None;
             }
             let base = self.card_prefix[usize::from(ma) + 1];
-            id = nd.children[(self.card_prefix[usize::from(a)] - base) as usize + usize::from(v)];
+            id = self.arena.nodes[id as usize].children
+                [(self.card_prefix[usize::from(a)] - base) as usize + usize::from(v)];
             ma = a;
         }
         Some(id)
     }
 
-    /// Phase 1 of a step: bump the count of every stored node the newly
+    /// Phase 1 of a step: bump the count of every live node the newly
     /// ranked tuple satisfies (a connected subtree reachable from the
     /// root). With `fresh = Some(..)` the qualification flag is updated
     /// in place and nodes that flip qualifying are collected; with `None`
@@ -165,45 +287,56 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
     fn walk_counts(&mut self, k: usize, u: usize, mut fresh: Option<&mut Vec<u32>>) {
         let t_pos = k - 1;
         let m = self.space.n_attrs() as AttrId;
-        let mut stack: Vec<u32> = Vec::new();
+        // Hoist the tuple's value codes into one contiguous buffer: the
+        // inner loop below reads a code per remaining attribute for every
+        // open node, and `code_at` is a per-column indirection. Both
+        // buffers are engine-owned scratch, so steady-state steps are
+        // allocation-free.
+        let mut codes = std::mem::take(&mut self.scratch_codes);
+        codes.clear();
+        codes.extend((0..m).map(|a| self.index.code_at(t_pos, a)));
+        let mut stack = std::mem::take(&mut self.scratch_stack);
+        stack.clear();
         for a in 0..m {
-            let v = self.index.code_at(t_pos, a);
-            stack.push(
-                self.root_children[self.card_prefix[usize::from(a)] as usize + usize::from(v)],
-            );
+            let idx =
+                self.card_prefix[usize::from(a)] as usize + usize::from(codes[usize::from(a)]);
+            stack.push(self.arena.root_children[idx]);
         }
         while let Some(id) = stack.pop() {
-            if self.nodes[id as usize].pruned {
+            if self.arena.pruned[id as usize] {
                 continue; // counts of pruned nodes are never read
             }
-            self.nodes[id as usize].count += 1;
+            self.counts[id as usize] += 1;
             self.stats.nodes_touched += 1;
             if let Some(list) = fresh.as_deref_mut() {
-                let nd = &mut self.nodes[id as usize];
-                if !nd.qualified && (nd.count as usize) > u {
-                    nd.qualified = true;
+                if !self.qualified[id as usize] && (self.counts[id as usize] as usize) > u {
+                    self.qualified[id as usize] = true;
                     list.push(id);
                 }
             }
-            if self.nodes[id as usize].expanded {
-                let start = self.nodes[id as usize]
+            if self.open[id as usize] {
+                let start = self.arena.nodes[id as usize]
                     .pattern
                     .max_attr()
                     .map_or(0, |a| a + 1);
                 let base = self.card_prefix[usize::from(start)];
                 for a in start..m {
-                    let v = self.index.code_at(t_pos, a);
-                    let idx = (self.card_prefix[usize::from(a)] - base) as usize + usize::from(v);
-                    stack.push(self.nodes[id as usize].children[idx]);
+                    let idx = (self.card_prefix[usize::from(a)] - base) as usize
+                        + usize::from(codes[usize::from(a)]);
+                    stack.push(self.arena.nodes[id as usize].children[idx]);
                 }
             }
         }
+        self.scratch_codes = codes;
+        self.scratch_stack = stack;
     }
 
     /// Phase 2: repair the tree closure. Every node in `fresh` (newly
-    /// qualifying) is expanded; fresh children that qualify under `(k, u)`
-    /// join the worklist, so the closure grows to cover the whole new
-    /// qualifying region.
+    /// qualifying) is opened; stored children re-activate with prefix
+    /// recounts, never-expanded nodes generate (and fully evaluate) their
+    /// children fresh. Children that qualify under `(k, u)` join the
+    /// worklist, so the closure grows to cover the whole new qualifying
+    /// region.
     fn cascade(
         &mut self,
         fresh: &mut Vec<u32>,
@@ -219,50 +352,61 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
             }
             let id = fresh[i];
             i += 1;
-            if self.nodes[id as usize].expanded {
-                // Re-qualifying after a bound step: children already stored
+            if self.open[id as usize] {
+                // Re-qualifying after a bound step: children already live
                 // and walked; their own flips were collected independently.
                 continue;
             }
-            let (start, pattern) = {
-                let nd = &self.nodes[id as usize];
-                (
-                    nd.pattern.max_attr().map_or(0, |a| a + 1),
-                    nd.pattern.clone(),
-                )
-            };
-            let mut children = Vec::new();
-            for a in start..m {
-                for v in 0..self.space.card(a) as ValueCode {
-                    let c = self.eval_new(pattern.child(a, v), k, u);
-                    if self.nodes[c as usize].qualified {
+            if self.arena.nodes[id as usize].expanded {
+                for ci in 0..self.arena.nodes[id as usize].children.len() {
+                    let c = self.arena.nodes[id as usize].children[ci];
+                    self.activate(c, k, u);
+                    if self.qualified[c as usize] {
                         fresh.push(c);
                     }
-                    children.push(c);
                 }
+            } else {
+                let (start, pattern) = {
+                    let nd = &self.arena.nodes[id as usize];
+                    (
+                        nd.pattern.max_attr().map_or(0, |a| a + 1),
+                        nd.pattern.clone(),
+                    )
+                };
+                let mut children = Vec::new();
+                for a in start..m {
+                    for v in self.space.value_codes(a) {
+                        let c = self.eval_new(pattern.child(a, v), k, u);
+                        if self.qualified[c as usize] {
+                            fresh.push(c);
+                        }
+                        children.push(c);
+                    }
+                }
+                let nd = &mut self.arena.nodes[id as usize];
+                nd.children = children;
+                nd.expanded = true;
             }
-            let nd = &mut self.nodes[id as usize];
-            nd.children = children;
-            nd.expanded = true;
+            self.open[id as usize] = true;
         }
         true
     }
 
     /// Whether any one-term extension of `id` qualifies under the current
-    /// bound `u` — entirely from stored state, with **zero** fresh pattern
+    /// bound `u` — entirely from live state, with **zero** fresh pattern
     /// evaluations: a `lookup` miss means some tree prefix of the
-    /// extension is unexpanded, i.e. non-qualifying, and qualification is
+    /// extension is unopened, i.e. non-qualifying, and qualification is
     /// subset-closed, so the extension cannot qualify either. Returns
     /// `None` on deadline expiry.
     fn probe_maximal(&mut self, id: u32, u: usize, guard: &mut DeadlineGuard) -> Option<bool> {
-        let pattern = self.nodes[id as usize].pattern.clone();
+        let pattern = self.arena.nodes[id as usize].pattern.clone();
         let m = self.space.n_attrs() as AttrId;
         let mut ext: Vec<(AttrId, ValueCode)> = Vec::with_capacity(pattern.len() + 1);
         for a in 0..m {
             if pattern.value_of(a).is_some() {
                 continue;
             }
-            for v in 0..self.space.card(a) as ValueCode {
+            for v in self.space.value_codes(a) {
                 if guard.expired() {
                     return None;
                 }
@@ -273,8 +417,8 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
                 let qualifies = match self.lookup(&ext) {
                     Some(eid) => {
                         self.stats.nodes_touched += 1;
-                        let nd = &self.nodes[eid as usize];
-                        !nd.pruned && (nd.count as usize) > u
+                        debug_assert!(self.counts[eid as usize] != NOT_LIVE);
+                        !self.arena.pruned[eid as usize] && (self.counts[eid as usize] as usize) > u
                     }
                     None => false,
                 };
@@ -290,9 +434,9 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
     /// (empty for single-term patterns, whose only subset is the
     /// never-reported empty pattern), resolved to node ids. The subsets of
     /// a pattern that qualifies — or qualified before this step — are
-    /// always stored and reachable, hence the `expect`.
+    /// always live and reachable, hence the `expect`.
     fn one_term_subset_ids(&self, id: u32) -> Vec<u32> {
-        let pattern = &self.nodes[id as usize].pattern;
+        let pattern = &self.arena.nodes[id as usize].pattern;
         if pattern.len() < 2 {
             return Vec::new();
         }
@@ -321,7 +465,7 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
     ///
     /// Correctness: a pattern's frontier membership changes only when (a)
     /// it flips qualification itself, or (b) a one-term extension flips —
-    /// and every extension that flips is a stored node in `fresh`/`lost`
+    /// and every extension that flips is a live node in `fresh`/`lost`
     /// (its tree prefixes are subsets, hence qualify(ed), hence are
     /// expanded). Exits are therefore the lost nodes plus the one-term
     /// subsets of fresh nodes; entry candidates are the fresh nodes plus
@@ -347,7 +491,7 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
         let mut seen: FxHashSet<u32> = fresh.iter().copied().collect();
         for &id in lost {
             for sid in self.one_term_subset_ids(id) {
-                if self.nodes[sid as usize].qualified && seen.insert(sid) {
+                if self.qualified[sid as usize] && seen.insert(sid) {
                     cands.push(sid);
                 }
             }
@@ -355,7 +499,7 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
         for id in cands {
             // A candidate already in the frontier kept its verdict: any
             // newly qualifying extension would have evicted it above.
-            if !self.nodes[id as usize].qualified || self.maximal.contains(&id) {
+            if !self.qualified[id as usize] || self.maximal.contains(&id) {
                 continue;
             }
             match self.probe_maximal(id, u, guard) {
@@ -369,21 +513,33 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
         true
     }
 
-    /// Initial build at the first `k`: evaluate the root level, grow the
-    /// closure over the qualifying set, compute the frontier (every
-    /// qualifying node is "fresh", so the delta probes each exactly once).
+    /// Initial build at the first `k`: bring the root level live (fresh
+    /// evaluations only on a virgin arena — otherwise prefix recounts),
+    /// grow the closure over the qualifying set, compute the frontier
+    /// (every qualifying node is "fresh", so the delta probes each
+    /// exactly once).
     fn build(&mut self, k: usize, u: usize, guard: &mut DeadlineGuard) -> bool {
         if guard.expired() {
             return false;
         }
         self.stats.full_searches += 1;
-        let m = self.space.n_attrs() as AttrId;
         let mut fresh = Vec::new();
-        for a in 0..m {
-            for v in 0..self.space.card(a) as ValueCode {
-                let id = self.eval_new(Pattern::single(a, v), k, u);
-                self.root_children.push(id);
-                if self.nodes[id as usize].qualified {
+        if self.arena.root_children.is_empty() {
+            let m = self.space.n_attrs() as AttrId;
+            for a in 0..m {
+                for v in self.space.value_codes(a) {
+                    let id = self.eval_new(Pattern::single(a, v), k, u);
+                    self.arena.root_children.push(id);
+                    if self.qualified[id as usize] {
+                        fresh.push(id);
+                    }
+                }
+            }
+        } else {
+            for i in 0..self.arena.root_children.len() {
+                let id = self.arena.root_children[i];
+                self.activate(id, k, u);
+                if self.qualified[id as usize] {
                     fresh.push(id);
                 }
             }
@@ -392,6 +548,19 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
             return true;
         }
         self.cascade(&mut fresh, k, u, guard) && self.apply_frontier_delta(&fresh, &[], u, guard)
+    }
+
+    /// Clears the run state for a fresh build. The arena is kept: the
+    /// follow-up [`UpperEngine::build`] re-activates the stored structure
+    /// with prefix recounts instead of re-evaluating it.
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.counts.resize(self.arena.nodes.len(), NOT_LIVE);
+        self.open.clear();
+        self.open.resize(self.arena.nodes.len(), false);
+        self.qualified.clear();
+        self.qualified.resize(self.arena.nodes.len(), false);
+        self.maximal.clear();
     }
 
     /// Incremental step `k−1 → k` with an unchanged bound: walk the new
@@ -411,11 +580,11 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
     }
 
     /// Step across a bound change `U_{k-1} ≠ U_k`: bump counts, then
-    /// reclassify the entire store in one pass (no fresh evaluations),
-    /// repair the closure where the qualifying set grew, and apply the
-    /// frontier delta with both gains and losses. Handles increasing *and*
-    /// decreasing bounds; frontier probes stay confined to the flipped
-    /// region, so even a bound that changes at every `k`
+    /// reclassify the entire live store in one pass (no fresh
+    /// evaluations), repair the closure where the qualifying set grew, and
+    /// apply the frontier delta with both gains and losses. Handles
+    /// increasing *and* decreasing bounds; frontier probes stay confined
+    /// to the flipped region, so even a bound that changes at every `k`
     /// ([`Bounds::LinearFraction`]) keeps the engine incremental.
     fn bound_step(&mut self, k: usize, u: usize, guard: &mut DeadlineGuard) -> bool {
         if guard.expired() {
@@ -425,22 +594,23 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
         self.reclassify_all(k, u, guard)
     }
 
-    /// Reclassifies every stored node under `(k, u)` after counts moved
-    /// in bulk (a bound step, or a checkpoint repair), repairs the
-    /// closure where the qualifying set grew, and applies the frontier
-    /// delta with both gains and losses.
+    /// Reclassifies every live node under `(k, u)` after counts moved in
+    /// bulk (a bound step, or a checkpoint repair), repairs the closure
+    /// where the qualifying set grew, and applies the frontier delta with
+    /// both gains and losses. Arena nodes that are not live this run are
+    /// skipped.
     fn reclassify_all(&mut self, k: usize, u: usize, guard: &mut DeadlineGuard) -> bool {
         let mut fresh = Vec::new();
         let mut lost = Vec::new();
-        for id in 0..u32::try_from(self.nodes.len()).expect("node ids fit u32") {
-            if self.nodes[id as usize].pruned {
+        for id in 0..u32::try_from(self.arena.nodes.len()).expect("node ids fit u32") {
+            let idx = id as usize;
+            if self.arena.pruned[idx] || self.counts[idx] == NOT_LIVE {
                 continue;
             }
             self.stats.nodes_touched += 1;
-            let nd = &mut self.nodes[id as usize];
-            let q = (nd.count as usize) > u;
-            if q != nd.qualified {
-                nd.qualified = q;
+            let q = (self.counts[idx] as usize) > u;
+            if q != self.qualified[idx] {
+                self.qualified[idx] = q;
                 if q {
                     fresh.push(id);
                 } else {
@@ -460,36 +630,41 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
     /// `t_pos` is any rank position whose index codes are the tuple's.
     fn walk_delta(&mut self, t_pos: usize, up: bool) {
         let m = self.space.n_attrs() as AttrId;
-        let mut stack: Vec<u32> = Vec::new();
+        let mut codes = std::mem::take(&mut self.scratch_codes);
+        codes.clear();
+        codes.extend((0..m).map(|a| self.index.code_at(t_pos, a)));
+        let mut stack = std::mem::take(&mut self.scratch_stack);
+        stack.clear();
         for a in 0..m {
-            let v = self.index.code_at(t_pos, a);
-            stack.push(
-                self.root_children[self.card_prefix[usize::from(a)] as usize + usize::from(v)],
-            );
+            let idx =
+                self.card_prefix[usize::from(a)] as usize + usize::from(codes[usize::from(a)]);
+            stack.push(self.arena.root_children[idx]);
         }
         while let Some(id) = stack.pop() {
-            if self.nodes[id as usize].pruned {
+            if self.arena.pruned[id as usize] {
                 continue; // counts of pruned nodes are never read
             }
             if up {
-                self.nodes[id as usize].count += 1;
+                self.counts[id as usize] += 1;
             } else {
-                self.nodes[id as usize].count -= 1;
+                self.counts[id as usize] -= 1;
             }
             self.stats.nodes_touched += 1;
-            if self.nodes[id as usize].expanded {
-                let start = self.nodes[id as usize]
+            if self.open[id as usize] {
+                let start = self.arena.nodes[id as usize]
                     .pattern
                     .max_attr()
                     .map_or(0, |a| a + 1);
                 let base = self.card_prefix[usize::from(start)];
                 for a in start..m {
-                    let v = self.index.code_at(t_pos, a);
-                    let idx = (self.card_prefix[usize::from(a)] - base) as usize + usize::from(v);
-                    stack.push(self.nodes[id as usize].children[idx]);
+                    let idx = (self.card_prefix[usize::from(a)] - base) as usize
+                        + usize::from(codes[usize::from(a)]);
+                    stack.push(self.arena.nodes[id as usize].children[idx]);
                 }
             }
         }
+        self.scratch_codes = codes;
+        self.scratch_stack = stack;
     }
 
     /// Repairs this state (positioned at `k`, bound `u = U_k`) after a
@@ -497,7 +672,7 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
     /// tuples, add the entering ones, then reclassify the whole store —
     /// the bound-step machinery, which already handles flips in both
     /// directions. Sound for reorders only: `s_D`, `n` and the pruned
-    /// flags are untouched (insertions void the checkpoint instead).
+    /// flags are untouched (insertions void the store instead).
     fn repair(
         &mut self,
         k: usize,
@@ -527,31 +702,35 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
         }
     }
 
-    /// Clones the complete search state into a resumable
-    /// [`UpperCheckpoint`] anchored at `k`.
+    /// Copies the run state into a resumable [`UpperCheckpoint`] anchored
+    /// at `k` — three flat-vector memcpys plus the frontier set; the
+    /// arena (patterns, pruned verdicts, tree structure) is **not**
+    /// cloned.
     fn to_checkpoint(&self, k: usize) -> UpperCheckpoint {
         UpperCheckpoint {
             k,
-            nodes: self.nodes.clone(),
-            root_children: self.root_children.clone(),
+            counts: self.counts.clone(),
+            open: self.open.clone(),
+            qualified: self.qualified.clone(),
             maximal: self.maximal.clone(),
         }
     }
 
-    /// Rebuilds an engine positioned at `cp.k` from a stored checkpoint;
-    /// the next [`UpperEngine::advance`] call must be for `cp.k + 1`.
-    fn from_checkpoint(
-        index: &'a I,
-        space: &'a PatternSpace,
-        tau_s: usize,
-        scope: OverRepScope,
-        cp: &UpperCheckpoint,
-    ) -> Self {
-        let mut engine = UpperEngine::new(index, space, tau_s, scope);
-        engine.nodes = cp.nodes.clone();
-        engine.root_children = cp.root_children.clone();
-        engine.maximal = cp.maximal.clone();
-        engine
+    /// Overwrites the run state from a stored checkpoint, positioning the
+    /// engine at `cp.k`; the next [`UpperEngine::advance`] call must be
+    /// for `cp.k + 1`. Nodes interned after the snapshot was taken
+    /// restore as not-live.
+    fn restore(&mut self, cp: &UpperCheckpoint) {
+        self.counts.clear();
+        self.counts.extend_from_slice(&cp.counts);
+        self.counts.resize(self.arena.nodes.len(), NOT_LIVE);
+        self.open.clear();
+        self.open.extend_from_slice(&cp.open);
+        self.open.resize(self.arena.nodes.len(), false);
+        self.qualified.clear();
+        self.qualified.extend_from_slice(&cp.qualified);
+        self.qualified.resize(self.arena.nodes.len(), false);
+        self.maximal = cp.maximal.clone();
     }
 
     /// The current result set for `k`, sorted canonically.
@@ -560,13 +739,14 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
             OverRepScope::MostSpecific => self
                 .maximal
                 .iter()
-                .map(|&id| self.nodes[id as usize].pattern.clone())
+                .map(|&id| self.arena.nodes[id as usize].pattern.clone())
                 .collect(),
             OverRepScope::MostGeneral => self
+                .arena
                 .root_children
                 .iter()
-                .filter(|&&id| self.nodes[id as usize].qualified)
-                .map(|&id| self.nodes[id as usize].pattern.clone())
+                .filter(|&&id| self.qualified[id as usize])
+                .map(|&id| self.arena.nodes[id as usize].pattern.clone())
                 .collect(),
         };
         patterns.sort_unstable();
@@ -645,29 +825,37 @@ impl<I: CountsProvider> Iterator for UpperStream<'_, I> {
     }
 }
 
-/// A resumable snapshot of the upper engine's complete search state —
-/// node store (with qualification flags under `(k, U_k)`) and maximal
-/// frontier — anchored at a specific `k`. Same validity contract as the
-/// lower engine's `LowerCheckpoint`: exact outside a reordered position
-/// span, void after an insertion.
+/// A resumable snapshot of the upper engine's **run state** — per-node
+/// counts, the open frontier, the qualification flags and the maximal
+/// frontier — anchored at a specific `k`. The node structure itself
+/// (patterns, pruned verdicts, tree shape) lives in the [`UpperArena`]
+/// shared by every snapshot, so taking one is a counts-plus-frontier
+/// memcpy, not a deep clone of the node store. Same validity contract as
+/// the lower engine's `LowerCheckpoint`: exact outside a reordered
+/// position span (and at every `k` no row's net movement crossed — the
+/// fact segmented replay exploits), void after an insertion.
 #[derive(Debug, Clone)]
 pub(crate) struct UpperCheckpoint {
     /// The `k` whose state this snapshot holds.
     pub(crate) k: usize,
-    nodes: Vec<Node>,
-    root_children: Vec<u32>,
+    counts: Vec<u32>,
+    open: Vec<bool>,
+    qualified: Vec<bool>,
     maximal: FxHashSet<u32>,
 }
 
 impl UpperCheckpoint {
-    /// Number of stored nodes (the checkpoint's memory footprint driver).
+    /// Number of node slots snapshotted (the checkpoint's memory
+    /// footprint driver — one `u32` + two `bool`s each, not a node
+    /// clone).
     pub(crate) fn stored_nodes(&self) -> usize {
-        self.nodes.len()
+        self.counts.len()
     }
 }
 
 /// Grid-snapshot maintenance for the upper store — the shared policy
-/// lives in [`crate::audit::maintain_grid_snapshot`].
+/// lives in [`crate::audit::maintain_grid_snapshot`]. Returns whether a
+/// snapshot was written (inserted or overwritten) at `k`.
 fn maybe_checkpoint<I: CountsProvider>(
     store: &mut Vec<UpperCheckpoint>,
     engine: &UpperEngine<'_, I>,
@@ -675,7 +863,7 @@ fn maybe_checkpoint<I: CountsProvider>(
     k_min: usize,
     cadence: usize,
     heal_cutoff: Option<usize>,
-) {
+) -> bool {
     crate::audit::maintain_grid_snapshot(
         store,
         k,
@@ -684,19 +872,31 @@ fn maybe_checkpoint<I: CountsProvider>(
         heal_cutoff,
         |cp| cp.k,
         || engine.to_checkpoint(k),
-    );
+    )
 }
 
-/// Checkpointed execution of the over-representation side over the `k`
-/// span `[span.0, span.1]` — the upper half of the monitor's delta
-/// re-audit. Seeks to the latest checkpoint at or below the span start,
-/// repairing it in place from the top-`k` set diff when the edit hull
-/// swallowed it, and replays forward (bound changes are store rescans,
-/// never rebuilds, so even per-`k`-changing [`Bounds::LinearFraction`]
-/// bounds replay incrementally). A pure reorder therefore costs **zero**
-/// from-scratch builds; only an empty store (initial audit, or after an
-/// insertion voided it) pays a build at `k_min`. Replayed grid `k`s
-/// rewrite their snapshots. Output-equivalent to [`upper_incremental`].
+/// Checkpointed execution of the over-representation side over the given
+/// `k` **segments** (sorted, disjoint) — the upper half of the monitor's
+/// delta re-audit.
+///
+/// For each segment the replay seeks to the latest stored checkpoint at
+/// or below the segment start (or keeps stepping from the previous
+/// segment's end when that is at least as cheap) and replays forward
+/// (bound changes are store rescans, never rebuilds, so even
+/// per-`k`-changing [`Bounds::LinearFraction`] bounds replay
+/// incrementally). When the edit hull swallowed a seek checkpoint
+/// (`cp.k > reorder.lo`), it is **repaired** in place from the top-`k`
+/// set diff rather than discarded — but only when that diff is non-empty:
+/// checkpoints in the gaps *between* segments are exact by construction
+/// (no row's net movement crossed their `k`), and checkpoints already
+/// healed by an earlier segment of this call hold the new state, so both
+/// are used as-is. A pure reorder therefore costs **zero** from-scratch
+/// builds; only an empty store (initial audit, or after an insertion
+/// voided it) pays a build at `k_min` — on the shared arena, so even cold
+/// builds after the first run on prefix recounts. Replayed grid `k`s
+/// rewrite their snapshots, keeping the whole store valid after every
+/// batch. Output-equivalent to [`upper_incremental`] on the replayed `k`
+/// values — asserted by the differential sweeps.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn upper_replay<I: CountsProvider>(
     index: &I,
@@ -704,63 +904,104 @@ pub(crate) fn upper_replay<I: CountsProvider>(
     cfg: &DetectConfig,
     upper: &Bounds,
     scope: OverRepScope,
-    span: (usize, usize),
+    spans: &[(usize, usize)],
     reorder: Option<(&crate::audit::ReorderSpec, &[rankfair_data::TupleId])>,
-    store: &mut Vec<UpperCheckpoint>,
+    store: &mut UpperStore,
     cadence: usize,
     counters: &mut ReplayCounters,
 ) -> (Vec<KResult>, SearchStats) {
-    let (k_lo, k_hi) = span;
-    debug_assert!(cfg.k_min <= k_lo && k_lo <= k_hi && k_hi <= cfg.k_max);
     debug_assert!(cadence >= 1);
+    debug_assert!(spans
+        .iter()
+        .all(|&(lo, hi)| cfg.k_min <= lo && lo <= hi && hi <= cfg.k_max));
+    debug_assert!(spans.windows(2).all(|w| w[0].1 < w[1].0));
+    // No deadline: monitors reject deadlines at construction, so a replay
+    // can never truncate mid-span.
     let mut guard = DeadlineGuard::new(None);
-    let mut per_k = Vec::with_capacity(k_hi - k_lo + 1);
-    let heal_cutoff = reorder.is_some().then_some(k_lo + cadence);
-    let seek = store.iter().rposition(|cp| cp.k <= k_lo);
-    let (mut engine, mut k_cur) = match seek {
-        Some(i) => {
-            counters.seeks += 1;
-            let cp_k = store[i].k;
-            let mut engine =
-                UpperEngine::from_checkpoint(index, space, cfg.tau_s, scope, &store[i]);
-            if let Some((spec, new_order)) = reorder {
-                if cp_k > spec.lo {
-                    let (entering, leaving) =
-                        crate::audit::top_k_diff(cp_k, spec.lo, &spec.old_order, new_order);
-                    engine.repair(cp_k, upper.at(cp_k), &entering, &leaving, &mut guard);
-                    counters.repairs += 1;
-                    store[i] = engine.to_checkpoint(cp_k);
+    let mut per_k = Vec::with_capacity(spans.iter().map(|&(lo, hi)| hi - lo + 1).sum());
+    counters.segments += spans.len() as u64;
+    let mut engine = UpperEngine::with_arena(
+        index,
+        space,
+        cfg.tau_s,
+        scope,
+        std::mem::take(&mut store.arena),
+    );
+    // Grid ks whose snapshot was rewritten by this call: those hold the
+    // *new* state, so a later segment seeking to one must not repair it.
+    let mut healed: FxHashSet<usize> = FxHashSet::default();
+    let mut positioned: Option<usize> = None;
+    for &(k_lo, k_hi) in spans {
+        // Reorder replays re-clone at most the grid snapshots nearest each
+        // segment start; see `maybe_checkpoint`.
+        let heal_cutoff = reorder.is_some().then_some(k_lo + cadence);
+        let seek = store.snaps.iter().rposition(|cp| cp.k <= k_lo);
+        let mut k_cur = match (positioned, seek) {
+            // Stepping on from the previous segment's end is at least as
+            // cheap as restoring a snapshot at or below it.
+            (Some(p), seek) if p <= k_lo && seek.is_none_or(|i| store.snaps[i].k <= p) => p,
+            (_, Some(i)) => {
+                counters.seeks += 1;
+                let cp_k = store.snaps[i].k;
+                engine.restore(&store.snaps[i]);
+                if let Some((spec, new_order)) = reorder {
+                    if cp_k > spec.lo && !healed.contains(&cp_k) {
+                        let (entering, leaving) =
+                            crate::audit::top_k_diff(cp_k, spec.lo, &spec.old_order, new_order);
+                        if !(entering.is_empty() && leaving.is_empty()) {
+                            engine.repair(cp_k, upper.at(cp_k), &entering, &leaving, &mut guard);
+                            counters.repairs += 1;
+                            store.snaps[i] = engine.to_checkpoint(cp_k);
+                            healed.insert(cp_k);
+                        }
+                    }
                 }
+                cp_k
             }
-            if cp_k >= k_lo {
-                per_k.push(engine.snapshot(cp_k));
-            }
-            (engine, cp_k)
-        }
-        None => {
-            counters.cold_builds += 1;
-            let mut engine = UpperEngine::new(index, space, cfg.tau_s, scope);
-            engine.build(cfg.k_min, upper.at(cfg.k_min), &mut guard);
-            if cfg.k_min >= k_lo {
-                per_k.push(engine.snapshot(cfg.k_min));
-            } else {
+            _ => {
+                counters.cold_builds += 1;
                 counters.replayed_steps += 1;
+                engine.reset();
+                engine.build(cfg.k_min, upper.at(cfg.k_min), &mut guard);
+                if maybe_checkpoint(
+                    &mut store.snaps,
+                    &engine,
+                    cfg.k_min,
+                    cfg.k_min,
+                    cadence,
+                    None,
+                ) {
+                    healed.insert(cfg.k_min);
+                }
+                cfg.k_min
             }
-            maybe_checkpoint(store, &engine, cfg.k_min, cfg.k_min, cadence, None);
-            (engine, cfg.k_min)
-        }
-    };
-    while k_cur < k_hi {
-        k_cur += 1;
-        engine.advance(k_cur, upper, &mut guard);
+        };
         if k_cur >= k_lo {
             per_k.push(engine.snapshot(k_cur));
-        } else {
-            counters.replayed_steps += 1;
         }
-        maybe_checkpoint(store, &engine, k_cur, cfg.k_min, cadence, heal_cutoff);
+        while k_cur < k_hi {
+            k_cur += 1;
+            engine.advance(k_cur, upper, &mut guard);
+            counters.replayed_steps += 1;
+            if k_cur >= k_lo {
+                per_k.push(engine.snapshot(k_cur));
+            }
+            if maybe_checkpoint(
+                &mut store.snaps,
+                &engine,
+                k_cur,
+                cfg.k_min,
+                cadence,
+                heal_cutoff,
+            ) {
+                healed.insert(k_cur);
+            }
+        }
+        positioned = Some(k_cur);
     }
-    let mut stats = engine.stats;
+    let (arena, mut stats, prefix_recounts) = engine.into_parts();
+    store.arena = arena;
+    counters.prefix_recounts += prefix_recounts;
     stats.elapsed = guard.elapsed();
     (per_k, stats)
 }
@@ -873,7 +1114,7 @@ mod tests {
             for scope in [OverRepScope::MostSpecific, OverRepScope::MostGeneral] {
                 let (want, _) = upper_incremental(&index, &space, &cfg, &upper, scope);
                 for cadence in [1usize, 4, 8] {
-                    let mut store = Vec::new();
+                    let mut store = UpperStore::default();
                     let mut counters = ReplayCounters::default();
                     let (full, _) = upper_replay(
                         &index,
@@ -881,7 +1122,7 @@ mod tests {
                         &cfg,
                         &upper,
                         scope,
-                        (2, 16),
+                        &[(2, 16)],
                         None,
                         &mut store,
                         cadence,
@@ -889,7 +1130,7 @@ mod tests {
                     );
                     assert_eq!(full, want, "{upper:?} {scope:?} cadence {cadence}");
                     assert_eq!(counters.cold_builds, 1);
-                    assert!(store.windows(2).all(|w| w[0].k < w[1].k));
+                    assert!(store.snaps.windows(2).all(|w| w[0].k < w[1].k));
                     let mut counters = ReplayCounters::default();
                     let (sub, _) = upper_replay(
                         &index,
@@ -897,7 +1138,7 @@ mod tests {
                         &cfg,
                         &upper,
                         scope,
-                        (10, 14),
+                        &[(10, 14)],
                         None,
                         &mut store,
                         cadence,
@@ -911,6 +1152,60 @@ mod tests {
                     assert_eq!(counters.seeks, 1);
                     assert_eq!(counters.cold_builds, 0);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_replay_segmented_spans_match_batch() {
+        let (space, index) = fig1();
+        let cfg = DetectConfig::new(2, 2, 16);
+        let upper = Bounds::LinearFraction(0.4);
+        for scope in [OverRepScope::MostSpecific, OverRepScope::MostGeneral] {
+            let (want, _) = upper_incremental(&index, &space, &cfg, &upper, scope);
+            for cadence in [1usize, 3, 8] {
+                let mut store = UpperStore::default();
+                let mut counters = ReplayCounters::default();
+                let (full, _) = upper_replay(
+                    &index,
+                    &space,
+                    &cfg,
+                    &upper,
+                    scope,
+                    &[(2, 16)],
+                    None,
+                    &mut store,
+                    cadence,
+                    &mut counters,
+                );
+                assert_eq!(full, want);
+                // Two disjoint segments of the same range replay only the
+                // four spanned ks (plus catch-up), and match the batch run
+                // value-for-value.
+                let mut counters = ReplayCounters::default();
+                let (got, _) = upper_replay(
+                    &index,
+                    &space,
+                    &cfg,
+                    &upper,
+                    scope,
+                    &[(4, 5), (12, 13)],
+                    None,
+                    &mut store,
+                    cadence,
+                    &mut counters,
+                );
+                let got_ks: Vec<usize> = got.iter().map(|r| r.k).collect();
+                assert_eq!(got_ks, vec![4, 5, 12, 13], "{scope:?} cadence {cadence}");
+                assert_eq!(got[..2], want[2..=3], "{scope:?} cadence {cadence}");
+                assert_eq!(got[2..4], want[10..=11], "{scope:?} cadence {cadence}");
+                assert_eq!(counters.segments, 2);
+                assert_eq!(counters.cold_builds, 0);
+                assert!(
+                    (1..=2).contains(&counters.seeks),
+                    "{scope:?} cadence {cadence}: seeks {}",
+                    counters.seeks
+                );
             }
         }
     }

@@ -150,6 +150,48 @@ where
     (full, prefix)
 }
 
+/// Computes `|AND maps ∩ [0, k)|` alone — the prefix half of
+/// [`intersect_counts_iter`] — walking **only** the blocks that overlap
+/// the first `k` positions instead of the whole universe.
+///
+/// This is the engine's prefix-only recount: when a stored node is
+/// re-activated its `s_D` is already known, so only the top-`k` term of
+/// the pair is needed, and for `k ≪ n` the truncated scan touches a
+/// `k/n` fraction of the blocks the fused pass would.
+///
+/// With an empty `maps` iterator the AND is the universe: returns
+/// `min(k, universe_len)`.
+pub fn intersect_prefix_iter<'a, I>(maps: I, k: usize, universe_len: usize) -> usize
+where
+    I: Iterator<Item = &'a Bitmap> + Clone,
+{
+    let mut probe = maps.clone();
+    let Some(first) = probe.next() else {
+        return k.min(universe_len);
+    };
+    let len = first.len;
+    debug_assert!(maps.clone().all(|m| m.len == len));
+    let k = k.min(len);
+    let k_full = k / BITS;
+    let k_rem = k % BITS;
+    let mut prefix = 0usize;
+    for b in 0..k_full {
+        let mut acc = first.blocks[b];
+        for m in maps.clone().skip(1) {
+            acc &= m.blocks()[b];
+        }
+        prefix += acc.count_ones() as usize;
+    }
+    if k_rem > 0 {
+        let mut acc = first.blocks[k_full];
+        for m in maps.clone().skip(1) {
+            acc &= m.blocks()[k_full];
+        }
+        prefix += (acc & ((1u64 << k_rem) - 1)).count_ones() as usize;
+    }
+    prefix
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +291,38 @@ mod tests {
             let naive_full = (0..n).filter(|&i| sets.iter().all(|s| s[i])).count();
             let naive_pre = (0..k).filter(|&i| sets.iter().all(|s| s[i])).count();
             assert_eq!(intersect_counts(&refs, k, n), (naive_full, naive_pre));
+        }
+    }
+
+    #[test]
+    fn prefix_iter_matches_fused_pair() {
+        let a = from_bits(&[1, 1, 0, 1, 1, 0, 1]);
+        let b = from_bits(&[1, 0, 0, 1, 0, 0, 1]);
+        for k in 0..=7 {
+            let (_, pre) = intersect_counts(&[&a, &b], k, 7);
+            assert_eq!(intersect_prefix_iter([&a, &b].into_iter(), k, 7), pre);
+        }
+        // Empty maps: the universe, clamped.
+        assert_eq!(intersect_prefix_iter(std::iter::empty(), 3, 10), 3);
+        assert_eq!(intersect_prefix_iter(std::iter::empty(), 30, 10), 10);
+        // Multi-block universes, k on and around block boundaries.
+        let mut big_a = Bitmap::new(300);
+        let mut big_b = Bitmap::new(300);
+        for i in 0..300 {
+            if i % 3 == 0 {
+                big_a.set(i);
+            }
+            if i % 2 == 0 {
+                big_b.set(i);
+            }
+        }
+        for k in [0, 1, 63, 64, 65, 128, 200, 299, 300, 999] {
+            let (_, pre) = intersect_counts(&[&big_a, &big_b], k, 300);
+            assert_eq!(
+                intersect_prefix_iter([&big_a, &big_b].into_iter(), k, 300),
+                pre,
+                "k={k}"
+            );
         }
     }
 

@@ -55,7 +55,7 @@ mod dataset;
 mod error;
 pub mod examples;
 
-pub use bitmap::{intersect_counts, intersect_counts_iter, Bitmap};
+pub use bitmap::{intersect_counts, intersect_counts_iter, intersect_prefix_iter, Bitmap};
 pub use column::{Column, ColumnData};
 pub use dataset::{Dataset, DatasetBuilder, RowValue};
 pub use error::DataError;

@@ -282,6 +282,12 @@ pub struct MonitorSpec {
     pub config: DetectConfig,
     /// Optimized or baseline engine.
     pub engine: Engine,
+    /// Checkpoint cadence `C` for the optimized engines' persistent
+    /// state (positive; ignored by baseline monitors, which keep none).
+    /// The wire layer defaults it to
+    /// [`MonitorAudit::DEFAULT_CHECKPOINT_CADENCE`] and echoes the
+    /// effective value as `checkpoints.cadence` in `snapshot`.
+    pub checkpoint_every: usize,
 }
 
 /// A point-in-time view of a monitor, rendered for the wire.
@@ -528,8 +534,9 @@ impl AuditService {
                 .ok_or_else(|| ServiceError::UnknownDataset(spec.dataset.clone()))?;
             Arc::clone(&entry.dataset)
         };
-        let mut builder =
-            MonitorAudit::builder((*dataset).clone(), &spec.rank_by).ascending(spec.ascending);
+        let mut builder = MonitorAudit::builder((*dataset).clone(), &spec.rank_by)
+            .ascending(spec.ascending)
+            .checkpoint_every(spec.checkpoint_every);
         if let Some(attrs) = &spec.attributes {
             builder = builder.attributes(attrs.iter().cloned());
         }
@@ -1070,6 +1077,7 @@ mod tests {
             task: AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
             config: DetectConfig::new(2, 2, 16),
             engine: Engine::Optimized,
+            checkpoint_every: 4,
         };
         let view = service.register_monitor("m1", &spec).unwrap();
         assert_eq!(view.rows, 16);
@@ -1148,6 +1156,7 @@ mod tests {
             task: AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(2))),
             config: DetectConfig::new(2, 2, 16),
             engine: Engine::Optimized,
+            checkpoint_every: rankfair_core::MonitorAudit::DEFAULT_CHECKPOINT_CADENCE,
         };
         service.register_monitor("m1", &spec).unwrap();
         service

@@ -748,6 +748,115 @@ mod tests {
     }
 
     #[test]
+    fn lane_gc_spares_lanes_with_pending_claims() {
+        // Regression guard for the idle-lane sweep in `submit`: it prunes
+        // by Arc strong count once the map passes LANE_GC_THRESHOLD. A
+        // lane whose jobs are merely pending — executing, popped and
+        // waiting on a claim, or still queued — must survive the sweep;
+        // if it were dropped, a later claim on the same name would get a
+        // fresh lane with zeroed tickets and jump ahead of the pending
+        // exclusives, silently breaking per-resource serialization.
+        let (service, exec) = harness();
+        let (keep_tx, keep_rx) = mpsc::channel();
+        let (flood_tx, flood_rx) = mpsc::channel();
+        let dead = Arc::new(AtomicBool::new(false));
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::default();
+        std::thread::scope(|scope| {
+            exec.start_workers(scope, &service);
+            let (release_tx, release_rx) = mpsc::channel::<()>();
+            let keep = [("mon:keep".to_string(), Mode::Exclusive)];
+            // A occupies a worker inside the lane until released; B and C
+            // sit behind it with undischarged exclusive claims.
+            {
+                let log = Arc::clone(&log);
+                exec.submit(
+                    0,
+                    keep_tx.clone(),
+                    Arc::clone(&dead),
+                    &keep,
+                    call(move || {
+                        release_rx
+                            .recv_timeout(TICK)
+                            .expect("released after the flood");
+                        log.lock().expect("event log").push("a");
+                        "a".to_string()
+                    }),
+                );
+            }
+            for (i, name) in [(1usize, "b"), (2, "c")] {
+                let log = Arc::clone(&log);
+                exec.submit(
+                    i,
+                    keep_tx.clone(),
+                    Arc::clone(&dead),
+                    &keep,
+                    call(move || {
+                        log.lock().expect("event log").push(name);
+                        name.to_string()
+                    }),
+                );
+            }
+            // Flood one-shot lanes past the GC threshold while every
+            // claim on the keep lane is still pending, so the sweep runs
+            // mid-flood with the keep lane at risk.
+            let flood = LANE_GC_THRESHOLD + 104;
+            for i in 0..flood {
+                exec.submit(
+                    3 + i,
+                    flood_tx.clone(),
+                    Arc::clone(&dead),
+                    &[(format!("ds:f{i}"), Mode::Exclusive)],
+                    Work::Ready(String::new(), true),
+                );
+            }
+            for _ in 0..flood {
+                flood_rx.recv_timeout(TICK).expect("flood job completes");
+            }
+            {
+                let d = exec.dispatch.lock().expect("dispatch lock");
+                assert!(
+                    d.lanes.len() < LANE_GC_THRESHOLD,
+                    "the sweep must have pruned idle lanes ({} live)",
+                    d.lanes.len()
+                );
+                assert!(
+                    d.lanes.contains_key("mon:keep"),
+                    "lane with pending claims was garbage-collected"
+                );
+            }
+            // D joins the lane after the sweep: it must order behind the
+            // surviving lane state, not start over on a fresh lane.
+            {
+                let log = Arc::clone(&log);
+                exec.submit(
+                    3 + flood,
+                    keep_tx.clone(),
+                    Arc::clone(&dead),
+                    &keep,
+                    call(move || {
+                        log.lock().expect("event log").push("d");
+                        "d".to_string()
+                    }),
+                );
+            }
+            assert_eq!(
+                keep_rx.recv_timeout(Duration::from_millis(200)),
+                Err(RecvTimeoutError::Timeout),
+                "nothing on the lane may run before A is released"
+            );
+            release_tx.send(()).expect("A is waiting");
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                let (_, line, _) = keep_rx.recv_timeout(TICK).expect("lane drains");
+                got.push(line);
+            }
+            assert_eq!(got, ["a", "b", "c", "d"], "lane serialization broken");
+            assert_eq!(log.lock().expect("event log").clone(), ["a", "b", "c", "d"]);
+            exec.close();
+        });
+    }
+
+    #[test]
     fn dead_session_skips_work_but_completes_lanes() {
         // A dead session's queued jobs must still tick their lanes, or a
         // later job on the lane (from a live session) would wait forever.

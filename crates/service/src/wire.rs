@@ -45,7 +45,7 @@
 //! ```json
 //! {"op": "register_monitor", "name": "m", "dataset": "students",
 //!  "rank_by": "G3", "task": {"type": "combined", "lower": 2, "upper": 6},
-//!  "config": {"tau": 20, "kmin": 5, "kmax": 40}}
+//!  "config": {"tau": 20, "kmin": 5, "kmax": 40}, "checkpoint_every": 4}
 //! {"op": "update", "monitor": "m", "edits": [
 //!   {"edit": "score", "row": 17, "score": 14.5},
 //!   {"edit": "insert", "cells": {"school": "GP", "sex": "F", "G3": 12}}]}
@@ -273,6 +273,7 @@ fn parse_request(v: &Value) -> Result<Request, ServiceError> {
                     "task",
                     "config",
                     "engine",
+                    "checkpoint_every",
                 ],
                 "register_monitor",
             )?;
@@ -292,6 +293,13 @@ fn parse_request(v: &Value) -> Result<Request, ServiceError> {
                     v.get("config").ok_or_else(|| bad("`config` is required"))?,
                 )?,
                 engine: engine_from_json(v)?,
+                checkpoint_every: match v.get("checkpoint_every") {
+                    None => rankfair_core::MonitorAudit::DEFAULT_CHECKPOINT_CADENCE,
+                    Some(c) => c
+                        .as_usize()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| bad("`checkpoint_every` must be a positive integer"))?,
+                },
             };
             Ok(Request::RegisterMonitor { id, name, spec })
         }
@@ -908,6 +916,39 @@ mod tests {
             r#"{"op": "register", "name": "x", "csv": "y", "shards": "four"}"#,
         ] {
             assert!(parse_line(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn register_monitor_checkpoint_every_parses_strictly() {
+        let base = concat!(
+            r#"{"op": "register_monitor", "name": "m", "dataset": "d", "rank_by": "s", "#,
+            r#""task": {"type": "over", "upper": 2}, "config": {"tau": 1, "kmin": 1, "kmax": 2}"#,
+        );
+        let r = parse_line(&format!(r#"{base}, "checkpoint_every": 3}}"#)).unwrap();
+        let Request::RegisterMonitor { spec, .. } = r else {
+            panic!("expected register_monitor request");
+        };
+        assert_eq!(spec.checkpoint_every, 3);
+        // Absent → the monitor's default cadence.
+        let r = parse_line(&format!("{base}}}")).unwrap();
+        let Request::RegisterMonitor { spec, .. } = r else {
+            panic!("expected register_monitor request");
+        };
+        assert_eq!(
+            spec.checkpoint_every,
+            rankfair_core::MonitorAudit::DEFAULT_CHECKPOINT_CADENCE
+        );
+        // Zero, negative, fractional and non-numeric cadences are
+        // rejected in-band, not clamped.
+        for bad in [
+            r#""checkpoint_every": 0"#,
+            r#""checkpoint_every": -3"#,
+            r#""checkpoint_every": 2.5"#,
+            r#""checkpoint_every": "eight""#,
+        ] {
+            let line = format!("{base}, {bad}}}");
+            assert!(parse_line(&line).is_err(), "{line}");
         }
     }
 

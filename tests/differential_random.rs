@@ -360,6 +360,138 @@ fn checkpointed_delta_reaudits_match_fresh_audits_at_every_cadence() {
     }
 }
 
+/// Segmented replay (the default) versus full-hull replay: at every
+/// cadence `C ∈ {1, 2, 3, 5, 9}` and on both engine sides (lower-only,
+/// upper-only, and combined tasks), a segmented monitor and a hull
+/// monitor fed identical batches must both equal a fresh `Audit::run`
+/// after every batch — and on a **sparse** batch (two tight adjacent
+/// swaps 55 rank positions apart inside a full-width `k` range) the
+/// segmented monitor must report exactly the two point segments and
+/// replay strictly fewer steps than the hull monitor.
+#[test]
+fn segmented_replay_matches_hull_replay_and_replays_fewer_steps() {
+    let rows = 72usize;
+    let tasks = [
+        // Lower engine only.
+        AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::LinearFraction(0.3))),
+        // Upper engine only.
+        AuditTask::OverRep {
+            upper: Bounds::LinearFraction(0.4),
+            scope: OverRepScope::MostSpecific,
+        },
+        // Both engines at once.
+        AuditTask::Combined {
+            lower: Bounds::LinearFraction(0.25),
+            upper: Bounds::LinearFraction(0.5),
+        },
+    ];
+    // Move the occupant of rank `pos` exactly one position down: score it
+    // strictly between the current occupants of `pos + 1` and `pos + 2`.
+    let swap_at = |m: &MonitorAudit, pos: usize| {
+        let col = m.dataset().column_by_name("score").unwrap();
+        let below = col.value(m.ranking().at(pos + 1) as usize);
+        let floor = col.value(m.ranking().at(pos + 2) as usize);
+        RankingEdit::ScoreUpdate {
+            row: m.ranking().at(pos),
+            score: (below + floor) / 2.0,
+        }
+    };
+    for cadence in [1usize, 2, 3, 5, 9] {
+        for (t, task) in tasks.iter().enumerate() {
+            let mut ds = random_dataset(
+                (cadence * 31 + t) as u64,
+                RandomSpec {
+                    rows,
+                    attrs: 3,
+                    max_card: 3,
+                },
+            );
+            // Distinct descending scores: row `i` starts at position `i`,
+            // so the batches below can target exact rank positions.
+            let scores: Vec<f64> = (0..rows).map(|i| (rows - i) as f64).collect();
+            ds.push_column(rankfair::data::Column::numeric("score", scores))
+                .unwrap();
+            let cfg = DetectConfig::new(2, 1, rows);
+            let build = |segmented: bool| {
+                MonitorAudit::builder(ds.clone(), "score")
+                    .checkpoint_every(cadence)
+                    .segmented_replay(segmented)
+                    .build(cfg.clone(), task.clone(), Engine::Optimized)
+                    .unwrap()
+            };
+            let mut seg = build(true);
+            let mut hull = build(false);
+            let mut prev_seg = seg.checkpoint_stats().unwrap().replayed_steps;
+            let mut prev_hull = hull.checkpoint_stats().unwrap().replayed_steps;
+            for batch_no in 0..3 {
+                let batch: Vec<RankingEdit> = match batch_no {
+                    // Sparse: two adjacent-swap clusters 55 positions apart.
+                    0 => vec![swap_at(&seg, 5), swap_at(&seg, 60)],
+                    // One deep swap: both modes replay the same point.
+                    1 => vec![swap_at(&seg, 40)],
+                    // Top strike: the hull swallows the whole grid and the
+                    // seek checkpoints need in-place repair in both modes.
+                    _ => vec![RankingEdit::ScoreUpdate {
+                        row: seg.ranking().at(0),
+                        score: -1.0,
+                    }],
+                };
+                let seg_report = seg.apply(&batch).unwrap();
+                let hull_report = hull.apply(&batch).unwrap();
+                assert_eq!(
+                    seg_report.changed, hull_report.changed,
+                    "cadence {cadence} task {t} batch {batch_no}: changed-k sets differ"
+                );
+                let fresh = Audit::builder(Arc::new(seg.dataset().clone()))
+                    .ranking(seg.ranking())
+                    .build()
+                    .unwrap()
+                    .run(&cfg, task, Engine::Optimized)
+                    .unwrap();
+                assert_eq!(
+                    seg.results(),
+                    &fresh.per_k[..],
+                    "cadence {cadence} task {t} batch {batch_no}: segmented diverged"
+                );
+                assert_eq!(
+                    hull.results(),
+                    &fresh.per_k[..],
+                    "cadence {cadence} task {t} batch {batch_no}: hull diverged"
+                );
+                let seg_steps = seg.checkpoint_stats().unwrap().replayed_steps;
+                let hull_steps = hull.checkpoint_stats().unwrap().replayed_steps;
+                if batch_no == 0 {
+                    assert_eq!(
+                        seg_report.segments,
+                        vec![(6, 6), (61, 61)],
+                        "cadence {cadence} task {t}: sparse batch segments"
+                    );
+                    assert_eq!(
+                        hull_report.segments,
+                        vec![(6, 61)],
+                        "cadence {cadence} task {t}: hull batch segments"
+                    );
+                    assert_eq!(seg_report.recomputed, hull_report.recomputed);
+                    assert!(
+                        seg_steps - prev_seg < hull_steps - prev_hull,
+                        "cadence {cadence} task {t}: segmented replayed {} steps, hull {}",
+                        seg_steps - prev_seg,
+                        hull_steps - prev_hull
+                    );
+                }
+                prev_seg = seg_steps;
+                prev_hull = hull_steps;
+            }
+            let seg_stats = seg.checkpoint_stats().unwrap();
+            let hull_stats = hull.checkpoint_stats().unwrap();
+            assert!(
+                seg_stats.segments > hull_stats.segments,
+                "cadence {cadence} task {t}: {seg_stats:?} vs {hull_stats:?}"
+            );
+        }
+    }
+}
+
 /// ≥ 100 seeded edit sequences: after **every** edit, the monitor's
 /// cached results must equal a fresh `Audit::run` over the edited
 /// dataset and ranking — for score updates (including ones creating and

@@ -117,6 +117,7 @@ fn monitor_updates_are_a_registration_for_cache_purposes() {
                 task: AuditTask::UnderRep(BiasMeasure::GlobalLower(Bounds::constant(3))),
                 config: DetectConfig::new(10, 5, 20),
                 engine: Engine::Optimized,
+                checkpoint_every: 8,
             },
         )
         .unwrap();
