@@ -599,6 +599,7 @@ impl Audit {
                 .collect();
             handles
                 .into_iter()
+                // lint:allow(panic-reachability) -- join() only errs if the worker panicked; re-raising that panic is propagation, not a new panic path
                 .map(|h| h.join().expect("audit worker"))
                 .collect()
         });

@@ -149,9 +149,10 @@ pub fn summarize_audit<I: CountsProvider>(
             };
             let sort = |groups: &mut Vec<BiasedGroup>| {
                 groups.sort_by(|a, b| {
+                    // total_cmp: a non-finite gap sorts deterministically
+                    // instead of panicking report generation.
                     b.bias_gap
-                        .partial_cmp(&a.bias_gap)
-                        .expect("gaps are finite")
+                        .total_cmp(&a.bias_gap)
                         .then(b.size_in_data.cmp(&a.size_in_data))
                         .then(a.display.cmp(&b.display))
                 });

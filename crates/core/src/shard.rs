@@ -106,6 +106,7 @@ impl ShardedIndex {
                     });
                 }
             });
+            // lint:allow(panic-reachability) -- thread::scope joins every worker before returning, so each slot was written; a panicked worker re-raises inside scope() first
             slots.into_iter().map(|s| s.expect("shard built")).collect()
         } else {
             spans

@@ -453,6 +453,7 @@ impl<'a, I: CountsProvider> UpperEngine<'a, I> {
                         .map(|(_, &t)| t),
                 );
                 self.lookup(&sub)
+                    // lint:allow(panic-reachability) -- closure invariant: every one-term subset of a stored pattern is itself stored; the expect is the loud invariant check
                     .expect("one-term subsets of a qualifying pattern are stored")
             })
             .collect()

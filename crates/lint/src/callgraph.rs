@@ -1,0 +1,661 @@
+//! Workspace-wide call graph over the items from [`crate::parse`].
+//!
+//! Name resolution is a heuristic, not rustc: a call resolves by its
+//! bare name, scoped by what the workspace actually defines —
+//!
+//! * `self.name(..)` inside `impl T` prefers `T`'s own method, so a
+//!   method name shadowed across types stays with its receiver;
+//! * `Qual::name(..)` resolves through the qualifier: an impl type
+//!   first, then a module, then a crate; a qualifier the workspace
+//!   does not define (`u32::try_from`, `std::thread::scope`) resolves
+//!   to nothing;
+//! * a bare `name(..)` prefers the same module, then the same crate,
+//!   then any crate visible through the manifest dependency graph;
+//! * `.name(..)` with an unknown receiver resolves to **every** visible
+//!   method of that name — over-approximation is the conservative
+//!   direction for reachability;
+//! * macros (`name!(..)`) and keywords are never calls.
+//!
+//! Calls that resolve to nothing are kept as *unresolved* edges: the
+//! interprocedural rules treat them conservatively (reachability stops,
+//! and the per-file intraprocedural rules remain the fallback there).
+//! Test functions are only callable from test functions, so fixtures
+//! cannot launder a serving path.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::parse::{parse_file, FnDef};
+
+/// One lexed + parsed source file in the workspace.
+pub struct Unit {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// Crate directory name (`core`, `service`, … or `root`).
+    pub crate_name: String,
+    /// `true` for files under a `tests/` directory (integration tests):
+    /// only the concurrency rules look at them, and their functions are
+    /// never serving entry points.
+    pub test_dir: bool,
+    /// The token stream.
+    pub lexed: Lexed,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Bare callee name.
+    pub name: String,
+    /// Last path segment before `::`, if the call was qualified.
+    pub qualifier: Option<String>,
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// 1-based line of the callee name.
+    pub line: u32,
+    /// `.name(..)` method-call syntax?
+    pub method: bool,
+    /// Receiver is literally `self`?
+    pub recv_self: bool,
+    /// Resolved target fn indices (empty = unresolved/external).
+    pub targets: Vec<usize>,
+}
+
+/// The workspace view the interprocedural rules run on.
+pub struct Workspace {
+    /// All files, in deterministic (sorted-path) order.
+    pub units: Vec<Unit>,
+    /// Every function definition; `FnDef::unit` indexes [`Workspace::units`].
+    pub fns: Vec<FnDef>,
+    /// Per function: its call sites with resolved targets.
+    pub calls: Vec<Vec<Call>>,
+    /// Per function: body spans of directly nested fn definitions
+    /// (token ranges to skip when scanning the parent's body).
+    pub nested: Vec<Vec<(usize, usize)>>,
+}
+
+/// Method names the std prelude owns for practical purposes. A
+/// `.name(..)` call on an *unknown* receiver with one of these names is
+/// left unresolved rather than over-approximated onto every same-named
+/// workspace method — `cv.wait(st)` must not resolve to a lane-claim
+/// `wait`, nor `map.get(k)` to a store accessor.
+const AMBIENT_METHODS: &[&str] = &[
+    "as_bytes",
+    "as_str",
+    "clear",
+    "clone",
+    "cmp",
+    "contains",
+    "contains_key",
+    "default",
+    "drain",
+    "ends_with",
+    "entry",
+    "eq",
+    "extend",
+    "flush",
+    "fmt",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "len",
+    "lock",
+    "map",
+    "new",
+    "next",
+    "notify_all",
+    "notify_one",
+    "parse",
+    "pop",
+    "push",
+    "read",
+    "recv",
+    "remove",
+    "replace",
+    "retain",
+    "send",
+    "sort",
+    "sort_by",
+    "spawn",
+    "split",
+    "starts_with",
+    "take",
+    "to_string",
+    "trim",
+    "wait",
+    "write",
+];
+
+const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// Builds the graph. `crate_deps` maps a crate to the crates it may
+/// call (its manifest `path` dependencies); a crate absent from the map
+/// — synthetic test fixtures — sees everything. Visibility is closed
+/// transitively, so re-exported items resolve across one hop.
+pub fn build(units: Vec<Unit>, crate_deps: &BTreeMap<String, Vec<String>>) -> Workspace {
+    let mut fns: Vec<FnDef> = Vec::new();
+    for (ui, unit) in units.iter().enumerate() {
+        let mut defs = parse_file(&unit.crate_name, &unit.lexed.toks);
+        for d in &mut defs {
+            d.unit = ui;
+        }
+        fns.extend(defs);
+    }
+
+    let mut nested: Vec<Vec<(usize, usize)>> = vec![Vec::new(); fns.len()];
+    for i in 0..fns.len() {
+        for j in 0..fns.len() {
+            if i != j && fns[i].unit == fns[j].unit && fns[i].contains(&fns[j]) {
+                nested[i].push((fns[j].sig_start, fns[j].body.1));
+            }
+        }
+    }
+
+    let visible = transitive_deps(crate_deps);
+    let index = NameIndex::build(&fns);
+    let in_test_dir: Vec<bool> = fns.iter().map(|f| units[f.unit].test_dir).collect();
+    let mut calls = Vec::with_capacity(fns.len());
+    for (fi, f) in fns.iter().enumerate() {
+        let toks = &units[f.unit].lexed.toks;
+        let mut sites = extract_calls(toks, f.body.0 + 1, f.body.1, &nested[fi]);
+        for c in &mut sites {
+            c.targets = index.resolve(c, fi, f, &fns, &in_test_dir, &visible);
+        }
+        calls.push(sites);
+    }
+
+    Workspace {
+        units,
+        fns,
+        calls,
+        nested,
+    }
+}
+
+/// Transitive closure of the manifest dependency edges, including the
+/// crate itself.
+fn transitive_deps(deps: &BTreeMap<String, Vec<String>>) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for name in deps.keys() {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        seen.insert(name.clone());
+        queue.push_back(name);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(next) = deps.get(cur) {
+                for d in next {
+                    if seen.insert(d.clone()) {
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+        out.insert(name.clone(), seen);
+    }
+    out
+}
+
+struct NameIndex {
+    /// Method name → fn indices (any impl/trait type).
+    methods: BTreeMap<String, Vec<usize>>,
+    /// `(type, method)` → fn indices.
+    typed: BTreeMap<(String, String), Vec<usize>>,
+    /// Free-fn name → fn indices.
+    free: BTreeMap<String, Vec<usize>>,
+    /// Module segments that exist anywhere in the workspace.
+    modules: BTreeSet<String>,
+}
+
+impl NameIndex {
+    fn build(fns: &[FnDef]) -> NameIndex {
+        let mut ix = NameIndex {
+            methods: BTreeMap::new(),
+            typed: BTreeMap::new(),
+            free: BTreeMap::new(),
+            modules: BTreeSet::new(),
+        };
+        for (i, f) in fns.iter().enumerate() {
+            match &f.impl_type {
+                Some(t) => {
+                    ix.methods.entry(f.name.clone()).or_default().push(i);
+                    ix.typed
+                        .entry((t.clone(), f.name.clone()))
+                        .or_default()
+                        .push(i);
+                }
+                None => ix.free.entry(f.name.clone()).or_default().push(i),
+            }
+            for m in &f.module {
+                ix.modules.insert(m.clone());
+            }
+        }
+        ix
+    }
+
+    fn resolve(
+        &self,
+        call: &Call,
+        caller_ix: usize,
+        caller: &FnDef,
+        fns: &[FnDef],
+        in_test_dir: &[bool],
+        visible: &BTreeMap<String, BTreeSet<String>>,
+    ) -> Vec<usize> {
+        let caller_is_test = caller.is_test || in_test_dir[caller_ix];
+        let keep = |ids: &[usize]| -> Vec<usize> {
+            ids.iter()
+                .copied()
+                .filter(|&t| {
+                    let tf = &fns[t];
+                    // Test fns are callable only from test code.
+                    if (tf.is_test || in_test_dir[t]) && !caller_is_test {
+                        return false;
+                    }
+                    match visible.get(crate_of_def(caller)) {
+                        Some(vis) => vis.contains(crate_of_def(tf)),
+                        None => true,
+                    }
+                })
+                .collect()
+        };
+
+        if call.method {
+            if call.recv_self {
+                if let Some(t) = &caller.impl_type {
+                    let own = self
+                        .typed
+                        .get(&(t.clone(), call.name.clone()))
+                        .map(|ids| keep(ids))
+                        .unwrap_or_default();
+                    if !own.is_empty() {
+                        return own;
+                    }
+                }
+            }
+            // Unknown receiver: every visible method of the name —
+            // unless the name collides with the std prelude vocabulary
+            // (`.get(..)`, `.wait(..)`, `.send(..)`, …), where the
+            // receiver is almost always a std type and resolving into a
+            // same-named workspace method would invent edges. Those
+            // stay unresolved (conservative).
+            if AMBIENT_METHODS.contains(&call.name.as_str()) {
+                return Vec::new();
+            }
+            return self
+                .methods
+                .get(&call.name)
+                .map(|ids| keep(ids))
+                .unwrap_or_default();
+        }
+
+        if let Some(q) = &call.qualifier {
+            let q = if q == "Self" {
+                match &caller.impl_type {
+                    Some(t) => t.clone(),
+                    None => return Vec::new(),
+                }
+            } else {
+                q.clone()
+            };
+            if let Some(ids) = self.typed.get(&(q.clone(), call.name.clone())) {
+                return keep(ids);
+            }
+            if self.modules.contains(&q) {
+                if let Some(ids) = self.free.get(&call.name) {
+                    let scoped: Vec<usize> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&t| fns[t].module.last() == Some(&q))
+                        .collect();
+                    return keep(&scoped);
+                }
+            }
+            // Crate-qualified (`rankfair_core::audit_fn(..)`).
+            let crate_dir = q.strip_prefix("rankfair_").unwrap_or(&q);
+            if let Some(ids) = self.free.get(&call.name) {
+                let scoped: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&t| crate_of_def(&fns[t]) == crate_dir)
+                    .collect();
+                if !scoped.is_empty() {
+                    return keep(&scoped);
+                }
+            }
+            return Vec::new(); // `u32::try_from`, `std::mem::take`, …
+        }
+
+        // Bare call: same module, then same crate, then anything visible.
+        let Some(ids) = self.free.get(&call.name) else {
+            return Vec::new();
+        };
+        let same_module: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&t| fns[t].unit == caller.unit && fns[t].module == caller.module)
+            .collect();
+        let same_module = keep(&same_module);
+        if !same_module.is_empty() {
+            return same_module;
+        }
+        let same_crate: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&t| crate_of_def(&fns[t]) == crate_of_def(caller))
+            .collect();
+        let same_crate = keep(&same_crate);
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        keep(ids)
+    }
+}
+
+fn crate_of_def(f: &FnDef) -> &str {
+    // The crate name is the first segment of the qualified name.
+    f.qual.split("::").next().unwrap_or("")
+}
+
+/// Scans a body token range for call sites, skipping nested fn items.
+fn extract_calls(toks: &[Tok], lo: usize, hi: usize, nested: &[(usize, usize)]) -> Vec<Call> {
+    let mut out = Vec::new();
+    let mut j = lo;
+    while j < hi {
+        if let Some(&(_, nend)) = nested.iter().find(|(ns, ne)| *ns <= j && j <= *ne) {
+            j = nend + 1;
+            continue;
+        }
+        let t = &toks[j];
+        if t.kind != TokKind::Ident
+            || KEYWORDS.contains(&t.text.as_str())
+            || !toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+        {
+            j += 1;
+            continue;
+        }
+        let method = j >= 1 && toks[j - 1].is_punct('.');
+        let recv_self = method && j >= 2 && toks[j - 2].is_ident("self");
+        let qualifier = if !method
+            && j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            Some(toks[j - 3].text.clone())
+        } else {
+            None
+        };
+        out.push(Call {
+            name: t.text.clone(),
+            qualifier,
+            tok: j,
+            line: t.line,
+            method,
+            recv_self,
+            targets: Vec::new(),
+        });
+        j += 1;
+    }
+    out
+}
+
+/// BFS over resolved edges from `seeds`. Returns, per fn, whether it is
+/// reachable and (for non-seeds) the `(caller fn, call line)` it was
+/// first reached through — enough to rebuild a witness chain.
+pub fn reachable(ws: &Workspace, seeds: &[usize]) -> (Vec<bool>, Vec<Option<(usize, u32)>>) {
+    let mut seen = vec![false; ws.fns.len()];
+    let mut parent: Vec<Option<(usize, u32)>> = vec![None; ws.fns.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &s in seeds {
+        if !seen[s] {
+            seen[s] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for call in &ws.calls[f] {
+            for &t in &call.targets {
+                if !seen[t] {
+                    seen[t] = true;
+                    parent[t] = Some((f, call.line));
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    (seen, parent)
+}
+
+/// A witness call chain `entry → … → target`, rendered with qualified
+/// names (truncated in the middle past five hops).
+pub fn chain(ws: &Workspace, parent: &[Option<(usize, u32)>], target: usize) -> String {
+    let mut hops = vec![target];
+    let mut cur = target;
+    while let Some((p, _)) = parent[cur] {
+        hops.push(p);
+        cur = p;
+        if hops.len() > 64 {
+            break; // defensive: parent chains from BFS are acyclic
+        }
+    }
+    hops.reverse();
+    let names: Vec<&str> = hops.iter().map(|&i| ws.fns[i].qual.as_str()).collect();
+    if names.len() <= 5 {
+        names.join(" → ")
+    } else {
+        format!(
+            "{} → {} → … → {} → {}",
+            names[0],
+            names[1],
+            names[names.len() - 2],
+            names[names.len() - 1]
+        )
+    }
+}
+
+/// Deterministic text dump of the graph (`--dump-callgraph`): one line
+/// per function, resolved callees sorted and deduplicated, unresolved
+/// names prefixed with `?`.
+pub fn dump(ws: &Workspace) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for (fi, f) in ws.fns.iter().enumerate() {
+        let mut resolved: BTreeSet<&str> = BTreeSet::new();
+        let mut unresolved: BTreeSet<String> = BTreeSet::new();
+        for c in &ws.calls[fi] {
+            if c.targets.is_empty() {
+                unresolved.insert(format!("?{}", c.name));
+            } else {
+                for &t in &c.targets {
+                    resolved.insert(ws.fns[t].qual.as_str());
+                }
+            }
+        }
+        let mut rhs: Vec<String> = resolved.iter().map(|s| s.to_string()).collect();
+        rhs.extend(unresolved);
+        lines.push(format!(
+            "{} [{}:{}]{} -> {}",
+            f.qual,
+            ws.units[f.unit].file,
+            f.line,
+            if f.is_test { " [test]" } else { "" },
+            rhs.join(", ")
+        ));
+    }
+    lines.sort();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let units = files
+            .iter()
+            .map(|(path, src)| Unit {
+                file: path.to_string(),
+                crate_name: crate::crate_name_of(path),
+                test_dir: crate::is_test_dir(path),
+                lexed: lex(src),
+            })
+            .collect();
+        build(units, &BTreeMap::new())
+    }
+
+    fn targets_of(ws: &Workspace, caller: &str, callee: &str) -> Vec<String> {
+        let fi = ws
+            .fns
+            .iter()
+            .position(|f| f.qual == caller)
+            .unwrap_or_else(|| panic!("no fn {caller}"));
+        let call = ws.calls[fi]
+            .iter()
+            .find(|c| c.name == callee)
+            .unwrap_or_else(|| panic!("{caller} has no call to {callee}"));
+        call.targets
+            .iter()
+            .map(|&t| ws.fns[t].qual.clone())
+            .collect()
+    }
+
+    /// `self.helper()` stays with the receiver type even when another
+    /// type defines a method of the same name.
+    #[test]
+    fn shadowed_method_names_resolve_by_receiver() {
+        let src = "\
+impl Alpha {
+    fn run(&self) { self.helper(); }
+    fn helper(&self) {}
+}
+impl Beta {
+    fn helper(&self) {}
+}
+";
+        let w = ws(&[("crates/core/src/lib.rs", src)]);
+        assert_eq!(
+            targets_of(&w, "core::Alpha::run", "helper"),
+            ["core::Alpha::helper"]
+        );
+    }
+
+    /// A method call on an unknown receiver over-approximates to every
+    /// visible method of the name.
+    #[test]
+    fn unknown_receiver_methods_are_conservative() {
+        let src = "\
+impl Alpha { fn helper(&self) {} }
+impl Beta { fn helper(&self) {} }
+fn free(x: &dyn Any) { x.helper(); }
+";
+        let w = ws(&[("crates/core/src/lib.rs", src)]);
+        let mut t = targets_of(&w, "core::free", "helper");
+        t.sort();
+        assert_eq!(t, ["core::Alpha::helper", "core::Beta::helper"]);
+    }
+
+    /// External / std calls resolve to nothing and stay that way.
+    #[test]
+    fn unresolved_externals_stay_unresolved() {
+        let src = "fn f(n: usize) -> u32 { u32::try_from(n).unwrap_or(0) }\n";
+        let w = ws(&[("crates/core/src/lib.rs", src)]);
+        let fi = w.fns.iter().position(|f| f.qual == "core::f").unwrap();
+        let call = w.calls[fi].iter().find(|c| c.name == "try_from").unwrap();
+        assert!(call.targets.is_empty());
+        assert_eq!(call.qualifier.as_deref(), Some("u32"));
+    }
+
+    /// Bare calls prefer the same module over a same-named fn elsewhere.
+    #[test]
+    fn bare_calls_prefer_the_nearest_scope() {
+        let src = "\
+fn helper() {}
+mod inner {
+    fn helper() {}
+    fn caller() { helper(); }
+}
+fn outer_caller() { helper(); }
+";
+        let w = ws(&[("crates/core/src/lib.rs", src)]);
+        assert_eq!(
+            targets_of(&w, "core::inner::caller", "helper"),
+            ["core::inner::helper"]
+        );
+        assert_eq!(
+            targets_of(&w, "core::outer_caller", "helper"),
+            ["core::helper"]
+        );
+    }
+
+    /// Dependency direction gates cross-crate resolution: service may
+    /// call into core, but core never resolves into service.
+    #[test]
+    fn manifest_deps_gate_visibility() {
+        let core = "pub fn shared_name() {}\n";
+        let service =
+            "pub fn shared_name() {}\nfn caller() { other_name(); }\npub fn other_name() {}\n";
+        let core_caller = "fn from_core() { unique_service_fn(); }\n";
+        let service2 = "pub fn unique_service_fn() {}\n";
+        let mut deps = BTreeMap::new();
+        deps.insert("service".to_string(), vec!["core".to_string()]);
+        deps.insert("core".to_string(), Vec::new());
+        let units = vec![
+            ("crates/core/src/lib.rs", core),
+            ("crates/core/src/extra.rs", core_caller),
+            ("crates/service/src/lib.rs", service),
+            ("crates/service/src/extra.rs", service2),
+        ]
+        .into_iter()
+        .map(|(path, src)| Unit {
+            file: path.to_string(),
+            crate_name: crate::crate_name_of(path),
+            test_dir: false,
+            lexed: lex(src),
+        })
+        .collect();
+        let w = build(units, &deps);
+        // core cannot see service's fn: unresolved.
+        assert_eq!(
+            targets_of(&w, "core::from_core", "unique_service_fn"),
+            Vec::<String>::new()
+        );
+    }
+
+    /// Reachability stops at unresolved calls and test fns.
+    #[test]
+    fn reachability_walks_resolved_edges_only() {
+        let src = "\
+fn entry() { middle(); external_thing(); }
+fn middle() { leaf(); }
+fn leaf() {}
+fn orphan() {}
+#[cfg(test)]
+mod tests {
+    fn fixture() { orphan_helper(); }
+    fn orphan_helper() {}
+}
+";
+        let w = ws(&[("crates/core/src/lib.rs", src)]);
+        let entry = w.fns.iter().position(|f| f.qual == "core::entry").unwrap();
+        let (seen, parent) = reachable(&w, &[entry]);
+        let q = |name: &str| w.fns.iter().position(|f| f.qual == name).unwrap();
+        assert!(seen[q("core::middle")] && seen[q("core::leaf")]);
+        assert!(!seen[q("core::orphan")]);
+        assert!(!seen[q("core::tests::fixture")]);
+        assert_eq!(
+            chain(&w, &parent, q("core::leaf")),
+            "core::entry → core::middle → core::leaf"
+        );
+    }
+}

@@ -50,6 +50,10 @@ pub struct Tok {
     pub text: String,
     /// 1-based source line of the token's first byte.
     pub line: u32,
+    /// 1-based byte column of the token's first byte on its line (the
+    /// span plumbing `--format github` annotations and the item parser
+    /// anchor on).
+    pub col: u32,
     /// Whether the token sits inside a `#[cfg(test)]`-gated brace block.
     pub in_test: bool,
 }
@@ -100,6 +104,8 @@ struct Lexer<'a> {
     b: &'a [u8],
     i: usize,
     line: u32,
+    /// Byte index of the first byte of the current line, for columns.
+    line_start: usize,
     /// Whether a significant token has been emitted on the current line
     /// (distinguishes own-line comments from trailing ones).
     line_has_code: bool,
@@ -111,12 +117,20 @@ impl Lexer<'_> {
         self.b.get(self.i + off).copied().unwrap_or(0)
     }
 
-    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+    /// 1-based column of the current byte on the current line.
+    fn col(&self) -> u32 {
+        u32::try_from(self.i.saturating_sub(self.line_start))
+            .unwrap_or(u32::MAX - 1)
+            .saturating_add(1)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, at: (u32, u32)) {
         self.line_has_code = true;
         self.out.toks.push(Tok {
             kind,
             text,
-            line,
+            line: at.0,
+            col: at.1,
             in_test: false,
         });
     }
@@ -125,6 +139,7 @@ impl Lexer<'_> {
     fn bump(&mut self) {
         if self.peek(0) == b'\n' {
             self.line += 1;
+            self.line_start = self.i + 1;
             self.line_has_code = false;
         }
         self.i += 1;
@@ -148,14 +163,14 @@ impl Lexer<'_> {
                 c if c.is_ascii_digit() => self.number(),
                 c if is_ident_start(c) => self.ident_or_prefixed_literal(),
                 _ => {
-                    let line = self.line;
+                    let at = (self.line, self.col());
                     // Non-ASCII bytes only occur inside strings/comments in
                     // valid Rust; emit whatever shows up here as opaque
                     // punctuation so offsets stay aligned.
                     let len = utf8_len(c);
                     let text = String::from_utf8_lossy(&self.b[self.i..self.i + len]).into_owned();
                     self.bump_n(len);
-                    self.push(TokKind::Punct, text, line);
+                    self.push(TokKind::Punct, text, at);
                 }
             }
         }
@@ -210,7 +225,7 @@ impl Lexer<'_> {
 
     /// A plain (escaped) string literal, opening quote at `self.i`.
     fn string(&mut self) {
-        let line = self.line;
+        let at = (self.line, self.col());
         self.bump(); // opening quote
         let start = self.i;
         while self.i < self.b.len() {
@@ -224,13 +239,13 @@ impl Lexer<'_> {
         if self.i < self.b.len() {
             self.bump(); // closing quote
         }
-        self.push(TokKind::Str, text, line);
+        self.push(TokKind::Str, text, at);
     }
 
     /// A raw string body: `self.i` sits on the opening quote, `hashes`
     /// fence characters follow the closing quote.
     fn raw_string(&mut self, hashes: usize) {
-        let line = self.line;
+        let at = (self.line, self.col());
         self.bump(); // opening quote
         let start = self.i;
         let mut end = self.b.len();
@@ -243,12 +258,12 @@ impl Lexer<'_> {
             self.bump();
         }
         let text = String::from_utf8_lossy(&self.b[start..end.max(start)]).into_owned();
-        self.push(TokKind::Str, text, line);
+        self.push(TokKind::Str, text, at);
     }
 
     /// `'` — a char literal, a lifetime, or a loop label.
     fn char_or_lifetime(&mut self) {
-        let line = self.line;
+        let at = (self.line, self.col());
         let next = self.peek(1);
         if next == b'\\' {
             // Escaped char literal: skip the escape, find the close.
@@ -258,7 +273,7 @@ impl Lexer<'_> {
                 self.bump(); // \u{…} payloads
             }
             self.bump(); // closing quote
-            self.push(TokKind::Char, String::new(), line);
+            self.push(TokKind::Char, String::new(), at);
         } else if is_ident_start(next) && self.peek(2) != b'\'' {
             // Lifetime or label: 'ident with no closing quote.
             self.bump(); // quote
@@ -267,7 +282,7 @@ impl Lexer<'_> {
                 self.bump();
             }
             let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
-            self.push(TokKind::Lifetime, text, line);
+            self.push(TokKind::Lifetime, text, at);
         } else {
             // Char literal, possibly multi-byte ('λ'): scan to the close.
             self.bump(); // quote
@@ -275,12 +290,12 @@ impl Lexer<'_> {
                 self.bump();
             }
             self.bump(); // closing quote
-            self.push(TokKind::Char, String::new(), line);
+            self.push(TokKind::Char, String::new(), at);
         }
     }
 
     fn number(&mut self) {
-        let line = self.line;
+        let at = (self.line, self.col());
         let start = self.i;
         if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
             self.bump_n(2);
@@ -321,11 +336,11 @@ impl Lexer<'_> {
             }
         }
         let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
-        self.push(TokKind::Num, text, line);
+        self.push(TokKind::Num, text, at);
     }
 
     fn ident_or_prefixed_literal(&mut self) {
-        let line = self.line;
+        let at = (self.line, self.col());
         let start = self.i;
         while is_ident_byte(self.peek(0)) {
             self.bump();
@@ -351,7 +366,7 @@ impl Lexer<'_> {
                         self.bump();
                     }
                     let name = String::from_utf8_lossy(&self.b[nstart..self.i]).into_owned();
-                    self.push(TokKind::Ident, name, line);
+                    self.push(TokKind::Ident, name, at);
                     return;
                 }
             }
@@ -368,7 +383,7 @@ impl Lexer<'_> {
             }
             _ => {}
         }
-        self.push(TokKind::Ident, text, line);
+        self.push(TokKind::Ident, text, at);
     }
 }
 
@@ -388,6 +403,7 @@ pub fn lex(src: &str) -> Lexed {
         b: src.as_bytes(),
         i: 0,
         line: 1,
+        line_start: 0,
         line_has_code: false,
         out: Lexed::default(),
     }

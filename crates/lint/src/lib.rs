@@ -4,17 +4,28 @@
 //! The offline container rules out dylint and clippy cannot express
 //! repo-specific invariants, so — like the in-workspace `rand` and
 //! `json` crates — the analyzer is built here. It lexes every `*.rs`
-//! under `crates/*/src` and `src/` ([`lexer`]) and runs five rules
-//! grounded in shipped bugs and standing invariants ([`rules`],
-//! [`manifest`]):
+//! under `crates/*/src`, `crates/*/tests` and `src/` ([`lexer`]),
+//! parses items into a brace tree ([`parse`]), builds a workspace-wide
+//! call graph ([`callgraph`]), and runs eight rules grounded in
+//! shipped bugs and standing invariants ([`rules`], [`manifest`]):
 //!
 //! | rule | invariant | origin |
 //! |------|-----------|--------|
 //! | `lock-guard-liveness` | no temporary `.read()`/`.lock()` guard in a `match`/`if let`/`while let`/`for` header whose body takes `.write()`/`.lock()` on the same lock | PR 3 deadlock |
 //! | `panic-path` | no `unwrap`/`expect`/`panic!`-family/indexing in serving-path files | wire robustness |
+//! | `panic-reachability` | no explicit panic construct transitively *reachable* from a serving entry point, anywhere in the workspace | computed serving frontier |
+//! | `lock-order-cycle` | the workspace lock-order graph (held-guard sets propagated along call edges) is acyclic, and no lock is re-acquired while held | session-lane deadlock-freedom |
+//! | `guard-across-blocking` | no guard held (directly or via callee) across a blocking call on a serving path | PR 3 class, generalized |
 //! | `lossy-cast` | no narrowing `as u32`/`u16`/`u8` without same-scope bounds evidence | PR 5 row-id wrap |
 //! | `offline-deps` | every manifest dependency is an in-workspace `path` dep | offline container |
 //! | `strict-parse` | wire-facing member destructures go through the allowlist helper | strict wire protocol |
+//!
+//! The first five source rules are intraprocedural and per-file; the
+//! three concurrency/reachability rules run on the call graph, with
+//! unresolved calls treated conservatively (the per-file rules are the
+//! fallback where resolution stops). Files under `tests/` directories
+//! are scanned for the two concurrency rules only — a deadlocked test
+//! wedges CI just as hard — while the panic rules stay src-only.
 //!
 //! A finding is suppressed by a `// lint:allow(<rule>) -- <reason>`
 //! comment — trailing on the offending line, or on its own line
@@ -24,8 +35,10 @@
 //! ledgered in `LINT_ALLOWS.md` (`allow-ledger`) so suppressions cannot
 //! accrete silently.
 
+pub mod callgraph;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod rules;
 
 use rankfair_json::Value;
@@ -33,22 +46,26 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// The five source-level / manifest-level rules.
-pub const RULES: [&str; 5] = [
+/// The eight source-level / manifest-level rules.
+pub const RULES: [&str; 8] = [
     "lock-guard-liveness",
     "panic-path",
+    "panic-reachability",
+    "lock-order-cycle",
+    "guard-across-blocking",
     "lossy-cast",
     "offline-deps",
     "strict-parse",
 ];
 
-/// Meta rules produced by the suppression and ledger machinery; these
-/// cannot themselves be suppressed.
-pub const META_RULES: [&str; 4] = [
+/// Meta rules produced by the suppression, ledger, and configuration
+/// machinery; these cannot themselves be suppressed.
+pub const META_RULES: [&str; 5] = [
     "allow-missing-reason",
     "allow-unknown-rule",
     "allow-unused",
     "allow-ledger",
+    "serving-path-config",
 ];
 
 /// The suppression ledger file, relative to the workspace root.
@@ -152,64 +169,141 @@ struct AllowSite {
     used: bool,
 }
 
-/// Runs every source-level rule over `src`, applying suppressions.
-/// `file` is the workspace-relative path; rules scoped by [`Config`]
-/// match on it.
-pub fn analyze_source(file: &str, src: &str, cfg: &Config) -> Analysis {
-    let lexed = lexer::lex(src);
-    let lines: Vec<&str> = src.lines().collect();
+/// The crate-directory name a workspace-relative path belongs to:
+/// `crates/<name>/…` → `<name>`, everything else → `root`.
+pub fn crate_name_of(file: &str) -> String {
+    let mut parts = file.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name.to_string(),
+        _ => "root".to_string(),
+    }
+}
 
+/// Is this a file under a `tests/` directory (integration tests)?
+/// Those are scanned for the concurrency rules only.
+pub fn is_test_dir(file: &str) -> bool {
+    file.starts_with("tests/") || file.contains("/tests/")
+}
+
+/// A whole-workspace analysis: per-file findings plus the call graph
+/// the interprocedural rules ran on (kept for `--dump-callgraph`).
+pub struct WorkspaceAnalysis {
+    /// Unsuppressed findings, including suppression meta-findings.
+    pub findings: Vec<Finding>,
+    /// Well-formed allows that suppressed at least one finding.
+    pub allows: Vec<Allow>,
+    /// The workspace call graph.
+    pub graph: callgraph::Workspace,
+}
+
+/// Runs every source-level rule — per-file and interprocedural — over
+/// a set of `(workspace-relative path, source)` pairs, applying
+/// suppressions. `crate_deps` carries the manifest dependency edges
+/// (crate dir → dep crate dirs); an empty map (single-file fixtures)
+/// leaves cross-crate visibility open.
+pub fn analyze_workspace(
+    files: &[(String, String)],
+    cfg: &Config,
+    crate_deps: &BTreeMap<String, Vec<String>>,
+) -> WorkspaceAnalysis {
+    let units: Vec<callgraph::Unit> = files
+        .iter()
+        .map(|(file, src)| callgraph::Unit {
+            file: file.clone(),
+            crate_name: crate_name_of(file),
+            test_dir: is_test_dir(file),
+            lexed: lexer::lex(src),
+        })
+        .collect();
+
+    // Per-file intraprocedural rules (src files only).
     let mut raw: Vec<Finding> = Vec::new();
-    rules::lock_guard_liveness(file, &lexed, &mut raw);
-    if cfg.is_panic_path(file) {
-        rules::panic_path(file, &lexed, &mut raw);
-    }
-    rules::lossy_cast(file, &lexed, &mut raw);
-    if cfg.is_strict_parse(file) {
-        rules::strict_parse(file, &lexed, &mut raw);
-    }
-    for f in &mut raw {
-        f.excerpt = excerpt(&lines, f.line);
+    for u in &units {
+        if u.test_dir {
+            continue;
+        }
+        rules::lock_guard_liveness(&u.file, &u.lexed, &mut raw);
+        if cfg.is_panic_path(&u.file) {
+            rules::panic_path(&u.file, &u.lexed, &mut raw);
+        }
+        rules::lossy_cast(&u.file, &u.lexed, &mut raw);
+        if cfg.is_strict_parse(&u.file) {
+            rules::strict_parse(&u.file, &u.lexed, &mut raw);
+        }
     }
 
-    let mut analysis = Analysis::default();
-    let mut sites = collect_allow_sites(file, &lexed, &lines, &mut analysis.findings);
+    // Interprocedural rules on the call graph.
+    let graph = callgraph::build(units, crate_deps);
+    let conc = rules::concurrency_summaries(&graph);
+    rules::panic_reachability(&graph, cfg, &mut raw);
+    rules::lock_order_cycle(&graph, &conc, &mut raw);
+    rules::guard_across_blocking(&graph, cfg, &conc, &mut raw);
 
-    for f in raw {
-        let mut suppressed = false;
-        for s in sites.iter_mut() {
-            if s.rule == f.rule && s.target_line == f.line {
-                s.used = true;
-                suppressed = true;
+    // Suppression pass, per file.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    for (ui, (file, src)) in files.iter().enumerate() {
+        let lines: Vec<&str> = src.lines().collect();
+        let lexed = &graph.units[ui].lexed;
+        let mut sites = collect_allow_sites(file, lexed, &lines, &mut findings);
+
+        for f in raw.iter_mut().filter(|f| f.file == *file) {
+            f.excerpt = excerpt(&lines, f.line);
+            let mut suppressed = false;
+            for s in sites.iter_mut() {
+                if s.rule == f.rule && s.target_line == f.line {
+                    s.used = true;
+                    suppressed = true;
+                }
+            }
+            if !suppressed {
+                findings.push(f.clone());
             }
         }
-        if !suppressed {
-            analysis.findings.push(f);
+
+        for s in &sites {
+            if s.used {
+                allows.push(Allow {
+                    file: file.clone(),
+                    line: s.line,
+                    rule: s.rule.clone(),
+                    reason: s.reason.clone(),
+                });
+            } else {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: s.line,
+                    rule: "allow-unused",
+                    message: format!(
+                        "lint:allow({}) suppresses nothing — the finding it covered is gone; remove it",
+                        s.rule
+                    ),
+                    excerpt: excerpt(&lines, s.line),
+                });
+            }
         }
     }
 
-    for s in &sites {
-        if s.used {
-            analysis.allows.push(Allow {
-                file: file.to_string(),
-                line: s.line,
-                rule: s.rule.clone(),
-                reason: s.reason.clone(),
-            });
-        } else {
-            analysis.findings.push(Finding {
-                file: file.to_string(),
-                line: s.line,
-                rule: "allow-unused",
-                message: format!(
-                    "lint:allow({}) suppresses nothing — the finding it covered is gone; remove it",
-                    s.rule
-                ),
-                excerpt: excerpt(&lines, s.line),
-            });
-        }
+    WorkspaceAnalysis {
+        findings,
+        allows,
+        graph,
     }
-    analysis
+}
+
+/// Runs every source-level rule over one file, applying suppressions —
+/// a single-file [`analyze_workspace`]. `file` is the
+/// workspace-relative path; rules scoped by [`Config`] match on it.
+pub fn analyze_source(file: &str, src: &str, cfg: &Config) -> Analysis {
+    let wa = analyze_workspace(
+        &[(file.to_string(), src.to_string())],
+        cfg,
+        &BTreeMap::new(),
+    );
+    Analysis {
+        findings: wa.findings,
+        allows: wa.allows,
+    }
 }
 
 /// Parses `lint:allow(rule) -- reason` comments into suppression
@@ -306,18 +400,20 @@ pub struct Report {
     pub manifests_scanned: usize,
 }
 
-/// Lints the workspace rooted at `root`: every `*.rs` under `src/` and
-/// `crates/*/src/`, every `Cargo.toml` (root + per-crate), and the
+/// Lints the workspace rooted at `root` and keeps the call graph for
+/// inspection (`--dump-callgraph`): every `*.rs` under `src/`,
+/// `tests/`, `crates/*/src/` and `crates/*/tests/`, every `Cargo.toml`
+/// (root + per-crate), the serving-path configuration, and the
 /// suppression ledger.
-pub fn run(root: &Path) -> Result<Report, String> {
+pub fn run_with_graph(root: &Path) -> Result<(Report, callgraph::Workspace), String> {
     let cfg = Config::default();
     let mut report = Report::default();
 
     let mut sources = Vec::new();
-    let src_dir = root.join("src");
-    if src_dir.is_dir() {
-        walk_rs(&src_dir, &mut sources)
-            .map_err(|e| format!("walking {}: {e}", src_dir.display()))?;
+    for dir in [root.join("src"), root.join("tests")] {
+        if dir.is_dir() {
+            walk_rs(&dir, &mut sources).map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        }
     }
     let mut manifests = vec![root.join("Cargo.toml")];
     let crates_dir = root.join("crates");
@@ -329,10 +425,11 @@ pub fn run(root: &Path) -> Result<Report, String> {
             if !path.is_dir() {
                 continue;
             }
-            let crate_src = path.join("src");
-            if crate_src.is_dir() {
-                walk_rs(&crate_src, &mut sources)
-                    .map_err(|e| format!("walking {}: {e}", crate_src.display()))?;
+            for sub in [path.join("src"), path.join("tests")] {
+                if sub.is_dir() {
+                    walk_rs(&sub, &mut sources)
+                        .map_err(|e| format!("walking {}: {e}", sub.display()))?;
+                }
             }
             let manifest = path.join("Cargo.toml");
             if manifest.is_file() {
@@ -343,25 +440,42 @@ pub fn run(root: &Path) -> Result<Report, String> {
     sources.sort();
     manifests.sort();
 
+    let mut files: Vec<(String, String)> = Vec::new();
     for path in &sources {
         let src =
             fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let rel = rel_path(root, path);
-        let analysis = analyze_source(&rel, &src, &cfg);
-        report.findings.extend(analysis.findings);
-        report.allows.extend(analysis.allows);
-        report.files_scanned += 1;
+        files.push((rel_path(root, path), src));
     }
 
+    // Manifest dependency edges gate cross-crate call resolution.
+    let mut crate_deps: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for path in &manifests {
         if !path.is_file() {
             continue;
         }
         let src =
             fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        manifest::offline_deps(&rel_path(root, path), &src, &mut report.findings);
+        let rel = rel_path(root, path);
+        let crate_dir = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("root")
+            .to_string();
+        crate_deps
+            .entry(crate_dir)
+            .or_default()
+            .extend(manifest::path_deps(&src));
+        manifest::offline_deps(&rel, &src, &mut report.findings);
         report.manifests_scanned += 1;
     }
+
+    let paths: Vec<String> = files.iter().map(|(f, _)| f.clone()).collect();
+    report.findings.extend(serving_path_config(&cfg, &paths));
+
+    let wa = analyze_workspace(&files, &cfg, &crate_deps);
+    report.findings.extend(wa.findings);
+    report.allows.extend(wa.allows);
+    report.files_scanned = files.len();
 
     check_ledger(root, &report.allows, &mut report.findings);
 
@@ -371,7 +485,58 @@ pub fn run(root: &Path) -> Result<Report, String> {
     report
         .allows
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(report)
+    Ok((report, wa.graph))
+}
+
+/// [`run_with_graph`] without the graph.
+pub fn run(root: &Path) -> Result<Report, String> {
+    run_with_graph(root).map(|(report, _)| report)
+}
+
+/// `serving-path-config` — the drift meta-check on the hand-written
+/// serving-file list: a configured file that no longer exists has
+/// silently dropped out of `panic-path`/seed coverage, and a new
+/// `crates/service/src/*.rs` file absent from the list is serving code
+/// the lint is not seeding from. Pure over the scanned path list so it
+/// is directly testable.
+pub fn serving_path_config(cfg: &Config, scanned: &[String]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for p in &cfg.panic_path_files {
+        if !scanned.iter().any(|f| f == p) {
+            out.push(Finding {
+                file: p.clone(),
+                line: 1,
+                rule: "serving-path-config",
+                message: format!(
+                    "serving-path configuration names `{p}` but no such file was scanned — a \
+                     rename silently dropped it from panic-path coverage; update \
+                     Config::panic_path_files"
+                ),
+                excerpt: String::new(),
+            });
+        }
+    }
+    for f in scanned {
+        let Some(rest) = f.strip_prefix("crates/service/src/") else {
+            continue;
+        };
+        if rest.contains('/') || !rest.ends_with(".rs") {
+            continue;
+        }
+        if !cfg.panic_path_files.iter().any(|p| p == f) {
+            out.push(Finding {
+                file: f.clone(),
+                line: 1,
+                rule: "serving-path-config",
+                message: format!(
+                    "new service source file `{f}` is not in the serving-path configuration — \
+                     add it to Config::panic_path_files so the panic rules seed from it"
+                ),
+                excerpt: String::new(),
+            });
+        }
+    }
+    out
 }
 
 /// Compares live allows against `LINT_ALLOWS.md`. Ledger entries are

@@ -1,26 +1,42 @@
 //! `rankfair-lint` — CLI driver for [`rankfair_lint`].
 //!
 //! ```text
-//! cargo run -p rankfair-lint -- check [--root DIR] [--format text|json] [--list-allows]
+//! cargo run -p rankfair-lint -- check [--root DIR] [--format text|json|github]
+//!                                     [--list-allows] [--dump-callgraph]
 //! ```
 //!
-//! Exit codes: `0` clean (or listing allows over a clean tree), `1`
-//! unsuppressed findings, `2` usage error.
+//! `--format github` prints one `::error file=…,line=…` workflow
+//! command per finding, so CI runs annotate the offending lines in the
+//! PR diff. `--dump-callgraph` prints the deterministic call-graph
+//! listing the interprocedural rules ran on, one function per line.
+//!
+//! Exit codes: `0` clean (or listing allows / dumping the graph over a
+//! clean tree), `1` unsuppressed findings, `2` usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 struct Opts {
     root: PathBuf,
-    json: bool,
+    format: Format,
     list_allows: bool,
+    dump_callgraph: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rankfair-lint check [--root DIR] [--format text|json] [--list-allows]\n\
+        "usage: rankfair-lint check [--root DIR] [--format text|json|github] [--list-allows]\n\
+         \x20                          [--dump-callgraph]\n\
          \n\
-         Lints every crates/*/src and src/ .rs file plus all Cargo.toml manifests.\n\
+         Lints every crates/*/src, crates/*/tests, src/ and tests/ .rs file plus all\n\
+         Cargo.toml manifests.\n\
          Rules: {}\n\
          Suppress with `// lint:allow(<rule>) -- <reason>` (reason mandatory; every\n\
          allow must be ledgered in {}).",
@@ -38,8 +54,9 @@ fn parse_opts() -> Result<Opts, ExitCode> {
     }
     let mut opts = Opts {
         root: PathBuf::from("."),
-        json: false,
+        format: Format::Text,
         list_allows: false,
+        dump_callgraph: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,15 +65,30 @@ fn parse_opts() -> Result<Opts, ExitCode> {
                 None => return Err(usage()),
             },
             "--format" => match args.next().as_deref() {
-                Some("json") => opts.json = true,
-                Some("text") => opts.json = false,
+                Some("json") => opts.format = Format::Json,
+                Some("text") => opts.format = Format::Text,
+                Some("github") => opts.format = Format::Github,
                 _ => return Err(usage()),
             },
             "--list-allows" => opts.list_allows = true,
+            "--dump-callgraph" => opts.dump_callgraph = true,
             _ => return Err(usage()),
         }
     }
     Ok(opts)
+}
+
+/// Escapes a value for a GitHub Actions workflow-command *message*
+/// position (`%`, CR, LF are the command syntax's reserved bytes).
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command *property* value (also `:` and `,`).
+fn gh_escape_prop(s: &str) -> String {
+    gh_escape(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 fn main() -> ExitCode {
@@ -72,8 +104,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let report = match rankfair_lint::run(&opts.root) {
-        Ok(report) => report,
+    let (report, graph) = match rankfair_lint::run_with_graph(&opts.root) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("rankfair-lint: {e}");
             return ExitCode::from(2);
@@ -85,28 +117,55 @@ fn main() -> ExitCode {
     let mut out = String::new();
     {
         use std::fmt::Write;
-        if opts.list_allows {
+        if opts.dump_callgraph {
+            out.push_str(&rankfair_lint::callgraph::dump(&graph));
+        } else if opts.list_allows {
             for a in &report.allows {
                 let _ = writeln!(out, "{}:{}  {}  — {}", a.file, a.line, a.rule, a.reason);
             }
             let _ = writeln!(out, "{} allow(s)", report.allows.len());
-        } else if opts.json {
-            let _ = writeln!(out, "{}", rankfair_lint::report_json(&report).render());
         } else {
-            for f in &report.findings {
-                let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
-                if !f.excerpt.is_empty() {
-                    let _ = writeln!(out, "    | {}", f.excerpt);
+            match opts.format {
+                Format::Json => {
+                    let _ = writeln!(out, "{}", rankfair_lint::report_json(&report).render());
+                }
+                Format::Github => {
+                    for f in &report.findings {
+                        let _ = writeln!(
+                            out,
+                            "::error file={},line={},title=rankfair-lint({})::{}",
+                            gh_escape_prop(&f.file),
+                            f.line,
+                            f.rule,
+                            gh_escape(&f.message)
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{} file(s), {} manifest(s) scanned: {} finding(s), {} allow(s)",
+                        report.files_scanned,
+                        report.manifests_scanned,
+                        report.findings.len(),
+                        report.allows.len()
+                    );
+                }
+                Format::Text => {
+                    for f in &report.findings {
+                        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                        if !f.excerpt.is_empty() {
+                            let _ = writeln!(out, "    | {}", f.excerpt);
+                        }
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{} file(s), {} manifest(s) scanned: {} finding(s), {} allow(s)",
+                        report.files_scanned,
+                        report.manifests_scanned,
+                        report.findings.len(),
+                        report.allows.len()
+                    );
                 }
             }
-            let _ = writeln!(
-                out,
-                "{} file(s), {} manifest(s) scanned: {} finding(s), {} allow(s)",
-                report.files_scanned,
-                report.manifests_scanned,
-                report.findings.len(),
-                report.allows.len()
-            );
         }
     }
     {

@@ -91,6 +91,44 @@ pub fn offline_deps(file: &str, src: &str, out: &mut Vec<Finding>) {
     }
 }
 
+/// Extracts the workspace-relative crate *directory names* of every
+/// `path = "…"` dependency in a manifest — the edges of the crate
+/// dependency graph the call-graph resolver respects. `path =
+/// "../core"` and `path = "crates/core"` both yield `core`.
+pub fn path_deps(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    for raw in src.lines() {
+        let line = raw.trim();
+        if let Some(header) = line.strip_prefix('[') {
+            section = header.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        // `path = "../core"` appears either inline in a `{ … }` table or
+        // as a key line of a `[dependencies.foo]` section.
+        let Some(pos) = line.find("path") else {
+            continue;
+        };
+        let rest = &line[pos + 4..];
+        let Some(eq) = rest.find('=') else { continue };
+        let Some(open) = rest[eq..].find('"') else {
+            continue;
+        };
+        let val = &rest[eq + open + 1..];
+        let Some(close) = val.find('"') else { continue };
+        let path = &val[..close];
+        if let Some(dir) = path.rsplit('/').next() {
+            if !dir.is_empty() && !out.contains(&dir.to_string()) {
+                out.push(dir.to_string());
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +162,14 @@ mod tests {
         assert_eq!(run(bad).len(), 1);
         let good = "[dependencies.local]\npath = \"../local\"\n\n[package]\nname = \"x\"\n";
         assert!(run(good).is_empty());
+    }
+
+    #[test]
+    fn path_deps_extracts_crate_dirs() {
+        let src = "[package]\nname = \"rankfair_service\"\n\n[dependencies]\n\
+                   rankfair_core = { path = \"../core\" }\nrankfair_json = { path = \"../json\" }\n\
+                   [dev-dependencies.helper]\npath = \"crates/helper\"\n";
+        assert_eq!(path_deps(src), ["core", "json", "helper"]);
     }
 
     #[test]

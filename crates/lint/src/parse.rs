@@ -1,0 +1,450 @@
+//! A brace-tree item parser over the token stream from
+//! [`crate::lexer`]: just enough structure for interprocedural rules.
+//!
+//! The parser walks one file's tokens and extracts every function
+//! definition — free functions, inherent and trait-impl methods, trait
+//! default methods, and functions nested inside other functions — with
+//! its body's token span and the module / impl context it sits in. It
+//! is a heuristic item scanner, not a grammar: it reacts to the item
+//! keywords `mod` / `impl` / `trait` / `fn` (and skips `macro_rules!`
+//! bodies wholesale), relying on the lexer having already hidden
+//! strings, comments, and char literals. Constructs it does not model
+//! (struct bodies, `use` trees, const expressions) are walked through
+//! token by token and simply contribute no items.
+//!
+//! Spans are token-index ranges into the file's `Lexed::toks`, so rule
+//! code can slice the stream directly; `line`/`col` on the `fn` token
+//! anchor findings and the `--dump-callgraph` output.
+
+use crate::lexer::{match_brace, Tok, TokKind};
+
+/// One function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The bare function name (`submit`, `wait`).
+    pub name: String,
+    /// Fully qualified display name:
+    /// `crate::module::Type::name` / `crate::module::name`. Functions
+    /// nested inside another function get the parent function as a
+    /// module-like segment, so the qualified name stays unique.
+    pub qual: String,
+    /// Index of the file (into the workspace's unit list) this fn
+    /// lives in. Filled by the call-graph builder; `parse_file` leaves
+    /// it 0.
+    pub unit: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Module path within the file (`["tests"]` for `mod tests`).
+    pub module: Vec<String>,
+    /// The `impl`/`trait` type this fn is a method of, if any.
+    pub impl_type: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token indices of the body's `{` and `}` (inclusive).
+    pub body: (usize, usize),
+    /// Whether the definition sits inside a `#[cfg(test)]` span.
+    pub is_test: bool,
+}
+
+impl FnDef {
+    /// Does this definition's body strictly contain `other`'s? (Used to
+    /// exclude nested fn items when scanning a parent body.)
+    pub fn contains(&self, other: &FnDef) -> bool {
+        self.body.0 < other.sig_start && other.body.1 < self.body.1
+    }
+}
+
+/// Parses one file's items. `crate_name` prefixes qualified names.
+pub fn parse_file(crate_name: &str, toks: &[Tok]) -> Vec<FnDef> {
+    let mut out = Vec::new();
+    let mut ctx = Ctx {
+        crate_name,
+        module: Vec::new(),
+        impl_type: None,
+    };
+    walk_items(toks, 0, toks.len(), &mut ctx, &mut out);
+    out
+}
+
+struct Ctx<'a> {
+    crate_name: &'a str,
+    module: Vec<String>,
+    impl_type: Option<String>,
+}
+
+impl Ctx<'_> {
+    fn qual(&self, name: &str) -> String {
+        let mut parts = vec![self.crate_name.to_string()];
+        parts.extend(self.module.iter().cloned());
+        if let Some(t) = &self.impl_type {
+            parts.push(t.clone());
+        }
+        parts.push(name.to_string());
+        parts.join("::")
+    }
+}
+
+/// Scans `toks[i..end]` for item keywords, recursing into `mod`,
+/// `impl`, `trait` and `fn` bodies.
+fn walk_items(toks: &[Tok], mut i: usize, end: usize, ctx: &mut Ctx, out: &mut Vec<FnDef>) {
+    while i < end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            // A macro definition's body is token soup that may contain
+            // `fn`/`impl` fragments — skip it wholesale.
+            "macro_rules" => {
+                i = skip_to_block_end(toks, i + 1, end);
+            }
+            "mod" => {
+                let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                // `mod name;` declares an out-of-line module: no body here.
+                if toks.get(i + 2).is_some_and(|n| n.is_punct('{')) {
+                    let open = i + 2;
+                    let Some(close) = match_brace(toks, open) else {
+                        return;
+                    };
+                    ctx.module.push(name.text.clone());
+                    let saved_impl = ctx.impl_type.take();
+                    walk_items(toks, open + 1, close, ctx, out);
+                    ctx.impl_type = saved_impl;
+                    ctx.module.pop();
+                    i = close + 1;
+                } else {
+                    i += 2;
+                }
+            }
+            "impl" | "trait" => {
+                let header = if t.text == "impl" {
+                    impl_header(toks, i + 1, end)
+                } else {
+                    trait_header(toks, i + 1, end)
+                };
+                let Some((type_name, open)) = header else {
+                    i += 1;
+                    continue;
+                };
+                let Some(close) = match_brace(toks, open) else {
+                    return;
+                };
+                let saved = ctx.impl_type.replace(type_name);
+                walk_items(toks, open + 1, close, ctx, out);
+                ctx.impl_type = saved;
+                i = close + 1;
+            }
+            "fn" => {
+                let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    // `fn(..)` pointer type or malformed — not a definition.
+                    i += 1;
+                    continue;
+                };
+                let Some(open) = fn_body_open(toks, i + 2, end) else {
+                    // Trait method declaration (`fn x(..);`) — no body.
+                    i += 2;
+                    continue;
+                };
+                let Some(close) = match_brace(toks, open) else {
+                    return;
+                };
+                out.push(FnDef {
+                    name: name.text.clone(),
+                    qual: ctx.qual(&name.text),
+                    unit: 0,
+                    line: t.line,
+                    module: ctx.module.clone(),
+                    impl_type: ctx.impl_type.clone(),
+                    sig_start: i,
+                    body: (open, close),
+                    is_test: t.in_test,
+                });
+                // Nested `fn` items become their own definitions, scoped
+                // under the parent function's name (and its impl type,
+                // folded into the module path so quals stay unique).
+                let saved_impl = ctx.impl_type.take();
+                if let Some(t) = &saved_impl {
+                    ctx.module.push(t.clone());
+                }
+                ctx.module.push(name.text.clone());
+                walk_items(toks, open + 1, close, ctx, out);
+                ctx.module.pop();
+                if saved_impl.is_some() {
+                    ctx.module.pop();
+                }
+                ctx.impl_type = saved_impl;
+                i = close + 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Finds the `{` opening a fn body: the first `{` at paren/bracket
+/// depth 0, with `<`/`>` generics skipped so a `{` can never hide in a
+/// signature. Returns `None` on a bodyless declaration (`;` first).
+fn fn_body_open(toks: &[Tok], start: usize, end: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < end {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "<" if depth == 0 && j == start => {
+                    // Generic parameter list directly after the name.
+                    j = skip_angles(toks, j, end);
+                    continue;
+                }
+                "{" if depth == 0 => return Some(j),
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses an `impl` header starting after the keyword. Returns the
+/// implemented type's last path segment and the body-opening `{`:
+/// `impl<'a> Session<'a> {` → `Session`; `impl Display for AuditError
+/// {` → `AuditError` (the `for` target wins).
+fn impl_header(toks: &[Tok], start: usize, end: usize) -> Option<(String, usize)> {
+    let mut j = start;
+    // Leading generic parameters: `impl<'a, T: Bound> …`.
+    if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+        j = skip_angles(toks, j, end);
+    }
+    let mut last_seg: Option<String> = None;
+    while j < end {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Ident if t.text == "for" => {
+                // Trait impl: the type follows; restart collection.
+                last_seg = None;
+                j += 1;
+            }
+            TokKind::Ident if t.text == "where" => {
+                // No more type segments; scan ahead to the body brace.
+                while j < end && !toks[j].is_punct('{') {
+                    j += 1;
+                }
+            }
+            TokKind::Ident => {
+                last_seg = Some(t.text.clone());
+                j += 1;
+            }
+            TokKind::Punct if t.is_punct('<') => {
+                j = skip_angles(toks, j, end);
+            }
+            TokKind::Punct if t.is_punct('{') => {
+                return last_seg.map(|s| (s, j));
+            }
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Parses a `trait` header: the trait's name and its body-opening `{`.
+fn trait_header(toks: &[Tok], start: usize, end: usize) -> Option<(String, usize)> {
+    let name = toks.get(start).filter(|t| t.kind == TokKind::Ident)?;
+    let mut j = start + 1;
+    while j < end {
+        if toks[j].is_punct('{') {
+            return Some((name.text.clone(), j));
+        }
+        if toks[j].is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skips a balanced `<…>` group starting at the `<` at `open`. A `>`
+/// preceded by `-` is an arrow (`->`), not a closer. Returns the index
+/// just past the matching `>`.
+fn skip_angles(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(j >= 1 && toks[j - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Skips from a `macro_rules` keyword to just past its closing brace.
+fn skip_to_block_end(toks: &[Tok], start: usize, end: usize) -> usize {
+    let mut j = start;
+    while j < end && !toks[j].is_punct('{') {
+        j += 1;
+    }
+    match match_brace(toks, j) {
+        Some(close) => close + 1,
+        None => end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn quals(src: &str) -> Vec<String> {
+        parse_file("demo", &lex(src).toks)
+            .into_iter()
+            .map(|f| f.qual)
+            .collect()
+    }
+
+    #[test]
+    fn free_fns_methods_and_modules() {
+        let src = "\
+fn top() {}
+mod inner {
+    pub fn helper() {}
+    impl Widget {
+        fn draw(&self) {}
+    }
+}
+impl<'a> Session<'a> {
+    pub(crate) fn dispatch(&mut self) {}
+}
+";
+        assert_eq!(
+            quals(src),
+            [
+                "demo::top",
+                "demo::inner::helper",
+                "demo::inner::Widget::draw",
+                "demo::Session::dispatch",
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impls_use_the_for_target() {
+        let src = "\
+impl Display for AuditError {
+    fn fmt(&self, f: &mut Formatter) -> Result {}
+}
+trait Provider {
+    fn n(&self) -> usize;
+    fn default_counts(&self) -> u32 { 0 }
+}
+";
+        assert_eq!(
+            quals(src),
+            ["demo::AuditError::fmt", "demo::Provider::default_counts"]
+        );
+    }
+
+    /// Nested impls and nested fns stay scoped; bodies nest strictly.
+    #[test]
+    fn nested_impls_and_fns() {
+        let src = "\
+fn outer() {
+    fn inner() {}
+    let c = |x: u32| x + 1;
+}
+mod a {
+    mod b {
+        impl Deep {
+            fn leaf(&self) {
+                fn leaf_helper() {}
+            }
+        }
+    }
+}
+";
+        let fns = parse_file("demo", &lex(src).toks);
+        let quals: Vec<&str> = fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            [
+                "demo::outer",
+                "demo::outer::inner",
+                "demo::a::b::Deep::leaf",
+                "demo::a::b::Deep::leaf::leaf_helper",
+            ]
+        );
+        let outer = &fns[0];
+        let inner = &fns[1];
+        assert!(outer.contains(inner));
+        assert!(!inner.contains(outer));
+        let leaf = &fns[2];
+        assert!(leaf.contains(&fns[3]));
+    }
+
+    /// Generic signatures with `->` arrows inside angle brackets must
+    /// not derail body detection; fn-pointer types are not definitions.
+    #[test]
+    fn generics_arrows_and_fn_pointer_types() {
+        let src = "\
+fn apply<F: FnOnce() -> (String, bool)>(f: F) -> bool {
+    f().1
+}
+struct Holder {
+    callback: fn(u32) -> u32,
+}
+impl<F> Wrapper<F> where F: Fn(u8) -> u8 {
+    fn call(&self) {}
+}
+";
+        assert_eq!(quals(src), ["demo::apply", "demo::Wrapper::call"]);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_opaque() {
+        let src = "\
+macro_rules! gen {
+    () => { fn generated() {} };
+}
+fn real() {}
+";
+        assert_eq!(quals(src), ["demo::real"]);
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let src = "\
+trait CountsProvider {
+    fn n(&self) -> usize;
+    fn counts(&self, k: usize) -> (u32, u32);
+}
+";
+        assert!(quals(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let fns = parse_file("demo", &lex(src).toks);
+        assert_eq!(fns.len(), 2);
+        assert!(!fns[0].is_test);
+        assert!(fns[1].is_test);
+        assert_eq!(fns[1].module, ["tests"]);
+    }
+}

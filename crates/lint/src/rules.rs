@@ -466,3 +466,882 @@ pub fn strict_parse(file: &str, lx: &Lexed, out: &mut Vec<Finding>) {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Interprocedural rules. These run on the workspace call graph
+// ([`crate::callgraph`]) instead of a single token stream: serving
+// entry points seed a reachability frontier (`panic-reachability`),
+// per-function lock summaries propagate along call edges
+// (`lock-order-cycle`), and held guards are checked against blocking
+// operations both direct and via callees (`guard-across-blocking`).
+// ---------------------------------------------------------------------------
+
+use crate::callgraph::{chain, reachable, Workspace};
+use crate::Config;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lock/guard acquisition site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Acq {
+    /// Receiver path with a leading `self` stripped, joined with `.`
+    /// — `self.lane.state.lock()` and `lane.state.lock()` are the same
+    /// lock seen through different access paths.
+    pub lock_id: String,
+    /// `lock` / `read` / `write`.
+    pub method: String,
+    /// Token index of the method ident.
+    pub tok: usize,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// The `let`-bound guard variable, when the binding is a simple
+    /// name (needed for the condvar-wait exemption and `drop(x)`).
+    pub bound: Option<String>,
+    /// Token range (inclusive) the guard is statically held over.
+    pub span: (usize, usize),
+    /// Acquired inside a `match`/`if let`/`while let`/`for` header —
+    /// the shape `lock-guard-liveness` owns.
+    pub header: bool,
+}
+
+/// One potentially blocking operation inside a function body.
+#[derive(Debug, Clone)]
+pub struct BlockSite {
+    /// Token index of the method/function ident.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// The blocking construct's name (`recv`, `wait`, `write_all`, …).
+    pub what: String,
+    /// For `Condvar::wait*`: the first argument when it is a bare
+    /// identifier — the guard being handed over to the condvar.
+    pub wait_arg: Option<String>,
+}
+
+/// Per-function concurrency summaries, closed over call edges.
+pub struct Conc {
+    /// Direct acquisition sites, per fn.
+    pub acqs: Vec<Vec<Acq>>,
+    /// Direct blocking sites, per fn.
+    pub sites: Vec<Vec<BlockSite>>,
+    /// Every lock a fn may acquire, directly or through callees.
+    pub locks_all: Vec<BTreeSet<String>>,
+    /// If a fn may block (directly or through callees): the witness
+    /// `(file, line, construct)` of the underlying blocking site.
+    pub blocks: Vec<Option<(String, u32, String)>>,
+}
+
+const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "send",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+    "accept",
+];
+
+fn in_nested(nested: &[(usize, usize)], j: usize) -> Option<usize> {
+    nested
+        .iter()
+        .find(|(ns, ne)| *ns <= j && j <= *ne)
+        .map(|&(_, ne)| ne)
+}
+
+/// Forward matcher for a `(` at `open`.
+fn match_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// End of the statement containing `from`: the `;` at depth 0, or the
+/// `}` closing the enclosing block (tail expression).
+fn stmt_end(toks: &[Tok], from: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < hi {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                }
+                ";" if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    hi.saturating_sub(1)
+}
+
+/// The `}` closing the block enclosing `from` (where a `let`-bound
+/// guard drops).
+fn block_end(toks: &[Tok], from: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < hi {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    hi.saturating_sub(1)
+}
+
+/// A `match`/`if`/`if let`/`while`/`while let`/`for` construct inside a
+/// body. `extends` — scrutinee temporaries live through the whole
+/// construct (and any chained `else`); plain `if`/`while` conditions
+/// drop theirs before the body runs.
+struct Construct {
+    kw: usize,
+    open: usize,
+    end: usize,
+    extends: bool,
+}
+
+fn constructs(toks: &[Tok], lo: usize, hi: usize) -> Vec<Construct> {
+    let mut out = Vec::new();
+    for i in lo..hi {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_let = toks.get(i + 1).is_some_and(|n| n.is_ident("let"));
+        let extends = match t.text.as_str() {
+            "match" | "for" => true,
+            "if" | "while" => is_let,
+            _ => continue,
+        };
+        // Skip `else if` re-detection: the chain is folded into `end`.
+        let Some(open) = header_end(toks, i + 1) else {
+            continue;
+        };
+        let Some(close) = match_brace(toks, open) else {
+            continue;
+        };
+        let end = if extends {
+            extend_over_else(toks, close)
+        } else {
+            close
+        };
+        out.push(Construct {
+            kw: i,
+            open,
+            end,
+            extends,
+        });
+    }
+    out
+}
+
+/// Extracts every lock/guard acquisition in `toks[lo..hi]`, with the
+/// span the guard is held over:
+///
+/// * chained past the guard (`….lock().unwrap().recv()`) — a
+///   temporary, dropped at the end of the statement (or held through
+///   the whole construct when it sits in an extending header);
+/// * `let g = ….lock()…;` — held to the end of the enclosing block, or
+///   to an explicit `drop(g)`;
+/// * bare statement / argument position — the end of the statement.
+pub fn acquisitions(toks: &[Tok], lo: usize, hi: usize, nested: &[(usize, usize)]) -> Vec<Acq> {
+    let cons = constructs(toks, lo, hi);
+    let mut out = Vec::new();
+    let mut j = lo;
+    while j < hi {
+        if let Some(ne) = in_nested(nested, j) {
+            j = ne + 1;
+            continue;
+        }
+        let Some(path) = guard_call(toks, j, &["lock", "read", "write"]) else {
+            j += 1;
+            continue;
+        };
+        let m = j + 1;
+        let method = toks[m].text.clone();
+        let mut id_path: &[String] = &path;
+        if id_path.len() > 1 && id_path[0] == "self" {
+            id_path = &id_path[1..];
+        }
+        let lock_id = id_path.join(".");
+
+        // Walk the `.expect(..)` / `.unwrap()` tail: still the guard.
+        let mut k = j + 4;
+        while toks.get(k).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(k + 1)
+                .is_some_and(|t| t.is_ident("expect") || t.is_ident("unwrap"))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct('('))
+        {
+            match match_paren(toks, k + 2) {
+                Some(close) => k = close + 1,
+                None => break,
+            }
+        }
+        let chained_past = toks.get(k).is_some_and(|t| t.is_punct('.'));
+
+        // Innermost construct whose *header* holds this acquisition.
+        let header = cons
+            .iter()
+            .filter(|c| c.kw < j && j < c.open)
+            .max_by_key(|c| c.kw);
+
+        let (span_end, bound, in_header) = if let Some(c) = header {
+            if c.extends {
+                (c.end, None, true)
+            } else {
+                // Plain `if`/`while`: condition temporaries drop at `{`.
+                (c.open, None, false)
+            }
+        } else if chained_past {
+            (stmt_end(toks, k, hi), None, false)
+        } else {
+            match let_binding(toks, j, lo) {
+                Some(name) => {
+                    let close = block_end(toks, j, hi);
+                    let end = drop_site(toks, k, close, name.as_deref()).unwrap_or(close);
+                    (end, name, false)
+                }
+                None => (stmt_end(toks, k, hi), None, false),
+            }
+        };
+        out.push(Acq {
+            lock_id,
+            method,
+            tok: m,
+            line: toks[m].line,
+            bound,
+            span: (m, span_end),
+            header: in_header,
+        });
+        j += 1;
+    }
+    out
+}
+
+/// If the statement containing the acquisition at `j` is a `let`,
+/// returns `Some(Some(name))` for a simple binding, `Some(None)` for a
+/// pattern binding. `None` — not a `let` statement.
+#[allow(clippy::option_option)]
+fn let_binding(toks: &[Tok], j: usize, lo: usize) -> Option<Option<String>> {
+    // Scan back to the statement boundary at bracket depth 0.
+    let mut depth = 0i32;
+    let mut s = j;
+    while s > lo {
+        s -= 1;
+        let t = &toks[s];
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" if depth > 0 => depth -= 1,
+            "(" | "[" | "{" | ";" => break,
+            _ => {}
+        }
+    }
+    let mut k = if toks[s].kind == TokKind::Punct {
+        s + 1
+    } else {
+        s
+    };
+    if !toks.get(k).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    k += 1;
+    if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let name = toks.get(k).filter(|t| t.kind == TokKind::Ident)?;
+    // `let name =` / `let name: Ty =` — anything else is a pattern.
+    match toks.get(k + 1) {
+        Some(n) if n.is_punct('=') || n.is_punct(':') => Some(Some(name.text.clone())),
+        _ => Some(None),
+    }
+}
+
+/// First `drop(name)` / `mem::drop(name)` between `from` and `to`.
+fn drop_site(toks: &[Tok], from: usize, to: usize, name: Option<&str>) -> Option<usize> {
+    let name = name?;
+    for d in from..to {
+        if toks[d].is_ident("drop")
+            && toks.get(d + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(d + 2).is_some_and(|t| t.is_ident(name))
+            && toks.get(d + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            return Some(d + 3);
+        }
+    }
+    None
+}
+
+/// Extracts every potentially blocking operation in `toks[lo..hi]`:
+/// `Condvar::wait*`, channel `recv*`/`send`, socket/stream reads and
+/// writes (`read_line`, `write_all`, `.read(buf)`, `.flush()`, …),
+/// zero-argument `.join()`, `.accept()`, and `thread::scope` (which
+/// joins its threads on exit).
+pub fn blocking_sites(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    nested: &[(usize, usize)],
+) -> Vec<BlockSite> {
+    let mut out = Vec::new();
+    let mut j = lo;
+    while j < hi {
+        if let Some(ne) = in_nested(nested, j) {
+            j = ne + 1;
+            continue;
+        }
+        let t = &toks[j];
+        // `thread::scope(..)` — the scope joins every spawned thread.
+        if t.is_ident("scope")
+            && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+            && j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].is_ident("thread")
+        {
+            out.push(BlockSite {
+                tok: j,
+                line: t.line,
+                what: "thread::scope".to_string(),
+                wait_arg: None,
+            });
+            j += 1;
+            continue;
+        }
+        if !(t.is_punct('.')
+            && toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident)
+            && toks.get(j + 2).is_some_and(|n| n.is_punct('(')))
+        {
+            j += 1;
+            continue;
+        }
+        let name = toks[j + 1].text.as_str();
+        let zero_arg = toks.get(j + 3).is_some_and(|n| n.is_punct(')'));
+        let site = if WAIT_METHODS.contains(&name) {
+            let wait_arg = toks
+                .get(j + 3)
+                .filter(|a| a.kind == TokKind::Ident)
+                .map(|a| a.text.clone());
+            Some(BlockSite {
+                tok: j + 1,
+                line: toks[j + 1].line,
+                what: name.to_string(),
+                wait_arg,
+            })
+        } else if BLOCKING_METHODS.contains(&name)
+            || (name == "join" && zero_arg)
+            || (matches!(name, "read" | "write") && !zero_arg)
+        {
+            Some(BlockSite {
+                tok: j + 1,
+                line: toks[j + 1].line,
+                what: name.to_string(),
+                wait_arg: None,
+            })
+        } else {
+            None
+        };
+        if let Some(site) = site {
+            out.push(site);
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Computes per-fn acquisition/blocking sites and closes the lock-set
+/// and may-block summaries over resolved call edges (fixpoint; test
+/// fns contribute nothing).
+pub fn concurrency_summaries(ws: &Workspace) -> Conc {
+    let n = ws.fns.len();
+    let mut acqs = Vec::with_capacity(n);
+    let mut sites = Vec::with_capacity(n);
+    for (fi, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            acqs.push(Vec::new());
+            sites.push(Vec::new());
+            continue;
+        }
+        let toks = &ws.units[f.unit].lexed.toks;
+        let (lo, hi) = (f.body.0 + 1, f.body.1);
+        acqs.push(acquisitions(toks, lo, hi, &ws.nested[fi]));
+        sites.push(blocking_sites(toks, lo, hi, &ws.nested[fi]));
+    }
+
+    let mut locks_all: Vec<BTreeSet<String>> = acqs
+        .iter()
+        .map(|a| a.iter().map(|x| x.lock_id.clone()).collect())
+        .collect();
+    let mut blocks: Vec<Option<(String, u32, String)>> = (0..n)
+        .map(|fi| {
+            sites[fi].first().map(|s| {
+                (
+                    ws.units[ws.fns[fi].unit].file.clone(),
+                    s.line,
+                    s.what.clone(),
+                )
+            })
+        })
+        .collect();
+
+    loop {
+        let mut changed = false;
+        for fi in 0..n {
+            for call in &ws.calls[fi] {
+                for &t in &call.targets {
+                    if t == fi {
+                        continue;
+                    }
+                    let add: Vec<String> = locks_all[t]
+                        .iter()
+                        .filter(|l| !locks_all[fi].contains(*l))
+                        .cloned()
+                        .collect();
+                    for l in add {
+                        locks_all[fi].insert(l);
+                        changed = true;
+                    }
+                    if blocks[fi].is_none() {
+                        if let Some(b) = blocks[t].clone() {
+                            blocks[fi] = Some(b);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Conc {
+        acqs,
+        sites,
+        locks_all,
+        blocks,
+    }
+}
+
+/// `panic-reachability` — the serving frontier, computed instead of
+/// hand-curated: seed from every function defined in a serving-path
+/// file ([`Config::is_panic_path`]) and walk resolved call edges; any
+/// explicit panic construct (`.unwrap()`, `.expect(..)`,
+/// `panic!`-family) in a *reached* function is a finding, with the
+/// witness call chain in the message. Serving files themselves are
+/// covered intraprocedurally by `panic-path` and are not re-reported;
+/// unresolved calls stop the walk (that per-file rule is the fallback).
+///
+/// Exemptions, matching `panic-path`: `.expect(..)` directly chained
+/// onto a lock acquisition (poison propagation) or onto
+/// `try_from(..)` (checked narrowing — the loud failure `lossy-cast`
+/// pushes code toward). Direct indexing stays out of scope here: it is
+/// ubiquitous in the arena/engine hot loops and remains a per-file
+/// concern.
+pub fn panic_reachability(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    let seeds: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            let u = &ws.units[f.unit];
+            !f.is_test && !u.test_dir && cfg.is_panic_path(&u.file)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let (seen, parent) = reachable(ws, &seeds);
+
+    for (fi, f) in ws.fns.iter().enumerate() {
+        let u = &ws.units[f.unit];
+        if !seen[fi] || f.is_test || u.test_dir || cfg.is_panic_path(&u.file) {
+            continue;
+        }
+        let toks = &u.lexed.toks;
+        let via = chain(ws, &parent, fi);
+        let mut j = f.body.0 + 1;
+        while j < f.body.1 {
+            if let Some(ne) = in_nested(&ws.nested[fi], j) {
+                j = ne + 1;
+                continue;
+            }
+            let t = &toks[j];
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "unwrap" | "expect"
+                        if j >= 1
+                            && toks[j - 1].is_punct('.')
+                            && toks.get(j + 1).is_some_and(|n| n.is_punct('(')) =>
+                    {
+                        if t.text == "expect"
+                            && (is_lock_poison_chain(toks, j) || is_try_from_chain(toks, j))
+                        {
+                            j += 1;
+                            continue;
+                        }
+                        out.push(finding(
+                            &u.file,
+                            t.line,
+                            "panic-reachability",
+                            format!(
+                                "`.{}()` is reachable from a serving entry point ({via}) — \
+                                 return an error to the caller instead",
+                                t.text
+                            ),
+                        ));
+                    }
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                        if toks.get(j + 1).is_some_and(|n| n.is_punct('!')) =>
+                    {
+                        out.push(finding(
+                            &u.file,
+                            t.line,
+                            "panic-reachability",
+                            format!(
+                                "`{}!` is reachable from a serving entry point ({via}) — \
+                                 handle the case in-band",
+                                t.text
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Is `toks[i]` (`expect`) chained directly onto `try_from(..)` — the
+/// checked-narrowing shape `u32::try_from(x).expect("…")`?
+fn is_try_from_chain(toks: &[Tok], i: usize) -> bool {
+    if !(i >= 2 && toks[i - 1].is_punct('.') && toks[i - 2].is_punct(')')) {
+        return false;
+    }
+    // Match the `(` for the `)` at i-2, scanning backwards.
+    let mut depth = 0i32;
+    let mut j = i - 2;
+    loop {
+        let t = &toks[j];
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return j >= 1 && toks[j - 1].is_ident("try_from");
+            }
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+}
+
+/// `lock-order-cycle` — mechanically checks the deadlock-freedom
+/// arguments the concurrency comments make in prose. Every acquisition
+/// of lock `B` while lock `A` is statically held — in the same body or
+/// inside any (transitively) called function — contributes an ordering
+/// edge `A → B`; a cycle among distinct locks means two threads can
+/// interleave into a deadlock. Re-acquiring the *same* lock while its
+/// guard is held (directly, or via a callee that takes it again) is
+/// reported immediately as self-deadlock. Construct-header
+/// re-acquisitions are left to `lock-guard-liveness`, which owns that
+/// shape.
+pub fn lock_order_cycle(ws: &Workspace, conc: &Conc, out: &mut Vec<Finding>) {
+    struct Edge {
+        file: String,
+        line: u32,
+        holder_line: u32,
+        via: Option<String>,
+    }
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    let mut dedup: BTreeSet<(String, u32, String)> = BTreeSet::new();
+
+    for (fi, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let file = &ws.units[f.unit].file;
+        let acqs = &conc.acqs[fi];
+        for a in acqs {
+            // Direct nested acquisitions inside the held span.
+            for b in acqs {
+                if b.tok <= a.tok || b.tok > a.span.1 {
+                    continue;
+                }
+                if b.lock_id == a.lock_id {
+                    if !a.header && dedup.insert((file.clone(), b.line, a.lock_id.clone())) {
+                        out.push(finding(
+                            file,
+                            b.line,
+                            "lock-order-cycle",
+                            format!(
+                                "lock `{}` re-acquired here while the guard from line {} is \
+                                 still held — self-deadlock",
+                                a.lock_id, a.line
+                            ),
+                        ));
+                    }
+                } else {
+                    edges
+                        .entry((a.lock_id.clone(), b.lock_id.clone()))
+                        .or_insert(Edge {
+                            file: file.clone(),
+                            line: b.line,
+                            holder_line: a.line,
+                            via: None,
+                        });
+                }
+            }
+            // Acquisitions reached through calls made under the guard.
+            for call in &ws.calls[fi] {
+                if call.tok <= a.tok || call.tok > a.span.1 {
+                    continue;
+                }
+                for &t in &call.targets {
+                    for l in &conc.locks_all[t] {
+                        if *l == a.lock_id {
+                            if dedup.insert((file.clone(), call.line, a.lock_id.clone())) {
+                                out.push(finding(
+                                    file,
+                                    call.line,
+                                    "lock-order-cycle",
+                                    format!(
+                                        "call to `{}` may re-acquire `{}` already held since \
+                                         line {} — self-deadlock through the call graph",
+                                        ws.fns[t].qual, a.lock_id, a.line
+                                    ),
+                                ));
+                            }
+                        } else {
+                            edges.entry((a.lock_id.clone(), l.clone())).or_insert(Edge {
+                                file: file.clone(),
+                                line: call.line,
+                                holder_line: a.line,
+                                via: Some(ws.fns[t].qual.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Strongly connected components over the lock-order graph.
+    let nodes: Vec<&String> = {
+        let mut s: BTreeSet<&String> = BTreeSet::new();
+        for (a, b) in edges.keys() {
+            s.insert(a);
+            s.insert(b);
+        }
+        s.into_iter().collect()
+    };
+    let ix: BTreeMap<&String, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (a, b) in edges.keys() {
+        adj[ix[a]].push(ix[b]);
+    }
+    for sccs in sccs(&adj) {
+        if sccs.len() < 2 {
+            continue;
+        }
+        let members: BTreeSet<usize> = sccs.iter().copied().collect();
+        let mut evidence: Vec<(&(String, String), &Edge)> = edges
+            .iter()
+            .filter(|((a, b), _)| members.contains(&ix[a]) && members.contains(&ix[b]))
+            .collect();
+        evidence.sort_by(|x, y| (&x.1.file, x.1.line).cmp(&(&y.1.file, y.1.line)));
+        let locks: Vec<String> = sccs.iter().map(|&i| format!("`{}`", nodes[i])).collect();
+        let shown: Vec<String> = evidence
+            .iter()
+            .take(4)
+            .map(|((a, b), e)| match &e.via {
+                Some(v) => format!(
+                    "`{a}` → `{b}` at {}:{} (via `{v}`, holding `{a}` from line {})",
+                    e.file, e.line, e.holder_line
+                ),
+                None => format!(
+                    "`{a}` → `{b}` at {}:{} (holding `{a}` from line {})",
+                    e.file, e.line, e.holder_line
+                ),
+            })
+            .collect();
+        let anchor = evidence.first().map(|(_, e)| (e.file.clone(), e.line));
+        let Some((file, line)) = anchor else { continue };
+        out.push(finding(
+            &file,
+            line,
+            "lock-order-cycle",
+            format!(
+                "lock-order cycle among {}: {} — acquire these locks in one consistent \
+                 order everywhere",
+                locks.join(", "),
+                shown.join("; "),
+            ),
+        ));
+    }
+}
+
+/// Iterative Tarjan SCC over a small adjacency list; components are
+/// returned with members sorted, in deterministic order.
+fn sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS stack: (node, edge cursor).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+            if *cursor == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*cursor) {
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// `guard-across-blocking` — the PR 3 deadlock class generalized: a
+/// held lock guard spanning a blocking operation (condvar wait,
+/// channel `recv`/bounded `send`, socket I/O, joins) on a serving path
+/// stalls every other thread needing that lock for as long as the peer
+/// takes. Checked for all functions reachable from serving entry
+/// points, plus integration-test files (a wedged test hangs CI).
+///
+/// Exemption: `Condvar::wait*(guard, ..)` consuming the *same* guard —
+/// the wait releases the lock while blocked; that is the correct
+/// condvar protocol, not a hazard. A *different* guard still held
+/// around such a wait is reported.
+pub fn guard_across_blocking(ws: &Workspace, cfg: &Config, conc: &Conc, out: &mut Vec<Finding>) {
+    let seeds: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            let u = &ws.units[f.unit];
+            !f.is_test && !u.test_dir && cfg.is_panic_path(&u.file)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let (seen, _) = reachable(ws, &seeds);
+    let mut dedup: BTreeSet<(String, u32, String)> = BTreeSet::new();
+
+    for (fi, f) in ws.fns.iter().enumerate() {
+        let u = &ws.units[f.unit];
+        if f.is_test || !(seen[fi] || u.test_dir) {
+            continue;
+        }
+        let file = &u.file;
+        let direct_toks: BTreeSet<usize> = conc.sites[fi].iter().map(|s| s.tok).collect();
+        for a in &conc.acqs[fi] {
+            for b in &conc.sites[fi] {
+                if b.tok <= a.tok || b.tok > a.span.1 {
+                    continue;
+                }
+                if b.wait_arg.is_some() && b.wait_arg == a.bound {
+                    continue; // the guard is handed to the condvar
+                }
+                if dedup.insert((file.clone(), b.line, a.lock_id.clone())) {
+                    out.push(finding(
+                        file,
+                        b.line,
+                        "guard-across-blocking",
+                        format!(
+                            "guard on `{}` (held since line {}) spans blocking `{}` — drop \
+                             the guard before blocking, or a stalled peer wedges every \
+                             thread needing `{}`",
+                            a.lock_id, a.line, b.what, a.lock_id
+                        ),
+                    ));
+                }
+            }
+            for call in &ws.calls[fi] {
+                if call.tok <= a.tok || call.tok > a.span.1 || direct_toks.contains(&call.tok) {
+                    continue;
+                }
+                let Some(&t) = call.targets.iter().find(|&&t| conc.blocks[t].is_some()) else {
+                    continue;
+                };
+                let Some((bfile, bline, what)) = &conc.blocks[t] else {
+                    continue;
+                };
+                if dedup.insert((file.clone(), call.line, a.lock_id.clone())) {
+                    out.push(finding(
+                        file,
+                        call.line,
+                        "guard-across-blocking",
+                        format!(
+                            "guard on `{}` (held since line {}) is held across the call to \
+                             `{}`, which blocks (`{}` at {}:{}) — drop the guard first",
+                            a.lock_id, a.line, ws.fns[t].qual, what, bfile, bline
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -467,3 +467,458 @@ fn f() {}
 ";
     assert_clean(&lint(NEUTRAL, src));
 }
+
+// ---- interprocedural fixtures -----------------------------------------
+
+use rankfair_lint::analyze_workspace;
+use std::collections::BTreeMap;
+
+/// Multi-file fixture driver: a workspace analysis over in-memory
+/// `(path, source)` pairs with an open crate-dependency map.
+fn lint_ws(files: &[(&str, &str)]) -> Analysis {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(f, s)| (f.to_string(), s.to_string()))
+        .collect();
+    let wa = analyze_workspace(&owned, &Config::default(), &BTreeMap::new());
+    Analysis {
+        findings: wa.findings,
+        allows: wa.allows,
+    }
+}
+
+// ---- panic-reachability -----------------------------------------------
+
+/// A panic reachable only through two call hops, crossing a crate
+/// boundary: the serving entry calls into core, which calls deeper
+/// into core, where the `.unwrap()` lives. The finding lands on the
+/// panic site and carries the witness chain.
+#[test]
+fn panic_reachability_two_hops_fires() {
+    let serving = "\
+pub fn entry(n: u32) -> u32 {
+    first_hop(n)
+}
+";
+    let neutral = "\
+pub fn first_hop(n: u32) -> u32 {
+    second_hop(n)
+}
+fn second_hop(n: u32) -> u32 {
+    n.checked_add(1).unwrap()
+}
+";
+    let a = lint_ws(&[(SERVING, serving), (NEUTRAL, neutral)]);
+    let hits: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == "panic-reachability")
+        .collect();
+    assert_eq!(hits.len(), 1, "findings: {:?}", a.findings);
+    assert_eq!(hits[0].file, NEUTRAL);
+    assert_eq!(hits[0].line, 5);
+    assert!(
+        hits[0]
+            .message
+            .contains("service::entry → core::first_hop → core::second_hop"),
+        "chain missing: {}",
+        hits[0].message
+    );
+}
+
+/// A panic in a function nothing on the serving path calls stays a
+/// non-finding — reachability, not file lists, decides.
+#[test]
+fn panic_reachability_unreached_fn_is_clean() {
+    let serving = "\
+pub fn entry(x: &External) -> u32 {
+    x.process_stuff()
+}
+";
+    let neutral = "\
+fn lurking() {
+    panic!(\"boom\");
+}
+";
+    let a = lint_ws(&[(SERVING, serving), (NEUTRAL, neutral)]);
+    assert!(rule_lines(&a, "panic-reachability").is_empty());
+}
+
+/// The two documented exemptions hold transitively: lock-poison
+/// `.expect(..)` and checked-narrowing `try_from(..).expect(..)` in a
+/// reached function are not findings.
+#[test]
+fn panic_reachability_poison_and_try_from_exempt() {
+    let serving = "\
+pub fn entry(n: usize, m: &std::sync::Mutex<u32>) -> u32 {
+    first_hop(n, m)
+}
+";
+    let neutral = "\
+pub fn first_hop(n: usize, m: &std::sync::Mutex<u32>) -> u32 {
+    let v = u32::try_from(n).expect(\"bounded by caller\");
+    let g = m.lock().expect(\"poisoned\");
+    v + *g
+}
+";
+    let a = lint_ws(&[(SERVING, serving), (NEUTRAL, neutral)]);
+    assert_clean(&a);
+}
+
+/// Suppressing a reachable panic records the allow.
+#[test]
+fn panic_reachability_suppression_records_allow() {
+    let serving = "\
+pub fn entry(n: u32) -> u32 {
+    deep(n)
+}
+";
+    let neutral = "\
+pub fn deep(n: u32) -> u32 {
+    // lint:allow(panic-reachability) -- fixture: invariant documented at the call site
+    n.checked_add(1).unwrap()
+}
+";
+    let a = lint_ws(&[(SERVING, serving), (NEUTRAL, neutral)]);
+    assert_clean(&a);
+    assert_eq!(a.allows.len(), 1);
+    assert_eq!(a.allows[0].rule, "panic-reachability");
+}
+
+// ---- lock-order-cycle -------------------------------------------------
+
+/// The seeded two-lock cycle: one fn takes `a` then `b`, another takes
+/// `b` then `a`. One finding, anchored at the first edge site.
+#[test]
+fn lock_order_two_lock_cycle_fires() {
+    let src = "\
+fn ab(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {
+    let ga = a.lock().expect(\"a\");
+    let gb = b.lock().expect(\"b\");
+    drop(gb);
+    drop(ga);
+}
+fn ba(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {
+    let gb = b.lock().expect(\"b\");
+    let ga = a.lock().expect(\"a\");
+    drop(ga);
+    drop(gb);
+}
+";
+    let a = lint(NEUTRAL, src);
+    let lines = rule_lines(&a, "lock-order-cycle");
+    assert_eq!(lines, vec![3], "findings: {:?}", a.findings);
+    let f = a
+        .findings
+        .iter()
+        .find(|f| f.rule == "lock-order-cycle")
+        .unwrap();
+    assert!(f.message.contains("`a`") && f.message.contains("`b`"));
+}
+
+/// The exact session-lane shape, inverted: `submit` holds `dispatch`
+/// and takes `lane.state`; a second path holds `lane.state` and takes
+/// `dispatch`. Reintroducing this ordering must fail the lint.
+#[test]
+fn lock_order_session_lane_shape_fires() {
+    let src = "\
+impl Exec {
+    fn submit(&self) {
+        let d = self.dispatch.lock().expect(\"dispatch lock\");
+        let st = self.lane.state.lock().expect(\"lane lock\");
+        drop(st);
+        drop(d);
+    }
+    fn reap(&self) {
+        let st = self.lane.state.lock().expect(\"lane lock\");
+        let d = self.dispatch.lock().expect(\"dispatch lock\");
+        drop(d);
+        drop(st);
+    }
+}
+";
+    let a = lint(NEUTRAL, src);
+    let f = a
+        .findings
+        .iter()
+        .find(|f| f.rule == "lock-order-cycle")
+        .unwrap_or_else(|| panic!("no cycle finding: {:?}", a.findings));
+    assert!(f.message.contains("`dispatch`") && f.message.contains("`lane.state`"));
+}
+
+/// A consistent acquisition order everywhere is clean.
+#[test]
+fn lock_order_consistent_order_is_clean() {
+    let src = "\
+fn one(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {
+    let ga = a.lock().expect(\"a\");
+    let gb = b.lock().expect(\"b\");
+    drop(gb);
+    drop(ga);
+}
+fn two(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {
+    let ga = a.lock().expect(\"a\");
+    let gb = b.lock().expect(\"b\");
+    drop(gb);
+    drop(ga);
+}
+";
+    assert_clean(&lint(NEUTRAL, src));
+}
+
+/// An explicit `drop(guard)` before the second acquisition removes the
+/// edge — the register-then-evict shape in the service registry.
+#[test]
+fn lock_order_drop_before_second_lock_is_clean() {
+    let src = "\
+fn seq(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {
+    let ga = a.lock().expect(\"a\");
+    drop(ga);
+    let gb = b.lock().expect(\"b\");
+    drop(gb);
+}
+fn rev(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {
+    let gb = b.lock().expect(\"b\");
+    let ga = a.lock().expect(\"a\");
+    drop(ga);
+    drop(gb);
+}
+";
+    assert_clean(&lint(NEUTRAL, src));
+}
+
+/// Re-acquiring a lock whose guard is still bound is self-deadlock.
+#[test]
+fn lock_order_reentrant_acquisition_fires() {
+    let src = "\
+fn twice(m: &std::sync::Mutex<u32>) {
+    let first = m.lock().expect(\"m\");
+    let second = m.lock().expect(\"m\");
+    drop(second);
+    drop(first);
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_eq!(rule_lines(&a, "lock-order-cycle"), vec![3]);
+}
+
+/// A callee that re-takes a lock the caller still holds is flagged
+/// through the call graph.
+#[test]
+fn lock_order_reentrant_via_callee_fires() {
+    let src = "\
+impl Store {
+    fn outer(&self) {
+        let g = self.table.lock().expect(\"table\");
+        let n = *g;
+        self.inner(n);
+        drop(g);
+    }
+    fn inner(&self, n: u32) {
+        *self.table.lock().expect(\"table\") += n;
+    }
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_eq!(rule_lines(&a, "lock-order-cycle"), vec![5]);
+}
+
+/// Suppressing the cycle at its anchor line records the allow.
+#[test]
+fn lock_order_suppression_records_allow() {
+    let src = "\
+fn ab(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {
+    let ga = a.lock().expect(\"a\");
+    // lint:allow(lock-order-cycle) -- fixture: demonstrating suppression
+    let gb = b.lock().expect(\"b\");
+    drop(gb);
+    drop(ga);
+}
+fn ba(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {
+    let gb = b.lock().expect(\"b\");
+    let ga = a.lock().expect(\"a\");
+    drop(ga);
+    drop(gb);
+}
+";
+    let a = lint(NEUTRAL, src);
+    assert_clean(&a);
+    assert_eq!(a.allows.len(), 1);
+    assert_eq!(a.allows[0].rule, "lock-order-cycle");
+}
+
+// ---- guard-across-blocking --------------------------------------------
+
+/// A guard held across a channel `recv` on a serving path.
+#[test]
+fn guard_across_blocking_recv_fires() {
+    let src = "\
+fn pump(state: &std::sync::Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) {
+    let g = state.lock().expect(\"state lock\");
+    let _ = rx.recv();
+    drop(g);
+}
+";
+    let a = lint(SERVING, src);
+    assert_eq!(rule_lines(&a, "guard-across-blocking"), vec![3]);
+}
+
+/// Dropping the guard before blocking is clean.
+#[test]
+fn guard_across_blocking_drop_first_is_clean() {
+    let src = "\
+fn pump(state: &std::sync::Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) {
+    let g = state.lock().expect(\"state lock\");
+    drop(g);
+    let _ = rx.recv();
+}
+";
+    assert_clean(&lint(SERVING, src));
+}
+
+/// The seeded condvar shape: waiting while a *second* guard is held.
+/// The guard handed to `wait` is the correct protocol and exempt; the
+/// outer guard is the hazard.
+#[test]
+fn guard_across_blocking_wait_under_second_guard_fires() {
+    let src = "\
+fn gate(
+    order: &std::sync::Mutex<u32>,
+    state: &std::sync::Mutex<bool>,
+    turned: &std::sync::Condvar,
+) {
+    let outer = order.lock().expect(\"order lock\");
+    let st = state.lock().expect(\"state lock\");
+    let _ = turned.wait(st);
+    drop(outer);
+}
+";
+    let a = lint(SERVING, src);
+    let hits: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == "guard-across-blocking")
+        .collect();
+    assert_eq!(hits.len(), 1, "findings: {:?}", a.findings);
+    assert_eq!(hits[0].line, 8);
+    assert!(hits[0].message.contains("`order`"));
+}
+
+/// The correct condvar protocol — only the waited-on guard is held —
+/// is clean. This is the session-lane `Claim::wait` shape.
+#[test]
+fn guard_across_blocking_condvar_protocol_is_clean() {
+    let src = "\
+fn wait_turn(state: &std::sync::Mutex<bool>, turned: &std::sync::Condvar) {
+    let st = state.lock().expect(\"state lock\");
+    let _ = turned.wait(st);
+}
+";
+    assert_clean(&lint(SERVING, src));
+}
+
+/// A guard held across a *call* to a function that blocks internally
+/// is flagged at the call site, naming the callee and its blocking
+/// construct.
+#[test]
+fn guard_across_blocking_via_callee_fires() {
+    let src = "\
+fn entry(m: &std::sync::Mutex<u32>) {
+    let g = m.lock().expect(\"m lock\");
+    drain_queue();
+    drop(g);
+}
+fn drain_queue() {
+    let (_tx, rx) = std::sync::mpsc::channel::<u32>();
+    let _ = rx.recv();
+}
+";
+    let a = lint(SERVING, src);
+    let hits: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == "guard-across-blocking")
+        .collect();
+    assert_eq!(hits.len(), 1, "findings: {:?}", a.findings);
+    assert_eq!(hits[0].line, 3);
+    assert!(hits[0].message.contains("drain_queue"));
+}
+
+/// Blocking with no guard held, on a serving path, is clean.
+#[test]
+fn guard_across_blocking_without_guard_is_clean() {
+    let src = "\
+fn pump(rx: &std::sync::mpsc::Receiver<u32>) {
+    let _ = rx.recv();
+}
+";
+    assert_clean(&lint(SERVING, src));
+}
+
+/// Suppression at the blocking line records the allow.
+#[test]
+fn guard_across_blocking_suppression_records_allow() {
+    let src = "\
+fn pump(state: &std::sync::Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) {
+    let g = state.lock().expect(\"state lock\");
+    // lint:allow(guard-across-blocking) -- fixture: deliberate single-popper pattern
+    let _ = rx.recv();
+    drop(g);
+}
+";
+    let a = lint(SERVING, src);
+    assert_clean(&a);
+    assert_eq!(a.allows.len(), 1);
+    assert_eq!(a.allows[0].rule, "guard-across-blocking");
+}
+
+/// `tests/` directory files get the two concurrency rules — a wedged
+/// test hangs CI — but none of the panic or cast rules.
+#[test]
+fn tests_dir_gets_concurrency_rules_only() {
+    let src = "\
+fn stress(m: &std::sync::Mutex<u32>, rx: &std::sync::mpsc::Receiver<u32>) {
+    let g = m.lock().unwrap();
+    let _ = rx.recv();
+    drop(g);
+    let n = rx.iter().count() as u32;
+    assert!(n < u32::MAX);
+}
+";
+    let a = lint("crates/service/tests/stress.rs", src);
+    assert_eq!(rule_lines(&a, "guard-across-blocking"), vec![3]);
+    assert!(rule_lines(&a, "panic-path").is_empty());
+    assert!(rule_lines(&a, "panic-reachability").is_empty());
+    assert!(rule_lines(&a, "lossy-cast").is_empty());
+}
+
+// ---- serving-path-config ----------------------------------------------
+
+/// The drift meta-check: a configured file that was not scanned, and a
+/// new service source file missing from the configuration, both fail.
+#[test]
+fn serving_path_config_detects_drift() {
+    let cfg = Config::default();
+    let scanned: Vec<String> = cfg.panic_path_files.clone();
+    assert!(rankfair_lint::serving_path_config(&cfg, &scanned).is_empty());
+
+    let mut missing = scanned.clone();
+    let dropped = missing.remove(0);
+    let out = rankfair_lint::serving_path_config(&cfg, &missing);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].rule, "serving-path-config");
+    assert!(out[0].message.contains(&dropped));
+
+    let mut extra = scanned.clone();
+    extra.push("crates/service/src/metrics.rs".to_string());
+    let out = rankfair_lint::serving_path_config(&cfg, &extra);
+    assert_eq!(out.len(), 1);
+    assert!(out[0].message.contains("metrics.rs"));
+
+    // Nested modules and test files under the service crate are not
+    // serving entry files and must not trip the check.
+    let mut nested = scanned.clone();
+    nested.push("crates/service/src/wire/frames.rs".to_string());
+    nested.push("crates/service/tests/robustness.rs".to_string());
+    assert!(rankfair_lint::serving_path_config(&cfg, &nested).is_empty());
+}

@@ -79,11 +79,11 @@ impl ScoredRanking {
         order.sort_by(|&a, &b| {
             let (sa, sb) = (scores[a as usize], scores[b as usize]);
             let key = if ascending {
-                sa.partial_cmp(&sb)
+                sa.total_cmp(&sb)
             } else {
-                sb.partial_cmp(&sa)
+                sb.total_cmp(&sa)
             };
-            key.expect("NaN rejected above").then(a.cmp(&b))
+            key.then(a.cmp(&b))
         });
         let mut position = vec![0u32; order.len()];
         for (p, &row) in order.iter().enumerate() {
@@ -147,6 +147,7 @@ impl ScoredRanking {
 
     /// A frozen [`Ranking`] snapshot of the current order (`O(n)`).
     pub fn to_ranking(&self) -> Ranking {
+        // lint:allow(panic-reachability) -- insert/remove maintain `order` as a permutation; the expect is the loud invariant check
         Ranking::from_order(self.order.clone()).expect("order is maintained as a permutation")
     }
 

@@ -85,6 +85,7 @@ impl Ranker for AttributeRanker {
             .map(|k| {
                 let idx = ds
                     .column_index(&k.column)
+                    // lint:allow(panic-reachability) -- the service rejects unknown ranking columns with BadRequest before calling rank(); this guards direct library misuse
                     .unwrap_or_else(|| panic!("no column named `{}`", k.column));
                 (idx, k.descending)
             })
@@ -97,7 +98,9 @@ impl Ranker for AttributeRanker {
                     sort_value(ds, col, a as usize),
                     sort_value(ds, col, b as usize),
                 );
-                let ord = va.partial_cmp(&vb).expect("sort keys must not be NaN");
+                // total_cmp: a NaN sort key gets a fixed position
+                // instead of panicking the audit.
+                let ord = va.total_cmp(&vb);
                 let ord = if desc { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -105,6 +108,7 @@ impl Ranker for AttributeRanker {
             }
             std::cmp::Ordering::Equal // stable sort → ties by row id
         });
+        // lint:allow(panic-reachability) -- sorting 0..n yields a permutation by construction
         Ranking::from_order(order).expect("sort of 0..n is a permutation")
     }
 
@@ -186,6 +190,7 @@ impl LinearScoreRanker {
         for term in &self.terms {
             let col = ds
                 .column_index(&term.column)
+                // lint:allow(panic-reachability) -- the service rejects unknown ranking columns with BadRequest before calling rank(); this guards direct library misuse
                 .unwrap_or_else(|| panic!("no column named `{}`", term.column));
             let raw: Vec<f64> = (0..n).map(|r| sort_value(ds, col, r)).collect();
             let min = raw.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -48,12 +48,11 @@ impl Ranking {
     pub fn from_scores_desc(scores: &[f64]) -> Self {
         let mut order: Vec<TupleId> =
             (0..u32::try_from(scores.len()).expect("row count fits TupleId")).collect();
-        // Stable sort keeps row-id order within equal scores.
-        order.sort_by(|&a, &b| {
-            scores[b as usize]
-                .partial_cmp(&scores[a as usize])
-                .expect("scores must not be NaN")
-        });
+        // Stable sort keeps row-id order within equal scores; total_cmp
+        // gives NaN a fixed place instead of a panic (NaN sorts last in
+        // a descending ranking).
+        order.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
+        // lint:allow(panic-reachability) -- sorting 0..n yields a permutation by construction
         Self::from_order(order).expect("sort of 0..n is a permutation")
     }
 
